@@ -1,0 +1,297 @@
+// Benchmarks regenerating the paper's tables and figures, one per artifact.
+// Each reports shape metrics via b.ReportMetric alongside timing; the full
+// printed tables come from cmd/megate-bench (or internal/bench directly).
+package megate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"megate/internal/baselines"
+	"megate/internal/controlplane"
+	"megate/internal/core"
+	"megate/internal/flowsim"
+	"megate/internal/ssp"
+	"megate/internal/stats"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// benchWorkload pins offered load to a fraction of what the network can
+// carry (capacity over a measured mean path length), with per-flow demands
+// capped at 2% of the median link capacity — the same model internal/bench
+// uses, so benches run in the paper's many-small-flows regime.
+func benchWorkload(topo *topology.Topology, seed int64, loadFactor float64) *traffic.Matrix {
+	totalCap := 0.0
+	caps := make([]float64, 0, topo.NumLinks())
+	for _, l := range topo.Links {
+		totalCap += l.CapacityMbps
+		caps = append(caps, l.CapacityMbps)
+	}
+	r := stats.NewRand(seed)
+	hops, samples := 0, 0
+	for i := 0; i < 50 && topo.NumSites() > 1; i++ {
+		a := topology.SiteID(r.Intn(topo.NumSites()))
+		b := topology.SiteID(r.Intn(topo.NumSites()))
+		if a == b {
+			continue
+		}
+		if links, _, ok := topo.ShortestPath(a, b, nil, nil); ok {
+			hops += len(links)
+			samples++
+		}
+	}
+	pathLen := 1.0
+	if samples > 0 && hops > samples {
+		pathLen = float64(hops) / float64(samples)
+	}
+	mean := loadFactor * totalCap / pathLen / math.Max(float64(topo.NumEndpoints()), 1)
+	if cap2 := 0.02 * stats.Percentile(caps, 50); mean > cap2 {
+		mean = cap2
+	}
+	return traffic.Generate(topo, traffic.GenOptions{Seed: seed, MeanDemandMbps: mean})
+}
+
+func build(b *testing.B, name string, perSite int) *topology.Topology {
+	b.Helper()
+	topo := topology.Build(name)
+	topology.AttachEndpointsExact(topo, perSite)
+	return topo
+}
+
+// --- Figure 8: endpoint distribution fit ---
+
+func BenchmarkFig8WeibullAttachAndFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo := topology.Build("TWAN")
+		topology.AttachEndpoints(topo, 1000, 0.7, 42)
+		counts := topo.EndpointCountsBySite()
+		xs := make([]float64, len(counts))
+		for j, c := range counts {
+			xs[j] = float64(c)
+		}
+		if _, err := stats.FitWeibull(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: topology construction ---
+
+func BenchmarkTab2BuildTopologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range TopologyNames() {
+			topology.Build(name)
+		}
+	}
+}
+
+// --- Figure 9: TE computation time per scheme ---
+
+func benchScheme(b *testing.B, scheme baselines.Scheme, topoName string, perSite int, load float64) {
+	b.Helper()
+	topo := build(b, topoName, perSite)
+	m := benchWorkload(topo, 42, load)
+	b.ResetTimer()
+	var satisfied float64
+	for i := 0; i < b.N; i++ {
+		sol, err := scheme.Solve(topo, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		satisfied = sol.SatisfiedFraction()
+	}
+	b.ReportMetric(satisfied, "satisfied-frac")
+	b.ReportMetric(float64(topo.NumEndpoints()), "endpoints")
+}
+
+func BenchmarkFig9MegaTEB4(b *testing.B) { benchScheme(b, &baselines.MegaTE{}, "B4*", 100, 0.5) }
+func BenchmarkFig9MegaTEDeltacom(b *testing.B) {
+	benchScheme(b, &baselines.MegaTE{}, "Deltacom*", 10, 0.5)
+}
+func BenchmarkFig9MegaTETWAN(b *testing.B) { benchScheme(b, &baselines.MegaTE{}, "TWAN", 100, 0.5) }
+func BenchmarkFig9LPAllDeltacom(b *testing.B) {
+	benchScheme(b, &baselines.LPAll{}, "Deltacom*", 10, 0.5)
+}
+func BenchmarkFig9NCFlowDeltacom(b *testing.B) {
+	benchScheme(b, &baselines.NCFlow{}, "Deltacom*", 10, 0.5)
+}
+func BenchmarkFig9TEALDeltacom(b *testing.B) { benchScheme(b, &baselines.TEAL{}, "Deltacom*", 10, 0.5) }
+
+// --- Figure 10: satisfied demand at binding load ---
+
+func BenchmarkFig10MegaTEDeltacomBinding(b *testing.B) {
+	benchScheme(b, &baselines.MegaTE{}, "Deltacom*", 10, 1.0)
+}
+
+func BenchmarkFig10LPAllDeltacomBinding(b *testing.B) {
+	benchScheme(b, &baselines.LPAll{}, "Deltacom*", 10, 1.0)
+}
+
+// --- Figure 11: QoS-1 latency ---
+
+func BenchmarkFig11QoS1Latency(b *testing.B) {
+	topo := build(b, "Deltacom*", 10)
+	m := benchWorkload(topo, 42, 1.0)
+	mega := &baselines.MegaTE{Options: core.Options{SplitQoS: true}}
+	b.ResetTimer()
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		sol, err := mega.Solve(topo, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = baselines.MeanLatency(sol, m, traffic.Class1)
+	}
+	b.ReportMetric(lat, "qos1-ms")
+}
+
+// --- Figure 12: failures ---
+
+func BenchmarkFig12FailureRecompute(b *testing.B) {
+	topo := build(b, "Deltacom*", 10)
+	m := benchWorkload(topo, 42, 1.0)
+	scen := flowsim.FailureScenario{FailLinks: []topology.LinkID{0, 8}, TEInterval: 5 * time.Minute}
+	b.ResetTimer()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		out, err := flowsim.RunFailure(topo, m, &baselines.MegaTE{}, scen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = out.EffectiveSatisfied
+	}
+	b.ReportMetric(eff, "effective-satisfied")
+}
+
+// --- Figure 13: persistent-connection overhead ---
+
+func BenchmarkFig13PersistentConnections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := controlplane.PressureTest(200, 50*time.Millisecond, 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.HeapBytes)/float64(m.Connections), "heapB/conn")
+	}
+}
+
+// --- Figure 14: cost models ---
+
+func BenchmarkFig14CostModel(b *testing.B) {
+	var cores, shards float64
+	for i := 0; i < b.N; i++ {
+		cores = controlplane.PaperTopDownCost.CoresFor(1_000_000)
+		shards = float64(controlplane.PaperBottomUpCost.ShardsFor(1_000_000, 10*time.Second))
+	}
+	b.ReportMetric(cores, "topdown-cores@1M")
+	b.ReportMetric(shards, "bottomup-shards@1M")
+}
+
+// --- Figures 15-17: production comparison ---
+
+func BenchmarkFig15to17Production(b *testing.B) {
+	topo := build(b, "TWAN", 4)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 42, Apps: traffic.ProductionApps, DemandScale: 10})
+	b.ResetTimer()
+	var latRed, costRed float64
+	for i := 0; i < b.N; i++ {
+		conv, err := flowsim.RunConventional(topo, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mega, err := flowsim.RunMegaTE(topo, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		latRed = flowsim.LatencyReduction(conv["online-gaming"], mega["online-gaming"])
+		costRed = flowsim.CostReduction(conv["bulk-transfer"], mega["bulk-transfer"])
+	}
+	b.ReportMetric(latRed*100, "gaming-lat-red-%")
+	b.ReportMetric(costRed*100, "bulk-cost-red-%")
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationFastSSP(b *testing.B) {
+	r := stats.NewRand(42)
+	values := make([]float64, 100_000)
+	total := 0.0
+	for i := range values {
+		values[i] = 0.5 + r.Float64()*20
+		total += values[i]
+	}
+	capacity := total * 0.6
+	solver := &ssp.FastSSP{EpsPrime: 0.1}
+	b.ResetTimer()
+	var fill float64
+	for i := 0; i < b.N; i++ {
+		sol := solver.Solve(values, capacity)
+		fill = sol.Total / capacity
+	}
+	b.ReportMetric(fill, "fill-frac")
+}
+
+func BenchmarkAblationExactDP(b *testing.B) {
+	r := stats.NewRand(42)
+	values := make([]float64, 5_000)
+	total := 0.0
+	for i := range values {
+		values[i] = 0.5 + r.Float64()*20
+		total += values[i]
+	}
+	capacity := total * 0.6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ssp.ExactDP(values, capacity, 1)
+	}
+}
+
+func BenchmarkAblationContractionMegaTE(b *testing.B) {
+	benchScheme(b, &baselines.MegaTE{}, "TWAN", 20, 0.8)
+}
+
+func BenchmarkAblationContractionLPAll(b *testing.B) {
+	benchScheme(b, &baselines.LPAll{MaxFlows: 6000}, "TWAN", 20, 0.8)
+}
+
+func BenchmarkAblationQoSSplit(b *testing.B) {
+	benchScheme(b, &baselines.MegaTE{Options: core.Options{SplitQoS: true}}, "Deltacom*", 10, 0.8)
+}
+
+func BenchmarkAblationNoResidualPass(b *testing.B) {
+	benchScheme(b, &baselines.MegaTE{Options: core.Options{DisableResidualPass: true}}, "Deltacom*", 10, 1.0)
+}
+
+// --- Control-loop plumbing ---
+
+func BenchmarkControlLoopInterval(b *testing.B) {
+	topo := build(b, "B4*", 20)
+	m := benchWorkload(topo, 42, 0.8)
+	db := NewTEDatabase(2)
+	ctrl := NewController(NewSolver(topo, SolverOptions{}), db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ctrl.RunInterval(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgentPoll(b *testing.B) {
+	topo := build(b, "B4*", 5)
+	m := benchWorkload(topo, 42, 0.5)
+	db := NewTEDatabase(2)
+	ctrl := NewController(NewSolver(topo, SolverOptions{}), db)
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		b.Fatal(err)
+	}
+	agent := NewAgent(topo.Endpoints[0].Instance, db, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.Poll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

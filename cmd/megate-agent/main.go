@@ -1,0 +1,96 @@
+// Command megate-agent runs one (or a fleet of) MegaTE endpoint agents
+// against a TE database: each agent polls the configuration version over a
+// short connection — its poll time spread across the window — and pulls its
+// instance's record when the version moves, exactly the bottom-up loop of
+// §3.2.
+//
+// Example, 100 agents spread over a 10 s window:
+//
+//	megate-agent -db 127.0.0.1:7700 -instances ins-0-0,ins-1-0 -poll 10s
+//	megate-agent -db 127.0.0.1:7700 -fleet 100 -poll 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"time"
+
+	"megate"
+)
+
+func main() {
+	var (
+		db        = flag.String("db", "127.0.0.1:7700", "TE database address")
+		instances = flag.String("instances", "", "comma-separated instance IDs to watch")
+		fleet     = flag.Int("fleet", 0, "spawn N synthetic agents named ins-<site>-<i>")
+		poll      = flag.Duration("poll", 10*time.Second, "poll window")
+		duration  = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
+	)
+	flag.Parse()
+
+	var names []string
+	if *instances != "" {
+		names = strings.Split(*instances, ",")
+	}
+	for i := 0; i < *fleet; i++ {
+		names = append(names, fmt.Sprintf("ins-%d-%d", i%12, i/12))
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -instances or -fleet")
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		<-stop
+		cancel()
+	}()
+
+	var wg sync.WaitGroup
+	agents := make([]*megate.Agent, len(names))
+	for i, name := range names {
+		client := &megate.TEDatabaseClient{Addr: *db}
+		a := megate.NewRemoteAgent(name, client, nil)
+		a.Slot, a.SlotCount = i, len(names)
+		agents[i] = a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Run(ctx, *poll)
+		}()
+	}
+
+	report := time.NewTicker(*poll)
+	defer report.Stop()
+	for {
+		select {
+		case <-report.C:
+			var polls, updates uint64
+			maxV := uint64(0)
+			for _, a := range agents {
+				p, u := a.Stats()
+				polls += p
+				updates += u
+				if v := a.LastVersion(); v > maxV {
+					maxV = v
+				}
+			}
+			fmt.Printf("agents=%d version<=%d polls=%d updates=%d\n", len(agents), maxV, polls, updates)
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		}
+	}
+}

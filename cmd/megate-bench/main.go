@@ -1,0 +1,57 @@
+// Command megate-bench regenerates the tables and figures of the MegaTE
+// paper's evaluation (§6–§7). Run with -list to see the experiment IDs, and
+// -experiment all to reproduce everything.
+//
+// Sizes are scaled for small machines; -scale 2 roughly quadruples problem
+// sizes and -scale 4 reaches the paper's million-endpoint runs (hours on a
+// single core).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"megate/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		scale      = flag.Float64("scale", 1, "size multiplier: 1 laptop, 4 paper-sized")
+		seed       = flag.Int64("seed", 42, "random seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := &bench.Config{Out: os.Stdout, Scale: *scale, Seed: *seed}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, e := range bench.Registry {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Get(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *experiment)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,79 @@
+// Command megate-controller runs MegaTE's control plane: it serves the TE
+// database on a TCP listener and executes TE intervals — solve, write
+// per-instance configurations, publish a new version — until stopped or the
+// interval budget is exhausted. Endpoint agents (megate-agent) poll the same
+// listener.
+//
+// Example:
+//
+//	megate-controller -listen 127.0.0.1:7700 -topology B4* -interval 5s -intervals 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"megate"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7700", "TE database listen address")
+		topoName  = flag.String("topology", "B4*", "topology name")
+		perSite   = flag.Int("endpoints-per-site", 10, "endpoints per site")
+		mean      = flag.Float64("mean-demand", 50, "mean per-flow demand in Mbps")
+		seed      = flag.Int64("seed", 1, "random seed")
+		interval  = flag.Duration("interval", 10*time.Second, "TE interval (paper: 5m)")
+		intervals = flag.Int("intervals", 0, "stop after N intervals (0 = run until interrupted)")
+		shards    = flag.Int("shards", 2, "TE database shards")
+		qos       = flag.Bool("qos", true, "allocate QoS classes sequentially")
+	)
+	flag.Parse()
+
+	topo := megate.BuildTopology(*topoName)
+	megate.AttachEndpointsExact(topo, *perSite)
+	trace := megate.GenerateTrace(topo, 24, megate.TrafficOptions{Seed: *seed, MeanDemandMbps: *mean})
+
+	db := megate.NewTEDatabase(*shards)
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := megate.ServeTEDatabase(l, db)
+	defer srv.Close()
+	fmt.Printf("TE database serving on %s (%d shards)\n", srv.Addr(), *shards)
+
+	ctrl := megate.NewController(megate.NewSolver(topo, megate.SolverOptions{SplitQoS: *qos}), db)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+
+	for i := 0; ; i++ {
+		m := trace.Intervals[i%len(trace.Intervals)]
+		start := time.Now()
+		res, n, err := ctrl.RunInterval(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("interval %d: version %d, %d instance configs, satisfied %.2f%%, solved in %v (queries so far: %d)\n",
+			i, ctrl.Version(), n, res.SatisfiedFraction()*100,
+			time.Since(start).Round(time.Millisecond), db.Queries())
+		if *intervals > 0 && i+1 >= *intervals {
+			return
+		}
+		select {
+		case <-tick.C:
+		case <-stop:
+			fmt.Println("interrupted")
+			return
+		}
+	}
+}

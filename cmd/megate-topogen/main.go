@@ -1,0 +1,135 @@
+// Command megate-topogen generates the evaluation topologies and
+// instance-level traffic matrices as JSON, for inspection or for feeding
+// external tools.
+//
+// Example:
+//
+//	megate-topogen -topology Deltacom* -endpoints-per-site 10 -traffic > deltacom.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"megate"
+)
+
+type jsonSite struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
+}
+
+type jsonLink struct {
+	From         int     `json:"from"`
+	To           int     `json:"to"`
+	CapacityMbps float64 `json:"capacity_mbps"`
+	LatencyMs    float64 `json:"latency_ms"`
+	Availability float64 `json:"availability"`
+	CostPerGbps  float64 `json:"cost_per_gbps"`
+}
+
+type jsonEndpoint struct {
+	ID       int    `json:"id"`
+	Site     int    `json:"site"`
+	Instance string `json:"instance"`
+}
+
+type jsonFlow struct {
+	ID         int     `json:"id"`
+	Src        int     `json:"src"`
+	Dst        int     `json:"dst"`
+	SrcSite    int     `json:"src_site"`
+	DstSite    int     `json:"dst_site"`
+	DemandMbps float64 `json:"demand_mbps"`
+	Class      int     `json:"qos_class"`
+	App        string  `json:"app,omitempty"`
+}
+
+type output struct {
+	Topology  string         `json:"topology"`
+	Sites     []jsonSite     `json:"sites"`
+	Links     []jsonLink     `json:"links"`
+	Endpoints []jsonEndpoint `json:"endpoints"`
+	Flows     []jsonFlow     `json:"flows,omitempty"`
+}
+
+func main() {
+	var (
+		topoName = flag.String("topology", "B4*", "topology name")
+		gmlPath  = flag.String("gml", "", "load the topology from a Topology Zoo GML file instead")
+		perSite  = flag.Int("endpoints-per-site", 10, "endpoints per site (exact)")
+		weibull  = flag.Bool("weibull", false, "Weibull endpoint attachment instead of exact")
+		genFlows = flag.Bool("traffic", false, "also generate a traffic matrix")
+		mean     = flag.Float64("mean-demand", 50, "mean per-flow demand in Mbps")
+		apps     = flag.Bool("apps", false, "tag flows with production application profiles")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	topo := loadTopology(*topoName, *gmlPath, *seed)
+	if *weibull {
+		megate.AttachEndpoints(topo, float64(*perSite), 0.7, *seed)
+	} else {
+		megate.AttachEndpointsExact(topo, *perSite)
+	}
+
+	out := output{Topology: topo.Name}
+	for _, s := range topo.Sites {
+		out.Sites = append(out.Sites, jsonSite{ID: int(s.ID), Name: s.Name, X: s.X, Y: s.Y})
+	}
+	for _, l := range topo.Links {
+		out.Links = append(out.Links, jsonLink{
+			From: int(l.From), To: int(l.To),
+			CapacityMbps: l.CapacityMbps, LatencyMs: l.LatencyMs,
+			Availability: l.Availability, CostPerGbps: l.CostPerGbps,
+		})
+	}
+	for _, ep := range topo.Endpoints {
+		out.Endpoints = append(out.Endpoints, jsonEndpoint{ID: int(ep.ID), Site: int(ep.Site), Instance: ep.Instance})
+	}
+	if *genFlows {
+		opts := megate.TrafficOptions{Seed: *seed, MeanDemandMbps: *mean}
+		if *apps {
+			opts.Apps = megate.ProductionApps
+		}
+		m := megate.GenerateTraffic(topo, opts)
+		for i := range m.Flows {
+			f := &m.Flows[i]
+			out.Flows = append(out.Flows, jsonFlow{
+				ID: f.ID, Src: int(f.Src), Dst: int(f.Dst),
+				SrcSite: int(f.Pair.Src), DstSite: int(f.Pair.Dst),
+				DemandMbps: f.DemandMbps, Class: int(f.Class), App: f.App,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// loadTopology builds a named topology or parses a Topology Zoo GML file.
+func loadTopology(name, gmlPath string, seed int64) *megate.Topology {
+	if gmlPath == "" {
+		return megate.BuildTopology(name)
+	}
+	f, err := os.Open(gmlPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	topo, err := megate.ParseTopologyGML(f, name, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return topo
+}

@@ -1,0 +1,115 @@
+// Command megatectl runs one MegaTE optimization over a built-in topology
+// and a synthetic instance-level traffic matrix, printing the allocation
+// summary — a quick way to exercise the two-stage solver from the shell.
+//
+// Example:
+//
+//	megatectl -topology Deltacom* -endpoints-per-site 10 -load 1.1 -qos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"megate"
+)
+
+func main() {
+	var (
+		topoName  = flag.String("topology", "B4*", "topology: B4*, Deltacom*, Cogentco*, TWAN")
+		gmlPath   = flag.String("gml", "", "load the topology from a Topology Zoo GML file instead")
+		perSite   = flag.Int("endpoints-per-site", 10, "endpoints attached to every site")
+		weibull   = flag.Bool("weibull", false, "attach endpoints Weibull-distributed instead of exact")
+		mean      = flag.Float64("mean-demand", 50, "mean per-flow demand in Mbps")
+		seed      = flag.Int64("seed", 1, "random seed")
+		qos       = flag.Bool("qos", false, "allocate QoS classes sequentially")
+		tunnels   = flag.Int("tunnels", 4, "tunnels per site pair")
+		showPairs = flag.Int("show-pairs", 5, "print the N busiest site pairs")
+	)
+	flag.Parse()
+
+	topo := loadTopology(*topoName, *gmlPath, *seed)
+	if *weibull {
+		megate.AttachEndpoints(topo, float64(*perSite), 0.7, *seed)
+	} else {
+		megate.AttachEndpointsExact(topo, *perSite)
+	}
+	m := megate.GenerateTraffic(topo, megate.TrafficOptions{Seed: *seed, MeanDemandMbps: *mean})
+
+	solver := megate.NewSolver(topo, megate.SolverOptions{SplitQoS: *qos, TunnelsPerPair: *tunnels})
+	start := time.Now()
+	res, err := solver.Solve(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("topology   %s: %d sites, %d links, %d endpoints\n",
+		topo.Name, topo.NumSites(), topo.NumLinks()/2, topo.NumEndpoints())
+	fmt.Printf("traffic    %d flows, %.1f Gbps offered\n", m.NumFlows(), m.TotalDemandMbps()/1000)
+	fmt.Printf("solve      %v total (MaxSiteFlow %v, MaxEndpointFlow %v)\n",
+		elapsed.Round(time.Millisecond), res.SiteLPTime.Round(time.Millisecond), res.SSPTime.Round(time.Millisecond))
+	fmt.Printf("satisfied  %.2f%% (%.1f of %.1f Gbps)\n",
+		res.SatisfiedFraction()*100, res.SatisfiedMbps/1000, res.TotalMbps/1000)
+
+	accepted, rejected := 0, 0
+	for _, tn := range res.FlowTunnel {
+		if tn != nil {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	fmt.Printf("flows      %d pinned to a tunnel, %d rejected\n", accepted, rejected)
+
+	if *showPairs > 0 {
+		type pairLoad struct {
+			name string
+			mbps float64
+		}
+		byPair := map[string]float64{}
+		for i, tn := range res.FlowTunnel {
+			if tn == nil {
+				continue
+			}
+			f := &m.Flows[i]
+			key := fmt.Sprintf("%d->%d", f.Pair.Src, f.Pair.Dst)
+			byPair[key] += f.DemandMbps
+		}
+		var pairs []pairLoad
+		for k, v := range byPair {
+			pairs = append(pairs, pairLoad{k, v})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].mbps > pairs[j].mbps })
+		fmt.Printf("\nbusiest site pairs:\n")
+		for i, p := range pairs {
+			if i >= *showPairs {
+				break
+			}
+			fmt.Printf("  %-10s %8.1f Mbps\n", p.name, p.mbps)
+		}
+	}
+}
+
+// loadTopology builds a named topology or parses a Topology Zoo GML file.
+func loadTopology(name, gmlPath string, seed int64) *megate.Topology {
+	if gmlPath == "" {
+		return megate.BuildTopology(name)
+	}
+	f, err := os.Open(gmlPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	topo, err := megate.ParseTopologyGML(f, name, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return topo
+}

@@ -1,0 +1,87 @@
+package megate_test
+
+import (
+	"fmt"
+
+	"megate"
+)
+
+// The shortest path from nothing to a TE allocation: build a topology,
+// generate traffic, solve, inspect per-flow pinning.
+func Example() {
+	topo := megate.BuildTopology("B4*")
+	megate.AttachEndpointsExact(topo, 5)
+	tm := megate.GenerateTraffic(topo, megate.TrafficOptions{Seed: 1, MeanDemandMbps: 20})
+
+	solver := megate.NewSolver(topo, megate.SolverOptions{})
+	res, err := solver.Solve(tm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("satisfied %.0f%% of %d flows\n", res.SatisfiedFraction()*100, tm.NumFlows())
+	// Output: satisfied 100% of 60 flows
+}
+
+// Building a custom topology and pinning one time-sensitive flow.
+func Example_customTopology() {
+	topo := megate.NewTopology("duo")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 600, 0)
+	c := topo.AddSite("c", 300, 400)
+	topo.AddBidiLink(a, b, 10_000, 3, 0.9999, 8) // fast direct
+	topo.AddBidiLink(a, c, 10_000, 4, 0.999, 2)
+	topo.AddBidiLink(c, b, 10_000, 4, 0.999, 2) // slow detour
+	src := topo.AddEndpoint(a, "tenant-1")
+	dst := topo.AddEndpoint(b, "tenant-2")
+
+	tm := megate.NewTrafficMatrix([]megate.Flow{{
+		ID: 0, Src: src, Dst: dst,
+		Pair:       megate.SitePair{Src: a, Dst: b},
+		DemandMbps: 100,
+		Class:      megate.QoS1,
+	}})
+	res, err := megate.NewSolver(topo, megate.SolverOptions{SplitQoS: true}).Solve(tm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pinned to", res.FlowTunnel[0])
+	// Output: pinned to 0->1 (3.0ms)
+}
+
+// The bottom-up control loop in-process: controller publishes versioned
+// configs to the TE database; an agent pulls them into a host's path_map.
+func ExampleController() {
+	topo := megate.BuildTopology("B4*")
+	megate.AttachEndpointsExact(topo, 1)
+	tm := megate.GenerateTraffic(topo, megate.TrafficOptions{Seed: 3, MeanDemandMbps: 10})
+
+	db := megate.NewTEDatabase(2)
+	ctrl := megate.NewController(megate.NewSolver(topo, megate.SolverOptions{}), db)
+	if _, _, err := ctrl.RunInterval(tm); err != nil {
+		panic(err)
+	}
+
+	host := megate.NewHost("host-0", 1500, nil)
+	defer host.Close()
+	agent := megate.NewAgent(topo.Endpoints[0].Instance, db, host)
+	updated, err := agent.Poll()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("version %d applied: %v\n", agent.LastVersion(), updated)
+	// Output: version 1 applied: true
+}
+
+// Planning §8 hybrid synchronization from measured per-instance volumes.
+func ExamplePlanHybrid() {
+	volumes := map[string]float64{
+		"whale-1": 900, "whale-2": 800,
+		"minnow-1": 10, "minnow-2": 10, "minnow-3": 10,
+	}
+	plan := megate.PlanHybrid(volumes, 0.9)
+	fmt.Println("persistent:", plan.Persistent)
+	fmt.Println("polling instances:", len(plan.Polling))
+	// Output:
+	// persistent: [whale-1 whale-2]
+	// polling instances: 3
+}

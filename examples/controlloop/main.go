@@ -1,0 +1,113 @@
+// Control-loop example: the complete MegaTE system end to end, in process.
+//
+//	controller --writes--> TE database <--polls-- endpoint agents
+//	                                                |
+//	                                     path_map via eBPF maps
+//	                                                |
+//	   instance packet --TC hook--> +SR header --> WAN routers --> egress
+//
+// A tenant instance opens a connection, the host's eBPF programs identify
+// it and collect its traffic, the controller pins its flow to a tunnel, the
+// agent pulls the decision from the database, and the next packet carries a
+// segment-routing header that the router fabric follows hop by hop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"megate"
+)
+
+func main() {
+	// 1. Topology: four sites in a square plus a slow diagonal; endpoint
+	// IPs are 10.<site>.0.<n>.
+	topo := megate.NewTopology("demo")
+	a := topo.AddSite("paris", 0, 0)
+	b := topo.AddSite("berlin", 900, 0)
+	c := topo.AddSite("warsaw", 1500, 200)
+	d := topo.AddSite("vienna", 1000, 700)
+	topo.AddBidiLink(a, b, 1000, 9, 0.9999, 8)
+	topo.AddBidiLink(b, c, 1000, 6, 0.9999, 8)
+	topo.AddBidiLink(c, d, 1000, 7, 0.997, 3)
+	topo.AddBidiLink(d, a, 1000, 11, 0.997, 3)
+	topo.AddBidiLink(a, c, 400, 22, 0.997, 3) // long, cheap diagonal
+	srcEP := topo.AddEndpoint(a, "tenant-42")
+	dstEP := topo.AddEndpoint(c, "tenant-99")
+
+	ipToSite := func(ip [4]byte) (uint32, bool) {
+		if ip[0] != 10 || int(ip[1]) >= topo.NumSites() {
+			return 0, false
+		}
+		return uint32(ip[1]), true
+	}
+
+	// 2. A traffic matrix with one flow: tenant-42 in Paris talks to
+	// tenant-99 in Warsaw, 200 Mbps, time-sensitive.
+	tm := megate.NewTrafficMatrix([]megate.Flow{{
+		ID:         0,
+		Src:        srcEP,
+		Dst:        dstEP,
+		Pair:       megate.SitePair{Src: a, Dst: c},
+		DemandMbps: 200,
+		Class:      megate.QoS1,
+		App:        "realtime-message",
+	}})
+
+	// 3. Control plane: TE database over TCP + controller.
+	db := megate.NewTEDatabase(2)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := megate.ServeTEDatabase(l, db)
+	defer srv.Close()
+	ctrl := megate.NewController(megate.NewSolver(topo, megate.SolverOptions{SplitQoS: true}), db)
+	res, n, err := ctrl.RunInterval(tm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("controller: version %d, %d instance config(s), flow pinned to %v\n",
+		ctrl.Version(), n, res.FlowTunnel[0])
+
+	// 4. Data plane: host with eBPF programs; the endpoint agent pulls the
+	// decision over TCP and installs it into path_map.
+	host := megate.NewHost("paris-host-1", 1500, ipToSite)
+	defer host.Close()
+	host.RunProcess(4242, "tenant-42")
+	tuple := megate.FiveTuple{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 2, 0, 1},
+		Proto: megate.IPProtoUDP, SrcPort: 40000, DstPort: 8080,
+	}
+	host.OpenConnection(4242, tuple)
+
+	agent := megate.NewRemoteAgent("tenant-42", &megate.TEDatabaseClient{Addr: srv.Addr()}, host)
+	if _, err := agent.Poll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agent: pulled version %d, %d path(s) installed into path_map\n",
+		agent.LastVersion(), host.PathMap.Len())
+
+	// 5. The instance sends a packet: the TC program inserts the SR header
+	// and the router fabric follows it hop by hop.
+	frames, err := host.Send(tuple, 42, [4]byte{10, 0, 0, 1}, [4]byte{10, 2, 0, 1}, []byte("hello warsaw"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fabric := megate.NewFabric(topo, func(ip [4]byte) (megate.SiteID, bool) {
+		s, ok := ipToSite(ip)
+		return megate.SiteID(s), ok
+	})
+	delivery, err := fabric.Deliver(frames[0], a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packet: %d bytes, SR-forwarded=%v, path %v, %.1f ms\n",
+		len(frames[0]), delivery.ViaSR, delivery.Path, delivery.LatencyMs)
+
+	// 6. Flow statistics flow back up for the next TE interval.
+	for _, rec := range host.CollectFlows() {
+		fmt.Printf("collected: instance %s sent %d bytes on %s\n", rec.Instance, rec.Bytes, rec.Tuple)
+	}
+}

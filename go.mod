@@ -1,0 +1,3 @@
+module megate
+
+go 1.22

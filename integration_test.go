@@ -1,0 +1,250 @@
+package megate
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"megate/internal/router"
+	"megate/internal/topology"
+)
+
+// TestFullSystemIntegration drives the complete MegaTE system end to end:
+// measured traffic -> demand estimation -> TE solve -> versioned publish ->
+// agent pull over TCP -> eBPF path installation -> SR packets through the
+// router fabric -> collected statistics for the next interval. Then a link
+// fails, the controller recomputes, and the data path reconverges off the
+// failed link.
+func TestFullSystemIntegration(t *testing.T) {
+	// Topology: B4* with 3 endpoints per site and an IP plan.
+	topo := BuildTopology("B4*")
+	AttachEndpointsExact(topo, 3)
+	plan, err := NewIPPlan(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hosts: one per site 0 endpoint; processes and connections for a few
+	// instance pairs.
+	host := NewHost("host-0", 1500, plan.SiteOf)
+	defer host.Close()
+
+	type conn struct {
+		tuple FiveTuple
+		src   EndpointID
+		dst   EndpointID
+	}
+	var conns []conn
+	for i, srcEp := range topo.EndpointsAt(0) {
+		dstSite := SiteID((i + 3) % topo.NumSites())
+		if dstSite == 0 {
+			dstSite = 1
+		}
+		dstEp := topo.EndpointsAt(dstSite)[i%3]
+		tuple := FiveTuple{
+			SrcIP: plan.IPOf(srcEp), DstIP: plan.IPOf(dstEp),
+			Proto: IPProtoUDP, SrcPort: uint16(10000 + i), DstPort: 443,
+		}
+		pid := 100 + i
+		host.RunProcess(pid, topo.Endpoints[srcEp].Instance)
+		host.OpenConnection(pid, tuple)
+		conns = append(conns, conn{tuple, srcEp, dstEp})
+	}
+
+	// Interval 0: instances send; the host stack measures.
+	for _, c := range conns {
+		for p := 0; p < 5; p++ {
+			if _, err := host.Send(c.tuple, 7, c.tuple.SrcIP, c.tuple.DstIP, make([]byte, 2000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	records := host.CollectFlows()
+	if len(records) != len(conns) {
+		t.Fatalf("collected %d records, want %d", len(records), len(conns))
+	}
+	for _, r := range records {
+		if r.Instance == "" {
+			t.Fatal("unattributed flow record")
+		}
+	}
+
+	// Demand estimation from measurements.
+	est := NewDemandEstimator(plan)
+	est.Interval = time.Second
+	if un := est.Observe(records); un != 0 {
+		t.Fatalf("unresolved records: %d", un)
+	}
+	m := est.Matrix()
+	if m.NumFlows() != len(conns) {
+		t.Fatalf("estimated %d flows, want %d", m.NumFlows(), len(conns))
+	}
+
+	// Control plane over real TCP.
+	db := NewTEDatabase(2)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTEDatabase(l, db)
+	defer srv.Close()
+	solver := NewSolver(topo, SolverOptions{SplitQoS: true})
+	ctrl := NewRemoteController(solver, &TEDatabaseClient{Addr: srv.Addr()})
+	res, nCfg, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nCfg == 0 || res.SatisfiedFraction() < 0.999 {
+		t.Fatalf("interval: configs=%d satisfied=%v", nCfg, res.SatisfiedFraction())
+	}
+
+	// Agents pull for every source instance on this host.
+	for i, c := range conns {
+		agent := NewRemoteAgent(topo.Endpoints[c.src].Instance, &TEDatabaseClient{Addr: srv.Addr()}, host)
+		agent.Slot, agent.SlotCount = i, len(conns)
+		if _, err := agent.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if host.PathMap.Len() == 0 {
+		t.Fatal("no paths installed")
+	}
+
+	// Data path: SR-stamped packets follow their pinned tunnels through
+	// the fabric, matching the TE decision exactly.
+	fabric := router.New(topo, func(ip [4]byte) (topology.SiteID, bool) {
+		s, ok := plan.SiteOf(ip)
+		return topology.SiteID(s), ok
+	})
+	flowIdx := make(map[FiveTuple]int)
+	for i := range m.Flows {
+		f := &m.Flows[i]
+		for _, c := range conns {
+			if c.src == f.Src && c.dst == f.Dst {
+				flowIdx[c.tuple] = i
+			}
+		}
+	}
+	for _, c := range conns {
+		frames, err := host.Send(c.tuple, 7, c.tuple.SrcIP, c.tuple.DstIP, []byte("data"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := fabric.Deliver(frames[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.ViaSR {
+			t.Fatalf("packet for %v not SR-forwarded", c.tuple)
+		}
+		want := res.FlowTunnel[flowIdx[c.tuple]]
+		if want == nil {
+			t.Fatalf("flow %v has no tunnel", c.tuple)
+		}
+		if d.Egress != want.Dst {
+			t.Fatalf("egress %d, want %d", d.Egress, want.Dst)
+		}
+		if len(d.Path) != len(want.Sites) {
+			t.Fatalf("path %v, tunnel %v", d.Path, want.Sites)
+		}
+		for j := range d.Path {
+			if d.Path[j] != want.Sites[j] {
+				t.Fatalf("path %v diverges from tunnel %v", d.Path, want.Sites)
+			}
+		}
+	}
+
+	// Link failure: recompute, republish, agents reconverge, and the new
+	// paths avoid the failed link.
+	usedLink := res.FlowTunnel[flowIdx[conns[0].tuple]].Links[0]
+	topo.FailLink(usedLink)
+	fabric.InvalidateRoutes()
+	res2, _, err := ctrl.OnLinkFailure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewRemoteAgent(topo.Endpoints[conns[0].src].Instance, &TEDatabaseClient{Addr: srv.Addr()}, host)
+	if updated, err := agent.Poll(); err != nil || !updated {
+		t.Fatalf("post-failure poll: updated=%v err=%v", updated, err)
+	}
+	frames, err := host.Send(conns[0].tuple, 7, conns[0].tuple.SrcIP, conns[0].tuple.DstIP, []byte("after failure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fabric.Deliver(frames[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(d.Path); i++ {
+		a, b := d.Path[i], d.Path[i+1]
+		la := topo.Links[usedLink]
+		if (la.From == a && la.To == b) || (la.From == b && la.To == a) {
+			t.Fatal("post-failure packet crossed the failed link")
+		}
+	}
+	want2 := res2.FlowTunnel[flowIdx[conns[0].tuple]]
+	if want2 != nil && d.Egress != want2.Dst {
+		t.Fatalf("post-failure egress %d, want %d", d.Egress, want2.Dst)
+	}
+}
+
+// TestFragmentedTrafficThroughFullStack sends an oversized datagram through
+// the host stack and fabric: every fragment must be attributed to the flow
+// and delivered along a consistent path.
+func TestFragmentedTrafficThroughFullStack(t *testing.T) {
+	topo := BuildTopology("B4*")
+	AttachEndpointsExact(topo, 1)
+	plan, err := NewIPPlan(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := NewHost("h", 1500, plan.SiteOf)
+	defer host.Close()
+
+	src, dst := topo.EndpointsAt(0)[0], topo.EndpointsAt(5)[0]
+	tuple := FiveTuple{
+		SrcIP: plan.IPOf(src), DstIP: plan.IPOf(dst),
+		Proto: IPProtoUDP, SrcPort: 999, DstPort: 53,
+	}
+	host.RunProcess(1, topo.Endpoints[src].Instance)
+	host.OpenConnection(1, tuple)
+	host.InstallPath(topo.Endpoints[src].Instance, 5, []uint32{0, 2, 3, 6, 5})
+
+	frames, err := host.Send(tuple, 3, tuple.SrcIP, tuple.DstIP, make([]byte, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 4 {
+		t.Fatalf("frames = %d, want >= 4 fragments", len(frames))
+	}
+
+	records := host.CollectFlows()
+	if len(records) != 1 || records[0].Bytes < 6000 {
+		t.Fatalf("fragment accounting: %+v", records)
+	}
+
+	fabric := router.New(topo, func(ip [4]byte) (topology.SiteID, bool) {
+		s, ok := plan.SiteOf(ip)
+		return topology.SiteID(s), ok
+	})
+	var firstPath []topology.SiteID
+	for i, frame := range frames {
+		d, err := fabric.Deliver(frame, 0)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if d.Egress != 5 {
+			t.Fatalf("fragment %d egressed at %d", i, d.Egress)
+		}
+		if i == 0 {
+			if !d.ViaSR {
+				t.Fatal("first fragment should carry SR")
+			}
+			firstPath = d.Path
+			continue
+		}
+		if len(d.Path) != len(firstPath) {
+			t.Fatalf("fragment %d path %v != first %v", i, d.Path, firstPath)
+		}
+	}
+}

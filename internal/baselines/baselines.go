@@ -1,0 +1,164 @@
+// Package baselines implements the TE schemes MegaTE is compared against in
+// §6: LP-all (endpoint-granular multi-commodity flow), NCFlow (cluster
+// contraction with reconciliation) and TEAL (warm-start plus ADMM
+// refinement). All of them treat endpoint flows as *divisible* — that is the
+// conventional MCF model — whereas MegaTE places each flow on exactly one
+// tunnel; the packet-latency experiments exploit precisely this difference.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"megate/internal/lp"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// Scheme is a TE scheme producing an endpoint-flow allocation for one
+// traffic matrix over one topology.
+type Scheme interface {
+	Name() string
+	Solve(topo *topology.Topology, m *traffic.Matrix) (*Solution, error)
+}
+
+// ErrTooLarge is returned when a scheme would exceed its configured problem
+// size limit — the stand-in for the out-of-memory failures the paper
+// reports for conventional schemes at hyper-scale (§6.2).
+var ErrTooLarge = errors.New("baselines: problem exceeds scheme size limit")
+
+// Placement is one tunnel's share of a flow's satisfied traffic.
+type Placement struct {
+	Tunnel *topology.Tunnel
+	Mbps   float64
+}
+
+// Solution is a per-flow allocation. Conventional schemes may satisfy a
+// fraction of a flow and split it across tunnels.
+type Solution struct {
+	Scheme string
+	// FlowFraction[i] is the satisfied fraction of matrix flow i in [0, 1].
+	FlowFraction []float64
+	// FlowLatency[i] is the allocation-weighted mean tunnel latency (ms)
+	// of flow i's satisfied traffic; NaN when nothing was satisfied.
+	FlowLatency []float64
+	// FlowSplit[i] is the number of tunnels flow i's traffic uses — > 1
+	// means the instance's packets observe multiple path latencies, the
+	// §2.1 pathology.
+	FlowSplit []int
+	// FlowPlacement[i] details which tunnels carry flow i, used by the
+	// failure simulator to find traffic stranded on failed links.
+	FlowPlacement            [][]Placement
+	SatisfiedMbps, TotalMbps float64
+	Runtime                  time.Duration
+}
+
+// SatisfiedFraction returns satisfied/total demand, 1 when there is no
+// demand.
+func (s *Solution) SatisfiedFraction() float64 {
+	if s.TotalMbps == 0 {
+		return 1
+	}
+	return s.SatisfiedMbps / s.TotalMbps
+}
+
+// newSolution allocates a zeroed solution for the matrix.
+func newSolution(scheme string, m *traffic.Matrix) *Solution {
+	sol := &Solution{
+		Scheme:        scheme,
+		FlowFraction:  make([]float64, m.NumFlows()),
+		FlowLatency:   make([]float64, m.NumFlows()),
+		FlowSplit:     make([]int, m.NumFlows()),
+		FlowPlacement: make([][]Placement, m.NumFlows()),
+		TotalMbps:     m.TotalDemandMbps(),
+	}
+	for i := range sol.FlowLatency {
+		sol.FlowLatency[i] = math.NaN()
+	}
+	return sol
+}
+
+// endpointMCF builds the endpoint-granular path MCF: one commodity per flow,
+// using the pre-established tunnels of the flow's site pair. It also returns
+// the tunnel list per flow for latency accounting.
+func endpointMCF(topo *topology.Topology, m *traffic.Matrix, ts *topology.TunnelSet, residual []float64) (*lp.MCF, [][]*topology.Tunnel) {
+	mcf := &lp.MCF{LinkCap: residual}
+	flowTunnels := make([][]*topology.Tunnel, m.NumFlows())
+	maxW := 0.0
+	for i := range m.Flows {
+		f := &m.Flows[i]
+		tns := ts.For(f.Pair.Src, f.Pair.Dst)
+		flowTunnels[i] = tns
+		c := lp.Commodity{Demand: f.DemandMbps}
+		for _, tn := range tns {
+			links := make([]int, len(tn.Links))
+			for j, l := range tn.Links {
+				links[j] = int(l)
+			}
+			c.Tunnels = append(c.Tunnels, links)
+			c.Weights = append(c.Weights, tn.Weight)
+			if tn.Weight > maxW {
+				maxW = tn.Weight
+			}
+		}
+		mcf.Commodities = append(mcf.Commodities, c)
+	}
+	if maxW > 0 {
+		eps := 0.5 / maxW
+		if eps > 1e-3 {
+			eps = 1e-3
+		}
+		mcf.Epsilon = eps
+	}
+	return mcf, flowTunnels
+}
+
+// fillFromAllocation populates per-flow fractions/latencies from a
+// commodity-per-flow allocation.
+func fillFromAllocation(sol *Solution, m *traffic.Matrix, alloc lp.Allocation, flowTunnels [][]*topology.Tunnel) {
+	for i := range m.Flows {
+		demand := m.Flows[i].DemandMbps
+		if demand <= 0 {
+			continue
+		}
+		carried, weighted := 0.0, 0.0
+		split := 0
+		for t, f := range alloc[i] {
+			if f <= 0 {
+				continue
+			}
+			carried += f
+			weighted += f * flowTunnels[i][t].Weight
+			split++
+			sol.FlowPlacement[i] = append(sol.FlowPlacement[i], Placement{Tunnel: flowTunnels[i][t], Mbps: f})
+		}
+		if carried > 0 {
+			sol.FlowFraction[i] = math.Min(1, carried/demand)
+			sol.FlowLatency[i] = weighted / carried
+			sol.FlowSplit[i] = split
+			sol.SatisfiedMbps += math.Min(carried, demand)
+		}
+	}
+}
+
+// residualCaps snapshots the usable capacity of every link (0 for failed
+// links).
+func residualCaps(topo *topology.Topology) []float64 {
+	caps := make([]float64, topo.NumLinks())
+	for i, l := range topo.Links {
+		if !l.Down {
+			caps[i] = l.CapacityMbps
+		}
+	}
+	return caps
+}
+
+// checkSize enforces a scheme's problem-size limit.
+func checkSize(scheme string, nFlows, limit int) error {
+	if limit > 0 && nFlows > limit {
+		return fmt.Errorf("%w: %s with %d flows (limit %d)", ErrTooLarge, scheme, nFlows, limit)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+func benchTopo(t *testing.T, perSite int) (*topology.Topology, *traffic.Matrix) {
+	t.Helper()
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, perSite)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 40})
+	return topo, m
+}
+
+// checkSolution verifies the structural invariants every scheme must hold:
+// fractions in [0,1], satisfied demand consistent, and real link loads
+// within capacity.
+func checkSolution(t *testing.T, topo *topology.Topology, m *traffic.Matrix, sol *Solution) {
+	t.Helper()
+	if len(sol.FlowFraction) != m.NumFlows() {
+		t.Fatalf("%s: fraction len %d != flows %d", sol.Scheme, len(sol.FlowFraction), m.NumFlows())
+	}
+	sum := 0.0
+	for i, frac := range sol.FlowFraction {
+		if frac < 0 || frac > 1+1e-9 {
+			t.Fatalf("%s: flow %d fraction %v", sol.Scheme, i, frac)
+		}
+		if frac > 0 && math.IsNaN(sol.FlowLatency[i]) {
+			t.Fatalf("%s: flow %d satisfied but latency NaN", sol.Scheme, i)
+		}
+		if frac > 0 && sol.FlowSplit[i] < 1 {
+			t.Fatalf("%s: flow %d satisfied with split %d", sol.Scheme, i, sol.FlowSplit[i])
+		}
+		sum += frac * m.Flows[i].DemandMbps
+	}
+	if math.Abs(sum-sol.SatisfiedMbps) > 1e-4*(1+sum) {
+		t.Fatalf("%s: SatisfiedMbps %v != per-flow sum %v", sol.Scheme, sol.SatisfiedMbps, sum)
+	}
+	if sol.SatisfiedFraction() > 1+1e-9 {
+		t.Fatalf("%s: satisfied fraction %v > 1", sol.Scheme, sol.SatisfiedFraction())
+	}
+}
+
+func TestLPAllSmallExact(t *testing.T) {
+	topo, m := benchTopo(t, 2)
+	sol, err := (&LPAll{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, topo, m, sol)
+	if sol.SatisfiedFraction() < 0.9 {
+		t.Errorf("LP-all satisfied %v on light load, want >= 0.9", sol.SatisfiedFraction())
+	}
+}
+
+func TestLPAllRefusesHugeProblems(t *testing.T) {
+	topo, m := benchTopo(t, 10)
+	_, err := (&LPAll{MaxFlows: 5}).Solve(topo, m)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTEALRuns(t *testing.T) {
+	topo, m := benchTopo(t, 5)
+	sol, err := (&TEAL{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, topo, m, sol)
+	if sol.SatisfiedFraction() < 0.5 {
+		t.Errorf("TEAL satisfied %v, implausibly low", sol.SatisfiedFraction())
+	}
+}
+
+func TestNCFlowRuns(t *testing.T) {
+	topo, m := benchTopo(t, 5)
+	sol, err := (&NCFlow{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, topo, m, sol)
+	if sol.SatisfiedFraction() < 0.3 {
+		t.Errorf("NCFlow satisfied %v, implausibly low", sol.SatisfiedFraction())
+	}
+}
+
+func TestMegaTEAdapterSingleTunnel(t *testing.T) {
+	topo, m := benchTopo(t, 5)
+	sol, err := (&MegaTE{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, topo, m, sol)
+	for i, frac := range sol.FlowFraction {
+		if frac > 0 && frac < 1 {
+			t.Fatalf("MegaTE flow %d partially satisfied (%v) — flows are indivisible", i, frac)
+		}
+		if frac > 0 && sol.FlowSplit[i] != 1 {
+			t.Fatalf("MegaTE flow %d split across %d tunnels", i, sol.FlowSplit[i])
+		}
+	}
+}
+
+func TestSchemeOrderingOnSharedWorkload(t *testing.T) {
+	// The satisfied-demand ordering of Figure 10 at the paper's Deltacom*
+	// scale (1130 endpoints): LP-all on top, MegaTE close behind, NCFlow
+	// and TEAL visibly below LP-all.
+	if testing.Short() {
+		t.Skip("multi-second solve on the full Deltacom* topology")
+	}
+	topo := topology.Build("Deltacom*")
+	topology.AttachEndpointsExact(topo, 10)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 3, MeanDemandMbps: 1500})
+
+	lpall, err := (&LPAll{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mega, err := (&MegaTE{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncflow, err := (&NCFlow{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teal, err := (&TEAL{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sol := range []*Solution{lpall, mega, ncflow, teal} {
+		checkSolution(t, topo, m, sol)
+		t.Logf("%-8s satisfied %.4f in %v", sol.Scheme, sol.SatisfiedFraction(), sol.Runtime)
+	}
+	if mega.SatisfiedFraction() < 0.93*lpall.SatisfiedFraction() {
+		t.Errorf("MegaTE %.4f below 93%% of LP-all %.4f", mega.SatisfiedFraction(), lpall.SatisfiedFraction())
+	}
+	if mega.SatisfiedFraction() > lpall.SatisfiedFraction()+1e-6 {
+		t.Errorf("MegaTE %.4f beats LP-all %.4f (should not)", mega.SatisfiedFraction(), lpall.SatisfiedFraction())
+	}
+	if ncflow.SatisfiedFraction() >= mega.SatisfiedFraction() {
+		t.Errorf("NCFlow %.4f should trail MegaTE %.4f", ncflow.SatisfiedFraction(), mega.SatisfiedFraction())
+	}
+	if teal.SatisfiedFraction() >= mega.SatisfiedFraction() {
+		t.Errorf("TEAL %.4f should trail MegaTE %.4f", teal.SatisfiedFraction(), mega.SatisfiedFraction())
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	topo, m := benchTopo(t, 3)
+	sol, err := (&MegaTE{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := MeanLatency(sol, m, 0)
+	if math.IsNaN(all) || all <= 0 {
+		t.Errorf("mean latency = %v", all)
+	}
+	c1 := MeanLatency(sol, m, traffic.Class1)
+	if !math.IsNaN(c1) && c1 <= 0 {
+		t.Errorf("class-1 latency = %v", c1)
+	}
+	empty := newSolution("x", m)
+	if !math.IsNaN(MeanLatency(empty, m, 0)) {
+		t.Error("empty solution should give NaN latency")
+	}
+}
+
+func TestPartitionSitesConnectedAndComplete(t *testing.T) {
+	topo := topology.Build("Deltacom*")
+	for _, nc := range []int{1, 2, 5, 10} {
+		clusterOf := partitionSites(topo, nc)
+		seen := map[int]int{}
+		for s, c := range clusterOf {
+			if c < 0 || c >= nc {
+				t.Fatalf("site %d in cluster %d of %d", s, c, nc)
+			}
+			seen[c]++
+		}
+		if len(seen) != nc {
+			t.Errorf("nc=%d: only %d clusters populated", nc, len(seen))
+		}
+	}
+}
+
+func TestPartitionMoreClustersThanSites(t *testing.T) {
+	topo := topology.BuildB4()
+	clusterOf := partitionSites(topo, 100)
+	for s, c := range clusterOf {
+		if c < 0 {
+			t.Fatalf("site %d unassigned", s)
+		}
+	}
+}
+
+func TestSubgraphMapsLinksBack(t *testing.T) {
+	topo := topology.BuildB4()
+	clusterOf := partitionSites(topo, 3)
+	sub, siteMap, linkBack := subgraph(topo, clusterOf, 0)
+	if sub.NumSites() != len(siteMap) {
+		t.Fatal("site map size mismatch")
+	}
+	if sub.NumLinks() != len(linkBack) {
+		t.Fatal("link back size mismatch")
+	}
+	for i, orig := range linkBack {
+		if topo.Links[orig].CapacityMbps != sub.Links[i].CapacityMbps {
+			t.Fatal("capacity not carried over")
+		}
+	}
+}
+
+func TestNCFlowUnderFailure(t *testing.T) {
+	topo, m := benchTopo(t, 4)
+	topo.FailLink(0)
+	sol, err := (&NCFlow{}).Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, topo, m, sol)
+}
+
+func TestSolutionSatisfiedFractionEmpty(t *testing.T) {
+	sol := &Solution{}
+	if sol.SatisfiedFraction() != 1 {
+		t.Error("zero-demand fraction should be 1")
+	}
+}

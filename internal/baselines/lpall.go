@@ -1,0 +1,67 @@
+package baselines
+
+import (
+	"time"
+
+	"megate/internal/lp"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// LPAll is the LP-all scheme of §6.1: a linear program over the
+// multi-commodity flow problem with one commodity per endpoint pair. It is
+// the satisfied-demand reference at small scale and becomes impractical as
+// endpoints grow, exactly as the paper reports.
+type LPAll struct {
+	// TunnelsPerPair defaults to 4.
+	TunnelsPerPair int
+	// ExactLimit is the largest flow count solved exactly (with the GUB
+	// simplex, whose working basis scales with links rather than flows);
+	// beyond it a tight Fleischer approximation (ε = 0.02) is used, and
+	// beyond MaxFlows the scheme refuses with ErrTooLarge. Defaults: 8000
+	// and 200000.
+	ExactLimit int
+	MaxFlows   int
+}
+
+// Name implements Scheme.
+func (l *LPAll) Name() string { return "LP-all" }
+
+// Solve implements Scheme.
+func (l *LPAll) Solve(topo *topology.Topology, m *traffic.Matrix) (*Solution, error) {
+	exactLimit := l.ExactLimit
+	if exactLimit == 0 {
+		exactLimit = 8000
+	}
+	maxFlows := l.MaxFlows
+	if maxFlows == 0 {
+		maxFlows = 200000
+	}
+	if err := checkSize(l.Name(), m.NumFlows(), maxFlows); err != nil {
+		return nil, err
+	}
+	tpp := l.TunnelsPerPair
+	if tpp == 0 {
+		tpp = 4
+	}
+
+	start := time.Now()
+	ts := topology.NewTunnelSet(topo, tpp)
+	mcf, flowTunnels := endpointMCF(topo, m, ts, residualCaps(topo))
+
+	var alloc lp.Allocation
+	var err error
+	if m.NumFlows() <= exactLimit {
+		alloc, err = (&lp.GUBSimplex{}).SolveMCF(mcf)
+	} else {
+		alloc, err = (&lp.FleischerMCF{Epsilon: 0.02}).SolveMCF(mcf)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	sol := newSolution(l.Name(), m)
+	fillFromAllocation(sol, m, alloc, flowTunnels)
+	sol.Runtime = time.Since(start)
+	return sol, nil
+}

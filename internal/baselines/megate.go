@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"math"
+	"time"
+
+	"megate/internal/core"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// MegaTE adapts the core two-stage solver to the Scheme interface so the
+// evaluation harness can compare all schemes uniformly. Unlike the
+// baselines, every satisfied flow is pinned to exactly one tunnel
+// (FlowSplit is always 1), which is what stabilizes instance latency.
+type MegaTE struct {
+	Options core.Options
+}
+
+// Name implements Scheme.
+func (g *MegaTE) Name() string { return "MegaTE" }
+
+// Solve implements Scheme.
+func (g *MegaTE) Solve(topo *topology.Topology, m *traffic.Matrix) (*Solution, error) {
+	start := time.Now()
+	solver := core.NewSolver(topo, g.Options)
+	res, err := solver.Solve(m)
+	if err != nil {
+		return nil, err
+	}
+	sol := newSolution(g.Name(), m)
+	sol.SatisfiedMbps = res.SatisfiedMbps
+	for i, tn := range res.FlowTunnel {
+		if tn == nil {
+			continue
+		}
+		sol.FlowFraction[i] = 1
+		sol.FlowLatency[i] = tn.Weight
+		sol.FlowSplit[i] = 1
+		sol.FlowPlacement[i] = []Placement{{Tunnel: tn, Mbps: m.Flows[i].DemandMbps}}
+	}
+	sol.Runtime = time.Since(start)
+	return sol, nil
+}
+
+// MeanLatency returns the demand-weighted mean latency of satisfied traffic
+// of the given class (0 means all classes), the quantity of Figure 11.
+func MeanLatency(sol *Solution, m *traffic.Matrix, class traffic.Class) float64 {
+	num, den := 0.0, 0.0
+	for i := range m.Flows {
+		if class != 0 && m.Flows[i].Class != class {
+			continue
+		}
+		if sol.FlowFraction[i] <= 0 || math.IsNaN(sol.FlowLatency[i]) {
+			continue
+		}
+		w := m.Flows[i].DemandMbps * sol.FlowFraction[i]
+		num += w * sol.FlowLatency[i]
+		den += w
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

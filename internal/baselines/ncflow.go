@@ -1,0 +1,511 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"megate/internal/lp"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// NCFlow mirrors Abuzaid et al. (NSDI 2021) as described in §6.1: the
+// topology is partitioned into disjoint site clusters; intra-cluster
+// demands are solved independently per cluster (parallelizable), and
+// inter-cluster demands are solved on a contracted cluster graph whose
+// bundled-capacity solution is then reconciled against real links. The
+// reconciliation and bundling steps lose a few percent of demand relative
+// to the full LP — the gap Figures 10 and 12 report.
+type NCFlow struct {
+	// Clusters is the number of partitions; default round(sqrt(sites)).
+	Clusters int
+	// TunnelsPerPair defaults to 4.
+	TunnelsPerPair int
+	// MaxFlows bounds problem size (default 500000).
+	MaxFlows int
+}
+
+// Name implements Scheme.
+func (n *NCFlow) Name() string { return "NCFlow" }
+
+// Solve implements Scheme.
+func (n *NCFlow) Solve(topo *topology.Topology, m *traffic.Matrix) (*Solution, error) {
+	maxFlows := n.MaxFlows
+	if maxFlows == 0 {
+		maxFlows = 500000
+	}
+	if err := checkSize(n.Name(), m.NumFlows(), maxFlows); err != nil {
+		return nil, err
+	}
+	tpp := n.TunnelsPerPair
+	if tpp == 0 {
+		tpp = 4
+	}
+	nc := n.Clusters
+	if nc == 0 {
+		nc = int(math.Round(math.Sqrt(float64(topo.NumSites()))))
+	}
+	if nc < 1 {
+		nc = 1
+	}
+
+	start := time.Now()
+	clusterOf := partitionSites(topo, nc)
+	sol := newSolution(n.Name(), m)
+	residual := residualCaps(topo)
+
+	// Split flows into intra- and inter-cluster sets.
+	var intra, inter []int
+	for i := range m.Flows {
+		f := &m.Flows[i]
+		if clusterOf[f.Pair.Src] == clusterOf[f.Pair.Dst] {
+			intra = append(intra, i)
+		} else {
+			inter = append(inter, i)
+		}
+	}
+
+	// Phase 1: per-cluster subproblems over cluster-internal links only.
+	n.solveIntra(topo, m, clusterOf, nc, intra, residual, sol, tpp)
+
+	// Phase 2: contracted inter-cluster problem -> per-cluster-pair
+	// admission budgets and the single cluster path each commodity follows.
+	admitted, clusterPath := n.solveContracted(topo, m, clusterOf, nc, inter, tpp)
+
+	// Phase 3: reconciliation — water-fill each admitted inter-cluster flow
+	// onto its real tunnels against residual capacity; what does not fit is
+	// dropped.
+	ts := topology.NewTunnelSet(topo, tpp)
+	for _, i := range inter {
+		f := &m.Flows[i]
+		want := f.DemandMbps * admitted[i]
+		if want <= 0 {
+			continue
+		}
+		// NCFlow installs routes along its contracted cluster path; tunnels
+		// that follow a different cluster sequence are not available to the
+		// flow. This is where NCFlow's latency penalty comes from: the
+		// matching tunnels may be detours relative to the site-level
+		// shortest path. Non-matching tunnels are used only as a last
+		// resort (mimicking default routing for reconciliation leftovers).
+		tns := orderByClusterPath(ts.For(f.Pair.Src, f.Pair.Dst), clusterOf, clusterPath[i])
+		carried, weighted := 0.0, 0.0
+		split := 0
+		for _, tn := range tns {
+			if want <= 0 {
+				break
+			}
+			room := want
+			for _, l := range tn.Links {
+				if residual[l] < room {
+					room = residual[l]
+				}
+			}
+			if room <= 0 {
+				continue
+			}
+			for _, l := range tn.Links {
+				residual[l] -= room
+			}
+			carried += room
+			weighted += room * tn.Weight
+			split++
+			want -= room
+			sol.FlowPlacement[i] = append(sol.FlowPlacement[i], Placement{Tunnel: tn, Mbps: room})
+		}
+		if carried > 0 {
+			sol.FlowFraction[i] = math.Min(1, carried/f.DemandMbps)
+			sol.FlowLatency[i] = weighted / carried
+			sol.FlowSplit[i] = split
+			sol.SatisfiedMbps += math.Min(carried, f.DemandMbps)
+		}
+	}
+
+	sol.Runtime = time.Since(start)
+	return sol, nil
+}
+
+// partitionSites grows nc connected clusters by round-robin multi-source
+// BFS from spread seeds, so every cluster is connected and balanced.
+func partitionSites(topo *topology.Topology, nc int) []int {
+	nSites := topo.NumSites()
+	clusterOf := make([]int, nSites)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	if nSites == 0 {
+		return clusterOf
+	}
+	if nc > nSites {
+		nc = nSites
+	}
+
+	// Farthest-point seeds by BFS hop distance.
+	seeds := []topology.SiteID{0}
+	for len(seeds) < nc {
+		dist := bfsHops(topo, seeds)
+		far, farD := topology.SiteID(0), -1
+		for s, d := range dist {
+			if d > farD {
+				far, farD = topology.SiteID(s), d
+			}
+		}
+		seeds = append(seeds, far)
+	}
+
+	queues := make([][]topology.SiteID, nc)
+	for c, s := range seeds {
+		if clusterOf[s] == -1 {
+			clusterOf[s] = c
+			queues[c] = append(queues[c], s)
+		}
+	}
+	assigned := 0
+	for _, c := range clusterOf {
+		if c != -1 {
+			assigned++
+		}
+	}
+	for assigned < nSites {
+		progress := false
+		for c := 0; c < nc; c++ {
+			if len(queues[c]) == 0 {
+				continue
+			}
+			s := queues[c][0]
+			queues[c] = queues[c][1:]
+			for _, lid := range topo.OutLinks(s) {
+				to := topo.Links[lid].To
+				if clusterOf[to] == -1 {
+					clusterOf[to] = c
+					queues[c] = append(queues[c], to)
+					assigned++
+					progress = true
+				}
+			}
+			// Keep s in rotation while it still has unvisited neighbours.
+		}
+		if !progress {
+			empty := false
+			for c := 0; c < nc; c++ {
+				if len(queues[c]) > 0 {
+					empty = true
+				}
+			}
+			if !empty {
+				// Disconnected leftovers: assign to cluster 0.
+				for s := range clusterOf {
+					if clusterOf[s] == -1 {
+						clusterOf[s] = 0
+						assigned++
+					}
+				}
+			}
+		}
+	}
+	return clusterOf
+}
+
+func bfsHops(topo *topology.Topology, seeds []topology.SiteID) []int {
+	dist := make([]int, topo.NumSites())
+	for i := range dist {
+		dist[i] = math.MaxInt32
+	}
+	var q []topology.SiteID
+	for _, s := range seeds {
+		dist[s] = 0
+		q = append(q, s)
+	}
+	for len(q) > 0 {
+		s := q[0]
+		q = q[1:]
+		for _, lid := range topo.OutLinks(s) {
+			to := topo.Links[lid].To
+			if dist[to] > dist[s]+1 {
+				dist[to] = dist[s] + 1
+				q = append(q, to)
+			}
+		}
+	}
+	return dist
+}
+
+// solveIntra runs an endpoint-granular MCF per cluster over the cluster's
+// internal links and commits the result to sol and residual.
+func (n *NCFlow) solveIntra(topo *topology.Topology, m *traffic.Matrix, clusterOf []int, nc int, intra []int, residual []float64, sol *Solution, tpp int) {
+	// Group intra flows by cluster.
+	byCluster := make([][]int, nc)
+	for _, i := range intra {
+		c := clusterOf[m.Flows[i].Pair.Src]
+		byCluster[c] = append(byCluster[c], i)
+	}
+	for c := 0; c < nc; c++ {
+		flows := byCluster[c]
+		if len(flows) == 0 {
+			continue
+		}
+		sub, siteMap, linkBack := subgraph(topo, clusterOf, c)
+		ts := topology.NewTunnelSet(sub, tpp)
+		mcf := &lp.MCF{LinkCap: make([]float64, sub.NumLinks())}
+		for i, l := range linkBack {
+			mcf.LinkCap[i] = residual[l]
+		}
+		type flowTun struct{ tns []*topology.Tunnel }
+		fts := make([]flowTun, len(flows))
+		for j, i := range flows {
+			f := &m.Flows[i]
+			src, dst := siteMap[f.Pair.Src], siteMap[f.Pair.Dst]
+			tns := ts.For(src, dst)
+			fts[j].tns = tns
+			com := lp.Commodity{Demand: f.DemandMbps}
+			for _, tn := range tns {
+				links := make([]int, len(tn.Links))
+				for x, l := range tn.Links {
+					links[x] = int(l)
+				}
+				com.Tunnels = append(com.Tunnels, links)
+				com.Weights = append(com.Weights, tn.Weight)
+			}
+			mcf.Commodities = append(mcf.Commodities, com)
+		}
+		alloc, err := (&lp.FleischerMCF{Epsilon: 0.05}).SolveMCF(mcf)
+		if err != nil {
+			continue // an empty subgraph or degenerate cluster carries nothing
+		}
+		for j, i := range flows {
+			f := &m.Flows[i]
+			carried, weighted := 0.0, 0.0
+			split := 0
+			for t, v := range alloc[j] {
+				if v <= 0 {
+					continue
+				}
+				carried += v
+				weighted += v * fts[j].tns[t].Weight
+				split++
+				for _, l := range fts[j].tns[t].Links {
+					residual[linkBack[l]] -= v
+				}
+				// Subgraph tunnels reference subgraph link IDs; remap to
+				// real links for the placement record.
+				realLinks := make([]topology.LinkID, len(fts[j].tns[t].Links))
+				for x, l := range fts[j].tns[t].Links {
+					realLinks[x] = linkBack[l]
+				}
+				realTn := &topology.Tunnel{
+					Src: m.Flows[i].Pair.Src, Dst: m.Flows[i].Pair.Dst,
+					Links: realLinks, Weight: fts[j].tns[t].Weight,
+				}
+				sol.FlowPlacement[i] = append(sol.FlowPlacement[i], Placement{Tunnel: realTn, Mbps: v})
+			}
+			if carried > 0 {
+				sol.FlowFraction[i] = math.Min(1, carried/f.DemandMbps)
+				sol.FlowLatency[i] = weighted / carried
+				sol.FlowSplit[i] = split
+				sol.SatisfiedMbps += math.Min(carried, f.DemandMbps)
+			}
+		}
+	}
+	for i := range residual {
+		if residual[i] < 0 {
+			residual[i] = 0
+		}
+	}
+}
+
+// subgraph extracts the cluster's induced topology. It returns the
+// subtopology, the old->new site map, and per new link the original LinkID.
+func subgraph(topo *topology.Topology, clusterOf []int, c int) (*topology.Topology, map[topology.SiteID]topology.SiteID, []topology.LinkID) {
+	sub := topology.New(topo.Name + "-cluster")
+	siteMap := make(map[topology.SiteID]topology.SiteID)
+	for s := range topo.Sites {
+		if clusterOf[s] == c {
+			ns := sub.AddSite(topo.Sites[s].Name, topo.Sites[s].X, topo.Sites[s].Y)
+			siteMap[topology.SiteID(s)] = ns
+		}
+	}
+	var linkBack []topology.LinkID
+	for _, l := range topo.Links {
+		if l.Down {
+			continue
+		}
+		from, okF := siteMap[l.From]
+		to, okT := siteMap[l.To]
+		if okF && okT {
+			sub.AddLink(from, to, l.CapacityMbps, l.LatencyMs, l.Availability, l.CostPerGbps)
+			linkBack = append(linkBack, l.ID)
+		}
+	}
+	return sub, siteMap, linkBack
+}
+
+// solveContracted solves the cluster-graph problem and returns, per flow,
+// the admitted fraction and the cluster sequence of the commodity's single
+// contracted path.
+func (n *NCFlow) solveContracted(topo *topology.Topology, m *traffic.Matrix, clusterOf []int, nc int, inter []int, tpp int) ([]float64, [][]int) {
+	admitted := make([]float64, m.NumFlows())
+	clusterPath := make([][]int, m.NumFlows())
+	if len(inter) == 0 {
+		return admitted, clusterPath
+	}
+
+	// Contracted graph: bundle parallel inter-cluster links.
+	type bundleKey struct{ a, b int }
+	bundles := map[bundleKey]*struct {
+		cap     float64
+		latency float64
+	}{}
+	for _, l := range topo.Links {
+		if l.Down {
+			continue
+		}
+		ca, cb := clusterOf[l.From], clusterOf[l.To]
+		if ca == cb {
+			continue
+		}
+		key := bundleKey{ca, cb}
+		bd := bundles[key]
+		if bd == nil {
+			bd = &struct {
+				cap     float64
+				latency float64
+			}{latency: math.Inf(1)}
+			bundles[key] = bd
+		}
+		bd.cap += l.CapacityMbps
+		if l.LatencyMs < bd.latency {
+			bd.latency = l.LatencyMs
+		}
+	}
+
+	contracted := topology.New("contracted")
+	for c := 0; c < nc; c++ {
+		contracted.AddSite("cluster", 0, 0)
+	}
+	keys := make([]bundleKey, 0, len(bundles))
+	for k := range bundles {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		bd := bundles[k]
+		contracted.AddLink(topology.SiteID(k.a), topology.SiteID(k.b), bd.cap, bd.latency, 1, 0)
+	}
+
+	// Aggregate inter flows per cluster pair.
+	type cpair struct{ a, b int }
+	demand := map[cpair]float64{}
+	flowsOf := map[cpair][]int{}
+	for _, i := range inter {
+		f := &m.Flows[i]
+		key := cpair{clusterOf[f.Pair.Src], clusterOf[f.Pair.Dst]}
+		demand[key] += f.DemandMbps
+		flowsOf[key] = append(flowsOf[key], i)
+	}
+	cpairs := make([]cpair, 0, len(demand))
+	for k := range demand {
+		cpairs = append(cpairs, k)
+	}
+	sort.Slice(cpairs, func(i, j int) bool {
+		if cpairs[i].a != cpairs[j].a {
+			return cpairs[i].a < cpairs[j].a
+		}
+		return cpairs[i].b < cpairs[j].b
+	})
+
+	cts := topology.NewTunnelSet(contracted, tpp)
+	mcf := &lp.MCF{LinkCap: make([]float64, contracted.NumLinks())}
+	for i, l := range contracted.Links {
+		mcf.LinkCap[i] = l.CapacityMbps
+	}
+	for _, k := range cpairs {
+		com := lp.Commodity{Demand: demand[k]}
+		// NCFlow's key simplification: each commodity follows a single path
+		// through the contracted cluster graph, which is where its demand
+		// loss relative to the full LP comes from.
+		tns := cts.For(topology.SiteID(k.a), topology.SiteID(k.b))
+		if len(tns) > 1 {
+			tns = tns[:1]
+		}
+		for _, tn := range tns {
+			links := make([]int, len(tn.Links))
+			for x, l := range tn.Links {
+				links[x] = int(l)
+			}
+			com.Tunnels = append(com.Tunnels, links)
+			com.Weights = append(com.Weights, tn.Weight)
+		}
+		mcf.Commodities = append(mcf.Commodities, com)
+	}
+	alloc, err := (&lp.FleischerMCF{Epsilon: 0.05}).SolveMCF(mcf)
+	if err != nil {
+		return admitted, clusterPath
+	}
+	for ki, k := range cpairs {
+		budget := 0.0
+		for _, v := range alloc[ki] {
+			budget += v
+		}
+		frac := 0.0
+		if demand[k] > 0 {
+			frac = math.Min(1, budget/demand[k])
+		}
+		// The cluster sequence of the commodity's single contracted tunnel.
+		var seq []int
+		if tns := cts.For(topology.SiteID(k.a), topology.SiteID(k.b)); len(tns) > 0 {
+			for _, s := range tns[0].Sites {
+				seq = append(seq, int(s))
+			}
+		}
+		for _, i := range flowsOf[k] {
+			admitted[i] = frac
+			clusterPath[i] = seq
+		}
+	}
+	return admitted, clusterPath
+}
+
+// orderByClusterPath reorders a pair's tunnels so that those whose cluster
+// sequence matches the contracted path come first (keeping their internal
+// weight order), followed by the rest.
+func orderByClusterPath(tns []*topology.Tunnel, clusterOf []int, path []int) []*topology.Tunnel {
+	if len(path) == 0 {
+		return tns
+	}
+	var match, rest []*topology.Tunnel
+	for _, tn := range tns {
+		if clusterSeqEqual(tn, clusterOf, path) {
+			match = append(match, tn)
+		} else {
+			rest = append(rest, tn)
+		}
+	}
+	return append(match, rest...)
+}
+
+// clusterSeqEqual reports whether the tunnel's site path visits exactly the
+// given cluster sequence (consecutive duplicates compressed).
+func clusterSeqEqual(tn *topology.Tunnel, clusterOf []int, path []int) bool {
+	var seq []int
+	for _, s := range tn.Sites {
+		c := clusterOf[s]
+		if len(seq) == 0 || seq[len(seq)-1] != c {
+			seq = append(seq, c)
+		}
+	}
+	if len(seq) != len(path) {
+		return false
+	}
+	for i := range seq {
+		if seq[i] != path[i] {
+			return false
+		}
+	}
+	return true
+}

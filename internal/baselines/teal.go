@@ -1,0 +1,60 @@
+package baselines
+
+import (
+	"time"
+
+	"megate/internal/lp"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// TEAL mirrors the learning-accelerated scheme of Xu et al. (SIGCOMM 2023)
+// as described in §6.1: a cheap direct allocation (the GNN forward pass,
+// substituted here by an inverse-latency proportional split) refined by a
+// fixed budget of ADMM iterations against link capacities. Its runtime is a
+// fixed number of sweeps over the flows — fast, but it gives up a few
+// percent of satisfied demand and splits instance flows across tunnels.
+type TEAL struct {
+	// TunnelsPerPair defaults to 4.
+	TunnelsPerPair int
+	// Iterations is the ADMM sweep budget; default 40.
+	Iterations int
+	// MaxFlows bounds the problem size (default 500000); the paper reports
+	// TEAL needs "tens of thousands of GPUs" at million-endpoint scale.
+	MaxFlows int
+}
+
+// Name implements Scheme.
+func (t *TEAL) Name() string { return "TEAL" }
+
+// Solve implements Scheme.
+func (t *TEAL) Solve(topo *topology.Topology, m *traffic.Matrix) (*Solution, error) {
+	maxFlows := t.MaxFlows
+	if maxFlows == 0 {
+		maxFlows = 500000
+	}
+	if err := checkSize(t.Name(), m.NumFlows(), maxFlows); err != nil {
+		return nil, err
+	}
+	tpp := t.TunnelsPerPair
+	if tpp == 0 {
+		tpp = 4
+	}
+	iters := t.Iterations
+	if iters == 0 {
+		iters = 40
+	}
+
+	start := time.Now()
+	ts := topology.NewTunnelSet(topo, tpp)
+	mcf, flowTunnels := endpointMCF(topo, m, ts, residualCaps(topo))
+	alloc, err := (&lp.ADMM{Iterations: iters}).SolveMCF(mcf)
+	if err != nil {
+		return nil, err
+	}
+
+	sol := newSolution(t.Name(), m)
+	fillFromAllocation(sol, m, alloc, flowTunnels)
+	sol.Runtime = time.Since(start)
+	return sol, nil
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"megate/internal/baselines"
+	"megate/internal/controlplane"
+	"megate/internal/core"
+	"megate/internal/lp"
+	"megate/internal/ssp"
+	"megate/internal/stats"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// RunAblationFastSSP contrasts the three subset-sum solvers at growing item
+// counts: the exact DP's pseudopolynomial cost versus FastSSP's
+// size-independent DP plus greedy, and the quality each achieves.
+func RunAblationFastSSP(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: FastSSP vs exact DP vs sorted greedy")
+	r := stats.NewRand(cfg.seed())
+	tb := newTable(w)
+	tb.header("items", "capacity", "DP time", "DP fill", "FastSSP time", "FastSSP fill", "greedy time", "greedy fill")
+	sizes := []int{1000, 10000, 100000}
+	if cfg.scale() >= 2 {
+		sizes = append(sizes, 1000000)
+	}
+	for _, n := range sizes {
+		// Integer-valued demands keep the unit-1 DP exact, so its fill is a
+		// true optimum to compare FastSSP against.
+		values := make([]float64, n)
+		total := 0.0
+		for i := range values {
+			values[i] = float64(1 + r.Intn(20))
+			total += values[i]
+		}
+		capacity := total * 0.6
+
+		dpTime, dpFill := "-", "-"
+		if n <= 10000 { // the DP is O(n * capacity) and explodes beyond this
+			start := time.Now()
+			sol := ssp.ExactDP(values, capacity, 1)
+			dpTime = time.Since(start).Round(time.Microsecond).String()
+			dpFill = fmt.Sprintf("%.4f", sol.Total/capacity)
+		}
+
+		start := time.Now()
+		fast := (&ssp.FastSSP{EpsPrime: 0.1}).Solve(values, capacity)
+		fastTime := time.Since(start).Round(time.Microsecond)
+
+		start = time.Now()
+		greedy := ssp.GreedyDescending(values, capacity)
+		greedyTime := time.Since(start).Round(time.Microsecond)
+
+		tb.row(n, fmt.Sprintf("%.0f", capacity),
+			dpTime, dpFill,
+			fastTime.String(), fmt.Sprintf("%.4f", fast.Total/capacity),
+			greedyTime.String(), fmt.Sprintf("%.4f", greedy.Total/capacity))
+		tb.flush()
+	}
+	fmt.Fprintln(w, "shape check: FastSSP stays near-optimal at a fraction of the DP's cost and")
+	fmt.Fprintln(w, "keeps running where the DP is impractical")
+	return nil
+}
+
+// RunAblationContraction isolates the contribution of the two-stage
+// contraction: MegaTE versus the direct endpoint-granular LP on the same
+// workloads.
+func RunAblationContraction(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: two-stage contraction vs direct endpoint LP (B4*)")
+	fmt.Fprintln(w, "B4* has 132 site pairs regardless of endpoint count, so the contracted")
+	fmt.Fprintln(w, "stage-one problem stays constant while the direct LP grows with flows.")
+	tb := newTable(w)
+	tb.header("endpoints", "MegaTE time", "MegaTE satisfied", "LP-all time", "LP-all satisfied")
+	perSites := []int{50, 500, 2000}
+	if cfg.scale() >= 2 {
+		perSites = append(perSites, 10000)
+	}
+	for _, perSite := range perSites {
+		topo := topology.Build("B4*")
+		topology.AttachEndpointsExact(topo, perSite)
+		m := calibratedWorkload(topo, cfg.seed(), 0.93)
+
+		mega, err := (&baselines.MegaTE{}).Solve(topo, m)
+		if err != nil {
+			return err
+		}
+		lpTime, lpSat := "-", "-"
+		if sol, err := (&baselines.LPAll{MaxFlows: 6000}).Solve(topo, m); err == nil {
+			lpTime = sol.Runtime.Round(time.Millisecond).String()
+			lpSat = fmt.Sprintf("%.4f", sol.SatisfiedFraction())
+		}
+		tb.row(topo.NumEndpoints(),
+			mega.Runtime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.4f", mega.SatisfiedFraction()),
+			lpTime, lpSat)
+		tb.flush()
+	}
+	fmt.Fprintln(w, "shape check: contraction keeps runtime flat while the direct LP grows out of reach")
+	return nil
+}
+
+// RunAblationSpread quantifies query spreading: the TE database's peak
+// query rate (and shard requirement) with and without spreading the
+// endpoint polls over the window.
+func RunAblationSpread(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: endpoint query spreading vs database peak QPS")
+	tb := newTable(w)
+	tb.header("endpoints", "window", "peak QPS (spread)", "shards (spread)", "peak QPS (no spread, 1s burst)", "shards (no spread)")
+	bu := controlplane.PaperBottomUpCost
+	for _, n := range []int{10000, 100000, 1000000} {
+		window := 10 * time.Second
+		spreadQPS := controlplane.PeakQPS(n, window)
+		burstQPS := controlplane.PeakQPS(n, time.Second)
+		tb.row(n, window.String(),
+			fmt.Sprintf("%.0f", spreadQPS), bu.ShardsFor(n, window),
+			fmt.Sprintf("%.0f", burstQPS), bu.ShardsFor(n, time.Second))
+	}
+	tb.flush()
+	fmt.Fprintln(w, "shape check: spreading over the 10 s window divides the peak by 10x, keeping")
+	fmt.Fprintln(w, "the production deployment at two shards for a million endpoints")
+	return nil
+}
+
+// RunAblationQoS compares the sequential per-class pipeline (§4.1) with a
+// single joint solve: runtime and class-1 latency.
+func RunAblationQoS(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: sequential per-class allocation vs single joint solve (Deltacom*)")
+	topo := topology.Build("Deltacom*")
+	topology.AttachEndpointsExact(topo, 10)
+	m := calibratedWorkload(topo, cfg.seed(), 0.9)
+
+	tb := newTable(w)
+	tb.header("pipeline", "time", "satisfied", "QoS1 latency (ms)", "QoS1 satisfied")
+	for _, split := range []bool{true, false} {
+		scheme := &baselines.MegaTE{Options: core.Options{SplitQoS: split}}
+		sol, err := scheme.Solve(topo, m)
+		if err != nil {
+			return err
+		}
+		label := "sequential per class"
+		if !split {
+			label = "joint single class"
+		}
+		// Class-1 satisfaction.
+		sat1, tot1 := 0.0, 0.0
+		for i := range m.Flows {
+			if m.Flows[i].Class != traffic.Class1 {
+				continue
+			}
+			tot1 += m.Flows[i].DemandMbps
+			sat1 += m.Flows[i].DemandMbps * sol.FlowFraction[i]
+		}
+		tb.row(label, sol.Runtime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.4f", sol.SatisfiedFraction()),
+			baselines.MeanLatency(sol, m, traffic.Class1),
+			fmt.Sprintf("%.4f", sat1/tot1))
+	}
+	tb.flush()
+	fmt.Fprintln(w, "shape check: the sequential pipeline protects class-1 satisfaction and latency")
+	return nil
+}
+
+// RunAblationSiteLP compares the MaxSiteFlow solvers: the exact GUB
+// simplex, the default (1−ε) Fleischer approximation, and ADMM — runtime
+// and objective ratio on Deltacom-scale site problems, plus the effect on
+// MegaTE's end-to-end satisfied demand.
+func RunAblationSiteLP(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: MaxSiteFlow solver (exact GUB simplex vs approximations)")
+	topo := topology.Build("Deltacom*")
+	topology.AttachEndpointsExact(topo, 10)
+	m := calibratedWorkload(topo, cfg.seed(), 0.93)
+
+	solvers := []struct {
+		name string
+		s    core.SiteSolver
+	}{
+		{"GUB simplex (exact)", &lp.GUBSimplex{}},
+		{"Fleischer eps=0.05", &lp.FleischerMCF{Epsilon: 0.05}},
+		{"Fleischer eps=0.1", &lp.FleischerMCF{Epsilon: 0.1}},
+		{"ADMM (TEAL-like)", &lp.ADMM{}},
+	}
+	tb := newTable(w)
+	tb.header("site solver", "MegaTE time", "satisfied", "vs exact")
+	base := -1.0
+	for _, sv := range solvers {
+		scheme := &baselines.MegaTE{Options: core.Options{SiteSolver: sv.s}}
+		sol, err := scheme.Solve(topo, m)
+		if err != nil {
+			return err
+		}
+		sat := sol.SatisfiedFraction()
+		if base < 0 {
+			base = sat
+		}
+		tb.row(sv.name, sol.Runtime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.4f", sat), fmt.Sprintf("%.4f", sat/base))
+	}
+	tb.flush()
+	fmt.Fprintln(w, "shape check: the exact simplex buys several percent of end-to-end satisfied")
+	fmt.Fprintln(w, "demand over the approximations (stage two amplifies stage-one placement error),")
+	fmt.Fprintln(w, "which is why the default AutoMCF prefers it within its cost budget")
+	return nil
+}
+
+// RunAblationHybrid evaluates the §8 hybrid synchronization: persistent
+// connections for the heavy-traffic instances, eventual consistency for the
+// rest — convergence speed and controller cost across coverage levels.
+func RunAblationHybrid(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: hybrid synchronization (§8 future work)")
+
+	// Heavy-tailed per-instance volumes: a small part of the flows account
+	// for most of the traffic (§8).
+	r := stats.NewRand(cfg.seed())
+	volumes := make(map[string]float64, 100000)
+	for i := 0; i < 100000; i++ {
+		volumes[fmt.Sprintf("ins-%d", i)] = stats.Weibull{Shape: 0.4, Scale: 10}.Sample(r)
+	}
+
+	window := 10 * time.Second
+	tb := newTable(w)
+	tb.header("coverage", "persistent-conns", "converged@0s", "converged@2s", "cores", "mem-GB", "db-shards")
+	for _, cover := range []float64{0, 0.5, 0.8, 0.95, 1} {
+		plan := controlplane.PlanHybrid(volumes, cover)
+		cost := plan.Cost(controlplane.PaperTopDownCost, controlplane.PaperBottomUpCost, window)
+		tb.row(fmt.Sprintf("%.0f%%", cover*100), len(plan.Persistent),
+			fmt.Sprintf("%.3f", plan.ConvergedShare(0, window)),
+			fmt.Sprintf("%.3f", plan.ConvergedShare(2*time.Second, window)),
+			fmt.Sprintf("%.2f", cost.Cores),
+			fmt.Sprintf("%.2f", cost.MemBytes/1e9),
+			cost.DBShards)
+	}
+	tb.flush()
+	fmt.Fprintln(w, "shape check: covering ~80-95% of traffic needs persistent connections to only")
+	fmt.Fprintln(w, "a tiny instance fraction, converging most traffic instantly at near-bottom-up cost")
+	return nil
+}
+
+// RunAblationResidual measures the stage-two residual pass's contribution
+// to satisfied demand.
+func RunAblationResidual(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: stage-two residual pass (work conservation)")
+	topo := topology.Build("Deltacom*")
+	topology.AttachEndpointsExact(topo, 10)
+	m := calibratedWorkload(topo, cfg.seed(), 0.9)
+
+	tb := newTable(w)
+	tb.header("residual pass", "satisfied", "time")
+	for _, disabled := range []bool{false, true} {
+		scheme := &baselines.MegaTE{Options: core.Options{DisableResidualPass: disabled}}
+		sol, err := scheme.Solve(topo, m)
+		if err != nil {
+			return err
+		}
+		label := "on"
+		if disabled {
+			label = "off"
+		}
+		tb.row(label, fmt.Sprintf("%.4f", sol.SatisfiedFraction()), sol.Runtime.Round(time.Millisecond).String())
+	}
+	tb.flush()
+	fmt.Fprintln(w, "shape check: the pass recovers the budget-quantization loss of indivisible flows")
+	return nil
+}

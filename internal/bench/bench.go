@@ -1,0 +1,143 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) and production analysis (§7), plus the ablation studies
+// DESIGN.md calls out. Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Experiment sizes are scaled for a small machine; the Config.Scale knob
+// grows them toward the paper's full sizes (Scale >= 4 reaches the
+// million-endpoint TWAN run).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"text/tabwriter"
+)
+
+// Config controls experiment sizing and output.
+type Config struct {
+	// Out receives the experiment's table; default os.Stdout.
+	Out io.Writer
+	// Scale multiplies experiment sizes; 1 is laptop-sized, >= 4 reaches
+	// paper-sized runs (hours on one core).
+	Scale float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c *Config) out() io.Writer {
+	if c.Out == nil {
+		return os.Stdout
+	}
+	return c.Out
+}
+
+func (c *Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+func (c *Config) seed() int64 {
+	if c.Seed == 0 {
+		return 42
+	}
+	return c.Seed
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg *Config) error
+}
+
+// Registry lists all experiments in paper order.
+var Registry = []Experiment{
+	{ID: "fig2", Title: "Figure 2 [motivation]: instance-pair latency, ECMP vs SR pinning", Run: RunFig2},
+	{ID: "fig8", Title: "Figure 8: CDF of endpoints per router site (Weibull fit)", Run: RunFig8},
+	{ID: "tab2", Title: "Table 2: evaluation topologies", Run: RunTab2},
+	{ID: "fig9", Title: "Figure 9: TE computation time vs endpoint scale", Run: RunFig9},
+	{ID: "fig10", Title: "Figure 10: satisfied demand vs endpoint scale", Run: RunFig10},
+	{ID: "fig11", Title: "Figure 11: QoS-1 packet latency by scheme (Deltacom*)", Run: RunFig11},
+	{ID: "fig12", Title: "Figure 12: satisfied demand under link failures (Deltacom*)", Run: RunFig12},
+	{ID: "fig13", Title: "Figure 13: CPU/memory vs persistent connections", Run: RunFig13},
+	{ID: "fig14", Title: "Figure 14: controller resources, top-down vs bottom-up", Run: RunFig14},
+	{ID: "fig15", Title: "Figure 15 [production]: latency reduction per app", Run: RunFig15},
+	{ID: "fig16", Title: "Figure 16 [production]: availability per month", Run: RunFig16},
+	{ID: "fig17", Title: "Figure 17 [production]: cost per app", Run: RunFig17},
+	{ID: "ab-fastssp", Title: "Ablation: FastSSP vs exact DP vs greedy", Run: RunAblationFastSSP},
+	{ID: "ab-contraction", Title: "Ablation: two-stage contraction vs direct endpoint LP", Run: RunAblationContraction},
+	{ID: "ab-spread", Title: "Ablation: query spreading vs database peak QPS", Run: RunAblationSpread},
+	{ID: "ab-qos", Title: "Ablation: sequential per-class allocation vs joint solve", Run: RunAblationQoS},
+	{ID: "ab-residual", Title: "Ablation: stage-two residual pass on/off", Run: RunAblationResidual},
+	{ID: "ab-hybrid", Title: "Ablation: hybrid synchronization (§8)", Run: RunAblationHybrid},
+	{ID: "ab-sitelp", Title: "Ablation: MaxSiteFlow solver (GUB exact vs approximate)", Run: RunAblationSiteLP},
+	{ID: "ab-converge", Title: "Ablation: convergence time after a publish (real TCP agents)", Run: RunAblationConverge},
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// table is a small helper for aligned output.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{w: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) header(cols ...string) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprint(t.w, c)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			if math.IsNaN(v) {
+				fmt.Fprint(t.w, "-")
+			} else {
+				fmt.Fprintf(t.w, "%.4g", v)
+			}
+		default:
+			fmt.Fprint(t.w, v)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+func title(w io.Writer, s string) {
+	fmt.Fprintf(w, "\n== %s ==\n", s)
+}

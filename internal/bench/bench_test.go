@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"megate/internal/topology"
+)
+
+// TestRegistryComplete checks every paper artifact has an experiment.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig8", "tab2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17",
+		"ab-fastssp", "ab-contraction", "ab-spread", "ab-qos", "ab-residual",
+		"ab-hybrid", "ab-sitelp", "ab-converge",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("registry[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	if _, ok := Get("fig9"); !ok {
+		t.Error("Get(fig9) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+}
+
+// runExperiment runs one experiment into a buffer at the smallest scale.
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	exp, ok := Get(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	var buf bytes.Buffer
+	if err := exp.Run(&Config{Out: &buf, Scale: 1, Seed: 7}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := buf.String()
+	if len(out) < 50 {
+		t.Fatalf("%s produced almost no output: %q", id, out)
+	}
+	return out
+}
+
+func TestFig8Output(t *testing.T) {
+	out := runExperiment(t, "fig8")
+	if !strings.Contains(out, "fitted-shape") {
+		t.Error("missing fit columns")
+	}
+}
+
+func TestTab2Output(t *testing.T) {
+	out := runExperiment(t, "tab2")
+	for _, name := range []string{"B4*", "Deltacom*", "Cogentco*", "TWAN"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing topology %s", name)
+		}
+	}
+}
+
+func TestFig13Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second pressure test")
+	}
+	out := runExperiment(t, "fig13")
+	if !strings.Contains(out, "heap-MB") {
+		t.Error("missing measurement columns")
+	}
+}
+
+func TestFig14Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pressure-test calibration")
+	}
+	out := runExperiment(t, "fig14")
+	if !strings.Contains(out, "1000000") {
+		t.Error("missing the million-endpoint row")
+	}
+	if !strings.Contains(out, "bottomup-cores") {
+		t.Error("missing bottom-up columns")
+	}
+}
+
+func TestAblationSpreadOutput(t *testing.T) {
+	out := runExperiment(t, "ab-spread")
+	if !strings.Contains(out, "shards") {
+		t.Error("missing shard columns")
+	}
+}
+
+func TestAblationFastSSPOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hundred-thousand-item solve")
+	}
+	out := runExperiment(t, "ab-fastssp")
+	if !strings.Contains(out, "FastSSP fill") {
+		t.Error("missing fill columns")
+	}
+}
+
+func TestWorkloadBindsLoad(t *testing.T) {
+	topo := topology.Build("B4*")
+	topology.AttachEndpointsExact(topo, 50)
+	m := workload(topo, 7, 1.2)
+	if m.NumFlows() == 0 {
+		t.Fatal("no flows")
+	}
+	if m.TotalDemandMbps() <= 0 {
+		t.Fatal("no demand")
+	}
+	// The same load factor must give comparable total offered demand at a
+	// different endpoint scale (the per-flow mean shrinks as flows grow).
+	topo2 := topology.Build("B4*")
+	topology.AttachEndpointsExact(topo2, 200)
+	m2 := workload(topo2, 7, 1.2)
+	ratio := m2.TotalDemandMbps() / m.TotalDemandMbps()
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("offered demand ratio %v across scales, want ~1", ratio)
+	}
+}
+
+func TestPickFailLinksDistinct(t *testing.T) {
+	topo := topology.Build("B4*")
+	links := pickFailLinks(topo, 5, 3)
+	if len(links) != 5 {
+		t.Fatalf("picked %d links", len(links))
+	}
+	seen := map[topology.LinkID]bool{}
+	for _, l := range links {
+		if seen[l] {
+			t.Fatal("duplicate link")
+		}
+		seen[l] = true
+		rev, _ := topo.ReverseLink(l)
+		if seen[rev] {
+			t.Fatal("picked both directions of one physical link")
+		}
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	out := runExperiment(t, "fig2")
+	if !strings.Contains(out, "MegaTE") || !strings.Contains(out, "conventional") {
+		t.Error("missing scheme rows")
+	}
+}
+
+func TestFig15Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second production comparison")
+	}
+	out := runExperiment(t, "fig15")
+	for _, app := range []string{"video-streaming", "online-gaming"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("missing app %s", app)
+		}
+	}
+	if !strings.Contains(out, "reduction") {
+		t.Error("missing reduction column")
+	}
+}
+
+func TestFig16Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second production comparison")
+	}
+	out := runExperiment(t, "fig16")
+	if !strings.Contains(out, "m11") {
+		t.Error("missing month columns")
+	}
+	if !strings.Contains(out, "SLA") {
+		t.Error("missing SLA column")
+	}
+}
+
+func TestFig17Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second production comparison")
+	}
+	out := runExperiment(t, "fig17")
+	if !strings.Contains(out, "bulk-transfer") {
+		t.Error("missing bulk app")
+	}
+}
+
+func TestAblationHybridOutput(t *testing.T) {
+	out := runExperiment(t, "ab-hybrid")
+	if !strings.Contains(out, "persistent-conns") {
+		t.Error("missing hybrid columns")
+	}
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"megate/internal/controlplane"
+	"megate/internal/kvstore"
+)
+
+// RunAblationConverge measures — with real TCP agents — how long it takes a
+// fleet to converge on a freshly published configuration version under the
+// bottom-up loop, as a function of the poll window (§3.2: convergence is
+// bounded by the spread window; §8 notes this is the price of eventual
+// consistency that the hybrid approach pays down).
+func RunAblationConverge(cfg *Config) error {
+	w := cfg.out()
+	title(w, "Ablation: eventual-consistency convergence after a publish (real TCP agents)")
+
+	agents := 200
+	if cfg.scale() >= 2 {
+		agents = 1000
+	}
+
+	tb := newTable(w)
+	tb.header("agents", "poll window", "p50 convergence", "p100 convergence", "db queries")
+	for _, window := range []time.Duration{500 * time.Millisecond, 1 * time.Second, 2 * time.Second} {
+		p50, p100, queries, err := measureConvergence(agents, window)
+		if err != nil {
+			return err
+		}
+		tb.row(agents, window.String(),
+			p50.Round(time.Millisecond).String(),
+			p100.Round(time.Millisecond).String(),
+			queries)
+		tb.flush()
+	}
+	fmt.Fprintln(w, "shape check: every agent converges within one poll window of the publish,")
+	fmt.Fprintln(w, "with median convergence near half the window — eventual consistency as designed")
+	return nil
+}
+
+// measureConvergence publishes a new version and times each agent's
+// convergence under spread polling.
+func measureConvergence(n int, window time.Duration) (p50, p100 time.Duration, queries uint64, err error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	store := kvstore.NewStore(2)
+	srv := kvstore.Serve(l, store)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Spread agents over the window, each polling repeatedly.
+	converged := make([]time.Duration, n)
+	var mu sync.Mutex
+	remaining := n
+	done := make(chan struct{})
+	var start time.Time
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		agent := &controlplane.Agent{
+			Instance:  fmt.Sprintf("ins-%d", i),
+			Reader:    controlplane.ClientAdapter{Client: &kvstore.Client{Addr: srv.Addr()}},
+			Slot:      i,
+			SlotCount: n,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Phase-offset within the window, then poll per window.
+			timer := time.NewTimer(agent.SpreadDelay(window))
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return
+			}
+			ticker := time.NewTicker(window)
+			defer ticker.Stop()
+			for {
+				if _, err := agent.Poll(); err == nil && agent.LastVersion() >= 1 {
+					mu.Lock()
+					if converged[i] == 0 {
+						converged[i] = time.Since(start)
+						remaining--
+						if remaining == 0 {
+							close(done)
+						}
+					}
+					mu.Unlock()
+					return
+				}
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Let the fleet settle into its polling rhythm, then publish.
+	time.Sleep(window + 100*time.Millisecond)
+	store.ResetQueries()
+	mu.Lock()
+	start = time.Now()
+	mu.Unlock()
+	store.Publish(1)
+
+	select {
+	case <-done:
+	case <-time.After(5*window + 5*time.Second):
+		cancel()
+		wg.Wait()
+		return 0, 0, 0, fmt.Errorf("bench: %d agents failed to converge", remaining)
+	}
+	cancel()
+	wg.Wait()
+
+	durs := make([]float64, n)
+	for i, d := range converged {
+		durs[i] = float64(d)
+	}
+	return time.Duration(percentileOf(durs, 50)), time.Duration(percentileOf(durs, 100)), store.Queries(), nil
+}
+
+func percentileOf(xs []float64, p float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(p / 100 * float64(len(cp)-1))
+	return cp[idx]
+}

@@ -1,0 +1,159 @@
+package controlplane
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"megate/internal/hoststack"
+)
+
+// ConfigReader is the agent's read interface to the TE database; both
+// *kvstore.Store (in-process) and *kvstore.Client satisfy it through the
+// adapters below.
+type ConfigReader interface {
+	ReadVersion() (uint64, error)
+	ReadConfig(key string) ([]byte, bool, error)
+}
+
+// ReadVersion implements ConfigReader for StoreAdapter.
+func (a StoreAdapter) ReadVersion() (uint64, error) { return a.Store.Version(), nil }
+
+// ReadConfig implements ConfigReader for StoreAdapter.
+func (a StoreAdapter) ReadConfig(key string) ([]byte, bool, error) {
+	v, ok := a.Store.Get(key)
+	return v, ok, nil
+}
+
+// ReadVersion implements ConfigReader for ClientAdapter.
+func (a ClientAdapter) ReadVersion() (uint64, error) { return a.Client.Version() }
+
+// ReadConfig implements ConfigReader for ClientAdapter.
+func (a ClientAdapter) ReadConfig(key string) ([]byte, bool, error) {
+	return a.Client.Get(key)
+}
+
+// Agent is the endpoint agent of §3.2 and Figure 6: it polls the TE
+// database for the configuration version and, when it moves, pulls the
+// instance's record and installs the SR paths into the host's path_map.
+type Agent struct {
+	Instance string
+	Reader   ConfigReader
+	// Host receives InstallPath calls; nil is allowed for agents used only
+	// to measure the synchronization protocol.
+	Host *hoststack.Host
+
+	// Slot and SlotCount spread agents' polls across the poll window so
+	// the database sees a flat query rate ("each part initiates queries
+	// asynchronously during a specific time period", §3.2).
+	Slot, SlotCount int
+
+	lastVersion uint64
+	polls       uint64
+	updates     uint64
+	errors      uint64
+	// installed tracks the destinations currently in the host's path_map
+	// so stale entries are removed when a new configuration drops them.
+	installed map[uint32]bool
+}
+
+// SpreadDelay returns when within a window of the given length this agent
+// should poll.
+func (a *Agent) SpreadDelay(window time.Duration) time.Duration {
+	if a.SlotCount <= 1 {
+		return 0
+	}
+	return window * time.Duration(a.Slot) / time.Duration(a.SlotCount)
+}
+
+// LastVersion returns the configuration version the agent has applied.
+func (a *Agent) LastVersion() uint64 { return a.lastVersion }
+
+// Stats returns how many polls the agent issued and how many brought a new
+// configuration.
+func (a *Agent) Stats() (polls, updates uint64) { return a.polls, a.updates }
+
+// Errors returns how many polls failed (unreachable database, bad record).
+func (a *Agent) Errors() uint64 { return a.errors }
+
+// Poll performs one version check, pulling and installing the instance's
+// configuration when the version advanced. It reports whether new
+// configuration was applied.
+func (a *Agent) Poll() (bool, error) {
+	a.polls++
+	v, err := a.Reader.ReadVersion()
+	if err != nil {
+		a.errors++
+		return false, err
+	}
+	if v == a.lastVersion {
+		return false, nil
+	}
+	data, ok, err := a.Reader.ReadConfig(ConfigKey(a.Instance))
+	if err != nil {
+		a.errors++
+		return false, err
+	}
+	if ok {
+		var cfg InstanceConfig
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return false, fmt.Errorf("controlplane: agent %s: bad config: %w", a.Instance, err)
+		}
+		a.apply(&cfg)
+	} else if a.Host != nil {
+		// No record under the new version: this instance's flows were all
+		// rejected or it has no traffic; stale pinned paths must go.
+		for dst := range a.installed {
+			a.Host.RemovePath(a.Instance, dst)
+		}
+		a.installed = nil
+	}
+	// Even when this instance has no record (all its flows were rejected
+	// or it has no traffic), the agent is now consistent with version v.
+	a.lastVersion = v
+	a.updates++
+	return true, nil
+}
+
+// apply installs the configuration's paths and removes entries the new
+// configuration no longer carries.
+func (a *Agent) apply(cfg *InstanceConfig) {
+	if a.Host == nil {
+		return
+	}
+	next := make(map[uint32]bool, len(cfg.Paths))
+	for _, p := range cfg.Paths {
+		a.Host.InstallPath(a.Instance, p.DstSite, p.Hops)
+		next[p.DstSite] = true
+	}
+	for dst := range a.installed {
+		if !next[dst] {
+			a.Host.RemovePath(a.Instance, dst)
+		}
+	}
+	a.installed = next
+}
+
+// Run polls on the interval, offset by the agent's spread slot, until the
+// context ends. Poll errors are counted but do not stop the loop (the
+// database may be briefly unreachable; eventual consistency tolerates it).
+func (a *Agent) Run(ctx context.Context, interval time.Duration) error {
+	select {
+	case <-time.After(a.SpreadDelay(interval)):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, err := a.Poll(); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

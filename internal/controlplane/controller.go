@@ -1,0 +1,169 @@
+// Package controlplane implements MegaTE's bottom-up control loop (§3.2,
+// Figure 4b) and the conventional top-down loop it replaces (Figure 4a).
+//
+// Bottom-up: the Controller solves TE, writes one configuration record per
+// virtual instance into the TE database (package kvstore), and publishes an
+// incremented version. Each endpoint Agent polls the version over a cheap
+// short connection — with its poll time spread across the window so the
+// database sees a flat query rate — and pulls its record only when the
+// version moved, installing the new SR paths into the host's path_map.
+// All endpoints converge on the new configuration within one spread window:
+// eventual consistency in exchange for a controller that holds no
+// connections at all.
+//
+// Top-down (package file topdown.go): a controller endpoint-facing server
+// that must hold one persistent heartbeat connection per endpoint — the
+// resource-exhausting design quantified in Figures 13 and 14.
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"megate/internal/core"
+	"megate/internal/kvstore"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// PathEntry is one SR path decision: traffic of the instance toward
+// DstSite follows Hops.
+type PathEntry struct {
+	DstSite uint32   `json:"dst_site"`
+	Hops    []uint32 `json:"hops"`
+}
+
+// InstanceConfig is the TE configuration record for one virtual instance,
+// the value stored under ConfigKey(instance) in the TE database.
+type InstanceConfig struct {
+	Instance string      `json:"instance"`
+	Version  uint64      `json:"version"`
+	Paths    []PathEntry `json:"paths"`
+}
+
+// ConfigKey returns the database key for an instance's configuration.
+func ConfigKey(instance string) string { return "te/cfg/" + instance }
+
+// ConfigStore is the controller's write interface to the TE database; both
+// *kvstore.Store (in-process) and *kvstore.Client (over TCP) satisfy it via
+// the adapters below.
+type ConfigStore interface {
+	PutConfig(key string, value []byte) error
+	PublishVersion(v uint64) error
+}
+
+// StoreAdapter adapts an in-process *kvstore.Store.
+type StoreAdapter struct{ Store *kvstore.Store }
+
+// PutConfig implements ConfigStore.
+func (a StoreAdapter) PutConfig(key string, value []byte) error {
+	a.Store.Put(key, value)
+	return nil
+}
+
+// PublishVersion implements ConfigStore.
+func (a StoreAdapter) PublishVersion(v uint64) error {
+	a.Store.Publish(v)
+	return nil
+}
+
+// ClientAdapter adapts a *kvstore.Client over TCP.
+type ClientAdapter struct{ Client *kvstore.Client }
+
+// PutConfig implements ConfigStore.
+func (a ClientAdapter) PutConfig(key string, value []byte) error {
+	return a.Client.Put(key, value)
+}
+
+// PublishVersion implements ConfigStore.
+func (a ClientAdapter) PublishVersion(v uint64) error {
+	return a.Client.Publish(v)
+}
+
+// Controller runs the periodic TE loop: solve, write configs, publish.
+type Controller struct {
+	Solver *core.Solver
+	Store  ConfigStore
+
+	version atomic.Uint64
+}
+
+// NewController wires a solver to a config store.
+func NewController(solver *core.Solver, store ConfigStore) *Controller {
+	return &Controller{Solver: solver, Store: store}
+}
+
+// Version returns the last published configuration version.
+func (c *Controller) Version() uint64 { return c.version.Load() }
+
+// RunInterval executes one TE interval (or a failure-triggered recompute):
+// solve the matrix, write per-instance configurations, publish the next
+// version. It returns the TE result and the number of instance records
+// written.
+func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
+	res, err := c.Solver.Solve(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	next := c.version.Load() + 1
+	configs := BuildConfigs(c.Solver.Topology(), m, res, next)
+	for ins, cfg := range configs {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("controlplane: marshal config for %s: %w", ins, err)
+		}
+		if err := c.Store.PutConfig(ConfigKey(ins), data); err != nil {
+			return nil, 0, fmt.Errorf("controlplane: write config for %s: %w", ins, err)
+		}
+	}
+	if err := c.Store.PublishVersion(next); err != nil {
+		return nil, 0, err
+	}
+	c.version.Store(next)
+	return res, len(configs), nil
+}
+
+// OnLinkFailure invalidates cached tunnels and recomputes immediately — the
+// fast failure reaction of §6.3.
+func (c *Controller) OnLinkFailure(m *traffic.Matrix) (*core.Result, int, error) {
+	c.Solver.Invalidate()
+	return c.RunInterval(m)
+}
+
+// BuildConfigs groups the per-flow tunnel assignments of a TE result into
+// per-instance configuration records. Flows that were rejected produce no
+// entry (their instance keeps no pinned path and falls back to conventional
+// routing).
+func BuildConfigs(topo *topology.Topology, m *traffic.Matrix, res *core.Result, version uint64) map[string]*InstanceConfig {
+	configs := make(map[string]*InstanceConfig)
+	for i, tn := range res.FlowTunnel {
+		if tn == nil {
+			continue
+		}
+		f := &m.Flows[i]
+		ins := topo.Endpoints[f.Src].Instance
+		cfg := configs[ins]
+		if cfg == nil {
+			cfg = &InstanceConfig{Instance: ins, Version: version}
+			configs[ins] = cfg
+		}
+		hops := make([]uint32, len(tn.Sites))
+		for j, s := range tn.Sites {
+			hops[j] = uint32(s)
+		}
+		dst := uint32(f.Pair.Dst)
+		replaced := false
+		for k := range cfg.Paths {
+			if cfg.Paths[k].DstSite == dst {
+				cfg.Paths[k].Hops = hops
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			cfg.Paths = append(cfg.Paths, PathEntry{DstSite: dst, Hops: hops})
+		}
+	}
+	return configs
+}

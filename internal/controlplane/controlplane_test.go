@@ -1,0 +1,453 @@
+package controlplane
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"megate/internal/core"
+	"megate/internal/hoststack"
+	"megate/internal/kvstore"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+func testSetup(t *testing.T) (*topology.Topology, *traffic.Matrix, *core.Solver) {
+	t.Helper()
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+	return topo, m, core.NewSolver(topo, core.Options{})
+}
+
+func TestControllerRunIntervalPublishes(t *testing.T) {
+	topo, m, solver := testSetup(t)
+	store := kvstore.NewStore(2)
+	ctrl := NewController(solver, StoreAdapter{Store: store})
+
+	res, n, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no configs written")
+	}
+	if store.Version() != 1 || ctrl.Version() != 1 {
+		t.Errorf("version = %d / %d, want 1", store.Version(), ctrl.Version())
+	}
+	// Every satisfied flow's source instance must have a config with a
+	// path toward the flow's destination site.
+	for i, tn := range res.FlowTunnel {
+		if tn == nil {
+			continue
+		}
+		ins := topo.Endpoints[m.Flows[i].Src].Instance
+		data, ok := store.Get(ConfigKey(ins))
+		if !ok {
+			t.Fatalf("no config for instance %s", ins)
+		}
+		_ = data
+	}
+
+	// A second interval bumps the version.
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	if store.Version() != 2 {
+		t.Errorf("version = %d, want 2", store.Version())
+	}
+}
+
+func TestBuildConfigsGrouping(t *testing.T) {
+	topo, m, solver := testSetup(t)
+	res, err := solver.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := BuildConfigs(topo, m, res, 9)
+	for ins, cfg := range configs {
+		if cfg.Instance != ins || cfg.Version != 9 {
+			t.Fatalf("config mismatch: %+v", cfg)
+		}
+		seen := map[uint32]bool{}
+		for _, p := range cfg.Paths {
+			if seen[p.DstSite] {
+				t.Fatalf("instance %s has duplicate path for site %d", ins, p.DstSite)
+			}
+			seen[p.DstSite] = true
+			if len(p.Hops) < 2 {
+				t.Fatalf("path too short: %+v", p)
+			}
+		}
+	}
+}
+
+func TestAgentPollAppliesConfig(t *testing.T) {
+	topo, m, solver := testSetup(t)
+	store := kvstore.NewStore(1)
+	ctrl := NewController(solver, StoreAdapter{Store: store})
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find an instance that got a config.
+	var instance string
+	for i, tn := range solverResult(t, solver, m).FlowTunnel {
+		if tn != nil {
+			instance = topo.Endpoints[m.Flows[i].Src].Instance
+			break
+		}
+	}
+	if instance == "" {
+		t.Skip("no satisfied flows")
+	}
+
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := &Agent{Instance: instance, Reader: StoreAdapter{Store: store}, Host: host}
+
+	updated, err := agent.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated {
+		t.Fatal("first poll should apply config")
+	}
+	if host.PathMap.Len() == 0 {
+		t.Fatal("no paths installed")
+	}
+	if agent.LastVersion() != store.Version() {
+		t.Error("agent version lag")
+	}
+
+	// Second poll: no change.
+	updated, err = agent.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated {
+		t.Error("poll with unchanged version should be a no-op")
+	}
+	polls, updates := agent.Stats()
+	if polls != 2 || updates != 1 {
+		t.Errorf("stats = %d polls, %d updates", polls, updates)
+	}
+}
+
+func solverResult(t *testing.T, s *core.Solver, m *traffic.Matrix) *core.Result {
+	t.Helper()
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAgentForUnknownInstanceStillConverges(t *testing.T) {
+	store := kvstore.NewStore(1)
+	store.Publish(3)
+	agent := &Agent{Instance: "ghost", Reader: StoreAdapter{Store: store}}
+	updated, err := agent.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated || agent.LastVersion() != 3 {
+		t.Error("agent should converge to the published version even without a record")
+	}
+}
+
+func TestBottomUpLoopOverTCP(t *testing.T) {
+	// Full loop: controller -> kvstore server -> agents over real sockets.
+	topo, m, solver := testSetup(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kvstore.NewStore(2)
+	srv := kvstore.Serve(l, store)
+	defer srv.Close()
+
+	ctrl := NewController(solver, ClientAdapter{Client: &kvstore.Client{Addr: srv.Addr()}})
+	if _, n, err := ctrl.RunInterval(m); err != nil || n == 0 {
+		t.Fatalf("interval: n=%d err=%v", n, err)
+	}
+
+	// Spin up agents for the first few instances, spread across slots.
+	agents := make([]*Agent, 8)
+	for i := range agents {
+		agents[i] = &Agent{
+			Instance:  topo.Endpoints[i].Instance,
+			Reader:    ClientAdapter{Client: &kvstore.Client{Addr: srv.Addr()}},
+			Slot:      i,
+			SlotCount: len(agents),
+		}
+	}
+	for _, a := range agents {
+		if _, err := a.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		if a.LastVersion() != 1 {
+			t.Errorf("agent %s at version %d", a.Instance, a.LastVersion())
+		}
+	}
+}
+
+func TestAgentSpreadDelays(t *testing.T) {
+	window := 10 * time.Second
+	n := 5
+	seen := map[time.Duration]bool{}
+	for i := 0; i < n; i++ {
+		a := &Agent{Slot: i, SlotCount: n}
+		d := a.SpreadDelay(window)
+		if d < 0 || d >= window {
+			t.Errorf("slot %d delay %v outside window", i, d)
+		}
+		if seen[d] {
+			t.Errorf("duplicate delay %v", d)
+		}
+		seen[d] = true
+	}
+	a := &Agent{}
+	if a.SpreadDelay(window) != 0 {
+		t.Error("no slots means no delay")
+	}
+}
+
+func TestAgentRunLoop(t *testing.T) {
+	store := kvstore.NewStore(1)
+	store.Publish(1)
+	agent := &Agent{Instance: "x", Reader: StoreAdapter{Store: store}}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	err := agent.Run(ctx, 10*time.Millisecond)
+	if err != context.DeadlineExceeded {
+		t.Errorf("err = %v", err)
+	}
+	polls, _ := agent.Stats()
+	if polls < 2 {
+		t.Errorf("polls = %d, want several", polls)
+	}
+	if agent.LastVersion() != 1 {
+		t.Error("agent did not converge during run loop")
+	}
+}
+
+func TestTopDownPushAndHeartbeats(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTopDown(l)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eps := make([]*TopDownEndpoint, 5)
+	for i := range eps {
+		eps[i] = &TopDownEndpoint{ID: string(rune('a' + i))}
+		go eps[i].Run(ctx, srv.Addr(), 10*time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Connections() < 5 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if srv.Connections() != 5 {
+		t.Fatalf("connections = %d", srv.Connections())
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	if srv.Heartbeats() == 0 {
+		t.Error("no heartbeats observed")
+	}
+
+	sent := srv.Push([]byte(`{"config":1}`))
+	if sent != 5 {
+		t.Errorf("pushed to %d endpoints", sent)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, ep := range eps {
+			if ep.ConfigsReceived() == 0 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i, ep := range eps {
+		if ep.ConfigsReceived() == 0 {
+			t.Errorf("endpoint %d received no config", i)
+		}
+	}
+}
+
+func TestPressureTestSmall(t *testing.T) {
+	m, err := PressureTest(50, 20*time.Millisecond, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Connections != 50 {
+		t.Errorf("connections = %d", m.Connections)
+	}
+	if m.Goroutines < 50 {
+		t.Errorf("goroutines = %d, want >= 50 (one per endpoint at least)", m.Goroutines)
+	}
+	if m.CPUPercentOfCore() < 0 {
+		t.Error("negative CPU")
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	// Paper anchors: 1M endpoints -> ~167 cores, ~125 GB.
+	c := PaperTopDownCost
+	if got := c.CoresFor(1e6); got < 166 || got > 168 {
+		t.Errorf("cores = %v", got)
+	}
+	if got := c.MemBytesFor(1e6); got < 124e9 || got > 126e9 {
+		t.Errorf("mem = %v", got)
+	}
+	// 1000 endpoints: fine with a fraction of a core (the paper's "little
+	// resources" point).
+	if got := c.CoresFor(1000); got > 1 {
+		t.Errorf("1000 endpoints need %v cores, want < 1", got)
+	}
+
+	b := PaperBottomUpCost
+	// One million endpoints spread over a 10 s window: 100k QPS -> 2
+	// shards, like the production deployment.
+	if got := b.ShardsFor(1e6, 10*time.Second); got != 2 {
+		t.Errorf("shards = %d, want 2", got)
+	}
+	if got := b.ShardsFor(100, 10*time.Second); got != 1 {
+		t.Errorf("shards = %d, want 1", got)
+	}
+	if PeakQPS(1e6, 10*time.Second) != 100000 {
+		t.Error("peak qps")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	m := Measurement{Connections: 100, HeapBytes: 100 * 50_000, CPUSeconds: 0.5, Window: time.Second}
+	c := Calibrate(m)
+	if c.BytesPerConnection != 50_000 {
+		t.Errorf("bytes/conn = %v", c.BytesPerConnection)
+	}
+	if c.CoresPerConnection != 0.005 {
+		t.Errorf("cores/conn = %v", c.CoresPerConnection)
+	}
+	if got := Calibrate(Measurement{}); got.BytesPerConnection != 0 {
+		t.Error("zero measurement should give zero model")
+	}
+}
+
+func TestProcessCPUSeconds(t *testing.T) {
+	a, err := processCPUSeconds()
+	if err != nil {
+		t.Skipf("no /proc: %v", err)
+	}
+	// Burn a little CPU.
+	x := 0.0
+	for i := 0; i < 5_000_000; i++ {
+		x += float64(i)
+	}
+	_ = x
+	b, err := processCPUSeconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a {
+		t.Error("CPU time went backwards")
+	}
+}
+
+func TestOnLinkFailureRecomputes(t *testing.T) {
+	topo, m, solver := testSetup(t)
+	store := kvstore.NewStore(1)
+	ctrl := NewController(solver, StoreAdapter{Store: store})
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	topo.FailLink(0)
+	res, _, err := ctrl.OnLinkFailure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tn := range res.FlowTunnel {
+		if tn == nil {
+			continue
+		}
+		for _, l := range tn.Links {
+			if topo.Links[l].Down {
+				t.Fatalf("flow %d still routed over failed link", i)
+			}
+		}
+	}
+	if store.Version() != 2 {
+		t.Error("failure recompute should publish a new version")
+	}
+}
+
+func TestTopDownServerDoubleClose(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTopDown(l)
+	srv.Close()
+	srv.Close() // must not panic
+}
+
+func TestAgentRemovesStalePaths(t *testing.T) {
+	store := kvstore.NewStore(1)
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := &Agent{Instance: "ins-x", Reader: StoreAdapter{Store: store}, Host: host}
+
+	put := func(version uint64, paths []PathEntry) {
+		cfg := InstanceConfig{Instance: "ins-x", Version: version, Paths: paths}
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.Put(ConfigKey("ins-x"), data)
+		store.Publish(version)
+	}
+
+	put(1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}, {DstSite: 5, Hops: []uint32{0, 5}}})
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if host.PathMap.Len() != 2 {
+		t.Fatalf("paths = %d, want 2", host.PathMap.Len())
+	}
+
+	// New config drops site 5: the stale path must disappear.
+	put(2, []PathEntry{{DstSite: 3, Hops: []uint32{0, 1, 3}}})
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if host.PathMap.Len() != 1 {
+		t.Fatalf("paths = %d, want 1 after stale removal", host.PathMap.Len())
+	}
+	if _, ok := host.PathMap.Lookup(hoststack.PathKey{Instance: "ins-x", DstSite: 5}); ok {
+		t.Fatal("stale path for site 5 survived")
+	}
+	if hops, ok := host.PathMap.Lookup(hoststack.PathKey{Instance: "ins-x", DstSite: 3}); !ok || len(hops) != 3 {
+		t.Fatalf("site-3 path = %v, %v", hops, ok)
+	}
+
+	// The record disappears entirely (all flows rejected): everything goes.
+	store.Delete(ConfigKey("ins-x"))
+	store.Publish(3)
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if host.PathMap.Len() != 0 {
+		t.Fatalf("paths = %d, want 0 after record removal", host.PathMap.Len())
+	}
+}

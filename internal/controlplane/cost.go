@@ -1,0 +1,203 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Measurement is one pressure-test sample (Figure 13): the resource cost of
+// holding n persistent heartbeat connections.
+type Measurement struct {
+	Connections int
+	// HeapBytes is the live-heap growth attributable to the connections.
+	HeapBytes uint64
+	// Goroutines is the goroutine count growth (two per connection: server
+	// handler and endpoint loop).
+	Goroutines int
+	// CPUSeconds is process CPU consumed during the sample window.
+	CPUSeconds float64
+	// Window is the sampling duration.
+	Window time.Duration
+}
+
+// CPUPercentOfCore returns CPU usage as a percentage of one core.
+func (m Measurement) CPUPercentOfCore() float64 {
+	if m.Window <= 0 {
+		return 0
+	}
+	return m.CPUSeconds / m.Window.Seconds() * 100
+}
+
+// PressureTest measures the cost of n persistent heartbeat connections on
+// the loopback for the given window — the experiment behind Figure 13. The
+// endpoints and the server run in this process, so the measured cost covers
+// both sides; the paper's VM test measures the controller side only, making
+// this measurement an upper bound with the same linear shape.
+func PressureTest(n int, heartbeat, window time.Duration) (Measurement, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Measurement{}, err
+	}
+	srv := ServeTopDown(l)
+	defer srv.Close()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	goroutinesBefore := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		ep := &TopDownEndpoint{ID: fmt.Sprintf("ep-%d", i)}
+		go func() {
+			defer wg.Done()
+			_ = ep.Run(ctx, srv.Addr(), heartbeat)
+		}()
+	}
+
+	// Wait for all connections to establish (bounded).
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Connections() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cpuBefore, _ := processCPUSeconds()
+	start := time.Now()
+	time.Sleep(window)
+	cpuAfter, cpuErr := processCPUSeconds()
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	m := Measurement{
+		Connections: srv.Connections(),
+		Goroutines:  runtime.NumGoroutine() - goroutinesBefore,
+		Window:      time.Since(start),
+	}
+	if after.HeapInuse > before.HeapInuse {
+		m.HeapBytes = after.HeapInuse - before.HeapInuse
+	}
+	if cpuErr == nil {
+		m.CPUSeconds = cpuAfter - cpuBefore
+	}
+
+	cancel()
+	wg.Wait()
+	return m, nil
+}
+
+// processCPUSeconds reads the process's cumulative user+system CPU time
+// from /proc/self/stat (Linux).
+func processCPUSeconds() (float64, error) {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, err
+	}
+	// Field 2 (comm) may contain spaces; skip past the closing paren.
+	s := string(data)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return 0, fmt.Errorf("controlplane: malformed /proc/self/stat")
+	}
+	fields := strings.Fields(s[i+1:])
+	// After comm and state, utime is field index 11 and stime 12 within
+	// this remainder (stat fields 14 and 15 overall).
+	if len(fields) < 13 {
+		return 0, fmt.Errorf("controlplane: short /proc/self/stat")
+	}
+	utime, err1 := strconv.ParseFloat(fields[11], 64)
+	stime, err2 := strconv.ParseFloat(fields[12], 64)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("controlplane: bad utime/stime")
+	}
+	const hz = 100 // USER_HZ
+	return (utime + stime) / hz, nil
+}
+
+// TopDownCost extrapolates controller resources for the top-down loop
+// (Figure 14): both CPU and memory grow linearly with connection count.
+type TopDownCost struct {
+	CoresPerConnection float64
+	BytesPerConnection float64
+}
+
+// PaperTopDownCost is anchored to the paper's reported figures: one million
+// endpoints need at least 167 CPU cores and 125 GB of memory.
+var PaperTopDownCost = TopDownCost{
+	CoresPerConnection: 167.0 / 1e6,
+	BytesPerConnection: 125e9 / 1e6,
+}
+
+// Calibrate derives a cost model from a pressure-test measurement.
+func Calibrate(m Measurement) TopDownCost {
+	if m.Connections == 0 {
+		return TopDownCost{}
+	}
+	return TopDownCost{
+		CoresPerConnection: m.CPUSeconds / m.Window.Seconds() / float64(m.Connections),
+		BytesPerConnection: float64(m.HeapBytes) / float64(m.Connections),
+	}
+}
+
+// CoresFor returns the CPU cores needed for n endpoints.
+func (c TopDownCost) CoresFor(n int) float64 {
+	return c.CoresPerConnection * float64(n)
+}
+
+// MemBytesFor returns the memory needed for n endpoints.
+func (c TopDownCost) MemBytesFor(n int) float64 {
+	return c.BytesPerConnection * float64(n)
+}
+
+// BottomUpCost models the bottom-up loop's resources (Figure 14's flat
+// line): the controller writes configs and publishes a version with
+// constant resources, while the TE database scales shards with the peak
+// query rate.
+type BottomUpCost struct {
+	// ControllerCores and ControllerBytes are constant per the paper: one
+	// core and 1 GB regardless of endpoint count.
+	ControllerCores float64
+	ControllerBytes float64
+	// QPSPerShard is each database shard's query capacity; the paper's
+	// deployment achieves 160k QPS with two shards.
+	QPSPerShard float64
+}
+
+// PaperBottomUpCost uses the paper's production numbers.
+var PaperBottomUpCost = BottomUpCost{
+	ControllerCores: 1,
+	ControllerBytes: 1e9,
+	QPSPerShard:     80000,
+}
+
+// PeakQPS returns the database query rate when n endpoints spread their
+// polls uniformly over the window (each poll is one version query).
+func PeakQPS(n int, window time.Duration) float64 {
+	if window <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / window.Seconds()
+}
+
+// ShardsFor returns the database shards needed for n endpoints polling
+// over the given spread window.
+func (c BottomUpCost) ShardsFor(n int, window time.Duration) int {
+	if c.QPSPerShard <= 0 {
+		return 1
+	}
+	shards := int(math.Ceil(PeakQPS(n, window) / c.QPSPerShard))
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}

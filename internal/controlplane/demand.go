@@ -1,0 +1,173 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"megate/internal/hoststack"
+	"megate/internal/packet"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// IPPlan assigns every endpoint an IPv4 address of the form 10.<site>.<hi>.<lo>
+// and resolves addresses back to endpoints and sites — the VPC mapping the
+// host stack and routers consult. Sites must number at most 256 and
+// endpoints per site at most 65536.
+type IPPlan struct {
+	topo *topology.Topology
+	byIP map[[4]byte]topology.EndpointID
+	ips  [][4]byte // indexed by EndpointID
+}
+
+// NewIPPlan builds the address plan for the topology's current endpoints.
+func NewIPPlan(topo *topology.Topology) (*IPPlan, error) {
+	if topo.NumSites() > 256 {
+		return nil, fmt.Errorf("controlplane: ip plan supports at most 256 sites, have %d", topo.NumSites())
+	}
+	p := &IPPlan{
+		topo: topo,
+		byIP: make(map[[4]byte]topology.EndpointID, topo.NumEndpoints()),
+		ips:  make([][4]byte, topo.NumEndpoints()),
+	}
+	idxInSite := make([]int, topo.NumSites())
+	for _, ep := range topo.Endpoints {
+		idx := idxInSite[ep.Site]
+		idxInSite[ep.Site]++
+		if idx >= 1<<16 {
+			return nil, fmt.Errorf("controlplane: site %d exceeds 65536 endpoints", ep.Site)
+		}
+		ip := [4]byte{10, byte(ep.Site), byte(idx >> 8), byte(idx)}
+		p.ips[ep.ID] = ip
+		p.byIP[ip] = ep.ID
+	}
+	return p, nil
+}
+
+// IPOf returns the endpoint's address.
+func (p *IPPlan) IPOf(ep topology.EndpointID) [4]byte { return p.ips[ep] }
+
+// EndpointOf resolves an address.
+func (p *IPPlan) EndpointOf(ip [4]byte) (topology.EndpointID, bool) {
+	ep, ok := p.byIP[ip]
+	return ep, ok
+}
+
+// SiteOf resolves an address to its site, the ipToSite function hosts and
+// routers need.
+func (p *IPPlan) SiteOf(ip [4]byte) (uint32, bool) {
+	if ip[0] != 10 || int(ip[1]) >= p.topo.NumSites() {
+		return 0, false
+	}
+	return uint32(ip[1]), true
+}
+
+// DemandEstimator turns the instance-level flow records collected by host
+// stacks into the next interval's traffic matrix — the closed measurement
+// loop of §5.1 ("the scheduler makes decisions based solely on the observed
+// ongoing traffic bandwidth", §8). Per-flow demand is smoothed with an
+// exponentially weighted moving average across TE intervals.
+type DemandEstimator struct {
+	// Alpha is the EWMA weight of the newest observation; default 0.5.
+	Alpha float64
+	// Interval is the TE period the byte counts cover; default 5 minutes.
+	Interval time.Duration
+	// DefaultClass tags flows whose class is unknown; default Class2.
+	DefaultClass traffic.Class
+
+	plan  *IPPlan
+	state map[packet.FiveTuple]float64
+}
+
+// NewDemandEstimator creates an estimator over the address plan.
+func NewDemandEstimator(plan *IPPlan) *DemandEstimator {
+	return &DemandEstimator{plan: plan, state: make(map[packet.FiveTuple]float64)}
+}
+
+// Observe folds one interval's collected records into the EWMA state.
+// Records whose tuple does not resolve to known endpoints are ignored and
+// counted in the return value.
+func (e *DemandEstimator) Observe(records []hoststack.FlowRecord) (unresolved int) {
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	interval := e.Interval
+	if interval <= 0 {
+		interval = 5 * time.Minute
+	}
+	for _, rec := range records {
+		if _, ok := e.plan.EndpointOf(rec.Tuple.SrcIP); !ok {
+			unresolved++
+			continue
+		}
+		if _, ok := e.plan.EndpointOf(rec.Tuple.DstIP); !ok {
+			unresolved++
+			continue
+		}
+		mbps := float64(rec.Bytes) * 8 / interval.Seconds() / 1e6
+		old, seen := e.state[rec.Tuple]
+		if !seen {
+			e.state[rec.Tuple] = mbps
+		} else {
+			e.state[rec.Tuple] = alpha*mbps + (1-alpha)*old
+		}
+	}
+	return unresolved
+}
+
+// Matrix materializes the current estimates as a traffic matrix for the
+// next TE interval. Flow IDs are assigned in deterministic tuple order.
+func (e *DemandEstimator) Matrix() *traffic.Matrix {
+	tuples := make([]packet.FiveTuple, 0, len(e.state))
+	for t := range e.state {
+		tuples = append(tuples, t)
+	}
+	sort.Slice(tuples, func(a, b int) bool { return tupleLess(tuples[a], tuples[b]) })
+
+	class := e.DefaultClass
+	if class == 0 {
+		class = traffic.Class2
+	}
+	var flows []traffic.Flow
+	for i, t := range tuples {
+		src, _ := e.plan.EndpointOf(t.SrcIP)
+		dst, _ := e.plan.EndpointOf(t.DstIP)
+		srcSite := e.plan.topo.Endpoints[src].Site
+		dstSite := e.plan.topo.Endpoints[dst].Site
+		if srcSite == dstSite {
+			continue // intra-site traffic never enters the WAN
+		}
+		flows = append(flows, traffic.Flow{
+			ID:  i,
+			Src: src, Dst: dst,
+			Pair:       traffic.SitePair{Src: srcSite, Dst: dstSite},
+			DemandMbps: e.state[t],
+			Class:      class,
+		})
+	}
+	return traffic.NewMatrix(flows)
+}
+
+// VolumeByInstance aggregates observed volume per source instance, the
+// input PlanHybrid consumes.
+func VolumeByInstance(records []hoststack.FlowRecord) map[string]float64 {
+	out := make(map[string]float64)
+	for _, rec := range records {
+		if rec.Instance != "" {
+			out[rec.Instance] += float64(rec.Bytes)
+		}
+	}
+	return out
+}
+
+func tupleLess(a, b packet.FiveTuple) bool {
+	pa, pb := hoststack.PackTuple(a), hoststack.PackTuple(b)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return pa[i] < pb[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package controlplane
+
+import (
+	"sort"
+	"time"
+)
+
+// HybridPlan implements the hybrid synchronization of §8: production
+// measurements show a small part of the flows account for most of the
+// traffic, so the controller keeps persistent push connections to the
+// heavy-traffic instances (immediate convergence on failure) and lets the
+// long tail poll with eventual consistency.
+type HybridPlan struct {
+	// Persistent lists the heavy-hitter instances, descending by volume.
+	Persistent []string
+	// Polling lists the rest.
+	Polling []string
+	// PersistentShare is the traffic fraction the persistent set covers.
+	PersistentShare float64
+}
+
+// PlanHybrid selects the smallest instance set covering at least
+// coverShare of the total traffic volume for persistent connections.
+// coverShare outside (0, 1) degenerates to all-polling or all-persistent.
+func PlanHybrid(volumes map[string]float64, coverShare float64) HybridPlan {
+	type iv struct {
+		ins string
+		v   float64
+	}
+	items := make([]iv, 0, len(volumes))
+	total := 0.0
+	for ins, v := range volumes {
+		items = append(items, iv{ins, v})
+		total += v
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].v != items[b].v {
+			return items[a].v > items[b].v
+		}
+		return items[a].ins < items[b].ins
+	})
+
+	var plan HybridPlan
+	if total <= 0 || coverShare <= 0 {
+		for _, it := range items {
+			plan.Polling = append(plan.Polling, it.ins)
+		}
+		return plan
+	}
+	covered := 0.0
+	for _, it := range items {
+		if covered < coverShare*total {
+			plan.Persistent = append(plan.Persistent, it.ins)
+			covered += it.v
+		} else {
+			plan.Polling = append(plan.Polling, it.ins)
+		}
+	}
+	if total > 0 {
+		plan.PersistentShare = covered / total
+	}
+	return plan
+}
+
+// ConvergedShare returns the fraction of traffic running on up-to-date
+// configuration at `elapsed` after a publish: the persistent share
+// converges immediately (push), while polled traffic converges linearly
+// across the spread window.
+func (p HybridPlan) ConvergedShare(elapsed, window time.Duration) float64 {
+	polled := 1 - p.PersistentShare
+	if window <= 0 || elapsed >= window {
+		return 1
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	frac := float64(elapsed) / float64(window)
+	return p.PersistentShare + polled*frac
+}
+
+// HybridCost estimates controller resources under the plan: top-down cost
+// for the persistent set plus the constant bottom-up controller, with the
+// database sharded for the polling population.
+type HybridCost struct {
+	Cores    float64
+	MemBytes float64
+	DBShards int
+}
+
+// Cost evaluates the plan against the given models and poll window.
+func (p HybridPlan) Cost(td TopDownCost, bu BottomUpCost, window time.Duration) HybridCost {
+	return HybridCost{
+		Cores:    bu.ControllerCores + td.CoresFor(len(p.Persistent)),
+		MemBytes: bu.ControllerBytes + td.MemBytesFor(len(p.Persistent)),
+		DBShards: bu.ShardsFor(len(p.Polling), window),
+	}
+}

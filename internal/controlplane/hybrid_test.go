@@ -1,0 +1,367 @@
+package controlplane
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"megate/internal/core"
+	"megate/internal/hoststack"
+	"megate/internal/kvstore"
+	"megate/internal/packet"
+	"megate/internal/topology"
+)
+
+func TestPlanHybridCoversHeavyHitters(t *testing.T) {
+	// 90% of traffic from 2 of 6 instances.
+	volumes := map[string]float64{
+		"big-1": 500, "big-2": 400,
+		"small-1": 30, "small-2": 30, "small-3": 20, "small-4": 20,
+	}
+	plan := PlanHybrid(volumes, 0.8)
+	if len(plan.Persistent) != 2 {
+		t.Fatalf("persistent = %v", plan.Persistent)
+	}
+	if plan.Persistent[0] != "big-1" || plan.Persistent[1] != "big-2" {
+		t.Errorf("persistent order = %v", plan.Persistent)
+	}
+	if len(plan.Polling) != 4 {
+		t.Errorf("polling = %v", plan.Polling)
+	}
+	if plan.PersistentShare < 0.8 || plan.PersistentShare > 1 {
+		t.Errorf("share = %v", plan.PersistentShare)
+	}
+}
+
+func TestPlanHybridEdges(t *testing.T) {
+	plan := PlanHybrid(map[string]float64{"a": 1}, 0)
+	if len(plan.Persistent) != 0 || len(plan.Polling) != 1 {
+		t.Error("coverShare 0 should poll everything")
+	}
+	plan = PlanHybrid(map[string]float64{"a": 1, "b": 1}, 1)
+	if len(plan.Persistent) != 2 {
+		t.Error("coverShare 1 should push everything")
+	}
+	plan = PlanHybrid(nil, 0.5)
+	if plan.PersistentShare != 0 {
+		t.Error("empty volumes")
+	}
+}
+
+func TestConvergedShare(t *testing.T) {
+	plan := HybridPlan{PersistentShare: 0.8}
+	window := 10 * time.Second
+	if got := plan.ConvergedShare(0, window); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("t=0: %v, want 0.8 (persistent pushes immediately)", got)
+	}
+	if got := plan.ConvergedShare(5*time.Second, window); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("t=5s: %v, want 0.9", got)
+	}
+	if got := plan.ConvergedShare(window, window); got != 1 {
+		t.Errorf("t=window: %v, want 1", got)
+	}
+	if got := plan.ConvergedShare(-time.Second, window); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("t<0: %v", got)
+	}
+}
+
+func TestHybridCost(t *testing.T) {
+	volumes := map[string]float64{}
+	for i := 0; i < 1000; i++ {
+		v := 1.0
+		if i < 10 {
+			v = 1000 // 10 heavy hitters carry ~91% of traffic
+		}
+		volumes[fmtInstance(i)] = v
+	}
+	plan := PlanHybrid(volumes, 0.9)
+	if len(plan.Persistent) > 20 {
+		t.Fatalf("persistent set = %d, want ~10", len(plan.Persistent))
+	}
+	cost := plan.Cost(PaperTopDownCost, PaperBottomUpCost, 10*time.Second)
+	full := PaperTopDownCost.CoresFor(1000)
+	if cost.Cores >= full+PaperBottomUpCost.ControllerCores {
+		t.Errorf("hybrid cores %v should undercut full top-down %v", cost.Cores, full)
+	}
+	if cost.DBShards < 1 {
+		t.Error("shards")
+	}
+}
+
+func fmtInstance(i int) string { return "ins-" + string(rune('a'+i%26)) + "-" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestIPPlanRoundTrip(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 300)
+	plan, err := NewIPPlan(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[4]byte]bool{}
+	for _, ep := range topo.Endpoints {
+		ip := plan.IPOf(ep.ID)
+		if seen[ip] {
+			t.Fatalf("duplicate ip %v", ip)
+		}
+		seen[ip] = true
+		got, ok := plan.EndpointOf(ip)
+		if !ok || got != ep.ID {
+			t.Fatalf("round trip failed for %v", ip)
+		}
+		site, ok := plan.SiteOf(ip)
+		if !ok || topology.SiteID(site) != ep.Site {
+			t.Fatalf("site of %v = %d, want %d", ip, site, ep.Site)
+		}
+	}
+	if _, ok := plan.EndpointOf([4]byte{9, 9, 9, 9}); ok {
+		t.Error("bogus ip resolved")
+	}
+	if _, ok := plan.SiteOf([4]byte{10, 200, 0, 0}); ok {
+		t.Error("site out of range resolved")
+	}
+}
+
+func TestIPPlanTooManySites(t *testing.T) {
+	topo := topology.New("big")
+	for i := 0; i < 257; i++ {
+		topo.AddSite("s", 0, 0)
+	}
+	if _, err := NewIPPlan(topo); err == nil {
+		t.Error("want error for > 256 sites")
+	}
+}
+
+func TestDemandEstimatorClosedLoop(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 4)
+	plan, err := NewIPPlan(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewDemandEstimator(plan)
+	est.Interval = time.Minute
+
+	src := topo.EndpointsAt(0)[0]
+	dst := topo.EndpointsAt(3)[0]
+	tuple := packet.FiveTuple{
+		SrcIP: plan.IPOf(src), DstIP: plan.IPOf(dst),
+		Proto: packet.IPProtoUDP, SrcPort: 1000, DstPort: 2000,
+	}
+	// 750 MB in a minute = 100 Mbps.
+	records := []hoststack.FlowRecord{{Instance: "ins-0-0", Tuple: tuple, Bytes: 750_000_000}}
+	if un := est.Observe(records); un != 0 {
+		t.Fatalf("unresolved = %d", un)
+	}
+	m := est.Matrix()
+	if m.NumFlows() != 1 {
+		t.Fatalf("flows = %d", m.NumFlows())
+	}
+	if math.Abs(m.Flows[0].DemandMbps-100) > 1 {
+		t.Errorf("demand = %v, want ~100", m.Flows[0].DemandMbps)
+	}
+	if m.Flows[0].Pair.Src != 0 || m.Flows[0].Pair.Dst != 3 {
+		t.Errorf("pair = %+v", m.Flows[0].Pair)
+	}
+
+	// EWMA: a second interval at 300 Mbps moves the estimate halfway.
+	records[0].Bytes = 3 * 750_000_000
+	est.Observe(records)
+	m = est.Matrix()
+	if math.Abs(m.Flows[0].DemandMbps-200) > 2 {
+		t.Errorf("EWMA demand = %v, want ~200", m.Flows[0].DemandMbps)
+	}
+}
+
+func TestDemandEstimatorUnresolvedAndIntraSite(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 2)
+	plan, _ := NewIPPlan(topo)
+	est := NewDemandEstimator(plan)
+
+	unknown := packet.FiveTuple{SrcIP: [4]byte{9, 9, 9, 9}, DstIP: plan.IPOf(0)}
+	if un := est.Observe([]hoststack.FlowRecord{{Tuple: unknown, Bytes: 1}}); un != 1 {
+		t.Errorf("unresolved = %d", un)
+	}
+	// Intra-site flow: resolvable but excluded from the WAN matrix.
+	a, b := topo.EndpointsAt(5)[0], topo.EndpointsAt(5)[1]
+	intra := packet.FiveTuple{SrcIP: plan.IPOf(a), DstIP: plan.IPOf(b)}
+	est.Observe([]hoststack.FlowRecord{{Tuple: intra, Bytes: 1000}})
+	if m := est.Matrix(); m.NumFlows() != 0 {
+		t.Errorf("intra-site flow leaked into the WAN matrix: %d flows", m.NumFlows())
+	}
+}
+
+func TestVolumeByInstance(t *testing.T) {
+	records := []hoststack.FlowRecord{
+		{Instance: "a", Bytes: 100},
+		{Instance: "a", Bytes: 50},
+		{Instance: "b", Bytes: 10},
+		{Instance: "", Bytes: 99}, // unidentified flows excluded
+	}
+	got := VolumeByInstance(records)
+	if got["a"] != 150 || got["b"] != 10 || len(got) != 2 {
+		t.Errorf("volumes = %v", got)
+	}
+}
+
+// End-to-end measurement loop: host traffic -> records -> estimator ->
+// matrix -> solver.
+func TestMeasurementLoopEndToEnd(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 2)
+	plan, err := NewIPPlan(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := hoststack.NewHost("h", 1500, plan.SiteOf)
+	defer host.Close()
+
+	src := topo.EndpointsAt(0)[0]
+	dst := topo.EndpointsAt(7)[0]
+	tuple := packet.FiveTuple{
+		SrcIP: plan.IPOf(src), DstIP: plan.IPOf(dst),
+		Proto: packet.IPProtoUDP, SrcPort: 1111, DstPort: 2222,
+	}
+	host.RunProcess(1, topo.Endpoints[src].Instance)
+	host.OpenConnection(1, tuple)
+	for i := 0; i < 10; i++ {
+		if _, err := host.Send(tuple, 1, plan.IPOf(src), plan.IPOf(dst), make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	est := NewDemandEstimator(plan)
+	est.Interval = time.Second
+	if un := est.Observe(host.CollectFlows()); un != 0 {
+		t.Fatalf("unresolved = %d", un)
+	}
+	m := est.Matrix()
+	if m.NumFlows() != 1 || m.Flows[0].DemandMbps <= 0 {
+		t.Fatalf("matrix = %d flows", m.NumFlows())
+	}
+}
+
+func TestFlowReportRoundTripInProcess(t *testing.T) {
+	store := kvstore.NewStore(2)
+	adapter := StoreAdapter{Store: store}
+	records := []hoststack.FlowRecord{
+		{Instance: "ins-a", Tuple: packet.FiveTuple{SrcPort: 1}, Bytes: 100},
+		{Instance: "ins-b", Tuple: packet.FiveTuple{SrcPort: 2}, Bytes: 200},
+	}
+	if err := ReportFlows(adapter, "host-1", records); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReportFlows(adapter, "host-2", records[:1]); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := CollectReports(adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	all := AllRecords(reports)
+	if len(all) != 3 {
+		t.Fatalf("records = %d", len(all))
+	}
+	// Re-reporting overwrites.
+	if err := ReportFlows(adapter, "host-1", records[:1]); err != nil {
+		t.Fatal(err)
+	}
+	reports, _ = CollectReports(adapter)
+	if len(AllRecords(reports)) != 2 {
+		t.Fatal("old report not superseded")
+	}
+}
+
+func TestFlowReportOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kvstore.NewStore(2)
+	srv := kvstore.Serve(l, store)
+	defer srv.Close()
+	adapter := ClientAdapter{Client: &kvstore.Client{Addr: srv.Addr()}}
+
+	records := []hoststack.FlowRecord{{Instance: "ins-x", Bytes: 42}}
+	if err := ReportFlows(adapter, "rack-7", records); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := CollectReports(adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Host != "rack-7" || reports[0].Records[0].Bytes != 42 {
+		t.Fatalf("reports = %+v", reports)
+	}
+}
+
+// The full measured loop over the wire: host measures -> agent reports ->
+// controller collects -> estimator -> solve.
+func TestMeasuredLoopOverTCP(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 2)
+	plan, err := NewIPPlan(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := hoststack.NewHost("rack-1", 1500, plan.SiteOf)
+	defer host.Close()
+
+	src, dst := topo.EndpointsAt(0)[0], topo.EndpointsAt(6)[0]
+	tuple := packet.FiveTuple{SrcIP: plan.IPOf(src), DstIP: plan.IPOf(dst), Proto: packet.IPProtoUDP, SrcPort: 7, DstPort: 8}
+	host.RunProcess(1, topo.Endpoints[src].Instance)
+	host.OpenConnection(1, tuple)
+	for i := 0; i < 5; i++ {
+		if _, err := host.Send(tuple, 1, plan.IPOf(src), plan.IPOf(dst), make([]byte, 900)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := kvstore.Serve(l, kvstore.NewStore(2))
+	defer srv.Close()
+	up := ClientAdapter{Client: &kvstore.Client{Addr: srv.Addr()}}
+	if err := ReportFlows(up, host.ID, host.CollectFlows()); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := CollectReports(ClientAdapter{Client: &kvstore.Client{Addr: srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewDemandEstimator(plan)
+	est.Interval = time.Second
+	if un := est.Observe(AllRecords(reports)); un != 0 {
+		t.Fatalf("unresolved = %d", un)
+	}
+	m := est.Matrix()
+	if m.NumFlows() != 1 {
+		t.Fatalf("flows = %d", m.NumFlows())
+	}
+	res, err := core.NewSolver(topo, core.Options{}).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedFraction() < 0.999 {
+		t.Errorf("satisfied = %v", res.SatisfiedFraction())
+	}
+}

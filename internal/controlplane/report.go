@@ -1,0 +1,120 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"megate/internal/hoststack"
+	"megate/internal/kvstore"
+)
+
+// Flow statistics travel the same path as configurations, in the opposite
+// direction (§5.1: the endpoint agent reads instance-level flow data and
+// "stores them into the backend server"): each host's agent PUTs its
+// collected records under a per-host key, and the controller scans the
+// prefix before solving the next interval.
+
+// ReportKeyPrefix namespaces per-host flow reports in the TE database.
+const ReportKeyPrefix = "te/stats/"
+
+// ReportKey returns the database key for a host's flow report.
+func ReportKey(hostID string) string { return ReportKeyPrefix + hostID }
+
+// FlowReport is one host's collected statistics for a TE interval.
+type FlowReport struct {
+	Host    string                 `json:"host"`
+	Records []hoststack.FlowRecord `json:"records"`
+}
+
+// StatsStore is the write/scan interface flow reports need; both
+// *kvstore.Store and *kvstore.Client satisfy it via the adapters below.
+type StatsStore interface {
+	PutReport(hostID string, data []byte) error
+	ScanReports() (map[string][]byte, error)
+}
+
+// PutReport implements StatsStore for StoreAdapter.
+func (a StoreAdapter) PutReport(hostID string, data []byte) error {
+	a.Store.Put(ReportKey(hostID), data)
+	return nil
+}
+
+// ScanReports implements StatsStore for StoreAdapter.
+func (a StoreAdapter) ScanReports() (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for _, k := range a.Store.Keys(ReportKeyPrefix) {
+		if v, ok := a.Store.Get(k); ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// PutReport implements StatsStore for ClientAdapter.
+func (a ClientAdapter) PutReport(hostID string, data []byte) error {
+	return a.Client.Put(ReportKey(hostID), data)
+}
+
+// ScanReports implements StatsStore for ClientAdapter.
+func (a ClientAdapter) ScanReports() (map[string][]byte, error) {
+	keys, err := a.Client.Keys(ReportKeyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, ok, err := a.Client.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// ReportFlows uploads one host's collected records, overwriting its
+// previous report (the statistics of the current TE interval supersede the
+// last one's).
+func ReportFlows(store StatsStore, hostID string, records []hoststack.FlowRecord) error {
+	data, err := json.Marshal(FlowReport{Host: hostID, Records: records})
+	if err != nil {
+		return fmt.Errorf("controlplane: marshal report for %s: %w", hostID, err)
+	}
+	return store.PutReport(hostID, data)
+}
+
+// CollectReports gathers every host's latest report from the database —
+// the controller's input to demand estimation for the next interval.
+func CollectReports(store StatsStore) ([]FlowReport, error) {
+	raw, err := store.ScanReports()
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]FlowReport, 0, len(raw))
+	for key, data := range raw {
+		var rep FlowReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("controlplane: bad report at %s: %w", key, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// AllRecords flattens reports into one record list for the
+// DemandEstimator.
+func AllRecords(reports []FlowReport) []hoststack.FlowRecord {
+	var out []hoststack.FlowRecord
+	for _, rep := range reports {
+		out = append(out, rep.Records...)
+	}
+	return out
+}
+
+// ensure kvstore types stay assignable to the adapters (compile-time).
+var (
+	_ StatsStore = StoreAdapter{Store: (*kvstore.Store)(nil)}
+	_ StatsStore = ClientAdapter{Client: (*kvstore.Client)(nil)}
+)

@@ -1,0 +1,203 @@
+package controlplane
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TopDownServer is the conventional control loop's endpoint-facing side
+// (Figure 4a): every endpoint keeps a persistent connection alive with
+// heartbeats so the controller can push TE configurations at any moment.
+// Holding millions of such connections is what Figures 13–14 show to be
+// untenable; this implementation exists to measure exactly that.
+type TopDownServer struct {
+	l net.Listener
+
+	mu        sync.Mutex
+	conns     map[net.Conn]*bufio.Writer
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	heartbeats atomic.Uint64
+}
+
+// ServeTopDown starts the server on l.
+func ServeTopDown(l net.Listener) *TopDownServer {
+	s := &TopDownServer{l: l, conns: make(map[net.Conn]*bufio.Writer), done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *TopDownServer) Addr() string { return s.l.Addr().String() }
+
+// Connections returns the number of live endpoint connections.
+func (s *TopDownServer) Connections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Heartbeats returns the cumulative heartbeat count.
+func (s *TopDownServer) Heartbeats() uint64 { return s.heartbeats.Load() }
+
+// Push sends a configuration blob to every connected endpoint and returns
+// how many received it.
+func (s *TopDownServer) Push(config []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sent := 0
+	for conn, w := range s.conns {
+		if _, err := fmt.Fprintf(w, "CONFIG %d\n", len(config)); err != nil {
+			conn.Close()
+			continue
+		}
+		w.Write(config)
+		w.WriteByte('\n')
+		if err := w.Flush(); err != nil {
+			conn.Close()
+			continue
+		}
+		sent++
+	}
+	return sent
+}
+
+// Close shuts the server down. Closing twice is safe.
+func (s *TopDownServer) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.l.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+}
+
+func (s *TopDownServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = bufio.NewWriter(conn)
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *TopDownServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		switch strings.TrimSpace(line) {
+		case "HB":
+			s.heartbeats.Add(1)
+		default:
+			// HELLO <id> and anything else: ignore, the connection itself
+			// is the state.
+		}
+	}
+}
+
+// TopDownEndpoint is the endpoint side of the persistent control channel.
+type TopDownEndpoint struct {
+	ID string
+
+	received atomic.Uint64
+}
+
+// ConfigsReceived returns how many pushed configurations arrived.
+func (e *TopDownEndpoint) ConfigsReceived() uint64 { return e.received.Load() }
+
+// Run connects to the controller, heartbeats on the interval, and consumes
+// pushed configurations until the context ends.
+func (e *TopDownEndpoint) Run(ctx context.Context, addr string, heartbeat time.Duration) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	if _, err := fmt.Fprintf(conn, "HELLO %s\n", e.ID); err != nil {
+		return err
+	}
+
+	// Reader: consume pushed configs.
+	errc := make(chan error, 1)
+	go func() {
+		r := bufio.NewReader(conn)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				errc <- err
+				return
+			}
+			fields := strings.Fields(strings.TrimSpace(line))
+			if len(fields) == 2 && fields[0] == "CONFIG" {
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					errc <- fmt.Errorf("controlplane: bad CONFIG frame %q", line)
+					return
+				}
+				if _, err := io.CopyN(io.Discard, r, int64(n)+1); err != nil {
+					errc <- err
+					return
+				}
+				e.received.Add(1)
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if _, err := fmt.Fprint(conn, "HB\n"); err != nil {
+				return err
+			}
+		case err := <-errc:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

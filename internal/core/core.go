@@ -1,0 +1,424 @@
+// Package core implements MegaTE's control-plane optimizer (§4): the
+// MaxAllFlow problem over millions of indivisible endpoint flows, solved by
+// the two-stage contraction of Algorithm 1.
+//
+// Stage one (MaxSiteFlow) merges endpoint demands per site pair and solves
+// the resulting multi-commodity flow LP over the contracted site graph.
+// Stage two (MaxEndpointFlow) distributes each site pair's per-tunnel
+// bandwidth F_{k,t} back to individual endpoint flows by solving a sequence
+// of subset-sum problems with FastSSP, tunnels in ascending weight order,
+// independently (and in parallel) across site pairs.
+//
+// Traffic is allocated per QoS class in priority order, each class consuming
+// the link capacity left by the classes above it (§4.1).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"megate/internal/lp"
+	"megate/internal/ssp"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// SiteSolver solves the stage-one MCF. lp.Simplex, lp.FleischerMCF and
+// lp.ADMM all satisfy it.
+type SiteSolver interface {
+	SolveMCF(p *lp.MCF) (lp.Allocation, error)
+}
+
+// Options configures the two-stage solver.
+type Options struct {
+	// TunnelsPerPair is |T_k|, the number of pre-established tunnels per
+	// site pair. Default 4.
+	TunnelsPerPair int
+	// Epsilon is the shorter-path preference of objective (1). When zero, a
+	// safe value is derived from the maximum tunnel weight.
+	Epsilon float64
+	// FastSSPEpsilon is ε′ of Appendix A.2. Default 0.1.
+	FastSSPEpsilon float64
+	// SiteSolver solves MaxSiteFlow; the default (lp.AutoMCF) uses the
+	// exact GUB simplex up to a few thousand site pairs and the (1−ε)
+	// Fleischer approximation beyond.
+	SiteSolver SiteSolver
+	// Workers bounds stage-two parallelism; default GOMAXPROCS.
+	Workers int
+	// SplitQoS allocates QoS classes sequentially in priority order (§4.1).
+	// When false, all traffic is solved as a single class.
+	SplitQoS bool
+	// DisableResidualPass turns off the work-conserving step that places
+	// still-unassigned flows onto tunnels with leftover link capacity after
+	// FastSSP (used by ablation benchmarks). The pass recovers the budget
+	// quantization loss inherent to indivisible flows.
+	DisableResidualPass bool
+	// ClassPolicy, when set, supplies the tunnel weight w_t used for a QoS
+	// class instead of the tunnel's latency — e.g. penalizing low
+	// availability for class 1 or weighting by carriage cost for class 3,
+	// the per-class path policies behind the production results of §7.
+	// Class 0 is passed for single-class solves.
+	ClassPolicy func(class traffic.Class, tn *topology.Tunnel, topo *topology.Topology) float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TunnelsPerPair == 0 {
+		o.TunnelsPerPair = 4
+	}
+	if o.FastSSPEpsilon == 0 {
+		o.FastSSPEpsilon = 0.1
+	}
+	if o.SiteSolver == nil {
+		// Exact GUB simplex at moderate scale, (1−ε) Fleischer beyond.
+		o.SiteSolver = &lp.AutoMCF{}
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result is the output of a two-stage solve.
+type Result struct {
+	// FlowTunnel[i] is, for matrix flow index i, the tunnel the flow was
+	// assigned to (f_{k,t}^i = 1), or nil when the flow was rejected.
+	FlowTunnel []*topology.Tunnel
+	// Tunnels records the pre-established tunnel set per site pair.
+	Tunnels map[traffic.SitePair][]*topology.Tunnel
+	// SatisfiedMbps and TotalMbps give the satisfied-demand ratio the
+	// evaluation reports (Figure 10).
+	SatisfiedMbps float64
+	TotalMbps     float64
+	// SiteLPTime and SSPTime break down where solve time went.
+	SiteLPTime time.Duration
+	SSPTime    time.Duration
+	// SiteAllocation exposes the stage-one F_{k,t} values per class for
+	// inspection and tests, keyed by pair then tunnel index.
+	SiteAllocation map[traffic.Class]map[traffic.SitePair][]float64
+}
+
+// SatisfiedFraction returns satisfied/total demand, 1 when there is no
+// demand.
+func (r *Result) SatisfiedFraction() float64 {
+	if r.TotalMbps == 0 {
+		return 1
+	}
+	return r.SatisfiedMbps / r.TotalMbps
+}
+
+// Solver runs MegaTE's two-stage optimization over one topology.
+type Solver struct {
+	opts Options
+	topo *topology.Topology
+	ts   *topology.TunnelSet
+}
+
+// NewSolver creates a solver for the topology. The tunnel set is computed
+// lazily per site pair and cached until Invalidate.
+func NewSolver(topo *topology.Topology, opts Options) *Solver {
+	o := opts.withDefaults()
+	return &Solver{opts: o, topo: topo, ts: topology.NewTunnelSet(topo, o.TunnelsPerPair)}
+}
+
+// Invalidate drops cached tunnels; call after topology changes such as link
+// failures (§6.3) so recomputation sees the altered graph.
+func (s *Solver) Invalidate() { s.ts.Invalidate() }
+
+// Topology returns the solver's topology.
+func (s *Solver) Topology() *topology.Topology { return s.topo }
+
+// Solve runs Algorithm 1 (per QoS class when SplitQoS is set) over the
+// matrix and returns per-flow tunnel assignments.
+func (s *Solver) Solve(m *traffic.Matrix) (*Result, error) {
+	res := &Result{
+		FlowTunnel:     make([]*topology.Tunnel, len(m.Flows)),
+		Tunnels:        make(map[traffic.SitePair][]*topology.Tunnel),
+		TotalMbps:      m.TotalDemandMbps(),
+		SiteAllocation: make(map[traffic.Class]map[traffic.SitePair][]float64),
+	}
+
+	// Residual link capacity carried across QoS classes:
+	// c_e <- c_e - sum d f L(t,e) after each class (§4.1).
+	residual := make([]float64, s.topo.NumLinks())
+	for i, l := range s.topo.Links {
+		if l.Down {
+			residual[i] = 0
+		} else {
+			residual[i] = l.CapacityMbps
+		}
+	}
+
+	// Flow IDs are preserved by ClassSubset/Subsample but need not equal
+	// slice indices; map them back explicitly.
+	idToIdx := make(map[int]int, len(m.Flows))
+	for i := range m.Flows {
+		idToIdx[m.Flows[i].ID] = i
+	}
+
+	classes := []traffic.Class{0} // sentinel: single pass over everything
+	if s.opts.SplitQoS {
+		classes = traffic.Classes
+	}
+	for _, class := range classes {
+		sub := m
+		if s.opts.SplitQoS {
+			sub = m.ClassSubset(class)
+		}
+		if sub.NumFlows() == 0 {
+			continue
+		}
+		if err := s.solveClass(idToIdx, sub, class, residual, res); err != nil {
+			return nil, fmt.Errorf("core: class %v: %w", class, err)
+		}
+	}
+	return res, nil
+}
+
+// pairState carries one site pair through both stages.
+type pairState struct {
+	pair traffic.SitePair
+	// flowIdx are indices into the *original* matrix flows.
+	flowIdx []int
+	demands []float64
+	tunnels []*topology.Tunnel
+	// weights are the per-class w_t values (latency by default).
+	weights []float64
+	// alloc is F_{k,t} from stage one.
+	alloc []float64
+}
+
+func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traffic.Class, residual []float64, res *Result) error {
+	pairs := sub.Pairs()
+	states := make([]*pairState, 0, len(pairs))
+	for _, p := range pairs {
+		tns := s.ts.For(p.Src, p.Dst)
+		res.Tunnels[p] = tns
+		st := &pairState{pair: p, tunnels: tns, weights: make([]float64, len(tns))}
+		for i, tn := range tns {
+			if s.opts.ClassPolicy != nil {
+				st.weights[i] = s.opts.ClassPolicy(class, tn, s.topo)
+			} else {
+				st.weights[i] = tn.Weight
+			}
+		}
+		for _, idx := range sub.FlowsFor(p) {
+			f := &sub.Flows[idx]
+			st.flowIdx = append(st.flowIdx, idToIdx[f.ID])
+			st.demands = append(st.demands, f.DemandMbps)
+		}
+		states = append(states, st)
+	}
+
+	// Stage 1: SiteMerge + MaxSiteFlow (lines 1–10 of Algorithm 1).
+	start := time.Now()
+	mcf := &lp.MCF{LinkCap: residual, Epsilon: s.epsilonFor(states)}
+	for _, st := range states {
+		c := lp.Commodity{Demand: sum(st.demands)} // SiteMerge: D_k = Σ_i d_k^i
+		for t, tn := range st.tunnels {
+			links := make([]int, len(tn.Links))
+			for i, l := range tn.Links {
+				links[i] = int(l)
+			}
+			c.Tunnels = append(c.Tunnels, links)
+			c.Weights = append(c.Weights, st.weights[t])
+		}
+		mcf.Commodities = append(mcf.Commodities, c)
+	}
+	siteAlloc, err := s.opts.SiteSolver.SolveMCF(mcf)
+	if err != nil {
+		return fmt.Errorf("MaxSiteFlow: %w", err)
+	}
+	res.SiteLPTime += time.Since(start)
+
+	classAlloc := make(map[traffic.SitePair][]float64, len(states))
+	for k, st := range states {
+		st.alloc = siteAlloc[k]
+		classAlloc[st.pair] = siteAlloc[k]
+	}
+	res.SiteAllocation[class] = classAlloc
+
+	// Stage 2: MaxEndpointFlow per pair, in parallel (line 11–15).
+	start = time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.opts.Workers)
+	assignments := make([][]int, len(states)) // per state, per flow: tunnel idx or -1
+	for si, st := range states {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(si int, st *pairState) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			assignments[si] = s.maxEndpointFlow(st)
+		}(si, st)
+	}
+	wg.Wait()
+	res.SSPTime += time.Since(start)
+
+	// Commit assignments; update residual capacity by the traffic actually
+	// placed (FastSSP may slightly underuse F_{k,t}).
+	for si, st := range states {
+		for fi, tIdx := range assignments[si] {
+			if tIdx < 0 {
+				continue
+			}
+			tn := st.tunnels[tIdx]
+			origIdx := st.flowIdx[fi]
+			res.FlowTunnel[origIdx] = tn
+			res.SatisfiedMbps += st.demands[fi]
+			for _, l := range tn.Links {
+				residual[l] -= st.demands[fi]
+			}
+		}
+	}
+	// Clamp tiny negative residuals from floating point.
+	for i := range residual {
+		if residual[i] < 0 {
+			residual[i] = 0
+		}
+	}
+
+	if !s.opts.DisableResidualPass {
+		s.residualPass(states, assignments, residual, res)
+	}
+	return nil
+}
+
+// residualPass places flows FastSSP left unassigned onto tunnels that still
+// have link capacity — capacity stranded either by budget quantization in
+// this site pair or by underuse in others. Flows are taken largest first
+// (within each pair, tunnels shortest first) and remain indivisible.
+func (s *Solver) residualPass(states []*pairState, assignments [][]int, residual []float64, res *Result) {
+	type cand struct {
+		si, fi int
+		demand float64
+	}
+	var cands []cand
+	for si := range states {
+		for fi, tIdx := range assignments[si] {
+			if tIdx < 0 && states[si].demands[fi] > 0 {
+				cands = append(cands, cand{si, fi, states[si].demands[fi]})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].demand != cands[b].demand {
+			return cands[a].demand > cands[b].demand
+		}
+		if cands[a].si != cands[b].si {
+			return cands[a].si < cands[b].si
+		}
+		return cands[a].fi < cands[b].fi
+	})
+	for _, c := range cands {
+		st := states[c.si]
+		// Tunnels in ascending class weight.
+		bestT := -1
+		bestW := 0.0
+		for t, tn := range st.tunnels {
+			fits := true
+			for _, l := range tn.Links {
+				if residual[l] < c.demand {
+					fits = false
+					break
+				}
+			}
+			if fits && (bestT < 0 || st.weights[t] < bestW) {
+				bestT, bestW = t, st.weights[t]
+			}
+		}
+		if bestT < 0 {
+			continue
+		}
+		tn := st.tunnels[bestT]
+		assignments[c.si][c.fi] = bestT
+		res.FlowTunnel[st.flowIdx[c.fi]] = tn
+		res.SatisfiedMbps += c.demand
+		for _, l := range tn.Links {
+			residual[l] -= c.demand
+		}
+	}
+}
+
+// maxEndpointFlow solves the per-pair subset-sum chain: tunnels in ascending
+// weight, FastSSP over the still-unassigned flows against budget F_{k,t}.
+func (s *Solver) maxEndpointFlow(st *pairState) []int {
+	assign := make([]int, len(st.demands))
+	for i := range assign {
+		assign[i] = -1
+	}
+	if len(st.tunnels) == 0 {
+		return assign
+	}
+	order := make([]int, len(st.tunnels))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return st.weights[order[a]] < st.weights[order[b]]
+	})
+
+	solver := &ssp.FastSSP{EpsPrime: s.opts.FastSSPEpsilon}
+	unassigned := make([]int, 0, len(st.demands))
+	for i := range st.demands {
+		unassigned = append(unassigned, i)
+	}
+	for _, t := range order {
+		if len(unassigned) == 0 {
+			break
+		}
+		budget := st.alloc[t]
+		if budget <= 0 {
+			continue
+		}
+		values := make([]float64, len(unassigned))
+		for j, fi := range unassigned {
+			values[j] = st.demands[fi]
+		}
+		sol := solver.Solve(values, budget)
+		var still []int
+		for j, fi := range unassigned {
+			if sol.Selected[j] {
+				assign[fi] = t
+			} else {
+				still = append(still, fi)
+			}
+		}
+		unassigned = still
+	}
+	return assign
+}
+
+// epsilonFor returns the objective epsilon: the configured value, or half
+// the inverse maximum tunnel weight so 1 − εw stays positive.
+func (s *Solver) epsilonFor(states []*pairState) float64 {
+	if s.opts.Epsilon > 0 {
+		return s.opts.Epsilon
+	}
+	maxW := 0.0
+	for _, st := range states {
+		for _, w := range st.weights {
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	if maxW == 0 {
+		return 0
+	}
+	eps := 0.5 / maxW
+	if eps > 1e-3 {
+		eps = 1e-3
+	}
+	return eps
+}
+
+func sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"megate/internal/lp"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// smallWorld builds a 4-site ring+chord topology with a handful of
+// endpoints so optimal behaviour is easy to reason about.
+func smallWorld(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo := topology.New("small")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	c := topo.AddSite("c", 100, 100)
+	d := topo.AddSite("d", 0, 100)
+	topo.AddBidiLink(a, b, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(b, c, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(c, d, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(d, a, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(a, c, 1000, 3, 0.999, 1)
+	topology.AttachEndpointsExact(topo, 5)
+	return topo
+}
+
+func flowsBetween(topo *topology.Topology, src, dst topology.SiteID, demands []float64, class traffic.Class) []traffic.Flow {
+	var flows []traffic.Flow
+	srcEps := topo.EndpointsAt(src)
+	dstEps := topo.EndpointsAt(dst)
+	for i, d := range demands {
+		flows = append(flows, traffic.Flow{
+			ID:  i,
+			Src: srcEps[i%len(srcEps)], Dst: dstEps[i%len(dstEps)],
+			Pair:       traffic.SitePair{Src: src, Dst: dst},
+			DemandMbps: d,
+			Class:      class,
+		})
+	}
+	return flows
+}
+
+func TestSolveAllFitsEverythingAssigned(t *testing.T) {
+	topo := smallWorld(t)
+	flows := flowsBetween(topo, 0, 2, []float64{100, 200, 50}, traffic.Class2)
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedFraction() < 0.999 {
+		t.Errorf("satisfied = %v, want ~1 (capacity is ample)", res.SatisfiedFraction())
+	}
+	for i, tn := range res.FlowTunnel {
+		if tn == nil {
+			t.Errorf("flow %d rejected despite ample capacity", i)
+		}
+	}
+}
+
+func TestSolveRespectsCapacity(t *testing.T) {
+	topo := topology.New("bottleneck")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	topo.AddBidiLink(a, b, 100, 1, 0.999, 1) // single 100 Mbps link
+	topology.AttachEndpointsExact(topo, 10)
+	flows := flowsBetween(topo, a, b, []float64{60, 60, 60}, traffic.Class2)
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At most one 60 Mbps flow fits on the 100 Mbps link.
+	if res.SatisfiedMbps > 100 {
+		t.Errorf("satisfied %v Mbps > 100 Mbps capacity", res.SatisfiedMbps)
+	}
+	if res.SatisfiedMbps < 60 {
+		t.Errorf("satisfied %v Mbps, want >= 60 (one flow fits)", res.SatisfiedMbps)
+	}
+	// Verify the link-load invariant directly.
+	checkLinkLoads(t, topo, m, res)
+}
+
+// checkLinkLoads asserts constraint (1a): no link over capacity.
+func checkLinkLoads(t *testing.T, topo *topology.Topology, m *traffic.Matrix, res *Result) {
+	t.Helper()
+	loads := make([]float64, topo.NumLinks())
+	for i, tn := range res.FlowTunnel {
+		if tn == nil {
+			continue
+		}
+		for _, l := range tn.Links {
+			loads[l] += m.Flows[i].DemandMbps
+		}
+	}
+	for i, load := range loads {
+		if load > topo.Links[i].CapacityMbps*(1+1e-9)+1e-6 {
+			t.Errorf("link %d carries %v > capacity %v", i, load, topo.Links[i].CapacityMbps)
+		}
+		if topo.Links[i].Down && load > 0 {
+			t.Errorf("failed link %d carries %v", i, load)
+		}
+	}
+}
+
+func TestSolveIndivisibleFlows(t *testing.T) {
+	// Constraint (1b)/(1c): each flow on at most one tunnel — structural
+	// here because FlowTunnel holds a single tunnel, but the demands must
+	// be fully counted (no partial placement).
+	topo := smallWorld(t)
+	flows := flowsBetween(topo, 0, 2, []float64{300, 300, 300, 300}, traffic.Class2)
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := 0.0
+	for i, tn := range res.FlowTunnel {
+		if tn != nil {
+			assigned += m.Flows[i].DemandMbps
+		}
+	}
+	if math.Abs(assigned-res.SatisfiedMbps) > 1e-6 {
+		t.Errorf("SatisfiedMbps %v != sum of assigned demands %v", res.SatisfiedMbps, assigned)
+	}
+}
+
+func TestSolveQoSPriority(t *testing.T) {
+	// A 100 Mbps bottleneck with a class-1 flow and class-3 flows that
+	// together exceed it: class 1 must win.
+	topo := topology.New("prio")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	topo.AddBidiLink(a, b, 100, 1, 0.999, 1)
+	topology.AttachEndpointsExact(topo, 10)
+	srcEps := topo.EndpointsAt(a)
+	dstEps := topo.EndpointsAt(b)
+	flows := []traffic.Flow{
+		{ID: 0, Src: srcEps[0], Dst: dstEps[0], Pair: traffic.SitePair{Src: a, Dst: b}, DemandMbps: 90, Class: traffic.Class3},
+		{ID: 1, Src: srcEps[1], Dst: dstEps[1], Pair: traffic.SitePair{Src: a, Dst: b}, DemandMbps: 80, Class: traffic.Class1},
+	}
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{SplitQoS: true})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowTunnel[1] == nil {
+		t.Error("class-1 flow rejected while class-3 accepted")
+	}
+	if res.FlowTunnel[0] != nil {
+		t.Error("class-3 flow accepted but cannot fit after class 1")
+	}
+}
+
+func TestSolveClass1GetsShortTunnel(t *testing.T) {
+	// Two tunnels a->b: direct (fast) and via c (slow). Class 1 demand
+	// fits the direct tunnel; bulk class-3 load must not displace it.
+	topo := topology.New("latency")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	c := topo.AddSite("c", 50, 100)
+	topo.AddBidiLink(a, b, 100, 1, 0.999, 1)  // fast, small
+	topo.AddBidiLink(a, c, 1000, 5, 0.999, 1) // slow detour
+	topo.AddBidiLink(c, b, 1000, 5, 0.999, 1)
+	topology.AttachEndpointsExact(topo, 10)
+	srcEps := topo.EndpointsAt(a)
+	dstEps := topo.EndpointsAt(b)
+	flows := []traffic.Flow{
+		{ID: 0, Src: srcEps[0], Dst: dstEps[0], Pair: traffic.SitePair{Src: a, Dst: b}, DemandMbps: 50, Class: traffic.Class1},
+		{ID: 1, Src: srcEps[1], Dst: dstEps[1], Pair: traffic.SitePair{Src: a, Dst: b}, DemandMbps: 900, Class: traffic.Class3},
+		{ID: 2, Src: srcEps[2], Dst: dstEps[2], Pair: traffic.SitePair{Src: a, Dst: b}, DemandMbps: 40, Class: traffic.Class3},
+	}
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{SplitQoS: true})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowTunnel[0] == nil {
+		t.Fatal("class-1 flow rejected")
+	}
+	if res.FlowTunnel[0].Weight != 2 { // 1ms there; weight includes only a->b
+		if res.FlowTunnel[0].Weight > 2 {
+			t.Errorf("class-1 flow on tunnel with weight %v, want the direct 1ms tunnel", res.FlowTunnel[0].Weight)
+		}
+	}
+	checkLinkLoads(t, topo, m, res)
+}
+
+func TestSolveAvoidsFailedLinks(t *testing.T) {
+	topo := smallWorld(t)
+	s := NewSolver(topo, Options{})
+	flows := flowsBetween(topo, 0, 1, []float64{100, 100}, traffic.Class2)
+	m := traffic.NewMatrix(flows)
+
+	res1, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.SatisfiedFraction() < 0.999 {
+		t.Fatal("pre-failure solve should satisfy everything")
+	}
+
+	// Fail the direct a<->b link and recompute.
+	topo.FailLink(0)
+	s.Invalidate()
+	res2, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SatisfiedFraction() < 0.999 {
+		t.Errorf("post-failure satisfied = %v, want ~1 via detour", res2.SatisfiedFraction())
+	}
+	for i, tn := range res2.FlowTunnel {
+		if tn == nil {
+			continue
+		}
+		for _, l := range tn.Links {
+			if topo.Links[l].Down {
+				t.Errorf("flow %d routed over failed link %d", i, l)
+			}
+		}
+	}
+	checkLinkLoads(t, topo, m, res2)
+}
+
+func TestSolveEmptyMatrix(t *testing.T) {
+	topo := smallWorld(t)
+	s := NewSolver(topo, Options{})
+	res, err := s.Solve(traffic.NewMatrix(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedFraction() != 1 || res.TotalMbps != 0 {
+		t.Errorf("empty matrix: %+v", res)
+	}
+}
+
+func TestSolveWithSimplexSiteSolver(t *testing.T) {
+	topo := smallWorld(t)
+	flows := flowsBetween(topo, 0, 2, []float64{100, 150}, traffic.Class2)
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{SiteSolver: &lp.Simplex{}})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedFraction() < 0.999 {
+		t.Errorf("satisfied = %v with exact site solver", res.SatisfiedFraction())
+	}
+}
+
+func TestSolveGeneratedTrafficNearOptimal(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 10)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 50})
+	s := NewSolver(topo, Options{SplitQoS: true})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedFraction() < 0.8 {
+		t.Errorf("satisfied = %v, want >= 0.8 on lightly loaded B4", res.SatisfiedFraction())
+	}
+	checkLinkLoads(t, topo, m, res)
+	if res.SiteLPTime <= 0 || res.SSPTime < 0 {
+		t.Errorf("timings not recorded: lp=%v ssp=%v", res.SiteLPTime, res.SSPTime)
+	}
+}
+
+func TestSolveSubsampledMatrixIndices(t *testing.T) {
+	// Regression: flow IDs differ from slice indices after Subsample.
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 10)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 2}).Subsample(0.5)
+	s := NewSolver(topo, Options{})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FlowTunnel) != m.NumFlows() {
+		t.Fatalf("FlowTunnel size %d != flows %d", len(res.FlowTunnel), m.NumFlows())
+	}
+	checkLinkLoads(t, topo, m, res)
+	if res.SatisfiedFraction() < 0.5 {
+		t.Errorf("satisfied = %v suspiciously low", res.SatisfiedFraction())
+	}
+}
+
+func TestSiteAllocationExposed(t *testing.T) {
+	topo := smallWorld(t)
+	flows := flowsBetween(topo, 0, 2, []float64{100}, traffic.Class2)
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{SplitQoS: true})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, ok := res.SiteAllocation[traffic.Class2]
+	if !ok {
+		t.Fatal("no class-2 site allocation recorded")
+	}
+	pair := traffic.SitePair{Src: 0, Dst: 2}
+	total := 0.0
+	for _, f := range alloc[pair] {
+		total += f
+	}
+	if total < 99.9 {
+		t.Errorf("stage-one allocation %v, want ~100", total)
+	}
+}
+
+func TestSatisfiedFractionNoDemand(t *testing.T) {
+	r := &Result{}
+	if r.SatisfiedFraction() != 1 {
+		t.Error("no demand should mean fraction 1")
+	}
+}
+
+func BenchmarkSolveB4(b *testing.B) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 100)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 500})
+	s := NewSolver(topo, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveDeltacomQoS(b *testing.B) {
+	topo := topology.Build("Deltacom*")
+	topology.AttachEndpointsExact(topo, 10)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 800})
+	s := NewSolver(topo, Options{SplitQoS: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"megate/internal/stats"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// randomScenario builds a random connected topology and traffic matrix.
+func randomScenario(seed int64) (*topology.Topology, *traffic.Matrix) {
+	r := stats.NewRand(seed)
+	topo := topology.New("prop")
+	nSites := 3 + r.Intn(8)
+	for i := 0; i < nSites; i++ {
+		topo.AddSite("s", r.Float64()*1000, r.Float64()*1000)
+	}
+	// Ring for connectivity plus random chords.
+	for i := 0; i < nSites; i++ {
+		topo.AddBidiLink(topology.SiteID(i), topology.SiteID((i+1)%nSites),
+			100+r.Float64()*900, 0.5+r.Float64()*10, 0.99+r.Float64()*0.0099, 1+r.Float64()*9)
+	}
+	for c := 0; c < nSites/2; c++ {
+		a, b := r.Intn(nSites), r.Intn(nSites)
+		if a != b {
+			topo.AddBidiLink(topology.SiteID(a), topology.SiteID(b),
+				100+r.Float64()*900, 0.5+r.Float64()*10, 0.99+r.Float64()*0.0099, 1+r.Float64()*9)
+		}
+	}
+	topology.AttachEndpointsExact(topo, 1+r.Intn(5))
+	m := traffic.Generate(topo, traffic.GenOptions{
+		Seed:           seed + 1,
+		MeanDemandMbps: 5 + r.Float64()*100,
+		ClassMix:       [3]float64{r.Float64(), r.Float64(), r.Float64()},
+	})
+	return topo, m
+}
+
+// TestSolveInvariantsProperty checks constraints (1a)–(1c) across random
+// scenarios and solver configurations.
+func TestSolveInvariantsProperty(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		topo, m := randomScenario(seed)
+		for _, split := range []bool{false, true} {
+			for _, noResidual := range []bool{false, true} {
+				s := NewSolver(topo, Options{SplitQoS: split, DisableResidualPass: noResidual})
+				res, err := s.Solve(m)
+				if err != nil {
+					t.Fatalf("seed %d split=%v: %v", seed, split, err)
+				}
+				// (1a) link capacity.
+				loads := make([]float64, topo.NumLinks())
+				assigned := 0.0
+				for i, tn := range res.FlowTunnel {
+					if tn == nil {
+						continue
+					}
+					assigned += m.Flows[i].DemandMbps
+					for _, l := range tn.Links {
+						loads[l] += m.Flows[i].DemandMbps
+					}
+					// (1b)/(1c): one tunnel, and it must belong to the
+					// flow's site pair.
+					if tn.Src != m.Flows[i].Pair.Src || tn.Dst != m.Flows[i].Pair.Dst {
+						t.Fatalf("seed %d: flow %d on foreign tunnel %v", seed, i, tn)
+					}
+				}
+				for l, load := range loads {
+					if load > topo.Links[l].CapacityMbps*(1+1e-9)+1e-6 {
+						t.Fatalf("seed %d split=%v: link %d overloaded %.3f > %.3f",
+							seed, split, l, load, topo.Links[l].CapacityMbps)
+					}
+				}
+				// Satisfied accounting.
+				if math.Abs(assigned-res.SatisfiedMbps) > 1e-6*(1+assigned) {
+					t.Fatalf("seed %d: satisfied %.3f != assigned %.3f", seed, res.SatisfiedMbps, assigned)
+				}
+				if res.SatisfiedMbps > res.TotalMbps*(1+1e-9) {
+					t.Fatalf("seed %d: satisfied exceeds offered", seed)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveDeterministic verifies two identical solves agree flow by flow —
+// required for the controller to publish stable configurations.
+func TestSolveDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		topo, m := randomScenario(seed)
+		a, err := NewSolver(topo, Options{SplitQoS: true, Workers: 4}).Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSolver(topo, Options{SplitQoS: true, Workers: 1}).Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SatisfiedMbps != b.SatisfiedMbps {
+			t.Fatalf("seed %d: satisfied differs across runs: %v vs %v", seed, a.SatisfiedMbps, b.SatisfiedMbps)
+		}
+		for i := range a.FlowTunnel {
+			ta, tb := a.FlowTunnel[i], b.FlowTunnel[i]
+			if (ta == nil) != (tb == nil) {
+				t.Fatalf("seed %d: flow %d assignment differs", seed, i)
+			}
+			if ta != nil && ta.String() != tb.String() {
+				t.Fatalf("seed %d: flow %d tunnel differs: %v vs %v", seed, i, ta, tb)
+			}
+		}
+	}
+}
+
+// TestQoSPriorityProperty: the sequential pipeline gives class 1 first
+// claim on capacity, so class-1 satisfaction under SplitQoS must be at
+// least what the class-blind joint solve delivers (up to the granularity
+// slack of indivisible flows). Flows larger than any link's capacity are
+// unplaceable under any policy, so satisfaction is compared like for like.
+func TestQoSPriorityProperty(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		topo, m := randomScenario(seed)
+		// Contention without unplaceable monsters: scale so the largest
+		// flow stays below the smallest link capacity.
+		minCap, maxDemand := math.Inf(1), 0.0
+		for _, l := range topo.Links {
+			if l.CapacityMbps < minCap {
+				minCap = l.CapacityMbps
+			}
+		}
+		for i := range m.Flows {
+			if m.Flows[i].DemandMbps > maxDemand {
+				maxDemand = m.Flows[i].DemandMbps
+			}
+		}
+		m = m.Scale(0.8 * minCap / maxDemand * 3) // ~3x contention, flows placeable
+
+		class1Frac := func(split bool) float64 {
+			res, err := NewSolver(topo, Options{SplitQoS: split}).Solve(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sat, tot := 0.0, 0.0
+			for i, tn := range res.FlowTunnel {
+				if m.Flows[i].Class != traffic.Class1 {
+					continue
+				}
+				tot += m.Flows[i].DemandMbps
+				if tn != nil {
+					sat += m.Flows[i].DemandMbps
+				}
+			}
+			if tot == 0 {
+				return 1
+			}
+			return sat / tot
+		}
+		seq, joint := class1Frac(true), class1Frac(false)
+		if seq+0.1 < joint {
+			t.Errorf("seed %d: class1 satisfaction %.3f under priority pipeline < %.3f under joint solve",
+				seed, seq, joint)
+		}
+	}
+}
+
+// TestSolveAfterFailureNeverUsesDownLinks across random scenarios.
+func TestSolveAfterFailureNeverUsesDownLinks(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		topo, m := randomScenario(seed)
+		r := stats.NewRand(seed * 7)
+		topo.FailLink(topology.LinkID(r.Intn(topo.NumLinks())))
+		s := NewSolver(topo, Options{})
+		res, err := s.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tn := range res.FlowTunnel {
+			if tn == nil {
+				continue
+			}
+			for _, l := range tn.Links {
+				if topo.Links[l].Down {
+					t.Fatalf("seed %d: flow %d over failed link", seed, i)
+				}
+			}
+		}
+	}
+}

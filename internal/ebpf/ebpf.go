@@ -1,0 +1,276 @@
+// Package ebpf simulates the Linux eBPF machinery MegaTE's host stack runs
+// on (§5.1, Figure 6): typed maps shared between "kernel" programs and user
+// space, programs attached to hooks (an execve tracepoint, a conntrack
+// kprobe, and TC egress), and a Kernel that raises events into the attached
+// programs.
+//
+// The real system compiles C to BPF bytecode and loads it with bpf2go; here
+// programs are Go closures, but the object lifecycle follows the ebpf-go
+// discipline from the networking guides: attaching returns a Link whose
+// Close detaches the program, and maps enforce a max-entries bound just as
+// the verifier-checked kernel maps do.
+package ebpf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ErrMapFull is returned by Update when a map is at MaxEntries and the key
+// is new — the E2BIG the kernel returns for full hash maps.
+var ErrMapFull = fmt.Errorf("ebpf: map full")
+
+// Map is a generic key-value store analogous to a BPF_MAP_TYPE_HASH. It is
+// safe for concurrent use: the kernel may run multiple program instances in
+// parallel, so map access is synchronized exactly as BPF maps are.
+type Map[K comparable, V any] struct {
+	name       string
+	maxEntries int
+
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+// NewMap creates a named map bounded to maxEntries (0 means unbounded,
+// which production maps avoid but tests appreciate).
+func NewMap[K comparable, V any](name string, maxEntries int) *Map[K, V] {
+	return &Map[K, V]{name: name, maxEntries: maxEntries, m: make(map[K]V)}
+}
+
+// Name returns the map's name as it would appear in bpffs.
+func (m *Map[K, V]) Name() string { return m.name }
+
+// Lookup returns the value for k.
+func (m *Map[K, V]) Lookup(k K) (V, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.m[k]
+	return v, ok
+}
+
+// Update inserts or overwrites the value for k.
+func (m *Map[K, V]) Update(k K, v V) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.m[k]; !exists && m.maxEntries > 0 && len(m.m) >= m.maxEntries {
+		return fmt.Errorf("%w: %s at %d entries", ErrMapFull, m.name, m.maxEntries)
+	}
+	m.m[k] = v
+	return nil
+}
+
+// UpdateFunc atomically transforms the value at k (creating it from the
+// zero value if absent) — the __sync_fetch_and_add pattern.
+func (m *Map[K, V]) UpdateFunc(k K, fn func(old V, exists bool) V) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old, exists := m.m[k]
+	if !exists && m.maxEntries > 0 && len(m.m) >= m.maxEntries {
+		return fmt.Errorf("%w: %s at %d entries", ErrMapFull, m.name, m.maxEntries)
+	}
+	m.m[k] = fn(old, exists)
+	return nil
+}
+
+// Delete removes k; deleting an absent key is a no-op as in the kernel.
+func (m *Map[K, V]) Delete(k K) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.m, k)
+}
+
+// Len returns the entry count.
+func (m *Map[K, V]) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.m)
+}
+
+// Iterate calls fn for each entry until it returns false. The iteration
+// order is unspecified, like bpf_map_get_next_key.
+func (m *Map[K, V]) Iterate(fn func(k K, v V) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for k, v := range m.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Drain returns all entries and clears the map atomically — the user-space
+// "read and reset" collection pattern the endpoint agent uses per TE
+// period.
+func (m *Map[K, V]) Drain() map[K]V {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.m
+	m.m = make(map[K]V)
+	return out
+}
+
+// TCVerdict is a traffic-control program's decision.
+type TCVerdict int
+
+// TC verdicts (TC_ACT_OK / TC_ACT_SHOT).
+const (
+	TCPass TCVerdict = iota
+	TCDrop
+)
+
+// ExecveEvent fires on the syscalls/sys_enter_execve tracepoint: a process
+// of a virtual instance started.
+type ExecveEvent struct {
+	PID      int
+	Instance string
+}
+
+// ConntrackEvent fires on the kprobe at ctnetlink_conntrack_event: a
+// process created a connection with the given five tuple. The tuple is kept
+// opaque ([13]byte key form) at this layer; the host stack packs and
+// unpacks it.
+type ConntrackEvent struct {
+	PID   int
+	Tuple [13]byte
+}
+
+// Programs attachable to hooks.
+type (
+	// ExecveProgram observes process starts.
+	ExecveProgram func(ExecveEvent)
+	// ConntrackProgram observes new connections.
+	ConntrackProgram func(ConntrackEvent)
+	// TCProgram inspects (and may rewrite) an egress frame. It returns the
+	// frame to transmit — possibly reallocated, e.g. after inserting an SR
+	// header — and a verdict.
+	TCProgram func(frame []byte) ([]byte, TCVerdict)
+)
+
+// Link represents an attached program; Close detaches it (the ebpf-go
+// object lifecycle).
+type Link struct {
+	once   sync.Once
+	detach func()
+}
+
+// Close detaches the program. Closing twice is safe.
+func (l *Link) Close() {
+	l.once.Do(l.detach)
+}
+
+// Kernel dispatches simulated kernel events into attached programs.
+type Kernel struct {
+	mu        sync.RWMutex
+	nextID    int
+	execve    map[int]ExecveProgram
+	conntrack map[int]ConntrackProgram
+	tcEgress  map[int]TCProgram
+	tcOrder   []int
+}
+
+// NewKernel returns an empty kernel with no programs attached.
+func NewKernel() *Kernel {
+	return &Kernel{
+		execve:    make(map[int]ExecveProgram),
+		conntrack: make(map[int]ConntrackProgram),
+		tcEgress:  make(map[int]TCProgram),
+	}
+}
+
+// AttachExecve attaches p to the execve tracepoint.
+func (k *Kernel) AttachExecve(p ExecveProgram) *Link {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	id := k.nextID
+	k.nextID++
+	k.execve[id] = p
+	return &Link{detach: func() {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		delete(k.execve, id)
+	}}
+}
+
+// AttachConntrack attaches p to the conntrack kprobe.
+func (k *Kernel) AttachConntrack(p ConntrackProgram) *Link {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	id := k.nextID
+	k.nextID++
+	k.conntrack[id] = p
+	return &Link{detach: func() {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		delete(k.conntrack, id)
+	}}
+}
+
+// AttachTCEgress attaches p to the TC egress hook. Programs run in
+// attachment order, each seeing the previous program's (possibly
+// rewritten) frame.
+func (k *Kernel) AttachTCEgress(p TCProgram) *Link {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	id := k.nextID
+	k.nextID++
+	k.tcEgress[id] = p
+	k.tcOrder = append(k.tcOrder, id)
+	return &Link{detach: func() {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		delete(k.tcEgress, id)
+		for i, oid := range k.tcOrder {
+			if oid == id {
+				k.tcOrder = append(k.tcOrder[:i], k.tcOrder[i+1:]...)
+				break
+			}
+		}
+	}}
+}
+
+// Execve raises a process-start event.
+func (k *Kernel) Execve(pid int, instance string) {
+	k.mu.RLock()
+	progs := make([]ExecveProgram, 0, len(k.execve))
+	for _, p := range k.execve {
+		progs = append(progs, p)
+	}
+	k.mu.RUnlock()
+	ev := ExecveEvent{PID: pid, Instance: instance}
+	for _, p := range progs {
+		p(ev)
+	}
+}
+
+// ConntrackNew raises a new-connection event.
+func (k *Kernel) ConntrackNew(pid int, tuple [13]byte) {
+	k.mu.RLock()
+	progs := make([]ConntrackProgram, 0, len(k.conntrack))
+	for _, p := range k.conntrack {
+		progs = append(progs, p)
+	}
+	k.mu.RUnlock()
+	ev := ConntrackEvent{PID: pid, Tuple: tuple}
+	for _, p := range progs {
+		p(ev)
+	}
+}
+
+// EgressPacket runs the frame through the TC egress chain and returns the
+// resulting frame and whether it should be transmitted.
+func (k *Kernel) EgressPacket(frame []byte) ([]byte, bool) {
+	k.mu.RLock()
+	progs := make([]TCProgram, 0, len(k.tcOrder))
+	for _, id := range k.tcOrder {
+		progs = append(progs, k.tcEgress[id])
+	}
+	k.mu.RUnlock()
+	for _, p := range progs {
+		var verdict TCVerdict
+		frame, verdict = p(frame)
+		if verdict == TCDrop {
+			return nil, false
+		}
+	}
+	return frame, true
+}

@@ -1,0 +1,224 @@
+package ebpf
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap[string, int]("test", 0)
+	if m.Name() != "test" {
+		t.Error("name")
+	}
+	if _, ok := m.Lookup("a"); ok {
+		t.Error("lookup on empty map")
+	}
+	if err := m.Update("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Lookup("a"); !ok || v != 1 {
+		t.Errorf("lookup = %v, %v", v, ok)
+	}
+	m.Delete("a")
+	if m.Len() != 0 {
+		t.Error("delete failed")
+	}
+	m.Delete("missing") // no-op
+}
+
+func TestMapMaxEntries(t *testing.T) {
+	m := NewMap[int, int]("small", 2)
+	if err := m.Update(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(3, 3); !errors.Is(err, ErrMapFull) {
+		t.Fatalf("err = %v, want ErrMapFull", err)
+	}
+	// Overwriting an existing key is always allowed.
+	if err := m.Update(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UpdateFunc(4, func(old int, _ bool) int { return old + 1 }); !errors.Is(err, ErrMapFull) {
+		t.Fatalf("UpdateFunc err = %v, want ErrMapFull", err)
+	}
+}
+
+func TestMapUpdateFuncAccumulates(t *testing.T) {
+	m := NewMap[string, uint64]("traffic", 0)
+	for i := 0; i < 5; i++ {
+		if err := m.UpdateFunc("flow", func(old uint64, _ bool) uint64 { return old + 100 }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := m.Lookup("flow"); v != 500 {
+		t.Errorf("accumulated %d, want 500", v)
+	}
+}
+
+func TestMapIterateAndDrain(t *testing.T) {
+	m := NewMap[int, int]("iter", 0)
+	for i := 0; i < 10; i++ {
+		m.Update(i, i*i)
+	}
+	n := 0
+	m.Iterate(func(k, v int) bool {
+		if v != k*k {
+			t.Errorf("entry %d = %d", k, v)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Errorf("iterated %d entries", n)
+	}
+	// Early stop.
+	n = 0
+	m.Iterate(func(k, v int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop iterated %d", n)
+	}
+	got := m.Drain()
+	if len(got) != 10 || m.Len() != 0 {
+		t.Errorf("drain left %d entries, returned %d", m.Len(), len(got))
+	}
+}
+
+func TestMapConcurrent(t *testing.T) {
+	m := NewMap[int, uint64]("conc", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.UpdateFunc(i%16, func(old uint64, _ bool) uint64 { return old + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(0)
+	m.Iterate(func(_ int, v uint64) bool { total += v; return true })
+	if total != 8000 {
+		t.Errorf("lost updates: %d, want 8000", total)
+	}
+}
+
+func TestKernelExecveDispatch(t *testing.T) {
+	k := NewKernel()
+	var got []ExecveEvent
+	link := k.AttachExecve(func(ev ExecveEvent) { got = append(got, ev) })
+	k.Execve(42, "ins-1")
+	if len(got) != 1 || got[0].PID != 42 || got[0].Instance != "ins-1" {
+		t.Fatalf("events = %+v", got)
+	}
+	link.Close()
+	k.Execve(43, "ins-2")
+	if len(got) != 1 {
+		t.Error("program ran after detach")
+	}
+	link.Close() // double close is safe
+}
+
+func TestKernelConntrackDispatch(t *testing.T) {
+	k := NewKernel()
+	var tuple [13]byte
+	tuple[0] = 9
+	got := 0
+	link := k.AttachConntrack(func(ev ConntrackEvent) {
+		if ev.Tuple != tuple || ev.PID != 7 {
+			t.Errorf("event = %+v", ev)
+		}
+		got++
+	})
+	defer link.Close()
+	k.ConntrackNew(7, tuple)
+	if got != 1 {
+		t.Errorf("dispatched %d", got)
+	}
+}
+
+func TestKernelTCChainOrderAndRewrite(t *testing.T) {
+	k := NewKernel()
+	l1 := k.AttachTCEgress(func(f []byte) ([]byte, TCVerdict) {
+		return append(f, 'a'), TCPass
+	})
+	defer l1.Close()
+	l2 := k.AttachTCEgress(func(f []byte) ([]byte, TCVerdict) {
+		return append(f, 'b'), TCPass
+	})
+	defer l2.Close()
+	out, ok := k.EgressPacket([]byte("x"))
+	if !ok || string(out) != "xab" {
+		t.Fatalf("out = %q, ok=%v", out, ok)
+	}
+}
+
+func TestKernelTCDrop(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	l1 := k.AttachTCEgress(func(f []byte) ([]byte, TCVerdict) { return f, TCDrop })
+	defer l1.Close()
+	l2 := k.AttachTCEgress(func(f []byte) ([]byte, TCVerdict) { ran = true; return f, TCPass })
+	defer l2.Close()
+	out, ok := k.EgressPacket([]byte("x"))
+	if ok || out != nil {
+		t.Error("dropped packet should not transmit")
+	}
+	if ran {
+		t.Error("later program ran after drop")
+	}
+}
+
+func TestKernelTCDetachMiddle(t *testing.T) {
+	k := NewKernel()
+	l1 := k.AttachTCEgress(func(f []byte) ([]byte, TCVerdict) { return append(f, '1'), TCPass })
+	l2 := k.AttachTCEgress(func(f []byte) ([]byte, TCVerdict) { return append(f, '2'), TCPass })
+	l3 := k.AttachTCEgress(func(f []byte) ([]byte, TCVerdict) { return append(f, '3'), TCPass })
+	defer l1.Close()
+	defer l3.Close()
+	l2.Close()
+	out, _ := k.EgressPacket(nil)
+	if string(out) != "13" {
+		t.Errorf("out = %q, want 13", out)
+	}
+}
+
+func TestKernelNoPrograms(t *testing.T) {
+	k := NewKernel()
+	out, ok := k.EgressPacket([]byte("pass"))
+	if !ok || string(out) != "pass" {
+		t.Error("no programs should pass frames through")
+	}
+	k.Execve(1, "x")              // no panic
+	k.ConntrackNew(1, [13]byte{}) // no panic
+}
+
+// Property: a Drain returns exactly what was written.
+func TestMapDrainProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		m := NewMap[uint8, int]("p", 0)
+		want := map[uint8]int{}
+		for i, k := range keys {
+			m.Update(k, i)
+			want[k] = i
+		}
+		got := m.Drain()
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return m.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,319 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"megate/internal/core"
+	"megate/internal/stats"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// AppMetrics aggregates one application's experience over a matrix: the
+// quantities of Figures 15 (latency), 16 (availability) and 17 (cost).
+// All means are demand-weighted over satisfied traffic.
+type AppMetrics struct {
+	App               string
+	Class             traffic.Class
+	MeanLatencyMs     float64
+	Availability      float64
+	CostPerGbps       float64
+	SatisfiedFraction float64
+
+	demandMbps float64
+}
+
+// ProductionPolicy is the per-class tunnel weighting MegaTE runs in
+// production (§7): class 1 pins to short, highly available paths; class 2
+// follows latency; class 3 (bulk) follows carriage cost, landing on cheap
+// paths.
+func ProductionPolicy(class traffic.Class, tn *topology.Tunnel, topo *topology.Topology) float64 {
+	switch class {
+	case traffic.Class1:
+		return tn.Weight + 1000*(1-tn.Availability(topo))
+	case traffic.Class3:
+		return tn.CostPerGbps(topo)
+	default:
+		return tn.Weight
+	}
+}
+
+// bottleneckCap returns the tunnel's minimum link capacity (0 when a link
+// is down).
+func bottleneckCap(topo *topology.Topology, tn *topology.Tunnel) float64 {
+	min := math.Inf(1)
+	for _, l := range tn.Links {
+		link := topo.Links[l]
+		if link.Down {
+			return 0
+		}
+		if link.CapacityMbps < min {
+			min = link.CapacityMbps
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// RunMegaTE solves the matrix with MegaTE's production configuration
+// (QoS-split, production path policy) and aggregates per-app metrics.
+func RunMegaTE(topo *topology.Topology, m *traffic.Matrix) (map[string]*AppMetrics, error) {
+	solver := core.NewSolver(topo, core.Options{
+		SplitQoS:    true,
+		ClassPolicy: ProductionPolicy,
+	})
+	res, err := solver.Solve(m)
+	if err != nil {
+		return nil, err
+	}
+	apps := make(map[string]*AppMetrics)
+	for i, tn := range res.FlowTunnel {
+		f := &m.Flows[i]
+		a := appFor(apps, f)
+		a.demandMbps += f.DemandMbps
+		if tn == nil {
+			continue
+		}
+		w := f.DemandMbps
+		a.SatisfiedFraction += w
+		a.MeanLatencyMs += w * tn.Weight
+		a.Availability += w * tn.Availability(topo)
+		a.CostPerGbps += w * tn.CostPerGbps(topo)
+	}
+	finalize(apps)
+	return apps, nil
+}
+
+// RunConventional models the traditional TE the paper compares against in
+// §7: the flow-to-tunnel mapping is five-tuple hashing over the pair's TE
+// tunnels in proportion to capacity, regardless of class or latency needs —
+// exactly the behaviour of Figure 2, where one instance pair's packets
+// cluster around both a 20 ms and a 42 ms path. Every flow of a pair
+// therefore experiences the pair's *blended* latency, availability and
+// cost: time-sensitive flows ride long tunnels part of the time (Figure
+// 15's loss), class-1 traffic inherits the blend's availability (Figure
+// 16), and bulk traffic pays for premium links it does not need (Figure
+// 17).
+func RunConventional(topo *topology.Topology, m *traffic.Matrix) (map[string]*AppMetrics, error) {
+	ts := topology.NewTunnelSet(topo, 4)
+	pairs := m.Pairs()
+	if topo.NumLinks() == 0 {
+		return nil, fmt.Errorf("flowsim: conventional TE needs links")
+	}
+
+	// Offered load per tunnel: hash-split over the pair's high-availability
+	// tunnels proportional to bottleneck capacity.
+	type share struct {
+		tn   *topology.Tunnel
+		frac float64 // share of the pair's demand
+	}
+	pairShares := make([][]share, len(pairs))
+	loads := make([]float64, topo.NumLinks())
+	for pi, p := range pairs {
+		sel := ts.For(p.Src, p.Dst)
+		total := 0.0
+		caps := make([]float64, len(sel))
+		for i, tn := range sel {
+			caps[i] = bottleneckCap(topo, tn)
+			total += caps[i]
+		}
+		if total == 0 {
+			continue
+		}
+		demand := m.DemandFor(p)
+		for i, tn := range sel {
+			frac := caps[i] / total
+			pairShares[pi] = append(pairShares[pi], share{tn: tn, frac: frac})
+			for _, l := range tn.Links {
+				loads[l] += demand * frac
+			}
+		}
+	}
+
+	// Feasibility: hashing ignores congestion, so traffic through
+	// overloaded links is cut back by the worst overload it traverses
+	// (packets are dropped at the congested queue).
+	overload := make([]float64, topo.NumLinks())
+	for i, l := range topo.Links {
+		overload[i] = 1
+		if l.Down {
+			overload[i] = math.Inf(1)
+			continue
+		}
+		if loads[i] > l.CapacityMbps && l.CapacityMbps > 0 {
+			overload[i] = loads[i] / l.CapacityMbps
+		}
+	}
+
+	// Blend per pair.
+	type blend struct {
+		frac, latency, avail, cost float64
+	}
+	blends := make([]blend, len(pairs))
+	for pi := range pairs {
+		var b blend
+		delivered := 0.0
+		for _, sh := range pairShares[pi] {
+			worst := 1.0
+			for _, l := range sh.tn.Links {
+				if overload[l] > worst {
+					worst = overload[l]
+				}
+			}
+			d := sh.frac / worst
+			delivered += d
+			b.latency += d * sh.tn.Weight
+			b.avail += d * sh.tn.Availability(topo)
+			b.cost += d * sh.tn.CostPerGbps(topo)
+		}
+		if delivered > 0 {
+			b.latency /= delivered
+			b.avail /= delivered
+			b.cost /= delivered
+			b.frac = math.Min(1, delivered)
+		}
+		blends[pi] = b
+	}
+	pairIdx := make(map[traffic.SitePair]int, len(pairs))
+	for pi, p := range pairs {
+		pairIdx[p] = pi
+	}
+
+	apps := make(map[string]*AppMetrics)
+	for i := range m.Flows {
+		f := &m.Flows[i]
+		a := appFor(apps, f)
+		a.demandMbps += f.DemandMbps
+		b := blends[pairIdx[f.Pair]]
+		if b.frac <= 0 {
+			continue
+		}
+		w := f.DemandMbps * b.frac
+		a.SatisfiedFraction += w
+		a.MeanLatencyMs += w * b.latency
+		a.Availability += w * b.avail
+		a.CostPerGbps += w * b.cost
+	}
+	finalize(apps)
+	return apps, nil
+}
+
+func appFor(apps map[string]*AppMetrics, f *traffic.Flow) *AppMetrics {
+	name := f.App
+	if name == "" {
+		name = f.Class.String()
+	}
+	a := apps[name]
+	if a == nil {
+		a = &AppMetrics{App: name, Class: f.Class}
+		apps[name] = a
+	}
+	return a
+}
+
+// finalize converts accumulated sums into demand-weighted means.
+func finalize(apps map[string]*AppMetrics) {
+	for _, a := range apps {
+		satisfied := a.SatisfiedFraction // still a Mbps sum here
+		if satisfied > 0 {
+			a.MeanLatencyMs /= satisfied
+			a.Availability /= satisfied
+			a.CostPerGbps /= satisfied
+		} else {
+			a.MeanLatencyMs = math.NaN()
+			a.Availability = math.NaN()
+			a.CostPerGbps = math.NaN()
+		}
+		if a.demandMbps > 0 {
+			a.SatisfiedFraction = satisfied / a.demandMbps
+		}
+	}
+}
+
+// MonthlyAvailability synthesizes the month-by-month availability series of
+// Figure 16: months before deployAt reflect the conventional metrics,
+// months from deployAt on reflect MegaTE's, with small seeded measurement
+// noise. Availabilities are clamped to [0, 1].
+func MonthlyAvailability(conv, mega *AppMetrics, months, deployAt int, seed int64) []float64 {
+	r := stats.NewRand(seed)
+	series := make([]float64, months)
+	for i := range series {
+		base := conv.Availability
+		if i >= deployAt {
+			base = mega.Availability
+		}
+		// Noise shrinks the unavailability by up to ±30%.
+		u := 1 - base
+		u *= 0.85 + 0.3*r.Float64()
+		v := 1 - u
+		if v > 1 {
+			v = 1
+		}
+		if v < 0 {
+			v = 0
+		}
+		series[i] = v
+	}
+	return series
+}
+
+// LatencyReduction returns the fractional latency reduction MegaTE achieves
+// for an app versus the conventional scheme (Figure 15).
+func LatencyReduction(conv, mega *AppMetrics) float64 {
+	if conv == nil || mega == nil || conv.MeanLatencyMs <= 0 || math.IsNaN(conv.MeanLatencyMs) || math.IsNaN(mega.MeanLatencyMs) {
+		return math.NaN()
+	}
+	return 1 - mega.MeanLatencyMs/conv.MeanLatencyMs
+}
+
+// CostReduction returns the fractional cost reduction (Figure 17).
+func CostReduction(conv, mega *AppMetrics) float64 {
+	if conv == nil || mega == nil || conv.CostPerGbps <= 0 || math.IsNaN(conv.CostPerGbps) || math.IsNaN(mega.CostPerGbps) {
+		return math.NaN()
+	}
+	return 1 - mega.CostPerGbps/conv.CostPerGbps
+}
+
+// MergeAppMetrics demand-weight-averages per-interval metrics across a
+// trace (a day of TE intervals).
+func MergeAppMetrics(intervals []map[string]*AppMetrics) map[string]*AppMetrics {
+	out := make(map[string]*AppMetrics)
+	weight := make(map[string]float64)
+	for _, apps := range intervals {
+		for name, a := range apps {
+			o := out[name]
+			if o == nil {
+				o = &AppMetrics{App: a.App, Class: a.Class}
+				out[name] = o
+			}
+			w := a.demandMbps * a.SatisfiedFraction
+			if w <= 0 || math.IsNaN(a.MeanLatencyMs) {
+				continue
+			}
+			o.MeanLatencyMs += w * a.MeanLatencyMs
+			o.Availability += w * a.Availability
+			o.CostPerGbps += w * a.CostPerGbps
+			o.SatisfiedFraction += a.demandMbps * a.SatisfiedFraction
+			o.demandMbps += a.demandMbps
+			weight[name] += w
+		}
+	}
+	for name, o := range out {
+		if w := weight[name]; w > 0 {
+			o.MeanLatencyMs /= w
+			o.Availability /= w
+			o.CostPerGbps /= w
+		} else {
+			o.MeanLatencyMs = math.NaN()
+			o.Availability = math.NaN()
+			o.CostPerGbps = math.NaN()
+		}
+		if o.demandMbps > 0 {
+			o.SatisfiedFraction /= o.demandMbps
+		}
+	}
+	return out
+}

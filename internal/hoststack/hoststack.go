@@ -1,0 +1,362 @@
+// Package hoststack implements MegaTE's eBPF-based end-host networking
+// stack (§5, Figure 6). Each Host wires three programs into the simulated
+// kernel:
+//
+//   - an execve tracepoint program recording pid → instance into env_map;
+//   - a conntrack kprobe program recording five-tuple → pid into contk_map
+//     and joining it with env_map into inf_map (five-tuple → instance);
+//   - a TC egress program that accounts per-flow bytes into traffic_map
+//     (attributing IP fragments via frag_map keyed by ipid) and inserts the
+//     MegaTE SR header after the VXLAN header according to path_map.
+//
+// The endpoint agent (package controlplane) populates path_map from the TE
+// database and periodically drains traffic_map joined with inf_map to
+// report instance-level flow statistics upstream.
+package hoststack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"megate/internal/ebpf"
+	"megate/internal/packet"
+)
+
+// PathKey selects the SR path for an instance's traffic toward a
+// destination site.
+type PathKey struct {
+	Instance string
+	DstSite  uint32
+}
+
+// FlowRecord is one instance-level flow statistic, the tuple of ins_id and
+// volume the endpoint agent ships to the backend per TE period (§5.1).
+type FlowRecord struct {
+	Instance string
+	Tuple    packet.FiveTuple
+	Bytes    uint64
+}
+
+// Host is one end-host server with its eBPF maps and programs attached.
+type Host struct {
+	ID  string
+	MTU int
+
+	Kernel *ebpf.Kernel
+
+	// The six maps of Figure 6.
+	EnvMap     *ebpf.Map[int, string]              // pid -> ins_id
+	ContkMap   *ebpf.Map[packet.FiveTuple, int]    // 5tuple -> pid
+	InfMap     *ebpf.Map[packet.FiveTuple, string] // 5tuple -> ins_id
+	TrafficMap *ebpf.Map[packet.FiveTuple, uint64] // 5tuple -> bytes
+	FragMap    *ebpf.Map[uint16, packet.FiveTuple] // ipid -> 5tuple
+	PathMap    *ebpf.Map[PathKey, []uint32]        // (ins, dst site) -> hops
+
+	// ipToSite resolves an endpoint IP to its site identifier; the host
+	// learns it from the control plane (the VPC mapping service).
+	ipToSite func([4]byte) (uint32, bool)
+
+	links  []*ebpf.Link
+	nextID atomic.Uint32 // outer ipid allocator
+}
+
+// NewHost creates a host, attaching the three eBPF programs. mtu bounds the
+// outer IP packet size; ipToSite resolves inner destination IPs to sites
+// (nil means SR insertion is disabled, conventional behaviour).
+func NewHost(id string, mtu int, ipToSite func([4]byte) (uint32, bool)) *Host {
+	h := &Host{
+		ID:         id,
+		MTU:        mtu,
+		Kernel:     ebpf.NewKernel(),
+		EnvMap:     ebpf.NewMap[int, string]("env_map", 1<<16),
+		ContkMap:   ebpf.NewMap[packet.FiveTuple, int]("contk_map", 1<<20),
+		InfMap:     ebpf.NewMap[packet.FiveTuple, string]("inf_map", 1<<20),
+		TrafficMap: ebpf.NewMap[packet.FiveTuple, uint64]("traffic_map", 1<<20),
+		FragMap:    ebpf.NewMap[uint16, packet.FiveTuple]("frag_map", 1<<16),
+		PathMap:    ebpf.NewMap[PathKey, []uint32]("path_map", 1<<20),
+		ipToSite:   ipToSite,
+	}
+	h.links = append(h.links,
+		h.Kernel.AttachExecve(h.execveProg),
+		h.Kernel.AttachConntrack(h.conntrackProg),
+		h.Kernel.AttachTCEgress(h.tcEgressProg),
+	)
+	return h
+}
+
+// Close detaches the host's eBPF programs.
+func (h *Host) Close() {
+	for _, l := range h.links {
+		l.Close()
+	}
+}
+
+// execveProg implements the tracepoint program at
+// syscalls/sys_enter_execve: record which instance owns the process.
+func (h *Host) execveProg(ev ebpf.ExecveEvent) {
+	_ = h.EnvMap.Update(ev.PID, ev.Instance)
+}
+
+// conntrackProg implements the kprobe at ctnetlink_conntrack_event: record
+// the connection's five tuple and join it with env_map into inf_map.
+func (h *Host) conntrackProg(ev ebpf.ConntrackEvent) {
+	tuple := UnpackTuple(ev.Tuple)
+	_ = h.ContkMap.Update(tuple, ev.PID)
+	if ins, ok := h.EnvMap.Lookup(ev.PID); ok {
+		_ = h.InfMap.Update(tuple, ins)
+	}
+}
+
+// tcEgressProg implements the TC-layer program: flow accounting (including
+// fragments) and SR insertion.
+func (h *Host) tcEgressProg(frame []byte) ([]byte, ebpf.TCVerdict) {
+	var eth packet.Ethernet
+	ipBytes, err := eth.DecodeFromBytes(frame)
+	if err != nil || eth.EtherType != packet.EtherTypeIPv4 {
+		return frame, ebpf.TCPass // not ours
+	}
+	var ip packet.IPv4
+	payload, err := ip.DecodeFromBytes(ipBytes)
+	if err != nil {
+		return frame, ebpf.TCPass
+	}
+
+	if ip.FragOffset != 0 {
+		// Subsequent fragment: attribute its bytes via frag_map (§5.1).
+		if tuple, ok := h.FragMap.Lookup(ip.ID); ok {
+			h.account(tuple, uint64(ip.TotalLen))
+			if !ip.MoreFragments() {
+				h.FragMap.Delete(ip.ID)
+			}
+		}
+		return frame, ebpf.TCPass
+	}
+
+	// First fragment or whole packet: the VXLAN and inner headers are
+	// present, so the inner five tuple is extractable.
+	tuple, vxlanOK := innerTuple(&ip, payload)
+	if !vxlanOK {
+		return frame, ebpf.TCPass
+	}
+	if ip.MoreFragments() {
+		_ = h.FragMap.Update(ip.ID, tuple)
+	}
+	h.account(tuple, uint64(ip.TotalLen))
+
+	// SR insertion (§5.2): five tuple -> instance via inf_map, instance +
+	// destination site -> hops via path_map.
+	if h.ipToSite == nil {
+		return frame, ebpf.TCPass
+	}
+	ins, ok := h.InfMap.Lookup(tuple)
+	if !ok {
+		return frame, ebpf.TCPass
+	}
+	site, ok := h.ipToSite(tuple.DstIP)
+	if !ok {
+		return frame, ebpf.TCPass
+	}
+	hops, ok := h.PathMap.Lookup(PathKey{Instance: ins, DstSite: site})
+	if !ok || len(hops) == 0 {
+		return frame, ebpf.TCPass
+	}
+	rewritten, err := insertSR(&eth, &ip, payload, hops)
+	if err != nil {
+		return frame, ebpf.TCPass // leave the packet alone on any parse error
+	}
+	return rewritten, ebpf.TCPass
+}
+
+func (h *Host) account(tuple packet.FiveTuple, bytes uint64) {
+	_ = h.TrafficMap.UpdateFunc(tuple, func(old uint64, _ bool) uint64 { return old + bytes })
+}
+
+// innerTuple digs through UDP/VXLAN(/SR) and the inner Ethernet/IPv4/UDP
+// headers to extract the instance connection's five tuple.
+func innerTuple(outerIP *packet.IPv4, l4 []byte) (packet.FiveTuple, bool) {
+	var tuple packet.FiveTuple
+	if outerIP.Protocol != packet.IPProtoUDP {
+		return tuple, false
+	}
+	var udp packet.UDP
+	rest, err := udp.DecodeHeader(l4)
+	if err != nil || udp.DstPort != packet.VXLANPort {
+		return tuple, false
+	}
+	var vx packet.VXLAN
+	rest, err = vx.DecodeFromBytes(rest)
+	if err != nil {
+		return tuple, false
+	}
+	if vx.SRPresent {
+		var sr packet.SRHeader
+		rest, err = sr.DecodeFromBytes(rest)
+		if err != nil {
+			return tuple, false
+		}
+	}
+	var inEth packet.Ethernet
+	rest, err = inEth.DecodeFromBytes(rest)
+	if err != nil || inEth.EtherType != packet.EtherTypeIPv4 {
+		return tuple, false
+	}
+	var inIP packet.IPv4
+	rest, err = inIP.DecodeHeader(rest)
+	if err != nil {
+		return tuple, false
+	}
+	tuple.SrcIP, tuple.DstIP = inIP.Src, inIP.Dst
+	tuple.Proto = inIP.Protocol
+	if inIP.Protocol == packet.IPProtoUDP && inIP.FragOffset == 0 {
+		var inUDP packet.UDP
+		if _, err := inUDP.DecodeHeader(rest); err == nil {
+			tuple.SrcPort, tuple.DstPort = inUDP.SrcPort, inUDP.DstPort
+		}
+	}
+	return tuple, true
+}
+
+// insertSR rebuilds the frame with the SR header spliced in after the VXLAN
+// header and the SR flag set in the VXLAN reserved field. Length and
+// checksum fields of the outer headers are recomputed.
+func insertSR(eth *packet.Ethernet, ip *packet.IPv4, l4 []byte, hops []uint32) ([]byte, error) {
+	var udp packet.UDP
+	rest, err := udp.DecodeHeader(l4)
+	if err != nil {
+		return nil, err
+	}
+	var vx packet.VXLAN
+	rest, err = vx.DecodeFromBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	if vx.SRPresent {
+		return nil, fmt.Errorf("hoststack: SR already present")
+	}
+	vx.SRPresent = true
+	sr := &packet.SRHeader{Hops: hops}
+	var b packet.SerializeBuffer
+	if err := packet.SerializeLayers(&b, eth, ip, &udp, &vx, sr, packet.Payload(rest)); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b.Bytes()))
+	copy(out, b.Bytes())
+	return out, nil
+}
+
+// RunProcess simulates an instance starting a process (raises the execve
+// tracepoint).
+func (h *Host) RunProcess(pid int, instance string) {
+	h.Kernel.Execve(pid, instance)
+}
+
+// OpenConnection simulates the process creating a connection (raises the
+// conntrack kprobe).
+func (h *Host) OpenConnection(pid int, tuple packet.FiveTuple) {
+	h.Kernel.ConntrackNew(pid, PackTuple(tuple))
+}
+
+// InstallPath installs the TE-decided hop list for an instance's traffic
+// toward a destination site — the endpoint agent's action after pulling new
+// TE configurations (§5.2).
+func (h *Host) InstallPath(instance string, dstSite uint32, hops []uint32) {
+	_ = h.PathMap.Update(PathKey{Instance: instance, DstSite: dstSite}, hops)
+}
+
+// RemovePath removes one installed path, e.g. when a new TE configuration
+// no longer covers the destination.
+func (h *Host) RemovePath(instance string, dstSite uint32) {
+	h.PathMap.Delete(PathKey{Instance: instance, DstSite: dstSite})
+}
+
+// ClearPaths removes all installed paths (e.g. when TE configs are
+// superseded wholesale).
+func (h *Host) ClearPaths() {
+	h.PathMap.Drain()
+}
+
+// Send transmits payload on the given instance connection: it builds the
+// inner frame, VXLAN-encapsulates it between hostSrc and hostDst, fragments
+// to the MTU, and runs every resulting frame through the TC egress chain.
+// The returned frames are what reaches the wire.
+func (h *Host) Send(tuple packet.FiveTuple, vni uint32, hostSrc, hostDst [4]byte, payload []byte) ([][]byte, error) {
+	// Inner frame: Ethernet/IPv4/UDP around the payload.
+	innerIP := packet.IPv4{
+		TTL: 64, Protocol: tuple.Proto,
+		Src: tuple.SrcIP, Dst: tuple.DstIP,
+		ID: uint16(h.nextID.Add(1)),
+	}
+	innerUDP := packet.UDP{SrcPort: tuple.SrcPort, DstPort: tuple.DstPort}
+	var inner packet.SerializeBuffer
+	if err := packet.SerializeLayers(&inner,
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&innerIP, &innerUDP, packet.Payload(payload)); err != nil {
+		return nil, err
+	}
+
+	outer := &packet.Encap{
+		Eth: packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.IPProtoUDP,
+			Src: hostSrc, Dst: hostDst,
+			ID: uint16(h.nextID.Add(1)),
+		},
+		UDP:   packet.UDP{SrcPort: uint16(tuple.Hash()&0x3fff) + 49152, DstPort: packet.VXLANPort},
+		VXLAN: packet.VXLAN{VNI: vni},
+		Inner: inner.Bytes(),
+	}
+	frame, err := outer.Serialize()
+	if err != nil {
+		return nil, err
+	}
+
+	frags, err := packet.FragmentFrame(frame, h.MTU)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for _, f := range frags {
+		sent, ok := h.Kernel.EgressPacket(f)
+		if ok {
+			out = append(out, sent)
+		}
+	}
+	return out, nil
+}
+
+// CollectFlows drains traffic_map, joins it with inf_map, and returns
+// instance-level flow records — the user-space process the endpoint agent
+// runs once per TE period (§5.1). Flows whose five tuple has no known
+// instance are reported with an empty Instance.
+func (h *Host) CollectFlows() []FlowRecord {
+	counts := h.TrafficMap.Drain()
+	records := make([]FlowRecord, 0, len(counts))
+	for tuple, bytes := range counts {
+		ins, _ := h.InfMap.Lookup(tuple)
+		records = append(records, FlowRecord{Instance: ins, Tuple: tuple, Bytes: bytes})
+	}
+	return records
+}
+
+// PackTuple encodes a five tuple into the kernel's 13-byte key form.
+func PackTuple(t packet.FiveTuple) [13]byte {
+	var b [13]byte
+	copy(b[0:4], t.SrcIP[:])
+	copy(b[4:8], t.DstIP[:])
+	b[8] = t.Proto
+	binary.BigEndian.PutUint16(b[9:11], t.SrcPort)
+	binary.BigEndian.PutUint16(b[11:13], t.DstPort)
+	return b
+}
+
+// UnpackTuple decodes the 13-byte key form.
+func UnpackTuple(b [13]byte) packet.FiveTuple {
+	var t packet.FiveTuple
+	copy(t.SrcIP[:], b[0:4])
+	copy(t.DstIP[:], b[4:8])
+	t.Proto = b[8]
+	t.SrcPort = binary.BigEndian.Uint16(b[9:11])
+	t.DstPort = binary.BigEndian.Uint16(b[11:13])
+	return t
+}

@@ -1,0 +1,361 @@
+package hoststack
+
+import (
+	"bytes"
+	"testing"
+
+	"megate/internal/packet"
+)
+
+var (
+	srcIP  = [4]byte{10, 1, 0, 5}
+	dstIP  = [4]byte{10, 2, 0, 9}
+	hostA  = [4]byte{192, 168, 0, 1}
+	hostB  = [4]byte{192, 168, 0, 2}
+	tupleA = packet.FiveTuple{SrcIP: srcIP, DstIP: dstIP, Proto: packet.IPProtoUDP, SrcPort: 5000, DstPort: 6000}
+)
+
+func siteOf(ip [4]byte) (uint32, bool) {
+	if ip == dstIP {
+		return 7, true
+	}
+	return 0, false
+}
+
+func newTestHost() *Host {
+	return NewHost("h1", 1500, siteOf)
+}
+
+func TestInstanceIdentificationChain(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(100, "ins-a")
+	h.OpenConnection(100, tupleA)
+	if pid, ok := h.ContkMap.Lookup(tupleA); !ok || pid != 100 {
+		t.Errorf("contk_map = %v, %v", pid, ok)
+	}
+	if ins, ok := h.InfMap.Lookup(tupleA); !ok || ins != "ins-a" {
+		t.Errorf("inf_map = %q, %v", ins, ok)
+	}
+}
+
+func TestConnectionWithoutProcessNotJoined(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.OpenConnection(200, tupleA) // no execve seen for pid 200
+	if _, ok := h.InfMap.Lookup(tupleA); ok {
+		t.Error("inf_map should not have an entry without env_map join")
+	}
+}
+
+func TestSendInsertsSRHeader(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	h.InstallPath("ins-a", 7, []uint32{3, 5, 7})
+
+	frames, err := h.Send(tupleA, 42, hostA, hostB, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	e, err := packet.DecodeEncap(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.VXLAN.SRPresent || e.SR == nil {
+		t.Fatal("SR header missing")
+	}
+	if len(e.SR.Hops) != 3 || e.SR.Hops[0] != 3 || e.SR.Hops[2] != 7 {
+		t.Errorf("hops = %v", e.SR.Hops)
+	}
+	if e.SR.Offset != 0 {
+		t.Errorf("offset = %d, want 0", e.SR.Offset)
+	}
+	// Inner frame must survive byte-for-byte.
+	var inEth packet.Ethernet
+	rest, err := inEth.DecodeFromBytes(e.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inIP packet.IPv4
+	rest, err = inIP.DecodeFromBytes(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inIP.Src != srcIP || inIP.Dst != dstIP {
+		t.Error("inner IPs mangled")
+	}
+	var inUDP packet.UDP
+	payload, err := inUDP.DecodeFromBytes(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, []byte("hello")) {
+		t.Errorf("payload = %q", payload)
+	}
+}
+
+func TestSendWithoutPathNoSR(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	// No InstallPath.
+	frames, err := h.Send(tupleA, 42, hostA, hostB, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := packet.DecodeEncap(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.VXLAN.SRPresent {
+		t.Error("SR inserted without a path")
+	}
+}
+
+func TestSendUnknownInstanceNoSR(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	// Connection never registered: inf_map has no entry.
+	h.InstallPath("ins-a", 7, []uint32{1})
+	frames, err := h.Send(tupleA, 42, hostA, hostB, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := packet.DecodeEncap(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.VXLAN.SRPresent {
+		t.Error("SR inserted for unidentified flow")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	for i := 0; i < 3; i++ {
+		if _, err := h.Send(tupleA, 42, hostA, hostB, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records := h.CollectFlows()
+	if len(records) != 1 {
+		t.Fatalf("records = %d, want 1", len(records))
+	}
+	r := records[0]
+	if r.Instance != "ins-a" || r.Tuple != tupleA {
+		t.Errorf("record = %+v", r)
+	}
+	// Three packets of ~200 bytes short of precision; just require
+	// plausible accounting.
+	if r.Bytes < 300 || r.Bytes > 1000 {
+		t.Errorf("bytes = %d", r.Bytes)
+	}
+	// Collection drains: second read is empty.
+	if again := h.CollectFlows(); len(again) != 0 {
+		t.Errorf("second collect returned %d records", len(again))
+	}
+}
+
+func TestFragmentAccountingViaFragMap(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	// 4000-byte payload over 1500 MTU fragments into 3+.
+	frames, err := h.Send(tupleA, 42, hostA, hostB, make([]byte, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("frames = %d, want >= 3 fragments", len(frames))
+	}
+	records := h.CollectFlows()
+	if len(records) != 1 {
+		t.Fatalf("records = %v", records)
+	}
+	r := records[0]
+	if r.Instance != "ins-a" {
+		t.Errorf("instance = %q", r.Instance)
+	}
+	// All fragments must be attributed: total accounted bytes must cover
+	// the whole payload plus headers.
+	if r.Bytes < 4000 {
+		t.Errorf("accounted %d bytes, want >= 4000 (all fragments)", r.Bytes)
+	}
+	// frag_map entry is cleaned up by the last fragment.
+	if h.FragMap.Len() != 0 {
+		t.Errorf("frag_map has %d stale entries", h.FragMap.Len())
+	}
+}
+
+func TestFragmentedSendStillInsertsSRInFirstFragment(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	h.InstallPath("ins-a", 7, []uint32{9, 8})
+	frames, err := h.Send(tupleA, 42, hostA, hostB, make([]byte, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First fragment carries VXLAN+SR.
+	var eth packet.Ethernet
+	rest, err := eth.DecodeFromBytes(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ip packet.IPv4
+	l4, err := ip.DecodeFromBytes(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ip.MoreFragments() {
+		t.Fatal("first frame should be a fragment")
+	}
+	var udp packet.UDP
+	vx4, err := udp.DecodeFromBytes(l4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vx packet.VXLAN
+	srBytes, err := vx.DecodeFromBytes(vx4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vx.SRPresent {
+		t.Fatal("first fragment missing SR flag")
+	}
+	var sr packet.SRHeader
+	if _, err := sr.DecodeFromBytes(srBytes); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Hops) != 2 || sr.Hops[0] != 9 {
+		t.Errorf("hops = %v", sr.Hops)
+	}
+}
+
+func TestPackUnpackTupleRoundTrip(t *testing.T) {
+	got := UnpackTuple(PackTuple(tupleA))
+	if got != tupleA {
+		t.Errorf("round trip: %+v != %+v", got, tupleA)
+	}
+}
+
+func TestClearPaths(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.InstallPath("a", 1, []uint32{1})
+	h.InstallPath("b", 2, []uint32{2})
+	if h.PathMap.Len() != 2 {
+		t.Fatal("install failed")
+	}
+	h.ClearPaths()
+	if h.PathMap.Len() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestNonIPFramesPassThrough(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	junk := []byte{1, 2, 3}
+	out, ok := h.Kernel.EgressPacket(junk)
+	if !ok || !bytes.Equal(out, junk) {
+		t.Error("junk frame should pass unmodified")
+	}
+	if h.TrafficMap.Len() != 0 {
+		t.Error("junk frame accounted")
+	}
+}
+
+func TestHostCloseDetaches(t *testing.T) {
+	h := newTestHost()
+	h.Close()
+	h.RunProcess(1, "ins-a")
+	if h.EnvMap.Len() != 0 {
+		t.Error("program ran after Close")
+	}
+}
+
+func BenchmarkHostSendWithSR(b *testing.B) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	h.InstallPath("ins-a", 7, []uint32{3, 5, 7})
+	payload := make([]byte, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Send(tupleA, 42, hostA, hostB, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCEgressAccountingOnly(b *testing.B) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	frames, err := h.Send(tupleA, 42, hostA, hostB, make([]byte, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := frames[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Kernel.EgressPacket(frame)
+	}
+}
+
+// Robustness: arbitrary frames through the TC chain must never panic, and
+// mutated frames must never corrupt accounting state structurally.
+func TestTCEgressNeverPanics(t *testing.T) {
+	h := newTestHost()
+	defer h.Close()
+	h.RunProcess(1, "ins-a")
+	h.OpenConnection(1, tupleA)
+	h.InstallPath("ins-a", 7, []uint32{3, 5})
+
+	frames, err := h.Send(tupleA, 42, hostA, hostB, make([]byte, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := frames[0]
+
+	seed := int64(7)
+	rnd := func() int { seed = seed*6364136223846793005 + 1; return int(uint64(seed) >> 33) }
+	for trial := 0; trial < 5000; trial++ {
+		var data []byte
+		if trial%2 == 0 {
+			data = make([]byte, rnd()%150)
+			for i := range data {
+				data[i] = byte(rnd())
+			}
+		} else {
+			data = append([]byte(nil), base...)
+			for f := 0; f < 1+rnd()%4; f++ {
+				data[rnd()%len(data)] ^= byte(1 << (rnd() % 8))
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on frame %x: %v", data, rec)
+				}
+			}()
+			h.Kernel.EgressPacket(data)
+		}()
+	}
+}

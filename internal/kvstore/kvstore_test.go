@@ -1,0 +1,424 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(2)
+	if s.NumShards() != 2 {
+		t.Error("shards")
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("get on empty store")
+	}
+	s.Put("a", []byte("hello"))
+	if v, ok := s.Get("a"); !ok || string(v) != "hello" {
+		t.Errorf("get = %q, %v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Error("len")
+	}
+	s.Delete("a")
+	if s.Len() != 0 {
+		t.Error("delete")
+	}
+}
+
+func TestStorePutCopies(t *testing.T) {
+	s := NewStore(1)
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'x'
+	if v, _ := s.Get("k"); string(v) != "abc" {
+		t.Error("Put did not copy the value")
+	}
+}
+
+func TestStoreVersionMonotone(t *testing.T) {
+	s := NewStore(1)
+	if s.Version() != 0 {
+		t.Error("initial version")
+	}
+	if got := s.Publish(5); got != 5 {
+		t.Errorf("publish = %d", got)
+	}
+	if got := s.Publish(3); got != 5 {
+		t.Errorf("stale publish = %d, want 5 (ignored)", got)
+	}
+	if got := s.Bump(); got != 6 {
+		t.Errorf("bump = %d", got)
+	}
+}
+
+func TestStoreQueriesCounted(t *testing.T) {
+	s := NewStore(1)
+	s.Put("a", []byte("x"))
+	s.Get("a")
+	s.Get("b")
+	s.Version()
+	if q := s.Queries(); q != 3 {
+		t.Errorf("queries = %d, want 3", q)
+	}
+	if q := s.ResetQueries(); q != 3 {
+		t.Errorf("reset = %d", q)
+	}
+	if s.Queries() != 0 {
+		t.Error("counter not reset")
+	}
+}
+
+func TestStoreShardingDistributes(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	populated := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		if len(s.shards[i].m) > 0 {
+			populated++
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	if populated < 3 {
+		t.Errorf("only %d of 4 shards populated", populated)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k-%d", i%32)
+				s.Put(key, []byte{byte(g)})
+				s.Get(key)
+				s.Bump()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Version() != 8*500 {
+		t.Errorf("version = %d, want 4000", s.Version())
+	}
+}
+
+func newTestServer(t *testing.T, shards int) (*Server, *Store) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(shards)
+	srv := Serve(l, store)
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+	c := &Client{Addr: srv.Addr()}
+
+	v, err := c.Version()
+	if err != nil || v != 0 {
+		t.Fatalf("version = %d, %v", v, err)
+	}
+	if _, ok, err := c.Get("missing"); err != nil || ok {
+		t.Fatalf("get missing = %v, %v", ok, err)
+	}
+	payload := bytes.Repeat([]byte("config"), 100)
+	if err := c.Put("te/cfg/1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("te/cfg/1")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get = %v bytes, ok=%v, err=%v", len(got), ok, err)
+	}
+	if err := c.Publish(7); err != nil {
+		t.Fatal(err)
+	}
+	v, err = c.Version()
+	if err != nil || v != 7 {
+		t.Fatalf("version after publish = %d, %v", v, err)
+	}
+}
+
+func TestClientBinaryValues(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	c := &Client{Addr: srv.Addr()}
+	payload := []byte{0, 1, 2, '\n', 255, '\n', 0}
+	if err := c.Put("bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("bin")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("binary round trip failed: %v %v %v", got, ok, err)
+	}
+}
+
+func TestClientPersistentMode(t *testing.T) {
+	srv, store := newTestServer(t, 1)
+	c := &Client{Addr: srv.Addr(), Persistent: true}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() != 10 {
+		t.Errorf("store has %d keys", store.Len())
+	}
+	if _, err := c.Version(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientConcurrentShortConnections(t *testing.T) {
+	srv, store := newTestServer(t, 2)
+	store.Put("shared", []byte("x"))
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &Client{Addr: srv.Addr()}
+			for i := 0; i < 20; i++ {
+				if _, err := c.Version(); err != nil {
+					errs <- err
+					return
+				}
+				if _, ok, err := c.Get("shared"); err != nil || !ok {
+					errs <- fmt.Errorf("get: %v %v", ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// 16 goroutines * 20 iterations * 2 queries each.
+	if q := store.Queries(); q != 640 {
+		t.Errorf("queries = %d, want 640", q)
+	}
+}
+
+func TestServerRejectsBadCommands(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "BOGUS\nGET\nPUT k notanumber\nPUBLISH x\nVERSION\n")
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(buf[:n])
+	if !bytes.Contains([]byte(out), []byte("ERR")) {
+		t.Errorf("server output lacked errors: %q", out)
+	}
+}
+
+func TestServerCloseStopsClients(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(1)
+	srv := Serve(l, store)
+	c := &Client{Addr: srv.Addr()}
+	if _, err := c.Version(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := c.Version(); err == nil {
+		t.Error("client reached a closed server")
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore(2)
+	s.Put("k", bytes.Repeat([]byte("x"), 256))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Get("k")
+		}
+	})
+}
+
+func BenchmarkServerShortConnectionQPS(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := NewStore(2)
+	srv := Serve(l, store)
+	defer srv.Close()
+	c := &Client{Addr: srv.Addr()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Version(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerPersistentQPS(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := NewStore(2)
+	srv := Serve(l, store)
+	defer srv.Close()
+	c := &Client{Addr: srv.Addr(), Persistent: true}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Version(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestServerPutOversizedLength(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "PUT k 99999999999\n")
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if !bytes.Contains(buf[:n], []byte("ERR")) {
+		t.Errorf("oversized PUT accepted: %q", buf[:n])
+	}
+}
+
+func TestClientAgainstClosedServer(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	addr := srv.Addr()
+	srv.Close()
+	c := &Client{Addr: addr}
+	if _, err := c.Version(); err == nil {
+		t.Error("Version against closed server should fail")
+	}
+	if _, _, err := c.Get("k"); err == nil {
+		t.Error("Get against closed server should fail")
+	}
+	if err := c.Put("k", []byte("v")); err == nil {
+		t.Error("Put against closed server should fail")
+	}
+	if err := c.Publish(1); err == nil {
+		t.Error("Publish against closed server should fail")
+	}
+}
+
+func TestPersistentClientRecoversAfterServerRestart(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	store := NewStore(1)
+	srv := Serve(l, store)
+	c := &Client{Addr: addr, Persistent: true}
+	defer c.Close()
+	if _, err := c.Version(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The broken connection must be dropped...
+	if _, err := c.Version(); err == nil {
+		t.Fatal("version against dead server should fail")
+	}
+	// ...and a restarted server reachable again through the same client.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := Serve(l2, store)
+	defer srv2.Close()
+	if _, err := c.Version(); err != nil {
+		t.Errorf("persistent client did not recover: %v", err)
+	}
+}
+
+func TestServerEmptyCommandLinesIgnored(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "\n\n  \nVERSION\n")
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil || !bytes.Contains(buf[:n], []byte("VERSION 0")) {
+		t.Errorf("got %q, %v", buf[:n], err)
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, NewStore(1))
+	srv.Close()
+	srv.Close() // must not panic
+}
+
+func TestStoreKeysPrefix(t *testing.T) {
+	s := NewStore(4)
+	s.Put("te/stats/h1", []byte("a"))
+	s.Put("te/stats/h2", []byte("b"))
+	s.Put("te/cfg/x", []byte("c"))
+	keys := s.Keys("te/stats/")
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for _, k := range keys {
+		if k != "te/stats/h1" && k != "te/stats/h2" {
+			t.Fatalf("unexpected key %q", k)
+		}
+	}
+	if got := s.Keys("nope/"); len(got) != 0 {
+		t.Errorf("keys = %v", got)
+	}
+}
+
+func TestClientKeys(t *testing.T) {
+	srv, store := newTestServer(t, 2)
+	store.Put("te/stats/a", []byte("1"))
+	store.Put("te/stats/b", []byte("2"))
+	store.Put("other", []byte("3"))
+	c := &Client{Addr: srv.Addr()}
+	keys, err := c.Keys("te/stats/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "te/stats/a" || keys[1] != "te/stats/b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	empty, err := c.Keys("zzz")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty prefix: %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,350 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server exposes a Store over a line-oriented TCP protocol:
+//
+//	VERSION\n                 -> VERSION <n>\n
+//	GET <key>\n               -> VALUE <len>\n<bytes>\n | NONE\n
+//	PUT <key> <len>\n<bytes>  -> OK\n
+//	KEYS <prefix>\n           -> KEYS <n>\n followed by n key lines
+//	PUBLISH <version>\n       -> OK <version>\n
+//
+// Connections may issue any number of commands; MegaTE endpoints typically
+// issue one or two and hang up (the "short connection" poll of §3.2).
+type Server struct {
+	store *Store
+	l     net.Listener
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// Serve starts serving the store on l until Close.
+func Serve(l net.Listener, store *Store) *Server {
+	s := &Server{store: store, l: l, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server and closes open connections. Closing twice is
+// safe.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.l.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "VERSION":
+			fmt.Fprintf(w, "VERSION %d\n", s.store.Version())
+		case "GET":
+			if len(fields) != 2 {
+				fmt.Fprint(w, "ERR usage: GET <key>\n")
+				break
+			}
+			if v, ok := s.store.Get(fields[1]); ok {
+				fmt.Fprintf(w, "VALUE %d\n", len(v))
+				w.Write(v)
+				w.WriteByte('\n')
+			} else {
+				fmt.Fprint(w, "NONE\n")
+			}
+		case "PUT":
+			if len(fields) != 3 {
+				fmt.Fprint(w, "ERR usage: PUT <key> <len>\n")
+				break
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 || n > 64<<20 {
+				fmt.Fprint(w, "ERR bad length\n")
+				break
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return
+			}
+			s.store.Put(fields[1], buf)
+			fmt.Fprint(w, "OK\n")
+		case "KEYS":
+			if len(fields) != 2 {
+				fmt.Fprint(w, "ERR usage: KEYS <prefix>\n")
+				break
+			}
+			keys := s.store.Keys(fields[1])
+			sort.Strings(keys)
+			fmt.Fprintf(w, "KEYS %d\n", len(keys))
+			for _, k := range keys {
+				fmt.Fprintln(w, k)
+			}
+		case "PUBLISH":
+			if len(fields) != 2 {
+				fmt.Fprint(w, "ERR usage: PUBLISH <version>\n")
+				break
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprint(w, "ERR bad version\n")
+				break
+			}
+			fmt.Fprintf(w, "OK %d\n", s.store.Publish(v))
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client talks to a Server. Its zero-value mode dials a fresh connection
+// per operation — the short-connection discipline the endpoints use so the
+// database never holds millions of sockets.
+type Client struct {
+	Addr string
+	// Persistent keeps one connection open across operations (used by the
+	// top-down baseline and by throughput benchmarks).
+	Persistent bool
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// ErrProtocol reports an unexpected server response.
+var ErrProtocol = errors.New("kvstore: protocol error")
+
+func (c *Client) dial() (net.Conn, *bufio.Reader, func(), error) {
+	if c.Persistent {
+		c.mu.Lock()
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.Addr)
+			if err != nil {
+				c.mu.Unlock()
+				return nil, nil, nil, err
+			}
+			c.conn = conn
+			c.r = bufio.NewReader(conn)
+		}
+		conn, r := c.conn, c.r
+		return conn, r, func() { c.mu.Unlock() }, nil
+	}
+	conn, err := net.Dial("tcp", c.Addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return conn, bufio.NewReader(conn), func() { conn.Close() }, nil
+}
+
+// resetPersistent drops a broken persistent connection.
+func (c *Client) resetPersistent() {
+	if c.Persistent && c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.r = nil
+	}
+}
+
+// Close closes a persistent connection if one is open.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetPersistent()
+}
+
+// Version polls the published configuration version.
+func (c *Client) Version() (uint64, error) {
+	conn, r, release, err := c.dial()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	if _, err := fmt.Fprint(conn, "VERSION\n"); err != nil {
+		c.resetPersistent()
+		return 0, err
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		c.resetPersistent()
+		return 0, err
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(line, "VERSION %d", &v); err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return v, nil
+}
+
+// Get fetches key; ok is false when the key is absent.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	conn, r, release, err := c.dial()
+	if err != nil {
+		return nil, false, err
+	}
+	defer release()
+	if _, err := fmt.Fprintf(conn, "GET %s\n", key); err != nil {
+		c.resetPersistent()
+		return nil, false, err
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		c.resetPersistent()
+		return nil, false, err
+	}
+	if strings.TrimSpace(line) == "NONE" {
+		return nil, false, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "VALUE %d", &n); err != nil {
+		return nil, false, fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	buf := make([]byte, n+1) // value plus trailing newline
+	if _, err := io.ReadFull(r, buf); err != nil {
+		c.resetPersistent()
+		return nil, false, err
+	}
+	return buf[:n], true, nil
+}
+
+// Put stores value under key.
+func (c *Client) Put(key string, value []byte) error {
+	conn, r, release, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if _, err := fmt.Fprintf(conn, "PUT %s %d\n", key, len(value)); err != nil {
+		c.resetPersistent()
+		return err
+	}
+	if _, err := conn.Write(value); err != nil {
+		c.resetPersistent()
+		return err
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		c.resetPersistent()
+		return err
+	}
+	if strings.TrimSpace(line) != "OK" {
+		return fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return nil
+}
+
+// Keys lists keys with the given prefix.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	conn, r, release, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if _, err := fmt.Fprintf(conn, "KEYS %s\n", prefix); err != nil {
+		c.resetPersistent()
+		return nil, err
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		c.resetPersistent()
+		return nil, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "KEYS %d", &n); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k, err := r.ReadString('\n')
+		if err != nil {
+			c.resetPersistent()
+			return nil, err
+		}
+		keys = append(keys, strings.TrimSpace(k))
+	}
+	return keys, nil
+}
+
+// Publish advertises a new configuration version.
+func (c *Client) Publish(v uint64) error {
+	conn, r, release, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if _, err := fmt.Fprintf(conn, "PUBLISH %d\n", v); err != nil {
+		c.resetPersistent()
+		return err
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		c.resetPersistent()
+		return err
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return nil
+}

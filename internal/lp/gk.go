@@ -1,0 +1,320 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// FleischerMCF approximately solves path-based maximum multicommodity flow
+// using the Fleischer variant of the Garg–Könemann multiplicative-weights
+// algorithm. It guarantees a (1−O(ε)) fraction of the optimum and always
+// returns a feasible allocation. Per-commodity demand caps are encoded as
+// virtual demand edges, the standard reduction.
+//
+// Two refinement passes follow the core algorithm:
+//
+//   - top-up: the (1−ε) scaling leaves slack capacity; a greedy pass pushes
+//     residual demand over tunnels with residual capacity, shortest first;
+//   - shift: flow moves from longer to shorter tunnels where capacity
+//     allows, improving the −ε Σ w_t F_{k,t} term of objective (2) without
+//     touching total throughput.
+type FleischerMCF struct {
+	// Epsilon is the approximation parameter. Values below 0.02 are clamped
+	// to avoid length underflow; default 0.1.
+	Epsilon float64
+	// DisableTopUp and DisableShift turn off the refinement passes
+	// (used by ablation benchmarks).
+	DisableTopUp bool
+	DisableShift bool
+}
+
+// SolveMCF computes a feasible, near-optimal allocation.
+func (f *FleischerMCF) SolveMCF(p *MCF) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	eps := f.Epsilon
+	if eps == 0 {
+		eps = 0.1
+	}
+	if eps < 0.02 {
+		eps = 0.02
+	}
+
+	nLinks := len(p.LinkCap)
+	nComms := len(p.Commodities)
+	// cap[e] for e < nLinks are real links; cap[nLinks+k] is commodity k's
+	// demand edge.
+	cap_ := make([]float64, nLinks+nComms)
+	copy(cap_, p.LinkCap)
+	for k := range p.Commodities {
+		cap_[nLinks+k] = p.Commodities[k].Demand
+	}
+
+	// usable[k][t] means every link on the tunnel has positive capacity and
+	// the commodity has positive demand.
+	usable := make([][]bool, nComms)
+	edgeCount := 0
+	edgeSeen := make([]bool, nLinks)
+	for k := range p.Commodities {
+		c := &p.Commodities[k]
+		usable[k] = make([]bool, len(c.Tunnels))
+		if c.Demand <= 0 {
+			continue
+		}
+		for t, tun := range c.Tunnels {
+			ok := true
+			for _, e := range tun {
+				if cap_[e] <= 0 {
+					ok = false
+					break
+				}
+			}
+			usable[k][t] = ok
+			if ok {
+				for _, e := range tun {
+					if !edgeSeen[e] {
+						edgeSeen[e] = true
+						edgeCount++
+					}
+				}
+			}
+		}
+		edgeCount++ // demand edge
+	}
+	if edgeCount == 0 {
+		return p.NewAllocation(), nil
+	}
+
+	mEdges := float64(edgeCount)
+	delta := (1 + eps) * math.Pow((1+eps)*mEdges, -1/eps)
+	length := make([]float64, len(cap_))
+	for e := range length {
+		if cap_[e] > 0 {
+			length[e] = delta / cap_[e]
+		} else {
+			length[e] = math.Inf(1)
+		}
+	}
+
+	raw := p.NewAllocation()
+
+	tunnelLen := func(k, t int) float64 {
+		l := length[nLinks+k]
+		for _, e := range p.Commodities[k].Tunnels[t] {
+			l += length[e]
+		}
+		return l
+	}
+	minTunnel := func(k int) (int, float64) {
+		best, bestLen := -1, math.Inf(1)
+		c := &p.Commodities[k]
+		for t := range c.Tunnels {
+			if !usable[k][t] {
+				continue
+			}
+			l := tunnelLen(k, t)
+			if l < bestLen || (l == bestLen && best >= 0 && c.Weights[t] < c.Weights[best]) {
+				best, bestLen = t, l
+			}
+		}
+		return best, bestLen
+	}
+
+	// Fleischer phases: process commodities round-robin, pushing along a
+	// commodity's shortest tunnel while its length stays below the phase
+	// threshold alpha; alpha sweeps from delta to 1 by factors of (1+eps).
+	for alpha := delta * (1 + eps); alpha < (1+eps)*(1+eps); alpha *= (1 + eps) {
+		limit := math.Min(alpha, 1)
+		for k := 0; k < nComms; k++ {
+			if p.Commodities[k].Demand <= 0 {
+				continue
+			}
+			for {
+				t, l := minTunnel(k)
+				if t < 0 || l >= limit {
+					break
+				}
+				// Bottleneck over tunnel links plus the demand edge.
+				push := cap_[nLinks+k]
+				for _, e := range p.Commodities[k].Tunnels[t] {
+					if cap_[e] < push {
+						push = cap_[e]
+					}
+				}
+				raw[k][t] += push
+				length[nLinks+k] *= 1 + eps*push/cap_[nLinks+k]
+				for _, e := range p.Commodities[k].Tunnels[t] {
+					length[e] *= 1 + eps*push/cap_[e]
+				}
+			}
+		}
+		if limit >= 1 {
+			break
+		}
+	}
+
+	// Scale to feasibility: divide by log_{1+eps}(1/delta).
+	scale := math.Log(1/delta) / math.Log(1+eps)
+	alloc := p.NewAllocation()
+	for k := range raw {
+		for t := range raw[k] {
+			alloc[k][t] = raw[k][t] / scale
+		}
+	}
+
+	f.clampFeasible(p, alloc)
+	if !f.DisableTopUp {
+		f.topUp(p, alloc, usable)
+	}
+	if !f.DisableShift {
+		f.shift(p, alloc, usable)
+	}
+	return alloc, nil
+}
+
+// clampFeasible removes any residual constraint violation from floating
+// point by uniform downscaling against the worst overload.
+func (f *FleischerMCF) clampFeasible(p *MCF, alloc Allocation) {
+	worst := 1.0
+	loads := p.LinkLoads(alloc)
+	for e, load := range loads {
+		if p.LinkCap[e] > 0 && load/p.LinkCap[e] > worst {
+			worst = load / p.LinkCap[e]
+		}
+	}
+	for k := range alloc {
+		sum := 0.0
+		for _, x := range alloc[k] {
+			sum += x
+		}
+		if d := p.Commodities[k].Demand; d > 0 && sum/d > worst {
+			worst = sum / d
+		}
+	}
+	if worst > 1 {
+		for k := range alloc {
+			for t := range alloc[k] {
+				alloc[k][t] /= worst
+			}
+		}
+	}
+}
+
+// topUp greedily packs residual demand into residual capacity, visiting
+// columns in ascending tunnel weight so short tunnels fill first.
+func (f *FleischerMCF) topUp(p *MCF, alloc Allocation, usable [][]bool) {
+	resCap := make([]float64, len(p.LinkCap))
+	loads := p.LinkLoads(alloc)
+	for e := range resCap {
+		resCap[e] = p.LinkCap[e] - loads[e]
+	}
+	resDemand := make([]float64, len(p.Commodities))
+	for k := range p.Commodities {
+		sum := 0.0
+		for _, x := range alloc[k] {
+			sum += x
+		}
+		resDemand[k] = p.Commodities[k].Demand - sum
+	}
+
+	type col struct {
+		k, t int
+		w    float64
+	}
+	var cols []col
+	for k := range p.Commodities {
+		if resDemand[k] <= 0 {
+			continue
+		}
+		for t := range p.Commodities[k].Tunnels {
+			if usable[k][t] {
+				cols = append(cols, col{k, t, p.Commodities[k].Weights[t]})
+			}
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		if cols[i].w != cols[j].w {
+			return cols[i].w < cols[j].w
+		}
+		if cols[i].k != cols[j].k {
+			return cols[i].k < cols[j].k
+		}
+		return cols[i].t < cols[j].t
+	})
+	for _, c := range cols {
+		if resDemand[c.k] <= 0 {
+			continue
+		}
+		push := resDemand[c.k]
+		for _, e := range p.Commodities[c.k].Tunnels[c.t] {
+			if resCap[e] < push {
+				push = resCap[e]
+			}
+		}
+		if push <= 0 {
+			continue
+		}
+		alloc[c.k][c.t] += push
+		resDemand[c.k] -= push
+		for _, e := range p.Commodities[c.k].Tunnels[c.t] {
+			resCap[e] -= push
+		}
+	}
+}
+
+// shift moves allocated flow from longer tunnels to shorter ones when
+// residual capacity allows, improving objective (2)'s latency term. Flow
+// also consolidates across equal-weight tunnels (onto the earliest), which
+// keeps per-tunnel budgets unfragmented for the indivisible endpoint flows
+// of stage two.
+func (f *FleischerMCF) shift(p *MCF, alloc Allocation, usable [][]bool) {
+	resCap := make([]float64, len(p.LinkCap))
+	loads := p.LinkLoads(alloc)
+	for e := range resCap {
+		resCap[e] = p.LinkCap[e] - loads[e]
+	}
+	for k := range p.Commodities {
+		c := &p.Commodities[k]
+		// Tunnel indices sorted by weight ascending.
+		order := make([]int, len(c.Tunnels))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if c.Weights[order[i]] != c.Weights[order[j]] {
+				return c.Weights[order[i]] < c.Weights[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		for i := 0; i < len(order); i++ {
+			short := order[i]
+			if !usable[k][short] {
+				continue
+			}
+			for j := len(order) - 1; j > i; j-- {
+				long := order[j]
+				if alloc[k][long] <= 0 || c.Weights[long] < c.Weights[short] {
+					continue
+				}
+				move := alloc[k][long]
+				for _, e := range c.Tunnels[short] {
+					if resCap[e] < move {
+						move = resCap[e]
+					}
+				}
+				if move <= 0 {
+					continue
+				}
+				alloc[k][long] -= move
+				alloc[k][short] += move
+				for _, e := range c.Tunnels[short] {
+					resCap[e] -= move
+				}
+				for _, e := range c.Tunnels[long] {
+					resCap[e] += move
+				}
+			}
+		}
+	}
+}

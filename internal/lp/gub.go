@@ -1,0 +1,611 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// GUBSimplex is an exact primal simplex specialized to the generalized
+// upper bound (GUB) structure of MaxSiteFlow (Dantzig & Van Slyke 1967):
+//
+//	max  Σ c_kt x_kt
+//	s.t. Σ_t x_kt + s_k = D_k          (one GUB row per site pair k)
+//	     Σ_kt a_ekt x_kt + u_e = cap_e  (one coupling row per link e)
+//	     x, s, u >= 0
+//
+// A dense simplex would carry a (K+E)-row basis; with thousands of site
+// pairs that is intractable. The GUB structure lets the basis be split into
+// one "key" variable per pair plus an E×E *working basis* over the links
+// only, so memory and per-iteration cost scale with the link count (a few
+// hundred) rather than the pair count (tens of thousands). This makes the
+// exact LP usable at scales where the dense Simplex cannot even allocate
+// its tableau, which is how the paper's Gurobi runs are substituted here at
+// medium scale (the (1−ε) FleischerMCF remains the default beyond that).
+type GUBSimplex struct {
+	// MaxIter bounds pivot count; 0 derives a generous default.
+	MaxIter int
+}
+
+// ErrSingular reports a numerically singular working basis.
+var ErrSingular = errors.New("lp: singular working basis")
+
+// AutoMCF solves exactly with the GUB simplex up to ExactLimit commodities
+// and falls back to the (1−ε) Fleischer approximation beyond — the default
+// MaxSiteFlow engine: exact wherever exactness is affordable, scalable
+// everywhere.
+type AutoMCF struct {
+	// ExactLimit is the largest commodity count solved exactly; default
+	// 6000.
+	ExactLimit int
+	// Epsilon is the fallback approximation parameter; default 0.05.
+	Epsilon float64
+}
+
+// SolveMCF implements the auto selection. Exact solving is used when both
+// the commodity count and the estimated pivot cost (commodities × working
+// basis², i.e. K·E²) are affordable; the pivot count grows with K and each
+// pivot costs O(E²).
+func (a *AutoMCF) SolveMCF(p *MCF) (Allocation, error) {
+	limit := a.ExactLimit
+	if limit == 0 {
+		limit = 6000
+	}
+	k := float64(len(p.Commodities))
+	e := float64(len(p.LinkCap))
+	const costBudget = 1.2e9 // roughly ten seconds of pivoting on one core
+	if len(p.Commodities) <= limit && k*e*e <= costBudget {
+		alloc, err := (&GUBSimplex{}).SolveMCF(p)
+		if err == nil {
+			return alloc, nil
+		}
+		// Numerical trouble in the exact path: fall through to the robust
+		// approximation rather than failing the TE interval.
+	}
+	eps := a.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	return (&FleischerMCF{Epsilon: eps}).SolveMCF(p)
+}
+
+const gubEps = 1e-9
+
+// gubVar describes one variable of the GUB-structured LP.
+type gubVar struct {
+	set   int   // GUB set (pair) index, or -1 for link slacks
+	links []int // coupling-row indices with coefficient 1
+	cost  float64
+}
+
+// gubState carries the solver's working data.
+type gubState struct {
+	vars []gubVar
+	// members[k] lists variable indices of GUB set k (structural + slack).
+	members [][]int
+	demand  []float64 // D_k
+	cap     []float64 // cap_e
+	nLinks  int
+
+	key    []int // key[k]: basic variable representing set k
+	nonKey []int // nonKey[i]: variable occupying working-basis column i
+	// where[v]: -1 nonbasic, -2 key, otherwise the working column index.
+	where []int
+
+	winv [][]float64 // W^{-1}, nLinks x nLinks
+	y    []float64   // values of non-key basic variables
+	xkey []float64   // values of key variables
+	pi   []float64   // link duals
+	mu   []float64   // GUB duals
+}
+
+// SolveMCF solves the path MCF exactly.
+func (g *GUBSimplex) SolveMCF(p *MCF) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st, colOf := buildGUB(p)
+	maxIter := g.MaxIter
+	if maxIter == 0 {
+		maxIter = 50 * (len(st.members) + st.nLinks)
+		if maxIter < 2000 {
+			maxIter = 2000
+		}
+	}
+	if err := st.solve(maxIter); err != nil {
+		return nil, err
+	}
+
+	alloc := p.NewAllocation()
+	for v, loc := range st.where {
+		val := 0.0
+		switch {
+		case loc == -2:
+			val = st.xkey[st.vars[v].set]
+		case loc >= 0:
+			val = st.y[loc]
+		default:
+			continue
+		}
+		if val <= gubEps {
+			continue
+		}
+		if kt, ok := colOf[v]; ok {
+			alloc[kt[0]][kt[1]] = val
+		}
+	}
+	return alloc, nil
+}
+
+// buildGUB constructs the solver state from the MCF and returns a map from
+// variable index to (commodity, tunnel).
+func buildGUB(p *MCF) (*gubState, map[int][2]int) {
+	st := &gubState{nLinks: len(p.LinkCap)}
+	st.cap = append([]float64(nil), p.LinkCap...)
+	colOf := make(map[int][2]int)
+
+	for k := range p.Commodities {
+		c := &p.Commodities[k]
+		set := len(st.members)
+		var mem []int
+		for t, tun := range c.Tunnels {
+			v := len(st.vars)
+			st.vars = append(st.vars, gubVar{
+				set:   set,
+				links: append([]int(nil), tun...),
+				cost:  1 - p.Epsilon*c.Weights[t],
+			})
+			colOf[v] = [2]int{k, t}
+			mem = append(mem, v)
+		}
+		// GUB slack.
+		v := len(st.vars)
+		st.vars = append(st.vars, gubVar{set: set})
+		mem = append(mem, v)
+		st.members = append(st.members, mem)
+		st.demand = append(st.demand, c.Demand)
+	}
+	// Link slacks.
+	for e := 0; e < st.nLinks; e++ {
+		st.vars = append(st.vars, gubVar{set: -1, links: []int{e}})
+	}
+	return st, colOf
+}
+
+// solve runs the GUB primal simplex to optimality.
+func (st *gubState) solve(maxIter int) error {
+	nSets := len(st.members)
+	E := st.nLinks
+
+	// Initial basis: GUB slacks as keys, link slacks as non-keys; W = I.
+	st.key = make([]int, nSets)
+	st.nonKey = make([]int, E)
+	st.where = make([]int, len(st.vars))
+	for v := range st.where {
+		st.where[v] = -1
+	}
+	for k, mem := range st.members {
+		slack := mem[len(mem)-1]
+		st.key[k] = slack
+		st.where[slack] = -2
+	}
+	firstLinkSlack := len(st.vars) - E
+	for e := 0; e < E; e++ {
+		st.nonKey[e] = firstLinkSlack + e
+		st.where[firstLinkSlack+e] = e
+	}
+	st.winv = identity(E)
+	st.y = make([]float64, E)
+	st.xkey = make([]float64, nSets)
+	st.pi = make([]float64, E)
+	st.mu = make([]float64, nSets)
+	st.refresh()
+
+	degenerate := 0
+	for iter := 0; iter < maxIter; iter++ {
+		// Periodic refactorization bounds the numerical drift of the
+		// rank-1 inverse updates.
+		if iter > 0 && iter%512 == 0 {
+			if err := st.refactorize(); err != nil {
+				return err
+			}
+			st.refresh()
+		}
+		st.computeDuals()
+		entering := st.price(degenerate >= 40)
+		if entering < 0 {
+			return nil // optimal
+		}
+
+		// Direction: alpha = W^{-1} (A_j - A_key(set(j))).
+		alpha := st.applyWinv(st.columnRelKey(entering))
+		kStar := st.vars[entering].set
+
+		// g_k: rate of change of each key value per unit of entering flow.
+		gk := make(map[int]float64)
+		for i, v := range st.nonKey {
+			if s := st.vars[v].set; s >= 0 && alpha[i] != 0 {
+				gk[s] += alpha[i]
+			}
+		}
+		if kStar >= 0 {
+			gk[kStar]--
+		}
+
+		// Ratio test.
+		theta := math.Inf(1)
+		leaveCol, leaveKey := -1, -1
+		for i := range alpha {
+			if alpha[i] > gubEps {
+				if r := st.y[i] / alpha[i]; r < theta-gubEps ||
+					(r < theta+gubEps && (leaveCol < 0 || st.nonKey[i] < st.nonKey[leaveCol])) {
+					theta = r
+					leaveCol, leaveKey = i, -1
+				}
+			}
+		}
+		for k, rate := range gk {
+			if rate < -gubEps {
+				if r := st.xkey[k] / -rate; r < theta-gubEps ||
+					(r < theta+gubEps && leaveCol < 0 && (leaveKey < 0 || st.key[k] < st.key[leaveKey])) {
+					theta = r
+					leaveCol, leaveKey = -1, k
+				}
+			}
+		}
+		if leaveCol < 0 && leaveKey < 0 {
+			return fmt.Errorf("lp: gub: unbounded direction at iteration %d", iter)
+		}
+		if theta < gubEps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		switch {
+		case leaveCol >= 0:
+			// A non-key basic leaves: standard working-basis pivot.
+			leaving := st.nonKey[leaveCol]
+			st.where[leaving] = -1
+			st.nonKey[leaveCol] = entering
+			st.where[entering] = leaveCol
+			if err := st.pivotWinv(alpha, leaveCol); err != nil {
+				if err = st.refactorize(); err != nil {
+					return err
+				}
+			}
+			st.refresh()
+		case leaveKey >= 0:
+			k := leaveKey
+			oldKey := st.key[k]
+			if k == kStar {
+				// The entering variable becomes the set's new key. Every
+				// non-key column of the set shifts by the same vector
+				// (A_oldKey − A_enter): a rank-1 update of W.
+				st.where[oldKey] = -1
+				st.key[k] = entering
+				st.where[entering] = -2
+				if err := st.shiftSetColumns(k, oldKey); err != nil {
+					if err = st.refactorize(); err != nil {
+						return err
+					}
+				}
+			} else {
+				// Promote one of the set's non-key basics to key; the
+				// entering variable takes its working column. Two rank-1
+				// updates: the column replacement and the set shift.
+				promote := -1
+				for i, v := range st.nonKey {
+					if st.vars[v].set == k {
+						promote = i
+						break
+					}
+				}
+				if promote < 0 {
+					return fmt.Errorf("lp: gub: key of set %d blocks with no replacement", k)
+				}
+				st.where[oldKey] = -1
+				st.key[k] = st.nonKey[promote]
+				st.where[st.nonKey[promote]] = -2
+				st.nonKey[promote] = entering
+				st.where[entering] = promote
+
+				ok := false
+				// Replace column `promote` with the entering variable's
+				// column (relative to its own set's unchanged key).
+				alphaNew := st.applyWinv(st.columnRelKey(entering))
+				if math.Abs(alphaNew[promote]) > 1e-9 {
+					if err := st.pivotWinv(alphaNew, promote); err == nil {
+						// Shift the remaining set-k columns from the old key
+						// to the promoted one.
+						if err := st.shiftSetColumns(k, oldKey); err == nil {
+							ok = true
+						}
+					}
+				}
+				if !ok {
+					if err := st.refactorize(); err != nil {
+						return err
+					}
+				}
+			}
+			st.refresh()
+		}
+	}
+	return ErrIterLimit
+}
+
+// columnRelKey returns A_j - A_{key(set(j))} as a dense E-vector.
+func (st *gubState) columnRelKey(v int) []float64 {
+	col := make([]float64, st.nLinks)
+	for _, e := range st.vars[v].links {
+		col[e]++
+	}
+	if s := st.vars[v].set; s >= 0 {
+		for _, e := range st.vars[st.key[s]].links {
+			col[e]--
+		}
+	}
+	return col
+}
+
+// refresh recomputes y (non-key values) and xkey from the current basis.
+func (st *gubState) refresh() {
+	beta := append([]float64(nil), st.cap...)
+	for k, kv := range st.key {
+		d := st.demand[k]
+		if d == 0 {
+			continue
+		}
+		for _, e := range st.vars[kv].links {
+			beta[e] -= d
+		}
+	}
+	st.y = st.applyWinv(beta)
+	for i := range st.y {
+		if st.y[i] < 0 && st.y[i] > -1e-7 {
+			st.y[i] = 0
+		}
+	}
+	for k := range st.key {
+		v := st.demand[k]
+		for i, nk := range st.nonKey {
+			if st.vars[nk].set == k {
+				v -= st.y[i]
+			}
+		}
+		if v < 0 && v > -1e-7 {
+			v = 0
+		}
+		st.xkey[k] = v
+	}
+}
+
+// computeDuals solves pi' W = cTilde and mu_k = c_key - pi'A_key.
+func (st *gubState) computeDuals() {
+	E := st.nLinks
+	for e := 0; e < E; e++ {
+		st.pi[e] = 0
+	}
+	// pi = cTilde' W^{-1}: accumulate rows of W^{-1} weighted by cTilde.
+	for i, v := range st.nonKey {
+		ct := st.vars[v].cost
+		if s := st.vars[v].set; s >= 0 {
+			ct -= st.vars[st.key[s]].cost
+		}
+		if ct == 0 {
+			continue
+		}
+		row := st.winv[i]
+		for e := 0; e < E; e++ {
+			st.pi[e] += ct * row[e]
+		}
+	}
+	for k, kv := range st.key {
+		mu := st.vars[kv].cost
+		for _, e := range st.vars[kv].links {
+			mu -= st.pi[e]
+		}
+		st.mu[k] = mu
+	}
+}
+
+// price returns the entering variable (Dantzig rule, or Bland when asked),
+// or -1 at optimality.
+func (st *gubState) price(bland bool) int {
+	best, bestD := -1, gubEps
+	for v := range st.vars {
+		if st.where[v] != -1 {
+			continue
+		}
+		d := st.vars[v].cost
+		for _, e := range st.vars[v].links {
+			d -= st.pi[e]
+		}
+		if s := st.vars[v].set; s >= 0 {
+			d -= st.mu[s]
+		}
+		if d > bestD {
+			if bland {
+				return v
+			}
+			best, bestD = v, d
+		}
+	}
+	return best
+}
+
+// applyWinv returns W^{-1} b.
+func (st *gubState) applyWinv(b []float64) []float64 {
+	E := st.nLinks
+	out := make([]float64, E)
+	for i := 0; i < E; i++ {
+		row := st.winv[i]
+		s := 0.0
+		for j := 0; j < E; j++ {
+			s += row[j] * b[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// pivotWinv replaces working column `col` with the entering column whose
+// transformed form is alpha, updating W^{-1} in place (eta update). A
+// near-zero pivot returns ErrSingular; the caller refactorizes.
+func (st *gubState) pivotWinv(alpha []float64, col int) error {
+	pv := alpha[col]
+	if math.Abs(pv) < 1e-11 {
+		return ErrSingular
+	}
+	E := st.nLinks
+	prow := st.winv[col]
+	for j := 0; j < E; j++ {
+		prow[j] /= pv
+	}
+	for i := 0; i < E; i++ {
+		if i == col {
+			continue
+		}
+		f := alpha[i]
+		if f == 0 {
+			continue
+		}
+		row := st.winv[i]
+		for j := 0; j < E; j++ {
+			row[j] -= f * prow[j]
+		}
+	}
+	return nil
+}
+
+// shiftSetColumns updates W^{-1} after set k's key changed from oldKey to
+// the current st.key[k]: every non-key column of the set gains
+// Δ = A_oldKey − A_newKey, a rank-1 update handled by Sherman–Morrison.
+// A near-singular denominator returns an error so the caller can
+// refactorize instead.
+func (st *gubState) shiftSetColumns(k, oldKey int) error {
+	E := st.nLinks
+	// u: indicator of working columns belonging to set k.
+	cols := make([]int, 0, 4)
+	for i, v := range st.nonKey {
+		if st.vars[v].set == k {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) == 0 {
+		return nil // nothing references the key
+	}
+	// Δ = A_oldKey − A_newKey as dense vector.
+	delta := make([]float64, E)
+	for _, e := range st.vars[oldKey].links {
+		delta[e]++
+	}
+	for _, e := range st.vars[st.key[k]].links {
+		delta[e]--
+	}
+	wd := st.applyWinv(delta) // W^{-1} Δ
+	// vT = uᵀ W^{-1}: sum of the rows of W^{-1} at the set's columns.
+	vT := make([]float64, E)
+	for _, i := range cols {
+		row := st.winv[i]
+		for j := 0; j < E; j++ {
+			vT[j] += row[j]
+		}
+	}
+	den := 1.0
+	for _, i := range cols {
+		den += wd[i]
+	}
+	if math.Abs(den) < 1e-9 {
+		return ErrSingular
+	}
+	// W'^{-1} = W^{-1} − (W^{-1}Δ)(uᵀW^{-1}) / den.
+	for i := 0; i < E; i++ {
+		f := wd[i] / den
+		if f == 0 {
+			continue
+		}
+		row := st.winv[i]
+		for j := 0; j < E; j++ {
+			row[j] -= f * vT[j]
+		}
+	}
+	return nil
+}
+
+// refactorize rebuilds W from the current basis and inverts it.
+func (st *gubState) refactorize() error {
+	E := st.nLinks
+	w := make([][]float64, E)
+	for i := range w {
+		w[i] = make([]float64, E)
+	}
+	for i, v := range st.nonKey {
+		col := st.columnRelKey(v)
+		for e := 0; e < E; e++ {
+			w[e][i] = col[e]
+		}
+	}
+	inv, err := invert(w)
+	if err != nil {
+		return err
+	}
+	st.winv = inv
+	return nil
+}
+
+func identity(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// invert computes a dense inverse by Gauss-Jordan with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// Augment [a | I] (copy a).
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, 2*n)
+		copy(m[i], a[i])
+		m[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		best, bestAbs := -1, 1e-11
+		for r := col; r < n; r++ {
+			if abs := math.Abs(m[r][col]); abs > bestAbs {
+				best, bestAbs = r, abs
+			}
+		}
+		if best < 0 {
+			return nil, ErrSingular
+		}
+		m[col], m[best] = m[best], m[col]
+		pv := m[col][col]
+		for j := col; j < 2*n; j++ {
+			m[col][j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j < 2*n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = m[i][n:]
+	}
+	return out, nil
+}

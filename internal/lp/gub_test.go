@@ -1,0 +1,247 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"megate/internal/stats"
+)
+
+func TestGUBSimplexDiamond(t *testing.T) {
+	p := diamond()
+	alloc, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.TotalFlow(); math.Abs(got-20) > 1e-6 {
+		t.Errorf("total flow = %v, want 20", got)
+	}
+}
+
+func TestGUBSimplexMatchesDenseSimplexObjective(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := randomMCF(seed, 10, 12, 4)
+		exact, err := (&Simplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d dense: %v", seed, err)
+		}
+		gub, err := (&GUBSimplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d gub: %v", seed, err)
+		}
+		if err := p.CheckFeasible(gub, 1e-6); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		od, og := p.Objective(exact), p.Objective(gub)
+		if math.Abs(od-og) > 1e-6*(1+math.Abs(od)) {
+			t.Errorf("seed %d: gub objective %v != dense %v", seed, og, od)
+		}
+	}
+}
+
+func TestGUBSimplexZeroAndEdgeCases(t *testing.T) {
+	// Zero demand, zero-capacity links, tunnel-less commodity.
+	p := &MCF{
+		LinkCap: []float64{0, 50},
+		Commodities: []Commodity{
+			{Demand: 0, Tunnels: [][]int{{1}}, Weights: []float64{1}},
+			{Demand: 10, Tunnels: [][]int{{0}, {1}}, Weights: []float64{1, 2}},
+			{Demand: 5},
+		},
+		Epsilon: 0.01,
+	}
+	alloc, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc[1][1]-10) > 1e-6 || alloc[1][0] != 0 {
+		t.Errorf("alloc = %v, want all 10 on the open link", alloc[1])
+	}
+	if alloc.TotalFlow() != 10 {
+		t.Errorf("total = %v", alloc.TotalFlow())
+	}
+	empty := &MCF{}
+	if _, err := (&GUBSimplex{}).SolveMCF(empty); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGUBSimplexSharedBottleneckPrefersProfit(t *testing.T) {
+	// Two commodities compete for one link; epsilon makes commodity 0's
+	// tunnel more profitable (lower weight), so it wins the capacity.
+	p := &MCF{
+		LinkCap: []float64{10},
+		Commodities: []Commodity{
+			{Demand: 10, Tunnels: [][]int{{0}}, Weights: []float64{1}},
+			{Demand: 10, Tunnels: [][]int{{0}}, Weights: []float64{9}},
+		},
+		Epsilon: 0.05,
+	}
+	alloc, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc[0][0]-10) > 1e-6 {
+		t.Errorf("profitable commodity got %v, want 10", alloc[0][0])
+	}
+	if alloc[1][0] > 1e-6 {
+		t.Errorf("unprofitable commodity got %v, want 0", alloc[1][0])
+	}
+}
+
+func TestGUBSimplexMediumScale(t *testing.T) {
+	// Hundreds of commodities over few links: the regime GUB exists for.
+	// Validate optimality against the tight Fleischer bound (gub must be
+	// >= any feasible solution's objective).
+	p := randomMCF(99, 14, 400, 4)
+	gub, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(gub, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	approx, err := (&FleischerMCF{Epsilon: 0.03}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Objective(gub) < p.Objective(approx)-1e-6 {
+		t.Errorf("gub objective %v below a feasible solution %v — not optimal",
+			p.Objective(gub), p.Objective(approx))
+	}
+}
+
+func TestGUBSimplexDegenerateDemands(t *testing.T) {
+	// Many identical demands sharing identical tunnels: heavy degeneracy.
+	r := stats.NewRand(3)
+	p := &MCF{LinkCap: []float64{100, 100, 100}, Epsilon: 0.001}
+	for k := 0; k < 60; k++ {
+		p.Commodities = append(p.Commodities, Commodity{
+			Demand:  5,
+			Tunnels: [][]int{{0, 1}, {2}},
+			Weights: []float64{1, 2},
+		})
+		_ = r
+	}
+	gub, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(gub, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: 100 over links 0-1 plus 100 over link 2 = 200 of 300 demand.
+	if math.Abs(gub.TotalFlow()-200) > 1e-5 {
+		t.Errorf("total = %v, want 200", gub.TotalFlow())
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	inv, err := invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a * inv == I.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			s := 0.0
+			for k := 0; k < 2; k++ {
+				s += a[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-12 {
+				t.Errorf("product[%d][%d] = %v", i, j, s)
+			}
+		}
+	}
+	if _, err := invert([][]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Error("want singular error")
+	}
+}
+
+func BenchmarkGUBSimplexMedium(b *testing.B) {
+	p := randomMCF(7, 16, 500, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&GUBSimplex{}).SolveMCF(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseSimplexMedium(b *testing.B) {
+	p := randomMCF(7, 16, 120, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Simplex{}).SolveMCF(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAutoMCFPicksExactWhenAffordable(t *testing.T) {
+	p := randomMCF(5, 10, 50, 3)
+	auto, err := (&AutoMCF{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Objective(auto)-p.Objective(exact)) > 1e-9*(1+p.Objective(exact)) {
+		t.Errorf("auto objective %v != exact %v", p.Objective(auto), p.Objective(exact))
+	}
+}
+
+func TestAutoMCFFallsBackBeyondLimit(t *testing.T) {
+	p := randomMCF(6, 10, 30, 3)
+	auto, err := (&AutoMCF{ExactLimit: 5}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(auto, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// The approximation with top-up is near but below or equal the optimum.
+	exact, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Objective(auto) > p.Objective(exact)+1e-6 {
+		t.Error("approximate fallback beat the optimum (infeasible?)")
+	}
+}
+
+func TestAutoMCFCostBudget(t *testing.T) {
+	// Few commodities but an enormous link count: K*E^2 exceeds the
+	// budget, so the approximation path must be taken (and succeed).
+	p := &MCF{LinkCap: make([]float64, 40000)}
+	for e := range p.LinkCap {
+		p.LinkCap[e] = 100
+	}
+	p.Commodities = []Commodity{
+		{Demand: 50, Tunnels: [][]int{{0, 1}, {2}}, Weights: []float64{1, 2}},
+		{Demand: 50, Tunnels: [][]int{{3}, {4, 5}}, Weights: []float64{1, 2}},
+	}
+	alloc, err := (&AutoMCF{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalFlow() < 99 {
+		t.Errorf("total = %v, want ~100", alloc.TotalFlow())
+	}
+}

@@ -1,0 +1,46 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestGUBStress(t *testing.T) {
+	// Larger random instances vs dense simplex.
+	for seed := int64(100); seed < 110; seed++ {
+		p := randomMCF(seed, 20, 60, 4)
+		exact, err := (&Simplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d dense: %v", seed, err)
+		}
+		gub, err := (&GUBSimplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d gub: %v", seed, err)
+		}
+		if err := p.CheckFeasible(gub, 1e-5); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		od, og := p.Objective(exact), p.Objective(gub)
+		if math.Abs(od-og) > 1e-5*(1+math.Abs(od)) {
+			t.Errorf("seed %d: gub %v != dense %v", seed, og, od)
+		}
+	}
+	// Big: 5000 commodities, 300 links — Deltacom-scale MaxSiteFlow.
+	p := randomMCF(7, 300, 5000, 4)
+	start := time.Now()
+	gub, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := time.Since(start)
+	if err := p.CheckFeasible(gub, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	fl, _ := (&FleischerMCF{Epsilon: 0.02}).SolveMCF(p)
+	t.Logf("big: gub obj=%.1f in %v; fleischer(0.02) obj=%.1f; ratio=%.5f",
+		p.Objective(gub), el, p.Objective(fl), p.Objective(fl)/p.Objective(gub))
+	if p.Objective(gub) < p.Objective(fl)-1e-6 {
+		t.Error("gub below a feasible objective")
+	}
+}

@@ -1,0 +1,440 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"megate/internal/stats"
+)
+
+func TestSimplexTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. Optimum 36 at (2,6).
+	s := &Simplex{}
+	x, obj, err := s.Solve(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-36) > 1e-7 {
+		t.Errorf("obj = %v, want 36", obj)
+	}
+	if math.Abs(x[0]-2) > 1e-7 || math.Abs(x[1]-6) > 1e-7 {
+		t.Errorf("x = %v, want (2, 6)", x)
+	}
+}
+
+func TestSimplexDetectsUnbounded(t *testing.T) {
+	s := &Simplex{}
+	// max x with only a constraint on y.
+	_, _, err := s.Solve([]float64{1, 0}, [][]float64{{0, 1}}, []float64{5})
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSimplexRejectsNegativeRHS(t *testing.T) {
+	s := &Simplex{}
+	if _, _, err := s.Solve([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Fatal("want error for negative rhs")
+	}
+}
+
+func TestSimplexRejectsRaggedRows(t *testing.T) {
+	s := &Simplex{}
+	if _, _, err := s.Solve([]float64{1, 2}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("want error for ragged matrix")
+	}
+}
+
+func TestSimplexZeroObjective(t *testing.T) {
+	s := &Simplex{}
+	x, obj, err := s.Solve([]float64{0, 0}, [][]float64{{1, 1}}, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 || x[0] != 0 || x[1] != 0 {
+		t.Errorf("x=%v obj=%v, want zeros", x, obj)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex at origin; must not cycle.
+	s := &Simplex{}
+	_, obj, err := s.Solve(
+		[]float64{10, -57, -9, -24},
+		[][]float64{
+			{0.5, -5.5, -2.5, 9},
+			{0.5, -1.5, -0.5, 1},
+			{1, 0, 0, 0},
+		},
+		[]float64{0, 0, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-1) > 1e-6 {
+		t.Errorf("obj = %v, want 1 (Beale's cycling example)", obj)
+	}
+}
+
+// diamond builds a 2-commodity MCF over 4 links that forces sharing.
+func diamond() *MCF {
+	// Links: 0 (top, cap 10), 1 (bottom, cap 10), 2 (shared, cap 5),
+	// 3 (private to commodity 1, cap 20).
+	return &MCF{
+		LinkCap: []float64{10, 10, 5, 20},
+		Commodities: []Commodity{
+			{
+				Demand:  12,
+				Tunnels: [][]int{{0}, {2}},
+				Weights: []float64{1, 2},
+			},
+			{
+				Demand:  8,
+				Tunnels: [][]int{{1, 2}, {3}},
+				Weights: []float64{1, 3},
+			},
+		},
+		Epsilon: 0.001,
+	}
+}
+
+func TestSimplexSolveMCFDiamond(t *testing.T) {
+	p := diamond()
+	s := &Simplex{}
+	alloc, err := s.SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(alloc, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+	// Commodity 0 can carry 10 on link 0; the shared link 2 (cap 5) is
+	// contested; commodity 1 has a private escape with cap 20, so the
+	// optimum satisfies all of commodity 1 (8) and 10+min(5, ...)=15 total
+	// from commodity 0 => total flow = 12 (demand-capped) + 8 = 20.
+	if got := alloc.TotalFlow(); math.Abs(got-20) > 1e-6 {
+		t.Errorf("total flow = %v, want 20", got)
+	}
+}
+
+func TestMCFValidate(t *testing.T) {
+	p := diamond()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Commodities[0].Tunnels[0] = []int{99}
+	if err := p.Validate(); err == nil {
+		t.Error("want error for out-of-range link")
+	}
+	p = diamond()
+	p.Epsilon = 1 // 1*w=2 >= 1 for tunnel with weight 2
+	if err := p.Validate(); err == nil {
+		t.Error("want error for epsilon too large")
+	}
+	p = diamond()
+	p.Commodities[0].Weights = p.Commodities[0].Weights[:1]
+	if err := p.Validate(); err == nil {
+		t.Error("want error for weight/tunnel mismatch")
+	}
+	p = diamond()
+	p.LinkCap[0] = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Error("want error for NaN capacity")
+	}
+	p = diamond()
+	p.Commodities[0].Demand = -1
+	if err := p.Validate(); err == nil {
+		t.Error("want error for negative demand")
+	}
+}
+
+func TestCheckFeasibleCatchesViolations(t *testing.T) {
+	p := diamond()
+	a := p.NewAllocation()
+	a[0][0] = 100 // over capacity and over demand
+	if err := p.CheckFeasible(a, 1e-9); err == nil {
+		t.Error("want infeasibility error")
+	}
+	a = p.NewAllocation()
+	a[0][0] = -1
+	if err := p.CheckFeasible(a, 1e-9); err == nil {
+		t.Error("want negativity error")
+	}
+	if err := p.CheckFeasible(Allocation{}, 1e-9); err == nil {
+		t.Error("want shape error")
+	}
+}
+
+func TestFleischerDiamondNearOptimal(t *testing.T) {
+	p := diamond()
+	f := &FleischerMCF{Epsilon: 0.05}
+	alloc, err := f.SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.TotalFlow(); got < 20*0.97 {
+		t.Errorf("total flow = %v, want >= %v", got, 20*0.97)
+	}
+}
+
+func TestFleischerEmptyAndZeroDemand(t *testing.T) {
+	p := &MCF{LinkCap: []float64{5}, Commodities: []Commodity{
+		{Demand: 0, Tunnels: [][]int{{0}}, Weights: []float64{1}},
+	}}
+	f := &FleischerMCF{}
+	alloc, err := f.SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalFlow() != 0 {
+		t.Error("zero demand should carry zero flow")
+	}
+	empty := &MCF{}
+	if _, err := f.SolveMCF(empty); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleischerZeroCapacityLink(t *testing.T) {
+	p := &MCF{
+		LinkCap: []float64{0, 10},
+		Commodities: []Commodity{
+			{Demand: 5, Tunnels: [][]int{{0}, {1}}, Weights: []float64{1, 2}},
+		},
+	}
+	f := &FleischerMCF{Epsilon: 0.05}
+	alloc, err := f.SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0][0] != 0 {
+		t.Error("flow over zero-capacity link")
+	}
+	if alloc[0][1] < 4.9 {
+		t.Errorf("usable tunnel carries %v, want ~5", alloc[0][1])
+	}
+}
+
+func TestFleischerPrefersShortTunnels(t *testing.T) {
+	// Two parallel tunnels, both with ample capacity: the shift pass must
+	// place all flow on the lighter tunnel.
+	p := &MCF{
+		LinkCap: []float64{100, 100},
+		Commodities: []Commodity{
+			{Demand: 10, Tunnels: [][]int{{0}, {1}}, Weights: []float64{1, 5}},
+		},
+		Epsilon: 0.01,
+	}
+	f := &FleischerMCF{Epsilon: 0.05}
+	alloc, err := f.SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0][1] > 1e-9 {
+		t.Errorf("heavy tunnel carries %v, want 0 after shift", alloc[0][1])
+	}
+	if math.Abs(alloc[0][0]-10) > 1e-6 {
+		t.Errorf("light tunnel carries %v, want 10", alloc[0][0])
+	}
+}
+
+// randomMCF builds a random feasible problem for cross-validation.
+func randomMCF(seed int64, nLinks, nComms, maxTunnels int) *MCF {
+	r := stats.NewRand(seed)
+	p := &MCF{LinkCap: make([]float64, nLinks), Epsilon: 0.001}
+	for e := range p.LinkCap {
+		p.LinkCap[e] = 50 + r.Float64()*200
+	}
+	for k := 0; k < nComms; k++ {
+		nt := 1 + r.Intn(maxTunnels)
+		c := Commodity{Demand: 10 + r.Float64()*90}
+		for t := 0; t < nt; t++ {
+			hops := 1 + r.Intn(3)
+			tun := make([]int, 0, hops)
+			seen := map[int]bool{}
+			for len(tun) < hops {
+				e := r.Intn(nLinks)
+				if !seen[e] {
+					seen[e] = true
+					tun = append(tun, e)
+				}
+			}
+			c.Tunnels = append(c.Tunnels, tun)
+			c.Weights = append(c.Weights, float64(hops)+r.Float64())
+		}
+		p.Commodities = append(p.Commodities, c)
+	}
+	return p
+}
+
+func TestFleischerMatchesSimplexOnRandomInstances(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := randomMCF(seed, 12, 10, 3)
+		exact, err := (&Simplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d simplex: %v", seed, err)
+		}
+		approx, err := (&FleischerMCF{Epsilon: 0.03}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d fleischer: %v", seed, err)
+		}
+		if err := p.CheckFeasible(approx, 1e-6); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, got := exact.TotalFlow(), approx.TotalFlow()
+		if got < 0.95*opt {
+			t.Errorf("seed %d: fleischer %v < 95%% of optimum %v", seed, got, opt)
+		}
+		if got > opt*1.000001 {
+			t.Errorf("seed %d: fleischer %v exceeds optimum %v (infeasible?)", seed, got, opt)
+		}
+	}
+}
+
+func TestADMMFeasibleAndReasonable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		p := randomMCF(seed, 12, 10, 3)
+		exact, err := (&Simplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := (&ADMM{Iterations: 80}).SolveMCF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckFeasible(got, 1e-6); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// TEAL-like: suboptimal but not terrible.
+		if got.TotalFlow() < 0.6*exact.TotalFlow() {
+			t.Errorf("seed %d: ADMM %v < 60%% of optimum %v", seed, got.TotalFlow(), exact.TotalFlow())
+		}
+	}
+}
+
+func TestADMMDiamond(t *testing.T) {
+	p := diamond()
+	got, err := (&ADMM{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(got, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalFlow() < 14 {
+		t.Errorf("ADMM flow %v too low (optimum 20)", got.TotalFlow())
+	}
+}
+
+func TestProjectSimplexCap(t *testing.T) {
+	v := []float64{3, 2, -1}
+	projectSimplexCap(v, 4)
+	sum := v[0] + v[1] + v[2]
+	if sum > 4+1e-9 {
+		t.Errorf("sum %v > cap", sum)
+	}
+	for _, x := range v {
+		if x < 0 {
+			t.Errorf("negative after projection: %v", v)
+		}
+	}
+	// Under cap: unchanged.
+	v2 := []float64{1, 1}
+	projectSimplexCap(v2, 5)
+	if v2[0] != 1 || v2[1] != 1 {
+		t.Errorf("projection changed interior point: %v", v2)
+	}
+}
+
+// Property: projection result always satisfies constraints and preserves
+// points already inside.
+func TestProjectSimplexCapProperty(t *testing.T) {
+	f := func(raw []float64, capRaw float64) bool {
+		cap_ := math.Abs(capRaw)
+		if math.IsNaN(cap_) || math.IsInf(cap_, 0) || cap_ > 1e12 {
+			return true
+		}
+		v := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+			v = append(v, x)
+		}
+		if len(v) == 0 {
+			return true
+		}
+		projectSimplexCap(v, cap_)
+		sum := 0.0
+		for _, x := range v {
+			if x < -1e-9 {
+				return false
+			}
+			sum += x
+		}
+		return sum <= cap_+1e-6*(1+cap_)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fleischer allocations are always feasible on random problems.
+func TestFleischerFeasibilityProperty(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		p := randomMCF(seed, 8, 15, 4)
+		alloc, err := (&FleischerMCF{Epsilon: 0.1}).SolveMCF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckFeasible(alloc, 1e-6); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestObjectiveAndLinkLoads(t *testing.T) {
+	p := diamond()
+	a := p.NewAllocation()
+	a[0][0] = 4 // tunnel over link 0, weight 1
+	a[1][0] = 2 // tunnel over links 1,2
+	loads := p.LinkLoads(a)
+	want := []float64{4, 2, 2, 0}
+	for e := range want {
+		if loads[e] != want[e] {
+			t.Errorf("load[%d] = %v, want %v", e, loads[e], want[e])
+		}
+	}
+	obj := p.Objective(a)
+	wantObj := 4*(1-0.001*1) + 2*(1-0.001*1)
+	if math.Abs(obj-wantObj) > 1e-9 {
+		t.Errorf("objective = %v, want %v", obj, wantObj)
+	}
+}
+
+func TestFleischerDisabledPasses(t *testing.T) {
+	p := diamond()
+	f := &FleischerMCF{Epsilon: 0.1, DisableTopUp: true, DisableShift: true}
+	alloc, err := f.SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	full, err := (&FleischerMCF{Epsilon: 0.1}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalFlow() < alloc.TotalFlow()-1e-9 {
+		t.Error("refinement passes reduced total flow")
+	}
+}

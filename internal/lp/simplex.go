@@ -1,0 +1,208 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Simplex solves max c·x subject to Ax <= b, x >= 0 with b >= 0 using the
+// dense primal simplex method (slack-basis start, Dantzig pricing with a
+// Bland fallback against cycling). It is exact up to floating point and
+// intended for small and medium instances: unit tests, the LP-all baseline
+// at small scale, and validation of the approximate large-scale solvers.
+type Simplex struct {
+	// MaxIter bounds pivot count; 0 means 20*(rows+cols).
+	MaxIter int
+}
+
+// ErrUnbounded is returned when the LP has unbounded objective.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrIterLimit is returned when the pivot limit is exhausted.
+var ErrIterLimit = errors.New("lp: iteration limit reached")
+
+const pivotEps = 1e-9
+
+// Solve returns the optimal x and objective value.
+func (s *Simplex) Solve(c []float64, a [][]float64, b []float64) (x []float64, obj float64, err error) {
+	m := len(a)
+	n := len(c)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, 0, fmt.Errorf("lp: row %d has %d entries, want %d", i, len(a[i]), n)
+		}
+		if b[i] < 0 {
+			return nil, 0, fmt.Errorf("lp: rhs b[%d] = %v < 0 (slack start needs b >= 0)", i, b[i])
+		}
+	}
+
+	// Tableau: m rows of [A | I | b], objective row last: [-c | 0 | 0].
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], a[i])
+		tab[i][n+i] = 1
+		tab[i][width-1] = b[i]
+	}
+	tab[m] = make([]float64, width)
+	for j := 0; j < n; j++ {
+		tab[m][j] = -c[j]
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxIter := s.MaxIter
+	if maxIter == 0 {
+		maxIter = 20 * (m + n)
+		if maxIter < 1000 {
+			maxIter = 1000
+		}
+	}
+
+	degenerate := 0
+	for iter := 0; iter < maxIter; iter++ {
+		// Pricing: most negative reduced cost (Dantzig), Bland when
+		// degeneracy persists.
+		col := -1
+		if degenerate < 30 {
+			best := -pivotEps
+			for j := 0; j < n+m; j++ {
+				if tab[m][j] < best {
+					best = tab[m][j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < n+m; j++ {
+				if tab[m][j] < -pivotEps {
+					col = j
+					break
+				}
+			}
+		}
+		if col == -1 {
+			// Optimal.
+			x = make([]float64, n)
+			for i, bi := range basis {
+				if bi < n {
+					x[bi] = tab[i][width-1]
+				}
+			}
+			return x, tab[m][width-1], nil
+		}
+
+		// Ratio test.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][col] > pivotEps {
+				ratio := tab[i][width-1] / tab[i][col]
+				if ratio < bestRatio-pivotEps ||
+					(ratio < bestRatio+pivotEps && (row == -1 || basis[i] < basis[row])) {
+					bestRatio = ratio
+					row = i
+				}
+			}
+		}
+		if row == -1 {
+			return nil, 0, ErrUnbounded
+		}
+		if bestRatio < pivotEps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		pivot(tab, row, col)
+		basis[row] = col
+	}
+	return nil, 0, ErrIterLimit
+}
+
+func pivot(tab [][]float64, row, col int) {
+	width := len(tab[row])
+	pv := tab[row][col]
+	for j := 0; j < width; j++ {
+		tab[row][j] /= pv
+	}
+	tab[row][col] = 1 // exact
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		factor := tab[i][col]
+		if factor == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= factor * tab[row][j]
+		}
+		tab[i][col] = 0 // exact
+	}
+}
+
+// SolveMCF solves the path-based MCF exactly by building the dense LP of
+// Equation 2: one variable per (commodity, tunnel), one demand row per
+// commodity, one capacity row per referenced link. Cost grows as
+// O((K+E) * (K*T)) memory; use FleischerMCF beyond a few thousand columns.
+func (s *Simplex) SolveMCF(p *MCF) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Column layout.
+	type colID struct{ k, t int }
+	var cols []colID
+	for k := range p.Commodities {
+		for t := range p.Commodities[k].Tunnels {
+			cols = append(cols, colID{k, t})
+		}
+	}
+	// Only links actually used need capacity rows.
+	usedLink := make(map[int]int) // link -> row offset
+	for k := range p.Commodities {
+		for _, tun := range p.Commodities[k].Tunnels {
+			for _, e := range tun {
+				if _, ok := usedLink[e]; !ok {
+					usedLink[e] = len(usedLink)
+				}
+			}
+		}
+	}
+
+	n := len(cols)
+	m := len(p.Commodities) + len(usedLink)
+	c := make([]float64, n)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for k := range p.Commodities {
+		b[k] = p.Commodities[k].Demand
+	}
+	for e, off := range usedLink {
+		b[len(p.Commodities)+off] = p.LinkCap[e]
+	}
+	for j, col := range cols {
+		c[j] = 1 - p.Epsilon*p.Commodities[col.k].Weights[col.t]
+		a[col.k][j] = 1
+		for _, e := range p.Commodities[col.k].Tunnels[col.t] {
+			a[len(p.Commodities)+usedLink[e]][j] += 1
+		}
+	}
+
+	x, _, err := s.Solve(c, a, b)
+	if err != nil {
+		return nil, err
+	}
+	alloc := p.NewAllocation()
+	for j, col := range cols {
+		alloc[col.k][col.t] = x[j]
+	}
+	return alloc, nil
+}

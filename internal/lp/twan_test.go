@@ -1,0 +1,28 @@
+package lp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGUBWideWorkingBasis(t *testing.T) {
+	// TWAN-like: many links (wide working basis) and moderate commodities.
+	p := randomMCF(11, 760, 900, 4)
+	start := time.Now()
+	gub, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := time.Since(start)
+	if err := p.CheckFeasible(gub, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := (&FleischerMCF{Epsilon: 0.03}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wide: gub obj=%.1f in %v; fleischer ratio=%.5f", p.Objective(gub), el, p.Objective(fl)/p.Objective(gub))
+	if p.Objective(gub) < p.Objective(fl)-1e-6 {
+		t.Error("gub below a feasible objective")
+	}
+}

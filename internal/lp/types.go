@@ -1,0 +1,224 @@
+// Package lp provides the linear-programming substrate MegaTE's control
+// plane builds on. The paper solves MaxSiteFlow with Gurobi; offline and
+// stdlib-only, this package substitutes:
+//
+//   - Simplex: an exact dense primal simplex for small and medium instances
+//     (and for validating the approximate solvers in tests), and
+//   - FleischerMCF: the Fleischer variant of the Garg–Könemann (1−ε)
+//     approximation for path-restricted maximum multicommodity flow, which
+//     scales to every topology in the evaluation, and
+//   - ADMM: an alternating-direction solver with a fixed iteration budget,
+//     standing in for TEAL's learning-accelerated allocator.
+//
+// All three consume the same path-based MCF description: commodities with a
+// demand cap and a set of pre-established tunnels over capacitated links.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Commodity is one demand in a path-based multicommodity-flow problem: up to
+// Demand units may be routed, split arbitrarily across Tunnels. In
+// MaxSiteFlow a commodity is a site pair (k) with demand D_k.
+type Commodity struct {
+	Demand float64
+	// Tunnels[t] lists the link indices tunnel t traverses.
+	Tunnels [][]int
+	// Weights[t] is the tunnel weight w_t (latency); the objective prefers
+	// lower-weight tunnels via the epsilon term of Equation 2.
+	Weights []float64
+}
+
+// MCF is a path-based maximum multicommodity flow problem over directed
+// capacitated links.
+type MCF struct {
+	// LinkCap[e] is the capacity of link e; only links referenced by some
+	// tunnel matter.
+	LinkCap     []float64
+	Commodities []Commodity
+	// Epsilon is the shorter-path preference constant of objective (2). It
+	// must be small enough that 1 - Epsilon*w_t stays positive for every
+	// tunnel; Validate checks this. Zero means pure throughput
+	// maximization.
+	Epsilon float64
+}
+
+// Allocation holds per-commodity, per-tunnel flow: Alloc[k][t] = F_{k,t}.
+type Allocation [][]float64
+
+// NewAllocation returns a zero allocation shaped like the problem.
+func (p *MCF) NewAllocation() Allocation {
+	a := make(Allocation, len(p.Commodities))
+	for k := range p.Commodities {
+		a[k] = make([]float64, len(p.Commodities[k].Tunnels))
+	}
+	return a
+}
+
+// Validate checks the problem description.
+func (p *MCF) Validate() error {
+	for e, c := range p.LinkCap {
+		if c < 0 || math.IsNaN(c) {
+			return fmt.Errorf("lp: link %d has capacity %v", e, c)
+		}
+	}
+	for k, c := range p.Commodities {
+		if c.Demand < 0 || math.IsNaN(c.Demand) {
+			return fmt.Errorf("lp: commodity %d has demand %v", k, c.Demand)
+		}
+		if len(c.Weights) != len(c.Tunnels) {
+			return fmt.Errorf("lp: commodity %d has %d tunnels but %d weights", k, len(c.Tunnels), len(c.Weights))
+		}
+		for t, tun := range c.Tunnels {
+			for _, e := range tun {
+				if e < 0 || e >= len(p.LinkCap) {
+					return fmt.Errorf("lp: commodity %d tunnel %d references link %d of %d", k, t, e, len(p.LinkCap))
+				}
+			}
+			if p.Epsilon > 0 && 1-p.Epsilon*c.Weights[t] <= 0 {
+				return fmt.Errorf("lp: commodity %d tunnel %d: epsilon*w = %v >= 1; decrease epsilon",
+					k, t, p.Epsilon*c.Weights[t])
+			}
+		}
+	}
+	return nil
+}
+
+// TotalFlow sums the allocation.
+func (a Allocation) TotalFlow() float64 {
+	total := 0.0
+	for k := range a {
+		for _, f := range a[k] {
+			total += f
+		}
+	}
+	return total
+}
+
+// Objective evaluates Equation 2: total flow minus epsilon-weighted tunnel
+// latency.
+func (p *MCF) Objective(a Allocation) float64 {
+	obj := 0.0
+	for k := range a {
+		for t, f := range a[k] {
+			obj += f * (1 - p.Epsilon*p.Commodities[k].Weights[t])
+		}
+	}
+	return obj
+}
+
+// LinkLoads returns the per-link load implied by the allocation.
+func (p *MCF) LinkLoads(a Allocation) []float64 {
+	loads := make([]float64, len(p.LinkCap))
+	for k := range a {
+		for t, f := range a[k] {
+			if f == 0 {
+				continue
+			}
+			for _, e := range p.Commodities[k].Tunnels[t] {
+				loads[e] += f
+			}
+		}
+	}
+	return loads
+}
+
+// GreedyTopUp packs residual demand into residual capacity in place,
+// visiting (commodity, tunnel) columns in ascending tunnel weight so short
+// tunnels fill first. It never violates feasibility and is shared by the
+// approximate solvers as a final work-conserving pass.
+func (p *MCF) GreedyTopUp(alloc Allocation) {
+	resCap := make([]float64, len(p.LinkCap))
+	loads := p.LinkLoads(alloc)
+	for e := range resCap {
+		resCap[e] = p.LinkCap[e] - loads[e]
+	}
+	type col struct {
+		k, t int
+		w    float64
+	}
+	var cols []col
+	for k := range p.Commodities {
+		c := &p.Commodities[k]
+		carried := 0.0
+		for _, f := range alloc[k] {
+			carried += f
+		}
+		if carried >= c.Demand {
+			continue
+		}
+		for t := range c.Tunnels {
+			cols = append(cols, col{k, t, c.Weights[t]})
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		if cols[i].w != cols[j].w {
+			return cols[i].w < cols[j].w
+		}
+		if cols[i].k != cols[j].k {
+			return cols[i].k < cols[j].k
+		}
+		return cols[i].t < cols[j].t
+	})
+	resDemand := make(map[int]float64)
+	for _, c := range cols {
+		if _, ok := resDemand[c.k]; !ok {
+			carried := 0.0
+			for _, f := range alloc[c.k] {
+				carried += f
+			}
+			resDemand[c.k] = p.Commodities[c.k].Demand - carried
+		}
+	}
+	for _, c := range cols {
+		rd := resDemand[c.k]
+		if rd <= 0 {
+			continue
+		}
+		push := rd
+		for _, e := range p.Commodities[c.k].Tunnels[c.t] {
+			if resCap[e] < push {
+				push = resCap[e]
+			}
+		}
+		if push <= 0 {
+			continue
+		}
+		alloc[c.k][c.t] += push
+		resDemand[c.k] = rd - push
+		for _, e := range p.Commodities[c.k].Tunnels[c.t] {
+			resCap[e] -= push
+		}
+	}
+}
+
+// CheckFeasible verifies capacity (2b), demand (2a) and nonnegativity (2c)
+// constraints within tol. It returns a descriptive error on the first
+// violation.
+func (p *MCF) CheckFeasible(a Allocation, tol float64) error {
+	if len(a) != len(p.Commodities) {
+		return fmt.Errorf("lp: allocation has %d commodities, problem has %d", len(a), len(p.Commodities))
+	}
+	for k := range a {
+		sum := 0.0
+		for t, f := range a[k] {
+			if f < -tol || math.IsNaN(f) {
+				return fmt.Errorf("lp: commodity %d tunnel %d flow %v is negative", k, t, f)
+			}
+			sum += f
+		}
+		if sum > p.Commodities[k].Demand+tol {
+			return fmt.Errorf("lp: commodity %d carries %v > demand %v", k, sum, p.Commodities[k].Demand)
+		}
+	}
+	loads := p.LinkLoads(a)
+	for e, load := range loads {
+		if load > p.LinkCap[e]+tol {
+			return fmt.Errorf("lp: link %d carries %v > capacity %v", e, load, p.LinkCap[e])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encap is a fully parsed MegaTE data-plane packet: the outer
+// Ethernet/IPv4/UDP/VXLAN encapsulation of Figure 7a, the optional MegaTE SR
+// header, and the opaque inner frame.
+type Encap struct {
+	Eth   Ethernet
+	IP    IPv4
+	UDP   UDP
+	VXLAN VXLAN
+	// SR is non-nil when VXLAN.SRPresent is set.
+	SR *SRHeader
+	// Inner is the encapsulated Ethernet frame (not interpreted here).
+	Inner []byte
+	// SROffset is the byte offset of the SR header within the serialized
+	// packet, usable with AdvanceInPlace; -1 when absent.
+	SROffset int
+}
+
+// Serialize renders the packet. It keeps VXLAN.SRPresent consistent with
+// whether SR is set.
+func (e *Encap) Serialize() ([]byte, error) {
+	var b SerializeBuffer
+	e.VXLAN.SRPresent = e.SR != nil
+	layers := []SerializableLayer{&e.Eth, &e.IP, &e.UDP, &e.VXLAN}
+	if e.SR != nil {
+		layers = append(layers, e.SR)
+	}
+	layers = append(layers, Payload(e.Inner))
+	if err := SerializeLayers(&b, layers...); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeEncap parses a serialized packet produced by Serialize (or by the
+// eBPF host stack). Fragmented packets cannot be decoded past the IP layer;
+// use IPv4.DecodeFromBytes directly for fragment accounting.
+func DecodeEncap(data []byte) (*Encap, error) {
+	e := &Encap{SROffset: -1}
+	rest, err := e.Eth.DecodeFromBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if e.Eth.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: ethertype 0x%04x is not IPv4", e.Eth.EtherType)
+	}
+	rest, err = e.IP.DecodeFromBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	if e.IP.IsFragment() {
+		return nil, errors.New("packet: cannot decode fragment past the IP layer")
+	}
+	if e.IP.Protocol != IPProtoUDP {
+		return nil, fmt.Errorf("packet: protocol %d is not UDP", e.IP.Protocol)
+	}
+	rest, err = e.UDP.DecodeFromBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	rest, err = e.VXLAN.DecodeFromBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	if e.VXLAN.SRPresent {
+		e.SROffset = len(data) - len(rest)
+		sr := &SRHeader{}
+		rest, err = sr.DecodeFromBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		e.SR = sr
+	}
+	e.Inner = rest
+	return e, nil
+}
+
+// OuterFiveTuple returns the outer five tuple, which routers hash for ECMP.
+func (e *Encap) OuterFiveTuple() FiveTuple {
+	return FiveTuple{
+		SrcIP: e.IP.Src, DstIP: e.IP.Dst,
+		Proto:   e.IP.Protocol,
+		SrcPort: e.UDP.SrcPort, DstPort: e.UDP.DstPort,
+	}
+}
+
+// FragmentFrame splits a serialized Ethernet+IPv4 frame into fragments no
+// larger than mtu bytes of IP packet each (the Ethernet header does not
+// count toward the MTU). All fragments share the original IP ID, as §5.1
+// relies on for flow attribution. A frame that already fits is returned
+// unchanged as a single element.
+func FragmentFrame(frame []byte, mtu int) ([][]byte, error) {
+	if mtu < 28 { // 20 header + one 8-byte unit
+		return nil, fmt.Errorf("packet: mtu %d too small to fragment", mtu)
+	}
+	var eth Ethernet
+	ipStart, err := eth.DecodeFromBytes(frame)
+	if err != nil {
+		return nil, err
+	}
+	var ip IPv4
+	payload, err := ip.DecodeFromBytes(ipStart)
+	if err != nil {
+		return nil, err
+	}
+	if int(ip.TotalLen) <= mtu {
+		return [][]byte{frame}, nil
+	}
+	if ip.Flags&IPv4DontFragment != 0 {
+		return nil, errors.New("packet: DF set on oversized packet")
+	}
+
+	// Payload bytes per fragment, multiple of 8.
+	per := (mtu - 20) &^ 7
+	var frags [][]byte
+	for off := 0; off < len(payload); off += per {
+		end := off + per
+		if end > len(payload) {
+			end = len(payload)
+		}
+		fip := ip
+		fip.FragOffset = ip.FragOffset + uint16(off/8)
+		if end < len(payload) || ip.MoreFragments() {
+			fip.Flags |= IPv4MoreFrags
+		} else {
+			fip.Flags &^= IPv4MoreFrags
+		}
+		var b SerializeBuffer
+		if err := SerializeLayers(&b, &eth, &fip, Payload(payload[off:end])); err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(b.Bytes()))
+		copy(out, b.Bytes())
+		frags = append(frags, out)
+	}
+	return frags, nil
+}

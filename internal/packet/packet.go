@@ -1,0 +1,496 @@
+// Package packet implements the wire formats MegaTE's data plane handles
+// (§5.2, Figure 7): Ethernet frames carrying IPv4/UDP/VXLAN encapsulation,
+// with the MegaTE segment-routing header inserted between the VXLAN header
+// and the inner frame. IPv4 fragmentation is supported because the host
+// stack must attribute every fragment of an oversized packet to its flow via
+// the shared IP identification field (§5.1).
+//
+// The API follows the gopacket idiom from the networking guides: layers
+// serialize into a prepend-oriented buffer (innermost first), and decode
+// in place from byte slices without copying.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType int
+
+// Layer types understood by this package.
+const (
+	LayerTypeEthernet LayerType = iota + 1
+	LayerTypeIPv4
+	LayerTypeUDP
+	LayerTypeVXLAN
+	LayerTypeSR
+	LayerTypePayload
+)
+
+// String names the layer type.
+func (lt LayerType) String() string {
+	switch lt {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeVXLAN:
+		return "VXLAN"
+	case LayerTypeSR:
+		return "MegaTE-SR"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", int(lt))
+}
+
+// Common protocol numbers.
+const (
+	EtherTypeIPv4 = 0x0800
+	IPProtoUDP    = 17
+	// VXLANPort is the IANA-assigned VXLAN UDP port.
+	VXLANPort = 4789
+)
+
+// ErrTruncated is returned when a buffer is too short for its layer.
+var ErrTruncated = errors.New("packet: truncated")
+
+// SerializableLayer can write itself in front of the bytes already in a
+// SerializeBuffer (gopacket's prepend discipline: serialize innermost
+// layers first).
+type SerializableLayer interface {
+	LayerType() LayerType
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// SerializeBuffer grows a packet from the innermost layer outward. The zero
+// value is ready to use.
+type SerializeBuffer struct {
+	data []byte
+}
+
+// Bytes returns the current contents.
+func (b *SerializeBuffer) Bytes() []byte { return b.data }
+
+// PrependBytes makes room for n bytes at the front and returns the slice to
+// fill in.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	old := b.data
+	b.data = make([]byte, n+len(old))
+	copy(b.data[n:], old)
+	return b.data[:n]
+}
+
+// AppendBytes makes room for n bytes at the back and returns the slice to
+// fill in.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	old := len(b.data)
+	for cap(b.data) < old+n {
+		b.data = append(b.data[:cap(b.data)], 0)
+	}
+	b.data = b.data[:old+n]
+	return b.data[old:]
+}
+
+// Clear resets the buffer.
+func (b *SerializeBuffer) Clear() { b.data = b.data[:0] }
+
+// SerializeLayers clears the buffer and serializes the given layers so they
+// wrap each other, outermost first in the argument list.
+func SerializeLayers(b *SerializeBuffer, layers ...SerializableLayer) error {
+	b.Clear()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Payload is a raw application payload layer.
+type Payload []byte
+
+// LayerType implements SerializableLayer.
+func (p Payload) LayerType() LayerType { return LayerTypePayload }
+
+// SerializeTo implements SerializableLayer.
+func (p Payload) SerializeTo(b *SerializeBuffer) error {
+	copy(b.PrependBytes(len(p)), p)
+	return nil
+}
+
+// Ethernet is a layer-2 frame header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// LayerType implements SerializableLayer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer) error {
+	buf := b.PrependBytes(14)
+	copy(buf[0:6], e.Dst[:])
+	copy(buf[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], e.EtherType)
+	return nil
+}
+
+// DecodeFromBytes parses the header and returns the payload.
+func (e *Ethernet) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 14 {
+		return nil, fmt.Errorf("%w: ethernet needs 14 bytes, have %d", ErrTruncated, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return data[14:], nil
+}
+
+// IPv4 is an IPv4 header (no options).
+type IPv4 struct {
+	TOS        uint8 // DSCP carries the QoS class on the WAN
+	TotalLen   uint16
+	ID         uint16 // ipid, shared across fragments (§5.1)
+	Flags      uint8  // bit 0x2 = DF, 0x1 = MF
+	FragOffset uint16 // in 8-byte units
+	TTL        uint8
+	Protocol   uint8
+	Checksum   uint16
+	Src, Dst   [4]byte
+}
+
+// IPv4 flag bits.
+const (
+	IPv4DontFragment = 0x2
+	IPv4MoreFrags    = 0x1
+)
+
+// LayerType implements SerializableLayer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// SerializeTo implements SerializableLayer. It fills in TotalLen and the
+// header checksum.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := len(b.Bytes())
+	buf := b.PrependBytes(20)
+	ip.TotalLen = uint16(20 + payloadLen)
+	buf[0] = 0x45 // version 4, IHL 5
+	buf[1] = ip.TOS
+	binary.BigEndian.PutUint16(buf[2:4], ip.TotalLen)
+	binary.BigEndian.PutUint16(buf[4:6], ip.ID)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	buf[8] = ip.TTL
+	buf[9] = ip.Protocol
+	buf[10], buf[11] = 0, 0
+	copy(buf[12:16], ip.Src[:])
+	copy(buf[16:20], ip.Dst[:])
+	ip.Checksum = ipChecksum(buf)
+	binary.BigEndian.PutUint16(buf[10:12], ip.Checksum)
+	return nil
+}
+
+// DecodeFromBytes parses the header, validates the checksum, and returns
+// the payload (clipped to TotalLen).
+func (ip *IPv4) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("%w: ipv4 needs 20 bytes, have %d", ErrTruncated, len(data))
+	}
+	if data[0]>>4 != 4 {
+		return nil, fmt.Errorf("packet: not IPv4 (version %d)", data[0]>>4)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, fmt.Errorf("%w: ihl %d", ErrTruncated, ihl)
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	if ipChecksumVerify(data[:ihl]) != 0 {
+		return nil, errors.New("packet: ipv4 checksum mismatch")
+	}
+	if int(ip.TotalLen) < ihl || int(ip.TotalLen) > len(data) {
+		return nil, fmt.Errorf("%w: total length %d of %d", ErrTruncated, ip.TotalLen, len(data))
+	}
+	return data[ihl:ip.TotalLen], nil
+}
+
+// DecodeHeader parses and validates only the 20-byte header, returning
+// everything after it without clipping to TotalLen. Use it when the packet
+// is a fragment whose TotalLen describes the pre-fragmentation datagram, or
+// when trailing bytes are acceptable.
+func (ip *IPv4) DecodeHeader(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("%w: ipv4 needs 20 bytes, have %d", ErrTruncated, len(data))
+	}
+	if data[0]>>4 != 4 {
+		return nil, fmt.Errorf("packet: not IPv4 (version %d)", data[0]>>4)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, fmt.Errorf("%w: ihl %d", ErrTruncated, ihl)
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	if ipChecksumVerify(data[:ihl]) != 0 {
+		return nil, errors.New("packet: ipv4 checksum mismatch")
+	}
+	return data[ihl:], nil
+}
+
+// MoreFragments reports the MF bit.
+func (ip *IPv4) MoreFragments() bool { return ip.Flags&IPv4MoreFrags != 0 }
+
+// IsFragment reports whether the packet is any fragment of a larger packet.
+func (ip *IPv4) IsFragment() bool { return ip.MoreFragments() || ip.FragOffset != 0 }
+
+func ipChecksum(hdr []byte) uint16 {
+	sum := uint32(0)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func ipChecksumVerify(hdr []byte) uint16 {
+	sum := uint32(0)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDP is a UDP header. Length is filled during serialization; the checksum
+// is left zero (legal for UDP over IPv4 and what VXLAN commonly does).
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// LayerType implements SerializableLayer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// SerializeTo implements SerializableLayer.
+func (u *UDP) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := len(b.Bytes())
+	buf := b.PrependBytes(8)
+	u.Length = uint16(8 + payloadLen)
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], u.Length)
+	binary.BigEndian.PutUint16(buf[6:8], u.Checksum)
+	return nil
+}
+
+// DecodeFromBytes parses the header and returns the payload.
+func (u *UDP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: udp needs 8 bytes, have %d", ErrTruncated, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < 8 || int(u.Length) > len(data) {
+		return nil, fmt.Errorf("%w: udp length %d of %d", ErrTruncated, u.Length, len(data))
+	}
+	return data[8:u.Length], nil
+}
+
+// DecodeHeader parses only the 8-byte header, returning everything after it
+// without validating Length against the available bytes — needed when the
+// datagram continues in later IP fragments.
+func (u *UDP) DecodeHeader(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: udp needs 8 bytes, have %d", ErrTruncated, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	return data[8:], nil
+}
+
+// VXLAN is the VXLAN header (RFC 7348). MegaTE repurposes the low bit of
+// the first reserved field as the "SR present" flag (§5.2): routers check it
+// to know whether a MegaTE SR header follows.
+type VXLAN struct {
+	VNI uint32
+	// SRPresent is MegaTE's flag in the VXLAN reserved field.
+	SRPresent bool
+}
+
+// vxlanFlagVNIValid is the standard I-flag.
+const vxlanFlagVNIValid = 0x08
+
+// megateSRFlag is the reserved-field bit marking an inserted SR header.
+const megateSRFlag = 0x01
+
+// LayerType implements SerializableLayer.
+func (v *VXLAN) LayerType() LayerType { return LayerTypeVXLAN }
+
+// SerializeTo implements SerializableLayer.
+func (v *VXLAN) SerializeTo(b *SerializeBuffer) error {
+	if v.VNI >= 1<<24 {
+		return fmt.Errorf("packet: VNI %d exceeds 24 bits", v.VNI)
+	}
+	buf := b.PrependBytes(8)
+	buf[0] = vxlanFlagVNIValid
+	if v.SRPresent {
+		buf[1] = megateSRFlag
+	} else {
+		buf[1] = 0
+	}
+	buf[2], buf[3] = 0, 0
+	buf[4] = byte(v.VNI >> 16)
+	buf[5] = byte(v.VNI >> 8)
+	buf[6] = byte(v.VNI)
+	buf[7] = 0
+	return nil
+}
+
+// DecodeFromBytes parses the header and returns the payload.
+func (v *VXLAN) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: vxlan needs 8 bytes, have %d", ErrTruncated, len(data))
+	}
+	if data[0]&vxlanFlagVNIValid == 0 {
+		return nil, errors.New("packet: vxlan I-flag not set")
+	}
+	v.SRPresent = data[1]&megateSRFlag != 0
+	v.VNI = uint32(data[4])<<16 | uint32(data[5])<<8 | uint32(data[6])
+	return data[8:], nil
+}
+
+// SRHeader is the MegaTE segment-routing header of Figure 7b: the total hop
+// count, the current offset, and the hop array listing the site-level path
+// through the WAN.
+type SRHeader struct {
+	// Offset indexes the next hop to visit in Hops.
+	Offset uint8
+	// Hops holds the site identifiers along the path, ingress first.
+	Hops []uint32
+}
+
+// MaxSRHops bounds the hop array (the field is a uint8 count).
+const MaxSRHops = 255
+
+// LayerType implements SerializableLayer.
+func (s *SRHeader) LayerType() LayerType { return LayerTypeSR }
+
+// SerializeTo implements SerializableLayer.
+func (s *SRHeader) SerializeTo(b *SerializeBuffer) error {
+	if len(s.Hops) > MaxSRHops {
+		return fmt.Errorf("packet: %d hops exceeds the SR header maximum %d", len(s.Hops), MaxSRHops)
+	}
+	buf := b.PrependBytes(4 + 4*len(s.Hops))
+	buf[0] = uint8(len(s.Hops)) // Hop Number
+	buf[1] = s.Offset
+	buf[2], buf[3] = 0, 0 // reserved
+	for i, h := range s.Hops {
+		binary.BigEndian.PutUint32(buf[4+4*i:], h)
+	}
+	return nil
+}
+
+// DecodeFromBytes parses the header and returns the payload.
+func (s *SRHeader) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: sr header needs 4 bytes, have %d", ErrTruncated, len(data))
+	}
+	n := int(data[0])
+	s.Offset = data[1]
+	need := 4 + 4*n
+	if len(data) < need {
+		return nil, fmt.Errorf("%w: sr header with %d hops needs %d bytes, have %d", ErrTruncated, n, need, len(data))
+	}
+	s.Hops = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		s.Hops[i] = binary.BigEndian.Uint32(data[4+4*i:])
+	}
+	return data[need:], nil
+}
+
+// NextHop returns the hop at the current offset, or ok=false when the path
+// is exhausted.
+func (s *SRHeader) NextHop() (uint32, bool) {
+	if int(s.Offset) >= len(s.Hops) {
+		return 0, false
+	}
+	return s.Hops[s.Offset], true
+}
+
+// Advance moves the offset past the current hop.
+func (s *SRHeader) Advance() { s.Offset++ }
+
+// AdvanceInPlace increments the Offset field directly inside a serialized
+// packet whose SR header starts at off, avoiding a reserialization on the
+// router fast path.
+func AdvanceInPlace(pkt []byte, off int) error {
+	if off+2 > len(pkt) {
+		return ErrTruncated
+	}
+	pkt[off+1]++
+	return nil
+}
+
+// FiveTuple identifies a connection (§1 footnote): the key of the eBPF
+// conntrack and traffic maps, and the input to conventional ECMP hashing.
+type FiveTuple struct {
+	SrcIP, DstIP     [4]byte
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// String renders the tuple as "src:port->dst:port/proto".
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d/%d",
+		ft.SrcIP[0], ft.SrcIP[1], ft.SrcIP[2], ft.SrcIP[3], ft.SrcPort,
+		ft.DstIP[0], ft.DstIP[1], ft.DstIP[2], ft.DstIP[3], ft.DstPort, ft.Proto)
+}
+
+// Hash returns a stable non-cryptographic hash, the router's ECMP function.
+// It is deliberately deterministic per tuple: all packets of one connection
+// take one path, but different connections of the same instance may not —
+// the §2.1 pathology MegaTE fixes.
+func (ft FiveTuple) Hash() uint64 {
+	h := fnv.New64a()
+	var b [13]byte
+	copy(b[0:4], ft.SrcIP[:])
+	copy(b[4:8], ft.DstIP[:])
+	b[8] = ft.Proto
+	binary.BigEndian.PutUint16(b[9:11], ft.SrcPort)
+	binary.BigEndian.PutUint16(b[11:13], ft.DstPort)
+	h.Write(b[:])
+	return h.Sum64()
+}

@@ -1,0 +1,496 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEncap(withSR bool) *Encap {
+	e := &Encap{
+		Eth: Ethernet{Dst: [6]byte{1, 2, 3, 4, 5, 6}, Src: [6]byte{6, 5, 4, 3, 2, 1}, EtherType: EtherTypeIPv4},
+		IP: IPv4{
+			TOS: 0x2e << 2, ID: 4242, TTL: 64, Protocol: IPProtoUDP,
+			Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2},
+		},
+		UDP:   UDP{SrcPort: 33333, DstPort: VXLANPort},
+		VXLAN: VXLAN{VNI: 7777},
+		Inner: []byte("inner ethernet frame bytes"),
+	}
+	if withSR {
+		e.SR = &SRHeader{Offset: 0, Hops: []uint32{3, 7, 11}}
+	}
+	return e
+}
+
+func TestEncapRoundTripWithSR(t *testing.T) {
+	e := sampleEncap(true)
+	data, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEncap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VXLAN.VNI != 7777 || !got.VXLAN.SRPresent {
+		t.Errorf("vxlan = %+v", got.VXLAN)
+	}
+	if got.SR == nil || len(got.SR.Hops) != 3 || got.SR.Hops[1] != 7 {
+		t.Fatalf("sr = %+v", got.SR)
+	}
+	if !bytes.Equal(got.Inner, e.Inner) {
+		t.Errorf("inner = %q", got.Inner)
+	}
+	if got.IP.Src != e.IP.Src || got.UDP.DstPort != VXLANPort {
+		t.Error("outer headers mangled")
+	}
+}
+
+func TestEncapRoundTripWithoutSR(t *testing.T) {
+	e := sampleEncap(false)
+	data, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEncap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VXLAN.SRPresent || got.SR != nil || got.SROffset != -1 {
+		t.Errorf("unexpected SR: %+v", got)
+	}
+	if !bytes.Equal(got.Inner, e.Inner) {
+		t.Errorf("inner = %q", got.Inner)
+	}
+}
+
+func TestAdvanceInPlace(t *testing.T) {
+	e := sampleEncap(true)
+	data, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEncap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AdvanceInPlace(data, got.SROffset); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := DecodeEncap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.SR.Offset != 1 {
+		t.Errorf("offset = %d, want 1", got2.SR.Offset)
+	}
+	hop, ok := got2.SR.NextHop()
+	if !ok || hop != 7 {
+		t.Errorf("next hop = %d, %v", hop, ok)
+	}
+}
+
+func TestSRNextHopExhaustion(t *testing.T) {
+	sr := &SRHeader{Hops: []uint32{1, 2}}
+	for i := 0; i < 2; i++ {
+		if _, ok := sr.NextHop(); !ok {
+			t.Fatalf("hop %d should exist", i)
+		}
+		sr.Advance()
+	}
+	if _, ok := sr.NextHop(); ok {
+		t.Error("exhausted path should report no next hop")
+	}
+}
+
+func TestSRHopLimit(t *testing.T) {
+	sr := &SRHeader{Hops: make([]uint32, 256)}
+	var b SerializeBuffer
+	if err := sr.SerializeTo(&b); err == nil {
+		t.Error("want error for > 255 hops")
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	e := sampleEncap(false)
+	data, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[14+8] ^= 0xff // corrupt TTL inside the IP header
+	if _, err := DecodeEncap(data); err == nil {
+		t.Error("want checksum error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	e := sampleEncap(true)
+	data, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 14, 20, 33, 41, 44, 47} {
+		if cut >= len(data) {
+			continue
+		}
+		if _, err := DecodeEncap(data[:cut]); err == nil {
+			t.Errorf("decode of %d-byte prefix should fail", cut)
+		}
+	}
+}
+
+func TestDecodeWrongProtocols(t *testing.T) {
+	e := sampleEncap(false)
+	e.Eth.EtherType = 0x86dd
+	data, _ := e.Serialize()
+	if _, err := DecodeEncap(data); err == nil {
+		t.Error("want ethertype error")
+	}
+	e = sampleEncap(false)
+	e.IP.Protocol = 6
+	data, _ = e.Serialize()
+	if _, err := DecodeEncap(data); err == nil {
+		t.Error("want protocol error")
+	}
+}
+
+func TestVXLANVNITooLarge(t *testing.T) {
+	v := &VXLAN{VNI: 1 << 24}
+	var b SerializeBuffer
+	if err := v.SerializeTo(&b); err == nil {
+		t.Error("want VNI range error")
+	}
+}
+
+func TestFiveTupleHashDeterministicAndSpread(t *testing.T) {
+	ft := FiveTuple{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, Proto: 17, SrcPort: 1000, DstPort: 2000}
+	if ft.Hash() != ft.Hash() {
+		t.Error("hash not deterministic")
+	}
+	// Different source ports (same instance, different connections) should
+	// frequently land in different buckets — the §2.1 pathology.
+	buckets := map[uint64]bool{}
+	for p := uint16(1000); p < 1032; p++ {
+		f := ft
+		f.SrcPort = p
+		buckets[f.Hash()%4] = true
+	}
+	if len(buckets) < 2 {
+		t.Error("hash does not spread across paths")
+	}
+	if ft.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFragmentFrameRoundTrip(t *testing.T) {
+	payload := make([]byte, 3000)
+	r := rand.New(rand.NewSource(1))
+	r.Read(payload)
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	ip := IPv4{ID: 99, TTL: 64, Protocol: IPProtoUDP, Src: [4]byte{1, 1, 1, 1}, Dst: [4]byte{2, 2, 2, 2}}
+	var b SerializeBuffer
+	if err := SerializeLayers(&b, &eth, &ip, Payload(payload)); err != nil {
+		t.Fatal(err)
+	}
+	frags, err := FragmentFrame(b.Bytes(), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 2 {
+		t.Fatalf("expected multiple fragments, got %d", len(frags))
+	}
+	// Reassemble and compare.
+	reassembled := make([]byte, 0, len(payload))
+	lastSeen := false
+	for i, f := range frags {
+		var feth Ethernet
+		rest, err := feth.DecodeFromBytes(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fip IPv4
+		fpayload, err := fip.DecodeFromBytes(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fip.ID != 99 {
+			t.Errorf("fragment %d has ID %d, want 99", i, fip.ID)
+		}
+		if int(fip.FragOffset)*8 != len(reassembled) {
+			t.Errorf("fragment %d offset %d, reassembled %d", i, fip.FragOffset*8, len(reassembled))
+		}
+		if i < len(frags)-1 {
+			if !fip.MoreFragments() {
+				t.Errorf("fragment %d missing MF", i)
+			}
+			if int(fip.TotalLen) > 1500 {
+				t.Errorf("fragment %d exceeds MTU: %d", i, fip.TotalLen)
+			}
+		} else {
+			lastSeen = !fip.MoreFragments()
+		}
+		reassembled = append(reassembled, fpayload...)
+	}
+	if !lastSeen {
+		t.Error("last fragment still has MF set")
+	}
+	if !bytes.Equal(reassembled, payload) {
+		t.Error("reassembly mismatch")
+	}
+}
+
+func TestFragmentFrameNoopWhenSmall(t *testing.T) {
+	e := sampleEncap(false)
+	data, _ := e.Serialize()
+	frags, err := FragmentFrame(data, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !bytes.Equal(frags[0], data) {
+		t.Error("small frame should pass through")
+	}
+}
+
+func TestFragmentFrameRespectsDF(t *testing.T) {
+	payload := make([]byte, 3000)
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	ip := IPv4{Flags: IPv4DontFragment, TTL: 64, Protocol: IPProtoUDP}
+	var b SerializeBuffer
+	if err := SerializeLayers(&b, &eth, &ip, Payload(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FragmentFrame(b.Bytes(), 1500); err == nil {
+		t.Error("want DF error")
+	}
+	if _, err := FragmentFrame(b.Bytes(), 10); err == nil {
+		t.Error("want tiny-MTU error")
+	}
+}
+
+func TestDecodeFragmentRefused(t *testing.T) {
+	payload := make([]byte, 3000)
+	e := sampleEncap(false)
+	e.Inner = payload
+	data, _ := e.Serialize()
+	frags, err := FragmentFrame(data, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEncap(frags[0]); err == nil {
+		t.Error("decoding a fragment past IP should fail")
+	}
+}
+
+func TestSerializeBufferPrependAppend(t *testing.T) {
+	var b SerializeBuffer
+	copy(b.AppendBytes(3), "def")
+	copy(b.PrependBytes(3), "abc")
+	copy(b.AppendBytes(3), "ghi")
+	if string(b.Bytes()) != "abcdefghi" {
+		t.Errorf("buffer = %q", b.Bytes())
+	}
+	b.Clear()
+	if len(b.Bytes()) != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	for _, lt := range []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeUDP, LayerTypeVXLAN, LayerTypeSR, LayerTypePayload} {
+		if lt.String() == "" {
+			t.Errorf("empty name for %d", lt)
+		}
+	}
+	if LayerType(99).String() != "LayerType(99)" {
+		t.Error("unknown layer type formatting")
+	}
+}
+
+// Property: any SR header round-trips through serialize/decode.
+func TestSRHeaderRoundTripProperty(t *testing.T) {
+	f := func(hopsRaw []uint32, offset uint8) bool {
+		if len(hopsRaw) > MaxSRHops {
+			hopsRaw = hopsRaw[:MaxSRHops]
+		}
+		sr := &SRHeader{Offset: offset, Hops: hopsRaw}
+		var b SerializeBuffer
+		if err := sr.SerializeTo(&b); err != nil {
+			return false
+		}
+		var got SRHeader
+		rest, err := got.DecodeFromBytes(b.Bytes())
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if got.Offset != offset || len(got.Hops) != len(hopsRaw) {
+			return false
+		}
+		for i := range hopsRaw {
+			if got.Hops[i] != hopsRaw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IPv4 headers round-trip and always verify their own checksum.
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(tos uint8, id uint16, ttl uint8, src, dst [4]byte, payload []byte) bool {
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		ip := IPv4{TOS: tos, ID: id, TTL: ttl, Protocol: IPProtoUDP, Src: src, Dst: dst}
+		var b SerializeBuffer
+		if err := SerializeLayers(&b, &ip, Payload(payload)); err != nil {
+			return false
+		}
+		var got IPv4
+		rest, err := got.DecodeFromBytes(b.Bytes())
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.TTL == ttl && got.Src == src && got.Dst == dst &&
+			bytes.Equal(rest, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncapSerialize(b *testing.B) {
+	e := sampleEncap(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Serialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeEncap(b *testing.B) {
+	e := sampleEncap(true)
+	data, err := e.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeEncap(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiveTupleHash(b *testing.B) {
+	ft := FiveTuple{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, Proto: 17, SrcPort: 1000, DstPort: 2000}
+	for i := 0; i < b.N; i++ {
+		_ = ft.Hash()
+	}
+}
+
+func BenchmarkFragmentFrame(b *testing.B) {
+	e := sampleEncap(false)
+	e.Inner = make([]byte, 8000)
+	data, err := e.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FragmentFrame(data, 1500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestUDPDecodeHeaderShort(t *testing.T) {
+	var u UDP
+	if _, err := u.DecodeHeader([]byte{1, 2, 3}); err == nil {
+		t.Error("want truncation error")
+	}
+}
+
+func TestIPv4DecodeHeaderErrors(t *testing.T) {
+	var ip IPv4
+	if _, err := ip.DecodeHeader(make([]byte, 10)); err == nil {
+		t.Error("want truncation error")
+	}
+	bad := make([]byte, 20)
+	bad[0] = 0x60 // version 6
+	if _, err := ip.DecodeHeader(bad); err == nil {
+		t.Error("want version error")
+	}
+	bad[0] = 0x44 // IHL 4 < 5
+	if _, err := ip.DecodeHeader(bad); err == nil {
+		t.Error("want IHL error")
+	}
+}
+
+func TestAdvanceInPlaceTruncated(t *testing.T) {
+	if err := AdvanceInPlace([]byte{1}, 0); err == nil {
+		t.Error("want truncation error")
+	}
+}
+
+func TestVXLANDecodeMissingIFlag(t *testing.T) {
+	var v VXLAN
+	if _, err := v.DecodeFromBytes(make([]byte, 8)); err == nil {
+		t.Error("want I-flag error")
+	}
+}
+
+func TestSerializeLayersErrorPropagates(t *testing.T) {
+	var b SerializeBuffer
+	bad := &VXLAN{VNI: 1 << 24}
+	if err := SerializeLayers(&b, bad, Payload("x")); err == nil {
+		t.Error("want VNI error")
+	}
+}
+
+// Robustness: arbitrary bytes through the decoders must error or succeed,
+// never panic or over-read.
+func TestDecodeEncapNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		n := r.Intn(200)
+		data := make([]byte, n)
+		r.Read(data)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on %x: %v", data, rec)
+				}
+			}()
+			DecodeEncap(data)
+		}()
+	}
+	// Mutated valid packets: flip bytes of a real frame.
+	e := sampleEncap(true)
+	base, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		data := append([]byte(nil), base...)
+		for f := 0; f < 1+r.Intn(4); f++ {
+			data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on mutated frame: %v", rec)
+				}
+			}()
+			DecodeEncap(data)
+		}()
+	}
+}

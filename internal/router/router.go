@@ -1,0 +1,405 @@
+// Package router simulates the WAN data plane of §5.2: routers parse the
+// VXLAN header, and when the MegaTE SR flag is set they forward hop by hop
+// along the SR header's site list; otherwise they fall back to conventional
+// five-tuple ECMP hashing over equal-cost shortest paths — the behaviour
+// whose latency instability motivates MegaTE (§2.1).
+//
+// A Fabric wires one router per topology site and walks a frame from its
+// ingress site to its egress site, accumulating link latency and per-link
+// byte counters. IP fragments without an SR header are kept on their first
+// fragment's path via a per-router fragment cache, mirroring how real
+// routers handle L4-less fragments.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"megate/internal/packet"
+	"megate/internal/topology"
+)
+
+// Delivery describes one frame's trip through the WAN.
+type Delivery struct {
+	Egress    topology.SiteID
+	LatencyMs float64
+	// Path lists the sites traversed, ingress first, egress last.
+	Path []topology.SiteID
+	// ViaSR reports whether the MegaTE SR header drove forwarding.
+	ViaSR bool
+}
+
+// Errors returned by Deliver.
+var (
+	ErrNoRoute   = errors.New("router: no route")
+	ErrLoop      = errors.New("router: forwarding loop")
+	ErrBadSRPath = errors.New("router: SR hop not adjacent")
+)
+
+type fragKey struct {
+	src, dst [4]byte
+	id       uint16
+}
+
+// Fabric is the set of routers over a topology.
+type Fabric struct {
+	topo     *topology.Topology
+	ipToSite func([4]byte) (topology.SiteID, bool)
+
+	mu sync.Mutex
+	// linkBytes[l] counts bytes carried by link l.
+	linkBytes []uint64
+	// distCache[dst] is the latency-to-dst vector for ECMP.
+	distCache map[topology.SiteID][]float64
+	// fragNext remembers the ECMP next hop chosen for a fragmented
+	// datagram at a given router: (router, fragment key) -> next hop.
+	fragNext map[topology.SiteID]map[fragKey]topology.SiteID
+	// revAdj[s] lists links arriving at s (for reverse Dijkstra).
+	revAdj [][]topology.LinkID
+
+	// tunnels, when set, switches conventional forwarding from hop-by-hop
+	// ECMP to tunnel hashing: the ingress router hashes the five tuple
+	// across the site pair's pre-established TE tunnels — the behaviour
+	// whose latency modes motivate MegaTE (§2.1, Figure 2).
+	tunnels *topology.TunnelSet
+	// fragTunnel remembers the tunnel choice for a fragmented datagram.
+	fragTunnel map[fragKey]*topology.Tunnel
+}
+
+// New builds the fabric. ipToSite resolves outer destination IPs to sites
+// for conventional forwarding; it may be nil if only SR traffic is
+// delivered.
+func New(topo *topology.Topology, ipToSite func([4]byte) (topology.SiteID, bool)) *Fabric {
+	f := &Fabric{
+		topo:      topo,
+		ipToSite:  ipToSite,
+		linkBytes: make([]uint64, topo.NumLinks()),
+		distCache: make(map[topology.SiteID][]float64),
+		fragNext:  make(map[topology.SiteID]map[fragKey]topology.SiteID),
+		revAdj:    make([][]topology.LinkID, topo.NumSites()),
+	}
+	for _, l := range topo.Links {
+		f.revAdj[l.To] = append(f.revAdj[l.To], l.ID)
+	}
+	return f
+}
+
+// UseTunnelHashing makes conventional (non-SR) forwarding hash each flow
+// onto one of the site pair's pre-established tunnels at the ingress
+// router, as production tunnel-based TE does. The tunnel set should be
+// pre-warmed if the fabric is shared across goroutines.
+func (f *Fabric) UseTunnelHashing(ts *topology.TunnelSet) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tunnels = ts
+	f.fragTunnel = make(map[fragKey]*topology.Tunnel)
+}
+
+// LinkBytes returns a copy of the per-link byte counters.
+func (f *Fabric) LinkBytes() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]uint64, len(f.linkBytes))
+	copy(out, f.linkBytes)
+	return out
+}
+
+// InvalidateRoutes drops cached ECMP state after a topology change.
+func (f *Fabric) InvalidateRoutes() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.distCache = make(map[topology.SiteID][]float64)
+	f.fragNext = make(map[topology.SiteID]map[fragKey]topology.SiteID)
+}
+
+// Deliver walks the frame from ingress to its egress site. The frame is
+// modified in place when SR forwarding advances the offset field.
+func (f *Fabric) Deliver(frame []byte, ingress topology.SiteID) (Delivery, error) {
+	d := Delivery{Path: []topology.SiteID{ingress}}
+
+	var eth packet.Ethernet
+	ipBytes, err := eth.DecodeFromBytes(frame)
+	if err != nil || eth.EtherType != packet.EtherTypeIPv4 {
+		return d, fmt.Errorf("router: not an IPv4 frame: %v", err)
+	}
+	var ip packet.IPv4
+	l4, err := ip.DecodeHeader(ipBytes)
+	if err != nil {
+		return d, err
+	}
+
+	sr, srOff := f.parseSR(frame, &ip, l4)
+
+	// Tunnel hashing: without an SR header, the ingress router picks one
+	// of the pair's TE tunnels by five-tuple hash and the packet follows
+	// it — the conventional behaviour MegaTE replaces.
+	if sr == nil && f.tunnels != nil {
+		if dst, ok := f.resolveDst(ip.Dst); ok && dst != ingress {
+			if tn := f.hashTunnel(ingress, dst, &ip, l4); tn != nil {
+				return f.deliverAlong(frame, tn, &d)
+			}
+		}
+	}
+
+	cur := ingress
+	maxHops := f.topo.NumSites() + 2
+	for hops := 0; ; hops++ {
+		if hops > maxHops {
+			return d, ErrLoop
+		}
+		var next topology.SiteID
+		var has bool
+		if sr != nil {
+			d.ViaSR = true
+			nh, ok := sr.NextHop()
+			for ok && topology.SiteID(nh) == cur {
+				sr.Advance()
+				_ = packet.AdvanceInPlace(frame, srOff)
+				nh, ok = sr.NextHop()
+			}
+			if !ok {
+				d.Egress = cur
+				return d, nil
+			}
+			next, has = topology.SiteID(nh), true
+			sr.Advance()
+			_ = packet.AdvanceInPlace(frame, srOff)
+		} else {
+			dst, ok := f.resolveDst(ip.Dst)
+			if !ok {
+				return d, fmt.Errorf("%w: unknown destination %v", ErrNoRoute, ip.Dst)
+			}
+			if cur == dst {
+				d.Egress = cur
+				return d, nil
+			}
+			next, has = f.ecmpNext(cur, dst, &ip, l4)
+		}
+		if !has {
+			return d, ErrNoRoute
+		}
+		lid, ok := f.linkBetween(cur, next)
+		if !ok {
+			if sr != nil {
+				return d, fmt.Errorf("%w: %d -> %d", ErrBadSRPath, cur, next)
+			}
+			return d, ErrNoRoute
+		}
+		link := f.topo.Links[lid]
+		d.LatencyMs += link.LatencyMs
+		f.mu.Lock()
+		f.linkBytes[lid] += uint64(len(frame))
+		f.mu.Unlock()
+		cur = next
+		d.Path = append(d.Path, cur)
+	}
+}
+
+// hashTunnel picks the tunnel a conventional flow hashes onto, keeping
+// fragments on the first fragment's tunnel.
+func (f *Fabric) hashTunnel(ingress, dst topology.SiteID, ip *packet.IPv4, l4 []byte) *topology.Tunnel {
+	key := fragKey{src: ip.Src, dst: ip.Dst, id: ip.ID}
+	if ip.FragOffset != 0 {
+		f.mu.Lock()
+		tn, ok := f.fragTunnel[key]
+		if ok && !ip.MoreFragments() {
+			delete(f.fragTunnel, key)
+		}
+		f.mu.Unlock()
+		if ok {
+			return tn
+		}
+	}
+	tns := f.tunnels.For(ingress, dst)
+	if len(tns) == 0 {
+		return nil
+	}
+	tuple := packet.FiveTuple{SrcIP: ip.Src, DstIP: ip.Dst, Proto: ip.Protocol}
+	if ip.FragOffset == 0 {
+		var udp packet.UDP
+		if _, err := udp.DecodeHeader(l4); err == nil {
+			tuple.SrcPort, tuple.DstPort = udp.SrcPort, udp.DstPort
+		}
+	}
+	tn := tns[tuple.Hash()%uint64(len(tns))]
+	if ip.IsFragment() && ip.FragOffset == 0 {
+		f.mu.Lock()
+		f.fragTunnel[key] = tn
+		f.mu.Unlock()
+	}
+	return tn
+}
+
+// deliverAlong walks the frame hop by hop down a tunnel.
+func (f *Fabric) deliverAlong(frame []byte, tn *topology.Tunnel, d *Delivery) (Delivery, error) {
+	cur := tn.Sites[0]
+	if len(d.Path) > 0 {
+		cur = d.Path[0]
+	}
+	for _, lid := range tn.Links {
+		link := f.topo.Links[lid]
+		if link.Down || link.From != cur {
+			return *d, ErrNoRoute
+		}
+		d.LatencyMs += link.LatencyMs
+		f.mu.Lock()
+		f.linkBytes[lid] += uint64(len(frame))
+		f.mu.Unlock()
+		cur = link.To
+		d.Path = append(d.Path, cur)
+	}
+	d.Egress = cur
+	return *d, nil
+}
+
+// parseSR checks the VXLAN SR flag and returns the parsed SR header plus
+// its byte offset in the frame, or nil for conventional packets. Fragments
+// past the first have no VXLAN header and return nil.
+func (f *Fabric) parseSR(frame []byte, ip *packet.IPv4, l4 []byte) (*packet.SRHeader, int) {
+	if ip.Protocol != packet.IPProtoUDP || ip.FragOffset != 0 {
+		return nil, -1
+	}
+	var udp packet.UDP
+	rest, err := udp.DecodeHeader(l4)
+	if err != nil || udp.DstPort != packet.VXLANPort {
+		return nil, -1
+	}
+	var vx packet.VXLAN
+	rest, err = vx.DecodeFromBytes(rest)
+	if err != nil || !vx.SRPresent {
+		return nil, -1
+	}
+	off := len(frame) - len(rest)
+	sr := &packet.SRHeader{}
+	if _, err := sr.DecodeFromBytes(rest); err != nil {
+		return nil, -1
+	}
+	return sr, off
+}
+
+func (f *Fabric) resolveDst(ip [4]byte) (topology.SiteID, bool) {
+	if f.ipToSite == nil {
+		return 0, false
+	}
+	return f.ipToSite(ip)
+}
+
+// ecmpNext picks the next hop among equal-cost shortest-path neighbours by
+// hashing the five tuple — deterministic per connection, spread across
+// connections (§2.1). Fragments reuse the first fragment's choice via the
+// fragment cache.
+func (f *Fabric) ecmpNext(cur, dst topology.SiteID, ip *packet.IPv4, l4 []byte) (topology.SiteID, bool) {
+	key := fragKey{src: ip.Src, dst: ip.Dst, id: ip.ID}
+	if ip.FragOffset != 0 {
+		f.mu.Lock()
+		next, ok := f.fragNext[cur][key]
+		f.mu.Unlock()
+		if ok {
+			return next, true
+		}
+		// Fall through: hash without ports (they are unavailable).
+	}
+
+	cands := f.equalCostNeighbors(cur, dst)
+	if len(cands) == 0 {
+		return 0, false
+	}
+	tuple := packet.FiveTuple{SrcIP: ip.Src, DstIP: ip.Dst, Proto: ip.Protocol}
+	if ip.FragOffset == 0 {
+		var udp packet.UDP
+		if _, err := udp.DecodeHeader(l4); err == nil {
+			tuple.SrcPort, tuple.DstPort = udp.SrcPort, udp.DstPort
+		}
+	}
+	// Salt the hash with the router site so consecutive routers don't all
+	// make correlated choices.
+	h := tuple.Hash() ^ uint64(cur)*0x9e3779b97f4a7c15
+	next := cands[h%uint64(len(cands))]
+
+	if ip.IsFragment() {
+		f.mu.Lock()
+		if f.fragNext[cur] == nil {
+			f.fragNext[cur] = make(map[fragKey]topology.SiteID)
+		}
+		f.fragNext[cur][key] = next
+		if !ip.MoreFragments() {
+			delete(f.fragNext[cur], key)
+		}
+		f.mu.Unlock()
+	}
+	return next, true
+}
+
+// equalCostNeighbors lists neighbours of cur lying on a latency-shortest
+// path toward dst.
+func (f *Fabric) equalCostNeighbors(cur, dst topology.SiteID) []topology.SiteID {
+	dist := f.distTo(dst)
+	var cands []topology.SiteID
+	for _, lid := range f.topo.OutLinks(cur) {
+		l := f.topo.Links[lid]
+		if l.Down {
+			continue
+		}
+		if l.LatencyMs+dist[l.To] <= dist[cur]+1e-9 {
+			cands = append(cands, l.To)
+		}
+	}
+	return cands
+}
+
+// distTo returns (caching) the latency distance of every site to dst,
+// computed by Dijkstra over reversed links.
+func (f *Fabric) distTo(dst topology.SiteID) []float64 {
+	f.mu.Lock()
+	if d, ok := f.distCache[dst]; ok {
+		f.mu.Unlock()
+		return d
+	}
+	f.mu.Unlock()
+
+	n := f.topo.NumSites()
+	const inf = 1e18
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[dst] = 0
+	for {
+		best, bestD := -1, inf
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		done[best] = true
+		for _, lid := range f.revAdj[best] {
+			l := f.topo.Links[lid]
+			if l.Down {
+				continue
+			}
+			if nd := dist[best] + l.LatencyMs; nd < dist[l.From] {
+				dist[l.From] = nd
+			}
+		}
+	}
+
+	f.mu.Lock()
+	f.distCache[dst] = dist
+	f.mu.Unlock()
+	return dist
+}
+
+func (f *Fabric) linkBetween(a, b topology.SiteID) (topology.LinkID, bool) {
+	for _, lid := range f.topo.OutLinks(a) {
+		l := f.topo.Links[lid]
+		if l.To == b && !l.Down {
+			return lid, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,447 @@
+package router
+
+import (
+	"testing"
+
+	"megate/internal/hoststack"
+	"megate/internal/packet"
+	"megate/internal/topology"
+)
+
+// testNet: 4 sites in a square plus a diagonal, with an IP plan where
+// 10.S.0.0/16 belongs to site S.
+func testNet(t *testing.T) (*topology.Topology, *Fabric) {
+	t.Helper()
+	topo := topology.New("square")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	c := topo.AddSite("c", 100, 100)
+	d := topo.AddSite("d", 0, 100)
+	topo.AddBidiLink(a, b, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(b, c, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(c, d, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(d, a, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(a, c, 1000, 2, 0.999, 1) // diagonal equal-cost with 2-hop paths
+	f := New(topo, func(ip [4]byte) (topology.SiteID, bool) {
+		if ip[0] != 10 || int(ip[1]) >= topo.NumSites() {
+			return 0, false
+		}
+		return topology.SiteID(ip[1]), true
+	})
+	return topo, f
+}
+
+func mkFrame(t *testing.T, srcSite, dstSite uint8, srcPort uint16, sr *packet.SRHeader) []byte {
+	t.Helper()
+	e := &packet.Encap{
+		Eth: packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.IPProtoUDP, ID: 77,
+			Src: [4]byte{10, srcSite, 0, 1}, Dst: [4]byte{10, dstSite, 0, 1},
+		},
+		UDP:   packet.UDP{SrcPort: srcPort, DstPort: packet.VXLANPort},
+		VXLAN: packet.VXLAN{VNI: 1},
+		SR:    sr,
+		Inner: []byte("payload"),
+	}
+	data, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestSRForwardingFollowsExactPath(t *testing.T) {
+	_, f := testNet(t)
+	// Path a -> b -> c (the long way around the diagonal).
+	sr := &packet.SRHeader{Hops: []uint32{0, 1, 2}}
+	frame := mkFrame(t, 0, 2, 1234, sr)
+	d, err := f.Deliver(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ViaSR {
+		t.Error("should forward via SR")
+	}
+	if d.Egress != 2 {
+		t.Errorf("egress = %d, want 2", d.Egress)
+	}
+	if len(d.Path) != 3 || d.Path[1] != 1 {
+		t.Errorf("path = %v, want [0 1 2]", d.Path)
+	}
+	if d.LatencyMs != 2 {
+		t.Errorf("latency = %v, want 2", d.LatencyMs)
+	}
+}
+
+func TestSRForwardingDiagonal(t *testing.T) {
+	_, f := testNet(t)
+	sr := &packet.SRHeader{Hops: []uint32{0, 2}} // direct diagonal
+	frame := mkFrame(t, 0, 2, 1234, sr)
+	d, err := f.Deliver(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LatencyMs != 2 || len(d.Path) != 2 {
+		t.Errorf("delivery = %+v", d)
+	}
+}
+
+func TestSRBadPathRejected(t *testing.T) {
+	_, f := testNet(t)
+	sr := &packet.SRHeader{Hops: []uint32{0, 3, 1}} // d and b are adjacent... 0->3 ok, 3->1 not adjacent
+	frame := mkFrame(t, 0, 1, 1234, sr)
+	_, err := f.Deliver(frame, 0)
+	if err == nil {
+		t.Fatal("want error for non-adjacent SR hop")
+	}
+}
+
+func TestECMPDeliversToDestination(t *testing.T) {
+	_, f := testNet(t)
+	frame := mkFrame(t, 0, 2, 5555, nil)
+	d, err := f.Deliver(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ViaSR {
+		t.Error("no SR header, should use ECMP")
+	}
+	if d.Egress != 2 {
+		t.Errorf("egress = %d, want 2", d.Egress)
+	}
+	if d.LatencyMs != 2 {
+		t.Errorf("latency = %v, want 2 (all paths equal cost)", d.LatencyMs)
+	}
+}
+
+func TestECMPDeterministicPerTuple(t *testing.T) {
+	_, f := testNet(t)
+	frame1 := mkFrame(t, 0, 2, 5555, nil)
+	d1, err := f.Deliver(frame1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2 := mkFrame(t, 0, 2, 5555, nil)
+	d2, err := f.Deliver(frame2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Path) != len(d2.Path) {
+		t.Fatal("same tuple took different paths")
+	}
+	for i := range d1.Path {
+		if d1.Path[i] != d2.Path[i] {
+			t.Fatal("same tuple took different paths")
+		}
+	}
+}
+
+func TestECMPSpreadsAcrossPorts(t *testing.T) {
+	// The §2.1 pathology: different connections of one instance land on
+	// different paths.
+	_, f := testNet(t)
+	paths := map[int]int{}
+	for port := uint16(1000); port < 1100; port++ {
+		frame := mkFrame(t, 0, 2, port, nil)
+		d, err := f.Deliver(frame, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[len(d.Path)]++
+	}
+	// Both the 2-hop diagonal (len 2) and 3-hop perimeter (len 3) paths
+	// should be used.
+	if len(paths) < 2 {
+		t.Errorf("ECMP used only path lengths %v; expected spread", paths)
+	}
+}
+
+func TestECMPAvoidsFailedLink(t *testing.T) {
+	topo, f := testNet(t)
+	topo.FailLink(0) // a<->b down
+	f.InvalidateRoutes()
+	for port := uint16(1); port < 20; port++ {
+		frame := mkFrame(t, 0, 1, port, nil)
+		d, err := f.Deliver(frame, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(d.Path); i++ {
+			if (d.Path[i] == 0 && d.Path[i+1] == 1) || (d.Path[i] == 1 && d.Path[i+1] == 0) {
+				t.Fatal("path used failed link")
+			}
+		}
+		if d.Egress != 1 {
+			t.Errorf("egress = %d", d.Egress)
+		}
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	_, f := testNet(t)
+	frame := mkFrame(t, 0, 99, 1, nil)
+	if _, err := f.Deliver(frame, 0); err == nil {
+		t.Fatal("want no-route error")
+	}
+}
+
+func TestLinkBytesAccumulate(t *testing.T) {
+	_, f := testNet(t)
+	frame := mkFrame(t, 0, 2, 1, nil)
+	if _, err := f.Deliver(frame, 0); err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, b := range f.LinkBytes() {
+		total += b
+	}
+	if total == 0 {
+		t.Error("no link bytes recorded")
+	}
+}
+
+func TestFragmentsFollowFirstFragment(t *testing.T) {
+	// Build a large conventional packet, fragment it, and check every
+	// fragment takes the same path as the first.
+	_, f := testNet(t)
+	e := &packet.Encap{
+		Eth: packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.IPProtoUDP, ID: 99,
+			Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 2, 0, 1},
+		},
+		UDP:   packet.UDP{SrcPort: 7777, DstPort: packet.VXLANPort},
+		VXLAN: packet.VXLAN{VNI: 1},
+		Inner: make([]byte, 4000),
+	}
+	whole, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := packet.FragmentFrame(whole, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("fragments = %d", len(frags))
+	}
+	var first Delivery
+	for i, frag := range frags {
+		d, err := f.Deliver(frag, 0)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if i == 0 {
+			first = d
+			continue
+		}
+		if len(d.Path) != len(first.Path) {
+			t.Fatalf("fragment %d path %v != first %v", i, d.Path, first.Path)
+		}
+		for j := range d.Path {
+			if d.Path[j] != first.Path[j] {
+				t.Fatalf("fragment %d diverged: %v vs %v", i, d.Path, first.Path)
+			}
+		}
+	}
+}
+
+func TestEndToEndHostToFabric(t *testing.T) {
+	// Host stack inserts SR; fabric obeys it.
+	topo, f := testNet(t)
+	_ = topo
+	siteOf := func(ip [4]byte) (uint32, bool) {
+		if ip[0] != 10 {
+			return 0, false
+		}
+		return uint32(ip[1]), true
+	}
+	h := hoststack.NewHost("h", 1500, siteOf)
+	defer h.Close()
+	tuple := packet.FiveTuple{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 2, 0, 1},
+		Proto: packet.IPProtoUDP, SrcPort: 1000, DstPort: 2000,
+	}
+	h.RunProcess(1, "ins-x")
+	h.OpenConnection(1, tuple)
+	h.InstallPath("ins-x", 2, []uint32{0, 3, 2}) // via d, not the diagonal
+
+	frames, err := h.Send(tuple, 5, [4]byte{10, 0, 0, 1}, [4]byte{10, 2, 0, 1}, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.Deliver(frames[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ViaSR || d.Egress != 2 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if len(d.Path) != 3 || d.Path[1] != 3 {
+		t.Errorf("path = %v, want [0 3 2]", d.Path)
+	}
+}
+
+func TestDeliverGarbage(t *testing.T) {
+	_, f := testNet(t)
+	if _, err := f.Deliver([]byte{1, 2, 3}, 0); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestTunnelHashingSpreadsAndPins(t *testing.T) {
+	// An asymmetric square: tunnels between 0 and 2 have distinct
+	// latencies, so hashing produces distinct latency modes.
+	topo := topology.New("asym")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	c := topo.AddSite("c", 100, 100)
+	dd := topo.AddSite("d", 0, 100)
+	topo.AddBidiLink(a, b, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(b, c, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(c, dd, 1000, 5, 0.999, 1)
+	topo.AddBidiLink(dd, a, 1000, 5, 0.999, 1)
+	topo.AddBidiLink(a, c, 1000, 3, 0.999, 1)
+	f := New(topo, func(ip [4]byte) (topology.SiteID, bool) {
+		if ip[0] != 10 || int(ip[1]) >= topo.NumSites() {
+			return 0, false
+		}
+		return topology.SiteID(ip[1]), true
+	})
+	f.UseTunnelHashing(topology.NewTunnelSet(topo, 4))
+	// Many connections: they should spread across tunnels of different
+	// lengths, each connection deterministic.
+	modes := map[float64]int{}
+	for port := uint16(1); port <= 60; port++ {
+		frame := mkFrame(t, 0, 2, port, nil)
+		d, err := f.Deliver(frame, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Egress != 2 {
+			t.Fatalf("egress %d", d.Egress)
+		}
+		modes[d.LatencyMs]++
+		// Determinism per tuple.
+		frame2 := mkFrame(t, 0, 2, port, nil)
+		d2, err := f.Deliver(frame2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d2.LatencyMs != d.LatencyMs {
+			t.Fatal("same tuple hashed differently")
+		}
+	}
+	if len(modes) < 2 {
+		t.Errorf("tunnel hashing produced a single latency mode: %v", modes)
+	}
+	// SR packets bypass tunnel hashing.
+	sr := &packet.SRHeader{Hops: []uint32{0, 1, 2}}
+	frame := mkFrame(t, 0, 2, 9, sr)
+	d, err := f.Deliver(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ViaSR || len(d.Path) != 3 {
+		t.Errorf("SR packet mishandled under tunnel hashing: %+v", d)
+	}
+}
+
+func TestTunnelHashingFragmentsStayTogether(t *testing.T) {
+	topo, f := testNet(t)
+	f.UseTunnelHashing(topology.NewTunnelSet(topo, 4))
+	e := &packet.Encap{
+		Eth: packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.IPProtoUDP, ID: 321,
+			Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 2, 0, 1},
+		},
+		UDP:   packet.UDP{SrcPort: 4444, DstPort: packet.VXLANPort},
+		VXLAN: packet.VXLAN{VNI: 1},
+		Inner: make([]byte, 4000),
+	}
+	whole, err := e.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := packet.FragmentFrame(whole, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat float64
+	for i, frag := range frags {
+		d, err := f.Deliver(frag, 0)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if i == 0 {
+			lat = d.LatencyMs
+		} else if d.LatencyMs != lat {
+			t.Fatalf("fragment %d took a different tunnel", i)
+		}
+	}
+}
+
+func BenchmarkDeliverSR(b *testing.B) {
+	topo := topology.Build("Deltacom*")
+	f := New(topo, nil)
+	ts := topology.NewTunnelSet(topo, 1)
+	tns := ts.For(0, topology.SiteID(topo.NumSites()-1))
+	hops := make([]uint32, len(tns[0].Sites))
+	for i, s := range tns[0].Sites {
+		hops[i] = uint32(s)
+	}
+	e := &packet.Encap{
+		Eth: packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{TTL: 64, Protocol: packet.IPProtoUDP,
+			Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, byte(topo.NumSites() - 1), 0, 1}},
+		UDP:   packet.UDP{SrcPort: 1, DstPort: packet.VXLANPort},
+		VXLAN: packet.VXLAN{VNI: 1},
+		SR:    &packet.SRHeader{Hops: hops},
+		Inner: make([]byte, 200),
+	}
+	frame, err := e.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := append([]byte(nil), frame...) // Deliver advances the offset in place
+		if _, err := f.Deliver(fr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Robustness: the fabric must reject garbage without panicking.
+func TestDeliverNeverPanics(t *testing.T) {
+	topo, f := testNet(t)
+	f.UseTunnelHashing(topology.NewTunnelSet(topo, 4))
+	valid := mkFrame(t, 0, 2, 777, &packet.SRHeader{Hops: []uint32{0, 1, 2}})
+	seed := int64(3)
+	rnd := func() int { seed = seed*6364136223846793005 + 1; return int(uint64(seed) >> 33) }
+	for trial := 0; trial < 5000; trial++ {
+		var data []byte
+		if trial%2 == 0 {
+			data = make([]byte, rnd()%120)
+			for i := range data {
+				data[i] = byte(rnd())
+			}
+		} else {
+			data = append([]byte(nil), valid...)
+			for f := 0; f < 1+rnd()%4; f++ {
+				data[rnd()%len(data)] ^= byte(1 << (rnd() % 8))
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on frame %x: %v", data, rec)
+				}
+			}()
+			f.Deliver(data, 0)
+		}()
+	}
+}

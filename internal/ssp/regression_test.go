@@ -1,0 +1,93 @@
+package ssp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Regression: FastSSP crashed with an integer-overflow panic when the
+// stage-one LP handed it a float-dust budget (~2e-11) with normal-sized
+// demands — the normalization unit became astronomically small relative to
+// the values.
+func TestFastSSPDegenerateTinyBudget(t *testing.T) {
+	f := &FastSSP{EpsPrime: 0.1}
+	sol := f.Solve([]float64{120.5, 33.1}, 2.27e-11)
+	if sol.Total != 0 {
+		t.Errorf("total = %v, want 0 (nothing fits a dust budget)", sol.Total)
+	}
+}
+
+func TestExactDPTinyUnitNoOverflow(t *testing.T) {
+	// unit so small that value/unit overflows int64.
+	sol := ExactDP([]float64{1e10}, 2e-11, 1e-30)
+	sum := 0.0
+	for i, sel := range sol.Selected {
+		if sel {
+			sum += []float64{1e10}[i]
+		}
+	}
+	if sum > 2e-11 {
+		t.Errorf("selected %v into capacity 2e-11", sum)
+	}
+}
+
+func TestExactDPHugeTableFallsBackToGreedy(t *testing.T) {
+	// capacity/unit above maxDPCells: must not allocate the table.
+	values := []float64{5e8, 3e8, 1e8}
+	sol := ExactDP(values, 6e8, 1e-3)
+	checkFeasibleSum(t, values, sol, 6e8)
+	if sol.Total < 5e8 {
+		t.Errorf("greedy fallback total = %v", sol.Total)
+	}
+}
+
+func checkFeasibleSum(t *testing.T, values []float64, sol Solution, capacity float64) {
+	t.Helper()
+	sum := 0.0
+	for i, sel := range sol.Selected {
+		if sel {
+			sum += values[i]
+		}
+	}
+	if sum > capacity*(1+1e-9) {
+		t.Fatalf("selected %v > capacity %v", sum, capacity)
+	}
+}
+
+// Property: FastSSP never panics and stays feasible for wild capacity and
+// value magnitudes.
+func TestFastSSPExtremeMagnitudesProperty(t *testing.T) {
+	f := func(rawVals []float64, capExp int8, valExp int8) bool {
+		capacity := pow10(int(capExp)%20 - 10)
+		values := make([]float64, 0, len(rawVals))
+		scale := pow10(int(valExp)%20 - 10)
+		for _, v := range rawVals {
+			if v < 0 {
+				v = -v
+			}
+			values = append(values, v*scale)
+		}
+		sol := (&FastSSP{EpsPrime: 0.1}).Solve(values, capacity)
+		sum := 0.0
+		for i, sel := range sol.Selected {
+			if sel {
+				sum += values[i]
+			}
+		}
+		return sum <= capacity*(1+1e-6)+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pow10(e int) float64 {
+	x := 1.0
+	for i := 0; i < e; i++ {
+		x *= 10
+	}
+	for i := 0; i > e; i-- {
+		x /= 10
+	}
+	return x
+}

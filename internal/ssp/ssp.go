@@ -1,0 +1,277 @@
+// Package ssp solves the subset-sum problems at MegaTE's second optimization
+// layer: MaxEndpointFlow selects a subset of endpoint demands whose total is
+// as close as possible to — without exceeding — the site-layer bandwidth
+// allocation F_{k,t} (§4.2).
+//
+// Three solvers are provided: an exact dynamic program (the classical
+// pseudopolynomial method the paper cites), a sorted greedy (the baseline
+// for residual flows), and FastSSP, the paper's semi-DP approximation
+// (Appendix A.2): cluster small demands into m aggregates, normalize by δ to
+// shrink the DP, solve the small DP exactly, then place leftovers greedily.
+package ssp
+
+import (
+	"math"
+	"sort"
+)
+
+// Solution reports which input values were selected and their total.
+type Solution struct {
+	// Selected[i] reports whether values[i] is in the chosen subset.
+	Selected []bool
+	// Total is the sum of selected values.
+	Total float64
+}
+
+// GreedyDescending packs values into capacity by scanning them in
+// descending order and taking everything that fits. If any value remains
+// unselected, the residual gap is smaller than the smallest unselected
+// value — the property behind FastSSP's β error bound.
+func GreedyDescending(values []float64, capacity float64) Solution {
+	sol := Solution{Selected: make([]bool, len(values))}
+	order := make([]int, len(values))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if values[order[a]] != values[order[b]] {
+			return values[order[a]] > values[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	remaining := capacity
+	for _, i := range order {
+		v := values[i]
+		if v <= 0 {
+			continue
+		}
+		if v <= remaining {
+			sol.Selected[i] = true
+			sol.Total += v
+			remaining -= v
+		}
+	}
+	return sol
+}
+
+// maxDPCells bounds the DP table; above it ExactDP degrades to the sorted
+// greedy rather than exhausting memory (callers pick the unit so that
+// well-formed inputs stay far below this).
+const maxDPCells = 1 << 26
+
+// ExactDP solves subset sum exactly on values quantized at the given unit:
+// each value is rounded up to a unit multiple and the capacity down, so the
+// result is always feasible in real terms and exact whenever the inputs are
+// unit multiples. Time and memory are O(len(values) * capacity/unit) — the
+// O(|I_k| * F_{k,t}) the paper calls too expensive at scale.
+func ExactDP(values []float64, capacity float64, unit float64) Solution {
+	sol := Solution{Selected: make([]bool, len(values))}
+	if capacity <= 0 || unit <= 0 {
+		return sol
+	}
+	capRatio := capacity / unit
+	if capRatio > maxDPCells {
+		return GreedyDescending(values, capacity)
+	}
+	capU := int(capRatio + 1e-9)
+	if capU <= 0 {
+		return sol
+	}
+
+	// reachable[j]: some subset sums to exactly j units.
+	// itemAt[j]/fromSum[j]: backtracking chain.
+	reachable := make([]bool, capU+1)
+	itemAt := make([]int32, capU+1)
+	fromSum := make([]int32, capU+1)
+	for j := range itemAt {
+		itemAt[j] = -1
+		fromSum[j] = -1
+	}
+	reachable[0] = true
+
+	for i, v := range values {
+		if v <= 0 {
+			continue
+		}
+		// Round the value up to units (with a relative guard so that values
+		// an ulp above an exact multiple do not gain a whole extra unit).
+		// Compare in float space first: v/unit may overflow int.
+		q := v / unit
+		if q > float64(capU)+1 {
+			continue // cannot fit even alone
+		}
+		vu := int(math.Ceil(q - 1e-9))
+		if vu <= 0 {
+			vu = 1
+		}
+		if vu > capU {
+			continue
+		}
+		for j := capU; j >= vu; j-- {
+			if reachable[j-vu] && !reachable[j] {
+				reachable[j] = true
+				itemAt[j] = int32(i)
+				fromSum[j] = int32(j - vu)
+			}
+		}
+	}
+
+	best := 0
+	for j := capU; j > 0; j-- {
+		if reachable[j] {
+			best = j
+			break
+		}
+	}
+	for j := best; j > 0 && itemAt[j] >= 0; j = int(fromSum[j]) {
+		i := itemAt[j]
+		sol.Selected[i] = true
+		sol.Total += values[i]
+	}
+	return sol
+}
+
+// FastSSP is the paper's approximation algorithm (Appendix A.2). EpsPrime
+// (ε′) controls the precision/size trade-off: the clustering threshold is
+// M = (ε′/3)·F and the normalization factor δ = (ε′/3)·M, giving a DP of
+// size O(m · 9/ε′²) independent of |I_k| and F.
+type FastSSP struct {
+	// EpsPrime defaults to 0.1.
+	EpsPrime float64
+}
+
+// cluster is an aggregate of input demands with total >= M (except possibly
+// the last).
+type cluster struct {
+	members []int
+	total   float64
+}
+
+// clusterValues groups values (in index order) into aggregates meeting the
+// threshold M. Values individually >= M form singleton clusters.
+func clusterValues(values []float64, m float64) []cluster {
+	var clusters []cluster
+	var cur cluster
+	for i, v := range values {
+		if v <= 0 {
+			continue
+		}
+		if v >= m {
+			clusters = append(clusters, cluster{members: []int{i}, total: v})
+			continue
+		}
+		cur.members = append(cur.members, i)
+		cur.total += v
+		if cur.total >= m {
+			clusters = append(clusters, cur)
+			cur = cluster{}
+		}
+	}
+	if len(cur.members) > 0 {
+		clusters = append(clusters, cur)
+	}
+	return clusters
+}
+
+// Solve runs the four-step FastSSP procedure.
+func (f *FastSSP) Solve(values []float64, capacity float64) Solution {
+	sol := Solution{Selected: make([]bool, len(values))}
+	if capacity <= 0 {
+		return sol
+	}
+	eps := f.EpsPrime
+	if eps <= 0 {
+		eps = 0.1
+	}
+
+	// Fast paths: everything fits, or nothing does.
+	total, minPos := 0.0, math.Inf(1)
+	for _, v := range values {
+		if v > 0 {
+			total += v
+			if v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if total <= capacity {
+		for i, v := range values {
+			if v > 0 {
+				sol.Selected[i] = true
+				sol.Total += v
+			}
+		}
+		return sol
+	}
+	if minPos > capacity {
+		return sol // the budget cannot hold even the smallest demand
+	}
+
+	// Step 1: clustering with threshold M = (eps/3) * F.
+	m := eps / 3 * capacity
+	clusters := clusterValues(values, m)
+
+	// Step 2: normalization with delta = (eps/3) * M.
+	delta := eps / 3 * m
+
+	// Step 3: exact DP over the (few) clusters at unit delta. Rounding
+	// cluster totals up and the capacity down keeps the selection feasible.
+	ctotals := make([]float64, len(clusters))
+	for i := range clusters {
+		ctotals[i] = clusters[i].total
+	}
+	dp := ExactDP(ctotals, capacity, delta)
+
+	used := 0.0
+	for ci, sel := range dp.Selected {
+		if !sel {
+			continue
+		}
+		for _, i := range clusters[ci].members {
+			sol.Selected[i] = true
+			sol.Total += values[i]
+		}
+		used += clusters[ci].total
+	}
+
+	// Step 4: sorted greedy over the residual flows into the residual
+	// bandwidth R = F - sum(selected).
+	residualCap := capacity - used
+	if residualCap > 0 {
+		var residIdx []int
+		var residVals []float64
+		for i, v := range values {
+			if v > 0 && !sol.Selected[i] {
+				residIdx = append(residIdx, i)
+				residVals = append(residVals, v)
+			}
+		}
+		g := GreedyDescending(residVals, residualCap)
+		for j, sel := range g.Selected {
+			if sel {
+				sol.Selected[residIdx[j]] = true
+				sol.Total += residVals[j]
+			}
+		}
+	}
+	return sol
+}
+
+// ErrorBound returns the β bound of Appendix A.2 for a finished solution:
+// the shortfall is at most the smallest unselected demand, so
+// β ≤ min{unselected}/capacity. It returns 0 when every demand was selected.
+func ErrorBound(values []float64, sol Solution, capacity float64) float64 {
+	minUnsel := -1.0
+	for i, v := range values {
+		if v <= 0 || sol.Selected[i] {
+			continue
+		}
+		if minUnsel < 0 || v < minUnsel {
+			minUnsel = v
+		}
+	}
+	if minUnsel < 0 || capacity <= 0 {
+		return 0
+	}
+	return minUnsel / capacity
+}

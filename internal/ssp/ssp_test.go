@@ -1,0 +1,318 @@
+package ssp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"megate/internal/stats"
+)
+
+func checkFeasible(t *testing.T, values []float64, sol Solution, capacity float64) {
+	t.Helper()
+	sum := 0.0
+	for i, sel := range sol.Selected {
+		if sel {
+			sum += values[i]
+		}
+	}
+	if math.Abs(sum-sol.Total) > 1e-6*(1+math.Abs(sum)) {
+		t.Fatalf("Total %v != selected sum %v", sol.Total, sum)
+	}
+	if sum > capacity+1e-9*(1+capacity) {
+		t.Fatalf("selected sum %v exceeds capacity %v", sum, capacity)
+	}
+}
+
+func TestGreedyDescendingBasic(t *testing.T) {
+	values := []float64{5, 4, 3, 2, 1}
+	sol := GreedyDescending(values, 10)
+	checkFeasible(t, values, sol, 10)
+	if sol.Total != 10 { // 5+4+... 5+4=9, +1=10
+		t.Errorf("total = %v, want 10", sol.Total)
+	}
+}
+
+func TestGreedyDescendingSkipsNonPositive(t *testing.T) {
+	values := []float64{-1, 0, 3}
+	sol := GreedyDescending(values, 10)
+	if sol.Selected[0] || sol.Selected[1] || !sol.Selected[2] {
+		t.Errorf("selection = %v", sol.Selected)
+	}
+}
+
+func TestGreedyResidualSmallerThanMinUnselected(t *testing.T) {
+	// The β-bound property: after greedy, gap < min unselected value.
+	r := stats.NewRand(3)
+	for trial := 0; trial < 50; trial++ {
+		values := make([]float64, 40)
+		for i := range values {
+			values[i] = 1 + r.Float64()*20
+		}
+		capacity := 50 + r.Float64()*100
+		sol := GreedyDescending(values, capacity)
+		checkFeasible(t, values, sol, capacity)
+		gap := capacity - sol.Total
+		for i, sel := range sol.Selected {
+			if !sel && values[i] <= gap {
+				t.Fatalf("unselected value %v fits in gap %v", values[i], gap)
+			}
+		}
+	}
+}
+
+func TestExactDPSmall(t *testing.T) {
+	values := []float64{3, 34, 4, 12, 5, 2}
+	sol := ExactDP(values, 9, 1)
+	checkFeasible(t, values, sol, 9)
+	if sol.Total != 9 { // 3+4+2 or 4+5
+		t.Errorf("total = %v, want 9", sol.Total)
+	}
+}
+
+func TestExactDPUnreachableCapacity(t *testing.T) {
+	values := []float64{10, 20}
+	sol := ExactDP(values, 5, 1)
+	if sol.Total != 0 {
+		t.Errorf("total = %v, want 0", sol.Total)
+	}
+}
+
+func TestExactDPEdgeCases(t *testing.T) {
+	if sol := ExactDP(nil, 10, 1); sol.Total != 0 {
+		t.Error("nil values should give 0")
+	}
+	if sol := ExactDP([]float64{1}, 0, 1); sol.Total != 0 {
+		t.Error("zero capacity should give 0")
+	}
+	if sol := ExactDP([]float64{1}, 5, 0); sol.Total != 0 {
+		t.Error("zero unit should give 0")
+	}
+	sol := ExactDP([]float64{-5, 3}, 10, 1)
+	if sol.Selected[0] {
+		t.Error("negative value selected")
+	}
+}
+
+func TestExactDPFractionalUnitsStayFeasible(t *testing.T) {
+	values := []float64{2.5, 2.5, 2.5}
+	sol := ExactDP(values, 5.4, 1)
+	checkFeasible(t, values, sol, 5.4)
+}
+
+// exactOptimum brute-forces the subset-sum optimum for small inputs.
+func exactOptimum(values []float64, capacity float64) float64 {
+	best := 0.0
+	n := len(values)
+	for mask := 0; mask < 1<<n; mask++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sum += values[i]
+			}
+		}
+		if sum <= capacity && sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+func TestExactDPMatchesBruteForceOnIntegers(t *testing.T) {
+	r := stats.NewRand(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(10)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(1 + r.Intn(30))
+		}
+		capacity := float64(10 + r.Intn(80))
+		sol := ExactDP(values, capacity, 1)
+		checkFeasible(t, values, sol, capacity)
+		if want := exactOptimum(values, capacity); sol.Total != want {
+			t.Fatalf("trial %d: DP total %v, optimum %v (values=%v cap=%v)",
+				trial, sol.Total, want, values, capacity)
+		}
+	}
+}
+
+func TestFastSSPAllFitsFastPath(t *testing.T) {
+	values := []float64{1, 2, 3}
+	f := &FastSSP{}
+	sol := f.Solve(values, 100)
+	if sol.Total != 6 || !sol.Selected[0] || !sol.Selected[1] || !sol.Selected[2] {
+		t.Errorf("fast path failed: %+v", sol)
+	}
+}
+
+func TestFastSSPZeroCapacity(t *testing.T) {
+	f := &FastSSP{}
+	sol := f.Solve([]float64{1, 2}, 0)
+	if sol.Total != 0 {
+		t.Errorf("total = %v, want 0", sol.Total)
+	}
+}
+
+func TestFastSSPFeasibleAndNearOptimal(t *testing.T) {
+	r := stats.NewRand(7)
+	f := &FastSSP{EpsPrime: 0.1}
+	for trial := 0; trial < 40; trial++ {
+		n := 50 + r.Intn(200)
+		values := make([]float64, n)
+		total := 0.0
+		for i := range values {
+			values[i] = 0.5 + r.Float64()*10
+			total += values[i]
+		}
+		capacity := total * (0.3 + 0.5*r.Float64())
+		sol := f.Solve(values, capacity)
+		checkFeasible(t, values, sol, capacity)
+		// With many small demands the greedy residual pass should reach
+		// within a few percent of capacity.
+		if sol.Total < 0.9*capacity {
+			t.Errorf("trial %d: total %v < 90%% of capacity %v", trial, sol.Total, capacity)
+		}
+		// β bound sanity.
+		beta := ErrorBound(values, sol, capacity)
+		if got := (capacity - sol.Total) / capacity; got > beta+1e-9 {
+			t.Errorf("trial %d: shortfall %v exceeds β bound %v", trial, got, beta)
+		}
+	}
+}
+
+func TestFastSSPLargeDemandsSingletonClusters(t *testing.T) {
+	// Values above the clustering threshold must form their own clusters so
+	// the DP can choose among them individually.
+	values := []float64{50, 50, 50, 1, 1, 1}
+	f := &FastSSP{EpsPrime: 0.3}
+	sol := f.Solve(values, 100)
+	checkFeasible(t, values, sol, 100)
+	if sol.Total < 95 {
+		t.Errorf("total = %v, want >= 95", sol.Total)
+	}
+}
+
+func TestFastSSPMatchesDPOnModerateInstances(t *testing.T) {
+	r := stats.NewRand(9)
+	f := &FastSSP{EpsPrime: 0.05}
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + r.Intn(50)
+		values := make([]float64, n)
+		total := 0.0
+		for i := range values {
+			values[i] = float64(1 + r.Intn(20))
+			total += values[i]
+		}
+		capacity := math.Floor(total * 0.6)
+		exact := ExactDP(values, capacity, 1)
+		approx := f.Solve(values, capacity)
+		checkFeasible(t, values, approx, capacity)
+		if approx.Total < 0.95*exact.Total {
+			t.Errorf("trial %d: FastSSP %v < 95%% of DP %v", trial, approx.Total, exact.Total)
+		}
+	}
+}
+
+func TestClusterValues(t *testing.T) {
+	clusters := clusterValues([]float64{1, 1, 1, 10, 1, 1}, 3)
+	// 1+1+1 = 3 -> cluster; 10 -> singleton; 1+1 = trailing partial.
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	if clusters[0].total != 3 || len(clusters[0].members) != 3 {
+		t.Errorf("first cluster = %+v", clusters[0])
+	}
+	if clusters[1].total != 10 || len(clusters[1].members) != 1 {
+		t.Errorf("second cluster = %+v", clusters[1])
+	}
+	if clusters[2].total != 2 {
+		t.Errorf("trailing cluster = %+v", clusters[2])
+	}
+	// Every positive index appears exactly once.
+	seen := map[int]bool{}
+	for _, c := range clusters {
+		for _, i := range c.members {
+			if seen[i] {
+				t.Fatalf("index %d in two clusters", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("covered %d indices, want 6", len(seen))
+	}
+}
+
+func TestClusterValuesSkipsNonPositive(t *testing.T) {
+	clusters := clusterValues([]float64{0, -2, 5}, 3)
+	if len(clusters) != 1 || clusters[0].total != 5 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	values := []float64{4, 6}
+	sol := Solution{Selected: []bool{true, false}, Total: 4}
+	if got := ErrorBound(values, sol, 10); got != 0.6 {
+		t.Errorf("β = %v, want 0.6", got)
+	}
+	all := Solution{Selected: []bool{true, true}, Total: 10}
+	if got := ErrorBound(values, all, 10); got != 0 {
+		t.Errorf("β = %v, want 0 when everything selected", got)
+	}
+}
+
+// Property: FastSSP is always feasible and never worse than half of greedy
+// (it embeds a greedy pass).
+func TestFastSSPProperty(t *testing.T) {
+	f := func(raw []uint16, capRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v%500) / 7
+		}
+		capacity := float64(capRaw%2000) + 1
+		fs := &FastSSP{EpsPrime: 0.15}
+		sol := fs.Solve(values, capacity)
+		sum := 0.0
+		for i, sel := range sol.Selected {
+			if sel {
+				sum += values[i]
+			}
+		}
+		if sum > capacity+1e-6 {
+			return false
+		}
+		g := GreedyDescending(values, capacity)
+		return sol.Total >= 0.5*g.Total-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExactDPLarge(b *testing.B) {
+	r := stats.NewRand(1)
+	values := make([]float64, 2000)
+	for i := range values {
+		values[i] = 1 + r.Float64()*10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactDP(values, 5000, 1)
+	}
+}
+
+func BenchmarkFastSSPLarge(b *testing.B) {
+	r := stats.NewRand(1)
+	values := make([]float64, 2000)
+	for i := range values {
+		values[i] = 1 + r.Float64()*10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&FastSSP{EpsPrime: 0.1}).Solve(values, 5000)
+	}
+}

@@ -1,0 +1,230 @@
+// Package stats provides small statistical helpers shared across the MegaTE
+// codebase: deterministic random sources, Weibull sampling and fitting,
+// empirical CDFs, and percentile summaries.
+//
+// Everything here is deterministic given a seed, so simulations and
+// benchmarks are reproducible run to run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic random source for the given seed.
+// All MegaTE generators take an explicit *rand.Rand so that experiments can
+// be replayed exactly.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary captures a five-number-plus-mean description of a sample,
+// the shape used by the paper's box plots (Figure 2a).
+type Summary struct {
+	Min, P25, Median, P75, P95, P99, Max, Mean float64
+	N                                          int
+}
+
+// Summarize computes a Summary of xs. It does not modify xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{Min: math.NaN(), P25: math.NaN(), Median: math.NaN(),
+			P75: math.NaN(), P95: math.NaN(), P99: math.NaN(), Max: math.NaN(), Mean: math.NaN()}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		Min:    sorted[0],
+		P25:    percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		P75:    percentileSorted(sorted, 75),
+		P95:    percentileSorted(sorted, 95),
+		P99:    percentileSorted(sorted, 99),
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		N:      len(sorted),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g med=%.3g p75=%.3g p95=%.3g max=%.3g mean=%.3g",
+		s.N, s.Min, s.P25, s.Median, s.P75, s.P95, s.Max, s.Mean)
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. It copies xs.
+func NewCDF(xs []float64) *CDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v with P(X <= v) >= q.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Points returns (x, P(X<=x)) pairs suitable for plotting the CDF as the
+// paper does in Figure 8. It emits one point per distinct sample value.
+func (c *CDF) Points() (xs, ps []float64) {
+	n := len(c.sorted)
+	for i := 0; i < n; i++ {
+		if i+1 < n && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		xs = append(xs, c.sorted[i])
+		ps = append(ps, float64(i+1)/float64(n))
+	}
+	return xs, ps
+}
+
+// Weibull is a two-parameter Weibull distribution. The paper fits one to the
+// empirical distribution of endpoints per router site (Figure 8) and sweeps
+// the scale parameter to grow the topology.
+type Weibull struct {
+	Shape float64 // k > 0
+	Scale float64 // lambda > 0
+}
+
+// Sample draws one value.
+func (w Weibull) Sample(r *rand.Rand) float64 {
+	// Inverse-CDF sampling: x = lambda * (-ln(1-u))^(1/k).
+	u := r.Float64()
+	return w.Scale * math.Pow(-math.Log1p(-u), 1/w.Shape)
+}
+
+// CDFAt returns the distribution function at x.
+func (w Weibull) CDFAt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Mean returns the distribution mean lambda * Gamma(1 + 1/k).
+func (w Weibull) Mean() float64 {
+	return w.Scale * math.Gamma(1+1/w.Shape)
+}
+
+// FitWeibull estimates Weibull parameters from a positive sample using the
+// method of moments on log-transformed data (Menon's estimator), which is
+// closed-form and adequate for the fitting the paper performs in §6.1.
+func FitWeibull(xs []float64) (Weibull, error) {
+	var logs []float64
+	for _, x := range xs {
+		if x > 0 {
+			logs = append(logs, math.Log(x))
+		}
+	}
+	if len(logs) < 2 {
+		return Weibull{}, fmt.Errorf("stats: need at least 2 positive samples to fit Weibull, got %d", len(logs))
+	}
+	mean := 0.0
+	for _, l := range logs {
+		mean += l
+	}
+	mean /= float64(len(logs))
+	varl := 0.0
+	for _, l := range logs {
+		varl += (l - mean) * (l - mean)
+	}
+	varl /= float64(len(logs) - 1)
+	if varl == 0 {
+		// Degenerate sample: all values equal; any large shape fits.
+		return Weibull{Shape: 100, Scale: math.Exp(mean)}, nil
+	}
+	// For Weibull, Var[ln X] = pi^2 / (6 k^2) and E[ln X] = ln lambda - gamma/k.
+	k := math.Pi / math.Sqrt(6*varl)
+	const eulerGamma = 0.5772156649015329
+	lambda := math.Exp(mean + eulerGamma/k)
+	return Weibull{Shape: k, Scale: lambda}, nil
+}
+
+// Mean returns the arithmetic mean of xs, NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

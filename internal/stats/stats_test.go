@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+	if got := Percentile(xs, 10); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Percentile(10) = %v, want 1", got)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile(nil) = %v, want NaN", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.N != 5 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if !math.IsNaN(s.Mean) || s.N != 0 {
+		t.Errorf("Summarize(nil) = %+v, want NaNs", s)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+}
+
+func TestCDFPointsDeduplicated(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2, 2, 2, 3})
+	xs, ps := c.Points()
+	if len(xs) != 3 {
+		t.Fatalf("want 3 distinct points, got %d", len(xs))
+	}
+	if ps[len(ps)-1] != 1 {
+		t.Errorf("last CDF point = %v, want 1", ps[len(ps)-1])
+	}
+}
+
+// Property: CDF is monotone nondecreasing and bounded by [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		pa, pb := c.At(lo), c.At(hi)
+		return pa <= pb && pa >= 0 && pb <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and At are near-inverse: At(Quantile(q)) >= q.
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	c := NewCDF(xs)
+	for q := 0.01; q < 1.0; q += 0.01 {
+		v := c.Quantile(q)
+		if c.At(v) < q-1e-9 {
+			t.Fatalf("At(Quantile(%v)) = %v < q", q, c.At(v))
+		}
+	}
+}
+
+func TestWeibullSampleMatchesCDF(t *testing.T) {
+	w := Weibull{Shape: 1.5, Scale: 100}
+	r := NewRand(42)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = w.Sample(r)
+	}
+	c := NewCDF(xs)
+	// Kolmogorov–Smirnov style check at several points.
+	for _, x := range []float64{20, 50, 100, 200, 400} {
+		want := w.CDFAt(x)
+		got := c.At(x)
+		if !almostEqual(got, want, 0.02) {
+			t.Errorf("empirical CDF at %v = %v, want ~%v", x, got, want)
+		}
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	w := Weibull{Shape: 1, Scale: 50} // exponential: mean = scale
+	if !almostEqual(w.Mean(), 50, 1e-9) {
+		t.Errorf("mean = %v, want 50", w.Mean())
+	}
+}
+
+func TestWeibullCDFAtNonPositive(t *testing.T) {
+	w := Weibull{Shape: 2, Scale: 10}
+	if w.CDFAt(0) != 0 || w.CDFAt(-1) != 0 {
+		t.Error("CDF at non-positive x should be 0")
+	}
+}
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	truth := Weibull{Shape: 1.3, Scale: 80}
+	r := NewRand(11)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = truth.Sample(r)
+	}
+	got, err := FitWeibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Shape-truth.Shape)/truth.Shape > 0.1 {
+		t.Errorf("fitted shape %v too far from %v", got.Shape, truth.Shape)
+	}
+	if math.Abs(got.Scale-truth.Scale)/truth.Scale > 0.1 {
+		t.Errorf("fitted scale %v too far from %v", got.Scale, truth.Scale)
+	}
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull(nil); err == nil {
+		t.Error("want error for empty sample")
+	}
+	if _, err := FitWeibull([]float64{-1, -2, 0}); err == nil {
+		t.Error("want error for non-positive sample")
+	}
+}
+
+func TestFitWeibullDegenerate(t *testing.T) {
+	w, err := FitWeibull([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(w.Scale, 5, 0.5) {
+		t.Errorf("degenerate fit scale = %v, want ~5", w.Scale)
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if !almostEqual(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Error("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if Sum([]float64{1.5, 2.5}) != 4 {
+		t.Error("Sum wrong")
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) should be 0")
+	}
+}
+
+// Property: Summarize ordering min <= p25 <= median <= p75 <= p95 <= max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 &&
+			s.P75 <= s.P95 && s.P95 <= s.Max
+		sort.Float64s(xs)
+		return ordered && s.Min == xs[0] && s.Max == xs[len(xs)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"megate/internal/stats"
+)
+
+// Spec mirrors Table 2 of the paper: the four evaluation topologies with
+// their site counts. Endpoint counts are attached separately (see
+// AttachEndpoints) so the endpoint scale can be swept as in §6.1.
+type Spec struct {
+	Name  string
+	Sites int
+	Links int // undirected physical links
+	Seed  int64
+}
+
+// Specs lists the evaluation topologies of Table 2. Deltacom and Cogentco
+// use the Internet Topology Zoo site/link counts; since the Zoo data files
+// are not redistributable here, the graphs are generated synthetically with
+// matching counts (documented in DESIGN.md).
+var Specs = []Spec{
+	{Name: "B4*", Sites: 12, Links: 19, Seed: 1},
+	{Name: "Deltacom*", Sites: 113, Links: 183, Seed: 2},
+	{Name: "Cogentco*", Sites: 197, Links: 245, Seed: 3},
+	{Name: "TWAN", Sites: 100, Links: 380, Seed: 4},
+}
+
+// Build constructs the named topology (without endpoints). Supported names
+// are those in Specs. Build panics on an unknown name; use BuildSpec for
+// custom parameters.
+func Build(name string) *Topology {
+	for _, s := range Specs {
+		if s.Name == name {
+			if s.Name == "B4*" {
+				return BuildB4()
+			}
+			return BuildSpec(s)
+		}
+	}
+	panic(fmt.Sprintf("topology: unknown topology %q", name))
+}
+
+// b4Edge is one undirected edge of the published B4 topology.
+type b4Edge struct{ a, b int }
+
+// The 12-site, 19-link Google B4 topology as published in Jain et al.,
+// SIGCOMM 2013, with sites numbered 0..11 across Asia, North America and
+// Europe.
+var b4Edges = []b4Edge{
+	{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {4, 6}, {5, 6},
+	{5, 7}, {6, 8}, {7, 8}, {7, 9}, {8, 10}, {9, 10}, {9, 11}, {10, 11},
+	{2, 5}, {3, 6},
+}
+
+// Approximate planar coordinates (km) for the B4 sites, good enough to give
+// realistic propagation latencies.
+var b4Coords = [][2]float64{
+	{0, 1200}, {500, 800}, {900, 1400}, {1500, 1000},
+	{4000, 1100}, {4600, 700}, {4900, 1500}, {5400, 900},
+	{5800, 1400}, {8200, 1000}, {8700, 1300}, {9200, 900},
+}
+
+// BuildB4 constructs the B4* topology of Table 2.
+func BuildB4() *Topology {
+	t := New("B4*")
+	r := stats.NewRand(1)
+	for i, c := range b4Coords {
+		t.AddSite(fmt.Sprintf("b4-%d", i), c[0], c[1])
+	}
+	for _, e := range b4Edges {
+		addPhysicalLink(t, r, SiteID(e.a), SiteID(e.b))
+	}
+	return t
+}
+
+// BuildSpec generates a synthetic topology with the requested site and link
+// counts: a Euclidean minimum spanning tree for connectivity plus the
+// shortest remaining candidate edges (a Waxman-like preference for short
+// links), which yields the partial-mesh shape of ISP WANs.
+func BuildSpec(s Spec) *Topology {
+	if s.Links < s.Sites-1 {
+		panic(fmt.Sprintf("topology: spec %q needs at least %d links for connectivity", s.Name, s.Sites-1))
+	}
+	t := New(s.Name)
+	r := stats.NewRand(s.Seed)
+	for i := 0; i < s.Sites; i++ {
+		t.AddSite(fmt.Sprintf("%s-%d", s.Name, i), r.Float64()*5000, r.Float64()*3000)
+	}
+
+	// Euclidean MST via Prim's algorithm.
+	n := s.Sites
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		dist[j] = siteDist(t, 0, SiteID(j))
+		from[j] = 0
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	used := make(map[[2]int]bool)
+	for count := 1; count < n; count++ {
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && dist[j] < bestD {
+				best, bestD = j, dist[j]
+			}
+		}
+		inTree[best] = true
+		edges = append(edges, edge{from[best], best})
+		used[edgeKey(from[best], best)] = true
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if d := siteDist(t, SiteID(best), SiteID(j)); d < dist[j] {
+					dist[j] = d
+					from[j] = best
+				}
+			}
+		}
+	}
+
+	// Candidate extra edges sorted by length with random jitter, preferring
+	// short links but occasionally admitting long-haul shortcuts.
+	type cand struct {
+		a, b int
+		key  float64
+	}
+	var cands []cand
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if used[edgeKey(a, b)] {
+				continue
+			}
+			d := siteDist(t, SiteID(a), SiteID(b))
+			cands = append(cands, cand{a, b, d * (0.5 + r.Float64())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+	for _, c := range cands {
+		if len(edges) >= s.Links {
+			break
+		}
+		edges = append(edges, edge{c.a, c.b})
+	}
+
+	for _, e := range edges {
+		addPhysicalLink(t, r, SiteID(e.a), SiteID(e.b))
+	}
+	return t
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func siteDist(t *Topology, a, b SiteID) float64 {
+	dx := t.Sites[a].X - t.Sites[b].X
+	dy := t.Sites[a].Y - t.Sites[b].Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// addPhysicalLink adds a bidirectional link with attributes derived from the
+// geometry plus seeded randomness: latency from fiber propagation (~200
+// km/ms), capacity from common WAN rates, and a correlated quality tier.
+// Premium links (direct fiber) have a lower route-stretch factor, higher
+// availability, and higher carriage cost — the real-world correlation that
+// drives the paper's production results: time-sensitive traffic belongs on
+// fast/available/expensive paths, bulk on slow/cheap ones (Figures 15–17).
+func addPhysicalLink(t *Topology, r *rand.Rand, a, b SiteID) {
+	distKm := siteDist(t, a, b)
+	caps := []float64{100e3, 200e3, 400e3} // Mbps
+	capacity := caps[r.Intn(len(caps))]
+	var stretch, availability, cost float64
+	if r.Float64() < 0.5 {
+		// Premium tier: direct fiber.
+		stretch = 1.1 + r.Float64()*0.1
+		availability = 0.9999 + r.Float64()*0.00009
+		cost = 8 + r.Float64()*4
+	} else {
+		// Economy tier: leased, longer routed.
+		stretch = 1.4 + r.Float64()*0.3
+		availability = 0.995 + r.Float64()*0.004
+		cost = 2 + r.Float64()*2
+	}
+	latency := distKm * stretch / 200
+	if latency < 0.1 {
+		latency = 0.1
+	}
+	t.AddBidiLink(a, b, capacity, latency, availability, cost)
+}
+
+// AttachEndpoints attaches endpoints to sites following the Weibull
+// distribution of endpoints-per-site the paper fits to TWAN traces (Figure
+// 8). meanPerSite is the distribution mean (the paper's confidential
+// parameter m); shape < 1 yields the orders-of-magnitude spread observed in
+// production. Every site receives at least one endpoint. Returns the
+// endpoint count actually attached.
+func AttachEndpoints(t *Topology, meanPerSite float64, shape float64, seed int64) int {
+	if shape <= 0 {
+		shape = 0.7
+	}
+	w := stats.Weibull{Shape: shape, Scale: meanPerSite / math.Gamma(1+1/shape)}
+	r := stats.NewRand(seed)
+	total := 0
+	for s := range t.Sites {
+		n := int(math.Round(w.Sample(r)))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			t.AddEndpoint(SiteID(s), fmt.Sprintf("ins-%d-%d", s, i))
+		}
+		total += n
+	}
+	return total
+}
+
+// AttachEndpointsExact attaches exactly perSite endpoints to every site —
+// used by tests and by sweeps that need precise endpoint counts.
+func AttachEndpointsExact(t *Topology, perSite int) int {
+	for s := range t.Sites {
+		for i := 0; i < perSite; i++ {
+			t.AddEndpoint(SiteID(s), fmt.Sprintf("ins-%d-%d", s, i))
+		}
+	}
+	return perSite * len(t.Sites)
+}

@@ -1,0 +1,225 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"megate/internal/stats"
+)
+
+// ParseGML reads a topology in the GML dialect used by the Internet
+// Topology Zoo (the source of the paper's Deltacom and Cogentco graphs) and
+// returns it as a Topology. Node coordinates come from the Longitude and
+// Latitude attributes when present (scaled to kilometres on an equirect
+// projection); link attributes (capacity, latency, availability, cost) are
+// synthesized the same way as the built-in generators, deterministically
+// from the seed, since the Zoo does not publish them.
+//
+// Only the subset of GML the Zoo uses is understood: a `graph [ ... ]`
+// block with `node [ id N label "..." ... ]` and `edge [ source A target B
+// ... ]` entries. Duplicate edges collapse to one physical link; self loops
+// are dropped.
+func ParseGML(r io.Reader, name string, seed int64) (*Topology, error) {
+	type nodeInfo struct {
+		label    string
+		lon, lat float64
+		hasPos   bool
+	}
+	nodes := make(map[int]*nodeInfo)
+	var nodeOrder []int
+	type edgeInfo struct{ src, dst int }
+	var edges []edgeInfo
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// A tiny tokenizer: GML is whitespace-separated words plus quoted
+	// strings.
+	var tokens []string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		for len(line) > 0 {
+			line = strings.TrimLeft(line, " \t\r")
+			if line == "" {
+				break
+			}
+			if line[0] == '"' {
+				end := strings.IndexByte(line[1:], '"')
+				if end < 0 {
+					return nil, fmt.Errorf("topology: unterminated GML string: %q", line)
+				}
+				tokens = append(tokens, line[:end+2])
+				line = line[end+2:]
+				continue
+			}
+			sp := strings.IndexAny(line, " \t")
+			if sp < 0 {
+				tokens = append(tokens, line)
+				break
+			}
+			tokens = append(tokens, line[:sp])
+			line = line[sp:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Parse node/edge blocks with a small state machine over tokens.
+	i := 0
+	next := func() (string, bool) {
+		if i >= len(tokens) {
+			return "", false
+		}
+		t := tokens[i]
+		i++
+		return t, true
+	}
+	var parseBlock func(kind string) error
+	parseBlock = func(kind string) error {
+		tok, ok := next()
+		if !ok || tok != "[" {
+			return fmt.Errorf("topology: expected [ after %s, got %q", kind, tok)
+		}
+		var cur nodeInfo
+		id := -1
+		var src, dst = -1, -1
+		depth := 1
+		for depth > 0 {
+			tok, ok := next()
+			if !ok {
+				return fmt.Errorf("topology: unterminated %s block", kind)
+			}
+			switch tok {
+			case "[":
+				depth++
+			case "]":
+				depth--
+			case "id":
+				v, _ := next()
+				id, _ = strconv.Atoi(v)
+			case "label":
+				v, _ := next()
+				cur.label = strings.Trim(v, `"`)
+			case "Longitude":
+				v, _ := next()
+				cur.lon, _ = strconv.ParseFloat(v, 64)
+				cur.hasPos = true
+			case "Latitude":
+				v, _ := next()
+				cur.lat, _ = strconv.ParseFloat(v, 64)
+				cur.hasPos = true
+			case "source":
+				v, _ := next()
+				src, _ = strconv.Atoi(v)
+			case "target":
+				v, _ := next()
+				dst, _ = strconv.Atoi(v)
+			default:
+				// Attribute we do not use: skip its value (which may be a
+				// nested block).
+				v, ok := next()
+				if ok && v == "[" {
+					d := 1
+					for d > 0 {
+						t, ok := next()
+						if !ok {
+							return fmt.Errorf("topology: unterminated attribute block")
+						}
+						if t == "[" {
+							d++
+						} else if t == "]" {
+							d--
+						}
+					}
+				}
+			}
+		}
+		switch kind {
+		case "node":
+			if id < 0 {
+				return fmt.Errorf("topology: node without id")
+			}
+			n := cur
+			nodes[id] = &n
+			nodeOrder = append(nodeOrder, id)
+		case "edge":
+			if src < 0 || dst < 0 {
+				return fmt.Errorf("topology: edge without source/target")
+			}
+			edges = append(edges, edgeInfo{src, dst})
+		}
+		return nil
+	}
+
+	sawGraph := false
+	for {
+		tok, ok := next()
+		if !ok {
+			break
+		}
+		switch tok {
+		case "graph":
+			sawGraph = true
+			if t, ok := next(); !ok || t != "[" {
+				return nil, fmt.Errorf("topology: expected [ after graph")
+			}
+		case "node", "edge":
+			if err := parseBlock(tok); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !sawGraph {
+		return nil, fmt.Errorf("topology: no graph block found")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("topology: GML contains no nodes")
+	}
+
+	topo := New(name)
+	idMap := make(map[int]SiteID, len(nodes))
+	for _, id := range nodeOrder {
+		n := nodes[id]
+		label := n.label
+		if label == "" {
+			label = fmt.Sprintf("%s-%d", name, id)
+		}
+		// Equirectangular projection: ~111 km per degree latitude.
+		x, y := 0.0, 0.0
+		if n.hasPos {
+			x = n.lon * 111 * 0.7 // rough mid-latitude cos factor
+			y = n.lat * 111
+		}
+		idMap[id] = topo.AddSite(label, x, y)
+	}
+
+	r2 := stats.NewRand(seed)
+	seen := map[[2]SiteID]bool{}
+	for _, e := range edges {
+		a, okA := idMap[e.src]
+		b, okB := idMap[e.dst]
+		if !okA || !okB {
+			return nil, fmt.Errorf("topology: edge references unknown node %d or %d", e.src, e.dst)
+		}
+		if a == b {
+			continue
+		}
+		key := [2]SiteID{a, b}
+		if a > b {
+			key = [2]SiteID{b, a}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		addPhysicalLink(topo, r2, a, b)
+	}
+	return topo, nil
+}

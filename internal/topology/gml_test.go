@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleGML = `
+Creator "Topology Zoo Toolset"
+graph [
+  DateObtained "22/10/10"
+  network "Sample"
+  node [
+    id 0
+    label "Atlanta"
+    Country "United States"
+    Longitude -84.38798
+    Latitude 33.74900
+  ]
+  node [
+    id 1
+    label "Boston"
+    Longitude -71.05977
+    Latitude 42.35843
+  ]
+  node [
+    id 2
+    label "Chicago"
+    Longitude -87.65005
+    Latitude 41.85003
+  ]
+  node [
+    id 3
+    label "NoCoords"
+  ]
+  edge [
+    source 0
+    target 1
+    LinkLabel "OC-48"
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 0
+  ]
+  edge [
+    source 0
+    target 3
+  ]
+  edge [
+    source 3
+    target 0
+  ]
+  edge [
+    source 1
+    target 1
+  ]
+]
+`
+
+func TestParseGMLSample(t *testing.T) {
+	topo, err := ParseGML(strings.NewReader(sampleGML), "sample", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSites() != 4 {
+		t.Fatalf("sites = %d, want 4", topo.NumSites())
+	}
+	// 4 distinct physical edges (duplicate 0-3/3-0 collapses, self loop
+	// dropped) -> 8 directed links.
+	if topo.NumLinks() != 8 {
+		t.Fatalf("directed links = %d, want 8", topo.NumLinks())
+	}
+	if topo.Sites[0].Name != "Atlanta" || topo.Sites[1].Name != "Boston" {
+		t.Errorf("labels = %q, %q", topo.Sites[0].Name, topo.Sites[1].Name)
+	}
+	if topo.Sites[0].X == 0 && topo.Sites[0].Y == 0 {
+		t.Error("coordinates not parsed")
+	}
+	if topo.Sites[3].Name != "NoCoords" {
+		t.Errorf("node 3 name = %q", topo.Sites[3].Name)
+	}
+	if !topo.Connected() {
+		t.Error("parsed topology should be connected")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Latency should reflect geography: Atlanta-Boston is >1000 km.
+	if topo.Links[0].LatencyMs < 3 {
+		t.Errorf("Atlanta-Boston latency = %v ms, implausibly low", topo.Links[0].LatencyMs)
+	}
+}
+
+func TestParseGMLDeterministic(t *testing.T) {
+	a, err := ParseGML(strings.NewReader(sampleGML), "s", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseGML(strings.NewReader(sampleGML), "s", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatal("nondeterministic parse")
+		}
+	}
+}
+
+func TestParseGMLErrors(t *testing.T) {
+	cases := []string{
+		``,                                     // no graph
+		`graph [ node [ label "x" ] ]`,         // node without id
+		`graph [ edge [ source 0 ] ]`,          // edge without target
+		`graph [ edge [ source 0 target 5 ] ]`, // unknown node
+		`graph [ node [ id 0 label "unterminated ] ]`,
+	}
+	for i, src := range cases {
+		if _, err := ParseGML(strings.NewReader(src), "x", 1); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestParseGMLNestedUnknownBlocks(t *testing.T) {
+	src := `
+graph [
+  hierarchy [ level 1 nested [ deep 2 ] ]
+  node [ id 0 label "a" graphics [ w 10 h 10 ] ]
+  node [ id 1 label "b" ]
+  edge [ source 0 target 1 ]
+]`
+	topo, err := ParseGML(strings.NewReader(src), "nested", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSites() != 2 || topo.NumLinks() != 2 {
+		t.Fatalf("sites=%d links=%d", topo.NumSites(), topo.NumLinks())
+	}
+}

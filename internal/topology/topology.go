@@ -1,0 +1,227 @@
+// Package topology models the two-layer network MegaTE operates on (§4.2,
+// Figure 5): a meshed first layer of router sites interconnected by
+// capacitated WAN links, and a second layer of virtual-instance endpoints,
+// each attached to exactly one site.
+//
+// Links are directed; an undirected physical link is represented by two
+// directed links with equal attributes. Capacities are in Mbps, latencies in
+// milliseconds, availability as a fraction in (0, 1], and cost in dollars per
+// Gbps-month.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// SiteID identifies a router site.
+type SiteID int
+
+// LinkID identifies a directed link by index into Topology.Links.
+type LinkID int
+
+// EndpointID identifies a virtual-instance endpoint.
+type EndpointID int
+
+// Site is a router site (point of presence) in the WAN.
+type Site struct {
+	ID   SiteID
+	Name string
+	// X, Y are planar coordinates in kilometres, used by the synthetic
+	// builders to derive propagation latency.
+	X, Y float64
+}
+
+// Link is a directed WAN link between two sites.
+type Link struct {
+	ID           LinkID
+	From, To     SiteID
+	CapacityMbps float64
+	LatencyMs    float64
+	// Availability is the long-run fraction of time the link is up.
+	Availability float64
+	// CostPerGbps is the monetary cost of carrying 1 Gbps over this link.
+	CostPerGbps float64
+	// Down marks a failed link (§6.3). Failed links keep their attributes
+	// but are skipped during tunnel establishment and carry no traffic.
+	Down bool
+}
+
+// Endpoint is a virtual-instance endpoint (VM or container NIC) attached to
+// one site. Endpoint-to-site links are assumed uncapacitated (§4.1: "the
+// capacity of the edges between the endpoint and the site is sufficient").
+type Endpoint struct {
+	ID   EndpointID
+	Site SiteID
+	// Instance is the tenant virtual-instance identifier (ins_id in §5.1).
+	Instance string
+}
+
+// Topology is the full two-layer graph.
+type Topology struct {
+	Name      string
+	Sites     []Site
+	Links     []Link
+	Endpoints []Endpoint
+
+	// out[s] lists the IDs of links leaving site s.
+	out [][]LinkID
+	// endpointsBySite[s] lists endpoints attached to site s.
+	endpointsBySite [][]EndpointID
+}
+
+// New returns an empty topology with the given name.
+func New(name string) *Topology {
+	return &Topology{Name: name}
+}
+
+// AddSite appends a site and returns its ID.
+func (t *Topology) AddSite(name string, x, y float64) SiteID {
+	id := SiteID(len(t.Sites))
+	t.Sites = append(t.Sites, Site{ID: id, Name: name, X: x, Y: y})
+	t.out = append(t.out, nil)
+	t.endpointsBySite = append(t.endpointsBySite, nil)
+	return id
+}
+
+// AddLink appends a directed link and returns its ID. It panics if either
+// site does not exist, mirroring slice index panics for programmer errors.
+func (t *Topology) AddLink(from, to SiteID, capacityMbps, latencyMs, availability, costPerGbps float64) LinkID {
+	if int(from) >= len(t.Sites) || int(to) >= len(t.Sites) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("topology: AddLink(%d, %d) with %d sites", from, to, len(t.Sites)))
+	}
+	id := LinkID(len(t.Links))
+	t.Links = append(t.Links, Link{
+		ID: id, From: from, To: to,
+		CapacityMbps: capacityMbps, LatencyMs: latencyMs,
+		Availability: availability, CostPerGbps: costPerGbps,
+	})
+	t.out[from] = append(t.out[from], id)
+	return id
+}
+
+// AddBidiLink adds two directed links (one per direction) with identical
+// attributes and returns both IDs.
+func (t *Topology) AddBidiLink(a, b SiteID, capacityMbps, latencyMs, availability, costPerGbps float64) (LinkID, LinkID) {
+	l1 := t.AddLink(a, b, capacityMbps, latencyMs, availability, costPerGbps)
+	l2 := t.AddLink(b, a, capacityMbps, latencyMs, availability, costPerGbps)
+	return l1, l2
+}
+
+// AddEndpoint attaches a new endpoint to a site and returns its ID.
+func (t *Topology) AddEndpoint(site SiteID, instance string) EndpointID {
+	if int(site) >= len(t.Sites) || site < 0 {
+		panic(fmt.Sprintf("topology: AddEndpoint on site %d with %d sites", site, len(t.Sites)))
+	}
+	id := EndpointID(len(t.Endpoints))
+	t.Endpoints = append(t.Endpoints, Endpoint{ID: id, Site: site, Instance: instance})
+	t.endpointsBySite[site] = append(t.endpointsBySite[site], id)
+	return id
+}
+
+// OutLinks returns the IDs of links leaving site s.
+func (t *Topology) OutLinks(s SiteID) []LinkID { return t.out[s] }
+
+// EndpointsAt returns the endpoints attached to site s.
+func (t *Topology) EndpointsAt(s SiteID) []EndpointID { return t.endpointsBySite[s] }
+
+// NumSites returns the number of router sites.
+func (t *Topology) NumSites() int { return len(t.Sites) }
+
+// NumLinks returns the number of directed links.
+func (t *Topology) NumLinks() int { return len(t.Links) }
+
+// NumEndpoints returns the number of endpoints.
+func (t *Topology) NumEndpoints() int { return len(t.Endpoints) }
+
+// FailLink marks a link (and, if present, its reverse twin) as down.
+func (t *Topology) FailLink(id LinkID) {
+	t.Links[id].Down = true
+	if rev, ok := t.ReverseLink(id); ok {
+		t.Links[rev].Down = true
+	}
+}
+
+// RestoreLink marks a link (and its reverse twin) as up.
+func (t *Topology) RestoreLink(id LinkID) {
+	t.Links[id].Down = false
+	if rev, ok := t.ReverseLink(id); ok {
+		t.Links[rev].Down = false
+	}
+}
+
+// ReverseLink returns the ID of the directed link running opposite to id,
+// if one exists.
+func (t *Topology) ReverseLink(id LinkID) (LinkID, bool) {
+	l := t.Links[id]
+	for _, cand := range t.out[l.To] {
+		if t.Links[cand].To == l.From {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// EndpointCountsBySite returns, for each site, how many endpoints attach to
+// it — the quantity whose distribution the paper studies in Figure 8.
+func (t *Topology) EndpointCountsBySite() []int {
+	counts := make([]int, len(t.Sites))
+	for _, ep := range t.Endpoints {
+		counts[ep.Site]++
+	}
+	return counts
+}
+
+// Validate checks structural invariants and returns a descriptive error for
+// the first violation found.
+func (t *Topology) Validate() error {
+	for _, l := range t.Links {
+		if int(l.From) >= len(t.Sites) || int(l.To) >= len(t.Sites) {
+			return fmt.Errorf("topology %s: link %d references missing site", t.Name, l.ID)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("topology %s: link %d is a self-loop", t.Name, l.ID)
+		}
+		if l.CapacityMbps <= 0 || math.IsNaN(l.CapacityMbps) {
+			return fmt.Errorf("topology %s: link %d has capacity %v", t.Name, l.ID, l.CapacityMbps)
+		}
+		if l.LatencyMs < 0 || math.IsNaN(l.LatencyMs) {
+			return fmt.Errorf("topology %s: link %d has latency %v", t.Name, l.ID, l.LatencyMs)
+		}
+		if l.Availability <= 0 || l.Availability > 1 {
+			return fmt.Errorf("topology %s: link %d has availability %v", t.Name, l.ID, l.Availability)
+		}
+	}
+	for _, ep := range t.Endpoints {
+		if int(ep.Site) >= len(t.Sites) {
+			return fmt.Errorf("topology %s: endpoint %d references missing site", t.Name, ep.ID)
+		}
+	}
+	return nil
+}
+
+// Connected reports whether every site can reach every other site over
+// non-failed links.
+func (t *Topology) Connected() bool {
+	if len(t.Sites) == 0 {
+		return true
+	}
+	seen := make([]bool, len(t.Sites))
+	stack := []SiteID{0}
+	seen[0] = true
+	visited := 1
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, lid := range t.out[s] {
+			l := t.Links[lid]
+			if l.Down || seen[l.To] {
+				continue
+			}
+			seen[l.To] = true
+			visited++
+			stack = append(stack, l.To)
+		}
+	}
+	return visited == len(t.Sites)
+}

@@ -1,0 +1,382 @@
+package topology
+
+import (
+	"testing"
+)
+
+func triangle(t *testing.T) *Topology {
+	t.Helper()
+	topo := New("tri")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	c := topo.AddSite("c", 50, 100)
+	topo.AddBidiLink(a, b, 1000, 1, 0.999, 1)
+	topo.AddBidiLink(b, c, 1000, 2, 0.999, 1)
+	topo.AddBidiLink(a, c, 1000, 5, 0.999, 1)
+	return topo
+}
+
+func TestAddSiteLinkEndpoint(t *testing.T) {
+	topo := triangle(t)
+	if topo.NumSites() != 3 || topo.NumLinks() != 6 {
+		t.Fatalf("sites=%d links=%d", topo.NumSites(), topo.NumLinks())
+	}
+	ep := topo.AddEndpoint(0, "vm-1")
+	if topo.NumEndpoints() != 1 || topo.Endpoints[ep].Site != 0 {
+		t.Fatal("endpoint not attached")
+	}
+	if got := topo.EndpointsAt(0); len(got) != 1 || got[0] != ep {
+		t.Fatalf("EndpointsAt(0) = %v", got)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddLinkPanicsOnMissingSite(t *testing.T) {
+	topo := New("x")
+	topo.AddSite("a", 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	topo.AddLink(0, 5, 1, 1, 1, 1)
+}
+
+func TestAddEndpointPanicsOnMissingSite(t *testing.T) {
+	topo := New("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	topo.AddEndpoint(3, "vm")
+}
+
+func TestValidateCatchesBadLinks(t *testing.T) {
+	topo := New("bad")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 1, 0)
+	topo.AddLink(a, b, 1000, 1, 0.99, 1)
+	topo.Links[0].CapacityMbps = -5
+	if err := topo.Validate(); err == nil {
+		t.Error("want error for negative capacity")
+	}
+	topo.Links[0].CapacityMbps = 1000
+	topo.Links[0].Availability = 1.5
+	if err := topo.Validate(); err == nil {
+		t.Error("want error for availability > 1")
+	}
+}
+
+func TestReverseLink(t *testing.T) {
+	topo := triangle(t)
+	l1, l2 := LinkID(0), LinkID(1) // a->b, b->a
+	if rev, ok := topo.ReverseLink(l1); !ok || rev != l2 {
+		t.Fatalf("ReverseLink(%d) = %d, %v", l1, rev, ok)
+	}
+}
+
+func TestFailRestoreLink(t *testing.T) {
+	topo := triangle(t)
+	topo.FailLink(0)
+	if !topo.Links[0].Down || !topo.Links[1].Down {
+		t.Fatal("both directions should fail together")
+	}
+	if !topo.Connected() {
+		t.Fatal("triangle minus one edge should stay connected")
+	}
+	topo.RestoreLink(0)
+	if topo.Links[0].Down || topo.Links[1].Down {
+		t.Fatal("restore should bring both directions up")
+	}
+}
+
+func TestConnectedDetectsPartition(t *testing.T) {
+	topo := New("line")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 1, 0)
+	topo.AddBidiLink(a, b, 1000, 1, 0.999, 1)
+	if !topo.Connected() {
+		t.Fatal("line should be connected")
+	}
+	topo.FailLink(0)
+	if topo.Connected() {
+		t.Fatal("failed only link should partition")
+	}
+}
+
+func TestShortestPathDirect(t *testing.T) {
+	topo := triangle(t)
+	links, dist, ok := topo.ShortestPath(0, 2, nil, nil)
+	if !ok {
+		t.Fatal("no path")
+	}
+	// a->b (1ms) + b->c (2ms) = 3ms beats a->c direct (5ms).
+	if dist != 3 || len(links) != 2 {
+		t.Fatalf("dist=%v links=%v", dist, links)
+	}
+}
+
+func TestShortestPathAvoidsFailedLink(t *testing.T) {
+	topo := triangle(t)
+	// Fail a->b so the path must go direct.
+	topo.FailLink(0)
+	_, dist, ok := topo.ShortestPath(0, 2, nil, nil)
+	if !ok || dist != 5 {
+		t.Fatalf("dist=%v ok=%v, want 5ms direct", dist, ok)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	topo := New("two")
+	topo.AddSite("a", 0, 0)
+	topo.AddSite("b", 1, 0)
+	if _, _, ok := topo.ShortestPath(0, 1, nil, nil); ok {
+		t.Fatal("want unreachable")
+	}
+}
+
+func TestKShortestPathsOrderAndDistinct(t *testing.T) {
+	topo := triangle(t)
+	paths := topo.KShortestPaths(0, 2, 4)
+	if len(paths) < 2 {
+		t.Fatalf("want >= 2 paths, got %d", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Weight < paths[i-1].Weight {
+			t.Fatalf("paths out of order: %v then %v", paths[i-1], paths[i])
+		}
+		if sameLinks(paths[i].Links, paths[i-1].Links) {
+			t.Fatal("duplicate paths")
+		}
+	}
+	if paths[0].Weight != 3 {
+		t.Fatalf("best path weight %v, want 3", paths[0].Weight)
+	}
+	// Each path's Sites must be consistent with its links.
+	for _, p := range paths {
+		if p.Sites[0] != 0 || p.Sites[len(p.Sites)-1] != 2 {
+			t.Fatalf("endpoints wrong for %v", p)
+		}
+		for i, lid := range p.Links {
+			if topo.Links[lid].From != p.Sites[i] || topo.Links[lid].To != p.Sites[i+1] {
+				t.Fatalf("sites inconsistent with links in %v", p)
+			}
+		}
+	}
+}
+
+func TestKShortestPathsLoopless(t *testing.T) {
+	topo := Build("Deltacom*")
+	paths := topo.KShortestPaths(0, SiteID(topo.NumSites()-1), 4)
+	if len(paths) == 0 {
+		t.Fatal("no paths in connected topology")
+	}
+	for _, p := range paths {
+		seen := map[SiteID]bool{}
+		for _, s := range p.Sites {
+			if seen[s] {
+				t.Fatalf("path %v revisits site %d", p, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	topo := triangle(t)
+	if got := topo.KShortestPaths(0, 0, 3); got != nil {
+		t.Error("src==dst should yield nil")
+	}
+	if got := topo.KShortestPaths(0, 1, 0); got != nil {
+		t.Error("k=0 should yield nil")
+	}
+}
+
+func TestTunnelUsesAndMetrics(t *testing.T) {
+	topo := triangle(t)
+	paths := topo.KShortestPaths(0, 2, 1)
+	p := paths[0]
+	if !p.Uses(p.Links[0]) {
+		t.Error("Uses should find its own link")
+	}
+	if p.Uses(LinkID(99)) {
+		t.Error("Uses found a bogus link")
+	}
+	if a := p.Availability(topo); a <= 0 || a > 1 {
+		t.Errorf("availability = %v", a)
+	}
+	if c := p.CostPerGbps(topo); c <= 0 {
+		t.Errorf("cost = %v", c)
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestTunnelSetCachesAndInvalidates(t *testing.T) {
+	topo := triangle(t)
+	ts := NewTunnelSet(topo, 3)
+	p1 := ts.For(0, 2)
+	p2 := ts.For(0, 2)
+	if &p1[0] != &p2[0] {
+		t.Error("second call should hit the cache")
+	}
+	ts.Invalidate()
+	topo.FailLink(0)
+	p3 := ts.For(0, 2)
+	for _, p := range p3 {
+		for _, l := range p.Links {
+			if topo.Links[l].Down {
+				t.Error("tunnel over failed link after invalidate")
+			}
+		}
+	}
+}
+
+func TestTunnelSetWarm(t *testing.T) {
+	topo := triangle(t)
+	ts := NewTunnelSet(topo, 2)
+	ts.Warm([][2]SiteID{{0, 1}, {0, 2}, {1, 2}})
+	if len(ts.m) != 3 {
+		t.Fatalf("warmed %d pairs, want 3", len(ts.m))
+	}
+}
+
+func TestBuildB4MatchesTable2(t *testing.T) {
+	topo := BuildB4()
+	if topo.NumSites() != 12 {
+		t.Errorf("B4 sites = %d, want 12", topo.NumSites())
+	}
+	if topo.NumLinks() != 2*19 {
+		t.Errorf("B4 directed links = %d, want 38", topo.NumLinks())
+	}
+	if !topo.Connected() {
+		t.Error("B4 should be connected")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildSpecsMatchTable2(t *testing.T) {
+	for _, s := range Specs {
+		topo := Build(s.Name)
+		if topo.NumSites() != s.Sites {
+			t.Errorf("%s sites = %d, want %d", s.Name, topo.NumSites(), s.Sites)
+		}
+		if topo.NumLinks() != 2*s.Links {
+			t.Errorf("%s directed links = %d, want %d", s.Name, topo.NumLinks(), 2*s.Links)
+		}
+		if !topo.Connected() {
+			t.Errorf("%s should be connected", s.Name)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestBuildUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Build("nope")
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build("TWAN")
+	b := Build("TWAN")
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("nondeterministic build")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs between builds", i)
+		}
+	}
+}
+
+func TestAttachEndpointsWeibullSpread(t *testing.T) {
+	topo := Build("Deltacom*")
+	total := AttachEndpoints(topo, 100, 0.7, 42)
+	if total != topo.NumEndpoints() {
+		t.Fatalf("returned %d, have %d", total, topo.NumEndpoints())
+	}
+	counts := topo.EndpointCountsBySite()
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts {
+		if c < 1 {
+			t.Fatal("site with zero endpoints")
+		}
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Figure 8: endpoint counts vary over orders of magnitude.
+	if maxC < 10*minC {
+		t.Errorf("spread too small: min=%d max=%d", minC, maxC)
+	}
+	// Mean should be in the right ballpark.
+	mean := float64(total) / float64(len(counts))
+	if mean < 30 || mean > 300 {
+		t.Errorf("mean endpoints per site = %v, want ~100", mean)
+	}
+}
+
+func TestAttachEndpointsExact(t *testing.T) {
+	topo := BuildB4()
+	n := AttachEndpointsExact(topo, 10)
+	if n != 120 || topo.NumEndpoints() != 120 {
+		t.Fatalf("attached %d, want 120", n)
+	}
+	for _, c := range topo.EndpointCountsBySite() {
+		if c != 10 {
+			t.Fatalf("count %d, want 10", c)
+		}
+	}
+}
+
+func TestEndpointCountsBySite(t *testing.T) {
+	topo := triangle(t)
+	topo.AddEndpoint(1, "x")
+	topo.AddEndpoint(1, "y")
+	topo.AddEndpoint(2, "z")
+	counts := topo.EndpointCountsBySite()
+	if counts[0] != 0 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func BenchmarkKDiversePathsDeltacom(b *testing.B) {
+	topo := Build("Deltacom*")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := SiteID(i % topo.NumSites())
+		dst := SiteID((i*37 + 13) % topo.NumSites())
+		if src == dst {
+			continue
+		}
+		topo.KDiversePaths(src, dst, 4)
+	}
+}
+
+func BenchmarkShortestPathCogentco(b *testing.B) {
+	topo := Build("Cogentco*")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := SiteID(i % topo.NumSites())
+		dst := SiteID((i*53 + 7) % topo.NumSites())
+		if src == dst {
+			continue
+		}
+		topo.ShortestPath(src, dst, nil, nil)
+	}
+}

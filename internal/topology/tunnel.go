@@ -1,0 +1,315 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tunnel is a pre-established TE path between a pair of sites (T_k in Table
+// 1). Weight is the tunnel's latency in milliseconds (the paper: "w_t can be
+// determined by the network latency where the higher value means larger
+// network latency").
+type Tunnel struct {
+	Src, Dst SiteID
+	Links    []LinkID
+	// Sites is the hop-by-hop site sequence, Src first and Dst last. The
+	// data plane serializes it into the SR header's Hop[] array (Figure 7).
+	Sites  []SiteID
+	Weight float64
+}
+
+// Uses reports whether the tunnel traverses link e — the L(t, e) indicator
+// of Table 1.
+func (tn *Tunnel) Uses(e LinkID) bool {
+	for _, l := range tn.Links {
+		if l == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Availability returns the product of the availabilities of the tunnel's
+// links, the probability all of them are up simultaneously.
+func (tn *Tunnel) Availability(t *Topology) float64 {
+	a := 1.0
+	for _, l := range tn.Links {
+		a *= t.Links[l].Availability
+	}
+	return a
+}
+
+// CostPerGbps returns the sum of the per-link carriage costs along the
+// tunnel.
+func (tn *Tunnel) CostPerGbps(t *Topology) float64 {
+	c := 0.0
+	for _, l := range tn.Links {
+		c += t.Links[l].CostPerGbps
+	}
+	return c
+}
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	site SiteID
+	dist float64
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ShortestPath runs Dijkstra over link latencies from src to dst, skipping
+// failed links and any link in banned or any intermediate site in bannedSites.
+// It returns the link sequence and total latency, or ok=false when dst is
+// unreachable.
+func (t *Topology) ShortestPath(src, dst SiteID, banned map[LinkID]bool, bannedSites map[SiteID]bool) (links []LinkID, dist float64, ok bool) {
+	n := len(t.Sites)
+	distTo := make([]float64, n)
+	prevLink := make([]LinkID, n)
+	done := make([]bool, n)
+	for i := range distTo {
+		distTo[i] = math.Inf(1)
+		prevLink[i] = -1
+	}
+	distTo[src] = 0
+	q := &pq{{site: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.site
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		if u != src && bannedSites != nil && bannedSites[u] {
+			continue
+		}
+		for _, lid := range t.out[u] {
+			l := t.Links[lid]
+			if l.Down || (banned != nil && banned[lid]) {
+				continue
+			}
+			if l.To != dst && bannedSites != nil && bannedSites[l.To] {
+				continue
+			}
+			nd := distTo[u] + l.LatencyMs
+			if nd < distTo[l.To] {
+				distTo[l.To] = nd
+				prevLink[l.To] = lid
+				heap.Push(q, pqItem{site: l.To, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(distTo[dst], 1) {
+		return nil, 0, false
+	}
+	// Reconstruct.
+	for at := dst; at != src; {
+		lid := prevLink[at]
+		links = append(links, lid)
+		at = t.Links[lid].From
+	}
+	// Reverse in place.
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return links, distTo[dst], true
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst by
+// latency, using Yen's algorithm. Paths are returned in ascending weight
+// order; this is the T_k tunnel set for the site pair, which MaxEndpointFlow
+// consumes in ascending w_t order (Appendix A.2).
+func (t *Topology) KShortestPaths(src, dst SiteID, k int) []*Tunnel {
+	if src == dst || k <= 0 {
+		return nil
+	}
+	first, dist, ok := t.ShortestPath(src, dst, nil, nil)
+	if !ok {
+		return nil
+	}
+	paths := []*Tunnel{t.makeTunnel(src, dst, first, dist)}
+	var candidates []*Tunnel
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Spur from each node of the previous path.
+		for i := 0; i < len(prev.Links); i++ {
+			spurSite := prev.Sites[i]
+			rootLinks := prev.Links[:i]
+
+			banned := make(map[LinkID]bool)
+			bannedSites := make(map[SiteID]bool)
+			// Ban links that would recreate an already-found path with the
+			// same root.
+			for _, p := range paths {
+				if len(p.Links) > i && sameLinks(p.Links[:i], rootLinks) {
+					banned[p.Links[i]] = true
+				}
+			}
+			// Ban root sites (except the spur site) to keep paths loopless.
+			for _, s := range prev.Sites[:i] {
+				bannedSites[s] = true
+			}
+
+			spurLinks, _, ok := t.ShortestPath(spurSite, dst, banned, bannedSites)
+			if !ok {
+				continue
+			}
+			total := append(append([]LinkID{}, rootLinks...), spurLinks...)
+			w := 0.0
+			for _, lid := range total {
+				w += t.Links[lid].LatencyMs
+			}
+			cand := t.makeTunnel(src, dst, total, w)
+			if !containsTunnel(paths, cand) && !containsTunnel(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Weight < candidates[b].Weight })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func (t *Topology) makeTunnel(src, dst SiteID, links []LinkID, weight float64) *Tunnel {
+	sites := make([]SiteID, 0, len(links)+1)
+	sites = append(sites, src)
+	for _, lid := range links {
+		sites = append(sites, t.Links[lid].To)
+	}
+	return &Tunnel{Src: src, Dst: dst, Links: links, Sites: sites, Weight: weight}
+}
+
+func sameLinks(a, b []LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsTunnel(ts []*Tunnel, c *Tunnel) bool {
+	for _, p := range ts {
+		if sameLinks(p.Links, c.Links) {
+			return true
+		}
+	}
+	return false
+}
+
+// KDiversePaths returns up to k loopless paths from src to dst, preferring
+// link-disjoint alternatives: each successive path avoids the links of all
+// previous ones; when no fully disjoint path remains, the remaining slots
+// are filled from Yen's k-shortest paths. This mirrors how production TE
+// pre-establishes tunnels — resilience wants diversity, so alternative
+// tunnels are materially longer than the primary (the 20 ms vs 42 ms modes
+// of Figure 2) rather than near-equal detours.
+func (t *Topology) KDiversePaths(src, dst SiteID, k int) []*Tunnel {
+	if src == dst || k <= 0 {
+		return nil
+	}
+	var paths []*Tunnel
+	banned := make(map[LinkID]bool)
+	for len(paths) < k {
+		links, dist, ok := t.ShortestPath(src, dst, banned, nil)
+		if !ok {
+			break
+		}
+		paths = append(paths, t.makeTunnel(src, dst, links, dist))
+		for _, l := range links {
+			banned[l] = true
+			if rev, hasRev := t.ReverseLink(l); hasRev {
+				banned[rev] = true
+			}
+		}
+	}
+	if len(paths) < k {
+		for _, cand := range t.KShortestPaths(src, dst, k) {
+			if len(paths) >= k {
+				break
+			}
+			if !containsTunnel(paths, cand) {
+				paths = append(paths, cand)
+			}
+		}
+		sort.Slice(paths, func(a, b int) bool { return paths[a].Weight < paths[b].Weight })
+	}
+	return paths
+}
+
+// TunnelSet caches pre-established tunnels per site pair.
+type TunnelSet struct {
+	topo *Topology
+	k    int
+	m    map[pairKey][]*Tunnel
+}
+
+type pairKey struct{ src, dst SiteID }
+
+// NewTunnelSet creates a tunnel cache establishing up to k tunnels per pair.
+func NewTunnelSet(t *Topology, k int) *TunnelSet {
+	return &TunnelSet{topo: t, k: k, m: make(map[pairKey][]*Tunnel)}
+}
+
+// For returns the tunnels for the (src, dst) site pair, computing and
+// caching them on first use. Tunnels come from KDiversePaths, ordered by
+// ascending weight. TunnelSet is not safe for concurrent mutation; callers
+// that share one across goroutines must pre-warm it (see Warm).
+func (ts *TunnelSet) For(src, dst SiteID) []*Tunnel {
+	key := pairKey{src, dst}
+	if tns, ok := ts.m[key]; ok {
+		return tns
+	}
+	tns := ts.topo.KDiversePaths(src, dst, ts.k)
+	ts.m[key] = tns
+	return tns
+}
+
+// Warm precomputes tunnels for every given pair, enabling concurrent reads
+// afterwards.
+func (ts *TunnelSet) Warm(pairs [][2]SiteID) {
+	for _, p := range pairs {
+		ts.For(p[0], p[1])
+	}
+}
+
+// Invalidate drops all cached tunnels, e.g. after a link failure changed the
+// topology.
+func (ts *TunnelSet) Invalidate() {
+	ts.m = make(map[pairKey][]*Tunnel)
+}
+
+// String renders a tunnel as "A->B->C (12.3ms)" for logs and tests.
+func (tn *Tunnel) String() string {
+	s := ""
+	for i, site := range tn.Sites {
+		if i > 0 {
+			s += "->"
+		}
+		s += fmt.Sprint(int(site))
+	}
+	return fmt.Sprintf("%s (%.1fms)", s, tn.Weight)
+}

@@ -1,0 +1,387 @@
+// Package traffic generates instance-level traffic matrices: the set of
+// endpoint-pair demands d_k^i (Table 1) that drive the MegaTE optimizer.
+//
+// The generator follows §6.1 of the paper: site-level volumes follow a
+// gravity model weighted by endpoint counts, per-endpoint-pair demands are
+// heavy-tailed, and each flow carries one of three QoS classes (§4.1). A
+// diurnal Trace stretches a base matrix across the TE intervals of a day.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"megate/internal/stats"
+	"megate/internal/topology"
+)
+
+// Class is a QoS service class (§4.1). Class 1 is the highest priority
+// (network control, cloud gaming); class 2 is ordinary user/application
+// traffic; class 3 is heavy bulk transfer such as logs.
+type Class int
+
+const (
+	Class1 Class = 1
+	Class2 Class = 2
+	Class3 Class = 3
+)
+
+// Classes lists all QoS classes in allocation order (highest priority
+// first), the order MaxAllFlow is invoked per class (§4.1).
+var Classes = []Class{Class1, Class2, Class3}
+
+// String names the class ("QoS1".."QoS3").
+func (c Class) String() string { return fmt.Sprintf("QoS%d", int(c)) }
+
+// SitePair identifies an ordered pair of router sites (the k index of
+// Table 1).
+type SitePair struct {
+	Src, Dst topology.SiteID
+}
+
+// Flow is a single endpoint-pair demand: the i-th member of I_k with demand
+// d_k^i. The flow is indivisible — the optimizer must place all of it on one
+// tunnel or reject it (constraint 1b/1c).
+type Flow struct {
+	ID         int
+	Src, Dst   topology.EndpointID
+	Pair       SitePair
+	DemandMbps float64
+	Class      Class
+	// App labels the application for the production-style experiments
+	// (Figures 15–17); empty for generic traffic.
+	App string
+}
+
+// Matrix is one TE interval's demand set.
+type Matrix struct {
+	Flows  []Flow
+	byPair map[SitePair][]int
+}
+
+// NewMatrix builds a Matrix from flows, indexing them by site pair.
+func NewMatrix(flows []Flow) *Matrix {
+	m := &Matrix{Flows: flows, byPair: make(map[SitePair][]int)}
+	for i := range flows {
+		m.byPair[flows[i].Pair] = append(m.byPair[flows[i].Pair], i)
+	}
+	return m
+}
+
+// Pairs returns all site pairs with at least one flow, in deterministic
+// order.
+func (m *Matrix) Pairs() []SitePair {
+	pairs := make([]SitePair, 0, len(m.byPair))
+	for p := range m.byPair {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
+		}
+		return pairs[i].Dst < pairs[j].Dst
+	})
+	return pairs
+}
+
+// FlowsFor returns the indices into Flows of the flows on site pair p.
+func (m *Matrix) FlowsFor(p SitePair) []int { return m.byPair[p] }
+
+// TotalDemandMbps sums all flow demands.
+func (m *Matrix) TotalDemandMbps() float64 {
+	total := 0.0
+	for i := range m.Flows {
+		total += m.Flows[i].DemandMbps
+	}
+	return total
+}
+
+// DemandFor sums the demand on a site pair — D_k of Algorithm 1's SiteMerge.
+func (m *Matrix) DemandFor(p SitePair) float64 {
+	total := 0.0
+	for _, i := range m.byPair[p] {
+		total += m.Flows[i].DemandMbps
+	}
+	return total
+}
+
+// ClassSubset returns a new Matrix containing only flows of class c,
+// preserving flow IDs.
+func (m *Matrix) ClassSubset(c Class) *Matrix {
+	var flows []Flow
+	for i := range m.Flows {
+		if m.Flows[i].Class == c {
+			flows = append(flows, m.Flows[i])
+		}
+	}
+	return NewMatrix(flows)
+}
+
+// NumFlows returns the number of endpoint-pair demands.
+func (m *Matrix) NumFlows() int { return len(m.Flows) }
+
+// AppProfile describes an application used in the production experiments
+// (§7). The five time-sensitive apps of Figure 15 are class 1 or 2;
+// Figures 16–17 contrast class 1 and class 3 apps.
+type AppProfile struct {
+	Name  string
+	Class Class
+	// Share is the fraction of flows tagged with this app within its class.
+	Share float64
+	// MeanMbps overrides the generator's demand mean for this app when > 0.
+	MeanMbps float64
+}
+
+// ProductionApps mirrors the applications named in §7 of the paper.
+var ProductionApps = []AppProfile{
+	{Name: "video-streaming", Class: Class1, Share: 0.2, MeanMbps: 40},
+	{Name: "live-streaming", Class: Class1, Share: 0.2, MeanMbps: 60},
+	{Name: "realtime-message", Class: Class1, Share: 0.2, MeanMbps: 5},
+	{Name: "financial-payment", Class: Class1, Share: 0.15, MeanMbps: 2},
+	{Name: "online-gaming", Class: Class1, Share: 0.25, MeanMbps: 10},
+	{Name: "user-traffic", Class: Class2, Share: 1.0, MeanMbps: 20},
+	{Name: "bulk-transfer", Class: Class3, Share: 0.7, MeanMbps: 200},
+	{Name: "log-shipping", Class: Class3, Share: 0.3, MeanMbps: 150},
+}
+
+// GenOptions parameterizes the matrix generator.
+type GenOptions struct {
+	// FlowsPerEndpoint is the expected number of demands each endpoint
+	// originates per TE interval. Default 1.
+	FlowsPerEndpoint float64
+	// MeanDemandMbps is the mean of the heavy-tailed per-flow demand.
+	// Default 10 Mbps.
+	MeanDemandMbps float64
+	// ParetoAlpha shapes the demand tail; must be > 1. Default 1.8 (heavy
+	// but finite-mean, matching the paper's "a small part of the flows
+	// account for most of the network traffic", §8).
+	ParetoAlpha float64
+	// ClassMix gives the probability of classes 1..3. Defaults to
+	// {0.1, 0.65, 0.25}.
+	ClassMix [3]float64
+	// Apps, when non-nil, tags each flow with an application drawn from the
+	// profiles of its class and uses the app's MeanMbps.
+	Apps []AppProfile
+	// DemandScale multiplies every generated demand (after app means are
+	// applied); 0 means 1. Use it to sweep load intensity.
+	DemandScale float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (o *GenOptions) withDefaults() GenOptions {
+	out := *o
+	if out.FlowsPerEndpoint == 0 {
+		out.FlowsPerEndpoint = 1
+	}
+	if out.MeanDemandMbps == 0 {
+		out.MeanDemandMbps = 10
+	}
+	if out.ParetoAlpha <= 1 {
+		out.ParetoAlpha = 1.8
+	}
+	if out.ClassMix == [3]float64{} {
+		out.ClassMix = [3]float64{0.1, 0.65, 0.25}
+	}
+	return out
+}
+
+// Generate produces one TE interval's traffic matrix over the topology's
+// endpoints. Destination sites are drawn from a gravity model (probability
+// proportional to destination endpoint count); destination endpoints are
+// chosen uniformly within the site.
+func Generate(t *topology.Topology, opts GenOptions) *Matrix {
+	o := opts.withDefaults()
+	r := stats.NewRand(o.Seed)
+
+	// Gravity weights: endpoint count per site.
+	counts := t.EndpointCountsBySite()
+	cum := make([]float64, len(counts))
+	total := 0.0
+	for i, c := range counts {
+		total += float64(c)
+		cum[i] = total
+	}
+	if total == 0 {
+		return NewMatrix(nil)
+	}
+
+	pickSite := func() topology.SiteID {
+		x := r.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(cum) {
+			i = len(cum) - 1
+		}
+		return topology.SiteID(i)
+	}
+
+	var flows []Flow
+	id := 0
+	for _, ep := range t.Endpoints {
+		n := poissonLike(r.Float64(), o.FlowsPerEndpoint)
+		for f := 0; f < n; f++ {
+			// Pick a destination site different from the source site.
+			var dstSite topology.SiteID
+			for tries := 0; ; tries++ {
+				dstSite = pickSite()
+				if dstSite != ep.Site || tries > 20 {
+					break
+				}
+			}
+			if dstSite == ep.Site {
+				continue
+			}
+			dsts := t.EndpointsAt(dstSite)
+			if len(dsts) == 0 {
+				continue
+			}
+			dst := dsts[r.Intn(len(dsts))]
+
+			class := pickClass(r.Float64(), o.ClassMix)
+			app := ""
+			mean := o.MeanDemandMbps
+			if o.Apps != nil {
+				if p, ok := pickApp(o.Apps, class, r.Float64()); ok {
+					app = p.Name
+					if p.MeanMbps > 0 {
+						mean = p.MeanMbps
+					}
+				}
+			}
+			demand := paretoDemand(r.Float64(), mean, o.ParetoAlpha)
+			if o.DemandScale > 0 {
+				demand *= o.DemandScale
+			}
+
+			flows = append(flows, Flow{
+				ID:  id,
+				Src: ep.ID, Dst: dst,
+				Pair:       SitePair{Src: ep.Site, Dst: dstSite},
+				DemandMbps: demand,
+				Class:      class,
+				App:        app,
+			})
+			id++
+		}
+	}
+	return NewMatrix(flows)
+}
+
+// poissonLike returns a small nonnegative integer with the given mean. A
+// full Poisson sampler is unnecessary; for means <= 2 a two-point mixture is
+// adequate and much cheaper at millions of endpoints.
+func poissonLike(u, mean float64) int {
+	base := int(mean)
+	frac := mean - float64(base)
+	if u < frac {
+		base++
+	}
+	return base
+}
+
+func pickClass(u float64, mix [3]float64) Class {
+	sum := mix[0] + mix[1] + mix[2]
+	u *= sum
+	if u < mix[0] {
+		return Class1
+	}
+	if u < mix[0]+mix[1] {
+		return Class2
+	}
+	return Class3
+}
+
+func pickApp(apps []AppProfile, c Class, u float64) (AppProfile, bool) {
+	total := 0.0
+	for _, a := range apps {
+		if a.Class == c {
+			total += a.Share
+		}
+	}
+	if total == 0 {
+		return AppProfile{}, false
+	}
+	u *= total
+	acc := 0.0
+	for _, a := range apps {
+		if a.Class != c {
+			continue
+		}
+		acc += a.Share
+		if u < acc {
+			return a, true
+		}
+	}
+	return AppProfile{}, false
+}
+
+// paretoDemand draws from a Pareto distribution with the given mean and
+// shape alpha (> 1): xm = mean * (alpha-1)/alpha.
+func paretoDemand(u, mean, alpha float64) float64 {
+	xm := mean * (alpha - 1) / alpha
+	if u <= 0 {
+		u = 1e-12
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Trace is a day-long sequence of matrices, one per TE interval.
+type Trace struct {
+	Intervals []*Matrix
+}
+
+// GenerateTrace builds a diurnal trace of n intervals: the base matrix's
+// demands are modulated by a sinusoidal day curve with multiplicative noise,
+// mimicking the "typical day" trace collected from TWAN (§6.1). Flow
+// identities (endpoints, class, app) stay fixed across intervals so per-flow
+// latency/availability can be followed through the day.
+func GenerateTrace(t *topology.Topology, n int, opts GenOptions) *Trace {
+	base := Generate(t, opts)
+	r := stats.NewRand(opts.Seed + 1)
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		phase := 2 * math.Pi * float64(i) / float64(n)
+		day := 0.75 + 0.25*math.Sin(phase-math.Pi/2) // trough at interval 0
+		flows := make([]Flow, len(base.Flows))
+		copy(flows, base.Flows)
+		for j := range flows {
+			noise := 0.8 + 0.4*r.Float64()
+			flows[j].DemandMbps *= day * noise
+		}
+		tr.Intervals = append(tr.Intervals, NewMatrix(flows))
+	}
+	return tr
+}
+
+// Scale returns a copy of the matrix with every demand multiplied by
+// factor, used to calibrate workloads to a target utilization.
+func (m *Matrix) Scale(factor float64) *Matrix {
+	flows := make([]Flow, len(m.Flows))
+	copy(flows, m.Flows)
+	for i := range flows {
+		flows[i].DemandMbps *= factor
+	}
+	return NewMatrix(flows)
+}
+
+// Subsample returns a matrix keeping approximately frac of the flows
+// (deterministically by flow ID), used to sweep endpoint scale as in §6.1:
+// "we randomly select the traffic demands from endpoint pairs connecting to
+// the same site pair".
+func (m *Matrix) Subsample(frac float64) *Matrix {
+	if frac >= 1 {
+		return m
+	}
+	stride := int(math.Round(1 / frac))
+	if stride < 1 {
+		stride = 1
+	}
+	var flows []Flow
+	for i := range m.Flows {
+		if m.Flows[i].ID%stride == 0 {
+			flows = append(flows, m.Flows[i])
+		}
+	}
+	return NewMatrix(flows)
+}

@@ -1,0 +1,322 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"megate/internal/topology"
+)
+
+func testTopo(t *testing.T, perSite int) *topology.Topology {
+	t.Helper()
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, perSite)
+	return topo
+}
+
+func TestGenerateBasics(t *testing.T) {
+	topo := testTopo(t, 20)
+	m := Generate(topo, GenOptions{Seed: 1})
+	if m.NumFlows() == 0 {
+		t.Fatal("no flows generated")
+	}
+	for i := range m.Flows {
+		f := &m.Flows[i]
+		if f.DemandMbps <= 0 {
+			t.Fatalf("flow %d has demand %v", f.ID, f.DemandMbps)
+		}
+		if f.Pair.Src == f.Pair.Dst {
+			t.Fatalf("flow %d is intra-site", f.ID)
+		}
+		if topo.Endpoints[f.Src].Site != f.Pair.Src || topo.Endpoints[f.Dst].Site != f.Pair.Dst {
+			t.Fatalf("flow %d pair inconsistent with endpoints", f.ID)
+		}
+		if f.Class < Class1 || f.Class > Class3 {
+			t.Fatalf("flow %d has class %v", f.ID, f.Class)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo := testTopo(t, 10)
+	a := Generate(topo, GenOptions{Seed: 7})
+	b := Generate(topo, GenOptions{Seed: 7})
+	if a.NumFlows() != b.NumFlows() {
+		t.Fatal("flow count differs across runs")
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+	c := Generate(topo, GenOptions{Seed: 8})
+	same := a.NumFlows() == c.NumFlows()
+	if same {
+		identical := true
+		for i := range a.Flows {
+			if a.Flows[i] != c.Flows[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical matrices")
+		}
+	}
+}
+
+func TestGenerateFlowsPerEndpointScales(t *testing.T) {
+	topo := testTopo(t, 50)
+	m1 := Generate(topo, GenOptions{FlowsPerEndpoint: 1, Seed: 3})
+	m2 := Generate(topo, GenOptions{FlowsPerEndpoint: 2, Seed: 3})
+	ratio := float64(m2.NumFlows()) / float64(m1.NumFlows())
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("flow ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestGenerateClassMix(t *testing.T) {
+	topo := testTopo(t, 100)
+	m := Generate(topo, GenOptions{Seed: 5, ClassMix: [3]float64{0.5, 0.5, 0}})
+	counts := map[Class]int{}
+	for i := range m.Flows {
+		counts[m.Flows[i].Class]++
+	}
+	if counts[Class3] != 0 {
+		t.Errorf("class 3 should be absent, got %d flows", counts[Class3])
+	}
+	frac1 := float64(counts[Class1]) / float64(m.NumFlows())
+	if frac1 < 0.4 || frac1 > 0.6 {
+		t.Errorf("class-1 fraction = %v, want ~0.5", frac1)
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	topo := testTopo(t, 200)
+	m := Generate(topo, GenOptions{Seed: 9, MeanDemandMbps: 10})
+	var xs []float64
+	for i := range m.Flows {
+		xs = append(xs, m.Flows[i].DemandMbps)
+	}
+	// Heavy tail: top 10% of flows should carry a large share of demand.
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	// Partial sort: count share above the 90th percentile threshold.
+	thresh := percentile(xs, 0.9)
+	top := 0.0
+	for _, x := range xs {
+		if x >= thresh {
+			top += x
+		}
+	}
+	if top/total < 0.3 {
+		t.Errorf("top decile carries %v of demand, want >= 0.3 (heavy tail)", top/total)
+	}
+}
+
+func percentile(xs []float64, q float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// simple selection: sort
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}
+
+func TestMatrixPairsSortedAndIndexed(t *testing.T) {
+	topo := testTopo(t, 10)
+	m := Generate(topo, GenOptions{Seed: 2})
+	pairs := m.Pairs()
+	for i := 1; i < len(pairs); i++ {
+		a, b := pairs[i-1], pairs[i]
+		if a.Src > b.Src || (a.Src == b.Src && a.Dst >= b.Dst) {
+			t.Fatal("pairs not sorted")
+		}
+	}
+	n := 0
+	for _, p := range pairs {
+		for _, idx := range m.FlowsFor(p) {
+			if m.Flows[idx].Pair != p {
+				t.Fatal("index maps flow to wrong pair")
+			}
+			n++
+		}
+	}
+	if n != m.NumFlows() {
+		t.Fatalf("index covers %d flows, want %d", n, m.NumFlows())
+	}
+}
+
+func TestDemandForMatchesSum(t *testing.T) {
+	topo := testTopo(t, 10)
+	m := Generate(topo, GenOptions{Seed: 4})
+	total := 0.0
+	for _, p := range m.Pairs() {
+		total += m.DemandFor(p)
+	}
+	if math.Abs(total-m.TotalDemandMbps()) > 1e-6 {
+		t.Errorf("per-pair sum %v != total %v", total, m.TotalDemandMbps())
+	}
+}
+
+func TestClassSubset(t *testing.T) {
+	topo := testTopo(t, 50)
+	m := Generate(topo, GenOptions{Seed: 6})
+	n := 0
+	for _, c := range Classes {
+		sub := m.ClassSubset(c)
+		for i := range sub.Flows {
+			if sub.Flows[i].Class != c {
+				t.Fatal("wrong class in subset")
+			}
+		}
+		n += sub.NumFlows()
+	}
+	if n != m.NumFlows() {
+		t.Fatalf("subsets cover %d flows, want %d", n, m.NumFlows())
+	}
+}
+
+func TestGenerateWithApps(t *testing.T) {
+	topo := testTopo(t, 100)
+	m := Generate(topo, GenOptions{Seed: 10, Apps: ProductionApps})
+	appSeen := map[string]Class{}
+	for i := range m.Flows {
+		f := &m.Flows[i]
+		if f.App == "" {
+			t.Fatal("flow without app tag")
+		}
+		appSeen[f.App] = f.Class
+	}
+	if len(appSeen) < 5 {
+		t.Errorf("only %d distinct apps tagged", len(appSeen))
+	}
+	// App class tags must agree with the profile table.
+	for _, p := range ProductionApps {
+		if c, ok := appSeen[p.Name]; ok && c != p.Class {
+			t.Errorf("app %s tagged class %v, profile says %v", p.Name, c, p.Class)
+		}
+	}
+}
+
+func TestGenerateTraceDiurnal(t *testing.T) {
+	topo := testTopo(t, 20)
+	tr := GenerateTrace(topo, 24, GenOptions{Seed: 11})
+	if len(tr.Intervals) != 24 {
+		t.Fatalf("intervals = %d", len(tr.Intervals))
+	}
+	// Same flow IDs across intervals.
+	if tr.Intervals[0].NumFlows() != tr.Intervals[12].NumFlows() {
+		t.Fatal("flow population changed across intervals")
+	}
+	// Peak (mid-day) should exceed trough.
+	trough := tr.Intervals[0].TotalDemandMbps()
+	peak := tr.Intervals[12].TotalDemandMbps()
+	if peak <= trough {
+		t.Errorf("peak %v <= trough %v", peak, trough)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	topo := testTopo(t, 100)
+	m := Generate(topo, GenOptions{Seed: 12})
+	half := m.Subsample(0.5)
+	frac := float64(half.NumFlows()) / float64(m.NumFlows())
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("subsample frac = %v, want ~0.5", frac)
+	}
+	if m.Subsample(1.0) != m {
+		t.Error("frac >= 1 should return the same matrix")
+	}
+	for i := range half.Flows {
+		if half.Flows[i].DemandMbps <= 0 {
+			t.Fatal("bad flow in subsample")
+		}
+	}
+}
+
+func TestGenerateEmptyTopology(t *testing.T) {
+	topo := topology.New("empty")
+	m := Generate(topo, GenOptions{Seed: 1})
+	if m.NumFlows() != 0 {
+		t.Fatal("flows from empty topology")
+	}
+	if m.TotalDemandMbps() != 0 {
+		t.Fatal("demand from empty topology")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Class1.String() != "QoS1" {
+		t.Errorf("got %q", Class1.String())
+	}
+}
+
+// Property: pareto demand is always >= xm and the sample mean is near the
+// target mean for a large sample.
+func TestParetoDemandProperty(t *testing.T) {
+	f := func(u float64) bool {
+		u = math.Abs(math.Mod(u, 1))
+		d := paretoDemand(u, 10, 1.8)
+		return d >= 10*(1.8-1)/1.8-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickClassBounds(t *testing.T) {
+	mix := [3]float64{0.2, 0.3, 0.5}
+	if pickClass(0, mix) != Class1 {
+		t.Error("u=0 should give class 1")
+	}
+	if pickClass(0.9999, mix) != Class3 {
+		t.Error("u~1 should give class 3")
+	}
+}
+
+func TestPickAppNoneForClass(t *testing.T) {
+	apps := []AppProfile{{Name: "x", Class: Class1, Share: 1}}
+	if _, ok := pickApp(apps, Class3, 0.5); ok {
+		t.Error("no class-3 apps, want ok=false")
+	}
+}
+
+func TestMatrixScale(t *testing.T) {
+	topo := testTopo(t, 10)
+	m := Generate(topo, GenOptions{Seed: 13})
+	scaled := m.Scale(2.5)
+	if scaled.NumFlows() != m.NumFlows() {
+		t.Fatal("flow count changed")
+	}
+	if math.Abs(scaled.TotalDemandMbps()-2.5*m.TotalDemandMbps()) > 1e-6 {
+		t.Errorf("total = %v, want %v", scaled.TotalDemandMbps(), 2.5*m.TotalDemandMbps())
+	}
+	// The original must be untouched and non-demand fields preserved.
+	for i := range m.Flows {
+		if scaled.Flows[i].Src != m.Flows[i].Src || scaled.Flows[i].Class != m.Flows[i].Class {
+			t.Fatal("identity fields changed")
+		}
+	}
+	m2 := m.Scale(1)
+	for i := range m.Flows {
+		if m2.Flows[i] != m.Flows[i] {
+			t.Fatal("scale by 1 changed flows")
+		}
+	}
+}
+
+func TestGenerateDemandScale(t *testing.T) {
+	topo := testTopo(t, 20)
+	base := Generate(topo, GenOptions{Seed: 14})
+	big := Generate(topo, GenOptions{Seed: 14, DemandScale: 7})
+	if math.Abs(big.TotalDemandMbps()-7*base.TotalDemandMbps()) > 1e-6 {
+		t.Errorf("DemandScale: %v vs %v", big.TotalDemandMbps(), 7*base.TotalDemandMbps())
+	}
+}

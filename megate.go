@@ -1,0 +1,374 @@
+// Package megate is an endpoint-granular WAN traffic-engineering system,
+// reproducing "MegaTE: Extending WAN Traffic Engineering to Millions of
+// Endpoints in Virtualized Cloud" (SIGCOMM 2024).
+//
+// Conventional WAN TE splits aggregated traffic at routers by hashing five
+// tuples, so two connections of the same tenant instance can land on paths
+// with very different latencies. MegaTE instead makes the endpoint flow the
+// unit of traffic engineering: a two-stage optimizer assigns every
+// individual flow to exactly one pre-established tunnel, endpoint hosts
+// stamp packets with a segment-routing header so routers obey that
+// assignment, and a versioned key-value database lets millions of endpoint
+// agents pull their configuration asynchronously instead of holding
+// persistent controller connections.
+//
+// # Quick start
+//
+//	topo := megate.BuildTopology("B4*")
+//	megate.AttachEndpoints(topo, 100, 0.7, 1)
+//	tm := megate.GenerateTraffic(topo, megate.TrafficOptions{Seed: 1})
+//	solver := megate.NewSolver(topo, megate.SolverOptions{SplitQoS: true})
+//	res, err := solver.Solve(tm)
+//	// res.FlowTunnel[i] is flow i's pinned tunnel; res.SatisfiedFraction()
+//	// is the satisfied-demand ratio.
+//
+// The subsystems are usable on their own: the control loop
+// (NewTEDatabase/NewController/NewAgent), the eBPF-style host stack
+// (NewHost), the WAN data plane (NewFabric), the comparison schemes
+// (Schemes), and the flow-level simulators behind the paper's evaluation
+// (RunFailure, RunProductionComparison).
+package megate
+
+import (
+	"io"
+	"net"
+
+	"megate/internal/baselines"
+	"megate/internal/controlplane"
+	"megate/internal/core"
+	"megate/internal/flowsim"
+	"megate/internal/hoststack"
+	"megate/internal/kvstore"
+	"megate/internal/lp"
+	"megate/internal/packet"
+	"megate/internal/router"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// Topology is the two-layer network graph: router sites joined by
+// capacitated WAN links, with virtual-instance endpoints attached to sites.
+type Topology = topology.Topology
+
+// Site/link/endpoint identifiers.
+type (
+	SiteID     = topology.SiteID
+	LinkID     = topology.LinkID
+	EndpointID = topology.EndpointID
+)
+
+// Tunnel is a pre-established site-level path with a weight (latency).
+type Tunnel = topology.Tunnel
+
+// NewTopology returns an empty topology; use AddSite/AddBidiLink/
+// AddEndpoint to populate it.
+func NewTopology(name string) *Topology { return topology.New(name) }
+
+// BuildTopology constructs one of the evaluation topologies of Table 2:
+// "B4*", "Deltacom*", "Cogentco*" or "TWAN".
+func BuildTopology(name string) *Topology { return topology.Build(name) }
+
+// ParseTopologyGML reads an Internet Topology Zoo GML file (the source of
+// the paper's Deltacom and Cogentco graphs). Link attributes are
+// synthesized deterministically from the seed since the Zoo publishes only
+// connectivity and coordinates.
+func ParseTopologyGML(r io.Reader, name string, seed int64) (*Topology, error) {
+	return topology.ParseGML(r, name, seed)
+}
+
+// TopologyNames lists the built-in topology names.
+func TopologyNames() []string {
+	names := make([]string, len(topology.Specs))
+	for i, s := range topology.Specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// AttachEndpoints attaches endpoints to sites following the Weibull
+// endpoints-per-site distribution the paper fits to production traces
+// (Figure 8). meanPerSite sets the distribution mean, shape its skew
+// (values below 1 give the production-like orders-of-magnitude spread).
+func AttachEndpoints(t *Topology, meanPerSite, shape float64, seed int64) int {
+	return topology.AttachEndpoints(t, meanPerSite, shape, seed)
+}
+
+// AttachEndpointsExact attaches exactly perSite endpoints to every site.
+func AttachEndpointsExact(t *Topology, perSite int) int {
+	return topology.AttachEndpointsExact(t, perSite)
+}
+
+// TrafficMatrix is one TE interval's set of endpoint-pair demands.
+type TrafficMatrix = traffic.Matrix
+
+// TrafficOptions parameterizes the synthetic instance-level traffic
+// generator (§6.1): gravity-model site selection, heavy-tailed per-flow
+// demands, QoS class mix, optional application tagging.
+type TrafficOptions = traffic.GenOptions
+
+// Flow is one endpoint-pair demand d_k^i.
+type Flow = traffic.Flow
+
+// QoSClass is a traffic service class; class 1 is the highest priority.
+type QoSClass = traffic.Class
+
+// QoS classes (§4.1).
+const (
+	QoS1 = traffic.Class1
+	QoS2 = traffic.Class2
+	QoS3 = traffic.Class3
+)
+
+// SitePair identifies an ordered pair of router sites.
+type SitePair = traffic.SitePair
+
+// NewTrafficMatrix builds a matrix from explicit flows (IDs should be
+// unique).
+func NewTrafficMatrix(flows []Flow) *TrafficMatrix { return traffic.NewMatrix(flows) }
+
+// GenerateTraffic produces one interval's matrix over the topology's
+// endpoints.
+func GenerateTraffic(t *Topology, opts TrafficOptions) *TrafficMatrix {
+	return traffic.Generate(t, opts)
+}
+
+// GenerateTrace produces a diurnal day-long sequence of matrices.
+func GenerateTrace(t *Topology, intervals int, opts TrafficOptions) *traffic.Trace {
+	return traffic.GenerateTrace(t, intervals, opts)
+}
+
+// ProductionApps are the §7 application profiles (video/live streaming,
+// real-time messaging, payments, gaming, bulk transfer, log shipping).
+var ProductionApps = traffic.ProductionApps
+
+// SolverOptions configures the two-stage optimizer (Algorithm 1).
+type SolverOptions = core.Options
+
+// Solver runs MegaTE's two-stage optimization: SiteMerge + MaxSiteFlow on
+// the contracted site graph, then MaxEndpointFlow (FastSSP subset-sum) per
+// site pair in parallel.
+type Solver = core.Solver
+
+// SiteSolver solves the stage-one MaxSiteFlow LP.
+type SiteSolver = core.SiteSolver
+
+// ApproxSiteSolver returns the default (1−ε)-approximate MaxSiteFlow solver
+// (Fleischer/Garg–Könemann); epsilon <= 0 uses 0.05.
+func ApproxSiteSolver(epsilon float64) SiteSolver {
+	if epsilon <= 0 {
+		epsilon = 0.05
+	}
+	return &lp.FleischerMCF{Epsilon: epsilon}
+}
+
+// ExactSiteSolver returns the exact GUB simplex for MaxSiteFlow: a primal
+// simplex whose working basis scales with the link count rather than the
+// site-pair count, usable up to thousands of site pairs.
+func ExactSiteSolver() SiteSolver { return &lp.GUBSimplex{} }
+
+// Result carries per-flow tunnel assignments and satisfaction metrics.
+type Result = core.Result
+
+// NewSolver creates a solver over the topology.
+func NewSolver(t *Topology, opts SolverOptions) *Solver { return core.NewSolver(t, opts) }
+
+// TEDatabase is the sharded, versioned key-value store at the heart of the
+// bottom-up control loop (§3.2).
+type TEDatabase = kvstore.Store
+
+// NewTEDatabase creates a database with the given shard count (the paper's
+// production deployment uses two shards).
+func NewTEDatabase(shards int) *TEDatabase { return kvstore.NewStore(shards) }
+
+// TEDatabaseServer serves a TEDatabase over TCP.
+type TEDatabaseServer = kvstore.Server
+
+// ServeTEDatabase starts serving store on l.
+func ServeTEDatabase(l net.Listener, store *TEDatabase) *TEDatabaseServer {
+	return kvstore.Serve(l, store)
+}
+
+// TEDatabaseClient is a short-connection client for the TE database.
+type TEDatabaseClient = kvstore.Client
+
+// Controller is the TE control plane: it solves each interval and publishes
+// versioned per-instance configurations to the TE database.
+type Controller = controlplane.Controller
+
+// NewController wires a solver to a database (in-process).
+func NewController(solver *Solver, db *TEDatabase) *Controller {
+	return controlplane.NewController(solver, controlplane.StoreAdapter{Store: db})
+}
+
+// NewRemoteController wires a solver to a database over TCP.
+func NewRemoteController(solver *Solver, client *TEDatabaseClient) *Controller {
+	return controlplane.NewController(solver, controlplane.ClientAdapter{Client: client})
+}
+
+// Agent is the endpoint agent: it polls the TE database with short
+// connections (spread over the poll window) and installs SR paths into the
+// host's path_map on version changes.
+type Agent = controlplane.Agent
+
+// InstanceConfig is the per-instance TE record stored in the database.
+type InstanceConfig = controlplane.InstanceConfig
+
+// NewAgent creates an agent for an instance, reading from an in-process
+// database and installing into host (which may be nil).
+func NewAgent(instance string, db *TEDatabase, host *Host) *Agent {
+	return &Agent{Instance: instance, Reader: controlplane.StoreAdapter{Store: db}, Host: host}
+}
+
+// NewRemoteAgent creates an agent polling the database over TCP.
+func NewRemoteAgent(instance string, client *TEDatabaseClient, host *Host) *Agent {
+	return &Agent{Instance: instance, Reader: controlplane.ClientAdapter{Client: client}, Host: host}
+}
+
+// Host is the eBPF-based end-host networking stack (§5): instance
+// identification, instance-level flow collection, and SR header insertion
+// at the TC layer.
+type Host = hoststack.Host
+
+// NewHost creates a host with its eBPF programs attached. mtu bounds outer
+// packets; ipToSite resolves destination endpoint IPs to sites for SR
+// insertion (nil disables SR — conventional behaviour).
+func NewHost(id string, mtu int, ipToSite func([4]byte) (uint32, bool)) *Host {
+	return hoststack.NewHost(id, mtu, ipToSite)
+}
+
+// FlowRecord is one collected instance-level flow statistic.
+type FlowRecord = hoststack.FlowRecord
+
+// FiveTuple identifies a connection: the key of the host stack's eBPF maps
+// and the input to conventional ECMP hashing.
+type FiveTuple = packet.FiveTuple
+
+// IPProtoUDP is the UDP protocol number for FiveTuple.Proto.
+const IPProtoUDP = packet.IPProtoUDP
+
+// Fabric is the WAN data plane: one router per site, forwarding by MegaTE
+// SR headers with conventional five-tuple ECMP as the fallback.
+type Fabric = router.Fabric
+
+// Delivery describes a frame's trip through the fabric.
+type Delivery = router.Delivery
+
+// NewFabric builds the data plane over a topology. ipToSite resolves outer
+// destination IPs for conventional forwarding.
+func NewFabric(t *Topology, ipToSite func([4]byte) (SiteID, bool)) *Fabric {
+	return router.New(t, ipToSite)
+}
+
+// IPPlan assigns every endpoint an IPv4 address and resolves addresses back
+// to endpoints and sites — the mapping hosts and routers consult.
+type IPPlan = controlplane.IPPlan
+
+// NewIPPlan builds the address plan for a topology's endpoints.
+func NewIPPlan(t *Topology) (*IPPlan, error) { return controlplane.NewIPPlan(t) }
+
+// DemandEstimator closes the measurement loop: collected host flow records
+// become the next TE interval's traffic matrix, EWMA-smoothed.
+type DemandEstimator = controlplane.DemandEstimator
+
+// NewDemandEstimator creates an estimator over the address plan.
+func NewDemandEstimator(plan *IPPlan) *DemandEstimator {
+	return controlplane.NewDemandEstimator(plan)
+}
+
+// FlowReport is one host's uploaded flow statistics for a TE interval.
+type FlowReport = controlplane.FlowReport
+
+// ReportFlows uploads a host's collected records into the TE database
+// (§5.1's statistics path, in the opposite direction of configurations).
+func ReportFlows(db *TEDatabase, hostID string, records []FlowRecord) error {
+	return controlplane.ReportFlows(controlplane.StoreAdapter{Store: db}, hostID, records)
+}
+
+// ReportFlowsRemote uploads over TCP.
+func ReportFlowsRemote(client *TEDatabaseClient, hostID string, records []FlowRecord) error {
+	return controlplane.ReportFlows(controlplane.ClientAdapter{Client: client}, hostID, records)
+}
+
+// CollectReports gathers every host's latest flow report — the controller's
+// input to demand estimation for the next interval.
+func CollectReports(db *TEDatabase) ([]FlowReport, error) {
+	return controlplane.CollectReports(controlplane.StoreAdapter{Store: db})
+}
+
+// AllRecords flattens reports into one record list for a DemandEstimator.
+func AllRecords(reports []FlowReport) []FlowRecord {
+	return controlplane.AllRecords(reports)
+}
+
+// HybridPlan is the §8 hybrid synchronization: persistent push connections
+// for heavy-traffic instances, eventual-consistency polling for the rest.
+type HybridPlan = controlplane.HybridPlan
+
+// PlanHybrid selects the smallest instance set covering coverShare of
+// traffic for persistent connections.
+func PlanHybrid(volumes map[string]float64, coverShare float64) HybridPlan {
+	return controlplane.PlanHybrid(volumes, coverShare)
+}
+
+// VolumeByInstance aggregates collected flow records per source instance,
+// the input to PlanHybrid.
+func VolumeByInstance(records []FlowRecord) map[string]float64 {
+	return controlplane.VolumeByInstance(records)
+}
+
+// Scheme is a TE scheme under evaluation; Schemes lists MegaTE plus the
+// paper's comparison schemes.
+type Scheme = baselines.Scheme
+
+// SchemeSolution is a per-flow allocation from any scheme.
+type SchemeSolution = baselines.Solution
+
+// Schemes returns the four evaluated schemes of §6: MegaTE, LP-all, NCFlow
+// and TEAL.
+func Schemes() []Scheme {
+	return []Scheme{
+		&baselines.MegaTE{},
+		&baselines.LPAll{},
+		&baselines.NCFlow{},
+		&baselines.TEAL{},
+	}
+}
+
+// FailureScenario and FailureOutcome drive the §6.3 link-failure
+// experiments.
+type (
+	FailureScenario = flowsim.FailureScenario
+	FailureOutcome  = flowsim.FailureOutcome
+)
+
+// RunFailure measures a scheme's satisfied demand across a TE interval
+// containing link failures (Figure 12).
+func RunFailure(t *Topology, m *TrafficMatrix, scheme Scheme, scen FailureScenario) (FailureOutcome, error) {
+	return flowsim.RunFailure(t, m, scheme, scen)
+}
+
+// Simulation drives a scheme across a day-long trace with failure events,
+// producing one IntervalRecord per TE interval.
+type (
+	Simulation     = flowsim.Simulation
+	SimEvent       = flowsim.Event
+	IntervalRecord = flowsim.IntervalRecord
+)
+
+// AppMetrics aggregates an application's latency, availability and cost.
+type AppMetrics = flowsim.AppMetrics
+
+// RunProductionComparison runs the §7 comparison on one matrix: the
+// conventional hash-blending TE versus MegaTE's QoS-aware instance-pinned
+// allocation. It returns per-app metrics for both.
+func RunProductionComparison(t *Topology, m *TrafficMatrix) (conventional, mega map[string]*AppMetrics, err error) {
+	conventional, err = flowsim.RunConventional(t, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	mega, err = flowsim.RunMegaTE(t, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return conventional, mega, nil
+}

@@ -1,0 +1,124 @@
+package megate
+
+import (
+	"net"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	topo := BuildTopology("B4*")
+	AttachEndpointsExact(topo, 10)
+	tm := GenerateTraffic(topo, TrafficOptions{Seed: 1})
+	solver := NewSolver(topo, SolverOptions{SplitQoS: true})
+	res, err := solver.Solve(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedFraction() <= 0 {
+		t.Fatal("nothing satisfied")
+	}
+}
+
+func TestTopologyNames(t *testing.T) {
+	names := TopologyNames()
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		topo := BuildTopology(n)
+		if topo.NumSites() == 0 {
+			t.Errorf("%s has no sites", n)
+		}
+	}
+}
+
+func TestSchemesList(t *testing.T) {
+	schemes := Schemes()
+	if len(schemes) != 4 {
+		t.Fatalf("schemes = %d", len(schemes))
+	}
+	want := map[string]bool{"MegaTE": true, "LP-all": true, "NCFlow": true, "TEAL": true}
+	for _, s := range schemes {
+		if !want[s.Name()] {
+			t.Errorf("unexpected scheme %q", s.Name())
+		}
+	}
+}
+
+func TestAttachEndpointsWeibull(t *testing.T) {
+	topo := BuildTopology("B4*")
+	n := AttachEndpoints(topo, 50, 0.7, 1)
+	if n < 12 {
+		t.Fatalf("attached %d", n)
+	}
+}
+
+func TestEndToEndControlLoopFacade(t *testing.T) {
+	// The full public-API loop: topology -> traffic -> controller ->
+	// database server -> remote agent -> host path_map.
+	topo := BuildTopology("B4*")
+	AttachEndpointsExact(topo, 2)
+	tm := GenerateTraffic(topo, TrafficOptions{Seed: 2})
+
+	db := NewTEDatabase(2)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTEDatabase(l, db)
+	defer srv.Close()
+
+	ctrl := NewController(NewSolver(topo, SolverOptions{}), db)
+	res, n, err := ctrl.RunInterval(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || res.SatisfiedFraction() <= 0 {
+		t.Fatalf("interval: n=%d", n)
+	}
+
+	// Find an instance with a config and poll for it remotely.
+	var instance string
+	for i, tn := range res.FlowTunnel {
+		if tn != nil {
+			instance = topo.Endpoints[tm.Flows[i].Src].Instance
+			break
+		}
+	}
+	host := NewHost("h1", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := NewRemoteAgent(instance, &TEDatabaseClient{Addr: srv.Addr()}, host)
+	updated, err := agent.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated || host.PathMap.Len() == 0 {
+		t.Fatal("agent did not install paths via the facade")
+	}
+}
+
+func TestRunProductionComparisonFacade(t *testing.T) {
+	topo := BuildTopology("B4*")
+	AttachEndpointsExact(topo, 10)
+	tm := GenerateTraffic(topo, TrafficOptions{Seed: 3, Apps: ProductionApps})
+	conv, mega, err := RunProductionComparison(topo, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conv) == 0 || len(mega) == 0 {
+		t.Fatal("empty metrics")
+	}
+}
+
+func TestRunFailureFacade(t *testing.T) {
+	topo := BuildTopology("B4*")
+	AttachEndpointsExact(topo, 5)
+	tm := GenerateTraffic(topo, TrafficOptions{Seed: 4})
+	out, err := RunFailure(topo, tm, Schemes()[0], FailureScenario{FailLinks: []LinkID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.EffectiveSatisfied <= 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
