@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/
+
+verify:
+	./verify.sh
+
+bench:
+	$(GO) test -bench . -benchmem -run XXX .

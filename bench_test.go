@@ -279,6 +279,50 @@ func BenchmarkControlLoopInterval(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalChurn compares a cold control loop against the
+// incremental one on the workload the TE cadence actually sees: ~5% of
+// demands perturbed between consecutive intervals. Reported configs/op is
+// the number of per-instance records written per interval (delta
+// publication drives it toward the churned subset).
+func BenchmarkIncrementalChurn(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{{"cold", false}, {"warm", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			topo := build(b, "B4*", 10)
+			m := benchWorkload(topo, 42, 0.8)
+			db := NewTEDatabase(2)
+			ctrl := NewController(NewSolver(topo, SolverOptions{Incremental: mode.incremental}), db)
+			if _, _, err := ctrl.RunInterval(m); err != nil {
+				b.Fatal(err)
+			}
+			r := stats.NewRand(7)
+			written := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := range m.Flows {
+					if r.Float64() < 0.05 {
+						m.Flows[j].DemandMbps *= 0.8 + 0.4*r.Float64()
+					}
+				}
+				b.StartTimer()
+				_, n, err := ctrl.RunInterval(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := ctrl.LastStats()
+				if !mode.incremental {
+					n = st.Written + st.Unchanged // what a non-delta controller writes
+				}
+				written += n
+			}
+			b.ReportMetric(float64(written)/float64(b.N), "configs/op")
+		})
+	}
+}
+
 func BenchmarkAgentPoll(b *testing.B) {
 	topo := build(b, "B4*", 5)
 	m := benchWorkload(topo, 42, 0.5)

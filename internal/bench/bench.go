@@ -77,6 +77,7 @@ var Registry = []Experiment{
 	{ID: "ab-hybrid", Title: "Ablation: hybrid synchronization (§8)", Run: RunAblationHybrid},
 	{ID: "ab-sitelp", Title: "Ablation: MaxSiteFlow solver (GUB exact vs approximate)", Run: RunAblationSiteLP},
 	{ID: "ab-converge", Title: "Ablation: convergence time after a publish (real TCP agents)", Run: RunAblationConverge},
+	{ID: "ab-incremental", Title: "Ablation: incremental interval-to-interval solving under demand churn", Run: RunIncremental},
 }
 
 // Get returns the experiment with the given ID.

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig8", "tab2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17",
 		"ab-fastssp", "ab-contraction", "ab-spread", "ab-qos", "ab-residual",
-		"ab-hybrid", "ab-sitelp", "ab-converge",
+		"ab-hybrid", "ab-sitelp", "ab-converge", "ab-incremental",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -30,6 +30,31 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Get("nope"); ok {
 		t.Error("Get(nope) should fail")
+	}
+}
+
+func TestIncrementalMeasurement(t *testing.T) {
+	rep, err := MeasureIncremental(&Config{Scale: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Intervals) < 2 {
+		t.Fatalf("only %d intervals", len(rep.Intervals))
+	}
+	// Delta publication must write strictly fewer records than rewriting
+	// the fleet every interval (wall-clock speedup is asserted only as
+	// presence — timing is too machine-dependent for a hard bound here).
+	if rep.WarmConfigs >= rep.ColdConfigs {
+		t.Errorf("warm wrote %d configs, cold %d — delta publication ineffective",
+			rep.WarmConfigs, rep.ColdConfigs)
+	}
+	if rep.MeanWarmMs <= 0 || rep.MeanColdMs <= 0 {
+		t.Errorf("timings missing: cold %v warm %v", rep.MeanColdMs, rep.MeanWarmMs)
+	}
+	for i, iv := range rep.Intervals[1:] {
+		if iv.Stage2Hits == 0 {
+			t.Errorf("interval %d: no stage-2 cache hits despite 5%% churn", i+1)
+		}
 	}
 }
 

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"megate/internal/controlplane"
+	"megate/internal/core"
+	"megate/internal/kvstore"
+	"megate/internal/stats"
+	"megate/internal/topology"
+)
+
+// IncrementalInterval is one TE interval of the churn experiment, measured
+// for both loops over the same perturbed matrix.
+type IncrementalInterval struct {
+	Interval       int     `json:"interval"`
+	ColdMs         float64 `json:"cold_ms"`
+	WarmMs         float64 `json:"warm_ms"`
+	ColdConfigs    int     `json:"cold_configs_written"`
+	WarmConfigs    int     `json:"warm_configs_written"`
+	Stage2Hits     int     `json:"stage2_cache_hits"`
+	PerturbedFlows int     `json:"perturbed_flows"`
+}
+
+// IncrementalReport is the churn experiment's output, serialized to
+// BENCH_incremental.json. The summary means skip interval 0 (both loops are
+// cold there; the warm loop only has prior state from interval 1 on).
+type IncrementalReport struct {
+	Topology      string                `json:"topology"`
+	Flows         int                   `json:"flows"`
+	Intervals     []IncrementalInterval `json:"intervals"`
+	MeanColdMs    float64               `json:"mean_cold_ms"`
+	MeanWarmMs    float64               `json:"mean_warm_ms"`
+	Speedup       float64               `json:"speedup"`
+	ColdConfigs   int                   `json:"total_cold_configs_written"`
+	WarmConfigs   int                   `json:"total_warm_configs_written"`
+	ChurnFraction float64               `json:"churn_fraction"`
+}
+
+// MeasureIncremental runs the churn experiment: a cold control loop (full
+// re-solve and full config rewrite every interval) and a warm one
+// (Options.Incremental plus delta publication) process the same demand
+// sequence, where each interval perturbs ~5% of flow demands by up to ±20%.
+// Both loops see identical matrices, so the comparison isolates the
+// incremental machinery.
+func MeasureIncremental(cfg *Config) (*IncrementalReport, error) {
+	const topoName = "B4*"
+	perSite := int(10 * cfg.scale())
+	intervals := 8
+	const churn = 0.05
+
+	buildLoop := func(incremental bool) (*controlplane.Controller, *topology.Topology) {
+		topo := topology.Build(topoName)
+		topology.AttachEndpointsExact(topo, perSite)
+		solver := core.NewSolver(topo, core.Options{Incremental: incremental})
+		store := kvstore.NewStore(2)
+		return controlplane.NewController(solver, controlplane.StoreAdapter{Store: store}), topo
+	}
+	coldCtrl, topo := buildLoop(false)
+	warmCtrl, _ := buildLoop(true)
+
+	m := workload(topo, cfg.seed(), 0.6)
+	rep := &IncrementalReport{Topology: topoName, Flows: m.NumFlows(), ChurnFraction: churn}
+	r := stats.NewRand(cfg.seed() + 1)
+
+	for it := 0; it < intervals; it++ {
+		perturbed := 0
+		if it > 0 {
+			for i := range m.Flows {
+				if r.Float64() < churn {
+					m.Flows[i].DemandMbps *= 0.8 + 0.4*r.Float64()
+					perturbed++
+				}
+			}
+		}
+
+		start := time.Now()
+		_, coldN, err := coldCtrl.RunInterval(m)
+		if err != nil {
+			return nil, fmt.Errorf("cold interval %d: %w", it, err)
+		}
+		coldMs := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		warmRes, warmN, err := warmCtrl.RunInterval(m)
+		if err != nil {
+			return nil, fmt.Errorf("warm interval %d: %w", it, err)
+		}
+		warmMs := float64(time.Since(start).Microseconds()) / 1000
+
+		// The cold loop's delta tracker would also suppress rewrites of
+		// unchanged records; charge it the full fleet write instead, the
+		// behavior this PR replaces.
+		coldStats := coldCtrl.LastStats()
+		coldN = coldStats.Written + coldStats.Unchanged
+
+		rep.Intervals = append(rep.Intervals, IncrementalInterval{
+			Interval:       it,
+			ColdMs:         coldMs,
+			WarmMs:         warmMs,
+			ColdConfigs:    coldN,
+			WarmConfigs:    warmN,
+			Stage2Hits:     warmRes.Stage2CacheHits,
+			PerturbedFlows: perturbed,
+		})
+		rep.ColdConfigs += coldN
+		rep.WarmConfigs += warmN
+		if it > 0 {
+			rep.MeanColdMs += coldMs
+			rep.MeanWarmMs += warmMs
+		}
+	}
+	if intervals > 1 {
+		rep.MeanColdMs /= float64(intervals - 1)
+		rep.MeanWarmMs /= float64(intervals - 1)
+	}
+	if rep.MeanWarmMs > 0 {
+		rep.Speedup = rep.MeanColdMs / rep.MeanWarmMs
+	}
+	return rep, nil
+}
+
+// RunIncremental prints the churn experiment table and writes
+// BENCH_incremental.json next to the working directory.
+func RunIncremental(cfg *Config) error {
+	rep, err := MeasureIncremental(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.out()
+	title(w, "Ablation: incremental solving under 5% demand churn ("+rep.Topology+")")
+	tb := newTable(w)
+	tb.header("interval", "perturbed", "cold ms", "warm ms", "cold cfgs", "warm cfgs", "s2 hits")
+	for _, iv := range rep.Intervals {
+		tb.row(iv.Interval, iv.PerturbedFlows, iv.ColdMs, iv.WarmMs, iv.ColdConfigs, iv.WarmConfigs, iv.Stage2Hits)
+	}
+	tb.flush()
+	fmt.Fprintf(w, "mean (intervals 1+): cold %.2f ms, warm %.2f ms, speedup %.2fx; configs written %d vs %d\n",
+		rep.MeanColdMs, rep.MeanWarmMs, rep.Speedup, rep.ColdConfigs, rep.WarmConfigs)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_incremental.json", append(data, '\n'), 0o644)
+}

@@ -17,8 +17,11 @@
 package controlplane
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync/atomic"
 
 	"megate/internal/core"
@@ -50,6 +53,7 @@ func ConfigKey(instance string) string { return "te/cfg/" + instance }
 // the adapters below.
 type ConfigStore interface {
 	PutConfig(key string, value []byte) error
+	DeleteConfig(key string) error
 	PublishVersion(v uint64) error
 }
 
@@ -59,6 +63,12 @@ type StoreAdapter struct{ Store *kvstore.Store }
 // PutConfig implements ConfigStore.
 func (a StoreAdapter) PutConfig(key string, value []byte) error {
 	a.Store.Put(key, value)
+	return nil
+}
+
+// DeleteConfig implements ConfigStore.
+func (a StoreAdapter) DeleteConfig(key string) error {
+	a.Store.Delete(key)
 	return nil
 }
 
@@ -76,31 +86,59 @@ func (a ClientAdapter) PutConfig(key string, value []byte) error {
 	return a.Client.Put(key, value)
 }
 
+// DeleteConfig implements ConfigStore.
+func (a ClientAdapter) DeleteConfig(key string) error {
+	return a.Client.Delete(key)
+}
+
 // PublishVersion implements ConfigStore.
 func (a ClientAdapter) PublishVersion(v uint64) error {
 	return a.Client.Publish(v)
 }
 
 // Controller runs the periodic TE loop: solve, write configs, publish.
+// Configs are published as deltas: each interval only the instances whose
+// configuration actually changed are rewritten (tracked by a
+// version-independent hash of the record), instances whose pinned paths all
+// disappeared get their record deleted, and everything else is left
+// untouched — database write load scales with churn, not fleet size.
+// Unchanged records keep the Version field of the interval that last wrote
+// them; agents key off the published database version, not the field.
 type Controller struct {
 	Solver *core.Solver
 	Store  ConfigStore
 
 	version atomic.Uint64
+	// lastHash maps instance -> hash of its last written config. Only
+	// RunInterval touches it (the TE loop is sequential).
+	lastHash map[string]uint64
+	stats    IntervalStats
+}
+
+// IntervalStats breaks down the database writes of one RunInterval.
+type IntervalStats struct {
+	// Written counts instance records written (new or changed), Deleted
+	// counts tombstoned records, Unchanged counts records skipped because
+	// their hash matched the previous interval.
+	Written, Deleted, Unchanged int
 }
 
 // NewController wires a solver to a config store.
 func NewController(solver *core.Solver, store ConfigStore) *Controller {
-	return &Controller{Solver: solver, Store: store}
+	return &Controller{Solver: solver, Store: store, lastHash: make(map[string]uint64)}
 }
 
 // Version returns the last published configuration version.
 func (c *Controller) Version() uint64 { return c.version.Load() }
 
+// LastStats returns the write breakdown of the most recent RunInterval.
+func (c *Controller) LastStats() IntervalStats { return c.stats }
+
 // RunInterval executes one TE interval (or a failure-triggered recompute):
-// solve the matrix, write per-instance configurations, publish the next
-// version. It returns the TE result and the number of instance records
-// written.
+// solve the matrix, write the per-instance configurations that changed,
+// delete the ones that disappeared, publish the next version. It returns the
+// TE result and the number of instance records written; LastStats has the
+// full breakdown.
 func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 	res, err := c.Solver.Solve(m)
 	if err != nil {
@@ -108,7 +146,13 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 	}
 	next := c.version.Load() + 1
 	configs := BuildConfigs(c.Solver.Topology(), m, res, next)
+	st := IntervalStats{}
 	for ins, cfg := range configs {
+		h := configHash(cfg)
+		if prev, ok := c.lastHash[ins]; ok && prev == h {
+			st.Unchanged++
+			continue
+		}
 		data, err := json.Marshal(cfg)
 		if err != nil {
 			return nil, 0, fmt.Errorf("controlplane: marshal config for %s: %w", ins, err)
@@ -116,12 +160,25 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 		if err := c.Store.PutConfig(ConfigKey(ins), data); err != nil {
 			return nil, 0, fmt.Errorf("controlplane: write config for %s: %w", ins, err)
 		}
+		c.lastHash[ins] = h
+		st.Written++
+	}
+	for ins := range c.lastHash {
+		if _, ok := configs[ins]; ok {
+			continue
+		}
+		if err := c.Store.DeleteConfig(ConfigKey(ins)); err != nil {
+			return nil, 0, fmt.Errorf("controlplane: delete config for %s: %w", ins, err)
+		}
+		delete(c.lastHash, ins)
+		st.Deleted++
 	}
 	if err := c.Store.PublishVersion(next); err != nil {
 		return nil, 0, err
 	}
 	c.version.Store(next)
-	return res, len(configs), nil
+	c.stats = st
+	return res, st.Written, nil
 }
 
 // OnLinkFailure invalidates cached tunnels and recomputes immediately — the
@@ -134,9 +191,13 @@ func (c *Controller) OnLinkFailure(m *traffic.Matrix) (*core.Result, int, error)
 // BuildConfigs groups the per-flow tunnel assignments of a TE result into
 // per-instance configuration records. Flows that were rejected produce no
 // entry (their instance keeps no pinned path and falls back to conventional
-// routing).
+// routing). Each record's Paths are sorted by DstSite so the same assignment
+// always serializes (and hashes) identically.
 func BuildConfigs(topo *topology.Topology, m *traffic.Matrix, res *core.Result, version uint64) map[string]*InstanceConfig {
 	configs := make(map[string]*InstanceConfig)
+	// pathIdx[ins][dst] is the position of dst's entry in configs[ins].Paths,
+	// replacing a linear scan over Paths per flow.
+	pathIdx := make(map[string]map[uint32]int)
 	for i, tn := range res.FlowTunnel {
 		if tn == nil {
 			continue
@@ -147,23 +208,48 @@ func BuildConfigs(topo *topology.Topology, m *traffic.Matrix, res *core.Result, 
 		if cfg == nil {
 			cfg = &InstanceConfig{Instance: ins, Version: version}
 			configs[ins] = cfg
+			pathIdx[ins] = make(map[uint32]int)
 		}
 		hops := make([]uint32, len(tn.Sites))
 		for j, s := range tn.Sites {
 			hops[j] = uint32(s)
 		}
 		dst := uint32(f.Pair.Dst)
-		replaced := false
-		for k := range cfg.Paths {
-			if cfg.Paths[k].DstSite == dst {
-				cfg.Paths[k].Hops = hops
-				replaced = true
-				break
-			}
-		}
-		if !replaced {
+		idx := pathIdx[ins]
+		if pos, ok := idx[dst]; ok {
+			cfg.Paths[pos].Hops = hops
+		} else {
+			idx[dst] = len(cfg.Paths)
 			cfg.Paths = append(cfg.Paths, PathEntry{DstSite: dst, Hops: hops})
 		}
 	}
+	for _, cfg := range configs {
+		sort.Slice(cfg.Paths, func(a, b int) bool {
+			return cfg.Paths[a].DstSite < cfg.Paths[b].DstSite
+		})
+	}
 	return configs
+}
+
+// configHash fingerprints an InstanceConfig independently of its Version
+// field, so a record whose paths did not move between intervals hashes the
+// same and is not rewritten. Paths are hashed in their (sorted) stored
+// order.
+func configHash(cfg *InstanceConfig) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(cfg.Instance))
+	u32(uint32(len(cfg.Paths)))
+	for _, p := range cfg.Paths {
+		u32(p.DstSite)
+		u32(uint32(len(p.Hops)))
+		for _, hop := range p.Hops {
+			u32(hop)
+		}
+	}
+	return h.Sum64()
 }

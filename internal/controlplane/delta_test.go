@@ -1,0 +1,97 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+
+	"megate/internal/core"
+	"megate/internal/kvstore"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// TestDeltaUnchangedMatrixWritesZero covers the acceptance criterion: a
+// second interval over the identical matrix publishes only a version bump —
+// zero per-instance records written.
+func TestDeltaUnchangedMatrixWritesZero(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+	solver := core.NewSolver(topo, core.Options{Incremental: true})
+	store := kvstore.NewStore(2)
+	ctrl := NewController(solver, StoreAdapter{Store: store})
+
+	_, n1, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
+		t.Fatal("first interval wrote no configs")
+	}
+
+	res2, n2, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Errorf("unchanged matrix wrote %d configs, want 0", n2)
+	}
+	st := ctrl.LastStats()
+	if st.Written != 0 || st.Deleted != 0 || st.Unchanged != n1 {
+		t.Errorf("stats = %+v, want 0 written, 0 deleted, %d unchanged", st, n1)
+	}
+	if store.Version() != 2 || ctrl.Version() != 2 {
+		t.Errorf("version = %d / %d, want 2 (publish still happens)", store.Version(), ctrl.Version())
+	}
+	if res2.Stage2CacheHits == 0 {
+		t.Error("incremental solver reported no stage-2 cache hits on an unchanged matrix")
+	}
+
+	// Agents still converge on the bumped version.
+	agent := &Agent{Instance: topo.Endpoints[0].Instance, Reader: StoreAdapter{Store: store}}
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.LastVersion() != 2 {
+		t.Errorf("agent at version %d, want 2", agent.LastVersion())
+	}
+}
+
+// TestDeltaTombstonesDisappearedInstances: when every pinned path of an
+// instance disappears from the TE result, its record is deleted from the
+// database rather than left stale.
+func TestDeltaTombstonesDisappearedInstances(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 2, MeanDemandMbps: 20})
+	store := kvstore.NewStore(2)
+	ctrl := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: store})
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys("te/cfg/")
+	if len(keys) == 0 {
+		t.Fatal("no configs written")
+	}
+	victim := strings.TrimPrefix(keys[0], "te/cfg/")
+
+	// Drop every flow sourced at the victim instance and re-run.
+	var flows []traffic.Flow
+	for _, f := range m.Flows {
+		if topo.Endpoints[f.Src].Instance != victim {
+			flows = append(flows, f)
+		}
+	}
+	if len(flows) == len(m.Flows) {
+		t.Fatalf("victim %s sources no flows", victim)
+	}
+	if _, _, err := ctrl.RunInterval(traffic.NewMatrix(flows)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(ConfigKey(victim)); ok {
+		t.Errorf("record for %s survived although all its paths disappeared", victim)
+	}
+	if st := ctrl.LastStats(); st.Deleted == 0 {
+		t.Errorf("stats = %+v, want at least one deletion", st)
+	}
+}

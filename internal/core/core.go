@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"megate/internal/lp"
@@ -56,6 +55,15 @@ type Options struct {
 	// FastSSP (used by ablation benchmarks). The pass recovers the budget
 	// quantization loss inherent to indivisible flows.
 	DisableResidualPass bool
+	// Incremental carries solver state across consecutive Solve calls: the
+	// stage-one simplex basis warm-starts the next interval's LP (when
+	// SiteSolver implements WarmStartSolver), and site pairs whose stage-two
+	// inputs are bit-identical to the previous interval reuse their cached
+	// assignment instead of re-running FastSSP. Outputs are unchanged —
+	// identical inputs give identical results, perturbed inputs are re-solved
+	// — only repeated-solve latency drops. Invalidate drops the carried
+	// state; call it after topology changes.
+	Incremental bool
 	// ClassPolicy, when set, supplies the tunnel weight w_t used for a QoS
 	// class instead of the tunnel's latency — e.g. penalizing low
 	// availability for class 1 or weighting by carriage cost for class 3,
@@ -98,6 +106,9 @@ type Result struct {
 	// SiteAllocation exposes the stage-one F_{k,t} values per class for
 	// inspection and tests, keyed by pair then tunnel index.
 	SiteAllocation map[traffic.Class]map[traffic.SitePair][]float64
+	// Stage2CacheHits counts site pairs whose stage-two assignment was
+	// reused from the previous interval (Options.Incremental); 0 otherwise.
+	Stage2CacheHits int
 }
 
 // SatisfiedFraction returns satisfied/total demand, 1 when there is no
@@ -114,18 +125,28 @@ type Solver struct {
 	opts Options
 	topo *topology.Topology
 	ts   *topology.TunnelSet
+	inc  *incrementalState
 }
 
 // NewSolver creates a solver for the topology. The tunnel set is computed
 // lazily per site pair and cached until Invalidate.
 func NewSolver(topo *topology.Topology, opts Options) *Solver {
 	o := opts.withDefaults()
-	return &Solver{opts: o, topo: topo, ts: topology.NewTunnelSet(topo, o.TunnelsPerPair)}
+	return &Solver{
+		opts: o,
+		topo: topo,
+		ts:   topology.NewTunnelSet(topo, o.TunnelsPerPair),
+		inc:  newIncrementalState(),
+	}
 }
 
-// Invalidate drops cached tunnels; call after topology changes such as link
-// failures (§6.3) so recomputation sees the altered graph.
-func (s *Solver) Invalidate() { s.ts.Invalidate() }
+// Invalidate drops cached tunnels and any incremental warm-start state; call
+// after topology changes such as link failures (§6.3) so recomputation sees
+// the altered graph.
+func (s *Solver) Invalidate() {
+	s.ts.Invalidate()
+	s.inc.reset()
+}
 
 // Topology returns the solver's topology.
 func (s *Solver) Topology() *topology.Topology { return s.topo }
@@ -227,7 +248,7 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 		}
 		mcf.Commodities = append(mcf.Commodities, c)
 	}
-	siteAlloc, err := s.opts.SiteSolver.SolveMCF(mcf)
+	siteAlloc, err := s.solveSite(class, mcf)
 	if err != nil {
 		return fmt.Errorf("MaxSiteFlow: %w", err)
 	}
@@ -242,19 +263,8 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 
 	// Stage 2: MaxEndpointFlow per pair, in parallel (line 11–15).
 	start = time.Now()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.opts.Workers)
 	assignments := make([][]int, len(states)) // per state, per flow: tunnel idx or -1
-	for si, st := range states {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(si int, st *pairState) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			assignments[si] = s.maxEndpointFlow(st)
-		}(si, st)
-	}
-	wg.Wait()
+	res.Stage2CacheHits += s.stageTwo(class, states, assignments)
 	res.SSPTime += time.Since(start)
 
 	// Commit assignments; update residual capacity by the traffic actually
@@ -344,7 +354,8 @@ func (s *Solver) residualPass(states []*pairState, assignments [][]int, residual
 
 // maxEndpointFlow solves the per-pair subset-sum chain: tunnels in ascending
 // weight, FastSSP over the still-unassigned flows against budget F_{k,t}.
-func (s *Solver) maxEndpointFlow(st *pairState) []int {
+// sc holds the calling worker's reusable solver buffers and may be nil.
+func (s *Solver) maxEndpointFlow(st *pairState, sc *ssp.Scratch) []int {
 	assign := make([]int, len(st.demands))
 	for i := range assign {
 		assign[i] = -1
@@ -365,6 +376,7 @@ func (s *Solver) maxEndpointFlow(st *pairState) []int {
 	for i := range st.demands {
 		unassigned = append(unassigned, i)
 	}
+	values := make([]float64, 0, len(st.demands))
 	for _, t := range order {
 		if len(unassigned) == 0 {
 			break
@@ -373,11 +385,11 @@ func (s *Solver) maxEndpointFlow(st *pairState) []int {
 		if budget <= 0 {
 			continue
 		}
-		values := make([]float64, len(unassigned))
-		for j, fi := range unassigned {
-			values[j] = st.demands[fi]
+		values = values[:0]
+		for _, fi := range unassigned {
+			values = append(values, st.demands[fi])
 		}
-		sol := solver.Solve(values, budget)
+		sol := solver.SolveScratch(values, budget, sc)
 		var still []int
 		for j, fi := range unassigned {
 			if sol.Selected[j] {

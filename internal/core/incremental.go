@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"megate/internal/lp"
+	"megate/internal/ssp"
+	"megate/internal/traffic"
+)
+
+// WarmStartSolver is an optional extension of SiteSolver for solvers that
+// can seed one interval's solve with the previous interval's final basis.
+// lp.GUBSimplex and lp.AutoMCF implement it; when Options.Incremental is set
+// and the configured SiteSolver supports it, the stage-one LP of interval
+// t+1 starts from the optimal basis of interval t.
+type WarmStartSolver interface {
+	SolveMCFBasis(p *lp.MCF, warm *lp.Basis) (lp.Allocation, *lp.Basis, error)
+}
+
+// pairKey identifies one stage-two cache entry: results are cached per QoS
+// class and site pair.
+type pairKey struct {
+	class traffic.Class
+	pair  traffic.SitePair
+}
+
+// pairCacheEntry is one pair's stage-two outcome from the previous interval:
+// the fingerprint of everything the computation depended on and the
+// positional assignment (per flow: tunnel index or -1) it produced, captured
+// before the residual pass.
+type pairCacheEntry struct {
+	fingerprint uint64
+	assign      []int
+}
+
+// incrementalState is the solver state carried across consecutive Solve
+// calls when Options.Incremental is set.
+type incrementalState struct {
+	basis map[traffic.Class]*lp.Basis
+	pairs map[pairKey]*pairCacheEntry
+}
+
+func newIncrementalState() *incrementalState {
+	return &incrementalState{
+		basis: make(map[traffic.Class]*lp.Basis),
+		pairs: make(map[pairKey]*pairCacheEntry),
+	}
+}
+
+func (st *incrementalState) reset() {
+	st.basis = make(map[traffic.Class]*lp.Basis)
+	st.pairs = make(map[pairKey]*pairCacheEntry)
+}
+
+// solveSite runs stage one, threading the previous interval's basis through
+// the solver when incremental mode is on and the solver supports it. A solve
+// that comes back without a basis (e.g. AutoMCF's approximate fallback)
+// clears the stored one so a stale basis is never offered later.
+func (s *Solver) solveSite(class traffic.Class, mcf *lp.MCF) (lp.Allocation, error) {
+	if s.opts.Incremental {
+		if ws, ok := s.opts.SiteSolver.(WarmStartSolver); ok {
+			alloc, basis, err := ws.SolveMCFBasis(mcf, s.inc.basis[class])
+			if err != nil {
+				return nil, err
+			}
+			if basis != nil {
+				s.inc.basis[class] = basis
+			} else {
+				delete(s.inc.basis, class)
+			}
+			return alloc, nil
+		}
+	}
+	return s.opts.SiteSolver.SolveMCF(mcf)
+}
+
+// fingerprint hashes everything stage two reads for one pair — the demand
+// vector, the stage-one allocation F_{k,t}, the class weights, and the
+// tunnel link sets — with FNV-1a over the raw float bits. Any change to any
+// input (including a rerouted tunnel after a link failure) changes the hash
+// and forces a recompute; only a bit-identical input reuses a cached result.
+func (st *pairState) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(st.demands)))
+	for _, d := range st.demands {
+		mix(math.Float64bits(d))
+	}
+	mix(uint64(len(st.alloc)))
+	for _, a := range st.alloc {
+		mix(math.Float64bits(a))
+	}
+	for _, w := range st.weights {
+		mix(math.Float64bits(w))
+	}
+	mix(uint64(len(st.tunnels)))
+	for _, tn := range st.tunnels {
+		mix(uint64(len(tn.Links)))
+		for _, l := range tn.Links {
+			mix(uint64(l))
+		}
+	}
+	return h
+}
+
+// stageTwo fills assignments (per state, per flow: tunnel index or -1). In
+// incremental mode, pairs whose fingerprint matches the previous interval
+// reuse the cached assignment (copied: the residual pass mutates assignments
+// in place); everything else runs MaxEndpointFlow on a fixed worker pool,
+// one reusable ssp.Scratch per worker. Returns the number of cache hits.
+func (s *Solver) stageTwo(class traffic.Class, states []*pairState, assignments [][]int) int {
+	hits := 0
+	var fps []uint64
+	hit := make([]bool, len(states))
+	if s.opts.Incremental {
+		fps = make([]uint64, len(states))
+		for si, st := range states {
+			fps[si] = st.fingerprint()
+			e, ok := s.inc.pairs[pairKey{class, st.pair}]
+			if ok && e.fingerprint == fps[si] && len(e.assign) == len(st.demands) {
+				assignments[si] = append([]int(nil), e.assign...)
+				hit[si] = true
+				hits++
+			}
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &ssp.Scratch{}
+			for si := range jobs {
+				assignments[si] = s.maxEndpointFlow(states[si], sc)
+			}
+		}()
+	}
+	for si := range states {
+		if !hit[si] {
+			jobs <- si
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if s.opts.Incremental {
+		seen := make(map[traffic.SitePair]bool, len(states))
+		for si, st := range states {
+			seen[st.pair] = true
+			s.inc.pairs[pairKey{class, st.pair}] = &pairCacheEntry{
+				fingerprint: fps[si],
+				assign:      append([]int(nil), assignments[si]...),
+			}
+		}
+		// Drop entries for pairs that no longer exist in this class.
+		for k := range s.inc.pairs {
+			if k.class == class && !seen[k.pair] {
+				delete(s.inc.pairs, k)
+			}
+		}
+	}
+	return hits
+}

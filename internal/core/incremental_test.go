@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"megate/internal/lp"
+	"megate/internal/stats"
+	"megate/internal/traffic"
+)
+
+// sameAssignments asserts two results place every flow on the same tunnel
+// (compared by link sequence, so results from different Solver instances can
+// be compared) with identical satisfied demand.
+func sameAssignments(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.SatisfiedMbps != b.SatisfiedMbps {
+		t.Fatalf("SatisfiedMbps %v != %v", a.SatisfiedMbps, b.SatisfiedMbps)
+	}
+	if len(a.FlowTunnel) != len(b.FlowTunnel) {
+		t.Fatalf("FlowTunnel len %d != %d", len(a.FlowTunnel), len(b.FlowTunnel))
+	}
+	for i := range a.FlowTunnel {
+		ta, tb := a.FlowTunnel[i], b.FlowTunnel[i]
+		if (ta == nil) != (tb == nil) {
+			t.Fatalf("flow %d: one result rejects, the other assigns", i)
+		}
+		if ta == nil {
+			continue
+		}
+		if len(ta.Links) != len(tb.Links) {
+			t.Fatalf("flow %d: tunnels differ", i)
+		}
+		for j := range ta.Links {
+			if ta.Links[j] != tb.Links[j] {
+				t.Fatalf("flow %d: tunnels differ at hop %d", i, j)
+			}
+		}
+	}
+}
+
+func TestIncrementalIdenticalMatrixBitIdentical(t *testing.T) {
+	// Regression: on an unchanged matrix the warm re-solve must be exact —
+	// byte-identical FlowTunnel assignments and SatisfiedMbps, both against
+	// its own cold first run and against a never-incremental solver.
+	topo := smallWorld(t)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 3, MeanDemandMbps: 80})
+	warm := NewSolver(topo, Options{Incremental: true})
+	r1, err := warm.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stage2CacheHits != 0 {
+		t.Errorf("first solve reported %d cache hits", r1.Stage2CacheHits)
+	}
+	r2, err := warm.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.FlowTunnel {
+		if r1.FlowTunnel[i] != r2.FlowTunnel[i] {
+			t.Fatalf("flow %d: warm re-solve changed the assignment", i)
+		}
+	}
+	if r1.SatisfiedMbps != r2.SatisfiedMbps {
+		t.Fatalf("warm SatisfiedMbps %v != cold %v", r2.SatisfiedMbps, r1.SatisfiedMbps)
+	}
+	if r2.Stage2CacheHits == 0 {
+		t.Error("unchanged matrix produced no stage-2 cache hits")
+	}
+
+	cold, err := NewSolver(topo, Options{}).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAssignments(t, cold, r2)
+}
+
+func TestIncrementalPerturbationProperty(t *testing.T) {
+	// Property: across intervals with small random demand perturbations the
+	// incremental solver stays feasible and lands within a few percent of a
+	// cold solve of the same matrix.
+	topo := smallWorld(t)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 5, MeanDemandMbps: 60})
+	warm := NewSolver(topo, Options{Incremental: true, SplitQoS: true})
+	r := stats.NewRand(11)
+	for step := 0; step < 6; step++ {
+		if step > 0 {
+			for i := range m.Flows {
+				if r.Float64() < 0.05 {
+					m.Flows[i].DemandMbps *= 0.9 + 0.2*r.Float64()
+				}
+			}
+		}
+		res, err := warm.Solve(m)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkLinkLoads(t, topo, m, res)
+		cold, err := NewSolver(topo, Options{SplitQoS: true}).Solve(m)
+		if err != nil {
+			t.Fatalf("step %d cold: %v", step, err)
+		}
+		if math.Abs(res.SatisfiedMbps-cold.SatisfiedMbps) > 0.05*cold.TotalMbps+1e-6 {
+			t.Errorf("step %d: warm satisfied %v far from cold %v (total %v)",
+				step, res.SatisfiedMbps, cold.SatisfiedMbps, cold.TotalMbps)
+		}
+	}
+}
+
+func TestIncrementalRecomputesChangedPairs(t *testing.T) {
+	topo := smallWorld(t)
+	f1 := flowsBetween(topo, 0, 2, []float64{50, 60}, traffic.Class2)
+	f2 := flowsBetween(topo, 1, 3, []float64{70, 80}, traffic.Class2)
+	for i := range f2 {
+		f2[i].ID = 100 + i
+	}
+	m := traffic.NewMatrix(append(f1, f2...))
+	s := NewSolver(topo, Options{Incremental: true})
+	if _, err := s.Solve(m); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stage2CacheHits != 2 {
+		t.Errorf("unchanged re-solve: hits = %d, want 2", r2.Stage2CacheHits)
+	}
+
+	// Change one pair's demand: that pair must be recomputed.
+	m.Flows[0].DemandMbps = 55
+	r3, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Stage2CacheHits > 1 {
+		t.Errorf("changed pair reused from cache: hits = %d", r3.Stage2CacheHits)
+	}
+	checkLinkLoads(t, topo, m, r3)
+
+	// Invalidate drops all carried state.
+	s.Invalidate()
+	r4, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Stage2CacheHits != 0 {
+		t.Errorf("post-Invalidate solve reported %d hits", r4.Stage2CacheHits)
+	}
+}
+
+func TestIncrementalWithNonWarmSolverFallsBack(t *testing.T) {
+	// A SiteSolver without SolveMCFBasis still works under Incremental; the
+	// stage-two cache alone carries over.
+	topo := smallWorld(t)
+	flows := flowsBetween(topo, 0, 2, []float64{100, 200, 50}, traffic.Class2)
+	m := traffic.NewMatrix(flows)
+	s := NewSolver(topo, Options{
+		Incremental: true,
+		SiteSolver:  &lp.FleischerMCF{Epsilon: 0.05},
+	})
+	if _, err := s.Solve(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLinkLoads(t, topo, m, res)
+	if res.Stage2CacheHits == 0 {
+		t.Error("stage-2 cache should hit even without a warm-startable LP")
+	}
+}

@@ -151,6 +151,27 @@ func TestServerClientRoundTrip(t *testing.T) {
 	}
 }
 
+func TestClientDelete(t *testing.T) {
+	srv, store := newTestServer(t, 2)
+	c := &Client{Addr: srv.Addr()}
+	if err := c.Put("te/cfg/gone", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("te/cfg/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get("te/cfg/gone"); err != nil || ok {
+		t.Fatalf("key survived delete: ok=%v err=%v", ok, err)
+	}
+	if _, ok := store.Get("te/cfg/gone"); ok {
+		t.Error("store still holds deleted key")
+	}
+	// Deleting an absent key is a no-op, not an error.
+	if err := c.Delete("never-existed"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestClientBinaryValues(t *testing.T) {
 	srv, _ := newTestServer(t, 1)
 	c := &Client{Addr: srv.Addr()}

@@ -17,6 +17,7 @@ import (
 //	VERSION\n                 -> VERSION <n>\n
 //	GET <key>\n               -> VALUE <len>\n<bytes>\n | NONE\n
 //	PUT <key> <len>\n<bytes>  -> OK\n
+//	DEL <key>\n               -> OK\n
 //	KEYS <prefix>\n           -> KEYS <n>\n followed by n key lines
 //	PUBLISH <version>\n       -> OK <version>\n
 //
@@ -128,6 +129,13 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.store.Put(fields[1], buf)
+			fmt.Fprint(w, "OK\n")
+		case "DEL":
+			if len(fields) != 2 {
+				fmt.Fprint(w, "ERR usage: DEL <key>\n")
+				break
+			}
+			s.store.Delete(fields[1])
 			fmt.Fprint(w, "OK\n")
 		case "KEYS":
 			if len(fields) != 2 {
@@ -281,6 +289,28 @@ func (c *Client) Put(key string, value []byte) error {
 		return err
 	}
 	if _, err := conn.Write(value); err != nil {
+		c.resetPersistent()
+		return err
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		c.resetPersistent()
+		return err
+	}
+	if strings.TrimSpace(line) != "OK" {
+		return fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return nil
+}
+
+// Delete removes key; deleting an absent key is a no-op.
+func (c *Client) Delete(key string) error {
+	conn, r, release, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if _, err := fmt.Fprintf(conn, "DEL %s\n", key); err != nil {
 		c.resetPersistent()
 		return err
 	}

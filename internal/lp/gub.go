@@ -42,31 +42,17 @@ type AutoMCF struct {
 	Epsilon float64
 }
 
+// autoMCFCostBudget caps the estimated exact pivot cost (commodities ×
+// working basis², i.e. K·E²): roughly ten seconds of pivoting on one core.
+const autoMCFCostBudget = 1.2e9
+
 // SolveMCF implements the auto selection. Exact solving is used when both
 // the commodity count and the estimated pivot cost (commodities × working
 // basis², i.e. K·E²) are affordable; the pivot count grows with K and each
 // pivot costs O(E²).
 func (a *AutoMCF) SolveMCF(p *MCF) (Allocation, error) {
-	limit := a.ExactLimit
-	if limit == 0 {
-		limit = 6000
-	}
-	k := float64(len(p.Commodities))
-	e := float64(len(p.LinkCap))
-	const costBudget = 1.2e9 // roughly ten seconds of pivoting on one core
-	if len(p.Commodities) <= limit && k*e*e <= costBudget {
-		alloc, err := (&GUBSimplex{}).SolveMCF(p)
-		if err == nil {
-			return alloc, nil
-		}
-		// Numerical trouble in the exact path: fall through to the robust
-		// approximation rather than failing the TE interval.
-	}
-	eps := a.Epsilon
-	if eps == 0 {
-		eps = 0.05
-	}
-	return (&FleischerMCF{Epsilon: eps}).SolveMCF(p)
+	alloc, _, err := a.SolveMCFBasis(p, nil)
+	return alloc, err
 }
 
 const gubEps = 1e-9
@@ -99,12 +85,14 @@ type gubState struct {
 	mu   []float64   // GUB duals
 }
 
-// SolveMCF solves the path MCF exactly.
+// SolveMCF solves the path MCF exactly from a cold (slack) basis.
 func (g *GUBSimplex) SolveMCF(p *MCF) (Allocation, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	st, colOf := buildGUB(p)
+	alloc, _, err := g.SolveMCFBasis(p, nil)
+	return alloc, err
+}
+
+// maxIterFor derives the pivot budget for a problem.
+func (g *GUBSimplex) maxIterFor(st *gubState) int {
 	maxIter := g.MaxIter
 	if maxIter == 0 {
 		maxIter = 50 * (len(st.members) + st.nLinks)
@@ -112,10 +100,11 @@ func (g *GUBSimplex) SolveMCF(p *MCF) (Allocation, error) {
 			maxIter = 2000
 		}
 	}
-	if err := st.solve(maxIter); err != nil {
-		return nil, err
-	}
+	return maxIter
+}
 
+// extractAllocation reads the final basic solution back into F_{k,t} form.
+func (st *gubState) extractAllocation(p *MCF, colOf map[int][2]int) Allocation {
 	alloc := p.NewAllocation()
 	for v, loc := range st.where {
 		val := 0.0
@@ -134,7 +123,7 @@ func (g *GUBSimplex) SolveMCF(p *MCF) (Allocation, error) {
 			alloc[kt[0]][kt[1]] = val
 		}
 	}
-	return alloc, nil
+	return alloc
 }
 
 // buildGUB constructs the solver state from the MCF and returns a map from
@@ -172,12 +161,12 @@ func buildGUB(p *MCF) (*gubState, map[int][2]int) {
 	return st, colOf
 }
 
-// solve runs the GUB primal simplex to optimality.
-func (st *gubState) solve(maxIter int) error {
+// initCold installs the all-slack starting basis: GUB slacks as keys, link
+// slacks as non-keys, W = I.
+func (st *gubState) initCold() {
 	nSets := len(st.members)
 	E := st.nLinks
 
-	// Initial basis: GUB slacks as keys, link slacks as non-keys; W = I.
 	st.key = make([]int, nSets)
 	st.nonKey = make([]int, E)
 	st.where = make([]int, len(st.vars))
@@ -200,7 +189,11 @@ func (st *gubState) solve(maxIter int) error {
 	st.pi = make([]float64, E)
 	st.mu = make([]float64, nSets)
 	st.refresh()
+}
 
+// iterate runs the GUB primal simplex to optimality from the current basis
+// (cold or imported), which must be primal feasible.
+func (st *gubState) iterate(maxIter int) error {
 	degenerate := 0
 	for iter := 0; iter < maxIter; iter++ {
 		// Periodic refactorization bounds the numerical drift of the

@@ -1,0 +1,299 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Basis is a snapshot of a GUB simplex basis: the key variable per GUB set,
+// the variables occupying the working-basis columns, and the working-basis
+// inverse W^{-1}. Exported by SolveMCFBasis after a solve, it can seed the
+// next interval's solve as long as the problem *shape* is unchanged — same
+// commodity count, same tunnel count per commodity, same link count.
+// Demands and capacities may differ arbitrarily; when the perturbation is
+// small the previous optimal basis is at or near the new optimum and the
+// warm solve finishes in a handful of pivots instead of thousands.
+type Basis struct {
+	// NumLinks and SetSizes fingerprint the problem shape the basis was
+	// exported from (SetSizes[k] counts set k's variables: tunnels + slack).
+	NumLinks int
+	SetSizes []int
+	// Key[k] is the basic variable representing GUB set k.
+	Key []int
+	// NonKey[i] is the variable occupying working-basis column i.
+	NonKey []int
+	// Winv is the working-basis inverse at export time. Reusing it makes a
+	// warm re-solve on identical inputs bit-identical to the solve that
+	// exported it; on perturbed inputs it is only a starting point and is
+	// refactorized whenever feasibility or numerics demand it.
+	Winv [][]float64
+}
+
+// ErrWarmStart reports that an imported basis could not be made primal
+// feasible for the new problem; callers fall back to a cold start.
+var ErrWarmStart = errors.New("lp: warm-start basis unusable")
+
+// Clone returns a deep copy of the basis.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	c := &Basis{
+		NumLinks: b.NumLinks,
+		SetSizes: append([]int(nil), b.SetSizes...),
+		Key:      append([]int(nil), b.Key...),
+		NonKey:   append([]int(nil), b.NonKey...),
+		Winv:     make([][]float64, len(b.Winv)),
+	}
+	for i, row := range b.Winv {
+		c.Winv[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// SolveMCFBasis solves the path MCF exactly, seeding the simplex with the
+// given basis when possible. A nil, shape-incompatible, singular, or
+// irreparably infeasible warm basis degrades to a cold start; a warm start
+// that goes numerically wrong mid-solve is also retried cold, so the result
+// is never worse than SolveMCF. The returned basis snapshots the final
+// state for the next interval.
+func (g *GUBSimplex) SolveMCFBasis(p *MCF, warm *Basis) (Allocation, *Basis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	st, colOf := buildGUB(p)
+	maxIter := g.maxIterFor(st)
+
+	warmed := false
+	if warm != nil {
+		if err := st.importBasis(warm); err == nil {
+			warmed = true
+		}
+	}
+	if !warmed {
+		st.initCold()
+	}
+	if err := st.iterate(maxIter); err != nil {
+		if !warmed {
+			return nil, nil, err
+		}
+		// The inherited basis led the pivot sequence astray (singular
+		// working basis, iteration limit): redo the interval cold.
+		st, colOf = buildGUB(p)
+		st.initCold()
+		if err := st.iterate(maxIter); err != nil {
+			return nil, nil, err
+		}
+	}
+	return st.extractAllocation(p, colOf), st.exportBasis(), nil
+}
+
+// exportBasis snapshots the current basis with deep copies.
+func (st *gubState) exportBasis() *Basis {
+	b := &Basis{
+		NumLinks: st.nLinks,
+		SetSizes: make([]int, len(st.members)),
+		Key:      append([]int(nil), st.key...),
+		NonKey:   append([]int(nil), st.nonKey...),
+		Winv:     make([][]float64, len(st.winv)),
+	}
+	for k, mem := range st.members {
+		b.SetSizes[k] = len(mem)
+	}
+	for i, row := range st.winv {
+		b.Winv[i] = append([]float64(nil), row...)
+	}
+	return b
+}
+
+// importBasis installs a previously exported basis, verifying shape and
+// internal consistency, then restores primal feasibility: first with the
+// inherited W^{-1} as-is (bit-identical path for unchanged inputs), then
+// after a refactorization, then via repair. Returns ErrWarmStart (or a
+// numerical error) when the basis cannot seed this problem.
+func (st *gubState) importBasis(b *Basis) error {
+	if b == nil || b.NumLinks != st.nLinks ||
+		len(b.SetSizes) != len(st.members) || len(b.Key) != len(st.members) ||
+		len(b.NonKey) != st.nLinks || len(b.Winv) != st.nLinks {
+		return ErrWarmStart
+	}
+	for k, mem := range st.members {
+		if b.SetSizes[k] != len(mem) {
+			return ErrWarmStart
+		}
+	}
+	nVars := len(st.vars)
+	st.key = append([]int(nil), b.Key...)
+	st.nonKey = append([]int(nil), b.NonKey...)
+	st.where = make([]int, nVars)
+	for v := range st.where {
+		st.where[v] = -1
+	}
+	for k, kv := range st.key {
+		if kv < 0 || kv >= nVars || st.vars[kv].set != k || st.where[kv] != -1 {
+			return ErrWarmStart
+		}
+		st.where[kv] = -2
+	}
+	for i, v := range st.nonKey {
+		if v < 0 || v >= nVars || st.where[v] != -1 {
+			return ErrWarmStart
+		}
+		st.where[v] = i
+	}
+	st.winv = make([][]float64, st.nLinks)
+	for i := range st.winv {
+		if len(b.Winv[i]) != st.nLinks {
+			return ErrWarmStart
+		}
+		st.winv[i] = append([]float64(nil), b.Winv[i]...)
+	}
+	st.y = make([]float64, st.nLinks)
+	st.xkey = make([]float64, len(st.members))
+	st.pi = make([]float64, st.nLinks)
+	st.mu = make([]float64, len(st.members))
+
+	st.refresh()
+	if st.primalFeasible() {
+		return nil
+	}
+	// The inherited inverse may have drifted, or the perturbation moved the
+	// vertex outside the feasible region: refactorize and re-check before
+	// attempting structural repair.
+	if err := st.refactorize(); err != nil {
+		return err
+	}
+	st.refresh()
+	if st.primalFeasible() {
+		return nil
+	}
+	return st.repair()
+}
+
+// primalFeasible reports whether every basic value is nonnegative (refresh
+// already clamps violations within its 1e-7 tolerance to zero).
+func (st *gubState) primalFeasible() bool {
+	for _, v := range st.y {
+		if v < 0 {
+			return false
+		}
+	}
+	for _, v := range st.xkey {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// repair restores primal feasibility after a perturbation pushed the
+// inherited basis outside the feasible region, by retreating the offending
+// basic variables toward the slack basis: a set whose key value went
+// negative falls back to its GUB slack as key (demoting set members out of
+// the working basis when the slack itself is negative), and a working
+// column whose value went negative is handed to a nonbasic link slack.
+// Each pass refactorizes and re-checks; unresolved infeasibility after the
+// pass budget returns ErrWarmStart so the caller cold-starts instead.
+func (st *gubState) repair() error {
+	for pass := 0; pass < 3; pass++ {
+		changed := false
+		for k, mem := range st.members {
+			if st.xkey[k] >= 0 {
+				continue
+			}
+			slack := mem[len(mem)-1]
+			if st.key[k] != slack {
+				old := st.key[k]
+				switch loc := st.where[slack]; {
+				case loc == -1:
+					st.where[old] = -1
+					st.key[k] = slack
+					st.where[slack] = -2
+				case loc >= 0:
+					// The slack is a non-key basic: swap roles with the key.
+					st.key[k] = slack
+					st.nonKey[loc] = old
+					st.where[old] = loc
+					st.where[slack] = -2
+				}
+				changed = true
+				continue
+			}
+			// The slack already is the key and still negative: the set's
+			// non-key basics overfill the shrunken demand; demote one.
+			for i, v := range st.nonKey {
+				if st.vars[v].set == k && st.replaceColumnWithLinkSlack(i) {
+					changed = true
+					break
+				}
+			}
+		}
+		for i := range st.y {
+			if st.y[i] < 0 && st.replaceColumnWithLinkSlack(i) {
+				changed = true
+			}
+		}
+		if !changed {
+			return ErrWarmStart
+		}
+		if err := st.refactorize(); err != nil {
+			return err
+		}
+		st.refresh()
+		if st.primalFeasible() {
+			return nil
+		}
+	}
+	return ErrWarmStart
+}
+
+// replaceColumnWithLinkSlack evicts the variable in working column i in
+// favour of a currently nonbasic link slack, chosen to keep the working
+// basis well conditioned (largest |W^{-1}[i][e]| pivot). Reports whether a
+// replacement was made; the caller refactorizes afterwards.
+func (st *gubState) replaceColumnWithLinkSlack(i int) bool {
+	firstLinkSlack := len(st.vars) - st.nLinks
+	best, bestAbs := -1, 1e-9
+	for e := 0; e < st.nLinks; e++ {
+		if st.where[firstLinkSlack+e] != -1 {
+			continue
+		}
+		if abs := math.Abs(st.winv[i][e]); abs > bestAbs {
+			best, bestAbs = e, abs
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	v := firstLinkSlack + best
+	st.where[st.nonKey[i]] = -1
+	st.nonKey[i] = v
+	st.where[v] = i
+	return true
+}
+
+// SolveMCFBasis implements warm-started auto selection: the exact path
+// threads the basis through the GUB simplex, the Fleischer fallback ignores
+// it and returns a nil basis (approximate solves are stateless).
+func (a *AutoMCF) SolveMCFBasis(p *MCF, warm *Basis) (Allocation, *Basis, error) {
+	limit := a.ExactLimit
+	if limit == 0 {
+		limit = 6000
+	}
+	k := float64(len(p.Commodities))
+	e := float64(len(p.LinkCap))
+	if len(p.Commodities) <= limit && k*e*e <= autoMCFCostBudget {
+		alloc, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, warm)
+		if err == nil {
+			return alloc, basis, nil
+		}
+		// Numerical trouble in the exact path: fall through to the robust
+		// approximation rather than failing the TE interval.
+	}
+	eps := a.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	alloc, err := (&FleischerMCF{Epsilon: eps}).SolveMCF(p)
+	return alloc, nil, err
+}

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"megate/internal/stats"
+)
+
+func TestWarmStartIdenticalInputBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := randomMCF(seed, 12, 40, 4)
+		cold, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, nil)
+		if err != nil {
+			t.Fatalf("seed %d cold: %v", seed, err)
+		}
+		if basis == nil {
+			t.Fatalf("seed %d: no basis exported", seed)
+		}
+		warm, basis2, err := (&GUBSimplex{}).SolveMCFBasis(p, basis)
+		if err != nil {
+			t.Fatalf("seed %d warm: %v", seed, err)
+		}
+		for k := range cold {
+			for tt := range cold[k] {
+				if cold[k][tt] != warm[k][tt] {
+					t.Fatalf("seed %d: warm alloc[%d][%d] = %v != cold %v",
+						seed, k, tt, warm[k][tt], cold[k][tt])
+				}
+			}
+		}
+		if basis2 == nil {
+			t.Fatalf("seed %d: warm solve exported no basis", seed)
+		}
+	}
+}
+
+func TestWarmStartPerturbedStaysOptimal(t *testing.T) {
+	// Property: after small demand/capacity perturbations the warm solve
+	// must still land on an optimum — same objective as a cold solve of the
+	// perturbed problem (both are exact), and feasible.
+	r := stats.NewRand(7)
+	for seed := int64(1); seed <= 15; seed++ {
+		p := randomMCF(seed, 10, 30, 4)
+		_, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Perturb ~10% of demands and a few capacities by up to ±20%.
+		for k := range p.Commodities {
+			if r.Float64() < 0.1 {
+				p.Commodities[k].Demand *= 0.8 + 0.4*r.Float64()
+			}
+		}
+		for e := range p.LinkCap {
+			if r.Float64() < 0.1 {
+				p.LinkCap[e] *= 0.8 + 0.4*r.Float64()
+			}
+		}
+		warm, _, err := (&GUBSimplex{}).SolveMCFBasis(p, basis)
+		if err != nil {
+			t.Fatalf("seed %d warm: %v", seed, err)
+		}
+		if err := p.CheckFeasible(warm, 1e-6); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cold, err := (&GUBSimplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d cold: %v", seed, err)
+		}
+		ow, oc := p.Objective(warm), p.Objective(cold)
+		if math.Abs(ow-oc) > 1e-6*(1+math.Abs(oc)) {
+			t.Errorf("seed %d: warm objective %v != cold %v", seed, ow, oc)
+		}
+	}
+}
+
+func TestWarmStartShapeMismatchFallsBackCold(t *testing.T) {
+	p := randomMCF(3, 10, 20, 3)
+	_, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different shape: more commodities. The stale basis must be ignored,
+	// not crash or corrupt the solve.
+	q := randomMCF(4, 10, 25, 3)
+	alloc, _, err := (&GUBSimplex{}).SolveMCFBasis(q, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckFeasible(alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := (&GUBSimplex{}).SolveMCF(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Objective(alloc)-q.Objective(cold)) > 1e-6*(1+q.Objective(cold)) {
+		t.Errorf("objective %v != cold %v despite fallback", q.Objective(alloc), q.Objective(cold))
+	}
+}
+
+func TestWarmStartLargePerturbationStillExact(t *testing.T) {
+	// Violent perturbation: halve every capacity so the inherited vertex is
+	// far outside the new feasible region and the repair path must engage
+	// (or fall back cold). The result must still be optimal.
+	p := randomMCF(11, 10, 40, 4)
+	_, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range p.LinkCap {
+		p.LinkCap[e] *= 0.5
+	}
+	warm, _, err := (&GUBSimplex{}).SolveMCFBasis(p, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(warm, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := (&GUBSimplex{}).SolveMCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow, oc := p.Objective(warm), p.Objective(cold)
+	if math.Abs(ow-oc) > 1e-6*(1+math.Abs(oc)) {
+		t.Errorf("warm objective %v != cold %v", ow, oc)
+	}
+}
+
+func TestWarmStartBasisCloneIndependent(t *testing.T) {
+	p := randomMCF(5, 8, 10, 3)
+	_, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := basis.Clone()
+	c.Key[0] = -99
+	c.Winv[0][0] = math.NaN()
+	if basis.Key[0] == -99 || math.IsNaN(basis.Winv[0][0]) {
+		t.Error("Clone shares memory with the original")
+	}
+	var nilBasis *Basis
+	if nilBasis.Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestAutoMCFBasisThreadsThroughExactPath(t *testing.T) {
+	p := randomMCF(9, 10, 30, 3)
+	a := &AutoMCF{}
+	cold, basis, err := a.SolveMCFBasis(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis == nil {
+		t.Fatal("exact path should export a basis")
+	}
+	warm, _, err := a.SolveMCFBasis(p, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range cold {
+		for tt := range cold[k] {
+			if cold[k][tt] != warm[k][tt] {
+				t.Fatalf("warm alloc differs at [%d][%d]", k, tt)
+			}
+		}
+	}
+	// Beyond the exact limit the approximation runs and no basis comes back.
+	_, basis2, err := (&AutoMCF{ExactLimit: 5}).SolveMCFBasis(p, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis2 != nil {
+		t.Error("approximate fallback should not export a basis")
+	}
+}
+
+func BenchmarkGUBWarmVsColdUnchanged(b *testing.B) {
+	p := randomMCF(7, 16, 500, 4)
+	_, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := (&GUBSimplex{}).SolveMCFBasis(p, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := (&GUBSimplex{}).SolveMCFBasis(p, basis); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -23,13 +23,49 @@ type Solution struct {
 	Total float64
 }
 
+// Scratch holds reusable working buffers for the subset-sum solvers. The
+// stage-two MaxEndpointFlow workers call these solvers once per (pair,
+// tunnel) on the hot path; a per-worker Scratch removes the order/DP-table
+// allocation churn of the plain entry points. A Scratch must not be shared
+// between concurrent calls; the returned Solution.Selected is always
+// freshly allocated and safe to retain.
+type Scratch struct {
+	order     []int
+	reachable []bool
+	itemAt    []int32
+	fromSum   []int32
+	ctotals   []float64
+	residIdx  []int
+	residVals []float64
+	clusters  []cluster
+}
+
+// intBuf returns a zero-length int buffer with capacity >= n.
+func (sc *Scratch) intBuf(n int) []int {
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+	}
+	return sc.order[:0]
+}
+
 // GreedyDescending packs values into capacity by scanning them in
 // descending order and taking everything that fits. If any value remains
 // unselected, the residual gap is smaller than the smallest unselected
 // value — the property behind FastSSP's β error bound.
 func GreedyDescending(values []float64, capacity float64) Solution {
+	return GreedyDescendingScratch(values, capacity, nil)
+}
+
+// GreedyDescendingScratch is GreedyDescending with a reusable buffer set;
+// sc may be nil.
+func GreedyDescendingScratch(values []float64, capacity float64, sc *Scratch) Solution {
 	sol := Solution{Selected: make([]bool, len(values))}
-	order := make([]int, len(values))
+	var order []int
+	if sc != nil {
+		order = sc.intBuf(len(values))[:len(values)]
+	} else {
+		order = make([]int, len(values))
+	}
 	for i := range order {
 		order[i] = i
 	}
@@ -65,13 +101,18 @@ const maxDPCells = 1 << 26
 // unit multiples. Time and memory are O(len(values) * capacity/unit) — the
 // O(|I_k| * F_{k,t}) the paper calls too expensive at scale.
 func ExactDP(values []float64, capacity float64, unit float64) Solution {
+	return ExactDPScratch(values, capacity, unit, nil)
+}
+
+// ExactDPScratch is ExactDP with a reusable buffer set; sc may be nil.
+func ExactDPScratch(values []float64, capacity float64, unit float64, sc *Scratch) Solution {
 	sol := Solution{Selected: make([]bool, len(values))}
 	if capacity <= 0 || unit <= 0 {
 		return sol
 	}
 	capRatio := capacity / unit
 	if capRatio > maxDPCells {
-		return GreedyDescending(values, capacity)
+		return GreedyDescendingScratch(values, capacity, sc)
 	}
 	capU := int(capRatio + 1e-9)
 	if capU <= 0 {
@@ -80,9 +121,25 @@ func ExactDP(values []float64, capacity float64, unit float64) Solution {
 
 	// reachable[j]: some subset sums to exactly j units.
 	// itemAt[j]/fromSum[j]: backtracking chain.
-	reachable := make([]bool, capU+1)
-	itemAt := make([]int32, capU+1)
-	fromSum := make([]int32, capU+1)
+	var reachable []bool
+	var itemAt, fromSum []int32
+	if sc != nil {
+		if cap(sc.reachable) < capU+1 {
+			sc.reachable = make([]bool, capU+1)
+			sc.itemAt = make([]int32, capU+1)
+			sc.fromSum = make([]int32, capU+1)
+		}
+		reachable = sc.reachable[:capU+1]
+		itemAt = sc.itemAt[:capU+1]
+		fromSum = sc.fromSum[:capU+1]
+		for j := range reachable {
+			reachable[j] = false
+		}
+	} else {
+		reachable = make([]bool, capU+1)
+		itemAt = make([]int32, capU+1)
+		fromSum = make([]int32, capU+1)
+	}
 	for j := range itemAt {
 		itemAt[j] = -1
 		fromSum[j] = -1
@@ -148,9 +205,14 @@ type cluster struct {
 }
 
 // clusterValues groups values (in index order) into aggregates meeting the
-// threshold M. Values individually >= M form singleton clusters.
-func clusterValues(values []float64, m float64) []cluster {
+// threshold M. Values individually >= M form singleton clusters. When sc is
+// non-nil the clusters slice header is reused (member slices still allocate:
+// they are per-cluster and short-lived).
+func clusterValues(values []float64, m float64, sc *Scratch) []cluster {
 	var clusters []cluster
+	if sc != nil {
+		clusters = sc.clusters[:0]
+	}
 	var cur cluster
 	for i, v := range values {
 		if v <= 0 {
@@ -170,11 +232,19 @@ func clusterValues(values []float64, m float64) []cluster {
 	if len(cur.members) > 0 {
 		clusters = append(clusters, cur)
 	}
+	if sc != nil {
+		sc.clusters = clusters
+	}
 	return clusters
 }
 
 // Solve runs the four-step FastSSP procedure.
 func (f *FastSSP) Solve(values []float64, capacity float64) Solution {
+	return f.SolveScratch(values, capacity, nil)
+}
+
+// SolveScratch is Solve with a reusable buffer set; sc may be nil.
+func (f *FastSSP) SolveScratch(values []float64, capacity float64, sc *Scratch) Solution {
 	sol := Solution{Selected: make([]bool, len(values))}
 	if capacity <= 0 {
 		return sol
@@ -209,18 +279,26 @@ func (f *FastSSP) Solve(values []float64, capacity float64) Solution {
 
 	// Step 1: clustering with threshold M = (eps/3) * F.
 	m := eps / 3 * capacity
-	clusters := clusterValues(values, m)
+	clusters := clusterValues(values, m, sc)
 
 	// Step 2: normalization with delta = (eps/3) * M.
 	delta := eps / 3 * m
 
 	// Step 3: exact DP over the (few) clusters at unit delta. Rounding
 	// cluster totals up and the capacity down keeps the selection feasible.
-	ctotals := make([]float64, len(clusters))
+	var ctotals []float64
+	if sc != nil {
+		if cap(sc.ctotals) < len(clusters) {
+			sc.ctotals = make([]float64, len(clusters))
+		}
+		ctotals = sc.ctotals[:len(clusters)]
+	} else {
+		ctotals = make([]float64, len(clusters))
+	}
 	for i := range clusters {
 		ctotals[i] = clusters[i].total
 	}
-	dp := ExactDP(ctotals, capacity, delta)
+	dp := ExactDPScratch(ctotals, capacity, delta, sc)
 
 	used := 0.0
 	for ci, sel := range dp.Selected {
@@ -240,13 +318,21 @@ func (f *FastSSP) Solve(values []float64, capacity float64) Solution {
 	if residualCap > 0 {
 		var residIdx []int
 		var residVals []float64
+		if sc != nil {
+			residIdx = sc.residIdx[:0]
+			residVals = sc.residVals[:0]
+		}
 		for i, v := range values {
 			if v > 0 && !sol.Selected[i] {
 				residIdx = append(residIdx, i)
 				residVals = append(residVals, v)
 			}
 		}
-		g := GreedyDescending(residVals, residualCap)
+		if sc != nil {
+			sc.residIdx = residIdx
+			sc.residVals = residVals
+		}
+		g := GreedyDescendingScratch(residVals, residualCap, sc)
 		for j, sel := range g.Selected {
 			if sel {
 				sol.Selected[residIdx[j]] = true

@@ -214,7 +214,7 @@ func TestFastSSPMatchesDPOnModerateInstances(t *testing.T) {
 }
 
 func TestClusterValues(t *testing.T) {
-	clusters := clusterValues([]float64{1, 1, 1, 10, 1, 1}, 3)
+	clusters := clusterValues([]float64{1, 1, 1, 10, 1, 1}, 3, nil)
 	// 1+1+1 = 3 -> cluster; 10 -> singleton; 1+1 = trailing partial.
 	if len(clusters) != 3 {
 		t.Fatalf("clusters = %d, want 3", len(clusters))
@@ -244,7 +244,7 @@ func TestClusterValues(t *testing.T) {
 }
 
 func TestClusterValuesSkipsNonPositive(t *testing.T) {
-	clusters := clusterValues([]float64{0, -2, 5}, 3)
+	clusters := clusterValues([]float64{0, -2, 5}, 3, nil)
 	if len(clusters) != 1 || clusters[0].total != 5 {
 		t.Fatalf("clusters = %+v", clusters)
 	}
@@ -290,6 +290,68 @@ func TestFastSSPProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Scratch-backed entry points must return exactly what the allocating ones
+// do, including across repeated reuse of the same Scratch with different
+// problem sizes (stale buffer contents must not leak between calls).
+func TestScratchEquivalence(t *testing.T) {
+	r := stats.NewRand(13)
+	sc := &Scratch{}
+	f := &FastSSP{EpsPrime: 0.1}
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(120)
+		values := make([]float64, n)
+		total := 0.0
+		for i := range values {
+			values[i] = float64(r.Intn(25)) - 2 // mix in non-positives
+			total += math.Max(values[i], 0)
+		}
+		capacity := total * (0.2 + 0.7*r.Float64())
+
+		plain := GreedyDescending(values, capacity)
+		withSc := GreedyDescendingScratch(values, capacity, sc)
+		assertSameSolution(t, "greedy", trial, plain, withSc)
+
+		plain = ExactDP(values, capacity, 1)
+		withSc = ExactDPScratch(values, capacity, 1, sc)
+		assertSameSolution(t, "dp", trial, plain, withSc)
+
+		plain = f.Solve(values, capacity)
+		withSc = f.SolveScratch(values, capacity, sc)
+		assertSameSolution(t, "fastssp", trial, plain, withSc)
+	}
+}
+
+func assertSameSolution(t *testing.T, name string, trial int, a, b Solution) {
+	t.Helper()
+	if a.Total != b.Total {
+		t.Fatalf("%s trial %d: total %v != %v", name, trial, a.Total, b.Total)
+	}
+	if len(a.Selected) != len(b.Selected) {
+		t.Fatalf("%s trial %d: len %d != %d", name, trial, len(a.Selected), len(b.Selected))
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			t.Fatalf("%s trial %d: Selected[%d] differs", name, trial, i)
+		}
+	}
+}
+
+func TestScratchSolutionsDoNotAlias(t *testing.T) {
+	// Solutions produced with a Scratch must stay valid after the Scratch is
+	// reused for another call.
+	sc := &Scratch{}
+	values := []float64{5, 4, 3, 2, 1}
+	first := GreedyDescendingScratch(values, 7, sc)
+	want := append([]bool(nil), first.Selected...)
+	GreedyDescendingScratch([]float64{9, 9, 9, 9, 9}, 1, sc)
+	ExactDPScratch([]float64{2, 2, 2}, 3, 1, sc)
+	for i := range want {
+		if first.Selected[i] != want[i] {
+			t.Fatalf("Selected[%d] mutated by later scratch call", i)
+		}
 	}
 }
 
