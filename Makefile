@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench
+.PHONY: build test race verify bench lint fuzz-short
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,15 @@ race:
 
 verify:
 	./verify.sh
+
+lint:
+	$(GO) run ./cmd/megate-lint ./...
+
+# Bounded fuzzing for CI: each target gets a short budget on top of its
+# checked-in seed corpus. `go test` accepts one -fuzz per invocation.
+fuzz-short:
+	$(GO) test -run FuzzKVWireProtocol -fuzz FuzzKVWireProtocol -fuzztime 10s ./internal/kvstore/
+	$(GO) test -run FuzzFastSSP -fuzz FuzzFastSSP -fuzztime 10s ./internal/ssp/
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

@@ -1,0 +1,89 @@
+// Command megate-lint runs the domain-specific static analysis passes of
+// internal/analysis over the repository and exits non-zero when any finding
+// survives the //lint:ignore directives. It is stdlib-only (go/parser +
+// go/types with the source importer) and is wired into verify.sh and
+// `make lint` as a correctness gate: the passes guard the determinism,
+// numeric-tolerance, and concurrency invariants the incremental control
+// loop depends on.
+//
+// Usage:
+//
+//	megate-lint [-list] [packages...]
+//
+// Package patterns are module-relative ("./...", "./internal/lp"); the
+// default is ./... from the enclosing module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"megate/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the passes and exit")
+	flag.Parse()
+
+	passes := analysis.Passes()
+	if *list {
+		for _, p := range passes {
+			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+			if len(p.Paths) > 0 {
+				fmt.Printf("%-10s   (scoped to %v)\n", "", p.Paths)
+			}
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := analysis.ExpandPatterns(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			// A type-check error does not stop the lint: verify.sh runs
+			// `go build` first, so this is almost always a transient or
+			// partial-load condition worth reporting but not hiding other
+			// findings behind.
+			fmt.Fprintln(os.Stderr, "megate-lint:", err)
+			if pkg == nil {
+				findings++
+				continue
+			}
+		}
+		for _, d := range analysis.RunPasses(passes, pkg) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "megate-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "megate-lint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,316 @@
+// Package analysis implements megate-lint: a stdlib-only static analysis
+// suite (go/parser + go/ast + go/types with the source importer — no
+// golang.org/x/tools dependency) with passes tuned to this codebase's
+// correctness invariants. The incremental control loop (fingerprint-gated
+// delta publication, warm-started simplex, cached stage-2 results) depends
+// on properties the compiler cannot check: deterministic iteration before
+// anything is hashed or published, epsilon-tolerant float comparisons in the
+// numeric kernels, and lock/goroutine discipline in the store and control
+// plane. Each pass guards one of those invariants:
+//
+//   - floatcmp: no direct ==/!= (or switch) on float values in the numeric
+//     packages outside the exact-zero idiom.
+//   - maporder: no map iteration that feeds a hash, fingerprint, store
+//     write, or slice that is never sorted.
+//   - lockcheck: no mutexes copied by value, no locks held across network
+//     I/O or channel operations, no lock leaked on an early return.
+//   - goroleak: every goroutine launch has a join path (WaitGroup, context,
+//     or quit channel).
+//   - errdrop: no silently discarded error results outside tests.
+//
+// A finding can be suppressed with a directive comment:
+//
+//	//lint:ignore <pass> <reason>
+//
+// A trailing directive suppresses its own line; a standalone directive
+// suppresses the whole statement or declaration that begins on the next
+// line (so one directive above a loop covers the loop body). The reason is
+// mandatory; a directive without one is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one pass at one source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+// String renders the finding in the conventional path:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Pass is one self-contained analyzer.
+type Pass struct {
+	Name string
+	Doc  string
+	// Paths restricts the pass to packages whose import path equals or is a
+	// subpackage of one of these prefixes; nil applies the pass everywhere.
+	Paths []string
+	Run   func(*Pkg) []Diagnostic
+}
+
+// applies reports whether the pass runs on the given import path.
+func (p *Pass) applies(path string) bool {
+	if len(p.Paths) == 0 {
+		return true
+	}
+	for _, pre := range p.Paths {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Passes returns the full megate-lint pass set with this repository's
+// scoping: floatcmp on the numeric kernels, lockcheck on the store and
+// control plane, the rest tree-wide.
+func Passes() []*Pass {
+	return []*Pass{
+		FloatCmpPass("megate/internal/lp", "megate/internal/ssp", "megate/internal/core"),
+		MapOrderPass(),
+		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane"),
+		GoroLeakPass(),
+		ErrDropPass(),
+	}
+}
+
+// Pkg is one loaded, type-checked package: the unit every pass runs over.
+type Pkg struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// diag builds a Diagnostic at the given node position.
+func (p *Pkg) diag(pos token.Pos, pass, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(pos), Pass: pass, Message: fmt.Sprintf(format, args...)}
+}
+
+// typeOf returns the type of e, or nil when type-checking did not record one.
+func (p *Pkg) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ignoreDirectiveRe matches "//lint:ignore <pass> <reason>"; the reason group
+// is empty for a malformed directive.
+var ignoreDirectiveRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// ignoreKey identifies one suppressed (file, line, pass) combination.
+type ignoreKey struct {
+	file string
+	line int
+	pass string
+}
+
+// directives scans the package's comments for lint:ignore directives. A
+// well-formed directive suppresses the named pass on its own line and over
+// the full extent of the statement or declaration beginning on the line
+// directly below it — so a trailing comment covers its line, and a
+// standalone comment above a loop covers the whole loop. Malformed
+// directives are returned as diagnostics.
+func (p *Pkg) directives() (map[ignoreKey]bool, []Diagnostic) {
+	ignored := make(map[ignoreKey]bool)
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirectiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, p.diag(c.Pos(), "directive",
+						"lint:ignore %s needs a reason: //lint:ignore <pass> <reason>", m[1]))
+					continue
+				}
+				end := p.followingNodeEndLine(f, pos.Line+1)
+				for line := pos.Line; line <= end; line++ {
+					ignored[ignoreKey{pos.Filename, line, m[1]}] = true
+				}
+			}
+		}
+	}
+	return ignored, bad
+}
+
+// followingNodeEndLine returns the last line of the outermost statement or
+// declaration that begins on the given line of f, or the line itself when
+// nothing starts there (a trailing directive).
+func (p *Pkg) followingNodeEndLine(f *ast.File, line int) int {
+	end := line
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+		default:
+			return true
+		}
+		if p.Fset.Position(n.Pos()).Line != line {
+			return true
+		}
+		if e := p.Fset.Position(n.End()).Line; e > end {
+			end = e
+		}
+		return false // outermost node starting on the line wins
+	})
+	return end
+}
+
+// RunPasses runs every pass that applies to pkg, filters the findings
+// through the package's lint:ignore directives, and returns them sorted by
+// position.
+func RunPasses(passes []*Pass, pkg *Pkg) []Diagnostic {
+	ignored, out := pkg.directives()
+	for _, pass := range passes {
+		if !pass.applies(pkg.Path) {
+			continue
+		}
+		for _, d := range pass.Run(pkg) {
+			if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Pass}] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
+}
+
+// --- shared type helpers used by several passes ---
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// isFloatType reports whether t's underlying type is a floating-point basic
+// type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedFrom returns the named type behind t, unwrapping one level of
+// pointer, or nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeFromPkg reports whether t (possibly behind a pointer) is a named type
+// declared in a package whose import path is pkgPath or a subpackage of it.
+func typeFromPkg(t types.Type, pkgPath string) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == pkgPath || strings.HasPrefix(path, pkgPath+"/")
+}
+
+// isSyncLock reports whether t (not behind a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// containsLock reports whether t is a lock or a struct directly embedding or
+// holding one (one level deep — the by-value copy hazard).
+func containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isSyncLock(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isSyncLock(ft) {
+			return true
+		}
+		if _, isStruct := ft.Underlying().(*types.Struct); isStruct && containsLock(ft) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcBodies returns every function body in the file — FuncDecls and
+// FuncLits — so intra-procedural passes can analyze each in isolation.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingBody returns the smallest function body in f that contains pos,
+// or nil.
+func enclosingBody(f *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range funcBodies(f) {
+		if b.Pos() <= pos && pos < b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}

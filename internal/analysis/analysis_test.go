@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden-file expectation markers: `// want pass1 pass2`.
+var wantRe = regexp.MustCompile(`^// want ([a-z ]+)$`)
+
+// goldenLoader builds one loader per test binary so the (expensive) source
+// importer work is shared across subtests.
+func goldenLoader(t *testing.T) (*Loader, string) {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	return l, root
+}
+
+// wantDiagnostics extracts the expected (file, line, pass) set from a golden
+// package's `// want` markers. A malformed lint:ignore directive (no reason)
+// is itself an expected "directive" finding, so those are added implicitly.
+func wantDiagnostics(pkg *Pkg) map[string]int {
+	want := make(map[string]int)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if m := wantRe.FindStringSubmatch(c.Text); m != nil {
+					for _, pass := range strings.Fields(m[1]) {
+						want[fmt.Sprintf("%s:%d:%s", filepath.Base(pos.Filename), pos.Line, pass)]++
+					}
+					continue
+				}
+				if m := ignoreDirectiveRe.FindStringSubmatch(c.Text); m != nil && strings.TrimSpace(m[2]) == "" {
+					want[fmt.Sprintf("%s:%d:%s", filepath.Base(pos.Filename), pos.Line, "directive")]++
+				}
+			}
+		}
+	}
+	return want
+}
+
+// TestGolden checks every pass against its intentionally-bad fixture: the
+// findings must match the `// want` markers exactly — no misses, no extras.
+func TestGolden(t *testing.T) {
+	loader, root := goldenLoader(t)
+	// Unscoped pass instances: fixtures live outside the paths the
+	// production scoping in Passes() restricts some passes to.
+	passes := []*Pass{FloatCmpPass(), MapOrderPass(), LockCheckPass(), GoroLeakPass(), ErrDropPass()}
+	for _, name := range []string{
+		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad", "directives",
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("load %s: %v", name, err)
+			}
+			want := wantDiagnostics(pkg)
+			got := make(map[string]int)
+			for _, d := range RunPasses(passes, pkg) {
+				got[fmt.Sprintf("%s:%d:%s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pass)]++
+			}
+			keys := make(map[string]bool)
+			for k := range want {
+				keys[k] = true
+			}
+			for k := range got {
+				keys[k] = true
+			}
+			sorted := make([]string, 0, len(keys))
+			for k := range keys {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+			for _, k := range sorted {
+				if got[k] != want[k] {
+					t.Errorf("%s: got %d finding(s), want %d", k, got[k], want[k])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenHasFailingCasePerPass guards the fixtures themselves: each pass
+// must have at least one expected finding, or the golden test would pass
+// vacuously after a regression that silences a pass entirely.
+func TestGoldenHasFailingCasePerPass(t *testing.T) {
+	loader, root := goldenLoader(t)
+	seen := make(map[string]int)
+	for _, name := range []string{
+		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad", "directives",
+	} {
+		dir := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		for k, n := range wantDiagnostics(pkg) {
+			parts := strings.Split(k, ":")
+			seen[parts[len(parts)-1]] += n
+		}
+	}
+	for _, pass := range []string{"floatcmp", "maporder", "lockcheck", "goroleak", "errdrop", "directive"} {
+		if seen[pass] == 0 {
+			t.Errorf("no golden fixture exercises pass %q", pass)
+		}
+	}
+}
+
+// TestLiveTreeClean runs the full production pass set over the whole module
+// and requires zero findings — the tree must lint clean at all times. The
+// whole-module type-check is the expensive part, so -short skips it (CI
+// runs megate-lint itself via verify.sh anyway).
+func TestLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check; covered by megate-lint in verify.sh")
+	}
+	loader, root := goldenLoader(t)
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	passes := Passes()
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		for _, d := range RunPasses(passes, pkg) {
+			t.Errorf("live tree not clean: %s", d)
+		}
+	}
+}

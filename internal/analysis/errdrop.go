@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDropPass flags expression statements that call a function returning an
+// error and let the result fall on the floor. An explicit `_ =` assignment
+// is the sanctioned way to discard, so intent stays visible at the call
+// site. Whitelisted because their error contract is sticky or advisory:
+//
+//   - fmt.Print/Fprint family (the sticky-error writer idiom — this
+//     codebase checks the final Flush instead);
+//   - methods on bufio, bytes, strings, and hash values (Write on those
+//     cannot fail independently of the eventual Flush/Sum);
+//   - deferred calls (defer conn.Close() is conventional).
+func ErrDropPass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "errdrop",
+		Doc:   "silently discarded error results outside tests",
+		Paths: paths,
+		Run:   runErrDrop,
+	}
+}
+
+func runErrDrop(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !p.returnsError(call) || p.errWhitelisted(call) {
+				return true
+			}
+			ds = append(ds, p.diag(call.Pos(), "errdrop",
+				"error returned by %s is silently discarded; handle it or assign to _ to make the drop explicit",
+				calleeName(call)))
+			return true
+		})
+	}
+	return ds
+}
+
+// returnsError reports whether any result of the call is of type error.
+func (p *Pkg) returnsError(call *ast.CallExpr) bool {
+	t := p.typeOf(call)
+	if t == nil {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		n := namedFrom(t)
+		return n != nil && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErr(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(t)
+}
+
+// errWhitelisted applies the sticky-writer and convention whitelist.
+func (p *Pkg) errWhitelisted(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			path := pn.Imported().Path()
+			if path == "fmt" && strings.HasPrefix(sel.Sel.Name, "Print") {
+				return true
+			}
+			if path == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				return true
+			}
+			return false
+		}
+	}
+	recv := p.typeOf(sel.X)
+	for _, pkg := range []string{"bufio", "bytes", "strings", "hash"} {
+		if typeFromPkg(recv, pkg) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return exprString(fun)
+	}
+	return exprString(call.Fun)
+}

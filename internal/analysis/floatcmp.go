@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatCmpPass flags direct equality comparisons (== / != / switch) on
+// floating-point values. After a warm-started simplex or a cached stage-2
+// result, float values that are mathematically equal routinely differ by an
+// ulp; exact comparison silently changes pivots, cache hits, and
+// convergence. The one whitelisted idiom is comparing against an exact zero
+// literal: skipping a term whose coefficient is exactly 0.0 is well-defined
+// and pervasive in the numeric kernels.
+func FloatCmpPass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "floatcmp",
+		Doc:   "direct ==/!= or switch on float values outside the exact-zero idiom",
+		Paths: paths,
+		Run:   runFloatCmp,
+	}
+}
+
+func runFloatCmp(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloatType(p.typeOf(n.X)) && !isFloatType(p.typeOf(n.Y)) {
+					return true
+				}
+				if p.isConstZero(n.X) || p.isConstZero(n.Y) {
+					return true // exact-zero idiom
+				}
+				if p.isConst(n.X) && p.isConst(n.Y) {
+					return true // compile-time constant comparison
+				}
+				ds = append(ds, p.diag(n.Pos(), "floatcmp",
+					"direct %s on float values; use an epsilon tolerance (only comparison against an exact 0 is allowed)", n.Op))
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloatType(p.typeOf(n.Tag)) {
+					ds = append(ds, p.diag(n.Tag.Pos(), "floatcmp",
+						"switch on a float value compares exactly; use epsilon-tolerant if/else instead"))
+				}
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func (p *Pkg) isConst(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isConstZero reports whether e is a compile-time constant equal to exactly
+// zero.
+func (p *Pkg) isConstZero(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeakPass flags `go` launches with no visible join path. A goroutine
+// counts as joinable when its body (or, for a named same-package callee, the
+// callee's body):
+//
+//   - calls Done on a sync.WaitGroup or Done() on a context.Context,
+//   - receives from a channel declared outside the goroutine (quit/done
+//     channel), or
+//   - is preceded in the same block by a WaitGroup Add call (the
+//     wg.Add(1); go ... idiom where the body belongs to another function).
+//
+// Anything else is a goroutine the test harness, shutdown path, and race
+// detector cannot wait for.
+func GoroLeakPass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "goroleak",
+		Doc:   "go statements with no WaitGroup, context, or quit-channel join path",
+		Paths: paths,
+		Run:   runGoroLeak,
+	}
+}
+
+func runGoroLeak(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	decls := p.funcDeclIndex()
+	for _, f := range p.Files {
+		// stmtBlocks maps each statement to its enclosing block and index,
+		// for the preceding-Add check.
+		type slot struct {
+			block *ast.BlockStmt
+			idx   int
+		}
+		blocks := make(map[ast.Stmt]slot)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				for i, s := range b.List {
+					blocks[s] = slot{b, i}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// Preceding wg.Add in the same block.
+			if sl, ok := blocks[ast.Stmt(g)]; ok {
+				for i := sl.idx - 1; i >= 0 && i >= sl.idx-5; i-- {
+					if p.isWaitGroupAdd(sl.block.List[i]) {
+						return true
+					}
+				}
+			}
+			var body *ast.BlockStmt
+			var outer token.Pos
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				body, outer = lit.Body, lit.Pos()
+			} else if decl := decls[p.calleeObj(g.Call)]; decl != nil && decl.Body != nil {
+				body, outer = decl.Body, decl.Pos()
+			}
+			if body != nil && p.hasJoinEvidence(body, outer) {
+				return true
+			}
+			ds = append(ds, p.diag(g.Pos(), "goroleak",
+				"goroutine has no join path (WaitGroup, context, or quit channel); it cannot be waited for or shut down"))
+			return true
+		})
+	}
+	return ds
+}
+
+// funcDeclIndex maps function/method objects to their declarations, so a
+// `go s.handle(conn)` can be checked against handle's body.
+func (p *Pkg) funcDeclIndex() map[types.Object]*ast.FuncDecl {
+	idx := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					idx[obj] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// calleeObj resolves the object a go statement calls, or nil.
+func (p *Pkg) calleeObj(call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isWaitGroupAdd reports whether s is a statement calling Add on a
+// sync.WaitGroup.
+func (p *Pkg) isWaitGroupAdd(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	return p.isWaitGroup(p.typeOf(sel.X))
+}
+
+func (p *Pkg) isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n := namedFrom(t)
+	return n != nil && n.Obj() != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+func (p *Pkg) isContext(t types.Type) bool {
+	n := namedFrom(t)
+	return n != nil && n.Obj() != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// hasJoinEvidence scans a goroutine body for any of the join mechanisms.
+// outer is the body's start position: channel receives only count when the
+// channel variable is declared before it (outside the goroutine).
+func (p *Pkg) hasJoinEvidence(body *ast.BlockStmt, outer token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				t := p.typeOf(sel.X)
+				if p.isWaitGroup(t) || p.isContext(t) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && p.outerChannel(n.X, outer) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Draining an outer channel: the launcher joins by closing it.
+			if t := p.typeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && p.outerChannel(n.X, outer) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// outerChannel reports whether e is (rooted at) a variable declared before
+// outer — a channel owned by the launching scope rather than the goroutine.
+func (p *Pkg) outerChannel(e ast.Expr, outer token.Pos) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			return obj != nil && obj.Pos() < outer
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr: // e.g. <-ctx.Done()
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				e = sel.X
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}

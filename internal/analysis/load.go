@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// ExpandPatterns resolves go-style package patterns ("./...", "./internal/lp",
+// ".") relative to the module root into package directories containing at
+// least one non-test .go file. testdata and hidden directories are skipped,
+// as the go tool does.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if hasGoFiles(dir) && !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(root, filepath.FromSlash(pat)))
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Loader parses and type-checks packages with a shared FileSet and importer
+// so the (expensive) source-importer work is paid once per process.
+type Loader struct {
+	Fset     *token.FileSet
+	importer types.Importer
+	root     string
+	module   string
+}
+
+// NewLoader builds a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		importer: importer.ForCompiler(fset, "source", nil),
+		root:     root,
+		module:   module,
+	}, nil
+}
+
+// ImportPath maps a package directory to its import path within the module.
+func (l *Loader) ImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDir parses and type-checks the non-test files of one package
+// directory. Lint passes only need accurate types for the expressions they
+// inspect, so type errors (which `go build`, run first in verify.sh, would
+// have caught anyway) are reported but do not abort the load.
+func (l *Loader) LoadDir(dir string) (*Pkg, error) {
+	path, err := l.ImportPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.Check(path, files)
+}
+
+// Check type-checks already-parsed files as one package.
+func (l *Loader) Check(path string, files []*ast.File) (*Pkg, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l.importer,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	pkg := &Pkg{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	if firstErr != nil {
+		return pkg, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	return pkg, nil
+}

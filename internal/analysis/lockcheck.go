@@ -1,0 +1,443 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheckPass guards the store and control-plane locking discipline with
+// three intra-procedural checks:
+//
+//  1. copied locks: a sync.Mutex/RWMutex (or a struct directly holding one)
+//     passed or received by value is a fresh, useless lock;
+//  2. locks held across network I/O or channel operations: a blocked peer
+//     then stalls every store shard or the whole connection table;
+//  3. missing unlock on an early return: a Lock with neither a deferred
+//     unlock nor an unlock on the return path wedges the store forever.
+//
+// The analysis is a branch-sensitive statement walk, not a full CFG: each
+// if/switch arm is walked with its own copy of the held-lock set, and a
+// lock counts as released after a compound statement if any arm released it
+// (optimistic merge — early returns are still checked inside the arm where
+// they occur). A function literal in a return value that unlocks the mutex
+// (the release-closure idiom) counts as handing the unlock to the caller.
+func LockCheckPass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "lockcheck",
+		Doc:   "locks copied by value, held across I/O or channel ops, or leaked on early return",
+		Paths: paths,
+		Run:   runLockCheck,
+	}
+}
+
+func runLockCheck(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ds = append(ds, p.copiedLocks(f)...)
+		for _, body := range funcBodies(f) {
+			lc := &lockChecker{p: p}
+			lc.walkStmts(body.List, map[string]*heldLock{})
+			ds = append(ds, lc.ds...)
+			ds = append(ds, lc.unpaired(body)...)
+		}
+	}
+	return ds
+}
+
+// copiedLocks flags by-value parameters, receivers, and range variables
+// whose type contains a lock.
+func (p *Pkg) copiedLocks(f *ast.File) []Diagnostic {
+	var ds []Diagnostic
+	check := func(name string, e ast.Expr) {
+		t := p.typeOf(e)
+		if t == nil {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					t = obj.Type()
+				}
+			}
+		}
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		if containsLock(t) {
+			ds = append(ds, p.diag(e.Pos(), "lockcheck",
+				"%s copies a lock by value; pass a pointer so Lock and Unlock see the same mutex", name))
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, field := range n.Recv.List {
+					check("receiver", field.Type)
+				}
+			}
+			if n.Type.Params != nil {
+				for _, field := range n.Type.Params.List {
+					check("parameter", field.Type)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					check("range value", id)
+				}
+			}
+		}
+		return true
+	})
+	return ds
+}
+
+// heldLock tracks one currently-held mutex inside the walker.
+type heldLock struct {
+	pos      token.Pos // where it was locked
+	deferred bool      // a matching defer Unlock was seen
+}
+
+type lockChecker struct {
+	p  *Pkg
+	ds []Diagnostic
+	// locked/unlocked record every mutex expression this function locks or
+	// unlocks anywhere (including closures), for the unpaired check.
+	locked   map[string]token.Pos
+	unlocked map[string]bool
+}
+
+// lockCall classifies e as a Lock/RLock/Unlock/RUnlock call on a sync
+// mutex, returning the canonical receiver string.
+func (lc *lockChecker) lockCall(e ast.Expr) (recv, method string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := lc.p.typeOf(sel.X)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if !isSyncLock(t) {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// note records lock/unlock events for the unpaired check.
+func (lc *lockChecker) note(recv, method string, pos token.Pos) {
+	if lc.locked == nil {
+		lc.locked = make(map[string]token.Pos)
+		lc.unlocked = make(map[string]bool)
+	}
+	if strings.HasPrefix(method, "Lock") || strings.HasPrefix(method, "RLock") {
+		if _, seen := lc.locked[recv]; !seen {
+			lc.locked[recv] = pos
+		}
+	} else {
+		lc.unlocked[recv] = true
+	}
+}
+
+// unpaired flags mutexes this function locks but never unlocks anywhere —
+// not even in a closure or on another branch.
+func (lc *lockChecker) unpaired(body *ast.BlockStmt) []Diagnostic {
+	// Closures are walked as their own functions, but their lock/unlock
+	// events also need to count toward the enclosing function's pairing
+	// (the release-closure idiom unlocks in a returned FuncLit).
+	all := &lockChecker{p: lc.p}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			if recv, method, ok := all.lockCall(e); ok {
+				all.note(recv, method, n.Pos())
+			}
+		}
+		return true
+	})
+	recvs := make([]string, 0, len(all.locked))
+	for recv := range all.locked {
+		recvs = append(recvs, recv)
+	}
+	sort.Strings(recvs)
+	var ds []Diagnostic
+	for _, recv := range recvs {
+		if !all.unlocked[recv] {
+			ds = append(ds, lc.p.diag(all.locked[recv], "lockcheck",
+				"%s is locked but never unlocked in this function; add an Unlock (or defer it)", recv))
+		}
+	}
+	return ds
+}
+
+// copyHeld clones the held-lock map for a branch walk.
+func copyHeld(held map[string]*heldLock) map[string]*heldLock {
+	out := make(map[string]*heldLock, len(held))
+	for k, v := range held {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// mergeBranches applies the optimistic join: a lock stays held only if every
+// branch left it held; deferred status propagates if any branch deferred.
+func mergeBranches(held map[string]*heldLock, branches ...map[string]*heldLock) {
+	for key := range held {
+		for _, b := range branches {
+			got, still := b[key]
+			if !still {
+				delete(held, key)
+				break
+			}
+			if got.deferred {
+				held[key].deferred = true
+			}
+		}
+	}
+	// Locks acquired on every branch become held afterwards.
+	if len(branches) > 0 {
+		for key, v := range branches[0] {
+			if _, already := held[key]; already {
+				continue
+			}
+			onAll := true
+			for _, b := range branches[1:] {
+				if _, ok := b[key]; !ok {
+					onAll = false
+					break
+				}
+			}
+			if onAll {
+				cp := *v
+				held[key] = &cp
+			}
+		}
+	}
+}
+
+// walkStmts walks a statement list updating held in place.
+func (lc *lockChecker) walkStmts(stmts []ast.Stmt, held map[string]*heldLock) {
+	for _, s := range stmts {
+		lc.walkStmt(s, held)
+	}
+}
+
+func (lc *lockChecker) walkStmt(s ast.Stmt, held map[string]*heldLock) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, method, ok := lc.lockCall(s.X); ok {
+			lc.note(recv, method, s.Pos())
+			switch method {
+			case "Lock", "RLock":
+				held[recv] = &heldLock{pos: s.Pos()}
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			return
+		}
+		lc.checkIO(s, held)
+	case *ast.DeferStmt:
+		if recv, method, ok := lc.lockCall(s.Call); ok {
+			lc.note(recv, method, s.Pos())
+			if method == "Unlock" || method == "RUnlock" {
+				if h, isHeld := held[recv]; isHeld {
+					h.deferred = true
+				}
+			}
+			return
+		}
+		// Deferred closures run at exit; their bodies are walked as
+		// independent functions by funcBodies.
+	case *ast.ReturnStmt:
+		lc.checkIO(s, held)
+		for recv, h := range held {
+			if h.deferred || returnsUnlockClosure(lc, s, recv) {
+				continue
+			}
+			lc.ds = append(lc.ds, lc.p.diag(s.Pos(), "lockcheck",
+				"return with %s still locked (locked at line %d); unlock before returning or defer the unlock",
+				recv, lc.p.Fset.Position(h.pos).Line))
+		}
+	case *ast.BlockStmt:
+		lc.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		lc.checkIOExpr(s.Cond, held)
+		b1 := copyHeld(held)
+		lc.walkStmts(s.Body.List, b1)
+		b2 := copyHeld(held)
+		if s.Else != nil {
+			lc.walkStmt(s.Else, b2)
+		}
+		mergeBranches(held, b1, b2)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		b := copyHeld(held)
+		lc.walkStmts(s.Body.List, b)
+	case *ast.RangeStmt:
+		lc.checkIOExpr(s.X, held)
+		b := copyHeld(held)
+		lc.walkStmts(s.Body.List, b)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		lc.walkCases(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		lc.walkCases(s.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			lc.flagIO(s.Pos(), held, "select (channel operation)")
+		}
+		lc.walkCases(s.Body, held)
+	case *ast.GoStmt:
+		// The goroutine body runs elsewhere; walked independently.
+	case *ast.LabeledStmt:
+		lc.walkStmt(s.Stmt, held)
+	default:
+		lc.checkIO(s, held)
+	}
+}
+
+// walkCases walks each case clause with its own copy of held and merges.
+func (lc *lockChecker) walkCases(body *ast.BlockStmt, held map[string]*heldLock) {
+	var branches []map[string]*heldLock
+	for _, cs := range body.List {
+		b := copyHeld(held)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			lc.walkStmts(cs.Body, b)
+		case *ast.CommClause:
+			if cs.Comm != nil {
+				lc.walkStmt(cs.Comm, b)
+			}
+			lc.walkStmts(cs.Body, b)
+		}
+		branches = append(branches, b)
+	}
+	if len(branches) > 0 {
+		mergeBranches(held, branches...)
+	}
+}
+
+// returnsUnlockClosure reports whether a return statement hands the caller a
+// closure that unlocks recv (the release-func idiom).
+func returnsUnlockClosure(lc *lockChecker, ret *ast.ReturnStmt, recv string) bool {
+	for _, res := range ret.Results {
+		lit, ok := res.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if r, m, ok := lc.lockCall(e); ok && r == recv && (m == "Unlock" || m == "RUnlock") {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkIO scans a simple statement for channel operations and network I/O
+// while locks are held; nested function literals are skipped (they execute
+// later, not under this lock scope).
+func (lc *lockChecker) checkIO(s ast.Stmt, held map[string]*heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			lc.flagIO(n.Pos(), held, "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lc.flagIO(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if kind, isIO := lc.ioCall(n); isIO {
+				lc.flagIO(n.Pos(), held, kind)
+			}
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) checkIOExpr(e ast.Expr, held map[string]*heldLock) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	lc.checkIO(&ast.ExprStmt{X: e}, held)
+}
+
+func (lc *lockChecker) flagIO(pos token.Pos, held map[string]*heldLock, what string) {
+	for recv := range held {
+		lc.ds = append(lc.ds, lc.p.diag(pos, "lockcheck",
+			"%s while holding %s; a blocked peer stalls every other holder — release the lock first", what, recv))
+	}
+}
+
+// ioCall classifies a call as network I/O: package-level net calls, methods
+// on net types (Conn, Listener, ...), methods on bufio readers/writers (the
+// buffered side of a connection in this codebase), and fmt/io helpers
+// writing to either.
+func (lc *lockChecker) ioCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := lc.p.Info.Uses[id].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "net":
+				return "net." + name + " call", true
+			case "fmt", "io":
+				for _, arg := range call.Args {
+					t := lc.p.typeOf(arg)
+					if typeFromPkg(t, "net") || typeFromPkg(t, "bufio") {
+						return pn.Imported().Path() + "." + name + " to a connection", true
+					}
+				}
+			}
+			return "", false
+		}
+	}
+	recv := lc.p.typeOf(sel.X)
+	if typeFromPkg(recv, "net") {
+		return "network I/O (" + exprString(sel.X) + "." + name + ")", true
+	}
+	if typeFromPkg(recv, "bufio") {
+		switch name {
+		case "Read", "ReadString", "ReadBytes", "ReadByte", "ReadRune", "ReadLine", "ReadSlice",
+			"Write", "WriteString", "WriteByte", "WriteRune", "Flush":
+			return "buffered I/O (" + exprString(sel.X) + "." + name + ")", true
+		}
+	}
+	return "", false
+}

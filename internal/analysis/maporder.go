@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// MapOrderPass flags `range` over a map whose body feeds an
+// order-sensitive sink: a hash or fingerprint, a store write (the delta
+// publication path compares what it writes against the previous interval),
+// or an append to a slice declared outside the loop that is never sorted
+// afterwards in the same function. Go randomizes map iteration order, so
+// any of these turns a deterministic computation into a nondeterministic
+// one — exactly the class of bug that breaks fingerprint-gated delta
+// publication between intervals.
+func MapOrderPass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "maporder",
+		Doc:   "map range feeding a hash, fingerprint, store write, or never-sorted append",
+		Paths: paths,
+		Run:   runMapOrder,
+	}
+}
+
+// storeWriteMethods are the TE-database write verbs (kvstore.Store, the
+// ConfigStore interface, and their adapters).
+var storeWriteMethods = map[string]bool{
+	"Put": true, "Delete": true, "Publish": true,
+	"PutConfig": true, "DeleteConfig": true, "PublishVersion": true,
+}
+
+// hashishName matches callee names that implement or feed a digest.
+var hashishName = regexp.MustCompile(`(?i)hash|fingerprint|digest|\bmix\b`)
+
+// sortFuncs are the sort/slices entry points that make a later iteration
+// order deterministic again.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true, "SortFunc": true, "SortStableFunc": true,
+}
+
+func runMapOrder(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		f := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := p.typeOf(rng.X); t == nil || !isMapType(t) {
+				return true
+			}
+			ds = append(ds, p.mapRangeSinks(f, rng)...)
+			return true
+		})
+	}
+	return ds
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapRangeSinks scans one map-range body for order-sensitive sinks.
+func (p *Pkg) mapRangeSinks(f *ast.File, rng *ast.RangeStmt) []Diagnostic {
+	var ds []Diagnostic
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			recv := p.typeOf(sel.X)
+			switch {
+			case typeFromPkg(recv, "hash") && (name == "Write" || name == "WriteString" || name == "WriteByte"):
+				ds = append(ds, p.diag(n.Pos(), "maporder",
+					"map iteration order feeds hash %s.%s; iterate sorted keys so the digest is deterministic",
+					exprString(sel.X), name))
+			case hashishName.MatchString(name):
+				ds = append(ds, p.diag(n.Pos(), "maporder",
+					"map iteration order feeds %s; iterate sorted keys so the result is deterministic", name))
+			case storeWriteMethods[name] && recv != nil && !isMapType(recv):
+				ds = append(ds, p.diag(n.Pos(), "maporder",
+					"map iteration order drives store write %s.%s; iterate sorted keys so the publication order is deterministic",
+					exprString(sel.X), name))
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				target, ok := call.Args[0].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[target]
+				if obj == nil || insideNode(obj.Pos(), rng) {
+					continue // loop-local accumulator; its scope ends with the loop
+				}
+				if unorderableElem(obj.Type()) {
+					// A bag of connections, callbacks, or channels has no
+					// canonical order to restore — snapshotting one out of a
+					// map is not a determinism hazard.
+					continue
+				}
+				if p.sortedAfter(f, rng, obj) {
+					continue
+				}
+				ds = append(ds, p.diag(call.Pos(), "maporder",
+					"slice %s accumulates map keys/values in random order and is never sorted in this function; sort it (or iterate sorted keys)",
+					target.Name))
+			}
+		}
+		return true
+	})
+	return ds
+}
+
+func insideNode(pos token.Pos, n ast.Node) bool { return n.Pos() <= pos && pos < n.End() }
+
+// unorderableElem reports whether t is a slice whose element type is (or
+// contains, one struct level deep) a function, channel, or interface —
+// values with no canonical order, which are collected from maps only to be
+// iterated, never compared or published.
+func unorderableElem(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return unorderable(sl.Elem(), 0)
+}
+
+func unorderable(t types.Type, depth int) bool {
+	if depth > 2 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Signature, *types.Chan, *types.Interface:
+		return true
+	case *types.Pointer:
+		return unorderable(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if unorderable(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after the
+// range statement within the same enclosing function body.
+func (p *Pkg) sortedAfter(f *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	body := enclosingBody(f, rng.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortFuncs[sel.Sel.Name] {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := p.Info.Uses[pkgID].(*types.PkgName); !ok ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if referencesObj(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// referencesObj reports whether expr mentions obj.
+func referencesObj(p *Pkg, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,35 @@
+// Package directives is a megate-lint golden fixture for the
+// //lint:ignore directive: trailing suppression, statement-extent
+// suppression, and the two failure modes (missing reason, wrong pass).
+package directives
+
+import "os"
+
+// Trailing suppresses its own line.
+func Trailing(f *os.File) {
+	f.Close() //lint:ignore errdrop fixture: trailing suppression
+}
+
+// Extent: a standalone directive covers the whole following statement,
+// including a loop body.
+func Extent(m map[string]int) []string {
+	var out []string
+	//lint:ignore maporder fixture: statement-extent suppression
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Malformed: a directive without a reason is itself a finding and
+// suppresses nothing.
+func Malformed(f *os.File) {
+	//lint:ignore errdrop
+	f.Close() // want errdrop
+}
+
+// WrongPass: naming a different pass leaves this one unsuppressed.
+func WrongPass(f *os.File) {
+	//lint:ignore floatcmp fixture: wrong pass name, errdrop still fires
+	f.Close() // want errdrop
+}

@@ -1,0 +1,37 @@
+// Package errdropbad is a megate-lint golden fixture: every line marked
+// `// want errdrop` must be flagged, everything else must stay clean.
+package errdropbad
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// CallIt drops the only return value, an error.
+func CallIt() {
+	mayFail() // want errdrop
+}
+
+// Drop discards a Close error.
+func Drop(f *os.File) {
+	f.Close() // want errdrop
+}
+
+// DropTuple discards the error half of a multi-result call.
+func DropTuple(f *os.File, b []byte) {
+	f.Write(b) // want errdrop
+}
+
+// Fine shows the sanctioned shapes: explicit discard, the fmt print family,
+// sticky-error writers, and deferred cleanup.
+func Fine(f *os.File) error {
+	_ = f.Close()
+	fmt.Println("done")
+	var sb strings.Builder
+	sb.WriteString("x")
+	defer f.Close()
+	return mayFail()
+}

@@ -1,0 +1,43 @@
+// Package floatcmpbad is a megate-lint golden fixture: every line marked
+// `// want floatcmp` must be flagged, everything else must stay clean.
+package floatcmpbad
+
+// Eq compares floats exactly — an ulp of drift flips the answer.
+func Eq(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// Ne is the same hazard with the other operator.
+func Ne(a, b float64) bool {
+	return a != b // want floatcmp
+}
+
+// Mixed flags even when only one operand is floating point.
+func Mixed(a float64, b int) bool {
+	return a == float64(b) // want floatcmp
+}
+
+// Classify switches on a float, which compares each case exactly.
+func Classify(x float64) int {
+	switch x { // want floatcmp
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+// Zero is the whitelisted idiom: comparison against an exact constant 0.
+func Zero(a float64) bool {
+	return a == 0
+}
+
+// ZeroFlipped is whitelisted regardless of operand order.
+func ZeroFlipped(a float64) bool {
+	return 0.0 != a
+}
+
+// Consts is whitelisted: both sides are compile-time constants.
+func Consts() bool {
+	const half = 0.5
+	return half == 0.5
+}

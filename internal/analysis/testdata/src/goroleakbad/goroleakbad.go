@@ -1,0 +1,60 @@
+// Package goroleakbad is a megate-lint golden fixture: every line marked
+// `// want goroleak` must be flagged, everything else must stay clean.
+package goroleakbad
+
+import "sync"
+
+// Leak launches a goroutine nothing can wait for or stop.
+func Leak(work func()) {
+	go func() { // want goroleak
+		for {
+			work()
+		}
+	}()
+}
+
+func worker(jobs []int) {
+	for range jobs {
+	}
+}
+
+// LeakNamed leaks via a named same-package callee with no join evidence.
+func LeakNamed(jobs []int) {
+	go worker(jobs) // want goroleak
+}
+
+// Joined uses the wg.Add(1); go ... idiom.
+func Joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// QuitChannel is joinable through the quit channel the launcher owns.
+func QuitChannel(work func()) chan struct{} {
+	quit := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	return quit
+}
+
+// Drainer ranges over a channel the launcher owns and closes.
+func Drainer(jobs chan int, work func(int)) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}

@@ -1,0 +1,78 @@
+// Package lockcheckbad is a megate-lint golden fixture: every line marked
+// `// want lockcheck` must be flagged, everything else must stay clean.
+package lockcheckbad
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	conn net.Conn
+	n    int
+}
+
+// ByValue receives a struct holding a mutex by value: Lock and Unlock act
+// on a copy.
+func ByValue(g guarded) int { // want lockcheck
+	return g.n
+}
+
+// LockedIO writes to the network while holding the lock; a blocked peer
+// stalls every other holder.
+func (g *guarded) LockedIO() {
+	g.mu.Lock()
+	fmt.Fprintf(g.conn, "n=%d\n", g.n) // want lockcheck
+	g.mu.Unlock()
+}
+
+// ChanUnderLock blocks on a channel send while holding the lock.
+func (g *guarded) ChanUnderLock(ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want lockcheck
+	g.mu.Unlock()
+}
+
+// EarlyReturn leaks the lock on the error path.
+func (g *guarded) EarlyReturn(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		return -1 // want lockcheck
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+// NeverUnlocked locks and forgets; no path ever releases it.
+func (g *guarded) NeverUnlocked() {
+	g.mu.Lock() // want lockcheck
+	g.n++
+}
+
+// Deferred is the sanctioned pattern: the deferred unlock covers every
+// return path.
+func (g *guarded) Deferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// ReleaseClosure hands the unlock to the caller — the release-func idiom.
+func (g *guarded) ReleaseClosure() (int, func()) {
+	g.mu.Lock()
+	return g.n, func() { g.mu.Unlock() }
+}
+
+// BranchRelease unlocks on one arm; the optimistic merge treats the lock as
+// released afterwards.
+func (g *guarded) BranchRelease(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return -1
+	}
+	g.mu.Unlock()
+	return g.n
+}

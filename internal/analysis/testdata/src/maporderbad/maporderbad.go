@@ -1,0 +1,80 @@
+// Package maporderbad is a megate-lint golden fixture: every line marked
+// `// want maporder` must be flagged, everything else must stay clean.
+package maporderbad
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Digest feeds a hash in map iteration order: the digest differs run to run.
+func Digest(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want maporder
+	}
+	return h.Sum64()
+}
+
+type digester struct{}
+
+func (digester) Fingerprint(s string) {}
+
+// Mixed feeds a fingerprint-named sink in map iteration order.
+func Mixed(d digester, m map[string]int) {
+	for k := range m {
+		d.Fingerprint(k) // want maporder
+	}
+}
+
+type store struct{}
+
+func (store) Put(key string, value []byte) {}
+
+// PublishAll drives store writes in map iteration order.
+func PublishAll(st store, m map[string][]byte) {
+	for k, v := range m {
+		st.Put(k, v) // want maporder
+	}
+}
+
+// Keys accumulates map keys and never restores an order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned shape: the sort after the loop launders the
+// random iteration order away.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalOnly accumulates into a loop-local slice whose scope ends with the
+// loop; nothing order-sensitive escapes.
+func LocalOnly(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		local := []string{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Snapshot collects callbacks, which have no canonical order to restore.
+func Snapshot(m map[string]func()) []func() {
+	var out []func()
+	for _, fn := range m {
+		out = append(out, fn)
+	}
+	return out
+}

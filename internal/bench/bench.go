@@ -137,7 +137,7 @@ func (t *table) row(cells ...interface{}) {
 	fmt.Fprintln(t.w)
 }
 
-func (t *table) flush() { t.w.Flush() }
+func (t *table) flush() { _ = t.w.Flush() }
 
 func title(w io.Writer, s string) {
 	fmt.Fprintf(w, "\n== %s ==\n", s)

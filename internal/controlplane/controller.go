@@ -147,7 +147,17 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 	next := c.version.Load() + 1
 	configs := BuildConfigs(c.Solver.Topology(), m, res, next)
 	st := IntervalStats{}
-	for ins, cfg := range configs {
+	// Writes and deletes go out in sorted instance order: agents that poll
+	// mid-publication then observe a deterministic prefix of the delta, and
+	// two controllers replaying the same interval produce identical write
+	// streams (map iteration order would randomize both).
+	instances := make([]string, 0, len(configs))
+	for ins := range configs {
+		instances = append(instances, ins)
+	}
+	sort.Strings(instances)
+	for _, ins := range instances {
+		cfg := configs[ins]
 		h := configHash(cfg)
 		if prev, ok := c.lastHash[ins]; ok && prev == h {
 			st.Unchanged++
@@ -163,10 +173,14 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 		c.lastHash[ins] = h
 		st.Written++
 	}
+	stale := make([]string, 0, len(c.lastHash))
 	for ins := range c.lastHash {
-		if _, ok := configs[ins]; ok {
-			continue
+		if _, ok := configs[ins]; !ok {
+			stale = append(stale, ins)
 		}
+	}
+	sort.Strings(stale)
+	for _, ins := range stale {
 		if err := c.Store.DeleteConfig(ConfigKey(ins)); err != nil {
 			return nil, 0, fmt.Errorf("controlplane: delete config for %s: %w", ins, err)
 		}

@@ -1,0 +1,110 @@
+package controlplane
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"megate/internal/core"
+	"megate/internal/kvstore"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// TestRaceStressDeltaPublication hammers the eventual-consistency protocol
+// from both sides under the race detector: one controller goroutine
+// alternates between two demand matrices — producing fresh writes, delta
+// skips, AND tombstone deletes every other interval — while a fleet of
+// agent goroutines polls the shared store as fast as it can. The assertions
+// are deliberately weak (no torn reads crash the agents; everyone converges
+// once publication stops); the real check is `go test -race` observing the
+// concurrent Store/Controller/Agent access patterns.
+func TestRaceStressDeltaPublication(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 2)
+	mFull := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+	// The half matrix drops every flow sourced at an odd endpoint: those
+	// instances lose all pinned paths, so alternating matrices exercises
+	// the tombstone path each interval, not just on a special one.
+	var halfFlows []traffic.Flow
+	for _, f := range mFull.Flows {
+		if f.Src%2 == 0 {
+			halfFlows = append(halfFlows, f)
+		}
+	}
+	mHalf := traffic.NewMatrix(halfFlows)
+
+	solver := core.NewSolver(topo, core.Options{Incremental: true})
+	store := kvstore.NewStore(2)
+	ctrl := NewController(solver, StoreAdapter{Store: store})
+
+	deadline := 1500 * time.Millisecond
+	if testing.Short() {
+		deadline = 300 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	var wg sync.WaitGroup
+
+	// Publisher: the TE loop is sequential by design, so one goroutine owns
+	// the controller and flips between the matrices.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ctx.Err() == nil; i++ {
+			m := mFull
+			if i%2 == 1 {
+				m = mHalf
+			}
+			if _, _, err := ctrl.RunInterval(m); err != nil {
+				t.Errorf("interval %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Agents: each goroutine owns one Agent (agents are single-threaded;
+	// only the store underneath is shared) polling with no pacing at all —
+	// far harsher than the spread-window production schedule.
+	const nAgents = 12
+	agents := make([]*Agent, nAgents)
+	for i := range agents {
+		agents[i] = &Agent{
+			Instance: topo.Endpoints[i%len(topo.Endpoints)].Instance,
+			Reader:   StoreAdapter{Store: store},
+		}
+		wg.Add(1)
+		go func(a *Agent) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if _, err := a.Poll(); err != nil {
+					t.Errorf("agent %s: %v", a.Instance, err)
+					return
+				}
+			}
+		}(agents[i])
+	}
+
+	<-ctx.Done()
+	wg.Wait()
+
+	// Quiesced convergence: with publication stopped, one more poll brings
+	// every agent to the final published version.
+	final := ctrl.Version()
+	if final == 0 {
+		t.Fatal("publisher never completed an interval")
+	}
+	for _, a := range agents {
+		if _, err := a.Poll(); err != nil {
+			t.Fatalf("final poll for %s: %v", a.Instance, err)
+		}
+		if got := a.LastVersion(); got != final {
+			t.Errorf("agent %s at version %d after quiesce, want %d", a.Instance, got, final)
+		}
+		if polls, _ := a.Stats(); polls == 0 {
+			t.Errorf("agent %s never polled", a.Instance)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package controlplane
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"megate/internal/hoststack"
 	"megate/internal/kvstore"
@@ -92,10 +93,17 @@ func CollectReports(store StatsStore) ([]FlowReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports := make([]FlowReport, 0, len(raw))
-	for key, data := range raw {
+	// Decode in sorted key order so demand estimation sees the same record
+	// order every interval regardless of map iteration.
+	keys := make([]string, 0, len(raw))
+	for key := range raw {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	reports := make([]FlowReport, 0, len(keys))
+	for _, key := range keys {
 		var rep FlowReport
-		if err := json.Unmarshal(data, &rep); err != nil {
+		if err := json.Unmarshal(raw[key], &rep); err != nil {
 			return nil, fmt.Errorf("controlplane: bad report at %s: %w", key, err)
 		}
 		reports = append(reports, rep)

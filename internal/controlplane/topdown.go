@@ -27,6 +27,11 @@ type TopDownServer struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
+	// pushMu serializes Push calls so per-connection writers are never
+	// written concurrently; conn writes happen under it, NOT under mu, so a
+	// blocked endpoint cannot stall connection adds/removes.
+	pushMu sync.Mutex
+
 	heartbeats atomic.Uint64
 }
 
@@ -52,20 +57,33 @@ func (s *TopDownServer) Connections() int {
 func (s *TopDownServer) Heartbeats() uint64 { return s.heartbeats.Load() }
 
 // Push sends a configuration blob to every connected endpoint and returns
-// how many received it.
+// how many received it. The connection table is snapshotted under mu; the
+// writes themselves happen under pushMu only, so a slow or blocked endpoint
+// never stalls accept/teardown.
 func (s *TopDownServer) Push(config []byte) int {
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	type target struct {
+		conn net.Conn
+		w    *bufio.Writer
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	sent := 0
+	targets := make([]target, 0, len(s.conns))
 	for conn, w := range s.conns {
-		if _, err := fmt.Fprintf(w, "CONFIG %d\n", len(config)); err != nil {
-			conn.Close()
+		targets = append(targets, target{conn, w})
+	}
+	s.mu.Unlock()
+	sent := 0
+	//lint:ignore lockcheck the top-down baseline serializes pushes by design: pushMu must be held across the writes or concurrent Pushes interleave frames on a connection — this head-of-line blocking is the defect Figures 13-14 measure
+	for _, t := range targets {
+		if _, err := fmt.Fprintf(t.w, "CONFIG %d\n", len(config)); err != nil {
+			_ = t.conn.Close()
 			continue
 		}
-		w.Write(config)
-		w.WriteByte('\n')
-		if err := w.Flush(); err != nil {
-			conn.Close()
+		_, _ = t.w.Write(config)
+		_ = t.w.WriteByte('\n')
+		if err := t.w.Flush(); err != nil {
+			_ = t.conn.Close()
 			continue
 		}
 		sent++
@@ -77,12 +95,17 @@ func (s *TopDownServer) Push(config []byte) int {
 func (s *TopDownServer) Close() {
 	s.closeOnce.Do(func() {
 		close(s.done)
-		s.l.Close()
+		_ = s.l.Close()
+		// Snapshot under the lock, close outside it (see Push).
 		s.mu.Lock()
+		conns := make([]net.Conn, 0, len(s.conns))
 		for c := range s.conns {
-			c.Close()
+			conns = append(conns, c)
 		}
 		s.mu.Unlock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
 		s.wg.Wait()
 	})
 }
@@ -110,7 +133,7 @@ func (s *TopDownServer) acceptLoop() {
 func (s *TopDownServer) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -148,18 +171,35 @@ func (e *TopDownEndpoint) Run(ctx context.Context, addr string, heartbeat time.D
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	// Join order matters: the defers run LIFO, so on return Run first
+	// signals done and closes the connection — unblocking both helper
+	// goroutines — and only then waits for them. Run never leaks its
+	// goroutines.
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	defer wg.Wait()
+	defer func() {
+		close(done)
+		_ = conn.Close()
+	}()
+	wg.Add(1)
 	go func() {
-		<-ctx.Done()
-		conn.Close()
+		defer wg.Done()
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-done:
+		}
 	}()
 	if _, err := fmt.Fprintf(conn, "HELLO %s\n", e.ID); err != nil {
 		return err
 	}
 
-	// Reader: consume pushed configs.
+	// Reader: consume pushed configs until the connection closes.
 	errc := make(chan error, 1)
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		r := bufio.NewReader(conn)
 		for {
 			line, err := r.ReadString('\n')

@@ -314,8 +314,11 @@ func (s *Solver) residualPass(states []*pairState, assignments [][]int, residual
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].demand != cands[b].demand {
-			return cands[a].demand > cands[b].demand
+		if cands[a].demand > cands[b].demand {
+			return true
+		}
+		if cands[a].demand < cands[b].demand {
+			return false
 		}
 		if cands[a].si != cands[b].si {
 			return cands[a].si < cands[b].si

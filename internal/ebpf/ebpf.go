@@ -13,6 +13,7 @@ package ebpf
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -228,12 +229,19 @@ func (k *Kernel) AttachTCEgress(p TCProgram) *Link {
 	}}
 }
 
-// Execve raises a process-start event.
+// Execve raises a process-start event. Programs run in attachment order
+// (ascending id), matching how the kernel iterates a tracepoint's program
+// array.
 func (k *Kernel) Execve(pid int, instance string) {
 	k.mu.RLock()
-	progs := make([]ExecveProgram, 0, len(k.execve))
-	for _, p := range k.execve {
-		progs = append(progs, p)
+	ids := make([]int, 0, len(k.execve))
+	for id := range k.execve {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	progs := make([]ExecveProgram, 0, len(ids))
+	for _, id := range ids {
+		progs = append(progs, k.execve[id])
 	}
 	k.mu.RUnlock()
 	ev := ExecveEvent{PID: pid, Instance: instance}
@@ -242,12 +250,18 @@ func (k *Kernel) Execve(pid int, instance string) {
 	}
 }
 
-// ConntrackNew raises a new-connection event.
+// ConntrackNew raises a new-connection event, dispatching in attachment
+// order like Execve.
 func (k *Kernel) ConntrackNew(pid int, tuple [13]byte) {
 	k.mu.RLock()
-	progs := make([]ConntrackProgram, 0, len(k.conntrack))
-	for _, p := range k.conntrack {
-		progs = append(progs, p)
+	ids := make([]int, 0, len(k.conntrack))
+	for id := range k.conntrack {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	progs := make([]ConntrackProgram, 0, len(ids))
+	for _, id := range ids {
+		progs = append(progs, k.conntrack[id])
 	}
 	k.mu.RUnlock()
 	ev := ConntrackEvent{PID: pid, Tuple: tuple}

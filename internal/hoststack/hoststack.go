@@ -15,8 +15,10 @@
 package hoststack
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"megate/internal/ebpf"
@@ -332,10 +334,17 @@ func (h *Host) Send(tuple packet.FiveTuple, vni uint32, hostSrc, hostDst [4]byte
 func (h *Host) CollectFlows() []FlowRecord {
 	counts := h.TrafficMap.Drain()
 	records := make([]FlowRecord, 0, len(counts))
-	for tuple, bytes := range counts {
+	for tuple, vol := range counts {
 		ins, _ := h.InfMap.Lookup(tuple)
-		records = append(records, FlowRecord{Instance: ins, Tuple: tuple, Bytes: bytes})
+		records = append(records, FlowRecord{Instance: ins, Tuple: tuple, Bytes: vol})
 	}
+	// Reports feed demand estimation and travel through the TE database;
+	// order them by packed tuple so a host's report is byte-identical across
+	// runs instead of following map iteration order.
+	sort.Slice(records, func(a, b int) bool {
+		ka, kb := PackTuple(records[a].Tuple), PackTuple(records[b].Tuple)
+		return bytes.Compare(ka[:], kb[:]) < 0
+	})
 	return records
 }
 

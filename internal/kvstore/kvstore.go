@@ -14,6 +14,7 @@ package kvstore
 
 import (
 	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -115,9 +116,10 @@ func (s *Store) Queries() uint64 { return s.queries.Load() }
 // ResetQueries zeroes the query counter and returns the previous value.
 func (s *Store) ResetQueries() uint64 { return s.queries.Swap(0) }
 
-// Keys returns all keys with the given prefix, across shards, in
-// unspecified order. Used by the controller to gather per-host flow
-// reports.
+// Keys returns all keys with the given prefix, across shards, in sorted
+// order — callers fingerprint and diff key sets across intervals, so the
+// listing must not leak map iteration order. Used by the controller to
+// gather per-host flow reports.
 func (s *Store) Keys(prefix string) []string {
 	var out []string
 	for i := range s.shards {
@@ -130,6 +132,7 @@ func (s *Store) Keys(prefix string) []string {
 		}
 		sh.mu.RUnlock()
 	}
+	sort.Strings(out)
 	return out
 }
 

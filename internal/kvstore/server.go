@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,12 +49,18 @@ func (s *Server) Addr() string { return s.l.Addr().String() }
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.done)
-		s.l.Close()
+		_ = s.l.Close()
+		// Snapshot under the lock, close outside it: a handler blocked on a
+		// peer must not be able to stall every connection add/remove.
 		s.mu.Lock()
+		conns := make([]net.Conn, 0, len(s.conns))
 		for c := range s.conns {
-			c.Close()
+			conns = append(conns, c)
 		}
 		s.mu.Unlock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
 		s.wg.Wait()
 	})
 }
@@ -83,7 +88,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -142,8 +147,7 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprint(w, "ERR usage: KEYS <prefix>\n")
 				break
 			}
-			keys := s.store.Keys(fields[1])
-			sort.Strings(keys)
+			keys := s.store.Keys(fields[1]) // already sorted by the store
 			fmt.Fprintf(w, "KEYS %d\n", len(keys))
 			for _, k := range keys {
 				fmt.Fprintln(w, k)
@@ -189,6 +193,7 @@ func (c *Client) dial() (net.Conn, *bufio.Reader, func(), error) {
 	if c.Persistent {
 		c.mu.Lock()
 		if c.conn == nil {
+			//lint:ignore lockcheck persistent mode serializes whole operations over the one connection; dialing under the lock is that design
 			conn, err := net.Dial("tcp", c.Addr)
 			if err != nil {
 				c.mu.Unlock()
@@ -204,13 +209,13 @@ func (c *Client) dial() (net.Conn, *bufio.Reader, func(), error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return conn, bufio.NewReader(conn), func() { conn.Close() }, nil
+	return conn, bufio.NewReader(conn), func() { _ = conn.Close() }, nil
 }
 
 // resetPersistent drops a broken persistent connection.
 func (c *Client) resetPersistent() {
 	if c.Persistent && c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close()
 		c.conn = nil
 		c.r = nil
 	}

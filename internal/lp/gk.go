@@ -114,6 +114,7 @@ func (f *FleischerMCF) SolveMCF(p *MCF) (Allocation, error) {
 				continue
 			}
 			l := tunnelLen(k, t)
+			//lint:ignore floatcmp bit-equal length tie-break: an epsilon would change which tunnel wins and with it the approximation's path choice
 			if l < bestLen || (l == bestLen && best >= 0 && c.Weights[t] < c.Weights[best]) {
 				best, bestLen = t, l
 			}
@@ -234,8 +235,11 @@ func (f *FleischerMCF) topUp(p *MCF, alloc Allocation, usable [][]bool) {
 		}
 	}
 	sort.Slice(cols, func(i, j int) bool {
-		if cols[i].w != cols[j].w {
-			return cols[i].w < cols[j].w
+		if cols[i].w < cols[j].w {
+			return true
+		}
+		if cols[i].w > cols[j].w {
+			return false
 		}
 		if cols[i].k != cols[j].k {
 			return cols[i].k < cols[j].k
@@ -282,8 +286,12 @@ func (f *FleischerMCF) shift(p *MCF, alloc Allocation, usable [][]bool) {
 			order[i] = i
 		}
 		sort.Slice(order, func(i, j int) bool {
-			if c.Weights[order[i]] != c.Weights[order[j]] {
-				return c.Weights[order[i]] < c.Weights[order[j]]
+			wi, wj := c.Weights[order[i]], c.Weights[order[j]]
+			if wi < wj {
+				return true
+			}
+			if wi > wj {
+				return false
 			}
 			return order[i] < order[j]
 		})

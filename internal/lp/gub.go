@@ -55,7 +55,22 @@ func (a *AutoMCF) SolveMCF(p *MCF) (Allocation, error) {
 	return alloc, err
 }
 
-const gubEps = 1e-9
+// Numerical tolerances of the GUB simplex. All pivot-sized comparisons in
+// this file and warmstart.go go through these three constants; do not
+// scatter fresh literals.
+const (
+	// gubEps separates "zero" from "progress" in ratio tests, reduced
+	// costs, and eta-update denominators.
+	gubEps = 1e-9
+	// gubPivotTol is the smallest |pivot| accepted when updating or
+	// inverting W^{-1}; anything smaller is treated as singular and the
+	// caller refactorizes.
+	gubPivotTol = 1e-11
+	// gubClampTol bounds the rounding debris a basis refresh may leave on
+	// basic values: negatives within it are clamped to exactly 0, larger
+	// ones are genuine infeasibility.
+	gubClampTol = 1e-7
+)
 
 // gubVar describes one variable of the GUB-structured LP.
 type gubVar struct {
@@ -307,7 +322,7 @@ func (st *gubState) iterate(maxIter int) error {
 				// Replace column `promote` with the entering variable's
 				// column (relative to its own set's unchanged key).
 				alphaNew := st.applyWinv(st.columnRelKey(entering))
-				if math.Abs(alphaNew[promote]) > 1e-9 {
+				if math.Abs(alphaNew[promote]) > gubEps {
 					if err := st.pivotWinv(alphaNew, promote); err == nil {
 						// Shift the remaining set-k columns from the old key
 						// to the promoted one.
@@ -356,7 +371,7 @@ func (st *gubState) refresh() {
 	}
 	st.y = st.applyWinv(beta)
 	for i := range st.y {
-		if st.y[i] < 0 && st.y[i] > -1e-7 {
+		if st.y[i] < 0 && st.y[i] > -gubClampTol {
 			st.y[i] = 0
 		}
 	}
@@ -367,7 +382,7 @@ func (st *gubState) refresh() {
 				v -= st.y[i]
 			}
 		}
-		if v < 0 && v > -1e-7 {
+		if v < 0 && v > -gubClampTol {
 			v = 0
 		}
 		st.xkey[k] = v
@@ -448,7 +463,7 @@ func (st *gubState) applyWinv(b []float64) []float64 {
 // near-zero pivot returns ErrSingular; the caller refactorizes.
 func (st *gubState) pivotWinv(alpha []float64, col int) error {
 	pv := alpha[col]
-	if math.Abs(pv) < 1e-11 {
+	if math.Abs(pv) < gubPivotTol {
 		return ErrSingular
 	}
 	E := st.nLinks
@@ -510,7 +525,7 @@ func (st *gubState) shiftSetColumns(k, oldKey int) error {
 	for _, i := range cols {
 		den += wd[i]
 	}
-	if math.Abs(den) < 1e-9 {
+	if math.Abs(den) < gubEps {
 		return ErrSingular
 	}
 	// W'^{-1} = W^{-1} − (W^{-1}Δ)(uᵀW^{-1}) / den.
@@ -569,7 +584,7 @@ func invert(a [][]float64) ([][]float64, error) {
 	}
 	for col := 0; col < n; col++ {
 		// Partial pivot.
-		best, bestAbs := -1, 1e-11
+		best, bestAbs := -1, gubPivotTol
 		for r := col; r < n; r++ {
 			if abs := math.Abs(m[r][col]); abs > bestAbs {
 				best, bestAbs = r, abs

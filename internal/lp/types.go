@@ -155,8 +155,11 @@ func (p *MCF) GreedyTopUp(alloc Allocation) {
 		}
 	}
 	sort.Slice(cols, func(i, j int) bool {
-		if cols[i].w != cols[j].w {
-			return cols[i].w < cols[j].w
+		if cols[i].w < cols[j].w {
+			return true
+		}
+		if cols[i].w > cols[j].w {
+			return false
 		}
 		if cols[i].k != cols[j].k {
 			return cols[i].k < cols[j].k

@@ -171,7 +171,7 @@ func (st *gubState) importBasis(b *Basis) error {
 }
 
 // primalFeasible reports whether every basic value is nonnegative (refresh
-// already clamps violations within its 1e-7 tolerance to zero).
+// already clamps violations within its gubClampTol tolerance to zero).
 func (st *gubState) primalFeasible() bool {
 	for _, v := range st.y {
 		if v < 0 {
@@ -253,7 +253,7 @@ func (st *gubState) repair() error {
 // replacement was made; the caller refactorizes afterwards.
 func (st *gubState) replaceColumnWithLinkSlack(i int) bool {
 	firstLinkSlack := len(st.vars) - st.nLinks
-	best, bestAbs := -1, 1e-9
+	best, bestAbs := -1, gubEps
 	for e := 0; e < st.nLinks; e++ {
 		if st.where[firstLinkSlack+e] != -1 {
 			continue

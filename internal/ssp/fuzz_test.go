@@ -1,0 +1,117 @@
+package ssp
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeSSPInput maps fuzz bytes onto a small subset-sum instance: capacity
+// from the first two bytes (multiples of 1/8), epsilon' from the third, and
+// up to 12 values (multiples of 1/4) from the rest. Small n keeps the
+// brute-force reference affordable; quarter-unit values make the exact-DP
+// comparison at unit 0.25 meaningful.
+func decodeSSPInput(data []byte) (values []float64, capacity, eps float64, ok bool) {
+	if len(data) < 4 {
+		return nil, 0, 0, false
+	}
+	capacity = float64(binary.LittleEndian.Uint16(data[0:2])) / 8
+	eps = 0.02 + float64(data[2])/400 // 0.02 .. 0.6575
+	for _, b := range data[3:] {
+		if len(values) == 12 {
+			break
+		}
+		values = append(values, float64(b)/4)
+	}
+	return values, capacity, eps, true
+}
+
+// bruteForceOptimum enumerates every subset (n <= 12) and returns the
+// largest total that fits the capacity.
+func bruteForceOptimum(values []float64, capacity float64) float64 {
+	best := 0.0
+	for mask := 0; mask < 1<<len(values); mask++ {
+		sum := 0.0
+		for i, v := range values {
+			if mask&(1<<i) != 0 && v > 0 {
+				sum += v
+			}
+		}
+		if sum <= capacity && sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// checkSolution verifies the invariants every subset-sum solver must hold:
+// the selection never exceeds capacity, Total matches the selected values,
+// and Total never beats the true optimum.
+func checkSolution(t *testing.T, name string, values []float64, capacity float64, sol Solution, opt float64) {
+	t.Helper()
+	const tol = 1e-9
+	if len(sol.Selected) != len(values) {
+		t.Fatalf("%s: Selected has %d entries for %d values", name, len(sol.Selected), len(values))
+	}
+	sum := 0.0
+	for i, sel := range sol.Selected {
+		if sel {
+			sum += values[i]
+		}
+	}
+	if diff := sol.Total - sum; diff > tol || diff < -tol {
+		t.Fatalf("%s: Total %v != selected sum %v", name, sol.Total, sum)
+	}
+	if sol.Total > capacity+tol {
+		t.Fatalf("%s: Total %v exceeds capacity %v", name, sol.Total, capacity)
+	}
+	if sol.Total > opt+tol {
+		t.Fatalf("%s: Total %v beats the optimum %v — selection must be infeasible", name, sol.Total, opt)
+	}
+}
+
+// FuzzFastSSP drives FastSSP (and the solvers it composes) with arbitrary
+// small instances against a brute-force reference: never over capacity,
+// never above the optimum, ExactDP exact on quarter-unit inputs, and the
+// greedy residual property behind the paper's β bound.
+func FuzzFastSSP(f *testing.F) {
+	f.Add([]byte("\x40\x00\x28\x10\x20\x30\x40"))
+	f.Add([]byte("\x00\x00\x00\x01"))
+	f.Add([]byte("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("\x08\x00\x05\x02\x02\x02\x02\x02\x02\x02\x02\x02\x02\x02\x02"))
+	f.Add([]byte("\x80\x02\xc8\x7f\x40\x21\x63\x0e\x58"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		values, capacity, eps, ok := decodeSSPInput(data)
+		if !ok {
+			t.Skip()
+		}
+		opt := bruteForceOptimum(values, capacity)
+
+		solver := FastSSP{EpsPrime: eps}
+		fast := solver.Solve(values, capacity)
+		checkSolution(t, "FastSSP", values, capacity, fast, opt)
+
+		// β-bound structure (Appendix A.2): after the greedy residual pass,
+		// any unselected demand is larger than the leftover budget.
+		minUnsel := -1.0
+		for i, v := range values {
+			if v > 0 && !fast.Selected[i] && (minUnsel < 0 || v < minUnsel) {
+				minUnsel = v
+			}
+		}
+		if minUnsel >= 0 && capacity-fast.Total > minUnsel+1e-9 {
+			t.Fatalf("FastSSP: leftover budget %v exceeds smallest unselected demand %v",
+				capacity-fast.Total, minUnsel)
+		}
+
+		greedy := GreedyDescending(values, capacity)
+		checkSolution(t, "GreedyDescending", values, capacity, greedy, opt)
+
+		// Inputs are exact multiples of 0.25, so the DP at that unit must
+		// reproduce the brute-force optimum exactly.
+		dp := ExactDP(values, capacity, 0.25)
+		checkSolution(t, "ExactDP", values, capacity, dp, opt)
+		if diff := opt - dp.Total; diff > 1e-6 {
+			t.Fatalf("ExactDP: Total %v below the optimum %v on unit-multiple input", dp.Total, opt)
+		}
+	})
+}

@@ -70,8 +70,12 @@ func GreedyDescendingScratch(values []float64, capacity float64, sc *Scratch) So
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if values[order[a]] != values[order[b]] {
-			return values[order[a]] > values[order[b]]
+		va, vb := values[order[a]], values[order[b]]
+		if va > vb {
+			return true
+		}
+		if va < vb {
+			return false
 		}
 		return order[a] < order[b]
 	})
