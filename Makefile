@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench lint fuzz-short
+.PHONY: build test race verify bench lint fuzz-short chaos
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/
+	$(GO) test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/ ./internal/chaos/
+
+# Full chaos run (fixed seeds baked into chaos_test.go) under the race
+# detector: controller + replicated DB servers + agent fleet under the
+# scripted fault timeline.
+chaos:
+	$(GO) test -race -run TestChaos -v .
 
 verify:
 	./verify.sh

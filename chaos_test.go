@@ -1,0 +1,135 @@
+package megate
+
+import (
+	"testing"
+	"time"
+
+	"megate/internal/chaos"
+)
+
+// chaosScenario returns the canonical fault timeline, scaled down under
+// -short so the verify.sh race pass stays fast: a flaky controller link
+// early on, a controller restart on a window whose matrix matches the
+// previous clean window (so recovered delta state is observable as zero
+// writes), then a partition of a third of the fleet long enough to fire
+// the staleness TTL.
+func chaosScenario(t *testing.T, seed int64) chaos.Scenario {
+	t.Helper()
+	s := chaos.Scenario{
+		Seed:        seed,
+		Replicas:    2,
+		PerSite:     1,
+		Windows:     11,
+		StaleAfter:  2,
+		Timeout:     150 * time.Millisecond,
+		FlakyFrom:   1,
+		FlakyUntil:  3,
+		RestartAt:   5,
+		PartitionAt: 6,
+		HealAt:      9,
+	}
+	if testing.Short() {
+		s.Windows = 8
+		s.FlakyFrom, s.FlakyUntil = 1, 2
+		s.RestartAt = 3
+		s.PartitionAt, s.HealAt = 4, 6
+		s.Timeout = 100 * time.Millisecond
+	}
+	return s
+}
+
+// TestChaosControlLoop runs the full fault timeline and asserts the
+// scenario invariants held: no torn config installed, TTL fallback during
+// the partition, convergence within one poll round of heal, exact
+// replica/agent/database agreement at quiesce.
+func TestChaosControlLoop(t *testing.T) {
+	res, err := chaos.Run(chaosScenario(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.Fallbacks == 0 {
+		t.Error("partition never fired the staleness TTL; the scenario exercised nothing")
+	}
+	if res.Recoveries != res.Fallbacks {
+		t.Errorf("fallbacks=%d recoveries=%d; every degraded agent must recover by quiesce",
+			res.Fallbacks, res.Recoveries)
+	}
+	if res.FinalVersion == 0 {
+		t.Error("no interval ever published")
+	}
+	// The partition must actually have failed polls; a silent pass would
+	// mean the fault injection never engaged.
+	failed := 0
+	for _, w := range res.Windows {
+		failed += w.PollErrors
+	}
+	if failed == 0 {
+		t.Error("no poll ever failed under the fault timeline")
+	}
+}
+
+// TestChaosControllerRestartWritesOnlyDelta pins the recovery acceptance
+// criterion inside the chaos run: the restarted controller's first
+// interval writes exactly the records whose bytes changed — the restart is
+// invisible in database write load.
+func TestChaosControllerRestartWritesOnlyDelta(t *testing.T) {
+	res, err := chaos.Run(chaosScenario(t, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if !res.RestartRan {
+		t.Fatal("scenario never restarted the controller")
+	}
+	if res.RestartRestored == 0 {
+		t.Error("Recover() restored no records")
+	}
+	if res.RestartStats.Written != res.RestartExpectedWritten {
+		t.Errorf("recovered controller wrote %d records, but only %d actually changed",
+			res.RestartStats.Written, res.RestartExpectedWritten)
+	}
+	if res.RestartStats.Unchanged == 0 {
+		t.Error("recovered controller saw nothing unchanged: delta state was not restored")
+	}
+}
+
+// TestChaosDeterministic replays the same seed twice and demands identical
+// window-level outcomes — the property that makes chaos failures
+// debuggable.
+func TestChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay comparison runs the scenario twice")
+	}
+	run := func() *chaos.Result {
+		res, err := chaos.Run(chaosScenario(t, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Violations) != 0 || len(b.Violations) != 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.FinalVersion != b.FinalVersion {
+		t.Errorf("final version %d vs %d across replays", a.FinalVersion, b.FinalVersion)
+	}
+	if a.Fallbacks != b.Fallbacks || a.Recoveries != b.Recoveries {
+		t.Errorf("fallbacks/recoveries %d/%d vs %d/%d across replays",
+			a.Fallbacks, a.Recoveries, b.Fallbacks, b.Recoveries)
+	}
+	if len(a.Windows) != len(b.Windows) {
+		t.Fatalf("window counts differ: %d vs %d", len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Windows {
+		wa, wb := a.Windows[i], b.Windows[i]
+		if wa.Stats != wb.Stats || wa.Degraded != wb.Degraded {
+			t.Errorf("window %d diverged across replays: %+v vs %+v", i, wa, wb)
+		}
+	}
+}

@@ -8,6 +8,11 @@
 //
 //	megate-agent -db 127.0.0.1:7700 -instances ins-0-0,ins-1-0 -poll 10s
 //	megate-agent -db 127.0.0.1:7700 -fleet 100 -poll 10s
+//
+// Passing several comma-separated addresses to -db makes each agent fail
+// over across the replicas in order; -stale-after N uninstalls pinned
+// paths (conventional-routing fallback, §6.3) after N consecutive
+// unreachable polls.
 package main
 
 import (
@@ -25,13 +30,26 @@ import (
 
 func main() {
 	var (
-		db        = flag.String("db", "127.0.0.1:7700", "TE database address")
-		instances = flag.String("instances", "", "comma-separated instance IDs to watch")
-		fleet     = flag.Int("fleet", 0, "spawn N synthetic agents named ins-<site>-<i>")
-		poll      = flag.Duration("poll", 10*time.Second, "poll window")
-		duration  = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
+		db         = flag.String("db", "127.0.0.1:7700", "TE database address(es), comma-separated for replica failover")
+		instances  = flag.String("instances", "", "comma-separated instance IDs to watch")
+		fleet      = flag.Int("fleet", 0, "spawn N synthetic agents named ins-<site>-<i>")
+		poll       = flag.Duration("poll", 10*time.Second, "poll window")
+		duration   = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-operation database deadline")
+		staleAfter = flag.Int("stale-after", 0, "uninstall pinned paths after N consecutive failed polls (0 = never)")
 	)
 	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*db, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "no database address")
+		os.Exit(2)
+	}
 
 	var names []string
 	if *instances != "" {
@@ -61,9 +79,16 @@ func main() {
 	var wg sync.WaitGroup
 	agents := make([]*megate.Agent, len(names))
 	for i, name := range names {
-		client := &megate.TEDatabaseClient{Addr: *db}
-		a := megate.NewRemoteAgent(name, client, nil)
+		var a *megate.Agent
+		if len(addrs) > 1 {
+			client := megate.NewTEDatabaseReplicaClient(addrs)
+			client.Timeout = *timeout
+			a = megate.NewReplicaAgent(name, client, nil)
+		} else {
+			a = megate.NewRemoteAgent(name, &megate.TEDatabaseClient{Addr: addrs[0], Timeout: *timeout}, nil)
+		}
 		a.Slot, a.SlotCount = i, len(names)
+		a.StaleAfter = *staleAfter
 		agents[i] = a
 		wg.Add(1)
 		go func() {
@@ -77,17 +102,23 @@ func main() {
 	for {
 		select {
 		case <-report.C:
-			var polls, updates uint64
+			var polls, updates, errs uint64
+			degraded := 0
 			maxV := uint64(0)
 			for _, a := range agents {
 				p, u := a.Stats()
 				polls += p
 				updates += u
+				errs += a.Errors()
+				if a.Degraded() {
+					degraded++
+				}
 				if v := a.LastVersion(); v > maxV {
 					maxV = v
 				}
 			}
-			fmt.Printf("agents=%d version<=%d polls=%d updates=%d\n", len(agents), maxV, polls, updates)
+			fmt.Printf("agents=%d version<=%d polls=%d updates=%d errors=%d degraded=%d\n",
+				len(agents), maxV, polls, updates, errs, degraded)
 		case <-ctx.Done():
 			wg.Wait()
 			return

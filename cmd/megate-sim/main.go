@@ -5,6 +5,12 @@
 // Example: fail the two first links at interval 8, restore at 16:
 //
 //	megate-sim -topology Deltacom* -intervals 24 -scheme MegaTE -fail 0,2 -fail-at 8 -restore-at 16
+//
+// With -chaos it instead runs the live control loop (controller, replicated
+// TE database servers, agent fleet) under a scripted fault timeline and
+// reports the degradation invariants:
+//
+//	megate-sim -chaos -seed 11 -chaos-windows 10 -chaos-partition-at 5 -chaos-heal-at 8
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"megate"
 	"megate/internal/baselines"
+	"megate/internal/chaos"
 	"megate/internal/flowsim"
 	"megate/internal/topology"
 )
@@ -33,8 +40,34 @@ func main() {
 		failAt    = flag.Int("fail-at", -1, "interval at which the links fail")
 		restoreAt = flag.Int("restore-at", -1, "interval at which the links recover")
 		teIvl     = flag.Duration("te-interval", 5*time.Minute, "simulated TE interval length")
+
+		chaosRun      = flag.Bool("chaos", false, "run the fault-injection control-loop scenario instead of the flow simulation")
+		chaosReplicas = flag.Int("chaos-replicas", 2, "TE database replica count")
+		chaosWindows  = flag.Int("chaos-windows", 10, "TE windows in the chaos run")
+		chaosStale    = flag.Int("chaos-stale-after", 2, "agent staleness TTL in failed polls")
+		chaosTimeout  = flag.Duration("chaos-timeout", 150*time.Millisecond, "per-operation client deadline")
+		chaosPartAt   = flag.Int("chaos-partition-at", 5, "window partitioning every third agent from the database")
+		chaosHealAt   = flag.Int("chaos-heal-at", 8, "window healing the partition")
+		chaosFlakyTo  = flag.Int("chaos-flaky-until", 3, "controller link injects resets/partial writes in windows [1, this)")
+		chaosRestart  = flag.Int("chaos-restart-at", 0, "window before which the controller restarts and recovers (0 = never)")
 	)
 	flag.Parse()
+
+	if *chaosRun {
+		os.Exit(runChaos(chaos.Scenario{
+			Seed:        *seed,
+			Replicas:    *chaosReplicas,
+			PerSite:     1,
+			Windows:     *chaosWindows,
+			StaleAfter:  *chaosStale,
+			Timeout:     *chaosTimeout,
+			PartitionAt: *chaosPartAt,
+			HealAt:      *chaosHealAt,
+			FlakyFrom:   1,
+			FlakyUntil:  *chaosFlakyTo,
+			RestartAt:   *chaosRestart,
+		}))
+	}
 
 	topo := megate.BuildTopology(*topoName)
 	megate.AttachEndpointsExact(topo, *perSite)
@@ -85,4 +118,40 @@ func main() {
 			r.Interval, r.OfferedMbps/1000, r.SatisfiedFraction, r.EffectiveSatisfied,
 			r.QoS1Latency, r.Recompute.Round(time.Millisecond), r.FailedLinks)
 	}
+}
+
+// runChaos executes the fault-injection scenario and prints the per-window
+// outcome; the exit code is non-zero when any invariant was violated.
+func runChaos(s chaos.Scenario) int {
+	res, err := chaos.Run(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%-7s %-8s %-8s %-8s %-9s %-9s %-9s %-9s %s\n",
+		"window", "matrix", "written", "deleted", "unchanged", "poll-errs", "degraded", "converged", "interval")
+	for _, w := range res.Windows {
+		status := "ok"
+		if w.IntervalErr != "" {
+			status = "FAILED"
+		}
+		fmt.Printf("%-7d %-8s %-8d %-8d %-9d %-9d %-9d %-9d %s\n",
+			w.Window, w.Matrix, w.Stats.Written, w.Stats.Deleted, w.Stats.Unchanged,
+			w.PollErrors, w.Degraded, w.Converged, status)
+	}
+	fmt.Printf("agents=%d final-version=%d failed-intervals=%d fallbacks=%d recoveries=%d\n",
+		res.Agents, res.FinalVersion, res.FailedIntervals, res.Fallbacks, res.Recoveries)
+	if res.RestartRan {
+		fmt.Printf("restart: restored=%d written=%d expected-written=%d unchanged=%d\n",
+			res.RestartRestored, res.RestartStats.Written, res.RestartExpectedWritten, res.RestartStats.Unchanged)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "%d invariant violations:\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		return 1
+	}
+	fmt.Println("all invariants held")
+	return 0
 }

@@ -49,10 +49,28 @@ type Agent struct {
 	// asynchronously during a specific time period", §3.2).
 	Slot, SlotCount int
 
+	// StaleAfter is the staleness TTL in consecutive failed polls: once the
+	// agent cannot reach the database for StaleAfter polls in a row, it
+	// uninstalls its pinned SR paths so the instance falls back to
+	// conventional routing (§6.3's failure reaction — stale pinned paths may
+	// point through links the unreachable controller already routed around).
+	// Paths are reinstalled on the first successful poll after recovery.
+	// Zero disables the TTL.
+	StaleAfter int
+	// MaxBackoff caps the poll interval growth of Run while the database is
+	// unreachable; zero means 8x the base interval.
+	MaxBackoff time.Duration
+
 	lastVersion uint64
 	polls       uint64
 	updates     uint64
 	errors      uint64
+	// consecFails counts consecutive polls that failed at the transport
+	// level; degraded records that the TTL fired and paths are uninstalled.
+	consecFails int
+	degraded    bool
+	fallbacks   uint64
+	recoveries  uint64
 	// installed tracks the destinations currently in the host's path_map
 	// so stale entries are removed when a new configuration drops them.
 	installed map[uint32]bool
@@ -77,6 +95,33 @@ func (a *Agent) Stats() (polls, updates uint64) { return a.polls, a.updates }
 // Errors returns how many polls failed (unreachable database, bad record).
 func (a *Agent) Errors() uint64 { return a.errors }
 
+// Degraded reports whether the staleness TTL has fired: the agent removed
+// its pinned paths and the instance is on conventional routing.
+func (a *Agent) Degraded() bool { return a.degraded }
+
+// FallbackStats returns how many times the staleness TTL uninstalled the
+// pinned paths and how many times a later successful poll reinstated them.
+func (a *Agent) FallbackStats() (fallbacks, recoveries uint64) {
+	return a.fallbacks, a.recoveries
+}
+
+// noteUnreachable records a transport-level poll failure and fires the
+// staleness TTL once StaleAfter consecutive failures accumulate.
+func (a *Agent) noteUnreachable() {
+	a.consecFails++
+	if a.StaleAfter <= 0 || a.consecFails < a.StaleAfter || a.degraded {
+		return
+	}
+	a.degraded = true
+	a.fallbacks++
+	if a.Host != nil {
+		for dst := range a.installed {
+			a.Host.RemovePath(a.Instance, dst)
+		}
+	}
+	a.installed = nil
+}
+
 // Poll performs one version check, pulling and installing the instance's
 // configuration when the version advanced. It reports whether new
 // configuration was applied.
@@ -85,19 +130,31 @@ func (a *Agent) Poll() (bool, error) {
 	v, err := a.Reader.ReadVersion()
 	if err != nil {
 		a.errors++
+		a.noteUnreachable()
 		return false, err
 	}
-	if v == a.lastVersion {
+	// While degraded the agent must re-pull even at an unchanged version:
+	// the TTL dropped its paths, so "consistent with v" no longer means
+	// "installed".
+	recovering := a.degraded
+	if v == a.lastVersion && !recovering {
+		a.consecFails = 0
 		return false, nil
 	}
 	data, ok, err := a.Reader.ReadConfig(ConfigKey(a.Instance))
 	if err != nil {
 		a.errors++
+		a.noteUnreachable()
 		return false, err
 	}
+	a.consecFails = 0
 	if ok {
 		var cfg InstanceConfig
 		if err := json.Unmarshal(data, &cfg); err != nil {
+			// A corrupt record is a failed poll — count it — but the database
+			// was reachable, so it does not advance the staleness TTL, and
+			// the previously installed (still-valid) paths stay in place.
+			a.errors++
 			return false, fmt.Errorf("controlplane: agent %s: bad config: %w", a.Instance, err)
 		}
 		a.apply(&cfg)
@@ -108,6 +165,10 @@ func (a *Agent) Poll() (bool, error) {
 			a.Host.RemovePath(a.Instance, dst)
 		}
 		a.installed = nil
+	}
+	if recovering {
+		a.degraded = false
+		a.recoveries++
 	}
 	// Even when this instance has no record (all its flows were rejected
 	// or it has no traffic), the agent is now consistent with version v.
@@ -137,21 +198,34 @@ func (a *Agent) apply(cfg *InstanceConfig) {
 
 // Run polls on the interval, offset by the agent's spread slot, until the
 // context ends. Poll errors are counted but do not stop the loop (the
-// database may be briefly unreachable; eventual consistency tolerates it).
+// database may be briefly unreachable; eventual consistency tolerates it);
+// consecutive failures double the wait up to MaxBackoff so a fleet facing a
+// dead database does not keep hammering it at full rate.
 func (a *Agent) Run(ctx context.Context, interval time.Duration) error {
 	select {
 	case <-time.After(a.SpreadDelay(interval)):
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	maxWait := a.MaxBackoff
+	if maxWait <= 0 {
+		maxWait = 8 * interval
+	}
+	wait := interval
 	for {
-		if _, err := a.Poll(); err != nil && ctx.Err() != nil {
+		_, err := a.Poll()
+		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		if err != nil {
+			if wait *= 2; wait > maxWait {
+				wait = maxWait
+			}
+		} else {
+			wait = interval
+		}
 		select {
-		case <-ticker.C:
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -1,0 +1,235 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"megate/internal/hoststack"
+	"megate/internal/kvstore"
+)
+
+// scriptReader is a ConfigReader whose behavior flips per call: it serves a
+// backing store until failing is set, then errors every operation.
+type scriptReader struct {
+	store   *kvstore.Store
+	failing bool
+	// badJSON, when set, overrides the record bytes for any ReadConfig.
+	badJSON []byte
+}
+
+var errScripted = errors.New("scripted transport failure")
+
+func (s *scriptReader) ReadVersion() (uint64, error) {
+	if s.failing {
+		return 0, errScripted
+	}
+	return s.store.Version(), nil
+}
+
+func (s *scriptReader) ReadConfig(key string) ([]byte, bool, error) {
+	if s.failing {
+		return nil, false, errScripted
+	}
+	if s.badJSON != nil {
+		return s.badJSON, true, nil
+	}
+	v, ok := s.store.Get(key)
+	return v, ok, nil
+}
+
+func putConfig(t *testing.T, store *kvstore.Store, ins string, version uint64, paths []PathEntry) {
+	t.Helper()
+	data, err := json.Marshal(InstanceConfig{Instance: ins, Version: version, Paths: paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(ConfigKey(ins), data)
+	store.Publish(version)
+}
+
+func TestAgentCountsUnreachableReader(t *testing.T) {
+	sr := &scriptReader{store: kvstore.NewStore(1), failing: true}
+	agent := &Agent{Instance: "ins-x", Reader: sr}
+	for i := 1; i <= 3; i++ {
+		if _, err := agent.Poll(); !errors.Is(err, errScripted) {
+			t.Fatalf("poll %d: err = %v", i, err)
+		}
+		if agent.Errors() != uint64(i) {
+			t.Fatalf("poll %d: errors = %d, want %d", i, agent.Errors(), i)
+		}
+	}
+}
+
+func TestAgentCountsBadJSON(t *testing.T) {
+	store := kvstore.NewStore(1)
+	sr := &scriptReader{store: store, badJSON: []byte(`{"instance": "ins-x", "paths": [tor`)}
+	store.Publish(1)
+	agent := &Agent{Instance: "ins-x", Reader: sr}
+	_, err := agent.Poll()
+	if err == nil || !strings.Contains(err.Error(), "bad config") {
+		t.Fatalf("err = %v, want bad config", err)
+	}
+	if agent.Errors() != 1 {
+		t.Errorf("errors = %d, want 1: bad JSON must be counted", agent.Errors())
+	}
+	// The version was not consumed: a later good record is still picked up.
+	sr.badJSON = nil
+	putConfig(t, store, "ins-x", 1, nil)
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("recovery poll: applied=%v err=%v", applied, err)
+	}
+}
+
+func TestAgentBadJSONKeepsInstalledPaths(t *testing.T) {
+	store := kvstore.NewStore(1)
+	sr := &scriptReader{store: store}
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := &Agent{Instance: "ins-x", Reader: sr, Host: host}
+
+	putConfig(t, store, "ins-x", 1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if host.PathMap.Len() != 1 {
+		t.Fatalf("paths = %d, want 1", host.PathMap.Len())
+	}
+	// A corrupt record at a new version must not tear down the valid paths.
+	store.Publish(2)
+	sr.badJSON = []byte("not json")
+	if _, err := agent.Poll(); err == nil {
+		t.Fatal("poll of corrupt record succeeded")
+	}
+	if host.PathMap.Len() != 1 {
+		t.Errorf("paths = %d after corrupt record, want 1 (keep last good)", host.PathMap.Len())
+	}
+}
+
+func TestAgentNoRecordRemovesStaleInstalled(t *testing.T) {
+	store := kvstore.NewStore(1)
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := &Agent{Instance: "ins-x", Reader: StoreAdapter{Store: store}, Host: host}
+
+	putConfig(t, store, "ins-x", 1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if host.PathMap.Len() != 1 {
+		t.Fatalf("paths = %d, want 1", host.PathMap.Len())
+	}
+	// New version with the record gone: all flows rejected / no traffic.
+	store.Delete(ConfigKey("ins-x"))
+	store.Publish(2)
+	applied, err := agent.Poll()
+	if err != nil || !applied {
+		t.Fatalf("applied=%v err=%v", applied, err)
+	}
+	if host.PathMap.Len() != 0 {
+		t.Errorf("paths = %d, want 0 after record removal", host.PathMap.Len())
+	}
+	if agent.LastVersion() != 2 {
+		t.Errorf("lastVersion = %d, want 2", agent.LastVersion())
+	}
+}
+
+func TestAgentStalenessTTLFallbackAndRecovery(t *testing.T) {
+	store := kvstore.NewStore(1)
+	sr := &scriptReader{store: store}
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := &Agent{Instance: "ins-x", Reader: sr, Host: host, StaleAfter: 3}
+
+	putConfig(t, store, "ins-x", 1, []PathEntry{
+		{DstSite: 3, Hops: []uint32{0, 3}},
+		{DstSite: 5, Hops: []uint32{0, 5}},
+	})
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if host.PathMap.Len() != 2 {
+		t.Fatalf("paths = %d, want 2", host.PathMap.Len())
+	}
+
+	// Two failures: below the TTL, paths stay pinned.
+	sr.failing = true
+	for i := 0; i < 2; i++ {
+		if _, err := agent.Poll(); err == nil {
+			t.Fatal("poll during partition succeeded")
+		}
+	}
+	if agent.Degraded() || host.PathMap.Len() != 2 {
+		t.Fatalf("degraded=%v paths=%d before TTL, want pinned", agent.Degraded(), host.PathMap.Len())
+	}
+	// Third consecutive failure fires the TTL: conventional-routing fallback.
+	if _, err := agent.Poll(); err == nil {
+		t.Fatal("poll during partition succeeded")
+	}
+	if !agent.Degraded() {
+		t.Fatal("TTL did not fire after StaleAfter failures")
+	}
+	if host.PathMap.Len() != 0 {
+		t.Fatalf("paths = %d during degradation, want 0 (conventional routing)", host.PathMap.Len())
+	}
+	if fb, rec := agent.FallbackStats(); fb != 1 || rec != 0 {
+		t.Errorf("fallbacks=%d recoveries=%d, want 1/0", fb, rec)
+	}
+
+	// Heal. The published version never moved, but the degraded agent must
+	// still re-pull and reinstall.
+	sr.failing = false
+	applied, err := agent.Poll()
+	if err != nil || !applied {
+		t.Fatalf("recovery poll: applied=%v err=%v", applied, err)
+	}
+	if agent.Degraded() {
+		t.Error("still degraded after successful poll")
+	}
+	if host.PathMap.Len() != 2 {
+		t.Errorf("paths = %d after recovery, want 2 reinstalled", host.PathMap.Len())
+	}
+	if fb, rec := agent.FallbackStats(); fb != 1 || rec != 1 {
+		t.Errorf("fallbacks=%d recoveries=%d, want 1/1", fb, rec)
+	}
+
+	// An intermittent single failure after recovery must not re-fire the TTL
+	// (the consecutive counter was reset).
+	sr.failing = true
+	if _, err := agent.Poll(); err == nil {
+		t.Fatal("poll during blip succeeded")
+	}
+	sr.failing = false
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Degraded() {
+		t.Error("single blip re-fired the TTL")
+	}
+	if host.PathMap.Len() != 2 {
+		t.Errorf("paths = %d after blip, want 2", host.PathMap.Len())
+	}
+}
+
+func TestAgentStalenessDisabledByDefault(t *testing.T) {
+	store := kvstore.NewStore(1)
+	sr := &scriptReader{store: store}
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := &Agent{Instance: "ins-x", Reader: sr, Host: host} // StaleAfter == 0
+
+	putConfig(t, store, "ins-x", 1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	sr.failing = true
+	for i := 0; i < 10; i++ {
+		if _, err := agent.Poll(); err == nil {
+			t.Fatal("poll during partition succeeded")
+		}
+	}
+	if agent.Degraded() || host.PathMap.Len() != 1 {
+		t.Errorf("degraded=%v paths=%d with TTL disabled, want pinned forever", agent.Degraded(), host.PathMap.Len())
+	}
+}

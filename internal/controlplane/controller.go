@@ -45,8 +45,12 @@ type InstanceConfig struct {
 	Paths    []PathEntry `json:"paths"`
 }
 
+// configPrefix is the database key prefix for instance configurations; a
+// restarted controller enumerates it to rebuild its delta state.
+const configPrefix = "te/cfg/"
+
 // ConfigKey returns the database key for an instance's configuration.
-func ConfigKey(instance string) string { return "te/cfg/" + instance }
+func ConfigKey(instance string) string { return configPrefix + instance }
 
 // ConfigStore is the controller's write interface to the TE database; both
 // *kvstore.Store (in-process) and *kvstore.Client (over TCP) satisfy it via
@@ -168,6 +172,10 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 			return nil, 0, fmt.Errorf("controlplane: marshal config for %s: %w", ins, err)
 		}
 		if err := c.Store.PutConfig(ConfigKey(ins), data); err != nil {
+			// Drop the hash so the next interval rewrites this record: a write
+			// that partially reached a replica fan-out would otherwise look
+			// up-to-date forever while the replicas disagree.
+			delete(c.lastHash, ins)
 			return nil, 0, fmt.Errorf("controlplane: write config for %s: %w", ins, err)
 		}
 		c.lastHash[ins] = h

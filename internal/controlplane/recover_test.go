@@ -1,0 +1,241 @@
+package controlplane
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"megate/internal/core"
+	"megate/internal/kvstore"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// TestRecoverUnchangedWritesZero covers the acceptance criterion's base
+// case: a restarted controller that recovers its delta state and re-solves
+// the identical matrix writes zero records — no full-fleet rewrite.
+func TestRecoverUnchangedWritesZero(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+	store := kvstore.NewStore(2)
+
+	ctrl := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: store})
+	_, n1, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
+		t.Fatal("first interval wrote no configs")
+	}
+
+	// "Restart": a brand-new controller over the same database.
+	ctrl2 := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: store})
+	restored, err := ctrl2.Recover(StoreAdapter{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != n1 {
+		t.Errorf("restored %d records, want %d", restored, n1)
+	}
+	if ctrl2.Version() != 1 {
+		t.Errorf("recovered version = %d, want 1", ctrl2.Version())
+	}
+
+	_, n2, err := ctrl2.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Errorf("recovered controller rewrote %d records on an unchanged matrix, want 0", n2)
+	}
+	if st := ctrl2.LastStats(); st.Unchanged != n1 || st.Deleted != 0 {
+		t.Errorf("stats = %+v, want %d unchanged, 0 deleted", st, n1)
+	}
+	// Publication stayed monotone: 1 (before restart) -> 2.
+	if store.Version() != 2 {
+		t.Errorf("published version = %d, want 2", store.Version())
+	}
+}
+
+// TestRecoverChurnedWritesOnlyDelta is the acceptance criterion proper: the
+// interval after a recovered restart writes exactly the records a
+// never-restarted controller would have written for the same churn — the
+// restart is invisible in the database write stream.
+func TestRecoverChurnedWritesOnlyDelta(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m1 := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+	m2 := traffic.Generate(topo, traffic.GenOptions{Seed: 3, MeanDemandMbps: 20})
+
+	// Control arm: one controller lives through both intervals.
+	storeA := kvstore.NewStore(2)
+	ctrlA := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: storeA})
+	if _, _, err := ctrlA.RunInterval(m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctrlA.RunInterval(m2); err != nil {
+		t.Fatal(err)
+	}
+	want := ctrlA.LastStats()
+	if want.Written == 0 || want.Unchanged == 0 {
+		t.Fatalf("control stats %+v give no churn signal; pick different matrices", want)
+	}
+
+	// Restart arm: interval one, controller dies, replacement recovers.
+	storeB := kvstore.NewStore(2)
+	ctrlB := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: storeB})
+	if _, _, err := ctrlB.RunInterval(m1); err != nil {
+		t.Fatal(err)
+	}
+	ctrlB2 := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: storeB})
+	if _, err := ctrlB2.Recover(StoreAdapter{Store: storeB}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctrlB2.RunInterval(m2); err != nil {
+		t.Fatal(err)
+	}
+	got := ctrlB2.LastStats()
+	if got != want {
+		t.Errorf("recovered-controller interval stats = %+v, control = %+v; restart changed the write stream", got, want)
+	}
+
+	// The databases are byte-identical afterwards.
+	keysA, keysB := storeA.Keys(configPrefix), storeB.Keys(configPrefix)
+	if len(keysA) != len(keysB) {
+		t.Fatalf("store divergence: %d vs %d records", len(keysA), len(keysB))
+	}
+	for i, k := range keysA {
+		if keysB[i] != k {
+			t.Fatalf("key divergence at %d: %q vs %q", i, k, keysB[i])
+		}
+		va, _ := storeA.Get(k)
+		vb, _ := storeB.Get(k)
+		if string(va) != string(vb) {
+			t.Errorf("record %s diverged after restart", k)
+		}
+	}
+	if storeA.Version() != storeB.Version() {
+		t.Errorf("version divergence: %d vs %d", storeA.Version(), storeB.Version())
+	}
+}
+
+// TestRecoverVersionMonotone: without version recovery, a fresh controller
+// would publish 1 over a fleet at 3 and Store.Publish would silently drop
+// it; agents would never see another update.
+func TestRecoverVersionMonotone(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+	store := kvstore.NewStore(2)
+
+	ctrl := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: store})
+	for i := 0; i < 3; i++ {
+		if _, _, err := ctrl.RunInterval(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctrl2 := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: store})
+	if _, err := ctrl2.Recover(StoreAdapter{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctrl2.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	if store.Version() != 4 {
+		t.Errorf("published version = %d, want 4 (monotone across restart)", store.Version())
+	}
+	agent := &Agent{Instance: topo.Endpoints[0].Instance, Reader: StoreAdapter{Store: store}}
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.LastVersion() != 4 {
+		t.Errorf("agent converged to %d, want 4", agent.LastVersion())
+	}
+}
+
+// TestRecoverSkipsCorruptRecords: a record that fails to parse is left out
+// of lastHash, so the next interval rewrites (repairs) exactly it.
+func TestRecoverSkipsCorruptRecords(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+	store := kvstore.NewStore(2)
+
+	ctrl := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: store})
+	_, n1, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys(configPrefix)
+	if len(keys) != n1 {
+		t.Fatalf("stored %d records, written %d", len(keys), n1)
+	}
+	victim := keys[0]
+	store.Put(victim, []byte("{torn"))
+
+	ctrl2 := NewController(core.NewSolver(topo, core.Options{Incremental: true}), StoreAdapter{Store: store})
+	restored, err := ctrl2.Recover(StoreAdapter{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != n1-1 {
+		t.Errorf("restored %d records, want %d (corrupt one skipped)", restored, n1-1)
+	}
+	if _, n2, err := ctrl2.RunInterval(m); err != nil {
+		t.Fatal(err)
+	} else if n2 != 1 {
+		t.Errorf("repair interval wrote %d records, want exactly the corrupt one", n2)
+	}
+	data, ok := store.Get(victim)
+	if !ok || len(data) == 0 || data[0] != '{' || data[len(data)-1] != '}' {
+		t.Errorf("victim record not repaired: %q", data)
+	}
+}
+
+// TestRecoverOverReplicas exercises the whole wire path: controller writes
+// through a ReplicaAdapter to two TCP servers, dies, and its replacement
+// recovers through the same replicas.
+func TestRecoverOverReplicas(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 1, MeanDemandMbps: 20})
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := kvstore.Serve(l, kvstore.NewStore(2))
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, srv.Addr())
+	}
+	rc := kvstore.NewReplicaClient(addrs, func(rc *kvstore.ReplicaClient) { rc.Timeout = 2 * time.Second })
+	defer rc.Close()
+	db := ReplicaAdapter{Client: rc}
+
+	ctrl := NewController(core.NewSolver(topo, core.Options{Incremental: true}), db)
+	_, n1, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl2 := NewController(core.NewSolver(topo, core.Options{Incremental: true}), db)
+	restored, err := ctrl2.Recover(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != n1 {
+		t.Errorf("restored %d, want %d", restored, n1)
+	}
+	if _, n2, err := ctrl2.RunInterval(m); err != nil {
+		t.Fatal(err)
+	} else if n2 != 0 {
+		t.Errorf("recovered controller wrote %d over the wire, want 0", n2)
+	}
+	if v, err := rc.Version(); err != nil || v != 2 {
+		t.Errorf("replica version = %d err=%v, want 2", v, err)
+	}
+}

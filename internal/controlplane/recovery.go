@@ -1,0 +1,106 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"megate/internal/kvstore"
+)
+
+// ConfigSource is what Controller.Recover needs from the TE database: the
+// agent-side read interface plus key enumeration. All three adapters
+// (in-process store, single client, replica client) satisfy it.
+type ConfigSource interface {
+	ConfigReader
+	ListConfigKeys(prefix string) ([]string, error)
+}
+
+// ListConfigKeys implements ConfigSource for StoreAdapter.
+func (a StoreAdapter) ListConfigKeys(prefix string) ([]string, error) {
+	return a.Store.Keys(prefix), nil
+}
+
+// ListConfigKeys implements ConfigSource for ClientAdapter.
+func (a ClientAdapter) ListConfigKeys(prefix string) ([]string, error) {
+	return a.Client.Keys(prefix)
+}
+
+// ReplicaAdapter adapts a *kvstore.ReplicaClient to every control-plane
+// interface: ConfigStore for the controller's fan-out writes, ConfigReader
+// for agents that fail over across replicas, and ConfigSource for recovery.
+type ReplicaAdapter struct{ Client *kvstore.ReplicaClient }
+
+// PutConfig implements ConfigStore.
+func (a ReplicaAdapter) PutConfig(key string, value []byte) error {
+	return a.Client.Put(key, value)
+}
+
+// DeleteConfig implements ConfigStore.
+func (a ReplicaAdapter) DeleteConfig(key string) error {
+	return a.Client.Delete(key)
+}
+
+// PublishVersion implements ConfigStore.
+func (a ReplicaAdapter) PublishVersion(v uint64) error {
+	return a.Client.Publish(v)
+}
+
+// ReadVersion implements ConfigReader.
+func (a ReplicaAdapter) ReadVersion() (uint64, error) { return a.Client.Version() }
+
+// ReadConfig implements ConfigReader.
+func (a ReplicaAdapter) ReadConfig(key string) ([]byte, bool, error) {
+	return a.Client.Get(key)
+}
+
+// ListConfigKeys implements ConfigSource.
+func (a ReplicaAdapter) ListConfigKeys(prefix string) ([]string, error) {
+	return a.Client.Keys(prefix)
+}
+
+// Recover rebuilds the controller's delta-publication state from the
+// database after a restart: it reads the published version (so the next
+// publish stays monotone — Store.Publish ignores regressions, so a fresh
+// controller publishing version 1 over a fleet at version 40 would be
+// silently dropped and the agents would never converge) and re-derives
+// lastHash from every stored configuration record. The next RunInterval
+// then writes only the records that actually changed instead of rewriting
+// the entire fleet — a controller restart costs the database nothing
+// beyond the enumeration.
+//
+// Records that fail to parse are skipped (left out of lastHash), which
+// makes the next interval rewrite them: self-repair for corrupt records.
+// Recover reports how many records were restored.
+func (c *Controller) Recover(src ConfigSource) (int, error) {
+	v, err := src.ReadVersion()
+	if err != nil {
+		return 0, fmt.Errorf("controlplane: recover version: %w", err)
+	}
+	keys, err := src.ListConfigKeys(configPrefix)
+	if err != nil {
+		return 0, fmt.Errorf("controlplane: recover keys: %w", err)
+	}
+	if c.lastHash == nil {
+		c.lastHash = make(map[string]uint64)
+	}
+	restored := 0
+	for _, key := range keys {
+		ins := strings.TrimPrefix(key, configPrefix)
+		data, ok, err := src.ReadConfig(key)
+		if err != nil {
+			return restored, fmt.Errorf("controlplane: recover %s: %w", key, err)
+		}
+		if !ok {
+			continue // deleted between KEYS and GET; nothing to restore
+		}
+		var cfg InstanceConfig
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			continue // corrupt record: leave unhashed so the next interval rewrites it
+		}
+		c.lastHash[ins] = configHash(&cfg)
+		restored++
+	}
+	c.version.Store(v)
+	return restored, nil
+}

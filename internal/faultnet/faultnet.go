@@ -1,0 +1,483 @@
+// Package faultnet provides deterministic, schedulable fault injection for
+// the control loop's network paths. MegaTE's whole argument for the
+// bottom-up pull model (§3.2) is that eventual consistency *tolerates* a
+// briefly unreachable TE database and that endpoints degrade to
+// conventional routing when they hold no valid pinned path (§6.3); this
+// package makes those failure modes injectable and reproducible so the
+// degradation behavior can be tested instead of assumed.
+//
+// A Fabric names the peers of a chaos run ("controller", "agent", "db0",
+// ...) and holds per-directed-link fault state: connect refusal, full
+// partitions (a blackhole — operations block until the link heals or the
+// connection's deadline expires, exactly like dropped packets), read/write
+// latency, seeded mid-stream resets, and seeded partial writes that tear a
+// frame on the wire. Connections enter the fabric either through
+// Fabric.Dial / Fabric.Dialer (client side, where both peer names are
+// known) or through Fabric.Listener (server side, where the remote peer is
+// the wildcard "*" — address listener-side faults with SetFaults(name, "*",
+// ...)).
+//
+// Randomized decisions (which operation resets, how much of a write lands)
+// come from per-connection PRNGs derived from the fabric seed and a
+// connection sequence number, so a fixed seed replays the same decision
+// sequence for the same connection order. The timeline (At + Start) makes
+// whole failure scripts — partition at T1, heal at T2 — reproducible.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrRefused is returned by Dial when the link refuses connections.
+var ErrRefused = errors.New("faultnet: connection refused by fault injection")
+
+// ErrReset is returned by Read/Write when an injected mid-stream reset
+// fires; the underlying connection is closed so the peer observes it too.
+var ErrReset = errors.New("faultnet: connection reset by fault injection")
+
+// TimeoutError is the error surfaced when a partitioned operation runs into
+// its deadline. It implements net.Error with Timeout() == true so callers'
+// deadline handling treats injected blackholes like real ones.
+type TimeoutError struct{ Op string }
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return "faultnet: " + e.Op + " deadline exceeded (partitioned)"
+}
+
+// Timeout implements net.Error.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Temporary implements the legacy net.Error method.
+func (e *TimeoutError) Temporary() bool { return true }
+
+// Faults is the injectable state of one directed link (from → to, where
+// "from" is the side performing the operation).
+type Faults struct {
+	// Partitioned blackholes the link: dials and in-flight operations block
+	// until the link heals or their deadline expires (a TimeoutError). An
+	// operation with no deadline blocks indefinitely, like a real blackhole
+	// against a client with no timeout.
+	Partitioned bool
+	// RefuseConnect fails dials immediately with ErrRefused.
+	RefuseConnect bool
+	// DialLatency, ReadLatency, and WriteLatency delay the respective
+	// operations (bounded by the operation's deadline).
+	DialLatency  time.Duration
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	// ResetProb is the per-operation probability of an injected connection
+	// reset (the operation fails with ErrReset and the connection dies).
+	ResetProb float64
+	// PartialWriteProb is the per-write probability that only a seeded
+	// prefix of the buffer reaches the wire before the connection resets —
+	// the torn-frame case the kvstore protocol must never surface as a
+	// stored or installed partial config.
+	PartialWriteProb float64
+}
+
+// zero reports whether no fault is active.
+func (ft Faults) zero() bool { return ft == Faults{} }
+
+// link is a directed peer pair.
+type link struct{ from, to string }
+
+// event is one scheduled timeline action.
+type event struct {
+	at time.Duration
+	fn func()
+}
+
+// Fabric is the fault-injection network. The zero value is not usable; use
+// New.
+type Fabric struct {
+	mu      sync.Mutex
+	seed    int64
+	seq     int64
+	links   map[link]Faults
+	started bool
+	startT  time.Time
+	pending []event
+	timers  []*time.Timer
+}
+
+// New creates a fabric whose randomized fault decisions derive from seed.
+func New(seed int64) *Fabric {
+	return &Fabric{seed: seed, links: make(map[link]Faults)}
+}
+
+// SetFaults replaces the fault state of the directed link from → to. Either
+// name may be the wildcard "*"; lookups prefer the most specific match:
+// (from,to), (from,*), (*,to), (*,*).
+func (f *Fabric) SetFaults(from, to string, ft Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ft.zero() {
+		delete(f.links, link{from, to})
+		return
+	}
+	f.links[link{from, to}] = ft
+}
+
+// Partition blackholes both directions between the two peers, preserving
+// any other faults configured on the links.
+func (f *Fabric) Partition(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, k := range []link{{from, to}, {to, from}} {
+		ft := f.links[k]
+		ft.Partitioned = true
+		f.links[k] = ft
+	}
+}
+
+// Heal clears the partition between the two peers (both directions),
+// preserving any other faults configured on the links.
+func (f *Fabric) Heal(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, k := range []link{{from, to}, {to, from}} {
+		ft, ok := f.links[k]
+		if !ok {
+			continue
+		}
+		ft.Partitioned = false
+		if ft.zero() {
+			delete(f.links, k)
+		} else {
+			f.links[k] = ft
+		}
+	}
+}
+
+// HealAll clears every fault on every link.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links = make(map[link]Faults)
+}
+
+// state returns the effective faults for an operation by "from" against
+// "to", most specific rule first.
+func (f *Fabric) state(from, to string) Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, k := range []link{{from, to}, {from, "*"}, {"*", to}, {"*", "*"}} {
+		if ft, ok := f.links[k]; ok {
+			return ft
+		}
+	}
+	return Faults{}
+}
+
+// At schedules fn to run at offset d after Start. Events registered before
+// Start queue until it; events registered after arm immediately relative to
+// the original start time. Typical scripts partition and heal:
+//
+//	fab.At(100*time.Millisecond, func() { fab.Partition("agent", "db0") })
+//	fab.At(400*time.Millisecond, func() { fab.Heal("agent", "db0") })
+//	fab.Start()
+func (f *Fabric) At(d time.Duration, fn func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.started {
+		f.pending = append(f.pending, event{at: d, fn: fn})
+		return
+	}
+	delay := d - time.Since(f.startT)
+	if delay < 0 {
+		delay = 0
+	}
+	f.timers = append(f.timers, time.AfterFunc(delay, fn))
+}
+
+// Start begins the timeline, arming every event registered with At.
+// Starting twice is a no-op.
+func (f *Fabric) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.started = true
+	f.startT = time.Now()
+	for _, e := range f.pending {
+		f.timers = append(f.timers, time.AfterFunc(e.at, e.fn))
+	}
+	f.pending = nil
+}
+
+// Stop cancels every pending timeline event. Already-fired events are
+// unaffected; the fault state they installed persists until healed.
+func (f *Fabric) Stop() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, t := range f.timers {
+		t.Stop()
+	}
+	f.timers = nil
+	f.pending = nil
+}
+
+// connSeed derives a per-connection PRNG seed from the fabric seed and the
+// connection sequence number (splitmix-style mixing so adjacent sequence
+// numbers do not yield correlated streams).
+func (f *Fabric) connSeed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	z := uint64(f.seed) + uint64(f.seq)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Dial establishes a fabric connection from the named peer to the named
+// peer at addr, honoring the link's refusal, partition, and latency state.
+// timeout bounds the whole dial including any partition blackhole; zero
+// means no limit.
+func (f *Fabric) Dial(from, to, network, addr string, timeout time.Duration) (net.Conn, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		st := f.state(from, to)
+		if st.RefuseConnect {
+			return nil, ErrRefused
+		}
+		if !st.Partitioned {
+			if err := sleepUntil(st.DialLatency, deadline, "dial"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if err := blockStep(deadline, "dial"); err != nil {
+			return nil, err
+		}
+	}
+	remaining := timeout
+	if !deadline.IsZero() {
+		remaining = time.Until(deadline)
+		if remaining <= 0 {
+			return nil, &TimeoutError{Op: "dial"}
+		}
+	}
+	inner, err := net.DialTimeout(network, addr, remaining)
+	if err != nil {
+		return nil, err
+	}
+	return f.WrapConn(from, to, inner), nil
+}
+
+// Dialer returns a dial function bound to a fixed peer pair, matching the
+// kvstore client's pluggable dialer signature.
+func (f *Fabric) Dialer(from, to string) func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		return f.Dial(from, to, "tcp", addr, timeout)
+	}
+}
+
+// WrapConn runs an existing connection through the fabric: every Read and
+// Write consults the current state of the local → remote link.
+func (f *Fabric) WrapConn(local, remote string, inner net.Conn) net.Conn {
+	return &Conn{
+		inner:  inner,
+		fab:    f,
+		local:  local,
+		remote: remote,
+		rng:    rand.New(rand.NewSource(f.connSeed())),
+	}
+}
+
+// Listener wraps a listener so accepted connections pass through the
+// fabric. The remote peer of an accepted connection is unknown at the TCP
+// layer, so listener-side faults use the wildcard: SetFaults(name, "*",
+// ...) affects every connection the server handles, while client-side
+// faults (set on the dialing peer's link) are enforced by the dialing side.
+func (f *Fabric) Listener(name string, inner net.Listener) net.Listener {
+	return &listener{Listener: inner, fab: f, name: name}
+}
+
+type listener struct {
+	net.Listener
+	fab  *Fabric
+	name string
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.fab.WrapConn(l.name, "*", c), nil
+}
+
+// partitionPoll is how often a blocked operation re-checks for a heal.
+const partitionPoll = 2 * time.Millisecond
+
+// blockStep sleeps one poll interval of a partition blackhole, returning a
+// TimeoutError once the deadline passes. A zero deadline blocks forever.
+func blockStep(deadline time.Time, op string) error {
+	if deadline.IsZero() {
+		time.Sleep(partitionPoll)
+		return nil
+	}
+	rem := time.Until(deadline)
+	if rem <= 0 {
+		return &TimeoutError{Op: op}
+	}
+	if rem < partitionPoll {
+		time.Sleep(rem)
+		return nil
+	}
+	time.Sleep(partitionPoll)
+	return nil
+}
+
+// sleepUntil injects d of latency, truncated by the deadline (in which case
+// the operation times out like a too-slow peer).
+func sleepUntil(d time.Duration, deadline time.Time, op string) error {
+	if d <= 0 {
+		return nil
+	}
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem <= d {
+			if rem > 0 {
+				time.Sleep(rem)
+			}
+			return &TimeoutError{Op: op}
+		}
+	}
+	time.Sleep(d)
+	return nil
+}
+
+// Conn is a fabric-wrapped connection.
+type Conn struct {
+	inner  net.Conn
+	fab    *Fabric
+	local  string
+	remote string
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	dlMu    sync.Mutex
+	readDL  time.Time
+	writeDL time.Time
+}
+
+// chance draws one seeded Bernoulli decision.
+func (c *Conn) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Float64() < p
+}
+
+// prefixLen picks a seeded strict prefix length for a torn write.
+func (c *Conn) prefixLen(n int) int {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return 1 + c.rng.Intn(n-1)
+}
+
+func (c *Conn) deadline(op string) time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	if op == "read" {
+		return c.readDL
+	}
+	return c.writeDL
+}
+
+// gate applies partition blocking, latency, and reset injection for one
+// operation; it returns nil when the underlying operation may proceed.
+func (c *Conn) gate(op string, latency func(Faults) time.Duration) error {
+	deadline := c.deadline(op)
+	var st Faults
+	for {
+		st = c.fab.state(c.local, c.remote)
+		if !st.Partitioned {
+			break
+		}
+		if err := blockStep(deadline, op); err != nil {
+			return err
+		}
+	}
+	if err := sleepUntil(latency(st), deadline, op); err != nil {
+		return err
+	}
+	if c.chance(st.ResetProb) {
+		_ = c.inner.Close()
+		return ErrReset
+	}
+	return nil
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.gate("read", func(ft Faults) time.Duration { return ft.ReadLatency }); err != nil {
+		return 0, err
+	}
+	return c.inner.Read(b)
+}
+
+// Write implements net.Conn. An injected partial write delivers a seeded
+// strict prefix of b and then resets the connection, modeling a frame torn
+// mid-flight.
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.gate("write", func(ft Faults) time.Duration { return ft.WriteLatency }); err != nil {
+		return 0, err
+	}
+	st := c.fab.state(c.local, c.remote)
+	if len(b) > 1 && c.chance(st.PartialWriteProb) {
+		n, _ := c.inner.Write(b[:c.prefixLen(len(b))])
+		_ = c.inner.Close()
+		return n, ErrReset
+	}
+	return c.inner.Write(b)
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn; the wrapper tracks deadlines itself so
+// partition blackholes (which never touch the underlying connection) still
+// respect them, and passes them through so real blocking I/O is also cut.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.dlMu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL = t
+	c.dlMu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.writeDL = t
+	c.dlMu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

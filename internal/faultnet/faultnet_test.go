@@ -1,0 +1,307 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back until closed.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				select {
+				case <-done:
+				default:
+					t.Error(err)
+				}
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				buf := make([]byte, 4096)
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String(), func() { close(done); _ = l.Close() }
+}
+
+func TestDialRefused(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	fab := New(1)
+	fab.SetFaults("a", "b", Faults{RefuseConnect: true})
+	if _, err := fab.Dial("a", "b", "tcp", addr, time.Second); !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+	// The reverse direction and other peers are unaffected.
+	c, err := fab.Dial("b", "a", "tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("reverse dial: %v", err)
+	}
+	_ = c.Close()
+}
+
+func TestDialPartitionTimesOut(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	fab := New(1)
+	fab.Partition("a", "b")
+	start := time.Now()
+	_, err := fab.Dial("a", "b", "tcp", addr, 50*time.Millisecond)
+	elapsed := time.Since(start)
+	var te *TimeoutError
+	if !errors.As(err, &te) || !te.Timeout() {
+		t.Fatalf("err = %v, want TimeoutError", err)
+	}
+	if elapsed < 40*time.Millisecond || elapsed > 500*time.Millisecond {
+		t.Errorf("partitioned dial returned after %v, want ~50ms", elapsed)
+	}
+}
+
+func TestPartitionHealUnblocksRead(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	fab := New(1)
+	conn, err := fab.Dial("a", "b", "tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Round-trip works before the partition.
+	if _, err := conn.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fab.Partition("a", "b")
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	type res struct {
+		n   int
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		if _, err := conn.Write([]byte("y\n")); err != nil {
+			got <- res{0, err}
+			return
+		}
+		n, err := conn.Read(buf)
+		got <- res{n, err}
+	}()
+	// Heal mid-blackhole: the blocked operation must complete.
+	time.Sleep(30 * time.Millisecond)
+	fab.Heal("a", "b")
+	select {
+	case r := <-got:
+		if r.err != nil || r.n == 0 {
+			t.Fatalf("read after heal: n=%d err=%v", r.n, r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not unblock after heal")
+	}
+}
+
+func TestPartitionRespectsDeadline(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	fab := New(1)
+	conn, err := fab.Dial("a", "b", "tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	fab.Partition("a", "b")
+	_ = conn.SetDeadline(time.Now().Add(40 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TimeoutError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("partitioned read held for %v past its 40ms deadline", elapsed)
+	}
+}
+
+func TestReadLatencyInjected(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	fab := New(1)
+	fab.SetFaults("a", "b", Faults{ReadLatency: 30 * time.Millisecond})
+	conn, err := fab.Dial("a", "b", "tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("read returned in %v, want >= 30ms injected latency", elapsed)
+	}
+}
+
+func TestResetInjected(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	fab := New(1)
+	fab.SetFaults("a", "b", Faults{ResetProb: 1})
+	conn, err := fab.Dial("a", "b", "tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte("x\n")); !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	// The underlying connection is dead: further operations fail too.
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("read on reset connection succeeded")
+	}
+}
+
+func TestPartialWriteTearsFrame(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	fab := New(7)
+	fab.SetFaults("a", "b", Faults{PartialWriteProb: 1})
+	conn, err := fab.Dial("a", "b", "tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	payload := []byte(strings.Repeat("z", 64))
+	n, err := conn.Write(payload)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Errorf("torn write delivered %d bytes, want a strict prefix of %d", n, len(payload))
+	}
+}
+
+func TestSeededDecisionsReplay(t *testing.T) {
+	// Two fabrics with the same seed make the same reset decisions for the
+	// same connection order; a different seed diverges (with overwhelming
+	// probability over 64 draws).
+	trial := func(seed int64) []bool {
+		fab := New(seed)
+		c1, c2 := net.Pipe()
+		defer func() { _ = c1.Close() }()
+		defer func() { _ = c2.Close() }()
+		wrapped := fab.WrapConn("a", "b", c1).(*Conn)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = wrapped.chance(0.5)
+		}
+		return out
+	}
+	a, b, c := trial(42), trial(42), trial(43)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different decision sequences")
+	}
+	if !diff {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+func TestTimelineSchedulesAndStops(t *testing.T) {
+	fab := New(1)
+	fired := make(chan string, 4)
+	fab.At(10*time.Millisecond, func() { fab.Partition("a", "b"); fired <- "partition" })
+	fab.At(40*time.Millisecond, func() { fab.Heal("a", "b"); fired <- "heal" })
+	fab.Start()
+	defer fab.Stop()
+
+	select {
+	case ev := <-fired:
+		if ev != "partition" {
+			t.Fatalf("first event = %q, want partition", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("partition event never fired")
+	}
+	if !fab.state("a", "b").Partitioned {
+		t.Error("link not partitioned after event")
+	}
+	select {
+	case ev := <-fired:
+		if ev != "heal" {
+			t.Fatalf("second event = %q, want heal", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("heal event never fired")
+	}
+	if fab.state("a", "b").Partitioned {
+		t.Error("link still partitioned after heal event")
+	}
+
+	// Events scheduled after Start still run, relative to the start time.
+	fab.At(0, func() { fired <- "late" })
+	select {
+	case ev := <-fired:
+		if ev != "late" {
+			t.Fatalf("late event = %q", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-start event never fired")
+	}
+}
+
+func TestWildcardResolution(t *testing.T) {
+	fab := New(1)
+	fab.SetFaults("*", "db", Faults{RefuseConnect: true})
+	if !fab.state("anyone", "db").RefuseConnect {
+		t.Error("wildcard from-rule did not match")
+	}
+	// Exact rules beat wildcards.
+	fab.SetFaults("vip", "db", Faults{ReadLatency: time.Millisecond})
+	st := fab.state("vip", "db")
+	if st.RefuseConnect {
+		t.Error("exact rule should shadow the wildcard refusal")
+	}
+	if st.ReadLatency != time.Millisecond {
+		t.Error("exact rule not applied")
+	}
+}

@@ -1,0 +1,330 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTimeout bounds the dial and every subsequent read/write of one
+// client operation when Client.Timeout is zero. The paper's endpoints issue
+// sub-millisecond short-connection polls; two seconds is generous headroom
+// that still guarantees a hung or partitioned database cannot wedge an
+// agent forever (§3.2's tolerance argument assumes the poll *returns*).
+const DefaultTimeout = 2 * time.Second
+
+// ErrProtocol reports an unexpected server response.
+var ErrProtocol = errors.New("kvstore: protocol error")
+
+// Client talks to a Server. Its zero-value mode dials a fresh connection
+// per operation — the short-connection discipline the endpoints use so the
+// database never holds millions of sockets. Every operation carries a
+// deadline: there is no unbounded blocking call on the poll path.
+type Client struct {
+	Addr string
+	// Persistent keeps one connection open across operations (used by the
+	// top-down baseline and by throughput benchmarks).
+	Persistent bool
+	// Timeout bounds the dial and each operation's reads and writes; zero
+	// means DefaultTimeout.
+	Timeout time.Duration
+	// Dialer overrides how the client reaches the server (fault injection,
+	// proxies, in-process transports); nil uses net.DialTimeout.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Retry, when set, re-runs operations that failed at the transport
+	// level under its backoff schedule. Protocol errors are never retried:
+	// a server speaking garbage will not improve on the next attempt.
+	Retry *Backoff
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c *Client) dialRaw() (net.Conn, error) {
+	if c.Dialer != nil {
+		return c.Dialer(c.Addr, c.timeout())
+	}
+	return net.DialTimeout("tcp", c.Addr, c.timeout())
+}
+
+func (c *Client) dial() (net.Conn, *bufio.Reader, func(), error) {
+	if c.Persistent {
+		c.mu.Lock()
+		if c.conn == nil {
+			//lint:ignore lockcheck persistent mode serializes whole operations over the one connection; dialing under the lock is that design
+			conn, err := c.dialRaw()
+			if err != nil {
+				c.mu.Unlock()
+				return nil, nil, nil, err
+			}
+			c.conn = conn
+			c.r = bufio.NewReader(conn)
+		}
+		conn, r := c.conn, c.r
+		return conn, r, func() { c.mu.Unlock() }, nil
+	}
+	conn, err := c.dialRaw()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return conn, bufio.NewReader(conn), func() { _ = conn.Close() }, nil
+}
+
+// resetPersistent drops a broken persistent connection.
+func (c *Client) resetPersistent() {
+	if c.Persistent && c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.r = nil
+	}
+}
+
+// Close closes a persistent connection if one is open.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetPersistent()
+}
+
+// do runs one operation over a fresh (or the persistent) connection with
+// the deadline applied, retrying transport-level failures under the Retry
+// schedule. op must consume exactly its response bytes; any failure drops a
+// persistent connection so a desynced stream is never reused.
+func (c *Client) do(op func(conn net.Conn, r *bufio.Reader) error) error {
+	attempt := func() error {
+		conn, r, release, err := c.dial()
+		if err != nil {
+			return err
+		}
+		defer release()
+		_ = conn.SetDeadline(time.Now().Add(c.timeout()))
+		if err := op(conn, r); err != nil {
+			c.resetPersistent()
+			return err
+		}
+		return nil
+	}
+	if c.Retry == nil {
+		return attempt()
+	}
+	return c.Retry.Do(attempt)
+}
+
+// Version polls the published configuration version.
+func (c *Client) Version() (v uint64, err error) {
+	err = c.do(func(conn net.Conn, r *bufio.Reader) error {
+		if _, err := fmt.Fprint(conn, "VERSION\n"); err != nil {
+			return err
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Sscanf(line, "VERSION %d", &v); err != nil {
+			return fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+		return nil
+	})
+	return v, err
+}
+
+// Get fetches key; ok is false when the key is absent.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	err = c.do(func(conn net.Conn, r *bufio.Reader) error {
+		value, ok = nil, false
+		if _, err := fmt.Fprintf(conn, "GET %s\n", key); err != nil {
+			return err
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if strings.TrimSpace(line) == "NONE" {
+			return nil
+		}
+		var n int
+		if _, err := fmt.Sscanf(line, "VALUE %d", &n); err != nil {
+			return fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+		// Bound-check before allocating: a malicious or corrupt server
+		// announcing a negative or huge length must not drive make() into a
+		// panic or an unbounded allocation. The server enforces the same cap
+		// on PUT, so an honest value never exceeds it.
+		if n < 0 || n > MaxValueLen {
+			return fmt.Errorf("%w: implausible value length %d", ErrProtocol, n)
+		}
+		buf := make([]byte, n+1) // value plus trailing newline
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		value, ok = buf[:n], true
+		return nil
+	})
+	return value, ok, err
+}
+
+// Put stores value under key.
+func (c *Client) Put(key string, value []byte) error {
+	return c.do(func(conn net.Conn, r *bufio.Reader) error {
+		if _, err := fmt.Fprintf(conn, "PUT %s %d\n", key, len(value)); err != nil {
+			return err
+		}
+		if _, err := conn.Write(value); err != nil {
+			return err
+		}
+		return expectOK(r)
+	})
+}
+
+// Delete removes key; deleting an absent key is a no-op.
+func (c *Client) Delete(key string) error {
+	return c.do(func(conn net.Conn, r *bufio.Reader) error {
+		if _, err := fmt.Fprintf(conn, "DEL %s\n", key); err != nil {
+			return err
+		}
+		return expectOK(r)
+	})
+}
+
+// Keys lists keys with the given prefix.
+func (c *Client) Keys(prefix string) (keys []string, err error) {
+	err = c.do(func(conn net.Conn, r *bufio.Reader) error {
+		keys = nil
+		if _, err := fmt.Fprintf(conn, "KEYS %s\n", prefix); err != nil {
+			return err
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		var n int
+		if _, err := fmt.Sscanf(line, "KEYS %d", &n); err != nil {
+			return fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+		if n < 0 {
+			return fmt.Errorf("%w: negative key count %d", ErrProtocol, n)
+		}
+		for i := 0; i < n; i++ {
+			k, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			keys = append(keys, strings.TrimSpace(k))
+		}
+		return nil
+	})
+	return keys, err
+}
+
+// Publish advertises a new configuration version.
+func (c *Client) Publish(v uint64) error {
+	return c.do(func(conn net.Conn, r *bufio.Reader) error {
+		if _, err := fmt.Fprintf(conn, "PUBLISH %d\n", v); err != nil {
+			return err
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(line, "OK") {
+			return fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+		return nil
+	})
+}
+
+// expectOK consumes one response line that must be exactly OK.
+func expectOK(r *bufio.Reader) error {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "OK" {
+		return fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return nil
+}
+
+// Backoff is a bounded exponential retry schedule with seeded jitter. The
+// zero value retries nothing (one attempt); a typical agent-side schedule
+// is {Attempts: 3, Base: 10 * time.Millisecond, Seed: slot} so a fleet
+// whose database vanished does not re-dial in lockstep.
+type Backoff struct {
+	// Attempts is the total number of tries including the first; values
+	// below 1 mean 1 (no retry).
+	Attempts int
+	// Base is the pause before the first retry; zero means 10ms. Each
+	// further retry doubles it.
+	Base time.Duration
+	// Max caps a single pause; zero means 1s.
+	Max time.Duration
+	// Seed fixes the jitter stream: equal seeds replay equal delays, which
+	// keeps chaos runs reproducible.
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Delay returns the pause before retry number retry (1-based): the
+// exponential step with half-jitter, so the delay lies in [d/2, d] for
+// d = min(Base<<(retry-1), Max).
+func (b *Backoff) Delay(retry int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := max
+	if retry < 1 {
+		retry = 1
+	}
+	if shift := retry - 1; shift < 20 {
+		if stepped := base << shift; stepped < max {
+			d = stepped
+		}
+	}
+	b.mu.Lock()
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.Seed))
+	}
+	j := time.Duration(b.rng.Int63n(int64(d/2) + 1))
+	b.mu.Unlock()
+	return d/2 + j
+}
+
+// Do runs op, retrying transport failures under the schedule. A nil result
+// or a protocol error stops the retries immediately.
+func (b *Backoff) Do(op func() error) error {
+	n := b.Attempts
+	if n < 1 {
+		n = 1
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(b.Delay(i))
+		}
+		err = op()
+		if err == nil || errors.Is(err, ErrProtocol) {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,218 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ReplicaClient spreads operations across an ordered list of replicated
+// servers. Reads (Version, Get, Keys) go to the preferred replica and fail
+// over down the list in order; writes (Put, Delete, Publish) fan out to
+// every replica so the copies stay identical — the controller is the only
+// writer, so last-writer-wins fan-out is a correct replication scheme here
+// (the paper's sharded database runs replicated the same way).
+//
+// A read failover promotes the replica that answered to preferred, so a
+// fleet polling through a dead head replica pays the scan once, not on
+// every poll.
+type ReplicaClient struct {
+	// Timeout bounds each per-replica operation; zero means DefaultTimeout.
+	Timeout time.Duration
+	// Dialer overrides how replicas are reached (fault injection); nil uses
+	// net.DialTimeout.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Retry, when set, re-runs a whole replica cycle (not a single replica)
+	// after transport-level failure of every replica.
+	Retry *Backoff
+
+	mu        sync.Mutex
+	clients   []*Client
+	preferred int
+	failovers uint64
+}
+
+// NewReplicaClient builds a client over the ordered replica addresses.
+func NewReplicaClient(addrs []string, opts ...func(*ReplicaClient)) *ReplicaClient {
+	rc := &ReplicaClient{}
+	for _, opt := range opts {
+		opt(rc)
+	}
+	for _, a := range addrs {
+		rc.clients = append(rc.clients, &Client{Addr: a, Timeout: rc.Timeout, Dialer: rc.Dialer})
+	}
+	return rc
+}
+
+// Addrs returns the configured replica addresses in order.
+func (rc *ReplicaClient) Addrs() []string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	addrs := make([]string, len(rc.clients))
+	for i, c := range rc.clients {
+		addrs[i] = c.Addr
+	}
+	return addrs
+}
+
+// Failovers counts read operations that had to skip at least one replica.
+func (rc *ReplicaClient) Failovers() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.failovers
+}
+
+// snapshot returns the replica list rotated so the preferred replica comes
+// first. I/O happens on the snapshot, never under the mutex.
+func (rc *ReplicaClient) snapshot() []*Client {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]*Client, 0, len(rc.clients))
+	for i := 0; i < len(rc.clients); i++ {
+		out = append(out, rc.clients[(rc.preferred+i)%len(rc.clients)])
+	}
+	return out
+}
+
+func (rc *ReplicaClient) promote(c *Client, skipped int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if skipped > 0 {
+		rc.failovers++
+	}
+	for i, cl := range rc.clients {
+		if cl == c {
+			rc.preferred = i
+			return
+		}
+	}
+}
+
+// read runs op against replicas in preference order until one succeeds. A
+// protocol error from a replica does not stop the scan — a corrupt replica
+// is exactly what failover exists for — but if every replica failed with a
+// protocol error the joined result carries ErrProtocol so Backoff.Do does
+// not retry a hopeless cycle.
+func (rc *ReplicaClient) read(op func(c *Client) error) error {
+	attempt := func() error {
+		clients := rc.snapshot()
+		if len(clients) == 0 {
+			return errors.New("kvstore: replica client has no replicas")
+		}
+		var errs []error
+		allProtocol := true
+		for i, c := range clients {
+			err := op(c)
+			if err == nil {
+				rc.promote(c, i)
+				return nil
+			}
+			if !errors.Is(err, ErrProtocol) {
+				allProtocol = false
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", c.Addr, err))
+		}
+		joined := errors.Join(errs...)
+		if allProtocol {
+			return fmt.Errorf("kvstore: all replicas failed: %w", joined)
+		}
+		// %v-wrap so the transport-flavoured cycle stays retryable.
+		return fmt.Errorf("kvstore: all replicas failed: %v", joined)
+	}
+	if rc.Retry == nil {
+		return attempt()
+	}
+	return rc.Retry.Do(attempt)
+}
+
+// write runs op against every replica and succeeds only when all do: a
+// partial fan-out reports failure so the caller (the controller's delta
+// loop) re-publishes the record next interval, healing any divergence.
+func (rc *ReplicaClient) write(op func(c *Client) error) error {
+	attempt := func() error {
+		clients := rc.snapshot()
+		if len(clients) == 0 {
+			return errors.New("kvstore: replica client has no replicas")
+		}
+		var errs []error
+		allProtocol := true
+		for _, c := range clients {
+			if err := op(c); err != nil {
+				if !errors.Is(err, ErrProtocol) {
+					allProtocol = false
+				}
+				errs = append(errs, fmt.Errorf("%s: %w", c.Addr, err))
+			}
+		}
+		if len(errs) == 0 {
+			return nil
+		}
+		joined := errors.Join(errs...)
+		if allProtocol && len(errs) == len(clients) {
+			return fmt.Errorf("kvstore: replica write failed: %w", joined)
+		}
+		return fmt.Errorf("kvstore: replica write failed on %d/%d replicas: %v", len(errs), len(clients), joined)
+	}
+	if rc.Retry == nil {
+		return attempt()
+	}
+	return rc.Retry.Do(attempt)
+}
+
+// Version polls the published configuration version from the first
+// reachable replica.
+func (rc *ReplicaClient) Version() (v uint64, err error) {
+	err = rc.read(func(c *Client) error {
+		var e error
+		v, e = c.Version()
+		return e
+	})
+	return v, err
+}
+
+// Get fetches key from the first reachable replica.
+func (rc *ReplicaClient) Get(key string) (value []byte, ok bool, err error) {
+	err = rc.read(func(c *Client) error {
+		var e error
+		value, ok, e = c.Get(key)
+		return e
+	})
+	return value, ok, err
+}
+
+// Keys lists keys with the given prefix from the first reachable replica.
+func (rc *ReplicaClient) Keys(prefix string) (keys []string, err error) {
+	err = rc.read(func(c *Client) error {
+		var e error
+		keys, e = c.Keys(prefix)
+		return e
+	})
+	return keys, err
+}
+
+// Put stores value under key on every replica.
+func (rc *ReplicaClient) Put(key string, value []byte) error {
+	return rc.write(func(c *Client) error { return c.Put(key, value) })
+}
+
+// Delete removes key from every replica.
+func (rc *ReplicaClient) Delete(key string) error {
+	return rc.write(func(c *Client) error { return c.Delete(key) })
+}
+
+// Publish advertises a new configuration version on every replica.
+func (rc *ReplicaClient) Publish(v uint64) error {
+	return rc.write(func(c *Client) error { return c.Publish(v) })
+}
+
+// Close closes any persistent per-replica connections.
+func (rc *ReplicaClient) Close() {
+	rc.mu.Lock()
+	clients := append([]*Client(nil), rc.clients...)
+	rc.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

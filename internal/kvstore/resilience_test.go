@@ -1,0 +1,352 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// silentListener accepts connections and never responds, simulating a hung
+// server.
+func silentListener(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var conns sync.Map
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conns.Store(c, struct{}{})
+			// Hold the connection open without ever writing.
+			go func(c net.Conn) {
+				<-done
+				_ = c.Close()
+			}(c)
+		}
+	}()
+	return l.Addr().String(), func() { close(done); _ = l.Close() }
+}
+
+func TestClientTimeoutOnSilentServer(t *testing.T) {
+	addr, stop := silentListener(t)
+	defer stop()
+	c := &Client{Addr: addr, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Version()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Version against a silent server succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a net.Error timeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("Version blocked for %v; deadline did not bound the read", elapsed)
+	}
+}
+
+// scriptedServer answers each accepted connection with a fixed response
+// regardless of the request, for protocol-abuse tests.
+func scriptedServer(t *testing.T, response string) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				buf := make([]byte, 256)
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+				if _, err := c.Write([]byte(response)); err != nil {
+					return
+				}
+			}(c)
+		}
+	}()
+	return l.Addr().String(), func() { _ = l.Close() }
+}
+
+func TestClientGetRejectsBadLength(t *testing.T) {
+	for _, resp := range []string{
+		"VALUE -5\n",
+		"VALUE 99999999999999999999\n", // overflows int: Sscanf fails -> protocol error
+		fmt.Sprintf("VALUE %d\n", MaxValueLen+1),
+	} {
+		t.Run(resp, func(t *testing.T) {
+			addr, stop := scriptedServer(t, resp)
+			defer stop()
+			c := &Client{Addr: addr, Timeout: time.Second}
+			_, _, err := c.Get("k")
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("Get with header %q: err = %v, want ErrProtocol", resp, err)
+			}
+		})
+	}
+}
+
+func TestBackoffDelayBoundsAndReplay(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Seed: 3}
+	for retry := 1; retry <= 8; retry++ {
+		d := b.Delay(retry)
+		step := b.Base << (retry - 1)
+		if step > b.Max || step <= 0 {
+			step = b.Max
+		}
+		if d < step/2 || d > step {
+			t.Errorf("Delay(%d) = %v, want in [%v, %v]", retry, d, step/2, step)
+		}
+	}
+	// Equal seeds replay the same jitter sequence.
+	b1 := &Backoff{Base: time.Millisecond, Max: time.Second, Seed: 9}
+	b2 := &Backoff{Base: time.Millisecond, Max: time.Second, Seed: 9}
+	for retry := 1; retry <= 16; retry++ {
+		if d1, d2 := b1.Delay(retry), b2.Delay(retry); d1 != d2 {
+			t.Fatalf("seeded jitter diverged at retry %d: %v vs %v", retry, d1, d2)
+		}
+	}
+}
+
+func TestBackoffDoStopsOnProtocolError(t *testing.T) {
+	b := &Backoff{Attempts: 5, Base: time.Millisecond}
+	calls := 0
+	err := b.Do(func() error {
+		calls++
+		return fmt.Errorf("%w: garbage", ErrProtocol)
+	})
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("protocol error retried: %d calls, want 1", calls)
+	}
+}
+
+func TestBackoffDoRetriesTransportError(t *testing.T) {
+	b := &Backoff{Attempts: 4, Base: time.Millisecond, Max: 2 * time.Millisecond}
+	calls := 0
+	err := b.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("connection refused")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestClientRetryRecoversFromDialFailure(t *testing.T) {
+	store := NewStore(4)
+	store.Put("k", []byte("v"))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, store)
+	defer srv.Close()
+
+	var dials atomic.Int64
+	c := &Client{
+		Addr:    srv.Addr(),
+		Timeout: time.Second,
+		Retry:   &Backoff{Attempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Dialer: func(addr string, timeout time.Duration) (net.Conn, error) {
+			if dials.Add(1) < 3 {
+				return nil, errors.New("simulated dial failure")
+			}
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after retries: v=%q ok=%v err=%v", v, ok, err)
+	}
+	if dials.Load() != 3 {
+		t.Errorf("dials = %d, want 3", dials.Load())
+	}
+}
+
+// startServers launches n kv servers over one shared-content workflow: the
+// caller writes through a ReplicaClient so contents match.
+func startServers(t *testing.T, n int) (addrs []string, servers []*Server) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := Serve(l, NewStore(4))
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, srv.Addr())
+		servers = append(servers, srv)
+	}
+	return addrs, servers
+}
+
+func TestReplicaClientFailover(t *testing.T) {
+	addrs, servers := startServers(t, 3)
+	rc := NewReplicaClient(addrs, func(rc *ReplicaClient) { rc.Timeout = time.Second })
+	defer rc.Close()
+
+	if err := rc.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Publish(7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the preferred replica: reads must fail over and still answer.
+	servers[0].Close()
+	v, err := rc.Version()
+	if err != nil {
+		t.Fatalf("Version after head replica death: %v", err)
+	}
+	if v != 7 {
+		t.Errorf("Version = %d, want 7", v)
+	}
+	if rc.Failovers() == 0 {
+		t.Error("failover not counted")
+	}
+
+	// The surviving replica is promoted: the next read skips the dead head
+	// without a new failover.
+	before := rc.Failovers()
+	if _, ok, err := rc.Get("k"); err != nil || !ok {
+		t.Fatalf("Get after failover: ok=%v err=%v", ok, err)
+	}
+	if rc.Failovers() != before {
+		t.Errorf("promoted replica still scanning: failovers %d -> %d", before, rc.Failovers())
+	}
+}
+
+func TestReplicaClientWriteFanout(t *testing.T) {
+	addrs, _ := startServers(t, 3)
+	rc := NewReplicaClient(addrs, func(rc *ReplicaClient) { rc.Timeout = time.Second })
+	defer rc.Close()
+
+	if err := rc.Put("te/cfg/i1", []byte("cfg")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Publish(1); err != nil {
+		t.Fatal(err)
+	}
+	// Every replica individually holds the value and the version.
+	for _, addr := range addrs {
+		c := &Client{Addr: addr, Timeout: time.Second}
+		v, ok, err := c.Get("te/cfg/i1")
+		if err != nil || !ok || string(v) != "cfg" {
+			t.Errorf("replica %s: v=%q ok=%v err=%v", addr, v, ok, err)
+		}
+		ver, err := c.Version()
+		if err != nil || ver != 1 {
+			t.Errorf("replica %s: version=%d err=%v", addr, ver, err)
+		}
+	}
+}
+
+func TestReplicaClientWriteFailsOnPartialFanout(t *testing.T) {
+	addrs, servers := startServers(t, 3)
+	rc := NewReplicaClient(addrs, func(rc *ReplicaClient) { rc.Timeout = 100 * time.Millisecond })
+	defer rc.Close()
+
+	servers[2].Close()
+	if err := rc.Put("k", []byte("v")); err == nil {
+		t.Fatal("Put succeeded with a dead replica; partial fan-out must report failure")
+	}
+	// Reads still work through the survivors.
+	if _, ok, err := rc.Get("k"); err != nil || !ok {
+		t.Fatalf("Get through survivors: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestServerIdleTimeoutClosesConnection(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, NewStore(4), WithIdleTimeout(50*time.Millisecond))
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Stay silent past the idle deadline: the server must hang up.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection not closed by server")
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Errorf("server took %v to drop idle connection, want ~50ms", elapsed)
+	}
+}
+
+// flakyListener fails every Accept with a transient error until drained,
+// counting calls, to prove the accept loop backs off instead of spinning.
+type flakyListener struct {
+	inner   net.Listener
+	fails   atomic.Int64
+	maxFail int64
+}
+
+func (f *flakyListener) Accept() (net.Conn, error) {
+	if n := f.fails.Add(1); n <= f.maxFail {
+		return nil, errors.New("transient accept failure")
+	}
+	return f.inner.Accept()
+}
+func (f *flakyListener) Close() error   { return f.inner.Close() }
+func (f *flakyListener) Addr() net.Addr { return f.inner.Addr() }
+
+func TestAcceptLoopBacksOffOnTransientErrors(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{inner: inner, maxFail: 3}
+	store := NewStore(4)
+	store.Put("k", []byte("v"))
+	srv := Serve(fl, store)
+	defer srv.Close()
+
+	// The server must survive the transient errors and then serve normally.
+	c := &Client{Addr: srv.Addr(), Timeout: 2 * time.Second,
+		Retry: &Backoff{Attempts: 5, Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after accept-loop recovery: v=%q ok=%v err=%v", v, ok, err)
+	}
+	// Backoff bound: with 5ms initial backoff doubling per failure, 3
+	// failures take >= 5+10+20 = 35ms of sleeping, so a hot spin (thousands
+	// of calls in that window) is impossible. Allow slack for the accepts
+	// the client's retries trigger.
+	if n := fl.fails.Load(); n > 20 {
+		t.Errorf("accept called %d times; loop is spinning, not backing off", n)
+	}
+}

@@ -2,14 +2,19 @@ package kvstore
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
+
+// MaxValueLen caps a single stored value. The server rejects larger PUTs and
+// the client rejects VALUE headers announcing more, so both ends agree on
+// the largest frame that can legitimately cross the wire.
+const MaxValueLen = 64 << 20
 
 // Server exposes a Store over a line-oriented TCP protocol:
 //
@@ -25,6 +30,7 @@ import (
 type Server struct {
 	store *Store
 	l     net.Listener
+	idle  time.Duration
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -33,9 +39,23 @@ type Server struct {
 	closeOnce sync.Once
 }
 
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithIdleTimeout closes connections that stay silent between commands for
+// longer than d. Zero (the default) disables the idle deadline; endpoints
+// that poll and hang up are unaffected either way, but a leaked persistent
+// connection can no longer pin a handler goroutine forever.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idle = d }
+}
+
 // Serve starts serving the store on l until Close.
-func Serve(l net.Listener, store *Store) *Server {
+func Serve(l net.Listener, store *Store, opts ...ServerOption) *Server {
 	s := &Server{store: store, l: l, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -67,6 +87,10 @@ func (s *Server) Close() {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	// Transient accept errors (EMFILE, ECONNABORTED) back off exponentially
+	// instead of hot-spinning; a successful accept resets the pause.
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
 	for {
 		conn, err := s.l.Accept()
 		if err != nil {
@@ -74,9 +98,18 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				continue
 			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -96,6 +129,9 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if s.idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
 			return
@@ -125,7 +161,7 @@ func (s *Server) handle(conn net.Conn) {
 				break
 			}
 			n, err := strconv.Atoi(fields[2])
-			if err != nil || n < 0 || n > 64<<20 {
+			if err != nil || n < 0 || n > MaxValueLen {
 				fmt.Fprint(w, "ERR bad length\n")
 				break
 			}
@@ -170,216 +206,4 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
-}
-
-// Client talks to a Server. Its zero-value mode dials a fresh connection
-// per operation — the short-connection discipline the endpoints use so the
-// database never holds millions of sockets.
-type Client struct {
-	Addr string
-	// Persistent keeps one connection open across operations (used by the
-	// top-down baseline and by throughput benchmarks).
-	Persistent bool
-
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-}
-
-// ErrProtocol reports an unexpected server response.
-var ErrProtocol = errors.New("kvstore: protocol error")
-
-func (c *Client) dial() (net.Conn, *bufio.Reader, func(), error) {
-	if c.Persistent {
-		c.mu.Lock()
-		if c.conn == nil {
-			//lint:ignore lockcheck persistent mode serializes whole operations over the one connection; dialing under the lock is that design
-			conn, err := net.Dial("tcp", c.Addr)
-			if err != nil {
-				c.mu.Unlock()
-				return nil, nil, nil, err
-			}
-			c.conn = conn
-			c.r = bufio.NewReader(conn)
-		}
-		conn, r := c.conn, c.r
-		return conn, r, func() { c.mu.Unlock() }, nil
-	}
-	conn, err := net.Dial("tcp", c.Addr)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return conn, bufio.NewReader(conn), func() { _ = conn.Close() }, nil
-}
-
-// resetPersistent drops a broken persistent connection.
-func (c *Client) resetPersistent() {
-	if c.Persistent && c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
-		c.r = nil
-	}
-}
-
-// Close closes a persistent connection if one is open.
-func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.resetPersistent()
-}
-
-// Version polls the published configuration version.
-func (c *Client) Version() (uint64, error) {
-	conn, r, release, err := c.dial()
-	if err != nil {
-		return 0, err
-	}
-	defer release()
-	if _, err := fmt.Fprint(conn, "VERSION\n"); err != nil {
-		c.resetPersistent()
-		return 0, err
-	}
-	line, err := r.ReadString('\n')
-	if err != nil {
-		c.resetPersistent()
-		return 0, err
-	}
-	var v uint64
-	if _, err := fmt.Sscanf(line, "VERSION %d", &v); err != nil {
-		return 0, fmt.Errorf("%w: %q", ErrProtocol, line)
-	}
-	return v, nil
-}
-
-// Get fetches key; ok is false when the key is absent.
-func (c *Client) Get(key string) (value []byte, ok bool, err error) {
-	conn, r, release, err := c.dial()
-	if err != nil {
-		return nil, false, err
-	}
-	defer release()
-	if _, err := fmt.Fprintf(conn, "GET %s\n", key); err != nil {
-		c.resetPersistent()
-		return nil, false, err
-	}
-	line, err := r.ReadString('\n')
-	if err != nil {
-		c.resetPersistent()
-		return nil, false, err
-	}
-	if strings.TrimSpace(line) == "NONE" {
-		return nil, false, nil
-	}
-	var n int
-	if _, err := fmt.Sscanf(line, "VALUE %d", &n); err != nil {
-		return nil, false, fmt.Errorf("%w: %q", ErrProtocol, line)
-	}
-	buf := make([]byte, n+1) // value plus trailing newline
-	if _, err := io.ReadFull(r, buf); err != nil {
-		c.resetPersistent()
-		return nil, false, err
-	}
-	return buf[:n], true, nil
-}
-
-// Put stores value under key.
-func (c *Client) Put(key string, value []byte) error {
-	conn, r, release, err := c.dial()
-	if err != nil {
-		return err
-	}
-	defer release()
-	if _, err := fmt.Fprintf(conn, "PUT %s %d\n", key, len(value)); err != nil {
-		c.resetPersistent()
-		return err
-	}
-	if _, err := conn.Write(value); err != nil {
-		c.resetPersistent()
-		return err
-	}
-	line, err := r.ReadString('\n')
-	if err != nil {
-		c.resetPersistent()
-		return err
-	}
-	if strings.TrimSpace(line) != "OK" {
-		return fmt.Errorf("%w: %q", ErrProtocol, line)
-	}
-	return nil
-}
-
-// Delete removes key; deleting an absent key is a no-op.
-func (c *Client) Delete(key string) error {
-	conn, r, release, err := c.dial()
-	if err != nil {
-		return err
-	}
-	defer release()
-	if _, err := fmt.Fprintf(conn, "DEL %s\n", key); err != nil {
-		c.resetPersistent()
-		return err
-	}
-	line, err := r.ReadString('\n')
-	if err != nil {
-		c.resetPersistent()
-		return err
-	}
-	if strings.TrimSpace(line) != "OK" {
-		return fmt.Errorf("%w: %q", ErrProtocol, line)
-	}
-	return nil
-}
-
-// Keys lists keys with the given prefix.
-func (c *Client) Keys(prefix string) ([]string, error) {
-	conn, r, release, err := c.dial()
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	if _, err := fmt.Fprintf(conn, "KEYS %s\n", prefix); err != nil {
-		c.resetPersistent()
-		return nil, err
-	}
-	line, err := r.ReadString('\n')
-	if err != nil {
-		c.resetPersistent()
-		return nil, err
-	}
-	var n int
-	if _, err := fmt.Sscanf(line, "KEYS %d", &n); err != nil {
-		return nil, fmt.Errorf("%w: %q", ErrProtocol, line)
-	}
-	keys := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		k, err := r.ReadString('\n')
-		if err != nil {
-			c.resetPersistent()
-			return nil, err
-		}
-		keys = append(keys, strings.TrimSpace(k))
-	}
-	return keys, nil
-}
-
-// Publish advertises a new configuration version.
-func (c *Client) Publish(v uint64) error {
-	conn, r, release, err := c.dial()
-	if err != nil {
-		return err
-	}
-	defer release()
-	if _, err := fmt.Fprintf(conn, "PUBLISH %d\n", v); err != nil {
-		c.resetPersistent()
-		return err
-	}
-	line, err := r.ReadString('\n')
-	if err != nil {
-		c.resetPersistent()
-		return err
-	}
-	if !strings.HasPrefix(line, "OK") {
-		return fmt.Errorf("%w: %q", ErrProtocol, line)
-	}
-	return nil
 }

@@ -188,8 +188,21 @@ func ServeTEDatabase(l net.Listener, store *TEDatabase) *TEDatabaseServer {
 	return kvstore.Serve(l, store)
 }
 
-// TEDatabaseClient is a short-connection client for the TE database.
+// TEDatabaseClient is a short-connection client for the TE database. Every
+// operation carries a deadline (Timeout, default 2 s) and can be retried
+// under a seeded-jitter Backoff schedule.
 type TEDatabaseClient = kvstore.Client
+
+// TEDatabaseReplicaClient fails reads over across an ordered replica list
+// and fans writes out to every replica — the replicated deployment of the
+// paper's sharded database.
+type TEDatabaseReplicaClient = kvstore.ReplicaClient
+
+// NewTEDatabaseReplicaClient builds a failover client over the ordered
+// replica addresses.
+func NewTEDatabaseReplicaClient(addrs []string) *TEDatabaseReplicaClient {
+	return kvstore.NewReplicaClient(addrs)
+}
 
 // Controller is the TE control plane: it solves each interval and publishes
 // versioned per-instance configurations to the TE database.
@@ -203,6 +216,20 @@ func NewController(solver *Solver, db *TEDatabase) *Controller {
 // NewRemoteController wires a solver to a database over TCP.
 func NewRemoteController(solver *Solver, client *TEDatabaseClient) *Controller {
 	return controlplane.NewController(solver, controlplane.ClientAdapter{Client: client})
+}
+
+// NewReplicaController wires a solver to a replicated database: each
+// interval's writes fan out to every replica.
+func NewReplicaController(solver *Solver, client *TEDatabaseReplicaClient) *Controller {
+	return controlplane.NewController(solver, controlplane.ReplicaAdapter{Client: client})
+}
+
+// RecoverController rebuilds a restarted controller's delta-publication
+// state (written-record hashes and the published version) from the
+// database, so its next interval writes only churned records instead of
+// rewriting the fleet. It returns the number of records restored.
+func RecoverController(c *Controller, client *TEDatabaseReplicaClient) (int, error) {
+	return c.Recover(controlplane.ReplicaAdapter{Client: client})
 }
 
 // Agent is the endpoint agent: it polls the TE database with short
@@ -222,6 +249,12 @@ func NewAgent(instance string, db *TEDatabase, host *Host) *Agent {
 // NewRemoteAgent creates an agent polling the database over TCP.
 func NewRemoteAgent(instance string, client *TEDatabaseClient, host *Host) *Agent {
 	return &Agent{Instance: instance, Reader: controlplane.ClientAdapter{Client: client}, Host: host}
+}
+
+// NewReplicaAgent creates an agent that fails over across database
+// replicas when polling.
+func NewReplicaAgent(instance string, client *TEDatabaseReplicaClient, host *Host) *Agent {
+	return &Agent{Instance: instance, Reader: controlplane.ReplicaAdapter{Client: client}, Host: host}
 }
 
 // Host is the eBPF-based end-host networking stack (§5): instance

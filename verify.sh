@@ -9,4 +9,7 @@ go vet ./...
 go build ./...
 go run ./cmd/megate-lint ./...
 go test ./...
-go test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/
+go test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/
+# Short-mode chaos pass under the race detector: the full control loop
+# (controller, replicated servers, agent fleet) under the fault timeline.
+go test -race -short -run TestChaos .
