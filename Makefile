@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench lint fuzz-short chaos
+.PHONY: build test race verify bench lint fuzz-short chaos metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ chaos:
 
 verify:
 	./verify.sh
+
+# End-to-end exporter gate: builds megate-controller, starts it with
+# -telemetry-addr, and scrapes /metrics, /metrics.json and /debug/pprof/
+# over real HTTP, asserting the core metric names are present.
+metrics-smoke:
+	$(GO) test -run TestMetricsSmoke -v .
 
 lint:
 	$(GO) run ./cmd/megate-lint ./...

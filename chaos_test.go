@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"megate/internal/chaos"
+	"megate/internal/controlplane"
 )
 
 // chaosScenario returns the canonical fault timeline, scaled down under
@@ -131,5 +132,49 @@ func TestChaosDeterministic(t *testing.T) {
 		if wa.Stats != wb.Stats || wa.Degraded != wb.Degraded {
 			t.Errorf("window %d diverged across replays: %+v vs %+v", i, wa, wb)
 		}
+	}
+}
+
+// TestChaosTelemetrySnapshot checks the chaos run reports into the caller's
+// registry: every window carries a snapshot, the convergence-lag histogram
+// observes one sample per agent per fault window, and the shared registry
+// aggregates the fleet's poll counters.
+func TestChaosTelemetrySnapshot(t *testing.T) {
+	reg := NewMetricsRegistry()
+	s := chaosScenario(t, 7)
+	s.Metrics = reg
+	res, err := chaos.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	for _, w := range res.Windows {
+		if len(w.Metrics) == 0 {
+			t.Errorf("window %d carries no telemetry snapshot", w.Window)
+		}
+	}
+	last := res.Windows[len(res.Windows)-1]
+	var lag *MetricsSample
+	for i := range last.Metrics {
+		if last.Metrics[i].Name == chaos.MetricConvergenceLag {
+			lag = &last.Metrics[i]
+		}
+	}
+	if lag == nil {
+		t.Fatal("convergence lag histogram missing from final snapshot")
+	}
+	wantObs := uint64(res.Agents) * uint64(s.Windows)
+	if lag.Count != wantObs {
+		t.Errorf("convergence lag observations = %d, want %d (agents × windows)", lag.Count, wantObs)
+	}
+	if got := reg.Counter(controlplane.MetricAgentPolls).Value(); got == 0 {
+		t.Error("fleet poll counter empty: agents did not share the scenario registry")
+	}
+	// The run must not have leaked into the process-wide default registry:
+	// its convergence-lag histogram stays unobserved.
+	if got := DefaultMetrics().Histogram(chaos.MetricConvergenceLag, nil).Count(); got != 0 {
+		t.Errorf("default registry saw %d lag observations from an isolated run", got)
 	}
 }

@@ -37,8 +37,20 @@ func main() {
 		duration   = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-operation database deadline")
 		staleAfter = flag.Int("stale-after", 0, "uninstall pinned paths after N consecutive failed polls (0 = never)")
+		telemAddr  = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *telemAddr != "" {
+		megate.RegisterCoreMetrics(nil)
+		ts, err := megate.ServeMetrics(*telemAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
 
 	var addrs []string
 	for _, a := range strings.Split(*db, ",") {
@@ -102,14 +114,18 @@ func main() {
 	for {
 		select {
 		case <-report.C:
-			var polls, updates, errs uint64
+			var polls, updates, acks, errs, fallbacks, recoveries uint64
 			degraded := 0
 			maxV := uint64(0)
 			for _, a := range agents {
 				p, u := a.Stats()
 				polls += p
 				updates += u
+				acks += a.EmptyAcks()
 				errs += a.Errors()
+				fb, rec := a.FallbackStats()
+				fallbacks += fb
+				recoveries += rec
 				if a.Degraded() {
 					degraded++
 				}
@@ -117,8 +133,8 @@ func main() {
 					maxV = v
 				}
 			}
-			fmt.Printf("agents=%d version<=%d polls=%d updates=%d errors=%d degraded=%d\n",
-				len(agents), maxV, polls, updates, errs, degraded)
+			fmt.Printf("agents=%d version<=%d polls=%d updates=%d empty-acks=%d errors=%d degraded=%d fallbacks=%d recoveries=%d\n",
+				len(agents), maxV, polls, updates, acks, errs, degraded, fallbacks, recoveries)
 		case <-ctx.Done():
 			wg.Wait()
 			return

@@ -31,8 +31,20 @@ func main() {
 		intervals = flag.Int("intervals", 0, "stop after N intervals (0 = run until interrupted)")
 		shards    = flag.Int("shards", 2, "TE database shards")
 		qos       = flag.Bool("qos", true, "allocate QoS classes sequentially")
+		telemAddr = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *telemAddr != "" {
+		megate.RegisterCoreMetrics(nil)
+		ts, err := megate.ServeMetrics(*telemAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
 
 	topo := megate.BuildTopology(*topoName)
 	megate.AttachEndpointsExact(topo, *perSite)

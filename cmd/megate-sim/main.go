@@ -50,8 +50,21 @@ func main() {
 		chaosHealAt   = flag.Int("chaos-heal-at", 8, "window healing the partition")
 		chaosFlakyTo  = flag.Int("chaos-flaky-until", 3, "controller link injects resets/partial writes in windows [1, this)")
 		chaosRestart  = flag.Int("chaos-restart-at", 0, "window before which the controller restarts and recovers (0 = never)")
+		chaosMetrics  = flag.Bool("chaos-metrics", true, "print the telemetry registry snapshot after each chaos window")
+		telemAddr     = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *telemAddr != "" {
+		megate.RegisterCoreMetrics(nil)
+		ts, err := megate.ServeMetrics(*telemAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
 
 	if *chaosRun {
 		os.Exit(runChaos(chaos.Scenario{
@@ -66,7 +79,10 @@ func main() {
 			FlakyFrom:   1,
 			FlakyUntil:  *chaosFlakyTo,
 			RestartAt:   *chaosRestart,
-		}))
+			// The chaos run reports into the process registry so an attached
+			// -telemetry-addr exporter sees it live.
+			Metrics: megate.DefaultMetrics(),
+		}, *chaosMetrics))
 	}
 
 	topo := megate.BuildTopology(*topoName)
@@ -121,23 +137,30 @@ func main() {
 }
 
 // runChaos executes the fault-injection scenario and prints the per-window
-// outcome; the exit code is non-zero when any invariant was violated.
-func runChaos(s chaos.Scenario) int {
+// outcome (with each window's telemetry snapshot when printMetrics is set);
+// the exit code is non-zero when any invariant was violated.
+func runChaos(s chaos.Scenario, printMetrics bool) int {
 	res, err := chaos.Run(s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Printf("%-7s %-8s %-8s %-8s %-9s %-9s %-9s %-9s %s\n",
-		"window", "matrix", "written", "deleted", "unchanged", "poll-errs", "degraded", "converged", "interval")
+	fmt.Printf("%-7s %-8s %-8s %-8s %-9s %-9s %-9s %-9s %-7s %s\n",
+		"window", "matrix", "written", "deleted", "unchanged", "poll-errs", "degraded", "converged", "max-lag", "interval")
 	for _, w := range res.Windows {
 		status := "ok"
 		if w.IntervalErr != "" {
 			status = "FAILED"
 		}
-		fmt.Printf("%-7d %-8s %-8d %-8d %-9d %-9d %-9d %-9d %s\n",
+		fmt.Printf("%-7d %-8s %-8d %-8d %-9d %-9d %-9d %-9d %-7d %s\n",
 			w.Window, w.Matrix, w.Stats.Written, w.Stats.Deleted, w.Stats.Unchanged,
-			w.PollErrors, w.Degraded, w.Converged, status)
+			w.PollErrors, w.Degraded, w.Converged, w.MaxLag, status)
+	}
+	if printMetrics {
+		for _, w := range res.Windows {
+			fmt.Printf("window %d telemetry:\n", w.Window)
+			printSnapshot(w.Metrics)
+		}
 	}
 	fmt.Printf("agents=%d final-version=%d failed-intervals=%d fallbacks=%d recoveries=%d\n",
 		res.Agents, res.FinalVersion, res.FailedIntervals, res.Fallbacks, res.Recoveries)
@@ -154,4 +177,20 @@ func runChaos(s chaos.Scenario) int {
 	}
 	fmt.Println("all invariants held")
 	return 0
+}
+
+// printSnapshot renders a registry snapshot compactly: counters and gauges
+// as name=value, histograms as count/sum/p99, zero-valued series elided.
+func printSnapshot(samples []megate.MetricsSample) {
+	for _, s := range samples {
+		switch {
+		case len(s.Bucket) > 0:
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %s count=%d sum=%.6g p99=%.6g\n", s.Series(), s.Count, s.Sum, s.Quantile(0.99))
+		case s.Value != 0:
+			fmt.Printf("  %s %.6g\n", s.Series(), s.Value)
+		}
+	}
 }

@@ -28,9 +28,16 @@ import (
 	"megate/internal/faultnet"
 	"megate/internal/hoststack"
 	"megate/internal/kvstore"
+	"megate/internal/telemetry"
 	"megate/internal/topology"
 	"megate/internal/traffic"
 )
+
+// MetricConvergenceLag is the per-window histogram of how many published
+// versions each agent trails the controller by when the window's poll round
+// ends — the paper's eventual-consistency lag, in versions rather than
+// seconds so a fixed seed reproduces it exactly.
+const MetricConvergenceLag = "megate_chaos_convergence_lag_versions"
 
 // Scenario scripts one chaos run. Window indices are 0-based; an event
 // index at or beyond Windows simply never fires.
@@ -59,6 +66,12 @@ type Scenario struct {
 	// RestartAt replaces the controller before that window with a fresh one
 	// that must Recover() its delta state from the replicas. Zero disables.
 	RestartAt int
+
+	// Metrics receives every component's telemetry (kv servers and clients,
+	// controller stage timings, agent counters, convergence lag). Nil uses a
+	// fresh private registry so concurrent chaos runs cannot cross-pollute;
+	// megate-sim passes telemetry.Default so its exporter sees the run.
+	Metrics *telemetry.Registry
 }
 
 // WindowReport is the per-window outcome.
@@ -70,6 +83,11 @@ type WindowReport struct {
 	PollErrors  int
 	Degraded    int
 	Converged   int
+	// MaxLag is the largest version lag any agent showed after this
+	// window's poll round; Metrics is the registry snapshot taken at the
+	// same moment, so a report can print the telemetry evolution per window.
+	MaxLag  uint64
+	Metrics []telemetry.Sample
 }
 
 // Result aggregates a chaos run.
@@ -126,6 +144,11 @@ type fleetAgent struct {
 func Run(s Scenario) (*Result, error) {
 	s.defaults()
 	res := &Result{}
+	reg := s.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	lagHist := reg.Histogram(MetricConvergenceLag, telemetry.CountBuckets)
 
 	topo := topology.BuildB4()
 	topology.AttachEndpointsExact(topo, s.PerSite)
@@ -145,11 +168,11 @@ func Run(s Scenario) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		srv := kvstore.Serve(l, kvstore.NewStore(4))
+		srv := kvstore.Serve(l, kvstore.NewStore(4), kvstore.WithMetrics(reg))
 		defer srv.Close()
 		addrs = append(addrs, srv.Addr())
 		peer[srv.Addr()] = fmt.Sprintf("db%d", i)
-		direct = append(direct, &kvstore.Client{Addr: srv.Addr(), Timeout: 2 * time.Second})
+		direct = append(direct, &kvstore.Client{Addr: srv.Addr(), Timeout: 2 * time.Second, Metrics: reg})
 	}
 	dialerFor := func(from string) func(string, time.Duration) (net.Conn, error) {
 		return func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -161,9 +184,12 @@ func Run(s Scenario) (*Result, error) {
 		rc := kvstore.NewReplicaClient(addrs, func(rc *kvstore.ReplicaClient) {
 			rc.Timeout = s.Timeout
 			rc.Dialer = dialerFor("ctrl")
+			rc.Metrics = reg
 		})
 		db := controlplane.ReplicaAdapter{Client: rc}
-		return controlplane.NewController(core.NewSolver(topo, core.Options{}), db), db
+		ctrl := controlplane.NewController(core.NewSolver(topo, core.Options{}), db)
+		ctrl.Metrics = reg
+		return ctrl, db
 	}
 	ctrl, _ := newController()
 
@@ -181,6 +207,7 @@ func Run(s Scenario) (*Result, error) {
 		rc := kvstore.NewReplicaClient(addrs, func(rc *kvstore.ReplicaClient) {
 			rc.Timeout = s.Timeout
 			rc.Dialer = dialerFor(name)
+			rc.Metrics = reg
 		})
 		host := hoststack.NewHost(name, 1500, func([4]byte) (uint32, bool) { return 0, false })
 		defer host.Close()
@@ -194,6 +221,7 @@ func Run(s Scenario) (*Result, error) {
 				Slot:       idx,
 				SlotCount:  len(topo.Endpoints),
 				StaleAfter: s.StaleAfter,
+				Metrics:    reg,
 			},
 			host:        host,
 			rc:          rc,
@@ -356,8 +384,20 @@ func Run(s Scenario) (*Result, error) {
 			if fa.agent.Degraded() {
 				rep.Degraded++
 			}
-			if fa.agent.LastVersion() == ctrl.Version() {
+			cv, av := ctrl.Version(), fa.agent.LastVersion()
+			if av == cv {
 				rep.Converged++
+			}
+			// Lag in published versions. A failed publish can leave a replica
+			// (and thus an agent) ahead of ctrl.Version(); clamp to zero —
+			// the agent is not behind.
+			var lag uint64
+			if av < cv {
+				lag = cv - av
+			}
+			lagHist.Observe(float64(lag))
+			if lag > rep.MaxLag {
+				rep.MaxLag = lag
 			}
 			if !installedMatchesHistory(fa, history[fa.instance]) {
 				violate("window %d: %s (%s) installed paths matching no config any replica ever served",
@@ -393,6 +433,7 @@ func Run(s Scenario) (*Result, error) {
 				}
 			}
 		}
+		rep.Metrics = reg.Snapshot()
 		res.Windows = append(res.Windows, rep)
 	}
 
@@ -405,6 +446,7 @@ func Run(s Scenario) (*Result, error) {
 	}
 	observe()
 	runPollRound(&finalRep)
+	finalRep.Metrics = reg.Snapshot()
 	res.Windows = append(res.Windows, finalRep)
 	res.FinalVersion = ctrl.Version()
 

@@ -3,11 +3,21 @@ package controlplane
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"megate/internal/hoststack"
+	"megate/internal/telemetry"
 )
+
+// ErrBadRecord reports a poll that reached the database but found a corrupt
+// record. It is an application error, not a transport one: Run keeps polling
+// at the base interval instead of backing off, because the database is up
+// and the next interval's write may already have replaced the record.
+var ErrBadRecord = errors.New("bad config")
 
 // ConfigReader is the agent's read interface to the TE database; both
 // *kvstore.Store (in-process) and *kvstore.Client satisfy it through the
@@ -60,20 +70,45 @@ type Agent struct {
 	// MaxBackoff caps the poll interval growth of Run while the database is
 	// unreachable; zero means 8x the base interval.
 	MaxBackoff time.Duration
+	// Metrics routes the fleet-level agent counters (polls, updates, errors,
+	// TTL fallbacks); nil uses telemetry.Default. Per-agent counts stay
+	// available through the accessors regardless.
+	Metrics *telemetry.Registry
 
-	lastVersion uint64
-	polls       uint64
-	updates     uint64
-	errors      uint64
+	mOnce sync.Once
+	m     *agentMetrics
+
+	// The counters below are telemetry atomics: Run's goroutine increments
+	// them while Stats/Errors/Degraded/FallbackStats read concurrently, so
+	// plain fields here would be a data race.
+	lastVersion atomic.Uint64
+	polls       telemetry.Counter
+	updates     telemetry.Counter
+	emptyAcks   telemetry.Counter
+	errs        telemetry.Counter
+	degraded    atomic.Bool
+	fallbacks   telemetry.Counter
+	recoveries  telemetry.Counter
 	// consecFails counts consecutive polls that failed at the transport
-	// level; degraded records that the TTL fired and paths are uninstalled.
+	// level. It is only touched by the polling goroutine and has no
+	// accessor, so it needs no synchronization.
 	consecFails int
-	degraded    bool
-	fallbacks   uint64
-	recoveries  uint64
 	// installed tracks the destinations currently in the host's path_map
 	// so stale entries are removed when a new configuration drops them.
+	// Only the polling goroutine touches it.
 	installed map[uint32]bool
+}
+
+// metrics lazily binds the fleet-level registry series.
+func (a *Agent) metrics() *agentMetrics {
+	a.mOnce.Do(func() {
+		reg := a.Metrics
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		a.m = newAgentMetrics(reg)
+	})
+	return a.m
 }
 
 // SpreadDelay returns when within a window of the given length this agent
@@ -86,34 +121,41 @@ func (a *Agent) SpreadDelay(window time.Duration) time.Duration {
 }
 
 // LastVersion returns the configuration version the agent has applied.
-func (a *Agent) LastVersion() uint64 { return a.lastVersion }
+func (a *Agent) LastVersion() uint64 { return a.lastVersion.Load() }
 
 // Stats returns how many polls the agent issued and how many brought a new
-// configuration.
-func (a *Agent) Stats() (polls, updates uint64) { return a.polls, a.updates }
+// configuration record that was applied.
+func (a *Agent) Stats() (polls, updates uint64) { return a.polls.Value(), a.updates.Value() }
+
+// EmptyAcks returns how many polls consumed a version advance that carried
+// no record for this instance (all its flows rejected, or no traffic).
+func (a *Agent) EmptyAcks() uint64 { return a.emptyAcks.Value() }
 
 // Errors returns how many polls failed (unreachable database, bad record).
-func (a *Agent) Errors() uint64 { return a.errors }
+func (a *Agent) Errors() uint64 { return a.errs.Value() }
 
 // Degraded reports whether the staleness TTL has fired: the agent removed
 // its pinned paths and the instance is on conventional routing.
-func (a *Agent) Degraded() bool { return a.degraded }
+func (a *Agent) Degraded() bool { return a.degraded.Load() }
 
 // FallbackStats returns how many times the staleness TTL uninstalled the
 // pinned paths and how many times a later successful poll reinstated them.
 func (a *Agent) FallbackStats() (fallbacks, recoveries uint64) {
-	return a.fallbacks, a.recoveries
+	return a.fallbacks.Value(), a.recoveries.Value()
 }
 
 // noteUnreachable records a transport-level poll failure and fires the
 // staleness TTL once StaleAfter consecutive failures accumulate.
 func (a *Agent) noteUnreachable() {
 	a.consecFails++
-	if a.StaleAfter <= 0 || a.consecFails < a.StaleAfter || a.degraded {
+	if a.StaleAfter <= 0 || a.consecFails < a.StaleAfter || a.degraded.Load() {
 		return
 	}
-	a.degraded = true
-	a.fallbacks++
+	a.degraded.Store(true)
+	a.fallbacks.Inc()
+	m := a.metrics()
+	m.fallbacks.Inc()
+	m.degraded.Add(1)
 	if a.Host != nil {
 		for dst := range a.installed {
 			a.Host.RemovePath(a.Instance, dst)
@@ -126,24 +168,28 @@ func (a *Agent) noteUnreachable() {
 // configuration when the version advanced. It reports whether new
 // configuration was applied.
 func (a *Agent) Poll() (bool, error) {
-	a.polls++
+	m := a.metrics()
+	a.polls.Inc()
+	m.polls.Inc()
 	v, err := a.Reader.ReadVersion()
 	if err != nil {
-		a.errors++
+		a.errs.Inc()
+		m.errs.Inc()
 		a.noteUnreachable()
 		return false, err
 	}
 	// While degraded the agent must re-pull even at an unchanged version:
 	// the TTL dropped its paths, so "consistent with v" no longer means
 	// "installed".
-	recovering := a.degraded
-	if v == a.lastVersion && !recovering {
+	recovering := a.degraded.Load()
+	if v == a.lastVersion.Load() && !recovering {
 		a.consecFails = 0
 		return false, nil
 	}
 	data, ok, err := a.Reader.ReadConfig(ConfigKey(a.Instance))
 	if err != nil {
-		a.errors++
+		a.errs.Inc()
+		m.errs.Inc()
 		a.noteUnreachable()
 		return false, err
 	}
@@ -154,26 +200,36 @@ func (a *Agent) Poll() (bool, error) {
 			// A corrupt record is a failed poll — count it — but the database
 			// was reachable, so it does not advance the staleness TTL, and
 			// the previously installed (still-valid) paths stay in place.
-			a.errors++
-			return false, fmt.Errorf("controlplane: agent %s: bad config: %w", a.Instance, err)
+			a.errs.Inc()
+			m.errs.Inc()
+			return false, fmt.Errorf("controlplane: agent %s: %w: %v", a.Instance, ErrBadRecord, err)
 		}
 		a.apply(&cfg)
-	} else if a.Host != nil {
-		// No record under the new version: this instance's flows were all
-		// rejected or it has no traffic; stale pinned paths must go.
-		for dst := range a.installed {
-			a.Host.RemovePath(a.Instance, dst)
+		a.updates.Inc()
+		m.updates.Inc()
+	} else {
+		if a.Host != nil {
+			// No record under the new version: this instance's flows were all
+			// rejected or it has no traffic; stale pinned paths must go.
+			for dst := range a.installed {
+				a.Host.RemovePath(a.Instance, dst)
+			}
+			a.installed = nil
 		}
-		a.installed = nil
+		// The version advance is consumed, but nothing was installed: an
+		// empty ack, not an update.
+		a.emptyAcks.Inc()
+		m.emptyAcks.Inc()
 	}
 	if recovering {
-		a.degraded = false
-		a.recoveries++
+		a.degraded.Store(false)
+		a.recoveries.Inc()
+		m.recoveries.Inc()
+		m.degraded.Add(-1)
 	}
 	// Even when this instance has no record (all its flows were rejected
 	// or it has no traffic), the agent is now consistent with version v.
-	a.lastVersion = v
-	a.updates++
+	a.lastVersion.Store(v)
 	return true, nil
 }
 
@@ -196,11 +252,26 @@ func (a *Agent) apply(cfg *InstanceConfig) {
 	a.installed = next
 }
 
+// nextWait computes Run's next poll delay from the last delay and Poll's
+// outcome. Transport-level failures double the wait up to max so a fleet
+// facing a dead database does not keep hammering it at full rate; a clean
+// poll or an application-level failure (ErrBadRecord — the database
+// answered, one record is corrupt) re-polls at the base interval, because
+// backing off would only delay picking up the repaired record.
+func nextWait(wait, base, max time.Duration, err error) time.Duration {
+	if err == nil || errors.Is(err, ErrBadRecord) {
+		return base
+	}
+	if wait *= 2; wait > max {
+		wait = max
+	}
+	return wait
+}
+
 // Run polls on the interval, offset by the agent's spread slot, until the
 // context ends. Poll errors are counted but do not stop the loop (the
 // database may be briefly unreachable; eventual consistency tolerates it);
-// consecutive failures double the wait up to MaxBackoff so a fleet facing a
-// dead database does not keep hammering it at full rate.
+// consecutive transport failures grow the wait under nextWait's schedule.
 func (a *Agent) Run(ctx context.Context, interval time.Duration) error {
 	select {
 	case <-time.After(a.SpreadDelay(interval)):
@@ -217,13 +288,7 @@ func (a *Agent) Run(ctx context.Context, interval time.Duration) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if err != nil {
-			if wait *= 2; wait > maxWait {
-				wait = maxWait
-			}
-		} else {
-			wait = interval
-		}
+		wait = nextWait(wait, interval, maxWait, err)
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():

@@ -1,0 +1,201 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// TestAgentStatsUnderRun is the regression test for the agent counter data
+// race: Run's goroutine mutates the counters while the main goroutine reads
+// every accessor. Before the counters moved onto telemetry atomics this was
+// a -race failure; now the test asserts the readers observe sane values
+// while writes are in flight.
+func TestAgentStatsUnderRun(t *testing.T) {
+	store := kvstore.NewStore(1)
+	putConfig(t, store, "ins-x", 1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+	agent := &Agent{
+		Instance: "ins-x",
+		Reader:   StoreAdapter{Store: store},
+		Metrics:  telemetry.NewRegistry(),
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = agent.Run(ctx, time.Millisecond)
+	}()
+
+	// Publish a stream of new versions while hammering every accessor from
+	// this goroutine; -race flags any unsynchronized counter.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	version := uint64(1)
+	for time.Now().Before(deadline) {
+		version++
+		putConfig(t, store, "ins-x", version, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+		for i := 0; i < 100; i++ {
+			// Stats reads two atomics non-atomically, so no cross-counter
+			// invariant holds mid-flight; -race is the real assertion here.
+			_, _ = agent.Stats()
+			_ = agent.Errors()
+			_ = agent.EmptyAcks()
+			_ = agent.Degraded()
+			_, _ = agent.FallbackStats()
+			if lv := agent.LastVersion(); lv > version {
+				t.Fatalf("LastVersion %d beyond published %d", lv, version)
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	polls, updates := agent.Stats()
+	if polls == 0 || updates == 0 {
+		t.Errorf("agent made no progress under concurrent reads: polls=%d updates=%d", polls, updates)
+	}
+	if agent.LastVersion() == 0 {
+		t.Error("agent never applied a version")
+	}
+	// The fleet registry mirrors the per-agent counters.
+	if got := agent.Metrics.Counter(MetricAgentPolls).Value(); got != polls {
+		t.Errorf("fleet polls counter = %d, want %d", got, polls)
+	}
+	if got := agent.Metrics.Counter(MetricAgentUpdates).Value(); got != updates {
+		t.Errorf("fleet updates counter = %d, want %d", got, updates)
+	}
+}
+
+// TestNextWaitBackoffSchedule pins Run's backoff policy: transport failures
+// double the wait up to the cap, while a nil error or a bad-record
+// application error snaps back to the base interval.
+func TestNextWaitBackoffSchedule(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := 80 * time.Millisecond
+	transport := errors.New("dial refused")
+
+	wait := base
+	want := []time.Duration{20, 40, 80, 80}
+	for i, w := range want {
+		wait = nextWait(wait, base, max, transport)
+		if wait != w*time.Millisecond {
+			t.Fatalf("transport failure %d: wait = %v, want %v", i+1, wait, w*time.Millisecond)
+		}
+	}
+	if got := nextWait(wait, base, max, nil); got != base {
+		t.Errorf("success after backoff: wait = %v, want base %v", got, base)
+	}
+	// The fixed bug: a reachable database serving one corrupt record must
+	// not push the agent into backoff — the next interval may repair it.
+	if got := nextWait(max, base, max, ErrBadRecord); got != base {
+		t.Errorf("bad record: wait = %v, want base %v", got, base)
+	}
+	if got := nextWait(max, base, max, errors.Join(ErrBadRecord)); got != base {
+		t.Errorf("wrapped bad record: wait = %v, want base %v", got, base)
+	}
+}
+
+// TestAgentBadRecordIsApplicationError checks Poll classifies a corrupt
+// record as ErrBadRecord (no backoff, no staleness-TTL advance) while a
+// transport failure stays a plain error.
+func TestAgentBadRecordIsApplicationError(t *testing.T) {
+	store := kvstore.NewStore(1)
+	sr := &scriptReader{store: store, badJSON: []byte("{corrupt")}
+	store.Publish(1)
+	agent := &Agent{Instance: "ins-x", Reader: sr, Metrics: telemetry.NewRegistry()}
+
+	_, err := agent.Poll()
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("corrupt record err = %v, want errors.Is ErrBadRecord", err)
+	}
+
+	sr.failing = true
+	_, err = agent.Poll()
+	if err == nil || errors.Is(err, ErrBadRecord) {
+		t.Fatalf("transport err = %v, must not match ErrBadRecord", err)
+	}
+}
+
+// TestAgentEmptyAckSplit pins the counter split: a version advance with no
+// record for the instance is an empty ack, not an update.
+func TestAgentEmptyAckSplit(t *testing.T) {
+	store := kvstore.NewStore(1)
+	agent := &Agent{
+		Instance: "ins-x",
+		Reader:   StoreAdapter{Store: store},
+		Metrics:  telemetry.NewRegistry(),
+	}
+
+	// Version advances but no record exists: consumed, counted as empty ack.
+	store.Publish(1)
+	applied, err := agent.Poll()
+	if err != nil || !applied {
+		t.Fatalf("empty-version poll: applied=%v err=%v", applied, err)
+	}
+	if _, updates := agent.Stats(); updates != 0 {
+		t.Errorf("updates = %d after recordless version, want 0", updates)
+	}
+	if got := agent.EmptyAcks(); got != 1 {
+		t.Errorf("emptyAcks = %d, want 1", got)
+	}
+	if agent.LastVersion() != 1 {
+		t.Errorf("lastVersion = %d, want 1 (version still consumed)", agent.LastVersion())
+	}
+
+	// A real record counts as an update.
+	putConfig(t, store, "ins-x", 2, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("record poll: applied=%v err=%v", applied, err)
+	}
+	if _, updates := agent.Stats(); updates != 1 {
+		t.Errorf("updates = %d after real record, want 1", updates)
+	}
+	if got := agent.EmptyAcks(); got != 1 {
+		t.Errorf("emptyAcks = %d after real record, want still 1", got)
+	}
+	if got := agent.Metrics.Counter(MetricAgentEmptyAcks).Value(); got != 1 {
+		t.Errorf("fleet emptyAcks counter = %d, want 1", got)
+	}
+}
+
+// TestControllerStageMetrics checks RunInterval lands timings in every solve
+// stage histogram and books the delta-publication counters.
+func TestControllerStageMetrics(t *testing.T) {
+	_, m, solver := testSetup(t)
+	reg := telemetry.NewRegistry()
+	store := kvstore.NewStore(1)
+	ctrl := NewController(solver, StoreAdapter{Store: store})
+	ctrl.Metrics = reg
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range SolveStages {
+		h := reg.Histogram(MetricSolveStageSeconds, telemetry.TimeBuckets, "stage", stage)
+		if h.Count() != 1 {
+			t.Errorf("stage %q histogram count = %d, want 1", stage, h.Count())
+		}
+	}
+	if got := reg.Counter(MetricIntervals).Value(); got != 1 {
+		t.Errorf("intervals = %d, want 1", got)
+	}
+	written := reg.Counter(MetricConfigsWritten).Value()
+	if written == 0 {
+		t.Error("no configs written booked")
+	}
+	// A second identical interval: everything is skipped by the delta cache.
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricConfigsWritten).Value(); got != written {
+		t.Errorf("written moved %d -> %d on identical interval", written, got)
+	}
+	if got := reg.Counter(MetricConfigsSkipped).Value(); got != written {
+		t.Errorf("skipped = %d on identical interval, want %d", got, written)
+	}
+}

@@ -22,10 +22,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"megate/internal/core"
 	"megate/internal/kvstore"
+	"megate/internal/telemetry"
 	"megate/internal/topology"
 	"megate/internal/traffic"
 )
@@ -111,12 +114,30 @@ func (a ClientAdapter) PublishVersion(v uint64) error {
 type Controller struct {
 	Solver *core.Solver
 	Store  ConfigStore
+	// Metrics routes the controller's solve-stage timings and config write
+	// counters; nil uses telemetry.Default.
+	Metrics *telemetry.Registry
+
+	mOnce sync.Once
+	m     *controllerMetrics
 
 	version atomic.Uint64
 	// lastHash maps instance -> hash of its last written config. Only
 	// RunInterval touches it (the TE loop is sequential).
 	lastHash map[string]uint64
 	stats    IntervalStats
+}
+
+// metrics lazily binds the controller's registry series.
+func (c *Controller) metrics() *controllerMetrics {
+	c.mOnce.Do(func() {
+		reg := c.Metrics
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		c.m = newControllerMetrics(reg)
+	})
+	return c.m
 }
 
 // IntervalStats breaks down the database writes of one RunInterval.
@@ -144,10 +165,17 @@ func (c *Controller) LastStats() IntervalStats { return c.stats }
 // TE result and the number of instance records written; LastStats has the
 // full breakdown.
 func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
+	cm := c.metrics()
+	intervalStart := time.Now()
 	res, err := c.Solver.Solve(m)
 	if err != nil {
+		cm.solveFails.Inc()
 		return nil, 0, err
 	}
+	cm.stage["sitemerge"].Observe(res.SiteMergeTime.Seconds())
+	cm.stage["maxsiteflow"].Observe(res.SiteLPTime.Seconds())
+	cm.stage["fastssp"].Observe(res.SSPTime.Seconds())
+	publishStart := time.Now()
 	next := c.version.Load() + 1
 	configs := BuildConfigs(c.Solver.Topology(), m, res, next)
 	st := IntervalStats{}
@@ -200,6 +228,12 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 	}
 	c.version.Store(next)
 	c.stats = st
+	cm.stage["publish"].Observe(time.Since(publishStart).Seconds())
+	cm.interval.Observe(time.Since(intervalStart).Seconds())
+	cm.intervals.Inc()
+	cm.written.Add(uint64(st.Written))
+	cm.deleted.Add(uint64(st.Deleted))
+	cm.skipped.Add(uint64(st.Unchanged))
 	return res, st.Written, nil
 }
 

@@ -1,0 +1,88 @@
+package controlplane
+
+import (
+	"megate/internal/telemetry"
+)
+
+// Metric names exported by the control plane. Agent counters are fleet-level
+// aggregates (every agent sharing a registry folds into one series — the
+// per-agent view stays on the Agent accessors); controller metrics time the
+// solve stages of §4 and count the delta publisher's work.
+const (
+	MetricAgentPolls      = "megate_agent_polls_total"
+	MetricAgentUpdates    = "megate_agent_updates_total"
+	MetricAgentEmptyAcks  = "megate_agent_empty_acks_total"
+	MetricAgentErrors     = "megate_agent_errors_total"
+	MetricAgentFallbacks  = "megate_agent_fallbacks_total"
+	MetricAgentRecoveries = "megate_agent_recoveries_total"
+	MetricAgentDegraded   = "megate_agent_degraded"
+
+	MetricSolveStageSeconds    = "megate_controller_solve_stage_seconds"
+	MetricIntervalSeconds      = "megate_controller_interval_seconds"
+	MetricIntervals            = "megate_controller_intervals_total"
+	MetricConfigsWritten       = "megate_controller_configs_written_total"
+	MetricConfigsDeleted       = "megate_controller_configs_deleted_total"
+	MetricConfigsSkipped       = "megate_controller_configs_skipped_total"
+	MetricControllerSolveFails = "megate_controller_solve_failures_total"
+)
+
+// SolveStages are the label values of MetricSolveStageSeconds, matching the
+// pipeline of §4: cross-site aggregation (SiteMerge), the site-level LP
+// (MaxSiteFlow), per-flow path assignment (FastSSP), and the kvstore
+// publication pass.
+var SolveStages = []string{"sitemerge", "maxsiteflow", "fastssp", "publish"}
+
+// RegisterMetrics pre-registers the control-plane metric inventory in r so
+// scrapes see the full name set before the first interval or poll.
+func RegisterMetrics(r *telemetry.Registry) {
+	newAgentMetrics(r)
+	newControllerMetrics(r)
+}
+
+type agentMetrics struct {
+	polls      *telemetry.Counter
+	updates    *telemetry.Counter
+	emptyAcks  *telemetry.Counter
+	errs       *telemetry.Counter
+	fallbacks  *telemetry.Counter
+	recoveries *telemetry.Counter
+	degraded   *telemetry.Gauge
+}
+
+func newAgentMetrics(r *telemetry.Registry) *agentMetrics {
+	return &agentMetrics{
+		polls:      r.Counter(MetricAgentPolls),
+		updates:    r.Counter(MetricAgentUpdates),
+		emptyAcks:  r.Counter(MetricAgentEmptyAcks),
+		errs:       r.Counter(MetricAgentErrors),
+		fallbacks:  r.Counter(MetricAgentFallbacks),
+		recoveries: r.Counter(MetricAgentRecoveries),
+		degraded:   r.Gauge(MetricAgentDegraded),
+	}
+}
+
+type controllerMetrics struct {
+	stage      map[string]*telemetry.Histogram
+	interval   *telemetry.Histogram
+	intervals  *telemetry.Counter
+	written    *telemetry.Counter
+	deleted    *telemetry.Counter
+	skipped    *telemetry.Counter
+	solveFails *telemetry.Counter
+}
+
+func newControllerMetrics(r *telemetry.Registry) *controllerMetrics {
+	m := &controllerMetrics{
+		stage:      make(map[string]*telemetry.Histogram, len(SolveStages)),
+		interval:   r.Histogram(MetricIntervalSeconds, telemetry.TimeBuckets),
+		intervals:  r.Counter(MetricIntervals),
+		written:    r.Counter(MetricConfigsWritten),
+		deleted:    r.Counter(MetricConfigsDeleted),
+		skipped:    r.Counter(MetricConfigsSkipped),
+		solveFails: r.Counter(MetricControllerSolveFails),
+	}
+	for _, s := range SolveStages {
+		m.stage[s] = r.Histogram(MetricSolveStageSeconds, telemetry.TimeBuckets, "stage", s)
+	}
+	return m
+}

@@ -100,9 +100,12 @@ type Result struct {
 	// evaluation reports (Figure 10).
 	SatisfiedMbps float64
 	TotalMbps     float64
-	// SiteLPTime and SSPTime break down where solve time went.
-	SiteLPTime time.Duration
-	SSPTime    time.Duration
+	// SiteMergeTime, SiteLPTime and SSPTime break down where solve time
+	// went: cross-site demand aggregation (SiteMerge), the site-level LP
+	// (MaxSiteFlow), and per-flow path assignment (FastSSP).
+	SiteMergeTime time.Duration
+	SiteLPTime    time.Duration
+	SSPTime       time.Duration
 	// SiteAllocation exposes the stage-one F_{k,t} values per class for
 	// inspection and tests, keyed by pair then tunnel index.
 	SiteAllocation map[traffic.Class]map[traffic.SitePair][]float64
@@ -212,6 +215,7 @@ type pairState struct {
 }
 
 func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traffic.Class, residual []float64, res *Result) error {
+	mergeStart := time.Now()
 	pairs := sub.Pairs()
 	states := make([]*pairState, 0, len(pairs))
 	for _, p := range pairs {
@@ -233,8 +237,9 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 		states = append(states, st)
 	}
 
-	// Stage 1: SiteMerge + MaxSiteFlow (lines 1–10 of Algorithm 1).
-	start := time.Now()
+	// Stage 1: SiteMerge + MaxSiteFlow (lines 1–10 of Algorithm 1). The
+	// aggregation and the LP are timed separately so per-stage telemetry can
+	// tell "merging a bigger matrix" apart from "the LP got harder".
 	mcf := &lp.MCF{LinkCap: residual, Epsilon: s.epsilonFor(states)}
 	for _, st := range states {
 		c := lp.Commodity{Demand: sum(st.demands)} // SiteMerge: D_k = Σ_i d_k^i
@@ -248,6 +253,8 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 		}
 		mcf.Commodities = append(mcf.Commodities, c)
 	}
+	res.SiteMergeTime += time.Since(mergeStart)
+	start := time.Now()
 	siteAlloc, err := s.solveSite(class, mcf)
 	if err != nil {
 		return fmt.Errorf("MaxSiteFlow: %w", err)

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"megate/internal/telemetry"
 )
 
 // DefaultTimeout bounds the dial and every subsequent read/write of one
@@ -41,10 +43,29 @@ type Client struct {
 	// level under its backoff schedule. Protocol errors are never retried:
 	// a server speaking garbage will not improve on the next attempt.
 	Retry *Backoff
+	// Metrics routes the client's op counters, retry counts and latency
+	// histograms; nil uses telemetry.Default.
+	Metrics *telemetry.Registry
 
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
+
+	mOnce sync.Once
+	m     *clientMetrics
+}
+
+// metrics lazily binds the client's instrument handles so the zero-value
+// Client stays usable.
+func (c *Client) metrics() *clientMetrics {
+	c.mOnce.Do(func() {
+		reg := c.Metrics
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		c.m = newClientMetrics(reg)
+	})
+	return c.m
 }
 
 func (c *Client) timeout() time.Duration {
@@ -103,9 +124,14 @@ func (c *Client) Close() {
 // do runs one operation over a fresh (or the persistent) connection with
 // the deadline applied, retrying transport-level failures under the Retry
 // schedule. op must consume exactly its response bytes; any failure drops a
-// persistent connection so a desynced stream is never reused.
-func (c *Client) do(op func(conn net.Conn, r *bufio.Reader) error) error {
+// persistent connection so a desynced stream is never reused. opName labels
+// the operation's telemetry series.
+func (c *Client) do(opName string, op func(conn net.Conn, r *bufio.Reader) error) error {
+	m := c.metrics()
+	start := time.Now()
+	attempts := 0
 	attempt := func() error {
+		attempts++
 		conn, r, release, err := c.dial()
 		if err != nil {
 			return err
@@ -118,15 +144,19 @@ func (c *Client) do(op func(conn net.Conn, r *bufio.Reader) error) error {
 		}
 		return nil
 	}
+	var err error
 	if c.Retry == nil {
-		return attempt()
+		err = attempt()
+	} else {
+		err = c.Retry.Do(attempt)
 	}
-	return c.Retry.Do(attempt)
+	m.observe(opName, start, attempts, err)
+	return err
 }
 
 // Version polls the published configuration version.
 func (c *Client) Version() (v uint64, err error) {
-	err = c.do(func(conn net.Conn, r *bufio.Reader) error {
+	err = c.do("version", func(conn net.Conn, r *bufio.Reader) error {
 		if _, err := fmt.Fprint(conn, "VERSION\n"); err != nil {
 			return err
 		}
@@ -144,7 +174,7 @@ func (c *Client) Version() (v uint64, err error) {
 
 // Get fetches key; ok is false when the key is absent.
 func (c *Client) Get(key string) (value []byte, ok bool, err error) {
-	err = c.do(func(conn net.Conn, r *bufio.Reader) error {
+	err = c.do("get", func(conn net.Conn, r *bufio.Reader) error {
 		value, ok = nil, false
 		if _, err := fmt.Fprintf(conn, "GET %s\n", key); err != nil {
 			return err
@@ -179,7 +209,7 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 
 // Put stores value under key.
 func (c *Client) Put(key string, value []byte) error {
-	return c.do(func(conn net.Conn, r *bufio.Reader) error {
+	return c.do("put", func(conn net.Conn, r *bufio.Reader) error {
 		if _, err := fmt.Fprintf(conn, "PUT %s %d\n", key, len(value)); err != nil {
 			return err
 		}
@@ -192,7 +222,7 @@ func (c *Client) Put(key string, value []byte) error {
 
 // Delete removes key; deleting an absent key is a no-op.
 func (c *Client) Delete(key string) error {
-	return c.do(func(conn net.Conn, r *bufio.Reader) error {
+	return c.do("del", func(conn net.Conn, r *bufio.Reader) error {
 		if _, err := fmt.Fprintf(conn, "DEL %s\n", key); err != nil {
 			return err
 		}
@@ -202,7 +232,7 @@ func (c *Client) Delete(key string) error {
 
 // Keys lists keys with the given prefix.
 func (c *Client) Keys(prefix string) (keys []string, err error) {
-	err = c.do(func(conn net.Conn, r *bufio.Reader) error {
+	err = c.do("keys", func(conn net.Conn, r *bufio.Reader) error {
 		keys = nil
 		if _, err := fmt.Fprintf(conn, "KEYS %s\n", prefix); err != nil {
 			return err
@@ -232,7 +262,7 @@ func (c *Client) Keys(prefix string) (keys []string, err error) {
 
 // Publish advertises a new configuration version.
 func (c *Client) Publish(v uint64) error {
-	return c.do(func(conn net.Conn, r *bufio.Reader) error {
+	return c.do("publish", func(conn net.Conn, r *bufio.Reader) error {
 		if _, err := fmt.Fprintf(conn, "PUBLISH %d\n", v); err != nil {
 			return err
 		}

@@ -1,0 +1,120 @@
+package kvstore
+
+import (
+	"time"
+
+	"megate/internal/telemetry"
+)
+
+// Metric names exported by the kvstore layer. The server side measures the
+// database as the paper's Figure 13 does (query load and latency under
+// millions of pollers); the client side measures what an endpoint or the
+// controller experiences, retries and failovers included.
+const (
+	MetricServerOps        = "megate_kvstore_server_ops_total"
+	MetricServerOpSeconds  = "megate_kvstore_server_op_seconds"
+	MetricServerValueBytes = "megate_kvstore_server_value_bytes"
+
+	MetricClientOps       = "megate_kvstore_client_ops_total"
+	MetricClientErrors    = "megate_kvstore_client_errors_total"
+	MetricClientRetries   = "megate_kvstore_client_retries_total"
+	MetricClientOpSeconds = "megate_kvstore_client_op_seconds"
+
+	MetricReplicaFailovers  = "megate_kvstore_replica_failovers_total"
+	MetricReplicaPromotions = "megate_kvstore_replica_promotions_total"
+)
+
+// serverOps / clientOps are the op label values; "unknown" absorbs protocol
+// garbage so a fuzzer cannot mint unbounded series.
+var (
+	serverOps = []string{"version", "get", "put", "del", "keys", "publish", "unknown"}
+	clientOps = []string{"version", "get", "put", "del", "keys", "publish"}
+)
+
+// RegisterMetrics pre-registers the kvstore metric inventory in r so a
+// scrape sees zero-valued series before the first operation. Instruments
+// are get-or-create: servers and clients pointed at the same registry share
+// these exact series.
+func RegisterMetrics(r *telemetry.Registry) {
+	newServerMetrics(r)
+	newClientMetrics(r)
+	newReplicaMetrics(r)
+}
+
+type serverMetrics struct {
+	ops        map[string]*telemetry.Counter
+	lat        map[string]*telemetry.Histogram
+	valueBytes *telemetry.Histogram
+}
+
+func newServerMetrics(r *telemetry.Registry) *serverMetrics {
+	m := &serverMetrics{
+		ops:        make(map[string]*telemetry.Counter, len(serverOps)),
+		lat:        make(map[string]*telemetry.Histogram, len(serverOps)),
+		valueBytes: r.Histogram(MetricServerValueBytes, telemetry.SizeBuckets),
+	}
+	for _, op := range serverOps {
+		m.ops[op] = r.Counter(MetricServerOps, "op", op)
+		m.lat[op] = r.Histogram(MetricServerOpSeconds, telemetry.TimeBuckets, "op", op)
+	}
+	return m
+}
+
+// observe records one handled command; ops outside the protocol fold into
+// the "unknown" series.
+func (m *serverMetrics) observe(op string, start time.Time) {
+	c, ok := m.ops[op]
+	if !ok {
+		op = "unknown"
+		c = m.ops[op]
+	}
+	c.Inc()
+	m.lat[op].Observe(time.Since(start).Seconds())
+}
+
+type clientMetrics struct {
+	ops     map[string]*telemetry.Counter
+	errs    map[string]*telemetry.Counter
+	lat     map[string]*telemetry.Histogram
+	retries *telemetry.Counter
+}
+
+func newClientMetrics(r *telemetry.Registry) *clientMetrics {
+	m := &clientMetrics{
+		ops:     make(map[string]*telemetry.Counter, len(clientOps)),
+		errs:    make(map[string]*telemetry.Counter, len(clientOps)),
+		lat:     make(map[string]*telemetry.Histogram, len(clientOps)),
+		retries: r.Counter(MetricClientRetries),
+	}
+	for _, op := range clientOps {
+		m.ops[op] = r.Counter(MetricClientOps, "op", op)
+		m.errs[op] = r.Counter(MetricClientErrors, "op", op)
+		m.lat[op] = r.Histogram(MetricClientOpSeconds, telemetry.TimeBuckets, "op", op)
+	}
+	return m
+}
+
+// observe records one whole client operation (retry pauses included in the
+// latency — that is what the caller waited).
+func (m *clientMetrics) observe(op string, start time.Time, attempts int, err error) {
+	m.ops[op].Inc()
+	if attempts > 1 {
+		m.retries.Add(uint64(attempts - 1))
+	}
+	if err != nil {
+		m.errs[op].Inc()
+	}
+	m.lat[op].Observe(time.Since(start).Seconds())
+}
+
+type replicaMetrics struct {
+	failovers  *telemetry.Counter
+	promotions *telemetry.Counter
+}
+
+func newReplicaMetrics(r *telemetry.Registry) *replicaMetrics {
+	return &replicaMetrics{
+		failovers:  r.Counter(MetricReplicaFailovers),
+		promotions: r.Counter(MetricReplicaPromotions),
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"megate/internal/telemetry"
 )
 
 // ReplicaClient spreads operations across an ordered list of replicated
@@ -27,11 +29,15 @@ type ReplicaClient struct {
 	// Retry, when set, re-runs a whole replica cycle (not a single replica)
 	// after transport-level failure of every replica.
 	Retry *Backoff
+	// Metrics routes failover/promotion counters (and the per-replica
+	// clients' op telemetry); nil uses telemetry.Default.
+	Metrics *telemetry.Registry
 
 	mu        sync.Mutex
 	clients   []*Client
 	preferred int
 	failovers uint64
+	m         *replicaMetrics
 }
 
 // NewReplicaClient builds a client over the ordered replica addresses.
@@ -40,8 +46,13 @@ func NewReplicaClient(addrs []string, opts ...func(*ReplicaClient)) *ReplicaClie
 	for _, opt := range opts {
 		opt(rc)
 	}
+	reg := rc.Metrics
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	rc.m = newReplicaMetrics(reg)
 	for _, a := range addrs {
-		rc.clients = append(rc.clients, &Client{Addr: a, Timeout: rc.Timeout, Dialer: rc.Dialer})
+		rc.clients = append(rc.clients, &Client{Addr: a, Timeout: rc.Timeout, Dialer: rc.Dialer, Metrics: rc.Metrics})
 	}
 	return rc
 }
@@ -81,9 +92,13 @@ func (rc *ReplicaClient) promote(c *Client, skipped int) {
 	defer rc.mu.Unlock()
 	if skipped > 0 {
 		rc.failovers++
+		rc.m.failovers.Inc()
 	}
 	for i, cl := range rc.clients {
 		if cl == c {
+			if i != rc.preferred {
+				rc.m.promotions.Inc()
+			}
 			rc.preferred = i
 			return
 		}

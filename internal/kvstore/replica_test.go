@@ -1,0 +1,161 @@
+package kvstore
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"megate/internal/telemetry"
+)
+
+// countingDialer wraps the real dialer, tallying dials per address and
+// refusing connections to addresses marked dead — a fault injector that
+// also records exactly which replica each read touched.
+type countingDialer struct {
+	mu    sync.Mutex
+	dials map[string]int
+	dead  map[string]bool
+}
+
+func newCountingDialer() *countingDialer {
+	return &countingDialer{dials: make(map[string]int), dead: make(map[string]bool)}
+}
+
+func (d *countingDialer) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d.mu.Lock()
+	d.dials[addr]++
+	dead := d.dead[addr]
+	d.mu.Unlock()
+	if dead {
+		return nil, errors.New("countingDialer: replica marked dead")
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+func (d *countingDialer) kill(addr string) {
+	d.mu.Lock()
+	d.dead[addr] = true
+	d.mu.Unlock()
+}
+
+func (d *countingDialer) count(addr string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials[addr]
+}
+
+// TestReplicaClientPromotionStickiness drives the §3.2 poll pattern through
+// a dead head replica: the first read pays the failover scan once, the
+// answering replica is promoted, and every subsequent read must dial the
+// promoted replica first — the dead head is never re-probed and Failovers()
+// stays at one across many polls.
+func TestReplicaClientPromotionStickiness(t *testing.T) {
+	addrs, _ := startServers(t, 3)
+	dialer := newCountingDialer()
+	reg := telemetry.NewRegistry()
+	rc := NewReplicaClient(addrs, func(rc *ReplicaClient) {
+		rc.Timeout = time.Second
+		rc.Dialer = dialer.dial
+		rc.Metrics = reg
+	})
+	defer rc.Close()
+
+	if err := rc.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Publish(3); err != nil {
+		t.Fatal(err)
+	}
+	headDials := dialer.count(addrs[0])
+
+	// Head replica dies. The next read scans past it exactly once.
+	dialer.kill(addrs[0])
+	if v, err := rc.Version(); err != nil || v != 3 {
+		t.Fatalf("Version through dead head: v=%d err=%v", v, err)
+	}
+	if got := dialer.count(addrs[0]); got != headDials+1 {
+		t.Fatalf("head dials after failover = %d, want %d", got, headDials+1)
+	}
+	if got := rc.Failovers(); got != 1 {
+		t.Fatalf("Failovers after one scan = %d, want 1", got)
+	}
+
+	// Polls after promotion hit the promoted replica first: replica 1 takes
+	// every dial, the dead head takes none, and no new failovers accrue.
+	headAfterScan := dialer.count(addrs[0])
+	secondBefore := dialer.count(addrs[1])
+	const polls = 5
+	for i := 0; i < polls; i++ {
+		if _, err := rc.Version(); err != nil {
+			t.Fatalf("poll %d after promotion: %v", i, err)
+		}
+	}
+	if got := dialer.count(addrs[0]); got != headAfterScan {
+		t.Errorf("dead head re-dialed after promotion: dials %d -> %d", headAfterScan, got)
+	}
+	if got := dialer.count(addrs[1]); got != secondBefore+polls {
+		t.Errorf("promoted replica dials = %d, want %d", got, secondBefore+polls)
+	}
+	if got := rc.Failovers(); got != 1 {
+		t.Errorf("Failovers after %d post-promotion polls = %d, want 1 (scan counted once, not per poll)", polls, got)
+	}
+	if got := reg.Counter(MetricReplicaFailovers).Value(); got != 1 {
+		t.Errorf("failover counter metric = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricReplicaPromotions).Value(); got != 1 {
+		t.Errorf("promotion counter metric = %d, want 1", got)
+	}
+}
+
+// TestReplicaClientFailoversCountsScansNotReplicas pins the unit of the
+// failover counter: a read that skips two dead replicas before finding the
+// third counts one failover, not two.
+func TestReplicaClientFailoversCountsScansNotReplicas(t *testing.T) {
+	addrs, _ := startServers(t, 3)
+	dialer := newCountingDialer()
+	rc := NewReplicaClient(addrs, func(rc *ReplicaClient) {
+		rc.Timeout = time.Second
+		rc.Dialer = dialer.dial
+		rc.Metrics = telemetry.NewRegistry()
+	})
+	defer rc.Close()
+	if err := rc.Publish(1); err != nil {
+		t.Fatal(err)
+	}
+
+	dialer.kill(addrs[0])
+	dialer.kill(addrs[1])
+	if _, err := rc.Version(); err != nil {
+		t.Fatalf("Version through two dead replicas: %v", err)
+	}
+	if got := rc.Failovers(); got != 1 {
+		t.Errorf("Failovers = %d, want 1 (one scan, regardless of replicas skipped)", got)
+	}
+}
+
+// TestReplicaClientMetricsSharedWithChildClients checks the replica client
+// threads its registry into the per-replica clients, so client op counters
+// land in the caller's registry rather than telemetry.Default.
+func TestReplicaClientMetricsSharedWithChildClients(t *testing.T) {
+	addrs, _ := startServers(t, 2)
+	reg := telemetry.NewRegistry()
+	rc := NewReplicaClient(addrs, func(rc *ReplicaClient) {
+		rc.Timeout = time.Second
+		rc.Metrics = reg
+	})
+	defer rc.Close()
+	if err := rc.Publish(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Version(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricClientOps, "op", "publish").Value(); got != 2 {
+		t.Errorf("publish ops = %d, want 2 (write fan-out to both replicas)", got)
+	}
+	if got := reg.Counter(MetricClientOps, "op", "version").Value(); got != 1 {
+		t.Errorf("version ops = %d, want 1", got)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"megate/internal/telemetry"
 )
 
 // MaxValueLen caps a single stored value. The server rejects larger PUTs and
@@ -31,12 +33,29 @@ type Server struct {
 	store *Store
 	l     net.Listener
 	idle  time.Duration
+	mreg  *telemetry.Registry
+
+	mOnce sync.Once
+	m     *serverMetrics
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+}
+
+// metrics lazily binds the server's instrument handles so handlers work
+// even on a Server assembled without Serve (tests, fuzzing).
+func (s *Server) metrics() *serverMetrics {
+	s.mOnce.Do(func() {
+		reg := s.mreg
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		s.m = newServerMetrics(reg)
+	})
+	return s.m
 }
 
 // ServerOption configures a Server at construction.
@@ -50,12 +69,20 @@ func WithIdleTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.idle = d }
 }
 
+// WithMetrics routes the server's op counters and latency histograms into
+// r instead of telemetry.Default (chaos runs and tests isolate themselves
+// this way).
+func WithMetrics(r *telemetry.Registry) ServerOption {
+	return func(s *Server) { s.mreg = r }
+}
+
 // Serve starts serving the store on l until Close.
 func Serve(l net.Listener, store *Store, opts ...ServerOption) *Server {
 	s := &Server{store: store, l: l, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.metrics()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -126,6 +153,7 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	m := s.metrics()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
@@ -140,6 +168,8 @@ func (s *Server) handle(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
+		op := strings.ToLower(fields[0])
+		start := time.Now()
 		switch strings.ToUpper(fields[0]) {
 		case "VERSION":
 			fmt.Fprintf(w, "VERSION %d\n", s.store.Version())
@@ -149,6 +179,7 @@ func (s *Server) handle(conn net.Conn) {
 				break
 			}
 			if v, ok := s.store.Get(fields[1]); ok {
+				m.valueBytes.Observe(float64(len(v)))
 				fmt.Fprintf(w, "VALUE %d\n", len(v))
 				w.Write(v)
 				w.WriteByte('\n')
@@ -169,6 +200,7 @@ func (s *Server) handle(conn net.Conn) {
 			if _, err := io.ReadFull(r, buf); err != nil {
 				return
 			}
+			m.valueBytes.Observe(float64(n))
 			s.store.Put(fields[1], buf)
 			fmt.Fprint(w, "OK\n")
 		case "DEL":
@@ -202,6 +234,7 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 		}
+		m.observe(op, start)
 		if err := w.Flush(); err != nil {
 			return
 		}

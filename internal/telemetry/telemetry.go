@@ -1,0 +1,395 @@
+// Package telemetry is MegaTE's stdlib-only metrics layer: lock-free
+// counters, gauges and fixed-bucket histograms collected in a named
+// registry, exported over HTTP in Prometheus text format and as JSON
+// snapshots (see export.go).
+//
+// The paper's evaluation judges the control loop on *measured*
+// distributions — database op latency (Figure 13), synchronization traffic
+// (Figure 14), solve-time breakdowns (Table 3) — so the running system has
+// to export them instead of recomputing them in one-off bench code. Every
+// instrument is safe for concurrent use: counters and histogram buckets are
+// atomic adds, gauges store float64 bits behind a CAS, and the registry
+// serializes only metric creation, never the hot update path.
+//
+// Metrics are identified by a base name plus an optional ordered label set
+// ("op"="get"). Registration is get-or-create, so independent components
+// naming the same series share one instrument, and daemons can pre-register
+// the full inventory at startup so scrapes see zero-valued series before
+// the first event.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry the daemons export. Components take
+// an optional *Registry and fall back to Default when it is nil, so library
+// tests can isolate themselves with NewRegistry while megate-controller,
+// megate-agent and megate-sim share one scrape surface.
+var Default = NewRegistry()
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use, so it can live embedded in a struct (the endpoint Agent's
+// per-instance counters) as well as inside a Registry.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64. The zero value is ready to use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta under a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative-style buckets
+// (Prometheus semantics: bucket i counts observations <= Upper[i], with an
+// implicit +Inf bucket at the end). Observations are two atomic adds and a
+// CAS on the running sum — no locks on the observe path.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Uint64 // len(upper)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over ascending bucket upper bounds. An
+// empty bounds slice yields a single +Inf bucket (count/sum only).
+func NewHistogram(bounds []float64) *Histogram {
+	upper := make([]float64, len(bounds))
+	copy(upper, bounds)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; the sentinel +Inf bucket
+	// takes everything beyond the last bound.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each bound,
+// ending with the +Inf bucket (whose bound is math.Inf(1)).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = make([]float64, len(h.upper)+1)
+	copy(bounds, h.upper)
+	bounds[len(h.upper)] = math.Inf(1)
+	cumulative = make([]uint64, len(h.counts))
+	total := uint64(0)
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cumulative[i] = total
+	}
+	return bounds, cumulative
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1): the
+// smallest bucket bound whose cumulative count reaches q of the total, or
+// +Inf when the tail bucket is needed. Good enough for report lines; the
+// exporter ships the full bucket vector for anything finer.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum := h.Buckets()
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	for i, c := range cum {
+		if c >= rank {
+			return bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// kind discriminates the instrument behind a registry entry.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered instrument.
+type entry struct {
+	name   string // base name, e.g. megate_kvstore_server_ops_total
+	labels string // pre-formatted, e.g. `op="get"`, empty for none
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a named collection of instruments. Creation (Counter, Gauge,
+// Histogram) is get-or-create under a mutex; updates on the returned
+// instruments are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry // key: name + "{" + labels + "}"
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// fmtLabels renders ("op", "get", "peer", "db0") as `op="get",peer="db0"`.
+// Pairs keep their given order so callers produce a deterministic series
+// identity; values are escaped for the Prometheus text format.
+func fmtLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", pairs))
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(pairs[i+1])
+		fmt.Fprintf(&b, `%s=%q`, pairs[i], v)
+	}
+	return b.String()
+}
+
+func (r *Registry) lookup(name string, labels []string, k kind) *entry {
+	ls := fmtLabels(labels)
+	key := name + "{" + ls + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", key, e.kind, k))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: ls, kind: k}
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter for name and the ordered label pairs,
+// creating it on first use.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	e := r.lookup(name, labelPairs, kindCounter)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge returns the gauge for name and the ordered label pairs, creating it
+// on first use.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	e := r.lookup(name, labelPairs, kindGauge)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram returns the histogram for name and the ordered label pairs,
+// creating it with the given bucket bounds on first use (a later caller's
+// bounds are ignored — the first registration wins).
+func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string) *Histogram {
+	e := r.lookup(name, labelPairs, kindHistogram)
+	if e.h == nil {
+		e.h = NewHistogram(bounds)
+	}
+	return e.h
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	Upper float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders the overflow bucket's +Inf bound as the string
+// "+Inf" — encoding/json refuses infinite float64s, and without this the
+// whole /metrics.json snapshot fails to encode.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.Upper, 1) {
+		return json.Marshal(struct {
+			Upper string `json:"le"`
+			Count uint64 `json:"count"`
+		}{"+Inf", b.Count})
+	}
+	return json.Marshal(struct {
+		Upper float64 `json:"le"`
+		Count uint64  `json:"count"`
+	}{b.Upper, b.Count})
+}
+
+// UnmarshalJSON accepts both the numeric bounds and the "+Inf" string
+// produced by MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Upper json.RawMessage `json:"le"`
+		Count uint64          `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if len(raw.Upper) > 0 && raw.Upper[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw.Upper, &s); err != nil {
+			return err
+		}
+		if s == "+Inf" {
+			b.Upper = math.Inf(1)
+			return nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("telemetry: bucket bound %q: %w", s, err)
+		}
+		b.Upper = v
+		return nil
+	}
+	return json.Unmarshal(raw.Upper, &b.Upper)
+}
+
+// Sample is one instrument's state in a Snapshot.
+type Sample struct {
+	Name   string   `json:"name"`
+	Labels string   `json:"labels,omitempty"`
+	Kind   string   `json:"kind"`
+	Value  float64  `json:"value,omitempty"` // counters and gauges
+	Count  uint64   `json:"count,omitempty"` // histograms
+	Sum    float64  `json:"sum,omitempty"`   // histograms
+	Bucket []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every instrument's current state, sorted by name then
+// label set, so two snapshots of the same registry diff line-by-line.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].name != entries[b].name {
+			return entries[a].name < entries[b].name
+		}
+		return entries[a].labels < entries[b].labels
+	})
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Labels: e.labels, Kind: e.kind.String()}
+		switch e.kind {
+		case kindCounter:
+			s.Value = float64(e.c.Value())
+		case kindGauge:
+			s.Value = e.g.Value()
+		case kindHistogram:
+			s.Count = e.h.Count()
+			s.Sum = e.h.Sum()
+			bounds, cum := e.h.Buckets()
+			for i := range bounds {
+				s.Bucket = append(s.Bucket, Bucket{Upper: bounds[i], Count: cum[i]})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Series renders a sample's full series identity, name{labels}.
+func (s Sample) Series() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a histogram sample from
+// its cumulative buckets, returning the upper bound of the bucket containing
+// the quantile rank (NaN for non-histograms and empty histograms, +Inf when
+// the rank falls in the overflow bucket).
+func (s Sample) Quantile(q float64) float64 {
+	if len(s.Bucket) == 0 || s.Count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	for _, b := range s.Bucket {
+		if float64(b.Count) >= rank {
+			return b.Upper
+		}
+	}
+	return math.Inf(1)
+}
+
+// TimeBuckets are the default latency bounds in seconds: 100µs to 10s,
+// roughly quadrupling — sub-millisecond short-connection polls land in the
+// first buckets, a solver interval in the last.
+var TimeBuckets = []float64{0.0001, 0.00025, 0.001, 0.0025, 0.01, 0.025, 0.1, 0.25, 1, 2.5, 10}
+
+// SizeBuckets are the default byte-size bounds: 64 B to 4 MiB.
+var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+
+// CountBuckets are small-integer bounds for lags and retry counts.
+var CountBuckets = []float64{0, 1, 2, 4, 8, 16, 32}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("megate_test_ops_total", "op", "get")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same name+labels yields the same instrument.
+	if r.Counter("megate_test_ops_total", "op", "get") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	// Different label value: a distinct series.
+	if r.Counter("megate_test_ops_total", "op", "put") == c {
+		t.Error("distinct labels share an instrument")
+	}
+
+	g := r.Gauge("megate_test_depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got < 1.4999 || got > 1.5001 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 556.1 || s > 556.3 {
+		t.Errorf("sum = %v, want 556.2", s)
+	}
+	bounds, cum := h.Buckets()
+	wantCum := []uint64{2, 3, 4, 5}
+	for i, want := range wantCum {
+		if cum[i] != want {
+			t.Errorf("bucket %v cumulative = %d, want %d", bounds[i], cum[i], want)
+		}
+	}
+	if !math.IsInf(bounds[len(bounds)-1], 1) {
+		t.Error("last bound not +Inf")
+	}
+	// An observation exactly on a bound lands in that bound's bucket.
+	h2 := NewHistogram([]float64{1, 10})
+	h2.Observe(1)
+	_, cum2 := h2.Buckets()
+	if cum2[0] != 1 {
+		t.Errorf("boundary observation: first bucket = %d, want 1", cum2[0])
+	}
+
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %v, want 10 (upper-bound estimate)", q)
+	}
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("p100 = %v, want +Inf", q)
+	}
+	if q := NewHistogram(nil).Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram quantile = %v, want NaN", q)
+	}
+}
+
+// TestConcurrentInstruments hammers every instrument type from many
+// goroutines; correctness is the exact final tallies plus `-race` silence.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_seconds", TimeBuckets).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h_seconds", TimeBuckets).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total", "op", "x").Inc()
+	r.Counter("a_total", "op", "y").Inc()
+	r.Gauge("m_gauge").Set(7)
+	r.Histogram("h_seconds", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	var series []string
+	for _, s := range snap {
+		series = append(series, s.Series())
+	}
+	want := []string{`a_total{op="x"}`, `a_total{op="y"}`, "b_total", "h_seconds", "m_gauge"}
+	if len(series) != len(want) {
+		t.Fatalf("snapshot series %v, want %v", series, want)
+	}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Errorf("series[%d] = %s, want %s", i, series[i], want[i])
+		}
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("megate_ops_total", "op", "get").Add(3)
+	r.Counter("megate_ops_total", "op", "put").Add(1)
+	r.Gauge("megate_degraded").Set(2)
+	r.Histogram("megate_lat_seconds", []float64{0.01, 0.1}).Observe(0.05)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE megate_ops_total counter",
+		`megate_ops_total{op="get"} 3`,
+		`megate_ops_total{op="put"} 1`,
+		"# TYPE megate_degraded gauge",
+		"megate_degraded 2",
+		"# TYPE megate_lat_seconds histogram",
+		`megate_lat_seconds_bucket{le="0.01"} 0`,
+		`megate_lat_seconds_bucket{le="0.1"} 1`,
+		`megate_lat_seconds_bucket{le="+Inf"} 1`,
+		"megate_lat_seconds_sum 0.05",
+		"megate_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line per family even with several label sets.
+	if n := strings.Count(out, "# TYPE megate_ops_total"); n != 1 {
+		t.Errorf("TYPE lines for megate_ops_total = %d, want 1", n)
+	}
+}
+
+func TestHTTPExporterEndToEnd(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("megate_exporter_test_total").Add(9)
+	// A histogram in the registry is load-bearing: its overflow bucket's
+	// +Inf bound once broke /metrics.json (encoding/json rejects infinite
+	// floats), and only counter-bearing registries were tested.
+	r.Histogram("megate_exporter_test_seconds", TimeBuckets).Observe(0.002)
+	srv, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "megate_exporter_test_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var samples []Sample
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &samples); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("json snapshot has %d samples, want 2: %+v", len(samples), samples)
+	}
+	hist, ctr := samples[0], samples[1]
+	if ctr.Name != "megate_exporter_test_total" || ctr.Value != 9 {
+		t.Errorf("counter sample = %+v", ctr)
+	}
+	if hist.Name != "megate_exporter_test_seconds" || hist.Count != 1 {
+		t.Errorf("histogram sample = %+v", hist)
+	}
+	// The overflow bucket must round-trip through JSON as +Inf.
+	if last := hist.Bucket[len(hist.Bucket)-1]; !math.IsInf(last.Upper, 1) || last.Count != 1 {
+		t.Errorf("overflow bucket did not round-trip: %+v", last)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("pprof index not served")
+	}
+}

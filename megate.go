@@ -42,6 +42,7 @@ import (
 	"megate/internal/lp"
 	"megate/internal/packet"
 	"megate/internal/router"
+	"megate/internal/telemetry"
 	"megate/internal/topology"
 	"megate/internal/traffic"
 )
@@ -347,6 +348,46 @@ func PlanHybrid(volumes map[string]float64, coverShare float64) HybridPlan {
 // the input to PlanHybrid.
 func VolumeByInstance(records []FlowRecord) map[string]float64 {
 	return controlplane.VolumeByInstance(records)
+}
+
+// MetricsRegistry is a named set of telemetry instruments (counters, gauges,
+// fixed-bucket histograms). Every component reports into the process-wide
+// DefaultMetrics registry unless given its own via its Metrics field or
+// option.
+type MetricsRegistry = telemetry.Registry
+
+// MetricsSample is one exported series value in a registry snapshot.
+type MetricsSample = telemetry.Sample
+
+// MetricsServer is the HTTP exporter: Prometheus text on /metrics, a JSON
+// snapshot on /metrics.json, and the runtime profiles under /debug/pprof/.
+type MetricsServer = telemetry.Server
+
+// NewMetricsRegistry returns an empty registry, for callers that want their
+// telemetry isolated from the process-wide default.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry.
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default }
+
+// RegisterCoreMetrics pre-registers the kvstore and control-plane metric
+// inventories in r (nil means the default registry), so a scrape sees the
+// full zero-valued name set before any traffic flows.
+func RegisterCoreMetrics(r *MetricsRegistry) {
+	if r == nil {
+		r = telemetry.Default
+	}
+	kvstore.RegisterMetrics(r)
+	controlplane.RegisterMetrics(r)
+}
+
+// ServeMetrics starts the telemetry exporter on addr serving r (nil means
+// the default registry). Close the returned server to stop it.
+func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
+	if r == nil {
+		r = telemetry.Default
+	}
+	return telemetry.ListenAndServe(addr, r)
 }
 
 // Scheme is a TE scheme under evaluation; Schemes lists MegaTE plus the

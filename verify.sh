@@ -9,7 +9,12 @@ go vet ./...
 go build ./...
 go run ./cmd/megate-lint ./...
 go test ./...
-go test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/
+go test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/ ./internal/telemetry/
+# Regression gate for the agent stats data race: accessors hammered while
+# Run's poll goroutine mutates the counters.
+go test -race -run TestAgentStatsUnderRun ./internal/controlplane/
 # Short-mode chaos pass under the race detector: the full control loop
 # (controller, replicated servers, agent fleet) under the fault timeline.
 go test -race -short -run TestChaos .
+# Exporter smoke: controller with -telemetry-addr scraped over real HTTP.
+go test -run TestMetricsSmoke .
