@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench lint fuzz-short chaos metrics-smoke
+.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/ ./internal/chaos/
+	$(GO) test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/ ./internal/chaos/ ./internal/cluster/
+
+# Sharded TE-database gate: the cluster package (ring, routing, live
+# resharding) under the race detector plus the shard-loss chaos scenario.
+cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run TestChaosShardLoss -v .
 
 # Full chaos run (fixed seeds baked into chaos_test.go) under the race
 # detector: controller + replicated DB servers + agent fleet under the
@@ -34,6 +40,7 @@ lint:
 fuzz-short:
 	$(GO) test -run FuzzKVWireProtocol -fuzz FuzzKVWireProtocol -fuzztime 10s ./internal/kvstore/
 	$(GO) test -run FuzzFastSSP -fuzz FuzzFastSSP -fuzztime 10s ./internal/ssp/
+	$(GO) test -run FuzzRingOwnership -fuzz FuzzRingOwnership -fuzztime 10s ./internal/cluster/
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

@@ -178,3 +178,110 @@ func TestChaosTelemetrySnapshot(t *testing.T) {
 		t.Errorf("default registry saw %d lag observations from an isolated run", got)
 	}
 }
+
+// shardLossScenario is the canonical shard-loss timeline: the busiest
+// shard blackholes early enough for the TTL to fire, rejoins, and the
+// cluster then grows by one node post-heal so the migration also runs
+// under the chaos harness.
+func shardLossScenario(t *testing.T, seed int64) chaos.ShardLossScenario {
+	t.Helper()
+	s := chaos.ShardLossScenario{
+		Seed:       seed,
+		Nodes:      3,
+		PerSite:    1,
+		Windows:    9,
+		StaleAfter: 2,
+		Timeout:    150 * time.Millisecond,
+		LoseAt:     2,
+		RejoinAt:   5,
+		GrowAt:     7,
+	}
+	if testing.Short() {
+		s.Windows = 7
+		s.LoseAt, s.RejoinAt = 1, 4
+		s.GrowAt = 5
+		s.Timeout = 100 * time.Millisecond
+	}
+	return s
+}
+
+// TestChaosShardLoss blackholes one TE-database shard mid-run and holds
+// the sharded control loop to the §6.3 scoping invariants: surviving-shard
+// agents converge every window, lost-shard agents degrade after the TTL
+// and recover on rejoin, the post-heal growth migration moves keys, and
+// quiesce ends with exact placement and version agreement.
+func TestChaosShardLoss(t *testing.T) {
+	res, err := chaos.RunShardLoss(shardLossScenario(t, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.LostHomedAgents == 0 {
+		t.Fatal("lost shard homed no agents; the scenario exercised nothing")
+	}
+	if res.Agents <= res.LostHomedAgents {
+		t.Fatal("every agent was lost-homed; no surviving-shard convergence was checked")
+	}
+	if res.Fallbacks == 0 {
+		t.Error("shard loss never fired the staleness TTL")
+	}
+	if res.Recoveries != res.Fallbacks {
+		t.Errorf("fallbacks=%d recoveries=%d; every degraded agent must recover by quiesce",
+			res.Fallbacks, res.Recoveries)
+	}
+	if res.MovedKeys == 0 {
+		t.Error("growth migration moved no keys")
+	}
+	if res.FailedIntervals != 0 {
+		t.Errorf("%d intervals failed; TolerateWriteErrors must carry the controller through the blackhole",
+			res.FailedIntervals)
+	}
+	writeErrs := 0
+	for _, w := range res.Windows {
+		writeErrs += w.Stats.WriteErrors
+	}
+	if writeErrs == 0 {
+		t.Error("no write errors tolerated; the blackhole never touched the controller's fan-out")
+	}
+	if res.FinalVersion == 0 {
+		t.Error("no interval ever published")
+	}
+}
+
+// TestChaosShardLossDeterministic replays the shard-loss seed twice and
+// demands identical window-level outcomes.
+func TestChaosShardLossDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay comparison runs the scenario twice")
+	}
+	run := func() *chaos.ShardLossResult {
+		res, err := chaos.RunShardLoss(shardLossScenario(t, 31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Violations) != 0 || len(b.Violations) != 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.LostNode != b.LostNode || a.LostHomedAgents != b.LostHomedAgents {
+		t.Errorf("lost shard %s/%d vs %s/%d across replays",
+			a.LostNode, a.LostHomedAgents, b.LostNode, b.LostHomedAgents)
+	}
+	if a.FinalVersion != b.FinalVersion || a.MovedKeys != b.MovedKeys {
+		t.Errorf("final version/moved %d/%d vs %d/%d across replays",
+			a.FinalVersion, a.MovedKeys, b.FinalVersion, b.MovedKeys)
+	}
+	if a.Fallbacks != b.Fallbacks || a.Recoveries != b.Recoveries {
+		t.Errorf("fallbacks/recoveries %d/%d vs %d/%d across replays",
+			a.Fallbacks, a.Recoveries, b.Fallbacks, b.Recoveries)
+	}
+	for i := range a.Windows {
+		if a.Windows[i].Stats != b.Windows[i].Stats || a.Windows[i].Degraded != b.Windows[i].Degraded {
+			t.Errorf("window %d diverged across replays: %+v vs %+v", i, a.Windows[i], b.Windows[i])
+		}
+	}
+}

@@ -10,9 +10,11 @@
 //	megate-agent -db 127.0.0.1:7700 -fleet 100 -poll 10s
 //
 // Passing several comma-separated addresses to -db makes each agent fail
-// over across the replicas in order; -stale-after N uninstalls pinned
-// paths (conventional-routing fallback, §6.3) after N consecutive
-// unreachable polls.
+// over across the replicas in order; with -cluster the addresses are
+// instead treated as the shards of one consistent-hash partitioned
+// database and each agent polls only the shard owning its config key.
+// -stale-after N uninstalls pinned paths (conventional-routing fallback,
+// §6.3) after N consecutive unreachable polls.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 func main() {
 	var (
 		db         = flag.String("db", "127.0.0.1:7700", "TE database address(es), comma-separated for replica failover")
+		clustered  = flag.Bool("cluster", false, "treat the -db addresses as one sharded cluster: each agent polls only the shard owning its config key")
 		instances  = flag.String("instances", "", "comma-separated instance IDs to watch")
 		fleet      = flag.Int("fleet", 0, "spawn N synthetic agents named ins-<site>-<i>")
 		poll       = flag.Duration("poll", 10*time.Second, "poll window")
@@ -88,11 +91,28 @@ func main() {
 		cancel()
 	}()
 
+	// In cluster mode every agent shares one sharded-database view; each
+	// agent's polls still touch only the shard owning its own config key.
+	var cc *megate.TEDatabaseCluster
+	if *clustered {
+		c := megate.NewTEDatabaseClusterClient()
+		for _, a := range addrs {
+			if err := c.Join(a, &megate.TEDatabaseClient{Addr: a, Timeout: *timeout}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		defer c.Close()
+		cc = c
+	}
+
 	var wg sync.WaitGroup
 	agents := make([]*megate.Agent, len(names))
 	for i, name := range names {
 		var a *megate.Agent
-		if len(addrs) > 1 {
+		if cc != nil {
+			a = megate.NewClusterAgent(name, cc, nil)
+		} else if len(addrs) > 1 {
 			client := megate.NewTEDatabaseReplicaClient(addrs)
 			client.Timeout = *timeout
 			a = megate.NewReplicaAgent(name, client, nil)

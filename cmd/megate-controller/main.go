@@ -7,6 +7,12 @@
 // Example:
 //
 //	megate-controller -listen 127.0.0.1:7700 -topology B4* -interval 5s -intervals 10
+//
+// With -cluster N it instead serves N database nodes on consecutive ports
+// starting at -listen and routes each record to its owning shard by
+// consistent hashing (agents then poll with megate-agent -cluster):
+//
+//	megate-controller -listen 127.0.0.1:7700 -cluster 3 -intervals 10
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"megate"
@@ -29,7 +37,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		interval  = flag.Duration("interval", 10*time.Second, "TE interval (paper: 5m)")
 		intervals = flag.Int("intervals", 0, "stop after N intervals (0 = run until interrupted)")
-		shards    = flag.Int("shards", 2, "TE database shards")
+		shards    = flag.Int("shards", 2, "TE database shards (in-process store stripes)")
+		clusterN  = flag.Int("cluster", 0, "serve N sharded TE database nodes on consecutive ports after -listen and route records by consistent hashing (0 = single database)")
 		qos       = flag.Bool("qos", true, "allocate QoS classes sequentially")
 		telemAddr = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
 	)
@@ -50,17 +59,69 @@ func main() {
 	megate.AttachEndpointsExact(topo, *perSite)
 	trace := megate.GenerateTrace(topo, 24, megate.TrafficOptions{Seed: *seed, MeanDemandMbps: *mean})
 
-	db := megate.NewTEDatabase(*shards)
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	solver := megate.NewSolver(topo, megate.SolverOptions{SplitQoS: *qos})
+	var ctrl *megate.Controller
+	var queries func() uint64
+	if *clusterN > 0 {
+		// Sharded deployment: N database nodes on consecutive ports, records
+		// routed to their owning shard by consistent hashing. Point agents at
+		// every address with -cluster: megate-agent -cluster -db a1,a2,...
+		host, portStr, err := net.SplitHostPort(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var addrs []string
+		var dbs []*megate.TEDatabase
+		for i := 0; i < *clusterN; i++ {
+			nodeAddr := net.JoinHostPort(host, strconv.Itoa(port+i))
+			if port == 0 {
+				nodeAddr = net.JoinHostPort(host, "0")
+			}
+			l, err := net.Listen("tcp", nodeAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			db := megate.NewTEDatabase(*shards)
+			srv := megate.ServeTEDatabase(l, db)
+			defer srv.Close()
+			addrs = append(addrs, srv.Addr())
+			dbs = append(dbs, db)
+		}
+		cc, err := megate.NewClusterClient(addrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cc.Close()
+		fmt.Printf("sharded TE database serving on %s (%d nodes)\n", strings.Join(addrs, ","), *clusterN)
+		ctrl = megate.NewClusterController(solver, cc)
+		queries = func() uint64 {
+			var q uint64
+			for _, db := range dbs {
+				q += db.Queries()
+			}
+			return q
+		}
+	} else {
+		db := megate.NewTEDatabase(*shards)
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv := megate.ServeTEDatabase(l, db)
+		defer srv.Close()
+		fmt.Printf("TE database serving on %s (%d shards)\n", srv.Addr(), *shards)
+		ctrl = megate.NewController(solver, db)
+		queries = db.Queries
 	}
-	srv := megate.ServeTEDatabase(l, db)
-	defer srv.Close()
-	fmt.Printf("TE database serving on %s (%d shards)\n", srv.Addr(), *shards)
-
-	ctrl := megate.NewController(megate.NewSolver(topo, megate.SolverOptions{SplitQoS: *qos}), db)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -77,7 +138,7 @@ func main() {
 		}
 		fmt.Printf("interval %d: version %d, %d instance configs, satisfied %.2f%%, solved in %v (queries so far: %d)\n",
 			i, ctrl.Version(), n, res.SatisfiedFraction()*100,
-			time.Since(start).Round(time.Millisecond), db.Queries())
+			time.Since(start).Round(time.Millisecond), queries())
 		if *intervals > 0 && i+1 >= *intervals {
 			return
 		}

@@ -11,6 +11,12 @@
 // reports the degradation invariants:
 //
 //	megate-sim -chaos -seed 11 -chaos-windows 10 -chaos-partition-at 5 -chaos-heal-at 8
+//
+// With -chaos-shardloss it runs the control loop over the sharded
+// (consistent-hash partitioned) database instead, blackholes the busiest
+// shard mid-run, rejoins it, and finishes with a live resharding step:
+//
+//	megate-sim -chaos-shardloss -seed 17 -chaos-shards 3 -chaos-lose-at 2 -chaos-rejoin-at 5 -chaos-grow-at 7
 package main
 
 import (
@@ -42,6 +48,11 @@ func main() {
 		teIvl     = flag.Duration("te-interval", 5*time.Minute, "simulated TE interval length")
 
 		chaosRun      = flag.Bool("chaos", false, "run the fault-injection control-loop scenario instead of the flow simulation")
+		chaosShard    = flag.Bool("chaos-shardloss", false, "run the sharded-database shard-loss scenario instead of the flow simulation")
+		chaosShards   = flag.Int("chaos-shards", 3, "shard count for -chaos-shardloss")
+		chaosLoseAt   = flag.Int("chaos-lose-at", 2, "window blackholing the busiest shard (-chaos-shardloss)")
+		chaosRejoinAt = flag.Int("chaos-rejoin-at", 5, "window healing the lost shard (-chaos-shardloss)")
+		chaosGrowAt   = flag.Int("chaos-grow-at", 7, "post-heal window adding a fresh shard with live resharding, 0 = never (-chaos-shardloss)")
 		chaosReplicas = flag.Int("chaos-replicas", 2, "TE database replica count")
 		chaosWindows  = flag.Int("chaos-windows", 10, "TE windows in the chaos run")
 		chaosStale    = flag.Int("chaos-stale-after", 2, "agent staleness TTL in failed polls")
@@ -64,6 +75,21 @@ func main() {
 		}
 		defer ts.Close()
 		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
+
+	if *chaosShard {
+		os.Exit(runShardLoss(chaos.ShardLossScenario{
+			Seed:       *seed,
+			Nodes:      *chaosShards,
+			PerSite:    1,
+			Windows:    *chaosWindows,
+			StaleAfter: *chaosStale,
+			Timeout:    *chaosTimeout,
+			LoseAt:     *chaosLoseAt,
+			RejoinAt:   *chaosRejoinAt,
+			GrowAt:     *chaosGrowAt,
+			Metrics:    megate.DefaultMetrics(),
+		}))
 	}
 
 	if *chaosRun {
@@ -168,6 +194,40 @@ func runChaos(s chaos.Scenario, printMetrics bool) int {
 		fmt.Printf("restart: restored=%d written=%d expected-written=%d unchanged=%d\n",
 			res.RestartRestored, res.RestartStats.Written, res.RestartExpectedWritten, res.RestartStats.Unchanged)
 	}
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "%d invariant violations:\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		return 1
+	}
+	fmt.Println("all invariants held")
+	return 0
+}
+
+// runShardLoss executes the sharded-database scenario and prints the
+// per-window outcome; the exit code is non-zero when any invariant was
+// violated.
+func runShardLoss(s chaos.ShardLossScenario) int {
+	res, err := chaos.RunShardLoss(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%-7s %-8s %-8s %-10s %-9s %-9s %-9s %s\n",
+		"window", "written", "deleted", "write-errs", "poll-errs", "degraded", "converged", "interval")
+	for _, w := range res.Windows {
+		status := "ok"
+		if w.IntervalErr != "" {
+			status = "FAILED"
+		}
+		fmt.Printf("%-7d %-8d %-8d %-10d %-9d %-9d %-9d %s\n",
+			w.Window, w.Stats.Written, w.Stats.Deleted, w.Stats.WriteErrors,
+			w.PollErrors, w.Degraded, w.Converged, status)
+	}
+	fmt.Printf("agents=%d lost-node=%s lost-homed=%d moved-keys=%d final-version=%d failed-intervals=%d fallbacks=%d recoveries=%d\n",
+		res.Agents, res.LostNode, res.LostHomedAgents, res.MovedKeys,
+		res.FinalVersion, res.FailedIntervals, res.Fallbacks, res.Recoveries)
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "%d invariant violations:\n", len(res.Violations))
 		for _, v := range res.Violations {

@@ -80,7 +80,7 @@ func Passes() []*Pass {
 	return []*Pass{
 		FloatCmpPass("megate/internal/lp", "megate/internal/ssp", "megate/internal/core"),
 		MapOrderPass(),
-		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane"),
+		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane", "megate/internal/cluster"),
 		GoroLeakPass(),
 		ErrDropPass(),
 	}

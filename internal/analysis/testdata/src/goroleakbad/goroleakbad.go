@@ -58,3 +58,28 @@ func Drainer(jobs chan int, work func(int)) {
 		}
 	}()
 }
+
+func copyKeys(node string) {}
+
+// MigrateLeak fans a migration out with one goroutine per source shard and
+// never joins them: the flip below races the copies.
+func MigrateLeak(sources []string) {
+	for _, n := range sources {
+		go copyKeys(n) // want goroleak
+	}
+}
+
+// MigrateJoined is the sanctioned fan-out: every copier is counted before
+// launch and the flip waits for all of them.
+func MigrateJoined(sources []string) {
+	var wg sync.WaitGroup
+	for _, n := range sources {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			copyKeys(n)
+		}()
+	}
+	wg.Wait()
+}

@@ -76,3 +76,29 @@ func (g *guarded) BranchRelease(cond bool) int {
 	g.mu.Unlock()
 	return g.n
 }
+
+type ring struct {
+	mu     sync.Mutex
+	owners map[string]string
+	conns  map[string]net.Conn
+}
+
+// RebalanceUnderLock streams every moved record to its new owner while
+// holding the membership lock — the resharding anti-pattern: a slow
+// destination shard blocks every routed read.
+func (r *ring) RebalanceUnderLock(moved map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, node := range moved {
+		fmt.Fprintf(r.conns[node], "PUT %s\n", key) // want lockcheck
+		r.owners[key] = node
+	}
+}
+
+// SwapUnderLock is the sanctioned shape: migrate outside the lock, take it
+// only for the in-memory ownership flip.
+func (r *ring) SwapUnderLock(next map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.owners = next
+}

@@ -78,6 +78,7 @@ var Registry = []Experiment{
 	{ID: "ab-sitelp", Title: "Ablation: MaxSiteFlow solver (GUB exact vs approximate)", Run: RunAblationSiteLP},
 	{ID: "ab-converge", Title: "Ablation: convergence time after a publish (real TCP agents)", Run: RunAblationConverge},
 	{ID: "ab-incremental", Title: "Ablation: incremental interval-to-interval solving under demand churn", Run: RunIncremental},
+	{ID: "ab-shardscale", Title: "Ablation: sharded TE-database read throughput vs shard count", Run: RunShardScale},
 }
 
 // Get returns the experiment with the given ID.

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig8", "tab2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17",
 		"ab-fastssp", "ab-contraction", "ab-spread", "ab-qos", "ab-residual",
-		"ab-hybrid", "ab-sitelp", "ab-converge", "ab-incremental",
+		"ab-hybrid", "ab-sitelp", "ab-converge", "ab-incremental", "ab-shardscale",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -55,6 +55,45 @@ func TestIncrementalMeasurement(t *testing.T) {
 		if iv.Stage2Hits == 0 {
 			t.Errorf("interval %d: no stage-2 cache hits despite 5%% churn", i+1)
 		}
+	}
+}
+
+func TestShardScaleMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second latency-injected benchmark")
+	}
+	rep, err := MeasureShardScale(&Config{Scale: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(rep.Points))
+	}
+	// The injected per-read latency dominates, so scaling must track the
+	// shard count; the asserted floors here are looser than the report's
+	// acceptance floors to keep the test robust on loaded machines.
+	if rep.Scaling2x < 1.4 {
+		t.Errorf("1->2 read scaling %.2fx, want >= 1.4x", rep.Scaling2x)
+	}
+	if rep.Scaling4x < 2.2 {
+		t.Errorf("1->4 read scaling %.2fx, want >= 2.2x", rep.Scaling4x)
+	}
+	if len(rep.Growth) != 3 {
+		t.Fatalf("got %d growth steps, want 3", len(rep.Growth))
+	}
+	total := 0
+	for _, g := range rep.Growth {
+		if g.MovedKeys <= 0 || g.MovedKeys >= g.TotalKeys {
+			t.Errorf("growth %d->%d moved %d/%d keys; not a minimal move",
+				g.FromNodes, g.ToNodes, g.MovedKeys, g.TotalKeys)
+		}
+		total += g.MovedKeys
+	}
+	// Minimal movement: growing 1->4 must not shuffle anywhere near the
+	// naive rehash-everything-every-step bound of 3x the key count.
+	if total >= 2*rep.Growth[0].TotalKeys {
+		t.Errorf("growth pass moved %d keys total across %d; movement is not minimal",
+			total, rep.Growth[0].TotalKeys)
 	}
 }
 

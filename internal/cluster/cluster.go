@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"megate/internal/telemetry"
+)
+
+// NodeClient is the per-node database surface the cluster composes. Both
+// *kvstore.Client (one server per partition) and *kvstore.ReplicaClient (a
+// replica group per partition, typically built over Ring.OwnerN addresses)
+// satisfy it.
+type NodeClient interface {
+	Version() (uint64, error)
+	Get(key string) ([]byte, bool, error)
+	Put(key string, value []byte) error
+	Delete(key string) error
+	Keys(prefix string) ([]string, error)
+	Publish(v uint64) error
+}
+
+// closer is implemented by node clients holding persistent connections.
+type closer interface{ Close() }
+
+// ErrNoNodes reports an operation against a cluster with no members.
+var ErrNoNodes = errors.New("cluster: no nodes")
+
+// Client routes TE-database operations across a partitioned node set. Point
+// operations (Get/Put/Delete) go to the key's owning node; Keys
+// scatter-gathers every node and merges; Publish fans the version epoch out
+// to every node and Version returns the minimum epoch across nodes, so the
+// cluster version never runs ahead of what every shard has accepted.
+//
+// The controller is the cluster's only writer and the only caller of
+// AddNode/RemoveNode; concurrent reads are safe throughout a membership
+// change (they route by the pre-change ring until the data has moved), but
+// two concurrent membership changes, or writes racing a migration, are not
+// coordinated — exactly the single-writer discipline the control loop
+// already follows.
+type Client struct {
+	// Metrics routes the per-node op counters and migration telemetry; nil
+	// uses telemetry.Default. Set before first use.
+	Metrics *telemetry.Registry
+
+	mu    sync.RWMutex
+	ring  *Ring
+	nodes map[string]NodeClient
+
+	mOnce sync.Once
+	m     *clusterMetrics
+}
+
+// New creates an empty cluster client; vnodes and seed parameterize the
+// ring (vnodes < 1 means DefaultVirtualNodes). Every participant of one
+// deployment — controller and agents — must use the same pair so their
+// rings agree on ownership.
+func New(vnodes int, seed int64, opts ...func(*Client)) *Client {
+	c := &Client{ring: NewRing(vnodes, seed), nodes: make(map[string]NodeClient)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// metrics lazily binds the registry series so struct construction stays
+// allocation-only.
+func (c *Client) metrics() *clusterMetrics {
+	c.mOnce.Do(func() {
+		reg := c.Metrics
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		c.m = newClusterMetrics(reg)
+	})
+	return c.m
+}
+
+// Join adds a node to the ring without migrating any data: the initial
+// cluster assembly, and how agents adopt a membership change the controller
+// already migrated for. Use AddNode to grow a cluster that holds data.
+func (c *Client) Join(name string, nc NodeClient) error {
+	m := c.metrics()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[name]; ok {
+		return fmt.Errorf("cluster: node %s already joined", name)
+	}
+	c.nodes[name] = nc
+	c.ring.AddNode(name)
+	m.nodes.Set(float64(len(c.nodes)))
+	return nil
+}
+
+// Leave removes a node from the ring without migrating any data — the
+// agent-side counterpart of RemoveNode.
+func (c *Client) Leave(name string) error {
+	m := c.metrics()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[name]; !ok {
+		return fmt.Errorf("cluster: node %s not a member", name)
+	}
+	delete(c.nodes, name)
+	c.ring.RemoveNode(name)
+	m.nodes.Set(float64(len(c.nodes)))
+	return nil
+}
+
+// Nodes returns the member names in sorted order.
+func (c *Client) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Nodes()
+}
+
+// Owner returns the node owning key ("" on an empty cluster).
+func (c *Client) Owner(key string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Owner(key)
+}
+
+// OwnerN returns up to n distinct nodes clockwise from key — the owner and
+// the successors a per-partition replica group would span.
+func (c *Client) OwnerN(key string, n int) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.OwnerN(key, n)
+}
+
+// owner resolves key to its owning node's client under the read lock.
+func (c *Client) owner(key string) (string, NodeClient, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	name := c.ring.Owner(key)
+	if name == "" {
+		return "", nil, ErrNoNodes
+	}
+	return name, c.nodes[name], nil
+}
+
+// members snapshots the node set under the read lock, sorted by name, so
+// fan-out I/O runs lock-free in a deterministic order.
+func (c *Client) members() ([]string, []NodeClient) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := c.ring.Nodes()
+	clients := make([]NodeClient, len(names))
+	for i, n := range names {
+		clients[i] = c.nodes[n]
+	}
+	return names, clients
+}
+
+// Get fetches key from its owning node.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	name, nc, err := c.owner(key)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok, err := nc.Get(key)
+	c.metrics().op(name, "get", err)
+	return v, ok, err
+}
+
+// Put stores value under key on its owning node.
+func (c *Client) Put(key string, value []byte) error {
+	name, nc, err := c.owner(key)
+	if err != nil {
+		return err
+	}
+	err = nc.Put(key, value)
+	c.metrics().op(name, "put", err)
+	return err
+}
+
+// Delete removes key from its owning node.
+func (c *Client) Delete(key string) error {
+	name, nc, err := c.owner(key)
+	if err != nil {
+		return err
+	}
+	err = nc.Delete(key)
+	c.metrics().op(name, "del", err)
+	return err
+}
+
+// OwnerVersion returns the version epoch of the node owning key — what an
+// agent polls: its home shard's epoch, not the whole cluster's.
+func (c *Client) OwnerVersion(key string) (uint64, error) {
+	name, nc, err := c.owner(key)
+	if err != nil {
+		return 0, err
+	}
+	v, err := nc.Version()
+	c.metrics().op(name, "version", err)
+	return v, err
+}
+
+// Keys scatter-gathers the prefix enumeration across every node and merges
+// the per-node (already sorted) results into one sorted, deduplicated list.
+// Any node failing fails the call: a partial enumeration would silently
+// drop a shard's records from recovery.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	names, clients := c.members()
+	if len(names) == 0 {
+		return nil, ErrNoNodes
+	}
+	m := c.metrics()
+	results := make([][]string, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i := range clients {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = clients[i].Keys(prefix)
+		}()
+	}
+	wg.Wait()
+	var failed []error
+	for i, err := range errs {
+		m.op(names[i], "keys", err)
+		if err != nil {
+			failed = append(failed, fmt.Errorf("%s: %w", names[i], err))
+		}
+	}
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("cluster: keys scatter failed: %w", errors.Join(failed...))
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	merged := make([]string, 0, total)
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	sort.Strings(merged)
+	// Dedup in place: a key mid-migration can briefly exist on two nodes.
+	out := merged[:0]
+	for _, k := range merged {
+		if len(out) == 0 || out[len(out)-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Version returns the cluster version: the minimum epoch across every node.
+// A consumer acting on it therefore never runs ahead of a shard that has
+// not yet accepted the publish. Any node failing fails the call — an
+// unreachable shard makes the minimum unknowable.
+func (c *Client) Version() (uint64, error) {
+	names, clients := c.members()
+	if len(names) == 0 {
+		return 0, ErrNoNodes
+	}
+	m := c.metrics()
+	var min uint64
+	for i, nc := range clients {
+		v, err := nc.Version()
+		m.op(names[i], "version", err)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: version on %s: %w", names[i], err)
+		}
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	return min, nil
+}
+
+// Publish advertises the version epoch on every node. Every node is
+// attempted even after a failure — a reachable shard should not stay behind
+// because an earlier one in the fan-out was down — and the joined error
+// reports the shards that missed the epoch.
+func (c *Client) Publish(v uint64) error {
+	names, clients := c.members()
+	if len(names) == 0 {
+		return ErrNoNodes
+	}
+	m := c.metrics()
+	var failed []error
+	for i, nc := range clients {
+		err := nc.Publish(v)
+		m.op(names[i], "publish", err)
+		if err != nil {
+			failed = append(failed, fmt.Errorf("%s: %w", names[i], err))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("cluster: publish failed on %d/%d nodes: %w", len(failed), len(names), errors.Join(failed...))
+	}
+	return nil
+}
+
+// Close closes every node client that holds closable connections.
+func (c *Client) Close() {
+	_, clients := c.members()
+	for _, nc := range clients {
+		if cl, ok := nc.(closer); ok {
+			cl.Close()
+		}
+	}
+}

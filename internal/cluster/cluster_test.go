@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// startNodes serves n in-process kvstore servers and returns their
+// addresses plus direct (cluster-unaware) observer clients.
+func startNodes(t *testing.T, n int, reg *telemetry.Registry) (addrs []string, direct []*kvstore.Client) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := kvstore.Serve(l, kvstore.NewStore(2), kvstore.WithMetrics(reg))
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, srv.Addr())
+		direct = append(direct, &kvstore.Client{Addr: srv.Addr(), Timeout: 2 * time.Second, Metrics: reg})
+	}
+	return addrs, direct
+}
+
+// newTestCluster joins one node per address, named db0..dbN-1.
+func newTestCluster(t *testing.T, addrs []string, reg *telemetry.Registry) *Client {
+	t.Helper()
+	c := New(32, 11, func(c *Client) { c.Metrics = reg })
+	for i, a := range addrs {
+		if err := c.Join(fmt.Sprintf("db%d", i), &kvstore.Client{Addr: a, Timeout: 2 * time.Second, Metrics: reg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// placement asserts every stored key lives on exactly the node the ring
+// owns it to — the post-migration placement invariant.
+func placement(t *testing.T, c *Client, direct []*kvstore.Client) {
+	t.Helper()
+	for i, dc := range direct {
+		node := fmt.Sprintf("db%d", i)
+		if !contains(c.Nodes(), node) {
+			continue // detached node: its store is out of the placement domain
+		}
+		keys, err := dc.Keys("")
+		if err != nil {
+			t.Fatalf("enumerate %s: %v", node, err)
+		}
+		for _, k := range keys {
+			if owner := c.Owner(k); owner != node {
+				t.Errorf("key %s stored on %s but owned by %s", k, node, owner)
+			}
+		}
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterRoutingAndScatterGather drives the whole read/write surface:
+// point ops land on (only) the owning node, Keys merges the shards sorted
+// and deduplicated, Version is the min epoch, Publish fans out.
+func TestClusterRoutingAndScatterGather(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	addrs, direct := startNodes(t, 3, reg)
+	c := newTestCluster(t, addrs, reg)
+	defer c.Close()
+
+	keys := testKeys(60)
+	for i, k := range keys {
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	placement(t, c, direct)
+
+	got, err := c.Keys("te/cfg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("scatter-gather returned %d keys, want %d", len(got), len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("merged keys unsorted or duplicated at %d: %q >= %q", i, got[i-1], got[i])
+		}
+	}
+
+	// A key duplicated onto a non-owner (mid-migration state) must be
+	// deduplicated by the merge.
+	dup := keys[0]
+	for i := range direct {
+		if fmt.Sprintf("db%d", i) != c.Owner(dup) {
+			if err := direct[i].Put(dup, []byte("stale")); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	got, err = c.Keys("te/cfg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("dedup failed: %d keys after duplication, want %d", len(got), len(keys))
+	}
+
+	// Reads route to the owner, which still serves the authoritative bytes.
+	v, ok, err := c.Get(keys[3])
+	if err != nil || !ok || !bytes.Equal(v, []byte("v3")) {
+		t.Fatalf("Get(%s) = %q %v %v", keys[3], v, ok, err)
+	}
+	if err := c.Delete(keys[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get(keys[3]); ok {
+		t.Fatal("deleted key still present")
+	}
+
+	// Version is min across shards: publish everywhere, then bump one shard
+	// ahead — the cluster version must stay at the laggard's epoch.
+	if err := c.Publish(5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Version(); err != nil || v != 5 {
+		t.Fatalf("Version after fan-out publish = %d, %v", v, err)
+	}
+	if err := direct[0].Publish(9); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Version(); err != nil || v != 5 {
+		t.Fatalf("Version with one shard ahead = %d, %v; want the minimum 5", v, err)
+	}
+	if hv, err := c.OwnerVersion(keys[5]); err != nil || (hv != 5 && hv != 9) {
+		t.Fatalf("OwnerVersion = %d, %v", hv, err)
+	}
+
+	// The per-node op counters saw the routed traffic.
+	total := uint64(0)
+	for i := range addrs {
+		total += reg.Counter(MetricClusterNodeOps, "node", fmt.Sprintf("db%d", i), "op", "put").Value()
+	}
+	if total != uint64(len(keys)) {
+		t.Errorf("per-node put counters sum to %d, want %d", total, len(keys))
+	}
+}
+
+// TestClusterAddNodeLiveResharding grows a loaded cluster and checks the
+// migration contract: only re-owned keys move, the placement invariant
+// holds afterwards, reads keep succeeding throughout the migration, and the
+// new node's epoch is seeded so the cluster version does not regress.
+func TestClusterAddNodeLiveResharding(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	addrs, direct := startNodes(t, 3, reg)
+	c := newTestCluster(t, addrs[:2], reg)
+	defer c.Close()
+
+	keys := testKeys(80)
+	for i, k := range keys {
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Publish(7); err != nil {
+		t.Fatal(err)
+	}
+	ownersBefore := make(map[string]string, len(keys))
+	for _, k := range keys {
+		ownersBefore[k] = c.Owner(k)
+	}
+
+	// Hammer reads concurrently with the migration; every read must succeed
+	// with the right bytes — reads are served throughout.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var readErr error
+	var readMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := keys[i%len(keys)]
+			v, ok, err := c.Get(k)
+			if err != nil || !ok || !bytes.Equal(v, []byte(fmt.Sprintf("v%d", i%len(keys)))) {
+				readMu.Lock()
+				readErr = fmt.Errorf("read %s during migration: %q %v %v", k, v, ok, err)
+				readMu.Unlock()
+				return
+			}
+		}
+	}()
+
+	moved, err := c.AddNode("db2", &kvstore.Client{Addr: addrs[2], Timeout: 2 * time.Second, Metrics: reg})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if moved == 0 {
+		t.Fatal("AddNode moved nothing; the new node owns no keys")
+	}
+
+	// Moved set == re-owned set.
+	reOwned := 0
+	for _, k := range keys {
+		after := c.Owner(k)
+		if after != ownersBefore[k] {
+			if after != "db2" {
+				t.Fatalf("key %s re-owned to %s, not the added node", k, after)
+			}
+			reOwned++
+		}
+	}
+	if moved != reOwned {
+		t.Fatalf("AddNode reported %d moved keys, ring re-owned %d", moved, reOwned)
+	}
+	placement(t, c, direct)
+
+	// Epoch seeded: the empty node must not drag the min down.
+	if v, err := c.Version(); err != nil || v != 7 {
+		t.Fatalf("cluster version after growth = %d, %v; want 7", v, err)
+	}
+	if got := reg.Histogram(MetricClusterMovedKeys, nil).Count(); got != 1 {
+		t.Errorf("moved-keys histogram observations = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricClusterMigrations, "kind", "add").Value(); got != 1 {
+		t.Errorf("add-migration counter = %d, want 1", got)
+	}
+}
+
+// TestClusterRemoveNodeDrain drains a member out and checks every one of
+// its records lands on the new owner, the drained store is emptied, and the
+// survivors' untouched keys did not move.
+func TestClusterRemoveNodeDrain(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	addrs, direct := startNodes(t, 3, reg)
+	c := newTestCluster(t, addrs, reg)
+	defer c.Close()
+
+	keys := testKeys(80)
+	for i, k := range keys {
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ownersBefore := make(map[string]string, len(keys))
+	victimKeys := 0
+	for _, k := range keys {
+		ownersBefore[k] = c.Owner(k)
+		if ownersBefore[k] == "db1" {
+			victimKeys++
+		}
+	}
+
+	moved, err := c.RemoveNode("db1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != victimKeys {
+		t.Fatalf("RemoveNode moved %d keys, the drained node owned %d", moved, victimKeys)
+	}
+	for _, k := range keys {
+		after := c.Owner(k)
+		if ownersBefore[k] != "db1" && after != ownersBefore[k] {
+			t.Fatalf("survivor key %s moved from %s to %s during drain", k, ownersBefore[k], after)
+		}
+		v, ok, err := c.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("key %s unreadable after drain: %v %v", k, ok, err)
+		}
+		_ = v
+	}
+	placement(t, c, direct)
+	if left, err := direct[1].Keys(""); err != nil || len(left) != 0 {
+		t.Fatalf("drained node still holds %d records (err=%v)", len(left), err)
+	}
+	if _, err := c.RemoveNode("db1"); err == nil {
+		t.Fatal("removing a non-member succeeded")
+	}
+}
+
+// TestClusterEmptyAndErrors covers the degenerate surfaces.
+func TestClusterEmptyAndErrors(t *testing.T) {
+	c := New(0, 0, func(c *Client) { c.Metrics = telemetry.NewRegistry() })
+	if _, _, err := c.Get("k"); err != ErrNoNodes {
+		t.Fatalf("Get on empty cluster: %v", err)
+	}
+	if _, err := c.Keys(""); err != ErrNoNodes {
+		t.Fatalf("Keys on empty cluster: %v", err)
+	}
+	if _, err := c.Version(); err != ErrNoNodes {
+		t.Fatalf("Version on empty cluster: %v", err)
+	}
+	if err := c.Publish(1); err != ErrNoNodes {
+		t.Fatalf("Publish on empty cluster: %v", err)
+	}
+	reg := telemetry.NewRegistry()
+	addrs, _ := startNodes(t, 1, reg)
+	nc := &kvstore.Client{Addr: addrs[0], Timeout: time.Second, Metrics: reg}
+	if err := c.Join("db0", nc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join("db0", nc); err == nil {
+		t.Fatal("double Join succeeded")
+	}
+	if _, err := c.AddNode("db0", nc); err == nil {
+		t.Fatal("AddNode of a member succeeded")
+	}
+	if _, err := c.RemoveNode("db0"); err == nil {
+		t.Fatal("removing the last node succeeded")
+	}
+}

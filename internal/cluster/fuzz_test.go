@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingOwnership drives a ring through an arbitrary AddNode/RemoveNode
+// sequence (decoded from the fuzz input) and checks the resharding
+// invariants after every step: every key has exactly one owner drawn from
+// the live member set, OwnerN is consistent with Owner, and the set of keys
+// whose owner changed is exactly the re-owned set — keys move only onto an
+// added node or off a removed one, never between surviving nodes.
+func FuzzRingOwnership(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 0x81, 3})
+	f.Add(int64(42), []byte{0, 0, 1, 2, 3, 0x80, 0x82, 4, 0x84})
+	f.Add(int64(-7), []byte{5, 5, 0x85, 5})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		const pool = 8 // node name pool: n0..n7
+		keys := testKeys(200)
+		r := NewRing(16, seed)
+		owner := make(map[string]string, len(keys))
+		for _, k := range keys {
+			owner[k] = r.Owner(k)
+		}
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		for step, op := range ops {
+			name := fmt.Sprintf("n%d", op&0x7f%pool)
+			remove := op&0x80 != 0
+			if remove {
+				r.RemoveNode(name)
+			} else {
+				r.AddNode(name)
+			}
+			members := make(map[string]bool)
+			for _, n := range r.Nodes() {
+				members[n] = true
+			}
+			for _, k := range keys {
+				after := r.Owner(k)
+				switch {
+				case r.Len() == 0:
+					if after != "" {
+						t.Fatalf("step %d: empty ring owns %s via %q", step, k, after)
+					}
+				case !members[after]:
+					t.Fatalf("step %d: %s owned by non-member %q", step, k, after)
+				}
+				if r.Len() > 0 {
+					group := r.OwnerN(k, 2)
+					if len(group) == 0 || group[0] != after {
+						t.Fatalf("step %d: OwnerN(%s) = %v disagrees with Owner %q", step, k, group, after)
+					}
+				}
+				before := owner[k]
+				if after != before {
+					// Moved: legal only onto the node just added or off the
+					// node just removed (or to/from "" when the ring
+					// empties/first fills).
+					if remove {
+						if before != name && before != "" {
+							t.Fatalf("step %d: remove %s moved %s from unrelated %s to %s",
+								step, name, k, before, after)
+						}
+					} else {
+						if after != name {
+							t.Fatalf("step %d: add %s moved %s from %s to unrelated %s",
+								step, name, k, before, after)
+						}
+					}
+				}
+				owner[k] = after
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AddNode grows the cluster by one node, live: the next ring (with the new
+// member) is computed first, every key whose owner changes — by the
+// minimal-movement property, exactly the keys the new node takes over — is
+// copied from its current owner to the new node, the new node's version
+// epoch is raised to the cluster version so Version() cannot regress, and
+// only then does the ring flip. Reads are served from the old ownership for
+// the whole migration; after the flip the re-owned keys are deleted from
+// their previous owners. It returns the number of keys moved.
+//
+// On a migration error nothing flips: the new node is discarded from the
+// membership and any keys already copied onto it are harmless orphans a
+// retried AddNode overwrites.
+func (c *Client) AddNode(name string, nc NodeClient) (int, error) {
+	m := c.metrics()
+	c.mu.Lock()
+	if _, ok := c.nodes[name]; ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: node %s already a member", name)
+	}
+	old := c.ring
+	next := old.Clone()
+	next.AddNode(name)
+	srcNames := old.Nodes()
+	srcClients := make([]NodeClient, len(srcNames))
+	for i, n := range srcNames {
+		srcClients[i] = c.nodes[n]
+	}
+	c.mu.Unlock()
+
+	// Copy the re-owned keys, one migration worker per source node, all
+	// joined before anything flips.
+	movedBySrc := make([][]string, len(srcNames))
+	errsBySrc := make([]error, len(srcNames))
+	var wg sync.WaitGroup
+	for i := range srcNames {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			movedBySrc[i], errsBySrc[i] = migrateFrom(srcClients[i], nc, name, next)
+		}()
+	}
+	wg.Wait()
+	moved := 0
+	var failed []error
+	for i, err := range errsBySrc {
+		moved += len(movedBySrc[i])
+		if err != nil {
+			failed = append(failed, fmt.Errorf("%s: %w", srcNames[i], err))
+		}
+	}
+	if len(failed) > 0 {
+		return moved, fmt.Errorf("cluster: add %s: migration failed: %w", name, errors.Join(failed...))
+	}
+
+	// Epoch alignment: the empty node would drag the min-across-shards
+	// cluster version to zero. Seed it with the current cluster version
+	// before it becomes visible. An empty cluster (first node) has nothing
+	// to align.
+	if len(srcNames) > 0 {
+		v, err := c.Version()
+		if err != nil {
+			return moved, fmt.Errorf("cluster: add %s: read cluster version: %w", name, err)
+		}
+		if v > 0 {
+			if err := nc.Publish(v); err != nil {
+				return moved, fmt.Errorf("cluster: add %s: seed epoch: %w", name, err)
+			}
+		}
+	}
+
+	c.mu.Lock()
+	c.nodes[name] = nc
+	c.ring = next
+	m.nodes.Set(float64(len(c.nodes)))
+	c.mu.Unlock()
+
+	// Cleanup: the moved keys now route to the new node; their old copies
+	// are dead data. A failed delete leaves a duplicate (never served — the
+	// ring no longer routes there), reported so the caller can retry.
+	var cleanup []error
+	for i, keys := range movedBySrc {
+		for _, k := range keys {
+			if err := srcClients[i].Delete(k); err != nil {
+				cleanup = append(cleanup, fmt.Errorf("%s: delete %s: %w", srcNames[i], k, err))
+			}
+		}
+	}
+	m.migrations("add").Inc()
+	m.movedKeys.Observe(float64(moved))
+	if len(cleanup) > 0 {
+		return moved, fmt.Errorf("cluster: add %s: post-flip cleanup: %w", name, errors.Join(cleanup...))
+	}
+	return moved, nil
+}
+
+// migrateFrom copies every key of src that the next ring assigns to the
+// new node dstName to dst, in sorted key order, returning the keys it
+// moved. By the minimal-movement property these are exactly the keys whose
+// owner changed: consistent hashing re-owns keys only toward an added node.
+func migrateFrom(src, dst NodeClient, dstName string, next *Ring) ([]string, error) {
+	keys, err := src.Keys("")
+	if err != nil {
+		return nil, fmt.Errorf("enumerate: %w", err)
+	}
+	sort.Strings(keys)
+	var moved []string
+	for _, k := range keys {
+		if next.Owner(k) != dstName {
+			continue
+		}
+		v, ok, err := src.Get(k)
+		if err != nil {
+			return moved, fmt.Errorf("read %s: %w", k, err)
+		}
+		if !ok {
+			continue // deleted between Keys and Get; nothing to move
+		}
+		if err := dst.Put(k, v); err != nil {
+			return moved, fmt.Errorf("copy %s: %w", k, err)
+		}
+		moved = append(moved, k)
+	}
+	return moved, nil
+}
+
+// RemoveNode drains a node out of the cluster, live: every key it holds is
+// copied to its next-ring owner while reads still route to the (still
+// member) node, then the ring flips and the drained node's records are
+// deleted so a later re-Join cannot resurrect stale data. It returns the
+// number of keys moved.
+//
+// RemoveNode is a graceful drain and fails without flipping when the node
+// is unreachable — a crashed shard is a chaos event, not a membership
+// change: its agents ride the staleness TTL until the shard rejoins and the
+// controller's dropped-hash self-heal rewrites what it missed.
+func (c *Client) RemoveNode(name string) (int, error) {
+	m := c.metrics()
+	c.mu.Lock()
+	nc, ok := c.nodes[name]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: node %s not a member", name)
+	}
+	if len(c.nodes) == 1 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: cannot remove last node %s", name)
+	}
+	next := c.ring.Clone()
+	next.RemoveNode(name)
+	dests := make(map[string]NodeClient, len(c.nodes))
+	for n, cl := range c.nodes {
+		dests[n] = cl
+	}
+	c.mu.Unlock()
+
+	keys, err := nc.Keys("")
+	if err != nil {
+		return 0, fmt.Errorf("cluster: remove %s: enumerate: %w", name, err)
+	}
+	sort.Strings(keys)
+	moved := 0
+	for _, k := range keys {
+		v, ok, err := nc.Get(k)
+		if err != nil {
+			return moved, fmt.Errorf("cluster: remove %s: read %s: %w", name, k, err)
+		}
+		if !ok {
+			continue
+		}
+		dst := next.Owner(k)
+		if err := dests[dst].Put(k, v); err != nil {
+			return moved, fmt.Errorf("cluster: remove %s: copy %s to %s: %w", name, k, dst, err)
+		}
+		moved++
+	}
+
+	c.mu.Lock()
+	delete(c.nodes, name)
+	c.ring = next
+	m.nodes.Set(float64(len(c.nodes)))
+	c.mu.Unlock()
+
+	m.migrations("remove").Inc()
+	m.movedKeys.Observe(float64(moved))
+	var cleanup []error
+	for _, k := range keys {
+		if err := nc.Delete(k); err != nil {
+			cleanup = append(cleanup, fmt.Errorf("delete %s: %w", k, err))
+		}
+	}
+	if len(cleanup) > 0 {
+		return moved, fmt.Errorf("cluster: remove %s: drained-node cleanup: %w", name, errors.Join(cleanup...))
+	}
+	return moved, nil
+}

@@ -1,0 +1,184 @@
+// Package cluster partitions the TE database horizontally across nodes —
+// the deployment shape the paper's §3.2 assumes when it says the database
+// "consists of multiple machines" absorbing millions of endpoint polls at
+// about one core per node (Figure 14). A consistent-hash ring with virtual
+// nodes assigns every config key exactly one owning node; the Client routes
+// point operations to owners, scatter-gathers enumeration, and treats the
+// minimum per-shard version epoch as the cluster version, so a consumer
+// never observes a configuration version that some shard has not yet
+// durably accepted. Membership changes migrate only the keys whose owner
+// actually changed (the minimal-movement property consistent hashing is
+// chosen for), with reads served from the old ownership throughout.
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count when a Ring is
+// built with vnodes < 1. 64 points per node keeps the ownership split of a
+// small cluster within a few percent of even without making ring rebuilds
+// expensive.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes. Ownership is a pure
+// function of (seed, vnodes, member set): two rings built with the same
+// parameters agree on every key's owner regardless of the order nodes were
+// added, which is what lets every agent carry its own Ring and still route
+// to the same shard the controller wrote. Ring itself is not synchronized;
+// Client guards its ring with a mutex.
+type Ring struct {
+	vnodes int
+	seed   int64
+	points []point // sorted by (hash, node)
+	nodes  map[string]bool
+}
+
+// point is one virtual node position on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates an empty ring; vnodes < 1 means DefaultVirtualNodes. The
+// seed perturbs every hash so distinct deployments get distinct (but each
+// internally deterministic) ownership layouts.
+func NewRing(vnodes int, seed int64) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, seed: seed, nodes: make(map[string]bool)}
+}
+
+// hash positions a string on the ring: FNV-64a over the seed then the
+// string, passed through a 64-bit finalizer. The finalizer matters: raw
+// FNV-64a barely avalanches its final byte (strings differing only in the
+// last character land within ~2^44 of each other on the 2^64 ring), which
+// would glue sequential instance keys onto one owner.
+func (r *Ring) hash(s string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(r.seed))
+	h.Write(b[:])
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective scrambler giving full
+// avalanche to every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Len returns the member node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Contains reports whether node is a member.
+func (r *Ring) Contains(node string) bool { return r.nodes[node] }
+
+// Nodes returns the member names in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddNode inserts a node's virtual points. Adding an existing member is a
+// no-op.
+func (r *Ring) AddNode(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: r.hash(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	// Ties (astronomically rare with 64-bit hashes) break by node name so
+	// ownership stays insertion-order independent even then.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// RemoveNode removes a node's virtual points. Removing a non-member is a
+// no-op.
+func (r *Ring) RemoveNode(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Clone returns an independent copy of the ring.
+func (r *Ring) Clone() *Ring {
+	cp := &Ring{vnodes: r.vnodes, seed: r.seed, nodes: make(map[string]bool, len(r.nodes))}
+	cp.points = append([]point(nil), r.points...)
+	for n := range r.nodes {
+		cp.nodes[n] = true
+	}
+	return cp
+}
+
+// successor returns the index of the first ring point clockwise of h.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash > h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the node owning key, or "" on an empty ring. Every key has
+// exactly one owner: the node of the first virtual point clockwise of the
+// key's hash.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.successor(r.hash(key))].node
+}
+
+// OwnerN returns up to n distinct nodes walking clockwise from key's
+// position: the owner first, then the successor nodes. A per-partition
+// replica group is a kvstore.ReplicaClient built over OwnerN's addresses —
+// the owner serves reads, the successors hold the fan-out copies.
+func (r *Ring) OwnerN(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.successor(r.hash(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

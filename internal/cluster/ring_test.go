@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("te/cfg/ins-%04d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicAndOrderIndependent pins the property agent-side
+// routing depends on: two rings with the same (vnodes, seed, member set)
+// agree on every owner, regardless of the order members were added.
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := NewRing(64, 7)
+	b := NewRing(64, 7)
+	for _, n := range []string{"db0", "db1", "db2", "db3"} {
+		a.AddNode(n)
+	}
+	for _, n := range []string{"db3", "db1", "db0", "db2"} {
+		b.AddNode(n)
+	}
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs across insertion orders: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	// A different seed must (somewhere) lay the ring out differently.
+	c := NewRing(64, 8)
+	for _, n := range []string{"db0", "db1", "db2", "db3"} {
+		c.AddNode(n)
+	}
+	same := 0
+	keys := testKeys(500)
+	for _, k := range keys {
+		if a.Owner(k) == c.Owner(k) {
+			same++
+		}
+	}
+	if same == len(keys) {
+		t.Error("seed change left every owner identical; the seed is not feeding the hash")
+	}
+}
+
+// TestRingOwnerNDistinct checks OwnerN returns distinct nodes, led by the
+// owner, and caps at the member count.
+func TestRingOwnerNDistinct(t *testing.T) {
+	r := NewRing(32, 1)
+	for _, n := range []string{"db0", "db1", "db2"} {
+		r.AddNode(n)
+	}
+	for _, k := range testKeys(100) {
+		group := r.OwnerN(k, 2)
+		if len(group) != 2 {
+			t.Fatalf("OwnerN(%s, 2) = %v", k, group)
+		}
+		if group[0] != r.Owner(k) {
+			t.Fatalf("OwnerN(%s) not led by the owner: %v vs %s", k, group, r.Owner(k))
+		}
+		if group[0] == group[1] {
+			t.Fatalf("OwnerN(%s) repeated a node: %v", k, group)
+		}
+	}
+	if got := r.OwnerN("k", 10); len(got) != 3 {
+		t.Fatalf("OwnerN capped wrong: %v", got)
+	}
+	if NewRing(8, 0).OwnerN("k", 2) != nil {
+		t.Error("OwnerN on an empty ring must be nil")
+	}
+	if NewRing(8, 0).Owner("k") != "" {
+		t.Error(`Owner on an empty ring must be ""`)
+	}
+}
+
+// TestRingMinimalMovement checks the resharding invariant directly: adding
+// a node re-owns keys only toward the new node; removing one re-owns only
+// the keys it held.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := testKeys(1000)
+	r := NewRing(64, 3)
+	for _, n := range []string{"db0", "db1", "db2"} {
+		r.AddNode(n)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	grown := r.Clone()
+	grown.AddNode("db3")
+	gained := 0
+	for _, k := range keys {
+		after := grown.Owner(k)
+		if after != before[k] && after != "db3" {
+			t.Fatalf("add db3 moved %s from %s to %s — gratuitous movement", k, before[k], after)
+		}
+		if after == "db3" {
+			gained++
+		}
+	}
+	if gained == 0 {
+		t.Error("added node owns no keys; virtual nodes are not spreading")
+	}
+
+	shrunk := r.Clone()
+	shrunk.RemoveNode("db1")
+	for _, k := range keys {
+		after := shrunk.Owner(k)
+		if before[k] == "db1" {
+			if after == "db1" {
+				t.Fatalf("%s still owned by removed db1", k)
+			}
+		} else if after != before[k] {
+			t.Fatalf("remove db1 moved %s from %s to %s — gratuitous movement", k, before[k], after)
+		}
+	}
+}
+
+// TestRingBalance bounds the ownership skew: with 64 virtual nodes per
+// member no node should own a wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64, 42)
+	nodes := []string{"db0", "db1", "db2", "db3"}
+	for _, n := range nodes {
+		r.AddNode(n)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.0f%% of keys (counts %v); virtual-node spread is broken", n, share*100, counts)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package controlplane
+
+import (
+	"megate/internal/cluster"
+)
+
+// ClusterAdapter adapts a *cluster.Client — the sharded TE database — to
+// every control-plane interface: ConfigStore for the controller's routed
+// writes (each record lands on its key's owning shard), ConfigReader and
+// ConfigSource for recovery's scatter-gather enumeration. The controller
+// pairing it with TolerateWriteErrors gets the intended shard-loss posture:
+// records homed on a dead shard fail individually while every surviving
+// shard keeps converging.
+type ClusterAdapter struct{ Client *cluster.Client }
+
+// PutConfig implements ConfigStore.
+func (a ClusterAdapter) PutConfig(key string, value []byte) error {
+	return a.Client.Put(key, value)
+}
+
+// DeleteConfig implements ConfigStore.
+func (a ClusterAdapter) DeleteConfig(key string) error {
+	return a.Client.Delete(key)
+}
+
+// PublishVersion implements ConfigStore; the epoch fans out to every shard.
+func (a ClusterAdapter) PublishVersion(v uint64) error {
+	return a.Client.Publish(v)
+}
+
+// ReadVersion implements ConfigReader: the cluster version, i.e. the
+// minimum epoch across shards.
+func (a ClusterAdapter) ReadVersion() (uint64, error) { return a.Client.Version() }
+
+// ReadConfig implements ConfigReader.
+func (a ClusterAdapter) ReadConfig(key string) ([]byte, bool, error) {
+	return a.Client.Get(key)
+}
+
+// ListConfigKeys implements ConfigSource.
+func (a ClusterAdapter) ListConfigKeys(prefix string) ([]string, error) {
+	return a.Client.Keys(prefix)
+}
+
+// ClusterHomeReader is the agent-side view of the sharded database: both
+// the version poll and the config pull go only to the shard owning the
+// agent's own config key. That is what keeps the poll load of §3.2 flat as
+// shards are added — an agent never touches, and never depends on, any
+// shard but its home — and what scopes a shard outage to exactly the agents
+// homed on it.
+type ClusterHomeReader struct {
+	Client *cluster.Client
+	// Key is the agent's config key (ConfigKey(instance)); it determines the
+	// home shard.
+	Key string
+}
+
+// ReadVersion implements ConfigReader with the home shard's epoch.
+func (r ClusterHomeReader) ReadVersion() (uint64, error) {
+	return r.Client.OwnerVersion(r.Key)
+}
+
+// ReadConfig implements ConfigReader, routed to the owning shard.
+func (r ClusterHomeReader) ReadConfig(key string) ([]byte, bool, error) {
+	return r.Client.Get(key)
+}

@@ -1,0 +1,214 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"megate/internal/cluster"
+	"megate/internal/core"
+	"megate/internal/hoststack"
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// flakyStore fails operations by key predicate — a shard that stopped
+// accepting writes, seen through the ConfigStore interface.
+type flakyStore struct {
+	inner       ConfigStore
+	failKey     func(key string) bool
+	failPublish bool
+}
+
+func (f *flakyStore) PutConfig(key string, value []byte) error {
+	if f.failKey != nil && f.failKey(key) {
+		return errors.New("flakyStore: shard down")
+	}
+	return f.inner.PutConfig(key, value)
+}
+
+func (f *flakyStore) DeleteConfig(key string) error {
+	if f.failKey != nil && f.failKey(key) {
+		return errors.New("flakyStore: shard down")
+	}
+	return f.inner.DeleteConfig(key)
+}
+
+func (f *flakyStore) PublishVersion(v uint64) error {
+	if f.failPublish {
+		return errors.New("flakyStore: publish lost")
+	}
+	return f.inner.PublishVersion(v)
+}
+
+// TestControllerToleratesWriteErrors pins the shard-loss posture: with
+// TolerateWriteErrors the interval keeps writing past per-record failures,
+// counts them, still advances the version, and — because failed writes drop
+// their hash — rewrites exactly the missed records once the store heals.
+func TestControllerToleratesWriteErrors(t *testing.T) {
+	_, m, solver := testSetup(t)
+	store := kvstore.NewStore(2)
+	flaky := &flakyStore{inner: StoreAdapter{Store: store}}
+	ctrl := NewController(solver, flaky)
+	ctrl.Metrics = telemetry.NewRegistry()
+	ctrl.TolerateWriteErrors = true
+
+	// Fail every config record in the upper half of the key space plus the
+	// publish itself — one shard of two is down on the very first interval.
+	flaky.failKey = func(key string) bool { return key >= "te/cfg/m" }
+	flaky.failPublish = true
+	_, _, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatalf("tolerant interval failed: %v", err)
+	}
+	st := ctrl.LastStats()
+	if st.WriteErrors == 0 {
+		t.Fatal("no write errors recorded while half the key space was down")
+	}
+	if st.Written == 0 {
+		t.Fatal("no records written; the surviving half must still converge")
+	}
+	if ctrl.Version() != 1 {
+		t.Fatalf("controller version = %d, want 1 (tolerated publish failure still advances)", ctrl.Version())
+	}
+	if store.Version() != 0 {
+		t.Fatalf("store version = %d, want 0 (publish was lost)", store.Version())
+	}
+	failedFirst := st.WriteErrors - 1 // publish failure is one of them
+
+	// Shard heals: the next interval rewrites exactly the dropped records
+	// (the solver output is unchanged, so nothing else is dirty) and the
+	// publish goes through at the next version.
+	flaky.failKey = nil
+	flaky.failPublish = false
+	if _, _, err := ctrl.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	st2 := ctrl.LastStats()
+	if st2.WriteErrors != 0 {
+		t.Fatalf("healed interval recorded %d write errors", st2.WriteErrors)
+	}
+	if st2.Written != failedFirst {
+		t.Fatalf("healed interval rewrote %d records, want the %d that failed", st2.Written, failedFirst)
+	}
+	if store.Version() != 2 || ctrl.Version() != 2 {
+		t.Fatalf("versions = %d / %d, want 2 / 2", store.Version(), ctrl.Version())
+	}
+	reg := ctrl.Metrics
+	if got := reg.Counter(MetricConfigWriteErrors).Value(); got != uint64(st.WriteErrors) {
+		t.Errorf("write-error counter = %d, want %d", got, st.WriteErrors)
+	}
+
+	// Without tolerance the same failure aborts the interval.
+	strict := NewController(core.NewSolver(solver.Topology(), core.Options{}), flaky)
+	strict.Metrics = telemetry.NewRegistry()
+	flaky.failKey = func(string) bool { return true }
+	if _, _, err := strict.RunInterval(m); err == nil {
+		t.Fatal("strict controller survived a failing store")
+	}
+}
+
+// TestClusterAdapterControlLoop runs the full bottom-up loop over a sharded
+// database: the controller writes through a ClusterAdapter (records routed
+// to their owning shards), an agent polls through a ClusterHomeReader and
+// installs its paths, and a restarted controller recovers its delta state
+// from the scatter-gathered enumeration.
+func TestClusterAdapterControlLoop(t *testing.T) {
+	topo, m, solver := testSetup(t)
+	reg := telemetry.NewRegistry()
+	cc := cluster.New(32, 5, func(c *cluster.Client) { c.Metrics = reg })
+	defer cc.Close()
+	for i := 0; i < 3; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := kvstore.Serve(l, kvstore.NewStore(2), kvstore.WithMetrics(reg))
+		t.Cleanup(srv.Close)
+		if err := cc.Join(fmt.Sprintf("db%d", i), &kvstore.Client{Addr: srv.Addr(), Timeout: time.Second, Metrics: reg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctrl := NewController(solver, ClusterAdapter{Client: cc})
+	ctrl.Metrics = reg
+	ctrl.TolerateWriteErrors = true
+	res, n, err := ctrl.RunInterval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || ctrl.LastStats().WriteErrors != 0 {
+		t.Fatalf("interval wrote %d records with %d errors", n, ctrl.LastStats().WriteErrors)
+	}
+	if v, err := cc.Version(); err != nil || v != 1 {
+		t.Fatalf("cluster version = %d, %v", v, err)
+	}
+
+	// One configured instance polls its home shard and installs paths.
+	var instance string
+	for i, tn := range res.FlowTunnel {
+		if tn != nil {
+			instance = topo.Endpoints[m.Flows[i].Src].Instance
+			break
+		}
+	}
+	if instance == "" {
+		t.Skip("no satisfied flows")
+	}
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := &Agent{
+		Instance: instance,
+		Reader:   ClusterHomeReader{Client: cc, Key: ConfigKey(instance)},
+		Host:     host,
+		Metrics:  reg,
+	}
+	updated, err := agent.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated || host.PathMap.Len() == 0 {
+		t.Fatalf("agent did not install config: updated=%v paths=%d", updated, host.PathMap.Len())
+	}
+
+	// Restart recovery over the sharded enumeration: a fresh controller
+	// re-derives the full delta state and its next interval rewrites nothing.
+	ctrl2 := NewController(core.NewSolver(topo, core.Options{}), ClusterAdapter{Client: cc})
+	ctrl2.Metrics = reg
+	restored, err := ctrl2.Recover(ClusterAdapter{Client: cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != n {
+		t.Fatalf("recovered %d records, interval wrote %d", restored, n)
+	}
+	if ctrl2.Version() != 1 {
+		t.Fatalf("recovered version = %d, want 1", ctrl2.Version())
+	}
+	if _, _, err := ctrl2.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	if st := ctrl2.LastStats(); st.Written != 0 || st.Deleted != 0 {
+		t.Fatalf("recovered controller rewrote %d / deleted %d records; delta state not restored", st.Written, st.Deleted)
+	}
+
+	// Config keys share the te/cfg/ prefix; make sure the shards actually
+	// split them rather than one node owning everything.
+	owners := make(map[string]int)
+	keys, err := cc.Keys("te/cfg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		owners[cc.Owner(k)]++
+	}
+	if len(keys) >= 8 && len(owners) < 2 {
+		t.Errorf("all %d config keys owned by one node %v; partitioning is not spreading", len(keys), owners)
+	}
+	if !strings.HasPrefix(keys[0], "te/cfg/") {
+		t.Errorf("unexpected key %q", keys[0])
+	}
+}

@@ -117,6 +117,16 @@ type Controller struct {
 	// Metrics routes the controller's solve-stage timings and config write
 	// counters; nil uses telemetry.Default.
 	Metrics *telemetry.Registry
+	// TolerateWriteErrors keeps an interval going past per-record write,
+	// delete, and publish failures instead of aborting on the first one — the
+	// sharded-database posture: one lost shard must not stop the controller
+	// from converging every surviving shard. Failed writes drop their hash
+	// (so the next interval rewrites the record once the shard heals), failed
+	// deletes stay tracked for retry, a failed publish still advances the
+	// controller's own version so the reachable shards that did accept it
+	// stay consistent with it. The failures are counted in
+	// IntervalStats.WriteErrors.
+	TolerateWriteErrors bool
 
 	mOnce sync.Once
 	m     *controllerMetrics
@@ -146,6 +156,9 @@ type IntervalStats struct {
 	// counts tombstoned records, Unchanged counts records skipped because
 	// their hash matched the previous interval.
 	Written, Deleted, Unchanged int
+	// WriteErrors counts store operations that failed but were tolerated
+	// (always zero unless Controller.TolerateWriteErrors is set).
+	WriteErrors int
 }
 
 // NewController wires a solver to a config store.
@@ -204,7 +217,11 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 			// that partially reached a replica fan-out would otherwise look
 			// up-to-date forever while the replicas disagree.
 			delete(c.lastHash, ins)
-			return nil, 0, fmt.Errorf("controlplane: write config for %s: %w", ins, err)
+			if !c.TolerateWriteErrors {
+				return nil, 0, fmt.Errorf("controlplane: write config for %s: %w", ins, err)
+			}
+			st.WriteErrors++
+			continue
 		}
 		c.lastHash[ins] = h
 		st.Written++
@@ -218,13 +235,22 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 	sort.Strings(stale)
 	for _, ins := range stale {
 		if err := c.Store.DeleteConfig(ConfigKey(ins)); err != nil {
-			return nil, 0, fmt.Errorf("controlplane: delete config for %s: %w", ins, err)
+			if !c.TolerateWriteErrors {
+				return nil, 0, fmt.Errorf("controlplane: delete config for %s: %w", ins, err)
+			}
+			// Keep the instance in lastHash: it stays stale next interval, so
+			// the delete is retried until the shard accepts it.
+			st.WriteErrors++
+			continue
 		}
 		delete(c.lastHash, ins)
 		st.Deleted++
 	}
 	if err := c.Store.PublishVersion(next); err != nil {
-		return nil, 0, err
+		if !c.TolerateWriteErrors {
+			return nil, 0, err
+		}
+		st.WriteErrors++
 	}
 	c.version.Store(next)
 	c.stats = st
@@ -234,6 +260,7 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 	cm.written.Add(uint64(st.Written))
 	cm.deleted.Add(uint64(st.Deleted))
 	cm.skipped.Add(uint64(st.Unchanged))
+	cm.writeErrs.Add(uint64(st.WriteErrors))
 	return res, st.Written, nil
 }
 

@@ -23,6 +23,7 @@ const (
 	MetricConfigsWritten       = "megate_controller_configs_written_total"
 	MetricConfigsDeleted       = "megate_controller_configs_deleted_total"
 	MetricConfigsSkipped       = "megate_controller_configs_skipped_total"
+	MetricConfigWriteErrors    = "megate_controller_config_write_errors_total"
 	MetricControllerSolveFails = "megate_controller_solve_failures_total"
 )
 
@@ -68,6 +69,7 @@ type controllerMetrics struct {
 	written    *telemetry.Counter
 	deleted    *telemetry.Counter
 	skipped    *telemetry.Counter
+	writeErrs  *telemetry.Counter
 	solveFails *telemetry.Counter
 }
 
@@ -79,6 +81,7 @@ func newControllerMetrics(r *telemetry.Registry) *controllerMetrics {
 		written:    r.Counter(MetricConfigsWritten),
 		deleted:    r.Counter(MetricConfigsDeleted),
 		skipped:    r.Counter(MetricConfigsSkipped),
+		writeErrs:  r.Counter(MetricConfigWriteErrors),
 		solveFails: r.Counter(MetricControllerSolveFails),
 	}
 	for _, s := range SolveStages {

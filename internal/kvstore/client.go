@@ -24,6 +24,29 @@ const DefaultTimeout = 2 * time.Second
 // ErrProtocol reports an unexpected server response.
 var ErrProtocol = errors.New("kvstore: protocol error")
 
+// ErrTruncated reports a response line cut off mid-way: bytes arrived but
+// the connection ended before the terminating newline. It is deliberately
+// NOT ErrProtocol — a torn line is a transport artifact (a crashed server,
+// a dropped link, an injected partial write), so the Retry schedule re-runs
+// the operation on a fresh connection, while a server that answered with
+// well-terminated garbage still fails fast.
+var ErrTruncated = errors.New("kvstore: truncated response")
+
+// readLine reads one newline-terminated response line. A partial line —
+// bytes followed by an error with no terminator — is classified as
+// ErrTruncated; a clean zero-byte EOF passes through bare so connection
+// teardown between operations keeps its usual transport flavor.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		if len(line) > 0 {
+			return line, fmt.Errorf("%w: partial line %q: %v", ErrTruncated, line, err)
+		}
+		return "", err
+	}
+	return line, nil
+}
+
 // Client talks to a Server. Its zero-value mode dials a fresh connection
 // per operation — the short-connection discipline the endpoints use so the
 // database never holds millions of sockets. Every operation carries a
@@ -160,7 +183,7 @@ func (c *Client) Version() (v uint64, err error) {
 		if _, err := fmt.Fprint(conn, "VERSION\n"); err != nil {
 			return err
 		}
-		line, err := r.ReadString('\n')
+		line, err := readLine(r)
 		if err != nil {
 			return err
 		}
@@ -179,7 +202,7 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 		if _, err := fmt.Fprintf(conn, "GET %s\n", key); err != nil {
 			return err
 		}
-		line, err := r.ReadString('\n')
+		line, err := readLine(r)
 		if err != nil {
 			return err
 		}
@@ -230,14 +253,21 @@ func (c *Client) Delete(key string) error {
 	})
 }
 
-// Keys lists keys with the given prefix.
+// Keys lists keys with the given prefix. The empty prefix enumerates every
+// key: it is sent as the wire sentinel "*" (a space-delimited protocol
+// cannot carry an empty field) and the results are re-filtered client-side
+// so the sentinel can never widen an enumeration.
 func (c *Client) Keys(prefix string) (keys []string, err error) {
 	err = c.do("keys", func(conn net.Conn, r *bufio.Reader) error {
 		keys = nil
-		if _, err := fmt.Fprintf(conn, "KEYS %s\n", prefix); err != nil {
+		wire := prefix
+		if wire == "" {
+			wire = AllKeysPrefix
+		}
+		if _, err := fmt.Fprintf(conn, "KEYS %s\n", wire); err != nil {
 			return err
 		}
-		line, err := r.ReadString('\n')
+		line, err := readLine(r)
 		if err != nil {
 			return err
 		}
@@ -245,15 +275,22 @@ func (c *Client) Keys(prefix string) (keys []string, err error) {
 		if _, err := fmt.Sscanf(line, "KEYS %d", &n); err != nil {
 			return fmt.Errorf("%w: %q", ErrProtocol, line)
 		}
-		if n < 0 {
-			return fmt.Errorf("%w: negative key count %d", ErrProtocol, n)
+		// Bound-check before trusting the count, mirroring Get's value-length
+		// check: a corrupt server announcing a negative or absurd key count
+		// must not drive the read loop into an unbounded accumulation. The
+		// server never stores more than MaxKeys keys, so an honest response
+		// cannot exceed it.
+		if n < 0 || n > MaxKeys {
+			return fmt.Errorf("%w: implausible key count %d", ErrProtocol, n)
 		}
 		for i := 0; i < n; i++ {
-			k, err := r.ReadString('\n')
+			k, err := readLine(r)
 			if err != nil {
 				return err
 			}
-			keys = append(keys, strings.TrimSpace(k))
+			if k = strings.TrimSpace(k); strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
 		}
 		return nil
 	})
@@ -266,7 +303,7 @@ func (c *Client) Publish(v uint64) error {
 		if _, err := fmt.Fprintf(conn, "PUBLISH %d\n", v); err != nil {
 			return err
 		}
-		line, err := r.ReadString('\n')
+		line, err := readLine(r)
 		if err != nil {
 			return err
 		}
@@ -279,7 +316,7 @@ func (c *Client) Publish(v uint64) error {
 
 // expectOK consumes one response line that must be exactly OK.
 func expectOK(r *bufio.Reader) error {
-	line, err := r.ReadString('\n')
+	line, err := readLine(r)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -14,30 +15,64 @@ import (
 // refusing connections to addresses marked dead — a fault injector that
 // also records exactly which replica each read touched.
 type countingDialer struct {
-	mu    sync.Mutex
-	dials map[string]int
-	dead  map[string]bool
+	mu       sync.Mutex
+	dials    map[string]int
+	dead     map[string]bool
+	cutAfter map[string]int
 }
 
 func newCountingDialer() *countingDialer {
-	return &countingDialer{dials: make(map[string]int), dead: make(map[string]bool)}
+	return &countingDialer{dials: make(map[string]int), dead: make(map[string]bool), cutAfter: make(map[string]int)}
 }
 
 func (d *countingDialer) dial(addr string, timeout time.Duration) (net.Conn, error) {
 	d.mu.Lock()
 	d.dials[addr]++
 	dead := d.dead[addr]
+	cut := d.cutAfter[addr]
 	d.mu.Unlock()
 	if dead {
 		return nil, errors.New("countingDialer: replica marked dead")
 	}
-	return net.DialTimeout("tcp", addr, timeout)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil || cut == 0 {
+		return conn, err
+	}
+	return &cutConn{Conn: conn, left: cut}, nil
 }
 
 func (d *countingDialer) kill(addr string) {
 	d.mu.Lock()
 	d.dead[addr] = true
 	d.mu.Unlock()
+}
+
+// cut makes connections to addr deliver at most n response bytes before
+// failing — a replica blackholed mid-scan.
+func (d *countingDialer) cut(addr string, n int) {
+	d.mu.Lock()
+	d.cutAfter[addr] = n
+	d.mu.Unlock()
+}
+
+// cutConn blackholes the read side after a byte budget: the first reads
+// deliver real server bytes, then the connection dies mid-response.
+type cutConn struct {
+	net.Conn
+	left int
+}
+
+func (c *cutConn) Read(b []byte) (int, error) {
+	if c.left <= 0 {
+		_ = c.Conn.Close()
+		return 0, errors.New("cutConn: link lost mid-scan")
+	}
+	if len(b) > c.left {
+		b = b[:c.left]
+	}
+	n, err := c.Conn.Read(b)
+	c.left -= n
+	return n, err
 }
 
 func (d *countingDialer) count(addr string) int {
@@ -157,5 +192,62 @@ func TestReplicaClientMetricsSharedWithChildClients(t *testing.T) {
 	}
 	if got := reg.Counter(MetricClientOps, "op", "version").Value(); got != 1 {
 		t.Errorf("version ops = %d, want 1", got)
+	}
+}
+
+// TestReplicaClientKeysFailoverMidScan blackholes the head replica partway
+// through a KEYS response stream: the truncated enumeration must not leak a
+// partial key list — the scan fails over and the promoted replica's answer
+// is byte-identical to the healthy-path result.
+func TestReplicaClientKeysFailoverMidScan(t *testing.T) {
+	addrs, _ := startServers(t, 3)
+	dialer := newCountingDialer()
+	rc := NewReplicaClient(addrs, func(rc *ReplicaClient) {
+		rc.Timeout = time.Second
+		rc.Dialer = dialer.dial
+		rc.Metrics = telemetry.NewRegistry()
+	})
+	defer rc.Close()
+
+	for i := 0; i < 8; i++ {
+		if err := rc.Put(fmt.Sprintf("te/cfg/ins-%02d", i), []byte("cfg")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healthy, err := rc.Keys("te/cfg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healthy) != 8 {
+		t.Fatalf("healthy-path Keys = %v", healthy)
+	}
+
+	// The head now dies 20 bytes into each response: past the KEYS header,
+	// mid key-stream. The scan must treat the torn list as a replica failure,
+	// not as a shorter answer.
+	dialer.cut(addrs[0], 20)
+	got, err := rc.Keys("te/cfg/")
+	if err != nil {
+		t.Fatalf("Keys through a mid-scan blackhole: %v", err)
+	}
+	if len(got) != len(healthy) {
+		t.Fatalf("failover Keys = %v (%d keys), healthy path had %d", got, len(got), len(healthy))
+	}
+	for i := range got {
+		if got[i] != healthy[i] {
+			t.Fatalf("failover Keys diverged at %d: %q vs %q", i, got[i], healthy[i])
+		}
+	}
+	if got := rc.Failovers(); got != 1 {
+		t.Errorf("Failovers = %d, want 1", got)
+	}
+
+	// Promotion held: the next read goes straight to the promoted replica.
+	before := dialer.count(addrs[1])
+	if _, err := rc.Keys("te/cfg/"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dialer.count(addrs[1]); got != before+1 {
+		t.Errorf("promoted replica dials = %d, want %d", got, before+1)
 	}
 }

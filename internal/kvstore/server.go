@@ -18,6 +18,16 @@ import (
 // the largest frame that can legitimately cross the wire.
 const MaxValueLen = 64 << 20
 
+// MaxKeys caps how many keys one KEYS response may announce. The client
+// rejects counts above it the same way Get rejects implausible value
+// lengths; at one config record per instance it is comfortably above the
+// paper's millions-of-endpoints scale split across shards.
+const MaxKeys = 1 << 24
+
+// AllKeysPrefix is the wire sentinel the client sends for an empty Keys
+// prefix — the space-delimited command line cannot carry an empty field.
+const AllKeysPrefix = "*"
+
 // Server exposes a Store over a line-oriented TCP protocol:
 //
 //	VERSION\n                 -> VERSION <n>\n
@@ -25,6 +35,7 @@ const MaxValueLen = 64 << 20
 //	PUT <key> <len>\n<bytes>  -> OK\n
 //	DEL <key>\n               -> OK\n
 //	KEYS <prefix>\n           -> KEYS <n>\n followed by n key lines
+//	                             (prefix "*" enumerates every key)
 //	PUBLISH <version>\n       -> OK <version>\n
 //
 // Connections may issue any number of commands; MegaTE endpoints typically
@@ -215,7 +226,11 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprint(w, "ERR usage: KEYS <prefix>\n")
 				break
 			}
-			keys := s.store.Keys(fields[1]) // already sorted by the store
+			prefix := fields[1]
+			if prefix == AllKeysPrefix {
+				prefix = ""
+			}
+			keys := s.store.Keys(prefix) // already sorted by the store
 			fmt.Fprintf(w, "KEYS %d\n", len(keys))
 			for _, k := range keys {
 				fmt.Fprintln(w, k)

@@ -1,0 +1,163 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"megate/internal/faultnet"
+)
+
+// TestClientKeysRejectsBadCount mirrors the Get bound-check table: a KEYS
+// header announcing a negative, overflowing, or above-cap count is a
+// protocol error, never a read loop.
+func TestClientKeysRejectsBadCount(t *testing.T) {
+	for _, resp := range []string{
+		"KEYS -1\n",
+		"KEYS 99999999999999999999\n", // overflows int: Sscanf fails -> protocol error
+		fmt.Sprintf("KEYS %d\n", MaxKeys+1),
+	} {
+		t.Run(resp, func(t *testing.T) {
+			addr, stop := scriptedServer(t, resp)
+			defer stop()
+			c := &Client{Addr: addr, Timeout: time.Second}
+			_, err := c.Keys("te/")
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("Keys with header %q: err = %v, want ErrProtocol", resp, err)
+			}
+		})
+	}
+}
+
+// TestClientKeysEmptyPrefix pins the "*" wire sentinel: an empty prefix
+// enumerates everything, while a literal "*" prefix stays a literal filter
+// thanks to the client-side re-check.
+func TestClientKeysEmptyPrefix(t *testing.T) {
+	srv, store := newTestServer(t, 2)
+	store.Put("te/cfg/a", []byte("1"))
+	store.Put("other/b", []byte("2"))
+	c := &Client{Addr: srv.Addr(), Timeout: time.Second}
+	all, err := c.Keys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0] != "other/b" || all[1] != "te/cfg/a" {
+		t.Fatalf(`Keys("") = %v, want every key sorted`, all)
+	}
+	star, err := c.Keys("*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star) != 0 {
+		t.Fatalf(`Keys("*") = %v; the sentinel leaked as a wildcard`, star)
+	}
+}
+
+// TestClientTruncatedResponses drives every response-line reader through a
+// server that hangs up mid-line: the failure must classify as ErrTruncated —
+// transport-flavored, so the retry schedule re-runs it — and never as
+// ErrProtocol. A clean zero-byte close stays a bare transport error.
+func TestClientTruncatedResponses(t *testing.T) {
+	cases := []struct {
+		name string
+		resp string
+		op   func(c *Client) error
+	}{
+		{"version", "VERSION 4", func(c *Client) error { _, err := c.Version(); return err }},
+		{"get-header", "VALUE 1", func(c *Client) error { _, _, err := c.Get("k"); return err }},
+		{"keys-tail", "KEYS 2\nte/a\nte/b", func(c *Client) error { _, err := c.Keys("te/"); return err }},
+		{"expect-ok", "O", func(c *Client) error { return c.Delete("k") }},
+		{"publish", "O", func(c *Client) error { return c.Publish(1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr, stop := scriptedServer(t, tc.resp)
+			defer stop()
+			err := tc.op(&Client{Addr: addr, Timeout: time.Second})
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("err = %v, want ErrTruncated", err)
+			}
+			if errors.Is(err, ErrProtocol) {
+				t.Fatalf("err = %v classified as ErrProtocol; a torn line must stay retryable", err)
+			}
+		})
+	}
+
+	// Zero bytes then close: a clean teardown, not a truncation.
+	addr, stop := scriptedServer(t, "")
+	defer stop()
+	_, err := (&Client{Addr: addr, Timeout: time.Second}).Version()
+	if err == nil || errors.Is(err, ErrTruncated) || errors.Is(err, ErrProtocol) {
+		t.Fatalf("clean EOF classified as %v; want a bare transport error", err)
+	}
+}
+
+// TestTornServerWriteRetries is the faultnet regression for the torn-frame
+// path end to end: a fabric tearing the server's response writes must
+// surface a retryable (non-protocol) error, and once the link heals a Retry
+// client recovers without caller-visible failure.
+func TestTornServerWriteRetries(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := faultnet.New(11)
+	srv := Serve(fab.Listener("db", l), NewStore(1))
+	defer srv.Close()
+	fab.SetFaults("db", "*", faultnet.Faults{PartialWriteProb: 1})
+
+	c := &Client{Addr: srv.Addr(), Timeout: time.Second}
+	_, verr := c.Version()
+	if verr == nil {
+		t.Fatal("Version through a torn link succeeded")
+	}
+	if errors.Is(verr, ErrProtocol) {
+		t.Fatalf("torn response classified as protocol error: %v; Backoff.Do would give up", verr)
+	}
+
+	fab.HealAll()
+	rc := &Client{Addr: srv.Addr(), Timeout: time.Second, Retry: &Backoff{Attempts: 3, Base: time.Millisecond, Seed: 1}}
+	if _, err := rc.Version(); err != nil {
+		t.Fatalf("Version after heal: %v", err)
+	}
+}
+
+// TestClientRetriesTruncatedResponse counts connections to prove the retry
+// schedule actually re-runs a truncated operation.
+func TestClientRetriesTruncatedResponse(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepts atomic.Int64
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				buf := make([]byte, 64)
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+				_, _ = c.Write([]byte("VERSION 7")) // no terminator, then close
+			}(c)
+		}
+	}()
+	defer func() { _ = l.Close() }()
+
+	c := &Client{Addr: l.Addr().String(), Timeout: time.Second,
+		Retry: &Backoff{Attempts: 3, Base: time.Millisecond, Seed: 2}}
+	if _, err := c.Version(); err == nil {
+		t.Fatal("Version against an always-truncating server succeeded")
+	}
+	if got := accepts.Load(); got != 3 {
+		t.Fatalf("server saw %d connections, want 3 (truncation must be retried)", got)
+	}
+}

@@ -212,7 +212,10 @@ func fmtLabels(pairs []string) string {
 	return b.String()
 }
 
-func (r *Registry) lookup(name string, labels []string, k kind) *entry {
+// lookup get-or-creates the entry for the series and initializes its
+// instrument while still holding the registry mutex — concurrent first
+// touches of the same series must both return the one instrument.
+func (r *Registry) lookup(name string, labels []string, k kind, init func(*entry)) *entry {
 	ls := fmtLabels(labels)
 	key := name + "{" + ls + "}"
 	r.mu.Lock()
@@ -224,6 +227,7 @@ func (r *Registry) lookup(name string, labels []string, k kind) *entry {
 		return e
 	}
 	e := &entry{name: name, labels: ls, kind: k}
+	init(e)
 	r.entries[key] = e
 	return e
 }
@@ -231,32 +235,20 @@ func (r *Registry) lookup(name string, labels []string, k kind) *entry {
 // Counter returns the counter for name and the ordered label pairs,
 // creating it on first use.
 func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
-	e := r.lookup(name, labelPairs, kindCounter)
-	if e.c == nil {
-		e.c = &Counter{}
-	}
-	return e.c
+	return r.lookup(name, labelPairs, kindCounter, func(e *entry) { e.c = &Counter{} }).c
 }
 
 // Gauge returns the gauge for name and the ordered label pairs, creating it
 // on first use.
 func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
-	e := r.lookup(name, labelPairs, kindGauge)
-	if e.g == nil {
-		e.g = &Gauge{}
-	}
-	return e.g
+	return r.lookup(name, labelPairs, kindGauge, func(e *entry) { e.g = &Gauge{} }).g
 }
 
 // Histogram returns the histogram for name and the ordered label pairs,
 // creating it with the given bucket bounds on first use (a later caller's
 // bounds are ignored — the first registration wins).
 func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string) *Histogram {
-	e := r.lookup(name, labelPairs, kindHistogram)
-	if e.h == nil {
-		e.h = NewHistogram(bounds)
-	}
-	return e.h
+	return r.lookup(name, labelPairs, kindHistogram, func(e *entry) { e.h = NewHistogram(bounds) }).h
 }
 
 // Bucket is one cumulative histogram bucket in a snapshot.
@@ -393,3 +385,7 @@ var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 
 
 // CountBuckets are small-integer bounds for lags and retry counts.
 var CountBuckets = []float64{0, 1, 2, 4, 8, 16, 32}
+
+// WideCountBuckets are power-of-four integer bounds for counts that range
+// from a handful to many thousands — rebalance moved-keys, batch sizes.
+var WideCountBuckets = []float64{0, 1, 4, 16, 64, 256, 1024, 4096, 16384}

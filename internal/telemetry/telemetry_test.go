@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -101,6 +102,40 @@ func TestConcurrentInstruments(t *testing.T) {
 	}
 	if got := r.Histogram("h_seconds", TimeBuckets).Count(); got != workers*perWorker {
 		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestConcurrentFirstTouch pins the get-or-create race: many goroutines
+// released at once all first-touch the same fresh labeled series, which
+// must yield exactly one instrument (a duplicate would lose increments).
+// Regression test for instrument initialization escaping the registry
+// mutex.
+func TestConcurrentFirstTouch(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	for round := 0; round < 50; round++ {
+		name := "first_touch_total"
+		label := "round-" + strconv.Itoa(round)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				r.Counter(name, "r", label, "i", "0").Inc()
+				r.Gauge(name+"_g", "r", label).Add(1)
+				r.Histogram(name+"_h", CountBuckets, "r", label).Observe(1)
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if got := r.Counter(name, "r", label, "i", "0").Value(); got != workers {
+			t.Fatalf("round %d: counter = %d, want %d (first touch raced)", round, got, workers)
+		}
+		if got := r.Histogram(name+"_h", CountBuckets, "r", label).Count(); got != workers {
+			t.Fatalf("round %d: histogram count = %d, want %d", round, got, workers)
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"net"
 
 	"megate/internal/baselines"
+	"megate/internal/cluster"
 	"megate/internal/controlplane"
 	"megate/internal/core"
 	"megate/internal/flowsim"
@@ -205,6 +206,32 @@ func NewTEDatabaseReplicaClient(addrs []string) *TEDatabaseReplicaClient {
 	return kvstore.NewReplicaClient(addrs)
 }
 
+// TEDatabaseCluster is the horizontally partitioned deployment of the TE
+// database: records are spread across shards by consistent hashing, point
+// operations route to the owning shard, enumeration scatter-gathers, and
+// shards can be added or drained live with minimal key movement.
+type TEDatabaseCluster = cluster.Client
+
+// NewTEDatabaseClusterClient returns an empty sharded-database view with
+// the default ring parameters; Join adds shards, each reached through its
+// own (caller-configured) node client. Every participant — controllers,
+// agents, operators — must build its view from the same shard names so
+// ownership agrees.
+func NewTEDatabaseClusterClient() *TEDatabaseCluster { return cluster.New(0, 0) }
+
+// NewClusterClient builds a sharded-database client over the given shard
+// addresses, one shard per address, named by its address.
+func NewClusterClient(addrs []string) (*TEDatabaseCluster, error) {
+	c := NewTEDatabaseClusterClient()
+	for _, a := range addrs {
+		if err := c.Join(a, &kvstore.Client{Addr: a}); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
 // Controller is the TE control plane: it solves each interval and publishes
 // versioned per-instance configurations to the TE database.
 type Controller = controlplane.Controller
@@ -233,6 +260,23 @@ func RecoverController(c *Controller, client *TEDatabaseReplicaClient) (int, err
 	return c.Recover(controlplane.ReplicaAdapter{Client: client})
 }
 
+// NewClusterController wires a solver to a sharded database: each record is
+// written to its owning shard and the version epoch fans out to every
+// shard. Write-error tolerance is on — a lost shard degrades only the
+// records homed on it while every surviving shard keeps converging.
+func NewClusterController(solver *Solver, client *TEDatabaseCluster) *Controller {
+	c := controlplane.NewController(solver, controlplane.ClusterAdapter{Client: client})
+	c.TolerateWriteErrors = true
+	return c
+}
+
+// RecoverClusterController rebuilds a restarted controller's
+// delta-publication state from the sharded database's scatter-gathered
+// enumeration. It returns the number of records restored.
+func RecoverClusterController(c *Controller, client *TEDatabaseCluster) (int, error) {
+	return c.Recover(controlplane.ClusterAdapter{Client: client})
+}
+
 // Agent is the endpoint agent: it polls the TE database with short
 // connections (spread over the poll window) and installs SR paths into the
 // host's path_map on version changes.
@@ -256,6 +300,18 @@ func NewRemoteAgent(instance string, client *TEDatabaseClient, host *Host) *Agen
 // replicas when polling.
 func NewReplicaAgent(instance string, client *TEDatabaseReplicaClient, host *Host) *Agent {
 	return &Agent{Instance: instance, Reader: controlplane.ReplicaAdapter{Client: client}, Host: host}
+}
+
+// NewClusterAgent creates an agent for the sharded database: both its
+// version poll and its config pull go only to the shard owning the
+// instance's config key, so per-shard poll load stays flat as shards are
+// added and a shard outage touches only the agents homed on it.
+func NewClusterAgent(instance string, client *TEDatabaseCluster, host *Host) *Agent {
+	return &Agent{
+		Instance: instance,
+		Reader:   controlplane.ClusterHomeReader{Client: client, Key: controlplane.ConfigKey(instance)},
+		Host:     host,
+	}
 }
 
 // Host is the eBPF-based end-host networking stack (§5): instance
@@ -379,6 +435,7 @@ func RegisterCoreMetrics(r *MetricsRegistry) {
 	}
 	kvstore.RegisterMetrics(r)
 	controlplane.RegisterMetrics(r)
+	cluster.RegisterMetrics(r)
 }
 
 // ServeMetrics starts the telemetry exporter on addr serving r (nil means

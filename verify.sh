@@ -9,12 +9,13 @@ go vet ./...
 go build ./...
 go run ./cmd/megate-lint ./...
 go test ./...
-go test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/ ./internal/telemetry/
+go test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/ ./internal/telemetry/ ./internal/cluster/
 # Regression gate for the agent stats data race: accessors hammered while
 # Run's poll goroutine mutates the counters.
 go test -race -run TestAgentStatsUnderRun ./internal/controlplane/
 # Short-mode chaos pass under the race detector: the full control loop
-# (controller, replicated servers, agent fleet) under the fault timeline.
+# (controller, replicated servers, agent fleet) under the fault timeline —
+# TestChaos matches the shard-loss scenario (TestChaosShardLoss) too.
 go test -race -short -run TestChaos .
 # Exporter smoke: controller with -telemetry-addr scraped over real HTTP.
 go test -run TestMetricsSmoke .
