@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke
+.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke megascale-short
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ metrics-smoke:
 
 lint:
 	$(GO) run ./cmd/megate-lint ./...
+
+# Megascale pipeline gate: a truncated ab-megascale sweep through the full
+# streamed interval (solve -> per-shard batched publication), plus the
+# zero-alloc gate on the stage-2 per-pair hot path — the benchmark output
+# must report 0 allocs/op.
+megascale-short:
+	$(GO) run ./cmd/megate-bench -experiment ab-megascale -megascale-flows 20000,50000
+	$(GO) test -run TestStage2PairZeroAlloc -bench BenchmarkStage2Pair -benchmem ./internal/core/ | tee /tmp/megate-stage2-bench.out
+	grep -q ' 0 allocs/op' /tmp/megate-stage2-bench.out
 
 # Bounded fuzzing for CI: each target gets a short budget on top of its
 # checked-in seed corpus. `go test` accepts one -fuzz per invocation.

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"megate/internal/bench"
@@ -22,8 +24,21 @@ func main() {
 		scale      = flag.Float64("scale", 1, "size multiplier: 1 laptop, 4 paper-sized")
 		seed       = flag.Int64("seed", 42, "random seed")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		msFlows    = flag.String("megascale-flows", "", "comma-separated flow counts overriding the ab-megascale sweep (e.g. 20000,50000)")
 	)
 	flag.Parse()
+
+	var flowCounts []int
+	if *msFlows != "" {
+		for _, part := range strings.Split(*msFlows, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -megascale-flows entry %q\n", part)
+				os.Exit(2)
+			}
+			flowCounts = append(flowCounts, n)
+		}
+	}
 
 	if *list {
 		for _, e := range bench.Registry {
@@ -32,7 +47,7 @@ func main() {
 		return
 	}
 
-	cfg := &bench.Config{Out: os.Stdout, Scale: *scale, Seed: *seed}
+	cfg := &bench.Config{Out: os.Stdout, Scale: *scale, Seed: *seed, MegascaleFlows: flowCounts}
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {

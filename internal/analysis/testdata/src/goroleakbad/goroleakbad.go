@@ -2,7 +2,10 @@
 // `// want goroleak` must be flagged, everything else must stay clean.
 package goroleakbad
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // Leak launches a goroutine nothing can wait for or stop.
 func Leak(work func()) {
@@ -82,4 +85,57 @@ func MigrateJoined(sources []string) {
 		}()
 	}
 	wg.Wait()
+}
+
+func solvePair(p int) int { return p }
+
+// StreamLeak is the streaming worker-pool shape gone wrong: workers send
+// results into an unbuffered channel, and the consumer returns early on a
+// bad result — every still-running worker blocks on its send forever. With
+// no join evidence on the launch, the leak is structural, not incidental.
+func StreamLeak(pairs []int) ([]int, error) {
+	results := make(chan int)
+	for _, p := range pairs {
+		p := p
+		go func() { // want goroleak
+			results <- solvePair(p)
+		}()
+	}
+	out := make([]int, 0, len(pairs))
+	for range pairs {
+		r := <-results
+		if r < 0 {
+			return nil, errBadPair // strands the unreceived senders
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+var errBadPair = errors.New("bad pair")
+
+// StreamJoined is the sanctioned streaming shape: counted workers, a full
+// join before close, and error handling deferred until the channel is
+// drained — an early return cannot strand a sender.
+func StreamJoined(pairs []int) ([]int, error) {
+	results := make(chan int, len(pairs))
+	var wg sync.WaitGroup
+	for _, p := range pairs {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- solvePair(p)
+		}()
+	}
+	wg.Wait()
+	close(results)
+	out := make([]int, 0, len(pairs))
+	for r := range results {
+		if r < 0 {
+			return nil, errBadPair
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }

@@ -25,6 +25,9 @@ type Config struct {
 	Scale float64
 	// Seed makes runs reproducible.
 	Seed int64
+	// MegascaleFlows overrides the flow-count sweep of ab-megascale
+	// (default 100k/300k/1M) — the short CI lane passes a truncated list.
+	MegascaleFlows []int
 }
 
 func (c *Config) out() io.Writer {
@@ -79,6 +82,7 @@ var Registry = []Experiment{
 	{ID: "ab-converge", Title: "Ablation: convergence time after a publish (real TCP agents)", Run: RunAblationConverge},
 	{ID: "ab-incremental", Title: "Ablation: incremental interval-to-interval solving under demand churn", Run: RunIncremental},
 	{ID: "ab-shardscale", Title: "Ablation: sharded TE-database read throughput vs shard count", Run: RunShardScale},
+	{ID: "ab-megascale", Title: "Ablation: megascale streamed interval pipeline (TWAN, 100k-1M flows)", Run: RunMegascale},
 }
 
 // Get returns the experiment with the given ID.

@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "fig17",
 		"ab-fastssp", "ab-contraction", "ab-spread", "ab-qos", "ab-residual",
 		"ab-hybrid", "ab-sitelp", "ab-converge", "ab-incremental", "ab-shardscale",
+		"ab-megascale",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -54,6 +55,45 @@ func TestIncrementalMeasurement(t *testing.T) {
 	for i, iv := range rep.Intervals[1:] {
 		if iv.Stage2Hits == 0 {
 			t.Errorf("interval %d: no stage-2 cache hits despite 5%% churn", i+1)
+		}
+	}
+}
+
+func TestMegascaleMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second interval sweep")
+	}
+	rep, err := MeasureMegascale(&Config{Seed: 7, MegascaleFlows: []int{4000, 8000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Cold.ConfigsWritten == 0 {
+			t.Errorf("%d flows: cold interval wrote no configs", pt.Flows)
+		}
+		if pt.Warm.ConfigsWritten >= pt.Cold.ConfigsWritten {
+			t.Errorf("%d flows: warm wrote %d configs, cold %d — delta publication ineffective",
+				pt.Flows, pt.Warm.ConfigsWritten, pt.Cold.ConfigsWritten)
+		}
+		if pt.Stage2CacheHits == 0 {
+			t.Errorf("%d flows: no stage-2 cache hits on the warm interval", pt.Flows)
+		}
+		// The streamed publisher must land most final writes before the
+		// sweep — that is the overlap the pipeline exists for.
+		if pt.OverlapFraction <= 0.5 {
+			t.Errorf("%d flows: publish overlap fraction %.2f, want > 0.5", pt.Flows, pt.OverlapFraction)
+		}
+		if pt.BatchFlushes == 0 {
+			t.Errorf("%d flows: no batched shard flushes recorded", pt.Flows)
+		}
+		// Warm-interval allocation stays bounded: pooled scratch keeps the
+		// steady state far below the cold interval's build-everything cost.
+		if pt.Warm.AllocMB >= pt.Cold.AllocMB {
+			t.Errorf("%d flows: warm interval allocated %.1f MB, cold %.1f MB",
+				pt.Flows, pt.Warm.AllocMB, pt.Cold.AllocMB)
 		}
 	}
 }

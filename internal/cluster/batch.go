@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"megate/internal/kvstore"
+)
+
+// BatchPutter is the optional NodeClient extension for nodes that accept a
+// whole write batch in one wire round-trip. *kvstore.Client implements it
+// with pipelined PUTs; nodes without it degrade to sequential Puts inside
+// PutBatch, preserving semantics at the old cost.
+type BatchPutter interface {
+	PutBatch(keys []string, values [][]byte) (acked int, err error)
+}
+
+// PutBatch stores every key/value pair on its owning shard, grouping the
+// records per shard and issuing one batched round-trip per shard, shards in
+// parallel. It is the streaming delta publisher's write path: instead of one
+// round-trip per changed config, one per (shard, flush).
+//
+// On return, failed lists the indices (into keys) of pairs that were not
+// durably stored, and err joins the per-shard causes; failed is nil exactly
+// when err is nil. Like the point Put, the batch is not atomic across or
+// within shards — a controller tolerating write errors re-publishes failed
+// records next interval (the delta layer keeps their hashes dirty).
+func (c *Client) PutBatch(keys []string, values [][]byte) (failed []int, err error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("cluster: PutBatch length mismatch: %d keys, %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+
+	// Group record indices by owning shard under one ring snapshot so a
+	// membership change mid-call cannot split the view.
+	c.mu.RLock()
+	groups := make(map[string][]int)
+	for i, k := range keys {
+		name := c.ring.Owner(k)
+		if name == "" {
+			c.mu.RUnlock()
+			all := make([]int, len(keys))
+			for j := range all {
+				all[j] = j
+			}
+			return all, ErrNoNodes
+		}
+		groups[name] = append(groups[name], i)
+	}
+	clients := make(map[string]NodeClient, len(groups))
+	for name := range groups {
+		clients[name] = c.nodes[name]
+	}
+	c.mu.RUnlock()
+
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	m := c.metrics()
+	perShardFailed := make([][]int, len(names))
+	perShardErr := make([]error, len(names))
+	var wg sync.WaitGroup
+	for gi, name := range names {
+		gi, name := gi, name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := groups[name]
+			nc := clients[name]
+			m.batchKeys.Observe(float64(len(idx)))
+			skeys := make([]string, len(idx))
+			svals := make([][]byte, len(idx))
+			for j, i := range idx {
+				skeys[j], svals[j] = keys[i], values[i]
+			}
+			if bp, ok := nc.(BatchPutter); ok {
+				acked, err := bp.PutBatch(skeys, svals)
+				m.op(name, "mput", err)
+				if err != nil {
+					// A torn batch acknowledges a prefix; everything from
+					// the first unacknowledged record on is unconfirmed.
+					if acked < 0 || acked > len(idx) {
+						acked = 0
+					}
+					perShardFailed[gi] = idx[acked:]
+					perShardErr[gi] = fmt.Errorf("%s: %w", name, err)
+				}
+				return
+			}
+			// Degraded path: sequential point writes, continuing past
+			// failures so one bad record does not doom the rest.
+			var errs []error
+			for j, k := range skeys {
+				err := nc.Put(k, svals[j])
+				m.op(name, "put", err)
+				if err != nil {
+					perShardFailed[gi] = append(perShardFailed[gi], idx[j])
+					errs = append(errs, err)
+				}
+			}
+			if len(errs) > 0 {
+				perShardErr[gi] = fmt.Errorf("%s: %w", name, errors.Join(errs...))
+			}
+		}()
+	}
+	wg.Wait()
+
+	var causes []error
+	for gi := range names {
+		failed = append(failed, perShardFailed[gi]...)
+		if perShardErr[gi] != nil {
+			causes = append(causes, perShardErr[gi])
+		}
+	}
+	if len(causes) > 0 {
+		sort.Ints(failed)
+		return failed, fmt.Errorf("cluster: batch put failed for %d/%d records: %w", len(failed), len(keys), errors.Join(causes...))
+	}
+	return nil, nil
+}
+
+// StoreNode adapts an in-process *kvstore.Store to the NodeClient surface,
+// letting benchmarks and tests assemble a multi-shard cluster without TCP
+// servers. It implements BatchPutter so the batched write path is exercised.
+type StoreNode struct {
+	Store *kvstore.Store
+}
+
+func (n StoreNode) Version() (uint64, error) { return n.Store.Version(), nil }
+
+func (n StoreNode) Get(key string) ([]byte, bool, error) {
+	v, ok := n.Store.Get(key)
+	return v, ok, nil
+}
+
+func (n StoreNode) Put(key string, value []byte) error {
+	n.Store.Put(key, value)
+	return nil
+}
+
+func (n StoreNode) Delete(key string) error {
+	n.Store.Delete(key)
+	return nil
+}
+
+func (n StoreNode) Keys(prefix string) ([]string, error) { return n.Store.Keys(prefix), nil }
+
+func (n StoreNode) Publish(v uint64) error {
+	n.Store.Publish(v)
+	return nil
+}
+
+func (n StoreNode) PutBatch(keys []string, values [][]byte) (int, error) {
+	for i, k := range keys {
+		n.Store.Put(k, values[i])
+	}
+	return len(keys), nil
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// TestPutBatchPlacement drives a batch across real TCP nodes: every record
+// must land on exactly its ring owner, identical to sequential Puts.
+func TestPutBatchPlacement(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	addrs, direct := startNodes(t, 3, reg)
+	c := newTestCluster(t, addrs, reg)
+
+	var keys []string
+	var values [][]byte
+	for i := 0; i < 120; i++ {
+		keys = append(keys, fmt.Sprintf("te/cfg/i-%04d", i))
+		values = append(values, []byte(fmt.Sprintf("cfg-%d", i)))
+	}
+	failed, err := c.PutBatch(keys, values)
+	if err != nil || failed != nil {
+		t.Fatalf("PutBatch: failed=%v err=%v", failed, err)
+	}
+	placement(t, c, direct)
+	for i, k := range keys {
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || !bytes.Equal(v, values[i]) {
+			t.Fatalf("get %s: ok=%v err=%v", k, ok, err)
+		}
+	}
+	// The batch must reach each shard as one pipelined mput, not per-key
+	// round trips.
+	var mputs, puts uint64
+	for _, name := range c.Nodes() {
+		mputs += reg.Counter(MetricClusterNodeOps, "node", name, "op", "mput").Value()
+		puts += reg.Counter(MetricClusterNodeOps, "node", name, "op", "put").Value()
+	}
+	if mputs == 0 || mputs > 3 {
+		t.Errorf("mput ops = %v, want 1..3 (one per shard)", mputs)
+	}
+	if puts != 0 {
+		t.Errorf("point put ops = %v, want 0 (batch path only)", puts)
+	}
+}
+
+// TestPutBatchStoreNodes runs the same contract over in-process StoreNodes —
+// the harness the megascale bench uses.
+func TestPutBatchStoreNodes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(32, 11, func(c *Client) { c.Metrics = reg })
+	stores := make([]*kvstore.Store, 4)
+	for i := range stores {
+		stores[i] = kvstore.NewStore(4)
+		if err := c.Join(fmt.Sprintf("db%d", i), StoreNode{Store: stores[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	var values [][]byte
+	for i := 0; i < 400; i++ {
+		keys = append(keys, fmt.Sprintf("te/cfg/i-%04d", i))
+		values = append(values, []byte{byte(i)})
+	}
+	if failed, err := c.PutBatch(keys, values); err != nil || failed != nil {
+		t.Fatalf("PutBatch: failed=%v err=%v", failed, err)
+	}
+	total := 0
+	for _, s := range stores {
+		total += s.Len()
+	}
+	if total != len(keys) {
+		t.Fatalf("stored %d keys across shards, want %d", total, len(keys))
+	}
+	for i, k := range keys {
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || !bytes.Equal(v, values[i]) {
+			t.Fatalf("get %s: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+// failingNode wraps a NodeClient, failing all writes.
+type failingNode struct {
+	NodeClient
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (f failingNode) Put(string, []byte) error { return errInjected }
+func (f failingNode) PutBatch(keys []string, values [][]byte) (int, error) {
+	return 0, errInjected
+}
+
+// TestPutBatchPartialFailure kills one shard's writes: PutBatch must report
+// exactly that shard's records as failed while the rest are durably stored —
+// the contract TolerateWriteErrors publication relies on.
+func TestPutBatchPartialFailure(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(32, 11, func(c *Client) { c.Metrics = reg })
+	stores := make([]*kvstore.Store, 3)
+	for i := range stores {
+		stores[i] = kvstore.NewStore(4)
+		var nc NodeClient = StoreNode{Store: stores[i]}
+		if i == 1 {
+			nc = failingNode{NodeClient: nc}
+		}
+		if err := c.Join(fmt.Sprintf("db%d", i), nc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	var values [][]byte
+	for i := 0; i < 300; i++ {
+		keys = append(keys, fmt.Sprintf("te/cfg/i-%04d", i))
+		values = append(values, []byte("v"))
+	}
+	failed, err := c.PutBatch(keys, values)
+	if err == nil {
+		t.Fatal("expected error from failing shard")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("error does not wrap the injected cause: %v", err)
+	}
+	failedSet := make(map[int]bool, len(failed))
+	for _, i := range failed {
+		failedSet[i] = true
+	}
+	for i, k := range keys {
+		owner := c.Owner(k)
+		if owner == "db1" && !failedSet[i] {
+			t.Errorf("record %d owned by failing shard not reported failed", i)
+		}
+		if owner != "db1" {
+			if failedSet[i] {
+				t.Errorf("record %d on healthy shard reported failed", i)
+			}
+			if _, ok, _ := c.Get(k); !ok {
+				t.Errorf("record %d missing from healthy shard", i)
+			}
+		}
+	}
+}

@@ -14,6 +14,10 @@ const (
 	MetricClusterMigrations = "megate_cluster_migrations_total"
 	MetricClusterMovedKeys  = "megate_cluster_rebalance_moved_keys"
 	MetricClusterNodes      = "megate_cluster_nodes"
+	// MetricClusterBatchKeys sizes the per-shard groups of PutBatch calls —
+	// the batching-efficiency evidence of the streaming publisher (large
+	// buckets mean the delta writes really are amortized per shard).
+	MetricClusterBatchKeys = "megate_cluster_batch_keys"
 )
 
 // migrationKinds are the label values of MetricClusterMigrations.
@@ -35,6 +39,7 @@ func RegisterMetrics(r *telemetry.Registry) {
 type clusterMetrics struct {
 	r         *telemetry.Registry
 	movedKeys *telemetry.Histogram
+	batchKeys *telemetry.Histogram
 	nodes     *telemetry.Gauge
 }
 
@@ -42,6 +47,7 @@ func newClusterMetrics(r *telemetry.Registry) *clusterMetrics {
 	return &clusterMetrics{
 		r:         r,
 		movedKeys: r.Histogram(MetricClusterMovedKeys, telemetry.WideCountBuckets),
+		batchKeys: r.Histogram(MetricClusterBatchKeys, telemetry.WideCountBuckets),
 		nodes:     r.Gauge(MetricClusterNodes),
 	}
 }

@@ -28,6 +28,13 @@ func (a ClusterAdapter) PublishVersion(v uint64) error {
 	return a.Client.Publish(v)
 }
 
+// PutConfigBatch implements BatchConfigStore: records are grouped by owning
+// shard and each shard gets one pipelined round-trip, shards in parallel —
+// the write path the streaming publisher encodes into directly.
+func (a ClusterAdapter) PutConfigBatch(keys []string, values [][]byte) ([]int, error) {
+	return a.Client.PutBatch(keys, values)
+}
+
 // ReadVersion implements ConfigReader: the cluster version, i.e. the
 // minimum epoch across shards.
 func (a ClusterAdapter) ReadVersion() (uint64, error) { return a.Client.Version() }

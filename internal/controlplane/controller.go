@@ -85,6 +85,14 @@ func (a StoreAdapter) PublishVersion(v uint64) error {
 	return nil
 }
 
+// PutConfigBatch implements BatchConfigStore; in-process puts cannot fail.
+func (a StoreAdapter) PutConfigBatch(keys []string, values [][]byte) ([]int, error) {
+	for i, k := range keys {
+		a.Store.Put(k, values[i])
+	}
+	return nil, nil
+}
+
 // ClientAdapter adapts a *kvstore.Client over TCP.
 type ClientAdapter struct{ Client *kvstore.Client }
 
@@ -101,6 +109,24 @@ func (a ClientAdapter) DeleteConfig(key string) error {
 // PublishVersion implements ConfigStore.
 func (a ClientAdapter) PublishVersion(v uint64) error {
 	return a.Client.Publish(v)
+}
+
+// PutConfigBatch implements BatchConfigStore with one pipelined round-trip.
+// A single kvstore server acknowledges a prefix of the batch; everything from
+// the first unacknowledged record on is reported failed.
+func (a ClientAdapter) PutConfigBatch(keys []string, values [][]byte) ([]int, error) {
+	acked, err := a.Client.PutBatch(keys, values)
+	if err == nil {
+		return nil, nil
+	}
+	if acked < 0 || acked > len(keys) {
+		acked = 0
+	}
+	failed := make([]int, 0, len(keys)-acked)
+	for i := acked; i < len(keys); i++ {
+		failed = append(failed, i)
+	}
+	return failed, err
 }
 
 // Controller runs the periodic TE loop: solve, write configs, publish.

@@ -25,6 +25,14 @@ const (
 	MetricConfigsSkipped       = "megate_controller_configs_skipped_total"
 	MetricConfigWriteErrors    = "megate_controller_config_write_errors_total"
 	MetricControllerSolveFails = "megate_controller_solve_failures_total"
+
+	// Streaming-pipeline metrics (RunIntervalStreaming): the depth of the
+	// solver→publisher chunk queue, the per-stage cost of the streaming
+	// publisher, and the fraction of record writes that overlapped the solve
+	// instead of trailing it.
+	MetricStreamDepth        = "megate_controller_stream_depth"
+	MetricStreamStageSeconds = "megate_controller_stream_stage_seconds"
+	MetricPublishOverlapFrac = "megate_controller_publish_overlap_fraction"
 )
 
 // SolveStages are the label values of MetricSolveStageSeconds, matching the
@@ -32,6 +40,11 @@ const (
 // (MaxSiteFlow), per-flow path assignment (FastSSP), and the kvstore
 // publication pass.
 var SolveStages = []string{"sitemerge", "maxsiteflow", "fastssp", "publish"}
+
+// StreamStages are the label values of MetricStreamStageSeconds: config
+// encoding (JSON + hashing), batched shard flushes, and the post-solve sweep
+// that reconciles streamed state with the final assignment.
+var StreamStages = []string{"encode", "flush", "sweep"}
 
 // RegisterMetrics pre-registers the control-plane metric inventory in r so
 // scrapes see the full name set before the first interval or poll.
@@ -63,29 +76,38 @@ func newAgentMetrics(r *telemetry.Registry) *agentMetrics {
 }
 
 type controllerMetrics struct {
-	stage      map[string]*telemetry.Histogram
-	interval   *telemetry.Histogram
-	intervals  *telemetry.Counter
-	written    *telemetry.Counter
-	deleted    *telemetry.Counter
-	skipped    *telemetry.Counter
-	writeErrs  *telemetry.Counter
-	solveFails *telemetry.Counter
+	stage       map[string]*telemetry.Histogram
+	interval    *telemetry.Histogram
+	intervals   *telemetry.Counter
+	written     *telemetry.Counter
+	deleted     *telemetry.Counter
+	skipped     *telemetry.Counter
+	writeErrs   *telemetry.Counter
+	solveFails  *telemetry.Counter
+	streamDepth *telemetry.Gauge
+	streamStage map[string]*telemetry.Histogram
+	overlapFrac *telemetry.Gauge
 }
 
 func newControllerMetrics(r *telemetry.Registry) *controllerMetrics {
 	m := &controllerMetrics{
-		stage:      make(map[string]*telemetry.Histogram, len(SolveStages)),
-		interval:   r.Histogram(MetricIntervalSeconds, telemetry.TimeBuckets),
-		intervals:  r.Counter(MetricIntervals),
-		written:    r.Counter(MetricConfigsWritten),
-		deleted:    r.Counter(MetricConfigsDeleted),
-		skipped:    r.Counter(MetricConfigsSkipped),
-		writeErrs:  r.Counter(MetricConfigWriteErrors),
-		solveFails: r.Counter(MetricControllerSolveFails),
+		stage:       make(map[string]*telemetry.Histogram, len(SolveStages)),
+		interval:    r.Histogram(MetricIntervalSeconds, telemetry.TimeBuckets),
+		intervals:   r.Counter(MetricIntervals),
+		written:     r.Counter(MetricConfigsWritten),
+		deleted:     r.Counter(MetricConfigsDeleted),
+		skipped:     r.Counter(MetricConfigsSkipped),
+		writeErrs:   r.Counter(MetricConfigWriteErrors),
+		solveFails:  r.Counter(MetricControllerSolveFails),
+		streamDepth: r.Gauge(MetricStreamDepth),
+		streamStage: make(map[string]*telemetry.Histogram, len(StreamStages)),
+		overlapFrac: r.Gauge(MetricPublishOverlapFrac),
 	}
 	for _, s := range SolveStages {
 		m.stage[s] = r.Histogram(MetricSolveStageSeconds, telemetry.TimeBuckets, "stage", s)
+	}
+	for _, s := range StreamStages {
+		m.streamStage[s] = r.Histogram(MetricStreamStageSeconds, telemetry.TimeBuckets, "stage", s)
 	}
 	return m
 }

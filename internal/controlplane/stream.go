@@ -1,0 +1,436 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megate/internal/core"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// BatchConfigStore is the optional ConfigStore extension for stores that can
+// absorb a whole write batch at once — one pipelined round-trip per kvstore
+// server, or one per owning shard for the cluster. The streaming publisher
+// flushes through it when available and degrades to point PutConfig calls
+// otherwise.
+//
+// failed lists the indices (into keys) of records that were not durably
+// stored; it is nil exactly when err is nil.
+type BatchConfigStore interface {
+	PutConfigBatch(keys []string, values [][]byte) (failed []int, err error)
+}
+
+// putConfigBatch routes a batch through the store's batched path when it has
+// one, falling back to sequential point writes with the same per-record
+// failure reporting.
+func putConfigBatch(store ConfigStore, keys []string, values [][]byte) ([]int, error) {
+	if bs, ok := store.(BatchConfigStore); ok {
+		return bs.PutConfigBatch(keys, values)
+	}
+	var failed []int
+	var errs []error
+	for i, k := range keys {
+		if err := store.PutConfig(k, values[i]); err != nil {
+			failed = append(failed, i)
+			errs = append(errs, fmt.Errorf("%s: %w", k, err))
+		}
+	}
+	if len(errs) > 0 {
+		return failed, errors.Join(errs...)
+	}
+	return nil, nil
+}
+
+// pathSlot is one (instance, dstSite) routing decision under construction:
+// the tunnel chosen for the highest matrix flow index seen so far. Keeping
+// the index replicates BuildConfigs' last-flow-wins overwrite rule without
+// depending on chunk arrival order.
+type pathSlot struct {
+	flow int32
+	tn   *topology.Tunnel
+}
+
+// instEntry accumulates one instance's streamed path decisions.
+type instEntry struct {
+	site  topology.SiteID
+	slots map[uint32]pathSlot
+	// dirty marks slot changes since the last flush evaluation; eval/hash
+	// memoize that evaluation so the finish sweep can skip re-encoding the
+	// (vast) majority of instances that did not change after their site
+	// flushed — at a million flows this is the difference between a sweep
+	// that hashes a handful of residual-pass instances and one that
+	// re-serializes the whole fleet.
+	dirty bool
+	eval  bool
+	hash  uint64
+}
+
+// streamPublisher is a core.StreamSink that encodes instance configurations
+// and writes them to the TE database while stage two is still solving other
+// sites. Chunks flow through a buffered channel into a single consumer
+// goroutine that owns all publisher state; on each SiteDone marker the
+// consumer flushes that site's dirty instances as one batched store write.
+// After the solve returns, finish reconciles: instances the residual pass
+// (or a failed flush) left stale are rewritten, streamed records whose bytes
+// already match the final assignment are accepted as-is, stale records are
+// deleted, and the version is published — yielding exactly the store state
+// and stats of the barriered RunInterval.
+//
+// Intermediate writes are invisible to agents until PublishVersion: the
+// version-poll protocol is what makes overlapping publish with solve safe.
+type streamPublisher struct {
+	c    *Controller
+	cm   *controllerMetrics
+	topo *topology.Topology
+	m    *traffic.Matrix
+	// version is the version the interval will publish; streamed records are
+	// encoded with it up front.
+	version uint64
+
+	ch       chan *core.StreamChunk
+	consumer sync.WaitGroup
+
+	// Consumer-goroutine state. c.lastHash is also touched from the consumer;
+	// that is safe because the controller goroutine is blocked in SolveStream
+	// for the consumer's whole lifetime and joins it before finish.
+	built    map[string]*instEntry
+	dirty    map[topology.SiteID]map[string]struct{}
+	wrote    map[string]uint64 // instance -> hash last durably streamed
+	streamed int               // records written while the solve was running
+	err      error             // first fatal error (strict write or marshal)
+}
+
+func newStreamPublisher(c *Controller, cm *controllerMetrics, m *traffic.Matrix, version uint64) *streamPublisher {
+	return &streamPublisher{
+		c:       c,
+		cm:      cm,
+		topo:    c.Solver.Topology(),
+		m:       m,
+		version: version,
+		ch:      make(chan *core.StreamChunk, 1024),
+		built:   make(map[string]*instEntry),
+		dirty:   make(map[topology.SiteID]map[string]struct{}),
+		wrote:   make(map[string]uint64),
+	}
+}
+
+// Chunk implements core.StreamSink; it is called concurrently from the
+// solver's site workers and only enqueues.
+func (p *streamPublisher) Chunk(ck *core.StreamChunk) {
+	p.ch <- ck
+	p.cm.streamDepth.Set(float64(len(p.ch)))
+}
+
+// run is the consumer goroutine: drain the stream, fold chunks into per-
+// instance state, flush on site boundaries. It keeps draining after a fatal
+// error so the solver never blocks on a full channel.
+func (p *streamPublisher) run() {
+	for ck := range p.ch {
+		p.consume(ck)
+		core.ReleaseChunk(ck)
+	}
+}
+
+func (p *streamPublisher) consume(ck *core.StreamChunk) {
+	if ck.SiteDone {
+		p.flushSite(ck.Pair.Src)
+		return
+	}
+	for i, fi := range ck.FlowIdx {
+		t := ck.TunIdx[i]
+		if t < 0 {
+			continue
+		}
+		f := &p.m.Flows[fi]
+		ins := p.topo.Endpoints[f.Src].Instance
+		e := p.built[ins]
+		if e == nil {
+			e = &instEntry{site: ck.Pair.Src, slots: make(map[uint32]pathSlot, 4)}
+			p.built[ins] = e
+		}
+		dst := uint32(f.Pair.Dst)
+		if s, ok := e.slots[dst]; !ok || fi >= s.flow {
+			e.slots[dst] = pathSlot{flow: fi, tn: ck.Tunnels[t]}
+			e.dirty = true
+		}
+		set := p.dirty[e.site]
+		if set == nil {
+			set = make(map[string]struct{})
+			p.dirty[e.site] = set
+		}
+		set[ins] = struct{}{}
+	}
+}
+
+// encode builds the instance's current InstanceConfig from its slots and
+// returns its version-independent hash plus serialized bytes.
+func (p *streamPublisher) encode(ins string) (uint64, []byte, error) {
+	e := p.built[ins]
+	cfg := &InstanceConfig{Instance: ins, Version: p.version}
+	dsts := make([]uint32, 0, len(e.slots))
+	for dst := range e.slots {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(a, b int) bool { return dsts[a] < dsts[b] })
+	for _, dst := range dsts {
+		tn := e.slots[dst].tn
+		hops := make([]uint32, len(tn.Sites))
+		for j, s := range tn.Sites {
+			hops[j] = uint32(s)
+		}
+		cfg.Paths = append(cfg.Paths, PathEntry{DstSite: dst, Hops: hops})
+	}
+	h := configHash(cfg)
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return 0, nil, fmt.Errorf("controlplane: marshal config for %s: %w", ins, err)
+	}
+	return h, data, nil
+}
+
+// flushSite writes the dirty instances of src as one batch. Records whose
+// hash matches what is already durable (from this stream or the previous
+// interval) are skipped, mirroring the delta layer.
+func (p *streamPublisher) flushSite(src topology.SiteID) {
+	if p.err != nil {
+		return
+	}
+	set := p.dirty[src]
+	if len(set) == 0 {
+		return
+	}
+	delete(p.dirty, src)
+	inss := make([]string, 0, len(set))
+	for ins := range set {
+		inss = append(inss, ins)
+	}
+	sort.Strings(inss)
+
+	encodeStart := time.Now()
+	var names []string
+	var hashes []uint64
+	var keys []string
+	var vals [][]byte
+	for _, ins := range inss {
+		h, data, err := p.encode(ins)
+		if err != nil {
+			p.err = err
+			return
+		}
+		e := p.built[ins]
+		e.eval, e.hash, e.dirty = true, h, false
+		if wh, ok := p.wrote[ins]; ok {
+			if wh == h {
+				continue
+			}
+		} else if lh, ok := p.c.lastHash[ins]; ok && lh == h {
+			continue
+		}
+		names = append(names, ins)
+		hashes = append(hashes, h)
+		keys = append(keys, ConfigKey(ins))
+		vals = append(vals, data)
+	}
+	p.cm.streamStage["encode"].Observe(time.Since(encodeStart).Seconds())
+	p.flush(names, hashes, keys, vals)
+}
+
+// flush issues the batched store write and updates durability tracking. A
+// failed record drops both its streamed hash and its delta hash, so the
+// finish sweep (and, failing that, the next interval) rewrites it — the same
+// recovery rule as the barriered publisher. Failures do not touch the stats
+// here; the sweep's retry is where they are counted exactly once.
+func (p *streamPublisher) flush(names []string, hashes []uint64, keys []string, vals [][]byte) {
+	if len(keys) == 0 {
+		return
+	}
+	start := time.Now()
+	failed, err := putConfigBatch(p.c.Store, keys, vals)
+	p.cm.streamStage["flush"].Observe(time.Since(start).Seconds())
+	failedSet := make(map[int]struct{}, len(failed))
+	for _, i := range failed {
+		failedSet[i] = struct{}{}
+	}
+	for i, ins := range names {
+		if _, bad := failedSet[i]; bad {
+			delete(p.wrote, ins)
+			delete(p.c.lastHash, ins)
+			continue
+		}
+		p.wrote[ins] = hashes[i]
+		p.streamed++
+	}
+	if err != nil && !p.c.TolerateWriteErrors && p.err == nil {
+		p.err = err
+	}
+}
+
+// finish runs on the controller goroutine after the consumer has been
+// joined: sweep every built instance to its final bytes, delete stale
+// records, publish the version. The returned stats match what the barriered
+// RunInterval would report for the same assignment.
+func (p *streamPublisher) finish() (IntervalStats, error) {
+	st := IntervalStats{}
+	// p.err is a strict-mode write failure or a marshal failure; both abort
+	// the interval before any version is published, like RunInterval.
+	if p.err != nil {
+		return st, p.err
+	}
+
+	sweepStart := time.Now()
+	instances := make([]string, 0, len(p.built))
+	for ins := range p.built {
+		instances = append(instances, ins)
+	}
+	sort.Strings(instances)
+
+	var names []string
+	var hashes []uint64
+	var keys []string
+	var vals [][]byte
+	for _, ins := range instances {
+		// Untouched since its flush evaluation: reuse the memoized hash and
+		// skip the (dominant at scale) re-encode.
+		e := p.built[ins]
+		var h uint64
+		var data []byte
+		if e.eval && !e.dirty {
+			h = e.hash
+		} else {
+			var err error
+			h, data, err = p.encode(ins)
+			if err != nil {
+				return st, err
+			}
+		}
+		if wh, ok := p.wrote[ins]; ok && wh == h {
+			// The streamed bytes already are the final bytes.
+			p.c.lastHash[ins] = h
+			st.Written++
+			continue
+		}
+		if _, ok := p.wrote[ins]; !ok {
+			if lh, ok := p.c.lastHash[ins]; ok && lh == h {
+				st.Unchanged++
+				continue
+			}
+		}
+		if data == nil {
+			// Memoized-hash path that still needs a write (its streamed
+			// flush failed): serialize now.
+			var err error
+			h, data, err = p.encode(ins)
+			if err != nil {
+				return st, err
+			}
+		}
+		names = append(names, ins)
+		hashes = append(hashes, h)
+		keys = append(keys, ConfigKey(ins))
+		vals = append(vals, data)
+	}
+	overlapped := st.Written
+	if len(keys) > 0 {
+		failed, err := putConfigBatch(p.c.Store, keys, vals)
+		failedSet := make(map[int]struct{}, len(failed))
+		for _, i := range failed {
+			failedSet[i] = struct{}{}
+		}
+		for i, ins := range names {
+			if _, bad := failedSet[i]; bad {
+				delete(p.c.lastHash, ins)
+				st.WriteErrors++
+				continue
+			}
+			p.c.lastHash[ins] = hashes[i]
+			st.Written++
+		}
+		if err != nil && !p.c.TolerateWriteErrors {
+			return st, fmt.Errorf("controlplane: streamed publish: %w", err)
+		}
+	}
+
+	stale := make([]string, 0, len(p.c.lastHash))
+	for ins := range p.c.lastHash {
+		if _, ok := p.built[ins]; !ok {
+			stale = append(stale, ins)
+		}
+	}
+	sort.Strings(stale)
+	for _, ins := range stale {
+		if err := p.c.Store.DeleteConfig(ConfigKey(ins)); err != nil {
+			if !p.c.TolerateWriteErrors {
+				return st, fmt.Errorf("controlplane: delete config for %s: %w", ins, err)
+			}
+			st.WriteErrors++
+			continue
+		}
+		delete(p.c.lastHash, ins)
+		st.Deleted++
+	}
+
+	if err := p.c.Store.PublishVersion(p.version); err != nil {
+		if !p.c.TolerateWriteErrors {
+			return st, err
+		}
+		st.WriteErrors++
+	}
+	p.cm.streamStage["sweep"].Observe(time.Since(sweepStart).Seconds())
+	if total := st.Written; total > 0 {
+		p.cm.overlapFrac.Set(float64(overlapped) / float64(total))
+	} else {
+		p.cm.overlapFrac.Set(0)
+	}
+	return st, nil
+}
+
+// RunIntervalStreaming executes one TE interval with the streaming pipeline:
+// stage-two results are encoded and written to the store while later sites
+// are still solving, so publication overlaps the solve instead of trailing
+// it. The final store contents, published version, and interval stats are
+// identical to RunInterval on the same matrix — intermediate writes stay
+// invisible to agents until the version is published at the end.
+func (c *Controller) RunIntervalStreaming(m *traffic.Matrix) (*core.Result, int, error) {
+	cm := c.metrics()
+	intervalStart := time.Now()
+	next := c.version.Load() + 1
+	p := newStreamPublisher(c, cm, m, next)
+	p.consumer.Add(1)
+	go func() {
+		defer p.consumer.Done()
+		p.run()
+	}()
+	res, solveErr := c.Solver.SolveStream(m, p)
+	// Close the stream and join the consumer on every path — a leaked
+	// consumer would hold pooled chunks and race the next interval.
+	close(p.ch)
+	p.consumer.Wait()
+	cm.streamDepth.Set(0)
+	if solveErr != nil {
+		cm.solveFails.Inc()
+		return nil, 0, solveErr
+	}
+	cm.stage["sitemerge"].Observe(res.SiteMergeTime.Seconds())
+	cm.stage["maxsiteflow"].Observe(res.SiteLPTime.Seconds())
+	cm.stage["fastssp"].Observe(res.SSPTime.Seconds())
+	publishStart := time.Now()
+	st, err := p.finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	c.version.Store(next)
+	c.stats = st
+	cm.stage["publish"].Observe(time.Since(publishStart).Seconds())
+	cm.interval.Observe(time.Since(intervalStart).Seconds())
+	cm.intervals.Inc()
+	cm.written.Add(uint64(st.Written))
+	cm.deleted.Add(uint64(st.Deleted))
+	cm.skipped.Add(uint64(st.Unchanged))
+	cm.writeErrs.Add(uint64(st.WriteErrors))
+	return res, st.Written, nil
+}

@@ -1,0 +1,249 @@
+package controlplane
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"megate/internal/cluster"
+	"megate/internal/core"
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// dumpStore snapshots every config record in an in-process store.
+func dumpStore(t *testing.T, s *kvstore.Store) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, k := range s.Keys(configPrefix) {
+		v, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("key %s listed but missing", k)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// dumpCluster snapshots every config record across all shards.
+func dumpCluster(t *testing.T, c *cluster.Client) map[string][]byte {
+	t.Helper()
+	keys, err := c.Keys(configPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, k := range keys {
+		v, ok, err := c.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("get %s: ok=%v err=%v", k, ok, err)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func sameDump(t *testing.T, label string, got, want map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing record %s", label, k)
+			continue
+		}
+		if !bytes.Equal(gv, wv) {
+			t.Errorf("%s: record %s differs:\n got %s\nwant %s", label, k, gv, wv)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: unexpected record %s", label, k)
+		}
+	}
+}
+
+// TestStreamingEquivalence is the overlap-safety regression test (run under
+// -race by verify.sh): RunIntervalStreaming must leave exactly the store
+// contents, stats, and published version of the barriered RunInterval, across
+// intervals with demand churn, instance disappearance, and reappearance.
+func TestStreamingEquivalence(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m1 := traffic.Generate(topo, traffic.GenOptions{Seed: 7, MeanDemandMbps: 20})
+
+	// Interval 2: perturb demands so some pairs resolve differently.
+	flows2 := append([]traffic.Flow(nil), m1.Flows...)
+	for i := range flows2 {
+		if i%3 == 0 {
+			flows2[i].DemandMbps *= 1.7
+		}
+	}
+	m2 := traffic.NewMatrix(flows2)
+
+	// Interval 3: drop one instance's flows entirely (tombstone path).
+	victim := topo.Endpoints[0].Instance
+	var flows3 []traffic.Flow
+	for _, f := range flows2 {
+		if topo.Endpoints[f.Src].Instance != victim {
+			flows3 = append(flows3, f)
+		}
+	}
+	if len(flows3) == len(flows2) {
+		t.Fatalf("victim %s sources no flows", victim)
+	}
+	m3 := traffic.NewMatrix(flows3)
+
+	opts := core.Options{Incremental: true, SplitQoS: true, Workers: 4}
+	regB, regS := telemetry.NewRegistry(), telemetry.NewRegistry()
+	storeB, storeS := kvstore.NewStore(4), kvstore.NewStore(4)
+	barriered := NewController(core.NewSolver(topo, opts), StoreAdapter{Store: storeB})
+	barriered.Metrics = regB
+	streaming := NewController(core.NewSolver(topo, opts), StoreAdapter{Store: storeS})
+	streaming.Metrics = regS
+
+	for i, m := range []*traffic.Matrix{m1, m2, m3, m2} {
+		if _, _, err := barriered.RunInterval(m); err != nil {
+			t.Fatalf("interval %d barriered: %v", i+1, err)
+		}
+		if _, _, err := streaming.RunIntervalStreaming(m); err != nil {
+			t.Fatalf("interval %d streaming: %v", i+1, err)
+		}
+		label := fmt.Sprintf("interval %d", i+1)
+		sameDump(t, label, dumpStore(t, storeS), dumpStore(t, storeB))
+		if sv, bv := streaming.Version(), barriered.Version(); sv != bv {
+			t.Errorf("%s: version %d, want %d", label, sv, bv)
+		}
+		if sv, bv := storeS.Version(), storeB.Version(); sv != bv {
+			t.Errorf("%s: store version %d, want %d", label, sv, bv)
+		}
+		if ss, bs := streaming.LastStats(), barriered.LastStats(); ss != bs {
+			t.Errorf("%s: stats %+v, want %+v", label, ss, bs)
+		}
+	}
+
+	// The pipeline really overlapped: with every record new in interval 1,
+	// the overlap fraction must be positive (streamed writes landed before
+	// the sweep).
+	if f := regS.Gauge(MetricPublishOverlapFrac).Value(); f <= 0 {
+		t.Errorf("publish overlap fraction = %v, want > 0", f)
+	}
+}
+
+// flakyNode injects write failures on one shard while down is set; reads,
+// deletes, and publishes keep working — the partial-shard-loss posture.
+type flakyNode struct {
+	cluster.StoreNode
+	down *atomic.Bool
+}
+
+var errShardDown = errors.New("shard write refused")
+
+func (n flakyNode) Put(key string, value []byte) error {
+	if n.down.Load() {
+		return errShardDown
+	}
+	return n.StoreNode.Put(key, value)
+}
+
+func (n flakyNode) PutBatch(keys []string, values [][]byte) (int, error) {
+	if n.down.Load() {
+		return 0, errShardDown
+	}
+	return n.StoreNode.PutBatch(keys, values)
+}
+
+// buildFlakyCluster assembles a 3-shard StoreNode cluster whose middle shard
+// refuses writes while down is set. Identical ring parameters across calls
+// give identical placement, so two clusters see the same fault surface.
+func buildFlakyCluster(t *testing.T, down *atomic.Bool) *cluster.Client {
+	t.Helper()
+	c := cluster.New(32, 11, func(c *cluster.Client) { c.Metrics = telemetry.NewRegistry() })
+	for i := 0; i < 3; i++ {
+		var nc cluster.NodeClient = cluster.StoreNode{Store: kvstore.NewStore(4)}
+		if i == 1 {
+			nc = flakyNode{StoreNode: nc.(cluster.StoreNode), down: down}
+		}
+		if err := c.Join(fmt.Sprintf("db%d", i), nc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestStreamingShardErrorEquivalence pins the TolerateWriteErrors contract
+// under a mid-stream shard write failure: the streaming interval completes,
+// publishes, and leaves exactly the state the barriered publisher leaves
+// under the same fault — and after the shard heals, both converge on the
+// identical full config set.
+func TestStreamingShardErrorEquivalence(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 3)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 9, MeanDemandMbps: 20})
+	opts := core.Options{Incremental: true, Workers: 4}
+
+	var downB, downS atomic.Bool
+	downB.Store(true)
+	downS.Store(true)
+	clusterB := buildFlakyCluster(t, &downB)
+	clusterS := buildFlakyCluster(t, &downS)
+
+	barriered := NewController(core.NewSolver(topo, opts), ClusterAdapter{Client: clusterB})
+	barriered.TolerateWriteErrors = true
+	barriered.Metrics = telemetry.NewRegistry()
+	streaming := NewController(core.NewSolver(topo, opts), ClusterAdapter{Client: clusterS})
+	streaming.TolerateWriteErrors = true
+	streaming.Metrics = telemetry.NewRegistry()
+
+	// Interval 1: shard db1 refuses every write, mid-stream for the
+	// streaming controller. Both controllers must tolerate, publish, and
+	// agree on the surviving state.
+	if _, _, err := barriered.RunInterval(m); err != nil {
+		t.Fatalf("barriered with down shard: %v", err)
+	}
+	if _, _, err := streaming.RunIntervalStreaming(m); err != nil {
+		t.Fatalf("streaming with down shard: %v", err)
+	}
+	bs, ss := barriered.LastStats(), streaming.LastStats()
+	if bs.WriteErrors == 0 {
+		t.Fatal("fault did not bite: no record homed on the down shard")
+	}
+	if ss != bs {
+		t.Errorf("interval 1 stats: streaming %+v, barriered %+v", ss, bs)
+	}
+	if sv, bv := streaming.Version(), barriered.Version(); sv != 1 || bv != 1 {
+		t.Errorf("versions after tolerated fault = %d / %d, want 1", sv, bv)
+	}
+	sameDump(t, "interval 1 (shard down)", dumpCluster(t, clusterS), dumpCluster(t, clusterB))
+
+	// Heal the shard; the same matrix must now backfill exactly the dropped
+	// records (their hashes were discarded) on both controllers.
+	downB.Store(false)
+	downS.Store(false)
+	if _, _, err := barriered.RunInterval(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := streaming.RunIntervalStreaming(m); err != nil {
+		t.Fatal(err)
+	}
+	bs, ss = barriered.LastStats(), streaming.LastStats()
+	if bs.WriteErrors != 0 || ss.WriteErrors != 0 {
+		t.Errorf("write errors after heal: streaming %d, barriered %d, want 0", ss.WriteErrors, bs.WriteErrors)
+	}
+	if bs.Written == 0 {
+		t.Error("healed interval rewrote nothing; dropped hashes were not retried")
+	}
+	if ss != bs {
+		t.Errorf("interval 2 stats: streaming %+v, barriered %+v", ss, bs)
+	}
+	sameDump(t, "interval 2 (healed)", dumpCluster(t, clusterS), dumpCluster(t, clusterB))
+	if n := len(dumpCluster(t, clusterS)); n == 0 {
+		t.Fatal("no records after heal")
+	}
+}

@@ -11,6 +11,14 @@
 //
 // Traffic is allocated per QoS class in priority order, each class consuming
 // the link capacity left by the classes above it (§4.1).
+//
+// At megascale the solver doubles as a pipeline source: SolveStream shards
+// stage two across a site-keyed worker pool and streams per-pair
+// assignments to a StreamSink as they complete, so config publication can
+// overlap the solve instead of following it. The per-pair path is
+// allocation-free in steady state — every buffer it touches (pairState
+// slices, worker scratch, ssp.Scratch) is pooled across intervals and gated
+// at 0 allocs/op by BenchmarkStage2Pair.
 package core
 
 import (
@@ -123,12 +131,25 @@ func (r *Result) SatisfiedFraction() float64 {
 	return r.SatisfiedMbps / r.TotalMbps
 }
 
-// Solver runs MegaTE's two-stage optimization over one topology.
+// Solver runs MegaTE's two-stage optimization over one topology. It reuses
+// per-pair and index buffers across Solve calls, so a Solver is
+// single-writer: concurrent Solve/SolveStream calls on one Solver are not
+// allowed (concurrent solves want separate Solvers anyway — they would fight
+// over the same residual capacities).
 type Solver struct {
 	opts Options
 	topo *topology.Topology
 	ts   *topology.TunnelSet
 	inc  *incrementalState
+
+	// Steady-state buffer reuse across intervals (the megascale pipeline's
+	// zero-alloc contract): pooled per-(class,pair) states, the flow-ID
+	// index map for non-identity matrices, and previous-interval map sizes
+	// for pre-sizing Result.
+	pairStates  map[pairKey]*pairState
+	idIdx       map[int]int
+	gen         uint64
+	prevTunnels int
 }
 
 // NewSolver creates a solver for the topology. The tunnel set is computed
@@ -136,10 +157,11 @@ type Solver struct {
 func NewSolver(topo *topology.Topology, opts Options) *Solver {
 	o := opts.withDefaults()
 	return &Solver{
-		opts: o,
-		topo: topo,
-		ts:   topology.NewTunnelSet(topo, o.TunnelsPerPair),
-		inc:  newIncrementalState(),
+		opts:       o,
+		topo:       topo,
+		ts:         topology.NewTunnelSet(topo, o.TunnelsPerPair),
+		inc:        newIncrementalState(),
+		pairStates: make(map[pairKey]*pairState),
 	}
 }
 
@@ -157,11 +179,24 @@ func (s *Solver) Topology() *topology.Topology { return s.topo }
 // Solve runs Algorithm 1 (per QoS class when SplitQoS is set) over the
 // matrix and returns per-flow tunnel assignments.
 func (s *Solver) Solve(m *traffic.Matrix) (*Result, error) {
+	return s.SolveStream(m, nil)
+}
+
+// SolveStream is Solve with streaming stage-two output: as each site pair's
+// MaxEndpointFlow completes, its assignment is pushed into sink (see
+// StreamSink for the chunk protocol), letting downstream config publication
+// overlap the solve. The returned Result is identical to Solve's — the
+// stream is a prefix view of it, completed by the residual-pass supplements.
+// A nil sink degrades to plain Solve.
+func (s *Solver) SolveStream(m *traffic.Matrix, sink StreamSink) (*Result, error) {
+	s.gen++
 	res := &Result{
-		FlowTunnel:     make([]*topology.Tunnel, len(m.Flows)),
-		Tunnels:        make(map[traffic.SitePair][]*topology.Tunnel),
+		FlowTunnel: make([]*topology.Tunnel, len(m.Flows)),
+		// Pre-size maps from the previous interval: steady-state intervals
+		// see the same pair population, so growth reallocs vanish.
+		Tunnels:        make(map[traffic.SitePair][]*topology.Tunnel, s.prevTunnels),
 		TotalMbps:      m.TotalDemandMbps(),
-		SiteAllocation: make(map[traffic.Class]map[traffic.SitePair][]float64),
+		SiteAllocation: make(map[traffic.Class]map[traffic.SitePair][]float64, len(traffic.Classes)),
 	}
 
 	// Residual link capacity carried across QoS classes:
@@ -175,12 +210,7 @@ func (s *Solver) Solve(m *traffic.Matrix) (*Result, error) {
 		}
 	}
 
-	// Flow IDs are preserved by ClassSubset/Subsample but need not equal
-	// slice indices; map them back explicitly.
-	idToIdx := make(map[int]int, len(m.Flows))
-	for i := range m.Flows {
-		idToIdx[m.Flows[i].ID] = i
-	}
+	fidx := s.flowIndexFor(m)
 
 	classes := []traffic.Class{0} // sentinel: single pass over everything
 	if s.opts.SplitQoS {
@@ -194,14 +224,66 @@ func (s *Solver) Solve(m *traffic.Matrix) (*Result, error) {
 		if sub.NumFlows() == 0 {
 			continue
 		}
-		if err := s.solveClass(idToIdx, sub, class, residual, res); err != nil {
+		if err := s.solveClass(fidx, sub, class, residual, res, sink); err != nil {
 			return nil, fmt.Errorf("core: class %v: %w", class, err)
 		}
 	}
+
+	// Retire pooled states for pairs that vanished from the matrix so the
+	// pool tracks the live pair population instead of its union over time.
+	for k, st := range s.pairStates {
+		if st.gen != s.gen {
+			delete(s.pairStates, k)
+		}
+	}
+	s.prevTunnels = len(res.Tunnels)
 	return res, nil
 }
 
-// pairState carries one site pair through both stages.
+// flowIndex maps matrix flow IDs back to slice indices. Flow IDs are
+// preserved by ClassSubset/Subsample but need not equal slice indices in the
+// original matrix either.
+type flowIndex struct {
+	identity bool
+	byID     map[int]int
+}
+
+func (ix flowIndex) of(id int) int {
+	if ix.identity {
+		return id
+	}
+	return ix.byID[id]
+}
+
+// flowIndexFor resolves the ID→index map once per solve. Generator-produced
+// matrices use ID == index; a linear scan detects that and skips the map
+// entirely. Otherwise the map is rebuilt into a buffer reused across
+// intervals, so steady-state solves stop re-allocating a million-entry map
+// every 15 s.
+func (s *Solver) flowIndexFor(m *traffic.Matrix) flowIndex {
+	identity := true
+	for i := range m.Flows {
+		if m.Flows[i].ID != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return flowIndex{identity: true}
+	}
+	if s.idIdx == nil {
+		s.idIdx = make(map[int]int, len(m.Flows))
+	} else {
+		clear(s.idIdx)
+	}
+	for i := range m.Flows {
+		s.idIdx[m.Flows[i].ID] = i
+	}
+	return flowIndex{byID: s.idIdx}
+}
+
+// pairState carries one site pair through both stages. States are pooled on
+// the Solver per (class, pair) and every slice is reused across intervals.
 type pairState struct {
 	pair traffic.SitePair
 	// flowIdx are indices into the *original* matrix flows.
@@ -212,16 +294,37 @@ type pairState struct {
 	weights []float64
 	// alloc is F_{k,t} from stage one.
 	alloc []float64
+	// assign is the stage-two output: per flow, tunnel index or -1.
+	assign []int
+	// gen marks the last solve that used this state (pool retirement).
+	gen uint64
 }
 
-func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traffic.Class, residual []float64, res *Result) error {
+// sized returns b with length exactly n, reallocating only when the capacity
+// falls short. Contents are unspecified — callers overwrite every element.
+func sized[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
+func (s *Solver) solveClass(fidx flowIndex, sub *traffic.Matrix, class traffic.Class, residual []float64, res *Result, sink StreamSink) error {
 	mergeStart := time.Now()
 	pairs := sub.Pairs()
 	states := make([]*pairState, 0, len(pairs))
 	for _, p := range pairs {
 		tns := s.ts.For(p.Src, p.Dst)
 		res.Tunnels[p] = tns
-		st := &pairState{pair: p, tunnels: tns, weights: make([]float64, len(tns))}
+		key := pairKey{class, p}
+		st := s.pairStates[key]
+		if st == nil {
+			st = &pairState{pair: p}
+			s.pairStates[key] = st
+		}
+		st.gen = s.gen
+		st.tunnels = tns
+		st.weights = sized(st.weights, len(tns))
 		for i, tn := range tns {
 			if s.opts.ClassPolicy != nil {
 				st.weights[i] = s.opts.ClassPolicy(class, tn, s.topo)
@@ -229,11 +332,15 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 				st.weights[i] = tn.Weight
 			}
 		}
-		for _, idx := range sub.FlowsFor(p) {
+		idxs := sub.FlowsFor(p)
+		st.flowIdx = sized(st.flowIdx, len(idxs))
+		st.demands = sized(st.demands, len(idxs))
+		for i, idx := range idxs {
 			f := &sub.Flows[idx]
-			st.flowIdx = append(st.flowIdx, idToIdx[f.ID])
-			st.demands = append(st.demands, f.DemandMbps)
+			st.flowIdx[i] = fidx.of(f.ID)
+			st.demands[i] = f.DemandMbps
 		}
+		st.assign = sized(st.assign, len(idxs))
 		states = append(states, st)
 	}
 
@@ -241,6 +348,7 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 	// aggregation and the LP are timed separately so per-stage telemetry can
 	// tell "merging a bigger matrix" apart from "the LP got harder".
 	mcf := &lp.MCF{LinkCap: residual, Epsilon: s.epsilonFor(states)}
+	mcf.Commodities = make([]lp.Commodity, 0, len(states))
 	for _, st := range states {
 		c := lp.Commodity{Demand: sum(st.demands)} // SiteMerge: D_k = Σ_i d_k^i
 		for t, tn := range st.tunnels {
@@ -268,22 +376,21 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 	}
 	res.SiteAllocation[class] = classAlloc
 
-	// Stage 2: MaxEndpointFlow per pair, in parallel (line 11–15).
+	// Stage 2: MaxEndpointFlow across the site-keyed worker pool
+	// (line 11–15), streaming each pair's assignment into sink as it lands.
 	start = time.Now()
-	assignments := make([][]int, len(states)) // per state, per flow: tunnel idx or -1
-	res.Stage2CacheHits += s.stageTwo(class, states, assignments)
+	res.Stage2CacheHits += s.stageTwo(class, states, sink)
 	res.SSPTime += time.Since(start)
 
 	// Commit assignments; update residual capacity by the traffic actually
 	// placed (FastSSP may slightly underuse F_{k,t}).
-	for si, st := range states {
-		for fi, tIdx := range assignments[si] {
+	for _, st := range states {
+		for fi, tIdx := range st.assign {
 			if tIdx < 0 {
 				continue
 			}
 			tn := st.tunnels[tIdx]
-			origIdx := st.flowIdx[fi]
-			res.FlowTunnel[origIdx] = tn
+			res.FlowTunnel[st.flowIdx[fi]] = tn
 			res.SatisfiedMbps += st.demands[fi]
 			for _, l := range tn.Links {
 				residual[l] -= st.demands[fi]
@@ -298,7 +405,7 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 	}
 
 	if !s.opts.DisableResidualPass {
-		s.residualPass(states, assignments, residual, res)
+		s.residualPass(class, states, residual, res, sink)
 	}
 	return nil
 }
@@ -306,15 +413,17 @@ func (s *Solver) solveClass(idToIdx map[int]int, sub *traffic.Matrix, class traf
 // residualPass places flows FastSSP left unassigned onto tunnels that still
 // have link capacity — capacity stranded either by budget quantization in
 // this site pair or by underuse in others. Flows are taken largest first
-// (within each pair, tunnels shortest first) and remain indivisible.
-func (s *Solver) residualPass(states []*pairState, assignments [][]int, residual []float64, res *Result) {
+// (within each pair, tunnels shortest first) and remain indivisible. Flows
+// the pass places are re-announced to the sink as Residual chunks, since
+// their pair (and possibly SiteDone) chunks already streamed out.
+func (s *Solver) residualPass(class traffic.Class, states []*pairState, residual []float64, res *Result, sink StreamSink) {
 	type cand struct {
 		si, fi int
 		demand float64
 	}
 	var cands []cand
 	for si := range states {
-		for fi, tIdx := range assignments[si] {
+		for fi, tIdx := range states[si].assign {
 			if tIdx < 0 && states[si].demands[fi] > 0 {
 				cands = append(cands, cand{si, fi, states[si].demands[fi]})
 			}
@@ -332,6 +441,10 @@ func (s *Solver) residualPass(states []*pairState, assignments [][]int, residual
 		}
 		return cands[a].fi < cands[b].fi
 	})
+	var changed map[int][]int
+	if sink != nil {
+		changed = make(map[int][]int)
+	}
 	for _, c := range cands {
 		st := states[c.si]
 		// Tunnels in ascending class weight.
@@ -353,64 +466,116 @@ func (s *Solver) residualPass(states []*pairState, assignments [][]int, residual
 			continue
 		}
 		tn := st.tunnels[bestT]
-		assignments[c.si][c.fi] = bestT
+		st.assign[c.fi] = bestT
 		res.FlowTunnel[st.flowIdx[c.fi]] = tn
 		res.SatisfiedMbps += c.demand
 		for _, l := range tn.Links {
 			residual[l] -= c.demand
 		}
+		if sink != nil {
+			changed[c.si] = append(changed[c.si], c.fi)
+		}
+	}
+	if sink != nil && len(changed) > 0 {
+		sis := make([]int, 0, len(changed))
+		for si := range changed {
+			sis = append(sis, si)
+		}
+		sort.Ints(sis)
+		for _, si := range sis {
+			emitAssignChunk(sink, class, states[si], true, changed[si])
+		}
 	}
 }
 
-// maxEndpointFlow solves the per-pair subset-sum chain: tunnels in ascending
-// weight, FastSSP over the still-unassigned flows against budget F_{k,t}.
-// sc holds the calling worker's reusable solver buffers and may be nil.
-func (s *Solver) maxEndpointFlow(st *pairState, sc *ssp.Scratch) []int {
-	assign := make([]int, len(st.demands))
+// workerScratch is one stage-two worker's reusable buffer set. Warm after
+// the first pair, the steady-state per-pair path performs zero heap
+// allocations (BenchmarkStage2Pair and TestStage2PairZeroAlloc gate this).
+type workerScratch struct {
+	solver     ssp.FastSSP
+	ssp        ssp.Scratch
+	order      []int
+	unassigned []int
+	values     []float64
+	selected   []bool
+}
+
+func (s *Solver) newWorkerScratch() *workerScratch {
+	return &workerScratch{solver: ssp.FastSSP{EpsPrime: s.opts.FastSSPEpsilon}}
+}
+
+// sortIdxByWeightAsc orders tunnel indices by ascending weight, ties by
+// index. Insertion sort: tunnel counts are single-digit and the hot path
+// cannot afford sort.Slice's closure allocation.
+func sortIdxByWeightAsc(order []int, w []float64) {
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			// In order when strictly lighter, or equal-weight (neither
+			// strictly lighter) with the lower index first.
+			if w[a] < w[b] || (!(w[b] < w[a]) && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+}
+
+// maxEndpointFlow solves the per-pair subset-sum chain into st.assign:
+// tunnels in ascending class weight, FastSSP over the still-unassigned flows
+// against budget F_{k,t}. All working state lives in ws; with warm buffers
+// the call is allocation-free.
+func (s *Solver) maxEndpointFlow(st *pairState, ws *workerScratch) {
+	assign := st.assign
 	for i := range assign {
 		assign[i] = -1
 	}
 	if len(st.tunnels) == 0 {
-		return assign
+		return
 	}
-	order := make([]int, len(st.tunnels))
+	ws.order = sized(ws.order, len(st.tunnels))
+	order := ws.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return st.weights[order[a]] < st.weights[order[b]]
-	})
+	sortIdxByWeightAsc(order, st.weights)
 
-	solver := &ssp.FastSSP{EpsPrime: s.opts.FastSSPEpsilon}
-	unassigned := make([]int, 0, len(st.demands))
-	for i := range st.demands {
-		unassigned = append(unassigned, i)
+	ws.unassigned = sized(ws.unassigned, len(st.demands))
+	unassigned := ws.unassigned
+	for i := range unassigned {
+		unassigned[i] = i
 	}
-	values := make([]float64, 0, len(st.demands))
+	n := len(unassigned)
+	ws.values = sized(ws.values, len(st.demands))
+	ws.selected = sized(ws.selected, len(st.demands))
 	for _, t := range order {
-		if len(unassigned) == 0 {
+		if n == 0 {
 			break
 		}
 		budget := st.alloc[t]
 		if budget <= 0 {
 			continue
 		}
-		values = values[:0]
-		for _, fi := range unassigned {
-			values = append(values, st.demands[fi])
+		values := ws.values[:n]
+		for j := 0; j < n; j++ {
+			values[j] = st.demands[unassigned[j]]
 		}
-		sol := solver.SolveScratch(values, budget, sc)
-		var still []int
-		for j, fi := range unassigned {
-			if sol.Selected[j] {
+		selected := ws.selected[:n]
+		ws.solver.SolveInto(values, budget, &ws.ssp, selected)
+		// Commit selections and compact the survivors in place (writes
+		// trail reads, so reusing the buffer is safe).
+		keep := 0
+		for j := 0; j < n; j++ {
+			fi := unassigned[j]
+			if selected[j] {
 				assign[fi] = t
 			} else {
-				still = append(still, fi)
+				unassigned[keep] = fi
+				keep++
 			}
 		}
-		unassigned = still
+		n = keep
 	}
-	return assign
 }
 
 // epsilonFor returns the objective epsilon: the configured value, or half

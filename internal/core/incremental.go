@@ -5,7 +5,7 @@ import (
 	"sync"
 
 	"megate/internal/lp"
-	"megate/internal/ssp"
+	"megate/internal/topology"
 	"megate/internal/traffic"
 )
 
@@ -114,12 +114,25 @@ func (st *pairState) fingerprint() uint64 {
 	return h
 }
 
-// stageTwo fills assignments (per state, per flow: tunnel index or -1). In
-// incremental mode, pairs whose fingerprint matches the previous interval
-// reuse the cached assignment (copied: the residual pass mutates assignments
-// in place); everything else runs MaxEndpointFlow on a fixed worker pool,
-// one reusable ssp.Scratch per worker. Returns the number of cache hits.
-func (s *Solver) stageTwo(class traffic.Class, states []*pairState, assignments [][]int) int {
+// siteWorker maps a source site to its owning stage-two worker. All pairs
+// sharing a source site solve on one worker, in ascending destination order,
+// which is what makes SiteDone markers exact: when the worker passes the end
+// of a site's run, every chunk for that site has already been emitted. The
+// multiplicative hash spreads dense sequential site IDs evenly.
+func siteWorker(site topology.SiteID, workers int) int {
+	h := uint64(site) * 0x9e3779b97f4a7c15
+	return int(h>>33) % workers
+}
+
+// stageTwo fills each state's assign vector (per flow: tunnel index or -1)
+// and, when sink is non-nil, streams per-pair chunks plus SiteDone markers
+// as the site-keyed worker pool produces them. In incremental mode, pairs
+// whose fingerprint matches the previous interval copy the cached assignment
+// into st.assign instead of re-running FastSSP (copied: the residual pass
+// mutates assign in place) — cache-hit pairs still emit chunks, downstream
+// deduplication is the publisher's delta layer. Returns the number of cache
+// hits.
+func (s *Solver) stageTwo(class traffic.Class, states []*pairState, sink StreamSink) int {
 	hits := 0
 	var fps []uint64
 	hit := make([]bool, len(states))
@@ -129,41 +142,67 @@ func (s *Solver) stageTwo(class traffic.Class, states []*pairState, assignments 
 			fps[si] = st.fingerprint()
 			e, ok := s.inc.pairs[pairKey{class, st.pair}]
 			if ok && e.fingerprint == fps[si] && len(e.assign) == len(st.demands) {
-				assignments[si] = append([]int(nil), e.assign...)
+				copy(st.assign, e.assign)
 				hit[si] = true
 				hits++
 			}
 		}
 	}
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < s.opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := &ssp.Scratch{}
-			for si := range jobs {
-				assignments[si] = s.maxEndpointFlow(states[si], sc)
-			}
-		}()
-	}
-	for si := range states {
-		if !hit[si] {
-			jobs <- si
+	// states arrive sorted by (src, dst), so pairs sharing a source site
+	// form contiguous runs. Each run belongs to exactly one worker.
+	type siteRun struct{ lo, hi int }
+	runs := make([]siteRun, 0, len(states))
+	for lo := 0; lo < len(states); {
+		hi := lo + 1
+		for hi < len(states) && states[hi].pair.Src == states[lo].pair.Src {
+			hi++
 		}
+		runs = append(runs, siteRun{lo, hi})
+		lo = hi
 	}
-	close(jobs)
+
+	workers := s.opts.Workers
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := s.newWorkerScratch()
+			for _, run := range runs {
+				if siteWorker(states[run.lo].pair.Src, workers) != w {
+					continue
+				}
+				for si := run.lo; si < run.hi; si++ {
+					if !hit[si] {
+						s.maxEndpointFlow(states[si], ws)
+					}
+					if sink != nil {
+						emitAssignChunk(sink, class, states[si], false, nil)
+					}
+				}
+				if sink != nil {
+					emitSiteDone(sink, class, states[run.lo].pair.Src)
+				}
+			}
+		}(w)
+	}
 	wg.Wait()
 
 	if s.opts.Incremental {
 		seen := make(map[traffic.SitePair]bool, len(states))
 		for si, st := range states {
 			seen[st.pair] = true
-			s.inc.pairs[pairKey{class, st.pair}] = &pairCacheEntry{
-				fingerprint: fps[si],
-				assign:      append([]int(nil), assignments[si]...),
+			e := s.inc.pairs[pairKey{class, st.pair}]
+			if e == nil {
+				e = &pairCacheEntry{}
+				s.inc.pairs[pairKey{class, st.pair}] = e
 			}
+			e.fingerprint = fps[si]
+			e.assign = append(e.assign[:0], st.assign...)
 		}
 		// Drop entries for pairs that no longer exist in this class.
 		for k := range s.inc.pairs {

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// recordSink collects deep copies of every chunk and checks the SiteDone
+// protocol: after a site's marker, no further non-residual chunk for that
+// (class, src) may arrive.
+type recordSink struct {
+	mu     sync.Mutex
+	t      *testing.T
+	chunks []recordedChunk
+	done   map[[2]int]bool // (class, src) -> SiteDone seen
+}
+
+type recordedChunk struct {
+	class    traffic.Class
+	pair     traffic.SitePair
+	siteDone bool
+	residual bool
+	flowIdx  []int32
+	tunIdx   []int32
+	tunnels  []*topology.Tunnel
+}
+
+func (rs *recordSink) Chunk(c *StreamChunk) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	key := [2]int{int(c.Class), int(c.Pair.Src)}
+	if rs.done == nil {
+		rs.done = make(map[[2]int]bool)
+	}
+	if c.SiteDone {
+		if rs.done[key] {
+			rs.t.Errorf("duplicate SiteDone for class %d src %d", c.Class, c.Pair.Src)
+		}
+		rs.done[key] = true
+	} else if !c.Residual && rs.done[key] {
+		rs.t.Errorf("pair chunk for class %d src %d after its SiteDone", c.Class, c.Pair.Src)
+	}
+	rs.chunks = append(rs.chunks, recordedChunk{
+		class:    c.Class,
+		pair:     c.Pair,
+		siteDone: c.SiteDone,
+		residual: c.Residual,
+		flowIdx:  append([]int32(nil), c.FlowIdx...),
+		tunIdx:   append([]int32(nil), c.TunIdx...),
+		tunnels:  c.Tunnels,
+	})
+	ReleaseChunk(c)
+}
+
+// replay reconstructs the per-flow tunnel assignment from the chunk stream
+// in arrival order.
+func (rs *recordSink) replay(nFlows int) []*topology.Tunnel {
+	out := make([]*topology.Tunnel, nFlows)
+	for _, c := range rs.chunks {
+		if c.siteDone {
+			continue
+		}
+		for i, fi := range c.flowIdx {
+			if t := c.tunIdx[i]; t >= 0 {
+				out[fi] = c.tunnels[t]
+			} else if !c.residual {
+				out[fi] = nil
+			}
+		}
+	}
+	return out
+}
+
+func streamWorld(t *testing.T) (*topology.Topology, *traffic.Matrix) {
+	t.Helper()
+	topo := topology.Build("B4*")
+	topology.AttachEndpointsExact(topo, 4)
+	rng := rand.New(rand.NewSource(7))
+	var flows []traffic.Flow
+	eps := topo.Endpoints
+	for i := 0; i < 600; i++ {
+		src := topology.EndpointID(rng.Intn(len(eps)))
+		dst := topology.EndpointID(rng.Intn(len(eps)))
+		if eps[src].Site == eps[dst].Site {
+			continue
+		}
+		flows = append(flows, traffic.Flow{
+			ID:  len(flows),
+			Src: src, Dst: dst,
+			Pair:       traffic.SitePair{Src: eps[src].Site, Dst: eps[dst].Site},
+			DemandMbps: 1 + rng.Float64()*80,
+			Class:      traffic.Classes[rng.Intn(len(traffic.Classes))],
+		})
+	}
+	return topo, traffic.NewMatrix(flows)
+}
+
+// tunnelIdx resolves a flow's assigned tunnel to its index within the
+// pair's tunnel list (-1 = rejected), which is comparable across solvers —
+// tunnel pointers are not, each solver computes its own TunnelSet.
+func tunnelIdx(res *Result, p traffic.SitePair, tn *topology.Tunnel) int {
+	if tn == nil {
+		return -1
+	}
+	for i, t := range res.Tunnels[p] {
+		if t == tn {
+			return i
+		}
+	}
+	return -2
+}
+
+// TestSolveStreamEquivalence pins SolveStream to Solve: the returned Result
+// must be identical, and replaying the chunk stream must reconstruct exactly
+// the final per-flow assignment — the invariant the streaming publisher's
+// correctness rests on.
+func TestSolveStreamEquivalence(t *testing.T) {
+	for _, opt := range []Options{
+		{},
+		{SplitQoS: true},
+		{SplitQoS: true, Incremental: true},
+		{DisableResidualPass: true},
+	} {
+		topo, m := streamWorld(t)
+		want, err := NewSolver(topo, opt).Solve(m)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		solver := NewSolver(topo, opt)
+		// Two intervals when incremental: the second is the cache-hit path,
+		// which must still stream every pair.
+		intervals := 1
+		if opt.Incremental {
+			intervals = 2
+		}
+		var got *Result
+		var rs *recordSink
+		for i := 0; i < intervals; i++ {
+			rs = &recordSink{t: t}
+			got, err = solver.SolveStream(m, rs)
+			if err != nil {
+				t.Fatalf("SolveStream: %v", err)
+			}
+		}
+		if got.SatisfiedMbps != want.SatisfiedMbps || got.TotalMbps != want.TotalMbps {
+			t.Errorf("opts %+v: satisfied %v/%v, want %v/%v",
+				opt, got.SatisfiedMbps, got.TotalMbps, want.SatisfiedMbps, want.TotalMbps)
+		}
+		for i := range want.FlowTunnel {
+			p := m.Flows[i].Pair
+			if tunnelIdx(got, p, got.FlowTunnel[i]) != tunnelIdx(want, p, want.FlowTunnel[i]) {
+				t.Fatalf("opts %+v: FlowTunnel[%d] differs between Solve and SolveStream", opt, i)
+			}
+		}
+		replayed := rs.replay(len(m.Flows))
+		for i := range replayed {
+			if replayed[i] != got.FlowTunnel[i] {
+				t.Fatalf("opts %+v: replayed stream differs from Result at flow %d (stream %v, result %v)",
+					opt, i, replayed[i], got.FlowTunnel[i])
+			}
+		}
+		// Every flow must appear in some non-residual chunk exactly once.
+		seen := make(map[int32]int)
+		var siteDones int
+		for _, c := range rs.chunks {
+			if c.siteDone {
+				siteDones++
+				continue
+			}
+			if c.residual {
+				continue
+			}
+			for _, fi := range c.flowIdx {
+				seen[fi]++
+			}
+		}
+		for i := range m.Flows {
+			if seen[int32(i)] != 1 {
+				t.Fatalf("opts %+v: flow %d appeared in %d pair chunks, want 1", opt, i, seen[int32(i)])
+			}
+		}
+		if siteDones == 0 {
+			t.Errorf("opts %+v: no SiteDone markers emitted", opt)
+		}
+	}
+}
+
+// TestSolveStreamReusedBuffers runs consecutive intervals with perturbed
+// demands through one solver and cross-checks each against a fresh solver —
+// the pooled pairState/scratch buffers must never leak state between
+// intervals.
+func TestSolveStreamReusedBuffers(t *testing.T) {
+	topo, m := streamWorld(t)
+	solver := NewSolver(topo, Options{SplitQoS: true})
+	rng := rand.New(rand.NewSource(99))
+	for interval := 0; interval < 4; interval++ {
+		rs := &recordSink{t: t}
+		got, err := solver.SolveStream(m, rs)
+		if err != nil {
+			t.Fatalf("interval %d: %v", interval, err)
+		}
+		want, err := NewSolver(topo, Options{SplitQoS: true}).Solve(m)
+		if err != nil {
+			t.Fatalf("interval %d fresh: %v", interval, err)
+		}
+		for i := range want.FlowTunnel {
+			p := m.Flows[i].Pair
+			if tunnelIdx(got, p, got.FlowTunnel[i]) != tunnelIdx(want, p, want.FlowTunnel[i]) {
+				t.Fatalf("interval %d: FlowTunnel[%d] differs from fresh solver", interval, i)
+			}
+		}
+		// Perturb ~10% of demands for the next interval.
+		for i := range m.Flows {
+			if rng.Intn(10) == 0 {
+				m.Flows[i].DemandMbps = 1 + rng.Float64()*80
+			}
+		}
+	}
+}

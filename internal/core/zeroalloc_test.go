@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// benchPairState builds a synthetic pair in the shape the megascale pipeline
+// sees: a few hundred flows with a heavy tail, four tunnels with stage-one
+// budgets covering ~70% of demand so every tunnel runs a real FastSSP.
+func benchPairState(nFlows int) *pairState {
+	st := &pairState{
+		pair:    traffic.SitePair{Src: 1, Dst: 2},
+		flowIdx: make([]int, nFlows),
+		demands: make([]float64, nFlows),
+		assign:  make([]int, nFlows),
+	}
+	total := 0.0
+	for i := 0; i < nFlows; i++ {
+		st.flowIdx[i] = i
+		if i%19 == 0 {
+			st.demands[i] = 90 + float64(i%11)*4
+		} else {
+			st.demands[i] = 0.4 + float64(i%17)*0.6
+		}
+		total += st.demands[i]
+	}
+	nTunnels := 4
+	st.tunnels = make([]*topology.Tunnel, nTunnels)
+	st.weights = make([]float64, nTunnels)
+	st.alloc = make([]float64, nTunnels)
+	for t := 0; t < nTunnels; t++ {
+		st.tunnels[t] = &topology.Tunnel{Weight: float64(1 + t)}
+		st.weights[t] = float64(1 + t)
+		st.alloc[t] = total * 0.7 / float64(nTunnels)
+	}
+	return st
+}
+
+// TestStage2PairZeroAlloc gates the steady-state per-pair stage-two path at
+// zero heap allocations: with a warm workerScratch, maxEndpointFlow must not
+// allocate. This is the contract the megascale interval budget rests on —
+// a million pairs per interval cannot afford GC churn.
+func TestStage2PairZeroAlloc(t *testing.T) {
+	s := NewSolver(topology.New("zeroalloc"), Options{})
+	st := benchPairState(384)
+	ws := s.newWorkerScratch()
+	s.maxEndpointFlow(st, ws) // warm every buffer
+	if n := testing.AllocsPerRun(100, func() {
+		s.maxEndpointFlow(st, ws)
+	}); n != 0 {
+		t.Errorf("maxEndpointFlow: %v allocs/op with warm scratch, want 0", n)
+	}
+}
+
+// BenchmarkStage2Pair is the per-pair hot path benchmark verify.sh gates
+// with -benchmem (want 0 allocs/op).
+func BenchmarkStage2Pair(b *testing.B) {
+	s := NewSolver(topology.New("bench"), Options{})
+	st := benchPairState(384)
+	ws := s.newWorkerScratch()
+	s.maxEndpointFlow(st, ws)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.maxEndpointFlow(st, ws)
+	}
+}

@@ -1,0 +1,79 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestClientPutBatch(t *testing.T) {
+	srv, store := newTestServer(t, 4)
+	c := &Client{Addr: srv.Addr()}
+
+	var keys []string
+	var values [][]byte
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("te/cfg/batch/%03d", i))
+		values = append(values, bytes.Repeat([]byte{byte(i)}, 1+i%64))
+	}
+	acked, err := c.PutBatch(keys, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked != len(keys) {
+		t.Fatalf("acked = %d, want %d", acked, len(keys))
+	}
+	for i, k := range keys {
+		got, ok := store.Get(k)
+		if !ok || !bytes.Equal(got, values[i]) {
+			t.Fatalf("key %s: ok=%v, %d bytes", k, ok, len(got))
+		}
+	}
+	// Writes never advertise themselves — version moves only on Publish,
+	// the invariant the streaming publisher's overlap safety rests on.
+	if v := store.Version(); v != 0 {
+		t.Errorf("version = %d, want 0 before any Publish", v)
+	}
+}
+
+func TestClientPutBatchEmptyAndMismatch(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	c := &Client{Addr: srv.Addr()}
+	if acked, err := c.PutBatch(nil, nil); err != nil || acked != 0 {
+		t.Fatalf("empty batch: acked=%d err=%v", acked, err)
+	}
+	if _, err := c.PutBatch([]string{"a"}, nil); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+// TestClientPutBatchPipelined pins the single-round-trip property: a batch
+// against a real server must complete far faster than per-key round trips
+// would under an artificially slow dialer. Rather than timing (flaky), we
+// count connections: one batch = one dial.
+func TestClientPutBatchPipelined(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+	dials := 0
+	c := &Client{
+		Addr:    srv.Addr(),
+		Timeout: 5 * time.Second,
+		Dialer: func(addr string, timeout time.Duration) (net.Conn, error) {
+			dials++
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	}
+	var keys []string
+	var values [][]byte
+	for i := 0; i < 500; i++ {
+		keys = append(keys, fmt.Sprintf("k/%d", i))
+		values = append(values, []byte("v"))
+	}
+	if _, err := c.PutBatch(keys, values); err != nil {
+		t.Fatal(err)
+	}
+	if dials != 1 {
+		t.Errorf("batch used %d connections, want 1", dials)
+	}
+}

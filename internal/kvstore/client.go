@@ -243,6 +243,46 @@ func (c *Client) Put(key string, value []byte) error {
 	})
 }
 
+// PutBatch stores all key/value pairs over one connection in one wire
+// round-trip: every PUT command is written before the first response is
+// read, exploiting the server's per-command flush to pipeline the batch.
+// The batch is not atomic — on error a prefix of the pairs may have been
+// stored; acked reports how many leading pairs were acknowledged. A retry
+// schedule re-runs the whole batch (PUT is idempotent, so overlap is safe).
+// The operation deadline covers the entire batch: callers stream very large
+// key sets as multiple batches rather than raising the timeout.
+func (c *Client) PutBatch(keys []string, values [][]byte) (acked int, err error) {
+	if len(keys) != len(values) {
+		return 0, fmt.Errorf("kvstore: PutBatch length mismatch: %d keys, %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	err = c.do("mput", func(conn net.Conn, r *bufio.Reader) error {
+		acked = 0
+		w := bufio.NewWriterSize(conn, 64<<10)
+		for i, k := range keys {
+			if _, err := fmt.Fprintf(w, "PUT %s %d\n", k, len(values[i])); err != nil {
+				return err
+			}
+			if _, err := w.Write(values[i]); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for range keys {
+			if err := expectOK(r); err != nil {
+				return err
+			}
+			acked++
+		}
+		return nil
+	})
+	return acked, err
+}
+
 // Delete removes key; deleting an absent key is a no-op.
 func (c *Client) Delete(key string) error {
 	return c.do("del", func(conn net.Conn, r *bufio.Reader) error {

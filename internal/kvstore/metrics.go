@@ -28,7 +28,9 @@ const (
 // garbage so a fuzzer cannot mint unbounded series.
 var (
 	serverOps = []string{"version", "get", "put", "del", "keys", "publish", "unknown"}
-	clientOps = []string{"version", "get", "put", "del", "keys", "publish"}
+	// "mput" is PutBatch: one client op covering a whole pipelined batch
+	// (the server still counts each PUT individually).
+	clientOps = []string{"version", "get", "put", "mput", "del", "keys", "publish"}
 )
 
 // RegisterMetrics pre-registers the kvstore metric inventory in r so a

@@ -8,11 +8,18 @@
 // for residual flows), and FastSSP, the paper's semi-DP approximation
 // (Appendix A.2): cluster small demands into m aggregates, normalize by δ to
 // shrink the DP, solve the small DP exactly, then place leftovers greedily.
+//
+// Every solver has three entry points at increasing levels of buffer reuse:
+// the plain form (allocates everything), the Scratch form (reuses working
+// buffers, allocates only the returned Solution.Selected), and the Into form
+// (writes into a caller-provided selection vector and allocates nothing once
+// the Scratch is warm). The Into forms are the stage-two hot path: one call
+// per (pair, tunnel) at millions of flows per interval, gated at 0 allocs/op
+// by TestStage2PairZeroAlloc in package core.
 package ssp
 
 import (
 	"math"
-	"sort"
 )
 
 // Solution reports which input values were selected and their total.
@@ -28,7 +35,8 @@ type Solution struct {
 // tunnel) on the hot path; a per-worker Scratch removes the order/DP-table
 // allocation churn of the plain entry points. A Scratch must not be shared
 // between concurrent calls; the returned Solution.Selected is always
-// freshly allocated and safe to retain.
+// freshly allocated and safe to retain, everything else inside the Scratch
+// is invalidated by the next call through it.
 type Scratch struct {
 	order     []int
 	reachable []bool
@@ -38,6 +46,16 @@ type Scratch struct {
 	residIdx  []int
 	residVals []float64
 	clusters  []cluster
+	// flat and singles back the cluster member lists: contiguous runs of
+	// flat for aggregated small demands, one-element windows of singles for
+	// demands at or above the clustering threshold. Reusing them removes the
+	// per-cluster slice allocations of the plain path.
+	flat    []int
+	singles []int
+	// dpSel and greedySel are the internal selection vectors of FastSSP's
+	// cluster DP and residual greedy.
+	dpSel     []bool
+	greedySel []bool
 }
 
 // intBuf returns a zero-length int buffer with capacity >= n.
@@ -46,6 +64,65 @@ func (sc *Scratch) intBuf(n int) []int {
 		sc.order = make([]int, n)
 	}
 	return sc.order[:0]
+}
+
+// boolBuf returns b resized to n with every element false, growing it when
+// the capacity falls short.
+func boolBuf(b []bool, n int) []bool {
+	if cap(b) < n {
+		b = make([]bool, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	return b
+}
+
+// sortIdxByValDesc sorts order in place so values[order[a]] descends, ties
+// broken by ascending index — the unique total order every solver sorts by.
+// An in-place heapsort instead of sort.Slice: the hot path cannot afford
+// the closure and interface allocations, and the comparator is a strict
+// total order so any comparison sort yields the identical permutation.
+func sortIdxByValDesc(order []int, values []float64) {
+	// less reports whether order[a] must precede order[b] in the final
+	// (descending) order.
+	less := func(a, b int) bool {
+		va, vb := values[order[a]], values[order[b]]
+		if va > vb {
+			return true
+		}
+		if vb > va {
+			return false
+		}
+		return order[a] < order[b]
+	}
+	// Max-heap on "last in final order", then repeatedly swap the root out.
+	n := len(order)
+	siftDown := func(root, end int) {
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && less(child, child+1) {
+				child++
+			}
+			if !less(root, child) {
+				return
+			}
+			order[root], order[child] = order[child], order[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		order[0], order[end] = order[end], order[0]
+		siftDown(0, end)
+	}
 }
 
 // GreedyDescending packs values into capacity by scanning them in
@@ -60,6 +137,13 @@ func GreedyDescending(values []float64, capacity float64) Solution {
 // sc may be nil.
 func GreedyDescendingScratch(values []float64, capacity float64, sc *Scratch) Solution {
 	sol := Solution{Selected: make([]bool, len(values))}
+	sol.Total = greedyInto(values, capacity, sc, sol.Selected)
+	return sol
+}
+
+// greedyInto is the allocation-free core of the sorted greedy: selected must
+// have len(values) and is assumed cleared. Returns the selected total.
+func greedyInto(values []float64, capacity float64, sc *Scratch, selected []bool) float64 {
 	var order []int
 	if sc != nil {
 		order = sc.intBuf(len(values))[:len(values)]
@@ -69,16 +153,8 @@ func GreedyDescendingScratch(values []float64, capacity float64, sc *Scratch) So
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		va, vb := values[order[a]], values[order[b]]
-		if va > vb {
-			return true
-		}
-		if va < vb {
-			return false
-		}
-		return order[a] < order[b]
-	})
+	sortIdxByValDesc(order, values)
+	total := 0.0
 	remaining := capacity
 	for _, i := range order {
 		v := values[i]
@@ -86,12 +162,12 @@ func GreedyDescendingScratch(values []float64, capacity float64, sc *Scratch) So
 			continue
 		}
 		if v <= remaining {
-			sol.Selected[i] = true
-			sol.Total += v
+			selected[i] = true
+			total += v
 			remaining -= v
 		}
 	}
-	return sol
+	return total
 }
 
 // maxDPCells bounds the DP table; above it ExactDP degrades to the sorted
@@ -111,16 +187,23 @@ func ExactDP(values []float64, capacity float64, unit float64) Solution {
 // ExactDPScratch is ExactDP with a reusable buffer set; sc may be nil.
 func ExactDPScratch(values []float64, capacity float64, unit float64, sc *Scratch) Solution {
 	sol := Solution{Selected: make([]bool, len(values))}
+	sol.Total = exactDPInto(values, capacity, unit, sc, sol.Selected)
+	return sol
+}
+
+// exactDPInto is the allocation-free core of ExactDP: selected must have
+// len(values) and is assumed cleared. Returns the selected total.
+func exactDPInto(values []float64, capacity float64, unit float64, sc *Scratch, selected []bool) float64 {
 	if capacity <= 0 || unit <= 0 {
-		return sol
+		return 0
 	}
 	capRatio := capacity / unit
 	if capRatio > maxDPCells {
-		return GreedyDescendingScratch(values, capacity, sc)
+		return greedyInto(values, capacity, sc, selected)
 	}
 	capU := int(capRatio + 1e-9)
 	if capU <= 0 {
-		return sol
+		return 0
 	}
 
 	// reachable[j]: some subset sums to exactly j units.
@@ -184,12 +267,13 @@ func ExactDPScratch(values []float64, capacity float64, unit float64, sc *Scratc
 			break
 		}
 	}
+	total := 0.0
 	for j := best; j > 0 && itemAt[j] >= 0; j = int(fromSum[j]) {
 		i := itemAt[j]
-		sol.Selected[i] = true
-		sol.Total += values[i]
+		selected[i] = true
+		total += values[i]
 	}
-	return sol
+	return total
 }
 
 // FastSSP is the paper's approximation algorithm (Appendix A.2). EpsPrime
@@ -210,35 +294,62 @@ type cluster struct {
 
 // clusterValues groups values (in index order) into aggregates meeting the
 // threshold M. Values individually >= M form singleton clusters. When sc is
-// non-nil the clusters slice header is reused (member slices still allocate:
-// they are per-cluster and short-lived).
+// non-nil the member lists are carved out of the Scratch's flat buffers —
+// small-demand runs are contiguous in sc.flat (only one aggregate
+// accumulates at a time, so a threshold-crossing singleton never splits a
+// run), singletons get one-element windows of sc.singles — and nothing
+// allocates once the buffers are warm.
 func clusterValues(values []float64, m float64, sc *Scratch) []cluster {
-	var clusters []cluster
-	if sc != nil {
-		clusters = sc.clusters[:0]
+	if sc == nil {
+		var clusters []cluster
+		var cur cluster
+		for i, v := range values {
+			if v <= 0 {
+				continue
+			}
+			if v >= m {
+				clusters = append(clusters, cluster{members: []int{i}, total: v})
+				continue
+			}
+			cur.members = append(cur.members, i)
+			cur.total += v
+			if cur.total >= m {
+				clusters = append(clusters, cur)
+				cur = cluster{}
+			}
+		}
+		if len(cur.members) > 0 {
+			clusters = append(clusters, cur)
+		}
+		return clusters
 	}
-	var cur cluster
+
+	clusters := sc.clusters[:0]
+	flat := sc.flat[:0]
+	singles := sc.singles[:0]
+	start := 0
+	curTotal := 0.0
 	for i, v := range values {
 		if v <= 0 {
 			continue
 		}
 		if v >= m {
-			clusters = append(clusters, cluster{members: []int{i}, total: v})
+			singles = append(singles, i)
+			clusters = append(clusters, cluster{members: singles[len(singles)-1 : len(singles) : len(singles)], total: v})
 			continue
 		}
-		cur.members = append(cur.members, i)
-		cur.total += v
-		if cur.total >= m {
-			clusters = append(clusters, cur)
-			cur = cluster{}
+		flat = append(flat, i)
+		curTotal += v
+		if curTotal >= m {
+			clusters = append(clusters, cluster{members: flat[start:len(flat):len(flat)], total: curTotal})
+			start = len(flat)
+			curTotal = 0
 		}
 	}
-	if len(cur.members) > 0 {
-		clusters = append(clusters, cur)
+	if len(flat) > start {
+		clusters = append(clusters, cluster{members: flat[start:len(flat):len(flat)], total: curTotal})
 	}
-	if sc != nil {
-		sc.clusters = clusters
-	}
+	sc.clusters, sc.flat, sc.singles = clusters, flat, singles
 	return clusters
 }
 
@@ -250,8 +361,20 @@ func (f *FastSSP) Solve(values []float64, capacity float64) Solution {
 // SolveScratch is Solve with a reusable buffer set; sc may be nil.
 func (f *FastSSP) SolveScratch(values []float64, capacity float64, sc *Scratch) Solution {
 	sol := Solution{Selected: make([]bool, len(values))}
+	sol.Total = f.SolveInto(values, capacity, sc, sol.Selected)
+	return sol
+}
+
+// SolveInto is the allocation-free form of Solve: the selection is written
+// into selected (len(values), cleared here) and the selected total returned.
+// With a warm non-nil Scratch the steady-state call performs no heap
+// allocation at all — the contract the stage-two worker pool is gated on.
+func (f *FastSSP) SolveInto(values []float64, capacity float64, sc *Scratch, selected []bool) float64 {
+	for i := range selected {
+		selected[i] = false
+	}
 	if capacity <= 0 {
-		return sol
+		return 0
 	}
 	eps := f.EpsPrime
 	if eps <= 0 {
@@ -269,16 +392,17 @@ func (f *FastSSP) SolveScratch(values []float64, capacity float64, sc *Scratch) 
 		}
 	}
 	if total <= capacity {
+		picked := 0.0
 		for i, v := range values {
 			if v > 0 {
-				sol.Selected[i] = true
-				sol.Total += v
+				selected[i] = true
+				picked += v
 			}
 		}
-		return sol
+		return picked
 	}
 	if minPos > capacity {
-		return sol // the budget cannot hold even the smallest demand
+		return 0 // the budget cannot hold even the smallest demand
 	}
 
 	// Step 1: clustering with threshold M = (eps/3) * F.
@@ -302,16 +426,24 @@ func (f *FastSSP) SolveScratch(values []float64, capacity float64, sc *Scratch) 
 	for i := range clusters {
 		ctotals[i] = clusters[i].total
 	}
-	dp := ExactDPScratch(ctotals, capacity, delta, sc)
+	var dpSel []bool
+	if sc != nil {
+		sc.dpSel = boolBuf(sc.dpSel, len(clusters))
+		dpSel = sc.dpSel
+	} else {
+		dpSel = make([]bool, len(clusters))
+	}
+	exactDPInto(ctotals, capacity, delta, sc, dpSel)
 
+	picked := 0.0
 	used := 0.0
-	for ci, sel := range dp.Selected {
+	for ci, sel := range dpSel {
 		if !sel {
 			continue
 		}
 		for _, i := range clusters[ci].members {
-			sol.Selected[i] = true
-			sol.Total += values[i]
+			selected[i] = true
+			picked += values[i]
 		}
 		used += clusters[ci].total
 	}
@@ -327,7 +459,7 @@ func (f *FastSSP) SolveScratch(values []float64, capacity float64, sc *Scratch) 
 			residVals = sc.residVals[:0]
 		}
 		for i, v := range values {
-			if v > 0 && !sol.Selected[i] {
+			if v > 0 && !selected[i] {
 				residIdx = append(residIdx, i)
 				residVals = append(residVals, v)
 			}
@@ -336,15 +468,22 @@ func (f *FastSSP) SolveScratch(values []float64, capacity float64, sc *Scratch) 
 			sc.residIdx = residIdx
 			sc.residVals = residVals
 		}
-		g := GreedyDescendingScratch(residVals, residualCap, sc)
-		for j, sel := range g.Selected {
+		var gsel []bool
+		if sc != nil {
+			sc.greedySel = boolBuf(sc.greedySel, len(residVals))
+			gsel = sc.greedySel
+		} else {
+			gsel = make([]bool, len(residVals))
+		}
+		greedyInto(residVals, residualCap, sc, gsel)
+		for j, sel := range gsel {
 			if sel {
-				sol.Selected[residIdx[j]] = true
-				sol.Total += residVals[j]
+				selected[residIdx[j]] = true
+				picked += residVals[j]
 			}
 		}
 	}
-	return sol
+	return picked
 }
 
 // ErrorBound returns the β bound of Appendix A.2 for a finished solution:

@@ -1,0 +1,99 @@
+package ssp
+
+import (
+	"testing"
+)
+
+// zeroAllocInput builds a demand vector with the mixed shape the stage-two
+// chain sees: a heavy tail above the clustering threshold plus a swarm of
+// small flows below it, against a budget that forces the full
+// cluster/DP/greedy pipeline (not the everything-fits fast path).
+func zeroAllocInput(n int) ([]float64, float64) {
+	values := make([]float64, n)
+	for i := range values {
+		// Deterministic pseudo-demands in (0, 120): every 17th flow is an
+		// elephant, the rest are mice.
+		if i%17 == 0 {
+			values[i] = 80 + float64(i%7)*5
+		} else {
+			values[i] = 0.5 + float64(i%13)*0.7
+		}
+	}
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	return values, total * 0.6
+}
+
+// TestSolveIntoZeroAlloc pins the Into entry points at zero steady-state
+// allocations with a warm Scratch — the contract the stage-two worker pool
+// in package core builds its 0 allocs/op gate on.
+func TestSolveIntoZeroAlloc(t *testing.T) {
+	values, budget := zeroAllocInput(512)
+	sc := &Scratch{}
+	sel := make([]bool, len(values))
+	f := &FastSSP{}
+	// Warm every buffer, then measure.
+	f.SolveInto(values, budget, sc, sel)
+	if n := testing.AllocsPerRun(50, func() {
+		f.SolveInto(values, budget, sc, sel)
+	}); n != 0 {
+		t.Errorf("FastSSP.SolveInto: %v allocs/op with warm scratch, want 0", n)
+	}
+	greedyInto(values, budget, sc, sel)
+	if n := testing.AllocsPerRun(50, func() {
+		for i := range sel {
+			sel[i] = false
+		}
+		greedyInto(values, budget, sc, sel)
+	}); n != 0 {
+		t.Errorf("greedyInto: %v allocs/op with warm scratch, want 0", n)
+	}
+}
+
+// TestSolveIntoMatchesSolve pins the Into path to the plain entry point:
+// identical selections and totals on a spread of shapes, including the
+// fast paths.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	cases := []struct {
+		n      int
+		budget func(total float64) float64
+	}{
+		{1, func(t float64) float64 { return t * 0.5 }},
+		{7, func(t float64) float64 { return t * 2 }},  // everything fits
+		{64, func(t float64) float64 { return 0.001 }}, // nothing fits
+		{64, func(t float64) float64 { return t * 0.4 }},
+		{513, func(t float64) float64 { return t * 0.75 }},
+	}
+	for _, tc := range cases {
+		values, total := zeroAllocInput(tc.n)
+		budget := tc.budget(total)
+		want := (&FastSSP{}).Solve(values, budget)
+		sc := &Scratch{}
+		sel := make([]bool, len(values))
+		got := (&FastSSP{}).SolveInto(values, budget, sc, sel)
+		if got != want.Total {
+			t.Errorf("n=%d: SolveInto total %v, Solve total %v", tc.n, got, want.Total)
+		}
+		for i := range sel {
+			if sel[i] != want.Selected[i] {
+				t.Errorf("n=%d: selection differs at %d", tc.n, i)
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkFastSSPSolveInto(b *testing.B) {
+	values, budget := zeroAllocInput(512)
+	sc := &Scratch{}
+	sel := make([]bool, len(values))
+	f := &FastSSP{}
+	f.SolveInto(values, budget, sc, sel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SolveInto(values, budget, sc, sel)
+	}
+}

@@ -227,6 +227,64 @@ func AttachEndpoints(t *Topology, meanPerSite float64, shape float64, seed int64
 	return total
 }
 
+// AttachEndpointsTarget attaches endpoints with the Weibull per-site spread
+// of AttachEndpoints, scaled so the total lands exactly on target — the knob
+// megascale sweeps need: "one million endpoints on TWAN", not "a mean that
+// happens to sum near it". Every site keeps at least one endpoint; the
+// round-off is settled round-robin so no single site absorbs it. Returns the
+// endpoint count attached (target, or the site count when target is below
+// it).
+func AttachEndpointsTarget(t *Topology, target int, shape float64, seed int64) int {
+	if shape <= 0 {
+		shape = 0.7
+	}
+	n := len(t.Sites)
+	if n == 0 {
+		return 0
+	}
+	if target < n {
+		target = n
+	}
+	w := stats.Weibull{Shape: shape, Scale: 1}
+	r := stats.NewRand(seed)
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		v := w.Sample(r)
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		weights[i] = v
+		sum += v
+	}
+	counts := make([]int, n)
+	attached := 0
+	for i, wt := range weights {
+		c := int(math.Round(wt / sum * float64(target)))
+		if c < 1 {
+			c = 1
+		}
+		counts[i] = c
+		attached += c
+	}
+	for i := 0; attached > target; i = (i + 1) % n {
+		if counts[i] > 1 {
+			counts[i]--
+			attached--
+		}
+	}
+	for i := 0; attached < target; i = (i + 1) % n {
+		counts[i]++
+		attached++
+	}
+	for s, c := range counts {
+		for i := 0; i < c; i++ {
+			t.AddEndpoint(SiteID(s), fmt.Sprintf("ins-%d-%d", s, i))
+		}
+	}
+	return attached
+}
+
 // AttachEndpointsExact attaches exactly perSite endpoints to every site —
 // used by tests and by sweeps that need precise endpoint counts.
 func AttachEndpointsExact(t *Topology, perSite int) int {

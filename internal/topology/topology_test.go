@@ -380,3 +380,33 @@ func BenchmarkShortestPathCogentco(b *testing.B) {
 		topo.ShortestPath(src, dst, nil, nil)
 	}
 }
+
+func TestAttachEndpointsTarget(t *testing.T) {
+	for _, target := range []int{50, 5000, 250000} {
+		topo := Build("TWAN")
+		got := AttachEndpointsTarget(topo, target, 0.7, 7)
+		want := target
+		if want < len(topo.Sites) {
+			want = len(topo.Sites)
+		}
+		if got != want || topo.NumEndpoints() != want {
+			t.Fatalf("target %d: attached %d (topo has %d), want %d", target, got, topo.NumEndpoints(), want)
+		}
+		minC, maxC := -1, 0
+		for _, c := range topo.EndpointCountsBySite() {
+			if c < 1 {
+				t.Fatal("site with zero endpoints")
+			}
+			if minC < 0 || c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		// The Weibull spread survives the normalization at real scales.
+		if target >= 5000 && maxC < 10*minC {
+			t.Errorf("target %d: spread too small: min=%d max=%d", target, minC, maxC)
+		}
+	}
+}

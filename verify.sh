@@ -19,3 +19,6 @@ go test -race -run TestAgentStatsUnderRun ./internal/controlplane/
 go test -race -short -run TestChaos .
 # Exporter smoke: controller with -telemetry-addr scraped over real HTTP.
 go test -run TestMetricsSmoke .
+# Megascale pipeline gate: truncated flow sweep through the streamed
+# interval plus the stage-2 zero-alloc benchmark assertion.
+make megascale-short
