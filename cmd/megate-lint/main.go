@@ -3,12 +3,19 @@
 // survives the //lint:ignore directives. It is stdlib-only (go/parser +
 // go/types with the source importer) and is wired into verify.sh and
 // `make lint` as a correctness gate: the passes guard the determinism,
-// numeric-tolerance, and concurrency invariants the incremental control
-// loop depends on.
+// numeric-tolerance, concurrency, and stream-protocol invariants the
+// incremental control loop depends on.
 //
 // Usage:
 //
-//	megate-lint [-list] [packages...]
+//	megate-lint [-list] [-json] [-pass p1,p2] [-strict-ignores] [packages...]
+//
+// -json emits findings as NDJSON (one object per line: file, line, col,
+// pass, message) for machine consumers. -pass restricts the run to a
+// comma-separated subset of pass names. -strict-ignores additionally reports
+// every lint:ignore directive that suppressed nothing (pseudo-pass
+// "staleignore"); note it audits only directives naming a selected pass, so
+// combining it with -pass narrows the audit too.
 //
 // Package patterns are module-relative ("./...", "./internal/lp"); the
 // default is ./... from the enclosing module root.
@@ -18,20 +25,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"megate/internal/analysis"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the passes and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as NDJSON, one object per line")
+	passFilter := flag.String("pass", "", "comma-separated pass names to run (default: all)")
+	strictIgnores := flag.Bool("strict-ignores", false, "report lint:ignore directives that suppress nothing")
 	flag.Parse()
 
 	passes := analysis.Passes()
+	if *passFilter != "" {
+		passes = selectPasses(passes, *passFilter)
+	}
 	if *list {
 		for _, p := range passes {
-			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+			fmt.Printf("%-11s %s\n", p.Name, p.Doc)
 			if len(p.Paths) > 0 {
-				fmt.Printf("%-10s   (scoped to %v)\n", "", p.Paths)
+				fmt.Printf("%-11s   (scoped to %v)\n", "", p.Paths)
 			}
 		}
 		return
@@ -58,7 +72,8 @@ func main() {
 		fatal(err)
 	}
 
-	findings := 0
+	loadErrs := 0
+	var findings []analysis.Diagnostic
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -68,19 +83,55 @@ func main() {
 			// findings behind.
 			fmt.Fprintln(os.Stderr, "megate-lint:", err)
 			if pkg == nil {
-				findings++
+				loadErrs++
 				continue
 			}
 		}
-		for _, d := range analysis.RunPasses(passes, pkg) {
+		findings = append(findings, analysis.RunPassesStrict(passes, pkg, *strictIgnores)...)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range findings {
 			fmt.Println(d)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "megate-lint: %d finding(s)\n", findings)
+	if n := len(findings) + loadErrs; n > 0 {
+		fmt.Fprintf(os.Stderr, "megate-lint: %d finding(s)\n", n)
 		os.Exit(1)
 	}
+}
+
+// selectPasses filters the registry down to the comma-separated names; an
+// unknown name is fatal (a typo must not silently lint nothing).
+func selectPasses(passes []*analysis.Pass, filter string) []*analysis.Pass {
+	byName := make(map[string]*analysis.Pass, len(passes))
+	for _, p := range passes {
+		byName[p.Name] = p
+	}
+	var out []*analysis.Pass
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(passes))
+			for _, q := range passes {
+				known = append(known, q.Name)
+			}
+			fatal(fmt.Errorf("unknown pass %q (known: %s)", name, strings.Join(known, ", ")))
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("-pass %q selects no passes", filter))
+	}
+	return out
 }
 
 func fatal(err error) {

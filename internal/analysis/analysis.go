@@ -17,6 +17,19 @@
 //   - goroleak: every goroutine launch has a join path (WaitGroup, context,
 //     or quit channel).
 //   - errdrop: no silently discarded error results outside tests.
+//   - poollife: a pooled value (ReleaseChunk, sync.Pool.Put, Release*
+//     helpers) must not be used or re-released on any path after release.
+//   - atomiccheck: a field accessed through sync/atomic anywhere must never
+//     be accessed plainly elsewhere; typed atomics must not be copied.
+//   - streamorder: sends on a chunk stream must respect the protocol state
+//     machine — no pair chunks for a site after its SiteDone, residual
+//     supplements only in the residual phase.
+//
+// The last three are dataflow passes: they lower each function body to a CFG
+// (cfg.go), run a forward abstract-interpretation fixpoint over it
+// (dataflow.go), and replay the solution to place diagnostics — so a release
+// or SiteDone on one branch is still known, weakened to "may", after the
+// join.
 //
 // A finding can be suppressed with a directive comment:
 //
@@ -25,7 +38,9 @@
 // A trailing directive suppresses its own line; a standalone directive
 // suppresses the whole statement or declaration that begins on the next
 // line (so one directive above a loop covers the loop body). The reason is
-// mandatory; a directive without one is itself a finding.
+// mandatory; a directive without one is itself a finding — and under the
+// strict-ignores audit (RunPassesStrict, megate-lint -strict-ignores) a
+// directive that suppresses nothing is reported too.
 package analysis
 
 import (
@@ -75,7 +90,9 @@ func (p *Pass) applies(path string) bool {
 
 // Passes returns the full megate-lint pass set with this repository's
 // scoping: floatcmp on the numeric kernels, lockcheck on the store and
-// control plane, the rest tree-wide.
+// control plane, poollife on the packages that borrow pooled chunks and
+// scratch buffers, streamorder on the two ends of the chunk stream, the rest
+// tree-wide.
 func Passes() []*Pass {
 	return []*Pass{
 		FloatCmpPass("megate/internal/lp", "megate/internal/ssp", "megate/internal/core"),
@@ -83,6 +100,10 @@ func Passes() []*Pass {
 		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane", "megate/internal/cluster"),
 		GoroLeakPass(),
 		ErrDropPass(),
+		PoolLifePass("megate/internal/core", "megate/internal/controlplane",
+			"megate/internal/ssp", "megate/internal/cluster"),
+		AtomicCheckPass(),
+		StreamOrderPass("megate/internal/core", "megate/internal/controlplane"),
 	}
 }
 
@@ -112,11 +133,15 @@ func (p *Pkg) typeOf(e ast.Expr) types.Type {
 // is empty for a malformed directive.
 var ignoreDirectiveRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
 
-// ignoreKey identifies one suppressed (file, line, pass) combination.
-type ignoreKey struct {
-	file string
-	line int
-	pass string
+// ignoreDirective is one parsed, well-formed lint:ignore directive: the pass
+// it names, the inclusive line range it suppresses, and whether it actually
+// suppressed anything this run (the strict-ignores audit).
+type ignoreDirective struct {
+	file      string
+	pass      string
+	line, end int
+	pos       token.Pos
+	used      bool
 }
 
 // directives scans the package's comments for lint:ignore directives. A
@@ -125,8 +150,8 @@ type ignoreKey struct {
 // directly below it — so a trailing comment covers its line, and a
 // standalone comment above a loop covers the whole loop. Malformed
 // directives are returned as diagnostics.
-func (p *Pkg) directives() (map[ignoreKey]bool, []Diagnostic) {
-	ignored := make(map[ignoreKey]bool)
+func (p *Pkg) directives() ([]*ignoreDirective, []Diagnostic) {
+	var dirs []*ignoreDirective
 	var bad []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -141,14 +166,31 @@ func (p *Pkg) directives() (map[ignoreKey]bool, []Diagnostic) {
 						"lint:ignore %s needs a reason: //lint:ignore <pass> <reason>", m[1]))
 					continue
 				}
-				end := p.followingNodeEndLine(f, pos.Line+1)
-				for line := pos.Line; line <= end; line++ {
-					ignored[ignoreKey{pos.Filename, line, m[1]}] = true
-				}
+				dirs = append(dirs, &ignoreDirective{
+					file: pos.Filename,
+					pass: m[1],
+					line: pos.Line,
+					end:  p.followingNodeEndLine(f, pos.Line+1),
+					pos:  c.Pos(),
+				})
 			}
 		}
 	}
-	return ignored, bad
+	return dirs, bad
+}
+
+// suppress reports whether any directive covers d, marking every covering
+// directive as used.
+func suppress(dirs []*ignoreDirective, d Diagnostic) bool {
+	hit := false
+	for _, dir := range dirs {
+		if dir.pass == d.Pass && dir.file == d.Pos.Filename &&
+			dir.line <= d.Pos.Line && d.Pos.Line <= dir.end {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // followingNodeEndLine returns the last line of the outermost statement or
@@ -180,16 +222,39 @@ func (p *Pkg) followingNodeEndLine(f *ast.File, line int) int {
 // through the package's lint:ignore directives, and returns them sorted by
 // position.
 func RunPasses(passes []*Pass, pkg *Pkg) []Diagnostic {
-	ignored, out := pkg.directives()
+	return RunPassesStrict(passes, pkg, false)
+}
+
+// RunPassesStrict is RunPasses with an optional stale-suppression audit:
+// when strictIgnores is set, a lint:ignore directive that suppressed nothing
+// — the pass it names ran on this package and produced no finding inside the
+// directive's extent — is itself reported under the pseudo-pass
+// "staleignore". A dead suppression is a hole a future regression slips
+// through silently, so verify.sh runs the audit on. Directives naming passes
+// outside the running set are left alone (a -pass filter must not flag every
+// other directive in the tree).
+func RunPassesStrict(passes []*Pass, pkg *Pkg, strictIgnores bool) []Diagnostic {
+	dirs, out := pkg.directives()
+	ran := make(map[string]bool)
 	for _, pass := range passes {
 		if !pass.applies(pkg.Path) {
 			continue
 		}
+		ran[pass.Name] = true
 		for _, d := range pass.Run(pkg) {
-			if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Pass}] {
+			if suppress(dirs, d) {
 				continue
 			}
 			out = append(out, d)
+		}
+	}
+	if strictIgnores {
+		for _, dir := range dirs {
+			if dir.used || !ran[dir.pass] {
+				continue
+			}
+			out = append(out, pkg.diag(dir.pos, "staleignore",
+				"lint:ignore %s suppresses nothing: the pass is clean here, delete the stale directive", dir.pass))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -57,9 +57,13 @@ func TestGolden(t *testing.T) {
 	loader, root := goldenLoader(t)
 	// Unscoped pass instances: fixtures live outside the paths the
 	// production scoping in Passes() restricts some passes to.
-	passes := []*Pass{FloatCmpPass(), MapOrderPass(), LockCheckPass(), GoroLeakPass(), ErrDropPass()}
+	passes := []*Pass{
+		FloatCmpPass(), MapOrderPass(), LockCheckPass(), GoroLeakPass(), ErrDropPass(),
+		PoolLifePass(), AtomicCheckPass(), StreamOrderPass(),
+	}
 	for _, name := range []string{
-		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad", "directives",
+		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad",
+		"poollifebad", "atomiccheckbad", "streamorderbad", "directives",
 	} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
@@ -100,7 +104,8 @@ func TestGoldenHasFailingCasePerPass(t *testing.T) {
 	loader, root := goldenLoader(t)
 	seen := make(map[string]int)
 	for _, name := range []string{
-		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad", "directives",
+		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad",
+		"poollifebad", "atomiccheckbad", "streamorderbad", "directives",
 	} {
 		dir := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
 		pkg, err := loader.LoadDir(dir)
@@ -112,9 +117,55 @@ func TestGoldenHasFailingCasePerPass(t *testing.T) {
 			seen[parts[len(parts)-1]] += n
 		}
 	}
-	for _, pass := range []string{"floatcmp", "maporder", "lockcheck", "goroleak", "errdrop", "directive"} {
+	for _, pass := range []string{
+		"floatcmp", "maporder", "lockcheck", "goroleak", "errdrop",
+		"poollife", "atomiccheck", "streamorder", "directive",
+	} {
 		if seen[pass] == 0 {
 			t.Errorf("no golden fixture exercises pass %q", pass)
+		}
+	}
+}
+
+// TestStrictIgnores exercises the stale-suppression audit on the directives
+// fixture: the trailing errdrop and statement-extent maporder directives
+// both suppress a real finding and must stay silent, while the wrong-pass
+// floatcmp directive suppresses nothing and must be reported — but only
+// when floatcmp is actually in the running set.
+func TestStrictIgnores(t *testing.T) {
+	loader, root := goldenLoader(t)
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", "directives")
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load directives: %v", err)
+	}
+
+	passes := []*Pass{FloatCmpPass(), MapOrderPass(), ErrDropPass()}
+	var stale []Diagnostic
+	for _, d := range RunPassesStrict(passes, pkg, true) {
+		if d.Pass == "staleignore" {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d staleignore finding(s), want exactly 1 (the wrong-pass floatcmp directive): %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "floatcmp") {
+		t.Errorf("staleignore should name the floatcmp directive, got: %s", stale[0].Message)
+	}
+
+	// Without the audit the same run must not report staleignore at all.
+	for _, d := range RunPassesStrict(passes, pkg, false) {
+		if d.Pass == "staleignore" {
+			t.Errorf("staleignore reported without strict mode: %s", d)
+		}
+	}
+
+	// With floatcmp absent from the running set its directive is not
+	// auditable and must not be flagged.
+	for _, d := range RunPassesStrict([]*Pass{MapOrderPass(), ErrDropPass()}, pkg, true) {
+		if d.Pass == "staleignore" {
+			t.Errorf("directive for a pass outside the running set flagged: %s", d)
 		}
 	}
 }

@@ -1,0 +1,378 @@
+package analysis
+
+// atomiccheck: atomic-access discipline. A struct field that is ever
+// accessed through sync/atomic — either the function forms
+// (atomic.AddUint64(&s.n, 1)) or the typed forms (atomic.Uint64,
+// telemetry.Counter and friends, whose underlying structs hold atomics) —
+// must never be read or written plainly: a single plain `s.n++` next to an
+// atomic reader is a data race the race detector only catches when the
+// schedule cooperates, and the telemetry layer's whole contract is lock-free
+// instruments touched from many goroutines.
+//
+// Two access classes are exempt, because they happen before the value can be
+// shared: accesses inside init functions, and accesses through a receiver
+// whose every reaching definition is a fresh local allocation (&T{}, new(T),
+// a zero-valued var) — the constructor pattern. The latter is decided with
+// the reaching-definitions analysis over the CFG, not syntax: assign the
+// struct from a function call on one branch and the exemption correctly
+// disappears at the join.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheckPass builds the atomiccheck analyzer.
+func AtomicCheckPass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "atomiccheck",
+		Doc:   "plain read/write of a field that is accessed atomically elsewhere (or holds an atomic type)",
+		Paths: paths,
+		Run:   runAtomicCheck,
+	}
+}
+
+// atomicFuncs are the sync/atomic package-level operation families; any
+// atomic.XxxT(&s.f, ...) call marks s.f as atomically-accessed.
+func isAtomicFuncCall(p *Pkg, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's typed values
+// (atomic.Uint64, atomic.Bool, atomic.Value, ...) or a named struct that
+// directly wraps one (telemetry.Counter{v atomic.Uint64}) — a type whose
+// instances must only be touched through their methods or by address.
+// Pointer types are never atomic values: copying a *Counter is harmless.
+func isAtomicValueType(t types.Type) bool {
+	return atomicValueDepth(t, 0)
+}
+
+func atomicValueDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 2 {
+		return false
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj() != nil && n.Obj().Pkg() != nil {
+		if n.Obj().Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		switch u := ft.Underlying().(type) {
+		case *types.Slice:
+			if atomicValueDepth(u.Elem(), depth+1) {
+				return true
+			}
+		case *types.Array:
+			if atomicValueDepth(u.Elem(), depth+1) {
+				return true
+			}
+		default:
+			if atomicValueDepth(ft, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(p *Pkg, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// access is one candidate plain access awaiting the freshness exemption.
+type access struct {
+	sel   *ast.SelectorExpr
+	field *types.Var
+	write bool
+	// recv is the receiver variable when the selector base is a plain
+	// (possibly dereferenced) identifier; nil otherwise. Only accesses with
+	// a nameable receiver can earn the constructor exemption.
+	recv *types.Var
+	body *ast.BlockStmt
+}
+
+func runAtomicCheck(p *Pkg) []Diagnostic {
+	// Phase 1: fields touched through sync/atomic function calls anywhere in
+	// the package, with one representative position each.
+	atomically := make(map[*types.Var]token.Pos)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(p, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			if sel, ok := un.X.(*ast.SelectorExpr); ok {
+				if fv := fieldOf(p, sel); fv != nil {
+					if _, seen := atomically[fv]; !seen {
+						atomically[fv] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: classify every field selector in the package.
+	var candidates []access
+	for _, f := range p.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldOf(p, sel)
+			if fv == nil {
+				return true
+			}
+			_, viaFunc := atomically[fv]
+			typed := isAtomicValueType(fv.Type())
+			if !viaFunc && !typed {
+				return true
+			}
+			ctx := classifyAccess(parents, sel)
+			if ctx == accessSafe {
+				return true
+			}
+			if inInitFunc(f, sel.Pos()) {
+				return true
+			}
+			candidates = append(candidates, access{
+				sel:   sel,
+				field: fv,
+				write: ctx == accessWrite,
+				recv:  baseVar(p, sel.X),
+				body:  enclosingBody(f, sel.Pos()),
+			})
+			return true
+		})
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Phase 3: the constructor exemption, via reaching definitions — a plain
+	// access is fine while the struct provably cannot be shared yet.
+	survivors := filterFresh(p, candidates)
+
+	var ds []Diagnostic
+	for _, a := range survivors {
+		verb := "read"
+		if a.write {
+			verb = "written"
+		}
+		owner := ""
+		if named := fieldOwner(a.field); named != "" {
+			owner = named + "."
+		}
+		if pos, ok := atomically[a.field]; ok {
+			ds = append(ds, p.diag(a.sel.Sel.Pos(), "atomiccheck",
+				"field %s%s is accessed atomically (e.g. line %d) but %s plainly here: every access must go through sync/atomic",
+				owner, a.field.Name(), p.Fset.Position(pos).Line, verb))
+		} else {
+			ds = append(ds, p.diag(a.sel.Sel.Pos(), "atomiccheck",
+				"atomic-typed field %s%s %s plainly: use its methods (Load/Store/Add) or pass it by address",
+				owner, a.field.Name(), verb))
+		}
+	}
+	return ds
+}
+
+// fieldOwner names the struct type declaring the field, when recoverable.
+func fieldOwner(fv *types.Var) string {
+	// The field's parent scope does not name the struct; walk the package
+	// scope for a named type whose underlying struct contains fv.
+	if fv.Pkg() == nil {
+		return ""
+	}
+	scope := fv.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fv {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+type accessCtx int
+
+const (
+	accessSafe accessCtx = iota
+	accessRead
+	accessWrite
+)
+
+// classifyAccess decides how a field selector is being used from its parent
+// chain: method-call receivers and address-taking are safe (that is how
+// atomic values are meant to be used); assignment targets and ++/-- are
+// plain writes; everything else that yields the value is a plain read.
+func classifyAccess(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) accessCtx {
+	parent := parents[sel]
+	switch par := parent.(type) {
+	case *ast.SelectorExpr:
+		// s.f.Load() — sel is the base of a deeper selector. If the deeper
+		// selector is a method call's Fun, the access is safe; if it selects
+		// a subfield plainly, the subfield's own classification governs (and
+		// this node is safe to skip — the leaf selector is also visited).
+		return accessSafe
+	case *ast.UnaryExpr:
+		if par.Op == token.AND {
+			return accessSafe // &s.f: passing the atomic by address
+		}
+		return accessRead
+	case *ast.AssignStmt:
+		for _, lhs := range par.Lhs {
+			if lhs == sel {
+				return accessWrite
+			}
+		}
+		return accessRead
+	case *ast.IncDecStmt:
+		return accessWrite
+	case *ast.CallExpr:
+		if par.Fun == sel {
+			// s.f(...) — calling the field (a func-typed field) is a read of
+			// the field value; calling a method on it never parents the
+			// selector here (that is the SelectorExpr case above).
+			return accessRead
+		}
+		return accessRead
+	default:
+		return accessRead
+	}
+}
+
+// baseVar unwraps a selector base to its root identifier's variable:
+// s.f → s, (*s).f → s. Deeper bases (a.b.f, calls, indexes) return nil.
+func baseVar(p *Pkg, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := p.Info.Uses[x].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// inInitFunc reports whether pos falls inside a func init() declaration.
+func inInitFunc(f *ast.File, pos token.Pos) bool {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv != nil || fd.Name.Name != "init" {
+			continue
+		}
+		if fd.Pos() <= pos && pos < fd.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// filterFresh drops candidates whose receiver is provably a fresh local
+// allocation at the access point (reaching-definitions over the enclosing
+// body). Candidates without a nameable receiver or body are kept.
+func filterFresh(p *Pkg, candidates []access) []access {
+	byBody := make(map[*ast.BlockStmt][]int)
+	for i, a := range candidates {
+		if a.recv != nil && a.body != nil {
+			byBody[a.body] = append(byBody[a.body], i)
+		}
+	}
+	// Map iteration order is irrelevant here: the loop only flips per-index
+	// exemption bits, and the survivor list below is built in candidate
+	// (source) order.
+	exempt := make([]bool, len(candidates))
+	for body, idxs := range byBody {
+		g := BuildCFG(body)
+		defs := ReachingDefs(g, p.Info)
+		rd := &reachingDefs{info: p.Info}
+		for _, blk := range g.Blocks {
+			if !blk.Live {
+				continue
+			}
+			ReplayBlock[DefsState](rd, blk, defs.In[blk.Index], func(n CFGNode, before DefsState) {
+				// A RangeStmt head node spans its whole body, but only the
+				// range operand is evaluated at this step; body accesses
+				// belong to the body blocks' own nodes.
+				lo, hi := n.N.Pos(), n.N.End()
+				if rs, ok := n.N.(*ast.RangeStmt); ok {
+					lo, hi = rs.X.Pos(), rs.X.End()
+				}
+				for _, i := range idxs {
+					a := candidates[i]
+					if a.sel.Pos() >= lo && a.sel.End() <= hi {
+						if FreshAt(before, a.recv) {
+							exempt[i] = true
+						}
+					}
+				}
+			})
+		}
+	}
+	var out []access
+	for i, a := range candidates {
+		if !exempt[i] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// buildParents maps every node in f to its parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

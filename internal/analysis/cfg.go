@@ -1,0 +1,500 @@
+package analysis
+
+// Per-function control-flow graph construction: the substrate of the
+// dataflow passes (poollife, atomiccheck's reaching-defs exemption,
+// streamorder). The builder lowers one function body into basic blocks of
+// evaluation steps connected by explicit edges, covering branches, all loop
+// forms, switch/type-switch/select, break/continue (labeled and not),
+// goto/labels, short-circuit && and || (each operand gets its own block, so
+// a fact established by evaluating the left operand is branch-sensitive in
+// the right), and defer.
+//
+// Defers are approximated: every deferred call is re-appended to the Exit
+// block in LIFO source order and marked Deferred, because defers run on
+// every path out of the function. The approximation loses two things —
+// conditionally-registered defers look unconditional at exit, and argument
+// values are the ones reaching exit, not the ones captured at the defer
+// statement — both conservative enough for the lint passes built on top
+// (the defer statement itself also appears at its source location, so
+// argument evaluation is still observed there).
+//
+// Construction never fails on syntactically valid input: malformed control
+// flow (break outside a loop, goto to a missing label) simply terminates
+// the current path, which is what makes the builder safe to fuzz
+// (FuzzCFGBuild).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFGNode is one evaluation step inside a basic block: a simple statement,
+// a bare (condition or case) expression, a range-loop head, or a deferred
+// call replayed at function exit.
+type CFGNode struct {
+	N ast.Node
+	// Deferred marks a deferred call re-executed in the Exit block; the
+	// node's arguments were evaluated earlier, at the defer statement.
+	Deferred bool
+}
+
+// CFGBlock is one basic block.
+type CFGBlock struct {
+	Index int
+	Nodes []CFGNode
+	Succs []*CFGBlock
+	Preds []*CFGBlock
+	// Live reports whether the block is reachable from the entry block;
+	// dead blocks (code after return, unreferenced labels) stay in Blocks
+	// but are skipped by the dataflow solver.
+	Live bool
+}
+
+// CFG is the control-flow graph of one function body. Entry is Blocks[0];
+// Exit is the unique sink every return, panic, and fall-off-the-end path
+// reaches, holding the Deferred replay nodes.
+type CFG struct {
+	Blocks []*CFGBlock
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	// backEdges holds [from,to] block-index pairs of loop back edges,
+	// identified by DFS; the dataflow solver offers passes a hook to weaken
+	// or reset state crossing them.
+	backEdges map[[2]int]bool
+}
+
+// IsBackEdge reports whether the from→to edge closes a loop.
+func (g *CFG) IsBackEdge(from, to *CFGBlock) bool {
+	return g.backEdges[[2]int{from.Index, to.Index}]
+}
+
+// BuildCFG lowers a function body into a CFG.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*CFGBlock),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.jump(b.cfg.Exit) // fall off the end
+	// Replay deferred calls at exit in LIFO source order.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, CFGNode{N: b.defers[i], Deferred: true})
+	}
+	b.cfg.markLive()
+	b.cfg.findBackEdges()
+	return b.cfg
+}
+
+// markLive flags every block reachable from the entry.
+func (g *CFG) markLive() {
+	var stack []*CFGBlock
+	g.Entry.Live = true
+	stack = append(stack, g.Entry)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !s.Live {
+				s.Live = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// findBackEdges marks edges that close a loop: a successor still on the DFS
+// stack when the edge is traversed.
+func (g *CFG) findBackEdges() {
+	g.backEdges = make(map[[2]int]bool)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var visit func(*CFGBlock)
+	visit = func(blk *CFGBlock) {
+		color[blk.Index] = gray
+		for _, s := range blk.Succs {
+			switch color[s.Index] {
+			case white:
+				visit(s)
+			case gray:
+				g.backEdges[[2]int{blk.Index, s.Index}] = true
+			}
+		}
+		color[blk.Index] = black
+	}
+	visit(g.Entry)
+}
+
+// loopScope is one enclosing breakable construct during construction.
+type loopScope struct {
+	label       string
+	breakTarget *CFGBlock
+	continueTgt *CFGBlock // nil for switch/select scopes
+	isLoop      bool
+	nextCaseBlk *CFGBlock // fallthrough target inside switch bodies
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *CFGBlock // nil when the current path has terminated
+	scopes []loopScope
+	labels map[string]*CFGBlock
+	defers []*ast.CallExpr
+	// pendingLabel is set while building the statement directly under a
+	// LabeledStmt, so loops and switches can register labeled break/continue
+	// targets.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge links from→to.
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump links the current block to target and terminates the current path.
+func (b *cfgBuilder) jump(target *CFGBlock) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// add appends an evaluation step to the current block; a terminated path
+// gets a fresh dead block so later statements still appear in the graph.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, CFGNode{N: n})
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// labelBlock get-or-creates the block a named label starts.
+func (b *cfgBuilder) labelBlock(name string) *CFGBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// cond lowers a boolean expression with short-circuit decomposition: each
+// &&/|| operand is evaluated in its own block, with edges reflecting which
+// outcomes reach which successor.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *CFGBlock) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	}
+	b.add(e)
+	if b.cur != nil {
+		b.edge(b.cur, t)
+		b.edge(b.cur, f)
+	}
+	b.cur = nil
+}
+
+// terminates reports whether a call expression never returns: panic, or one
+// of the conventional process/goroutine terminators.
+func terminatesFlow(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && terminatesFlow(call) {
+			b.jump(b.cfg.Exit)
+		}
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.GoStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing to evaluate
+
+	case *ast.DeferStmt:
+		// Arguments are evaluated here; the call itself replays at Exit.
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.LabeledStmt:
+		lbl := b.labelBlock(s.Label.Name)
+		b.jump(lbl)
+		b.cur = lbl
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock()
+		join := b.newBlock()
+		els := join
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		b.cond(s.Cond, then, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.jump(join)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		contTgt := head
+		var post *CFGBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			contTgt = post
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, join)
+		} else {
+			b.jump(body)
+		}
+		b.scopes = append(b.scopes, loopScope{label: label, breakTarget: join, continueTgt: contTgt, isLoop: true})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(contTgt)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.jump(head)
+		head.Nodes = append(head.Nodes, CFGNode{N: s}) // evaluates X, binds Key/Value
+		b.edge(head, body)
+		b.edge(head, join)
+		b.scopes = append(b.scopes, loopScope{label: label, breakTarget: join, continueTgt: head, isLoop: true})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.cases(s.Body, label)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.cases(s.Body, label)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.cases(s.Body, label)
+
+	default:
+		// Anything unrecognized is appended as an opaque step.
+		b.add(s)
+	}
+}
+
+// branch lowers break/continue/goto/fallthrough.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if name == "" || sc.label == name {
+				b.jump(sc.breakTarget)
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if sc.isLoop && (name == "" || sc.label == name) {
+				b.jump(sc.continueTgt)
+				return
+			}
+		}
+	case token.GOTO:
+		if name != "" {
+			b.jump(b.labelBlock(name))
+			return
+		}
+	case token.FALLTHROUGH:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			if b.scopes[i].nextCaseBlk != nil {
+				b.jump(b.scopes[i].nextCaseBlk)
+				return
+			}
+		}
+	}
+	// Malformed control flow (break outside any scope, goto with no label):
+	// terminate the path instead of failing.
+	b.cur = nil
+}
+
+// cases lowers the clause list of a switch, type switch, or select: every
+// clause gets its own block fed from the head, with an implicit edge to the
+// join when no default clause exists.
+func (b *cfgBuilder) cases(body *ast.BlockStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	join := b.newBlock()
+	var clauseBlks []*CFGBlock
+	hasDefault := false
+	for _, cs := range body.List {
+		blk := b.newBlock()
+		clauseBlks = append(clauseBlks, blk)
+		b.edge(head, blk)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	for i, cs := range body.List {
+		var next *CFGBlock
+		if i+1 < len(clauseBlks) {
+			next = clauseBlks[i+1]
+		}
+		b.scopes = append(b.scopes, loopScope{label: label, breakTarget: join, nextCaseBlk: next})
+		b.cur = clauseBlks[i]
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cs.List {
+				b.add(e)
+			}
+			b.stmtList(cs.Body)
+		case *ast.CommClause:
+			if cs.Comm != nil {
+				b.stmt(cs.Comm)
+			}
+			b.stmtList(cs.Body)
+		}
+		b.jump(join)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+	}
+	b.cur = join
+}

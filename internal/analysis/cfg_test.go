@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps src in a function and returns its *ast.BlockStmt, or nil
+// when the input does not parse (fuzz inputs mostly will not).
+func parseBody(src string) *ast.BlockStmt {
+	file := "package p\nfunc f() {\n" + src + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		return nil
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// checkCFGInvariants asserts the structural properties every CFG must hold,
+// regardless of input shape:
+//
+//  1. Entry and Exit exist and Blocks[i].Index == i.
+//  2. Edge symmetry: the Succs and Preds multisets mirror each other.
+//  3. Live is exactly reachability from Entry — every block is reachable or
+//     marked dead, never a third state.
+//  4. Every recorded back edge is an existing edge.
+func checkCFGInvariants(g *CFG) error {
+	if g.Entry == nil || g.Exit == nil {
+		return fmt.Errorf("nil entry or exit")
+	}
+	for i, blk := range g.Blocks {
+		if blk.Index != i {
+			return fmt.Errorf("block at position %d has Index %d", i, blk.Index)
+		}
+	}
+	edgeCount := func(list []*CFGBlock, want *CFGBlock) int {
+		n := 0
+		for _, b := range list {
+			if b == want {
+				n++
+			}
+		}
+		return n
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if fwd, back := edgeCount(blk.Succs, s), edgeCount(s.Preds, blk); fwd != back {
+				return fmt.Errorf("asymmetric edge b%d->b%d: %d in Succs, %d in Preds", blk.Index, s.Index, fwd, back)
+			}
+		}
+		for _, pr := range blk.Preds {
+			if back, fwd := edgeCount(blk.Preds, pr), edgeCount(pr.Succs, blk); back != fwd {
+				return fmt.Errorf("asymmetric edge b%d<-b%d: %d in Preds, %d in Succs", blk.Index, pr.Index, back, fwd)
+			}
+		}
+	}
+	reach := make([]bool, len(g.Blocks))
+	stack := []*CFGBlock{g.Entry}
+	reach[g.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !reach[s.Index] {
+				reach[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for _, blk := range g.Blocks {
+		if blk.Live != reach[blk.Index] {
+			return fmt.Errorf("block b%d Live=%v but reachable=%v", blk.Index, blk.Live, reach[blk.Index])
+		}
+	}
+	for e := range g.backEdges {
+		from, to := e[0], e[1]
+		if from < 0 || from >= len(g.Blocks) || to < 0 || to >= len(g.Blocks) {
+			return fmt.Errorf("back edge %v out of range", e)
+		}
+		if edgeCount(g.Blocks[from].Succs, g.Blocks[to]) == 0 {
+			return fmt.Errorf("back edge b%d->b%d is not an edge", from, to)
+		}
+	}
+	return nil
+}
+
+// cfgSeeds are function bodies covering every construct the builder lowers;
+// they double as the fuzz corpus.
+var cfgSeeds = []string{
+	"",
+	"x := 1\n_ = x",
+	"if a {\n\tx()\n} else {\n\ty()\n}",
+	"if a && b || !c {\n\tx()\n}",
+	"for i := 0; i < 10; i++ {\n\tif i == 5 {\n\t\tcontinue\n\t}\n\tx(i)\n}",
+	"for {\n\tbreak\n}",
+	"for k, v := range m {\n\t_ = k\n\t_ = v\n}",
+	"outer:\nfor {\n\tfor {\n\t\tcontinue outer\n\t}\n}",
+	"goto done\nx()\ndone:\ny()",
+	"switch x {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}",
+	"switch v := x.(type) {\ncase int:\n\t_ = v\ndefault:\n}",
+	"select {\ncase <-ch:\n\ta()\ncase ch2 <- 1:\ndefault:\n}",
+	"defer f()\ndefer g()\nreturn",
+	"return\nx()", // dead code after return
+	"break",       // malformed: break outside any scope
+	"goto missing",
+	"L:\n\tx()",
+	"go func() {\n\tfor {\n\t}\n}()",
+}
+
+// TestCFGStructure runs the invariant checker over the seed bodies and
+// spot-checks the properties the dataflow passes rely on: loops produce back
+// edges, dead code is marked dead, defers are replayed at Exit.
+func TestCFGStructure(t *testing.T) {
+	for _, src := range cfgSeeds {
+		body := parseBody(src)
+		if body == nil {
+			t.Fatalf("seed did not parse: %q", src)
+		}
+		g := BuildCFG(body)
+		if err := checkCFGInvariants(g); err != nil {
+			t.Errorf("seed %q: %v", src, err)
+		}
+	}
+
+	g := BuildCFG(parseBody("for i := 0; i < 3; i++ {\n\tx(i)\n}"))
+	if len(g.backEdges) == 0 {
+		t.Error("for loop produced no back edge")
+	}
+
+	g = BuildCFG(parseBody("return\nx()"))
+	dead := 0
+	for _, blk := range g.Blocks {
+		if !blk.Live && len(blk.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Error("statement after return not marked dead")
+	}
+
+	g = BuildCFG(parseBody("defer f()\nx()"))
+	deferred := 0
+	for _, n := range g.Exit.Nodes {
+		if n.Deferred {
+			deferred++
+		}
+	}
+	if deferred != 1 {
+		t.Errorf("exit block has %d deferred replays, want 1", deferred)
+	}
+}
+
+// FuzzCFGBuild feeds arbitrary small function bodies to the CFG builder: on
+// anything that parses, construction must not panic and the result must pass
+// the full structural invariant check (edge symmetry, Live == reachability,
+// back edges are edges). Malformed control flow — break outside a loop, goto
+// to a missing label — must degrade to a terminated path, not a crash.
+func FuzzCFGBuild(f *testing.F) {
+	for _, s := range cfgSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		body := parseBody(src)
+		if body == nil {
+			t.Skip("does not parse")
+		}
+		g := BuildCFG(body)
+		if err := checkCFGInvariants(g); err != nil {
+			t.Fatalf("invariant violated for %q: %v", src, err)
+		}
+	})
+}

@@ -1,0 +1,311 @@
+package analysis
+
+// Forward dataflow over the per-function CFG: a generic worklist fixpoint
+// solver parameterized by a lattice, plus the one concrete analysis several
+// passes share — reaching definitions. Passes run the solver to a fixpoint
+// and then replay each live block from its in-state to attach diagnostics to
+// the exact node that violates the invariant (replaying instead of reporting
+// during iteration keeps diagnostics deterministic and duplicate-free).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FlowProblem defines one forward dataflow analysis. S is the abstract state
+// flowing along CFG edges; implementations must treat states as immutable
+// values (Transfer and Join return fresh or shared states, never mutate
+// their arguments in place).
+type FlowProblem[S any] interface {
+	// Entry is the state at function entry.
+	Entry() S
+	// Transfer flows the state across one evaluation step.
+	Transfer(n CFGNode, s S) S
+	// Join merges the states of two converging paths.
+	Join(a, b S) S
+	// Equal reports state equality; the fixpoint terminates when every
+	// block's in-state stops changing under Join.
+	Equal(a, b S) bool
+	// AtBackEdge transforms state carried across a loop back edge. Passes
+	// whose facts are iteration-scoped (streamorder's per-site automaton)
+	// weaken here; identity is correct for passes with proper kills.
+	AtBackEdge(s S) S
+}
+
+// FlowResult holds the fixpoint: the abstract state at the entry of each
+// block, indexed by CFGBlock.Index. Dead blocks keep the zero state.
+type FlowResult[S any] struct {
+	In []S
+}
+
+// SolveForward runs p over g to a fixpoint with a worklist. Convergence is
+// guaranteed for finite lattices joined monotonically; as a backstop against
+// a buggy problem definition the solver also caps the number of block visits
+// (lint passes prefer a silently-partial result over a hang).
+func SolveForward[S any](g *CFG, p FlowProblem[S]) *FlowResult[S] {
+	res := &FlowResult[S]{In: make([]S, len(g.Blocks))}
+	seen := make([]bool, len(g.Blocks))
+	res.In[g.Entry.Index] = p.Entry()
+	seen[g.Entry.Index] = true
+
+	work := []*CFGBlock{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+	budget := 64 * (len(g.Blocks) + 1)
+	for len(work) > 0 && budget > 0 {
+		budget--
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+
+		out := res.In[blk.Index]
+		for _, n := range blk.Nodes {
+			out = p.Transfer(n, out)
+		}
+		for _, s := range blk.Succs {
+			edgeState := out
+			if g.IsBackEdge(blk, s) {
+				edgeState = p.AtBackEdge(edgeState)
+			}
+			next := edgeState
+			if seen[s.Index] {
+				next = p.Join(res.In[s.Index], edgeState)
+				if p.Equal(next, res.In[s.Index]) {
+					continue
+				}
+			}
+			res.In[s.Index] = next
+			seen[s.Index] = true
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// ReplayBlock walks one block from its in-state, invoking visit on every
+// node with the state holding *before* that node, then applying Transfer.
+// This is how passes localize diagnostics after the fixpoint.
+func ReplayBlock[S any](p FlowProblem[S], blk *CFGBlock, in S, visit func(n CFGNode, before S)) {
+	s := in
+	for _, n := range blk.Nodes {
+		visit(n, s)
+		s = p.Transfer(n, s)
+	}
+}
+
+// --- reaching definitions ---
+
+// DefKind classifies one definition site of a variable.
+type DefKind int
+
+const (
+	// DefUnknown covers definitions the analysis cannot see: parameters,
+	// free variables of a closure, anything defined outside the body.
+	DefUnknown DefKind = iota
+	// DefFresh is a definition from a fresh, unaliased allocation in this
+	// function: &T{...}, T{...}, new(T), or a zero-valued var declaration.
+	DefFresh
+	// DefOther is any other visible assignment (call results, loads,
+	// arithmetic, range bindings).
+	DefOther
+)
+
+// Def is one reaching definition site.
+type Def struct {
+	Kind DefKind
+	Pos  token.Pos
+}
+
+// DefsState maps each variable to the set of definitions that may reach the
+// current program point. A variable missing from the map has only its
+// entry-state (unknown) definition.
+type DefsState map[*types.Var]map[Def]bool
+
+// reachingDefs implements FlowProblem for the reaching-definitions analysis.
+type reachingDefs struct {
+	info *types.Info
+}
+
+func (r *reachingDefs) Entry() DefsState                 { return DefsState{} }
+func (r *reachingDefs) AtBackEdge(s DefsState) DefsState { return s }
+
+func (r *reachingDefs) Join(a, b DefsState) DefsState {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(DefsState, len(a)+len(b))
+	for v, defs := range a {
+		m := make(map[Def]bool, len(defs))
+		for d := range defs {
+			m[d] = true
+		}
+		out[v] = m
+	}
+	for v, defs := range b {
+		m := out[v]
+		if m == nil {
+			m = make(map[Def]bool, len(defs))
+			out[v] = m
+		}
+		for d := range defs {
+			m[d] = true
+		}
+	}
+	return out
+}
+
+func (r *reachingDefs) Equal(a, b DefsState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, da := range a {
+		db, ok := b[v]
+		if !ok || len(da) != len(db) {
+			return false
+		}
+		for d := range da {
+			if !db[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r *reachingDefs) Transfer(n CFGNode, s DefsState) DefsState {
+	kills := defsIn(r.info, n.N)
+	if len(kills) == 0 {
+		return s
+	}
+	out := make(DefsState, len(s)+len(kills))
+	for v, defs := range s {
+		out[v] = defs
+	}
+	for v, d := range kills {
+		out[v] = map[Def]bool{d: true}
+	}
+	return out
+}
+
+// defsIn extracts the definitions a single evaluation step performs:
+// variable → its (single) new definition, which kills all prior ones. It is
+// shared by reaching definitions and by the passes that need kill sets
+// (poollife's taint is killed by exactly these assignments).
+func defsIn(info *types.Info, n ast.Node) map[*types.Var]Def {
+	out := make(map[*types.Var]Def)
+	record := func(id *ast.Ident, kind DefKind) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if o := info.Defs[id]; o != nil {
+			obj = o
+		} else if o := info.Uses[id]; o != nil {
+			obj = o
+		}
+		if v, ok := obj.(*types.Var); ok {
+			out[v] = Def{Kind: kind, Pos: id.Pos()}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			kind := DefOther
+			if len(n.Rhs) == len(n.Lhs) && isFreshAlloc(n.Rhs[i]) {
+				kind = DefFresh
+			}
+			record(id, kind)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return out
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				kind := DefFresh // zero-valued declaration
+				if i < len(vs.Values) && !isFreshAlloc(vs.Values[i]) {
+					kind = DefOther
+				}
+				record(name, kind)
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			record(id, DefOther)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			record(id, DefOther)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			record(id, DefOther)
+		}
+	case *ast.TypeSwitchStmt:
+		if as, ok := n.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				record(id, DefOther)
+			}
+		}
+	case *ast.ExprStmt:
+		// no definitions
+	}
+	return out
+}
+
+// isFreshAlloc reports whether e is a fresh, unaliased allocation.
+func isFreshAlloc(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return isFreshAlloc(e.X)
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachingDefs computes the reaching-definition sets of g's blocks.
+func ReachingDefs(g *CFG, info *types.Info) *FlowResult[DefsState] {
+	return SolveForward[DefsState](g, &reachingDefs{info: info})
+}
+
+// FreshAt reports whether every definition of v that may reach the given
+// state is a fresh local allocation — i.e. the value cannot yet be shared
+// with another goroutine. A variable with no visible definition (parameter,
+// closure capture) is not fresh.
+func FreshAt(s DefsState, v *types.Var) bool {
+	defs := s[v]
+	if len(defs) == 0 {
+		return false
+	}
+	for d := range defs {
+		if d.Kind != DefFresh {
+			return false
+		}
+	}
+	return true
+}

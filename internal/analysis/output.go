@@ -1,0 +1,41 @@
+package analysis
+
+// NDJSON output for machine consumers: megate-lint -json emits one JSON
+// object per finding per line, so downstream tooling (CI annotations, the
+// telemetry dashboard's lint panel) can stream-parse without buffering the
+// whole report.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the wire form of one Diagnostic. Field names are part of
+// the -json contract; do not rename.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// WriteJSON writes ds as NDJSON: one compact JSON object per diagnostic,
+// each terminated by exactly one newline, in the order given. An empty slice
+// writes nothing.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range ds {
+		jd := jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Pass:    d.Pass,
+			Message: d.Message,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONShape checks the NDJSON contract: one object per line, the
+// agreed field names, order preserved, and exactly one trailing newline.
+func TestWriteJSONShape(t *testing.T) {
+	ds := []Diagnostic{
+		{Pos: token.Position{Filename: "a/b.go", Line: 12, Column: 3}, Pass: "poollife", Message: "c used after release at line 9"},
+		{Pos: token.Position{Filename: "a/c.go", Line: 40, Column: 2}, Pass: "streamorder", Message: `pair chunk for site "s" after its SiteDone`},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ds); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") || strings.HasSuffix(out, "\n\n") {
+		t.Fatalf("want exactly one trailing newline, got %q", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != len(ds) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(ds))
+	}
+	for i, line := range lines {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d not valid JSON: %v (%q)", i, err, line)
+		}
+		for _, key := range []string{"file", "line", "col", "pass", "message"} {
+			if _, ok := got[key]; !ok {
+				t.Errorf("line %d missing field %q", i, key)
+			}
+		}
+		if got["pass"] != ds[i].Pass {
+			t.Errorf("line %d pass = %v, want %s (order must be preserved)", i, got["pass"], ds[i].Pass)
+		}
+		if int(got["line"].(float64)) != ds[i].Pos.Line {
+			t.Errorf("line %d line = %v, want %d", i, got["line"], ds[i].Pos.Line)
+		}
+	}
+}
+
+// TestWriteJSONEscaping: messages with quotes, newlines, and non-ASCII must
+// stay one physical line each.
+func TestWriteJSONEscaping(t *testing.T) {
+	ds := []Diagnostic{
+		{Pos: token.Position{Filename: "x.go", Line: 1, Column: 1}, Pass: "floatcmp",
+			Message: "tricky \"quoted\"\nmulti-line ≠ message"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ds); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := strings.TrimSuffix(buf.String(), "\n")
+	if strings.Contains(out, "\n") {
+		t.Fatalf("escaped message leaked a raw newline: %q", out)
+	}
+	var got jsonDiagnostic
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if got.Message != ds[0].Message {
+		t.Errorf("message round-trip = %q, want %q", got.Message, ds[0].Message)
+	}
+}
+
+// TestWriteJSONEmpty: no findings, no output.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty input wrote %q", buf.String())
+	}
+}

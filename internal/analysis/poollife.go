@@ -1,0 +1,285 @@
+package analysis
+
+// poollife: pooled-object lifetime discipline. The streaming pipeline hands
+// pooled StreamChunks (and Scratch buffers) across component boundaries with
+// a "must not retain after release" contract: once a value is passed to
+// core.ReleaseChunk, sync.Pool.Put, or any Release* helper, another consumer
+// may already be mutating it. The pass runs a may-released forward dataflow
+// over the CFG: a release taints the variable on that path, a join keeps the
+// taint if ANY incoming path released it (the branch-sensitive case — a
+// release inside one arm of an if poisons everything after the join), and
+// any assignment to the variable (in particular re-Get from the pool) kills
+// it. While tainted, every read, write, field/index/store use, channel send,
+// or argument pass is a finding; a second release is a double-release
+// finding.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolLifePass builds the poollife analyzer, optionally scoped to paths.
+func PoolLifePass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "poollife",
+		Doc:   "use or double-free of a pooled value after ReleaseChunk/sync.Pool.Put on any path",
+		Paths: paths,
+		Run:   runPoolLife,
+	}
+}
+
+// plState maps a released variable to the position of the release that
+// tainted it. May-analysis: present = released on at least one path.
+type plState map[*types.Var]token.Pos
+
+// poolLife implements FlowProblem[plState].
+type poolLife struct {
+	info *types.Info
+}
+
+func (pl *poolLife) Entry() plState               { return plState{} }
+func (pl *poolLife) AtBackEdge(s plState) plState { return s }
+
+func (pl *poolLife) Join(a, b plState) plState {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(plState, len(a)+len(b))
+	for v, pos := range a {
+		out[v] = pos
+	}
+	for v, pos := range b {
+		if old, ok := out[v]; !ok || pos < old {
+			out[v] = pos // earliest release wins, for deterministic messages
+		}
+	}
+	return out
+}
+
+func (pl *poolLife) Equal(a, b plState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, pos := range a {
+		if o, ok := b[v]; !ok || o != pos {
+			return false
+		}
+	}
+	return true
+}
+
+func (pl *poolLife) Transfer(n CFGNode, s plState) plState {
+	relVar, relPos := pl.releaseIn(n)
+	kills := defsIn(pl.info, n.N)
+	if relVar == nil && len(kills) == 0 {
+		return s
+	}
+	out := make(plState, len(s)+1)
+	for v, pos := range s {
+		out[v] = pos
+	}
+	// The release taints first; an assignment in the same step (x =
+	// release-ish call result — not expressible with the recognized helpers)
+	// would kill after, which is the conservative order.
+	if relVar != nil {
+		if _, ok := out[relVar]; !ok {
+			out[relVar] = relPos
+		}
+	}
+	for v := range kills {
+		delete(out, v)
+	}
+	return out
+}
+
+// releaseIn returns the variable a single evaluation step releases, or nil.
+// Only two node shapes can release: an ExprStmt whose call is a recognized
+// release helper, and a Deferred call replayed at function exit. The defer
+// statement itself only evaluates the argument (the release happens at
+// exit), so it contributes nothing here.
+func (pl *poolLife) releaseIn(n CFGNode) (*types.Var, token.Pos) {
+	var call *ast.CallExpr
+	switch x := n.N.(type) {
+	case *ast.ExprStmt:
+		call, _ = x.X.(*ast.CallExpr)
+	case *ast.CallExpr:
+		if n.Deferred {
+			call = x
+		}
+	}
+	if call == nil {
+		return nil, token.NoPos
+	}
+	v := pl.releasedVar(call)
+	if v == nil {
+		return nil, token.NoPos
+	}
+	return v, call.Pos()
+}
+
+// releasedVar returns the local variable a call releases, or nil when the
+// call is not a release helper (or releases something the intraprocedural
+// analysis cannot name, like a struct field).
+func (pl *poolLife) releasedVar(call *ast.CallExpr) *types.Var {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	isRelease := false
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		isRelease = strings.HasPrefix(fun.Name, "Release")
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if strings.HasPrefix(name, "Release") {
+			isRelease = true
+		} else if name == "Put" {
+			// Put releases only on sync.Pool receivers; the kvstore's
+			// Store.Put is a database write, not a pool return.
+			if tv, ok := pl.info.Types[fun.X]; ok && isSyncPool(tv.Type) {
+				isRelease = true
+			}
+		}
+	}
+	if !isRelease {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pl.info.Uses[id]
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// isSyncPool reports whether t (possibly behind a pointer) is sync.Pool.
+func isSyncPool(t types.Type) bool {
+	n := namedFrom(t)
+	return n != nil && n.Obj() != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+func runPoolLife(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	pl := &poolLife{info: p.Info}
+	for _, f := range p.Files {
+		for _, body := range funcBodies(f) {
+			// Only lower bodies that mention a release helper at all; CFG
+			// construction is cheap but not free across a whole tree.
+			if !mentionsRelease(body) {
+				continue
+			}
+			g := BuildCFG(body)
+			res := SolveForward[plState](g, pl)
+			for _, blk := range g.Blocks {
+				if !blk.Live {
+					continue
+				}
+				ReplayBlock[plState](pl, blk, res.In[blk.Index], func(n CFGNode, before plState) {
+					ds = append(ds, pl.checkNode(p, n, before)...)
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// checkNode reports the violations one evaluation step commits against the
+// incoming released-set.
+func (pl *poolLife) checkNode(p *Pkg, n CFGNode, released plState) []Diagnostic {
+	if len(released) == 0 {
+		return nil
+	}
+	var ds []Diagnostic
+
+	// A release of an already-released variable is a double release; the
+	// argument occurrence is then accounted for and not also a "use".
+	var releaseArg *ast.Ident
+	if relVar, _ := pl.releaseIn(n); relVar != nil {
+		var call *ast.CallExpr
+		switch x := n.N.(type) {
+		case *ast.ExprStmt:
+			call = x.X.(*ast.CallExpr)
+		case *ast.CallExpr:
+			call = x
+		}
+		releaseArg, _ = call.Args[0].(*ast.Ident)
+		if first, ok := released[relVar]; ok {
+			ds = append(ds, p.diag(call.Pos(), "poollife",
+				"double release of %s (already released at line %d): the pool may hand it to two consumers",
+				relVar.Name(), p.Fset.Position(first).Line))
+		}
+	}
+
+	// Plain-ident assignment targets are kills, not uses.
+	killIdents := make(map[*ast.Ident]bool)
+	if as, ok := n.N.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				killIdents[id] = true
+			}
+		}
+	}
+
+	// A RangeStmt head node evaluates only the range operand; the body
+	// statements are their own CFG nodes and must not be double-inspected.
+	root := ast.Node(n.N)
+	if rs, ok := n.N.(*ast.RangeStmt); ok {
+		root = rs.X
+	}
+	ast.Inspect(root, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id == releaseArg || killIdents[id] {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		relPos, tainted := released[v]
+		if !tainted {
+			return true
+		}
+		ds = append(ds, p.diag(id.Pos(), "poollife",
+			"%s used after release at line %d: a pooled value must not be retained once returned to the pool",
+			v.Name(), p.Fset.Position(relPos).Line))
+		return true
+	})
+	return ds
+}
+
+// mentionsRelease is the cheap pre-filter: does the body syntactically
+// contain a Release* call or a Put call at all?
+func mentionsRelease(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.HasPrefix(name, "Release") || name == "Put" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

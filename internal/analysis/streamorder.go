@@ -1,0 +1,571 @@
+package analysis
+
+// streamorder: chunk-protocol ordering over stream channels. core.SolveStream
+// hands stage-two results to the publisher as a typed chunk stream with
+// ordering rules no compiler checks (see core.StreamSink): after a site's
+// SiteDone marker no further non-residual chunk for that site may be sent,
+// SiteDone markers are emitted once per site, and once residual supplements
+// start flowing the per-site streaming phase is over. The pass encodes that
+// state machine as a per-channel automaton driven by a forward dataflow over
+// the CFG.
+//
+// Two event vocabularies feed the automaton:
+//
+//   - direct sends: `ch <- c` and `sink.Chunk(c)` where the value is (or was
+//     last assigned from) a chunk composite literal, or a variable whose
+//     SiteDone/Residual/Pair fields were assigned on every path reaching the
+//     send. A "chunk" is any struct with a bool field named SiteDone —
+//     duck-typed so the golden fixtures do not need the real core types.
+//   - the emission helpers: emitSiteDone(sink, class, src) and
+//     emitAssignChunk(sink, class, st, residual, ...) calls.
+//
+// Facts are definite or unknown; only definite facts drive transitions and
+// findings, so a chunk whose flags the analysis cannot see (a function
+// parameter, a pool Get) never produces a false positive. Automaton state is
+// discarded across loop back edges: a new iteration works on a new site, and
+// the syntactically-identical site expression would otherwise alias
+// different runtime sites.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StreamOrderPass builds the streamorder analyzer.
+func StreamOrderPass(paths ...string) *Pass {
+	return &Pass{
+		Name:  "streamorder",
+		Doc:   "stream chunk sent out of protocol order (pair chunk after SiteDone, non-residual after residuals)",
+		Paths: paths,
+		Run:   runStreamOrder,
+	}
+}
+
+// triState is a dataflow-definite boolean.
+type triState int8
+
+const (
+	triUnknown triState = iota
+	triFalse
+	triTrue
+)
+
+func triOf(known, v bool) triState {
+	if !known {
+		return triUnknown
+	}
+	if v {
+		return triTrue
+	}
+	return triFalse
+}
+
+// chunkFacts is the abstract state of one chunk variable: what the analysis
+// knows about the flags it will carry when sent. site is the expression
+// string of the Pair's Src (empty = unknown).
+type chunkFacts struct {
+	done     triState
+	residual triState
+	site     string
+}
+
+// sinkState is the per-channel automaton: which site expressions have had
+// their SiteDone sent (with the position of that send), and whether residual
+// supplements have started.
+type sinkState struct {
+	closed      map[string]token.Pos
+	residual    bool
+	residualPos token.Pos
+}
+
+func (s sinkState) clone() sinkState {
+	out := sinkState{residual: s.residual, residualPos: s.residualPos}
+	if len(s.closed) > 0 {
+		out.closed = make(map[string]token.Pos, len(s.closed))
+		for k, v := range s.closed {
+			out.closed[k] = v
+		}
+	}
+	return out
+}
+
+// soState is the full abstract state.
+type soState struct {
+	chunks map[*types.Var]chunkFacts
+	sinks  map[string]sinkState
+}
+
+// streamOrder implements FlowProblem[soState].
+type streamOrder struct {
+	info *types.Info
+	fset *token.FileSet
+}
+
+func (so *streamOrder) Entry() soState { return soState{} }
+
+// AtBackEdge discards everything: per-iteration site identities must not
+// leak across loop iterations.
+func (so *streamOrder) AtBackEdge(s soState) soState { return soState{} }
+
+func (so *streamOrder) Join(a, b soState) soState {
+	out := soState{}
+	// Chunk facts must hold on all paths: intersect, demoting disagreements
+	// to unknown.
+	if len(a.chunks) > 0 && len(b.chunks) > 0 {
+		out.chunks = make(map[*types.Var]chunkFacts)
+		for v, fa := range a.chunks {
+			fb, ok := b.chunks[v]
+			if !ok {
+				continue
+			}
+			f := chunkFacts{}
+			if fa.done == fb.done {
+				f.done = fa.done
+			}
+			if fa.residual == fb.residual {
+				f.residual = fa.residual
+			}
+			if fa.site == fb.site {
+				f.site = fa.site
+			}
+			if f != (chunkFacts{}) {
+				out.chunks[v] = f
+			}
+		}
+	}
+	// Automaton facts hold on any path: a SiteDone sent in one branch closes
+	// the site for everything after the join.
+	if len(a.sinks) > 0 || len(b.sinks) > 0 {
+		out.sinks = make(map[string]sinkState)
+		for k, sa := range a.sinks {
+			out.sinks[k] = sa.clone()
+		}
+		for k, sb := range b.sinks {
+			m, ok := out.sinks[k]
+			if !ok {
+				out.sinks[k] = sb.clone()
+				continue
+			}
+			for site, pos := range sb.closed {
+				if old, exists := m.closed[site]; !exists || pos < old {
+					if m.closed == nil {
+						m.closed = make(map[string]token.Pos)
+					}
+					m.closed[site] = pos
+				}
+			}
+			if sb.residual && (!m.residual || sb.residualPos < m.residualPos) {
+				m.residual = true
+				m.residualPos = sb.residualPos
+			}
+			out.sinks[k] = m
+		}
+	}
+	return out
+}
+
+func (so *streamOrder) Equal(a, b soState) bool {
+	if len(a.chunks) != len(b.chunks) || len(a.sinks) != len(b.sinks) {
+		return false
+	}
+	for v, fa := range a.chunks {
+		if fb, ok := b.chunks[v]; !ok || fa != fb {
+			return false
+		}
+	}
+	for k, sa := range a.sinks {
+		sb, ok := b.sinks[k]
+		if !ok || sa.residual != sb.residual || sa.residualPos != sb.residualPos ||
+			len(sa.closed) != len(sb.closed) {
+			return false
+		}
+		for site, pos := range sa.closed {
+			if o, ok := sb.closed[site]; !ok || o != pos {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (so *streamOrder) Transfer(n CFGNode, s soState) soState {
+	out := so.cloneState(s)
+	so.step(n, &out, nil)
+	return out
+}
+
+func (so *streamOrder) cloneState(s soState) soState {
+	out := soState{}
+	if len(s.chunks) > 0 {
+		out.chunks = make(map[*types.Var]chunkFacts, len(s.chunks))
+		for v, f := range s.chunks {
+			out.chunks[v] = f
+		}
+	}
+	if len(s.sinks) > 0 {
+		out.sinks = make(map[string]sinkState, len(s.sinks))
+		for k, v := range s.sinks {
+			out.sinks[k] = v.clone()
+		}
+	}
+	return out
+}
+
+// step applies one evaluation step to st in place, reporting violations
+// through report when non-nil (the replay walk passes the diagnostics
+// collector; the fixpoint iteration passes nil).
+func (so *streamOrder) step(n CFGNode, st *soState, report func(pos token.Pos, format string, args ...any)) {
+	switch x := n.N.(type) {
+	case *ast.AssignStmt:
+		so.assign(x, st)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							so.bind(name, vs.Values[i], st)
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Range bindings kill chunk facts for the bound variables.
+		for _, e := range []ast.Expr{x.Key, x.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if v, ok := so.objOf(id).(*types.Var); ok {
+					delete(st.chunks, v)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		facts := so.factsOf(x.Value, *st)
+		so.event(exprString(x.Chan), facts, x.Pos(), st, report)
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			so.call(call, st, report)
+		}
+	case *ast.CallExpr:
+		if n.Deferred {
+			so.call(x, st, report)
+		}
+	}
+}
+
+// assign folds one assignment into the chunk facts.
+func (so *streamOrder) assign(as *ast.AssignStmt, st *soState) {
+	if len(as.Lhs) != len(as.Rhs) {
+		// Multi-value assignment from a call: kill any chunk vars on the LHS.
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if v, ok := so.objOf(id).(*types.Var); ok {
+					delete(st.chunks, v)
+				}
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[i]
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			so.bind(l, rhs, st)
+		case *ast.SelectorExpr:
+			base, depth := so.chunkBase(l)
+			if base == nil {
+				continue
+			}
+			f := chunkFacts{}
+			if cur, ok := st.chunks[base]; ok {
+				f = cur
+			}
+			switch l.Sel.Name {
+			case "SiteDone":
+				f.done = boolLit(rhs)
+			case "Residual":
+				f.residual = boolLit(rhs)
+			case "Pair":
+				if depth == 1 {
+					f.site = srcOfPairLit(rhs) // "" when the RHS is not a literal: unknown
+				}
+			case "Src":
+				if depth == 2 {
+					f.site = exprString(rhs)
+				}
+			}
+			if st.chunks == nil {
+				st.chunks = make(map[*types.Var]chunkFacts)
+			}
+			st.chunks[base] = f
+		}
+	}
+}
+
+// bind handles `c = <expr>` / `c := <expr>`: a chunk composite literal
+// yields definite facts, anything else kills.
+func (so *streamOrder) bind(id *ast.Ident, rhs ast.Expr, st *soState) {
+	v, ok := so.objOf(id).(*types.Var)
+	if !ok {
+		return
+	}
+	if f, ok := so.litFacts(rhs); ok {
+		if st.chunks == nil {
+			st.chunks = make(map[*types.Var]chunkFacts)
+		}
+		st.chunks[v] = f
+		return
+	}
+	delete(st.chunks, v)
+}
+
+// chunkBase resolves the base variable of c.SiteDone / c.Pair.Src selectors
+// when the base names a chunk-shaped struct; depth is the selector depth
+// (1 for c.Field, 2 for c.Pair.Src).
+func (so *streamOrder) chunkBase(sel *ast.SelectorExpr) (*types.Var, int) {
+	depth := 1
+	inner := sel.X
+	if is, ok := inner.(*ast.SelectorExpr); ok && sel.Sel.Name == "Src" && is.Sel.Name == "Pair" {
+		inner = is.X
+		depth = 2
+	}
+	id, ok := inner.(*ast.Ident)
+	if !ok {
+		return nil, 0
+	}
+	v, ok := so.objOf(id).(*types.Var)
+	if !ok || !so.isChunkType(v.Type()) {
+		return nil, 0
+	}
+	return v, depth
+}
+
+func (so *streamOrder) objOf(id *ast.Ident) types.Object {
+	if o := so.info.Uses[id]; o != nil {
+		return o
+	}
+	return so.info.Defs[id]
+}
+
+// isChunkType duck-types a chunk: a struct (possibly behind a pointer) with
+// a bool field named SiteDone.
+func (so *streamOrder) isChunkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "SiteDone" {
+			b, ok := f.Type().Underlying().(*types.Basic)
+			return ok && b.Kind() == types.Bool
+		}
+	}
+	return false
+}
+
+// litFacts extracts definite facts from a chunk composite literal
+// (&Chunk{...} or Chunk{...}); absent fields are definitely their zero
+// value.
+func (so *streamOrder) litFacts(e ast.Expr) (chunkFacts, bool) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return so.litFacts(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return so.litFacts(x.X)
+		}
+	case *ast.CompositeLit:
+		tv, ok := so.info.Types[x]
+		if !ok || !so.isChunkType(tv.Type) {
+			return chunkFacts{}, false
+		}
+		f := chunkFacts{done: triFalse, residual: triFalse}
+		for _, elt := range x.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "SiteDone":
+				f.done = boolLit(kv.Value)
+			case "Residual":
+				f.residual = boolLit(kv.Value)
+			case "Pair":
+				f.site = srcOfPairLit(kv.Value)
+			}
+		}
+		return f, true
+	}
+	return chunkFacts{}, false
+}
+
+// factsOf resolves the facts of a sent value: a tracked variable or an
+// inline literal.
+func (so *streamOrder) factsOf(e ast.Expr, st soState) chunkFacts {
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := so.objOf(id).(*types.Var); ok {
+			if f, ok := st.chunks[v]; ok {
+				return f
+			}
+			return chunkFacts{}
+		}
+	}
+	if f, ok := so.litFacts(e); ok {
+		return f
+	}
+	return chunkFacts{}
+}
+
+// srcOfPairLit extracts the Src expression string from a SitePair composite
+// literal (keyed or positional-first); "" when unrecoverable.
+func srcOfPairLit(e ast.Expr) string {
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return ""
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Src" {
+				return exprString(kv.Value)
+			}
+			continue
+		}
+		if i == 0 {
+			return exprString(elt)
+		}
+	}
+	return ""
+}
+
+// boolLit classifies a bool expression: definite true/false for the
+// predeclared constants, unknown otherwise.
+func boolLit(e ast.Expr) triState {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return triUnknown
+	}
+	switch id.Name {
+	case "true":
+		return triTrue
+	case "false":
+		return triFalse
+	}
+	return triUnknown
+}
+
+// call dispatches the recognized call vocabularies: sink.Chunk(c) sends, and
+// the emitSiteDone/emitAssignChunk helpers.
+func (so *streamOrder) call(call *ast.CallExpr, st *soState, report func(pos token.Pos, format string, args ...any)) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Chunk" && len(call.Args) == 1 {
+			facts := so.factsOf(call.Args[0], *st)
+			so.event(exprString(fun.X), facts, call.Pos(), st, report)
+		}
+	case *ast.Ident:
+		switch {
+		case fun.Name == "emitSiteDone" && len(call.Args) >= 3:
+			key := exprString(call.Args[0]) + "|" + exprString(call.Args[1])
+			so.event(key, chunkFacts{done: triTrue, residual: triFalse, site: exprString(call.Args[2])},
+				call.Pos(), st, report)
+		case fun.Name == "emitAssignChunk" && len(call.Args) >= 4:
+			key := exprString(call.Args[0]) + "|" + exprString(call.Args[1])
+			so.event(key, chunkFacts{done: triFalse, residual: boolLit(call.Args[3]), site: exprString(call.Args[2])},
+				call.Pos(), st, report)
+		}
+	}
+}
+
+// event drives the per-channel automaton with one send.
+func (so *streamOrder) event(key string, f chunkFacts, pos token.Pos, st *soState, report func(pos token.Pos, format string, args ...any)) {
+	if st.sinks == nil {
+		st.sinks = make(map[string]sinkState)
+	}
+	sk := st.sinks[key].clone()
+	defer func() { st.sinks[key] = sk }()
+
+	switch f.done {
+	case triTrue:
+		if report != nil {
+			if f.site != "" {
+				if _, dup := sk.closed[f.site]; dup {
+					report(pos, "duplicate SiteDone for site %s on %s: the protocol emits exactly one marker per (class, site)", f.site, key)
+				}
+			}
+			if sk.residual {
+				report(pos, "SiteDone on %s after residual supplements began: markers precede the residual pass", key)
+			}
+		}
+		if f.site != "" {
+			if sk.closed == nil {
+				sk.closed = make(map[string]token.Pos)
+			}
+			if _, ok := sk.closed[f.site]; !ok {
+				sk.closed[f.site] = pos
+			}
+		}
+	case triFalse:
+		switch f.residual {
+		case triTrue:
+			if !sk.residual {
+				sk.residual = true
+				sk.residualPos = pos
+			}
+		case triFalse:
+			if report != nil {
+				if f.site != "" {
+					if done, closedSite := sk.closed[f.site]; closedSite {
+						report(pos, "pair chunk for site %s sent after its SiteDone (line %d): no non-residual chunk may follow the marker",
+							f.site, so.fsetLine(done))
+					}
+				}
+				if sk.residual {
+					report(pos, "non-residual chunk sent after residual supplements began (line %d): residuals are the stream's final phase",
+						so.fsetLine(sk.residualPos))
+				}
+			}
+		}
+	}
+}
+
+func (so *streamOrder) fsetLine(pos token.Pos) int {
+	if so.fset == nil {
+		return 0
+	}
+	return so.fset.Position(pos).Line
+}
+
+func runStreamOrder(p *Pkg) []Diagnostic {
+	so := &streamOrder{info: p.Info, fset: p.Fset}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		for _, body := range funcBodies(f) {
+			g := BuildCFG(body)
+			res := SolveForward[soState](g, so)
+			for _, blk := range g.Blocks {
+				if !blk.Live {
+					continue
+				}
+				state := so.cloneState(res.In[blk.Index])
+				for _, n := range blk.Nodes {
+					so.step(n, &state, func(pos token.Pos, format string, args ...any) {
+						ds = append(ds, p.diag(pos, "streamorder", format, args...))
+					})
+				}
+			}
+		}
+	}
+	return ds
+}

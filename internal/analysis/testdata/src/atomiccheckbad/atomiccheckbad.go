@@ -1,0 +1,87 @@
+// Package atomiccheckbad seeds atomic-discipline violations for the
+// atomiccheck golden test: plain reads/writes of fields that are elsewhere
+// accessed through sync/atomic functions, plain copies and stores of typed
+// atomics, and the constructor exemption (plain access through a provably
+// fresh receiver is fine — until a join makes the receiver's origin
+// ambiguous).
+package atomiccheckbad
+
+import "sync/atomic"
+
+type Server struct {
+	hits uint64 // accessed via atomic.AddUint64 in Hit
+	val  atomic.Uint64
+}
+
+func (s *Server) Hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *Server) BadRead() uint64 {
+	return s.hits // want atomiccheck
+}
+
+func (s *Server) BadWrite() {
+	s.hits = 0 // want atomiccheck
+}
+
+func (s *Server) BadInc() {
+	s.hits++ // want atomiccheck
+}
+
+func (s *Server) TypedCopy() uint64 {
+	v := s.val // want atomiccheck
+	return v.Load()
+}
+
+func (s *Server) TypedStore(o atomic.Uint64) {
+	s.val = o // want atomiccheck
+}
+
+// GoodLoad uses the typed atomic through its methods.
+func (s *Server) GoodLoad() uint64 { return s.val.Load() }
+
+// GoodAddr passes the atomic by address.
+func GoodAddr(s *Server) *atomic.Uint64 { return &s.val }
+
+// NewServer is the constructor exemption: the receiver's only reaching
+// definition is a fresh allocation, so nothing else can observe the plain
+// write.
+func NewServer() *Server {
+	s := &Server{}
+	s.hits = 1
+	return s
+}
+
+// NewServerVar: a zero-valued var declaration is fresh too.
+func NewServerVar() *Server {
+	var s Server
+	s.hits = 1
+	return &s
+}
+
+func lookup() *Server { return &Server{} }
+
+// escapedReceiver: the receiver came from elsewhere; the plain write races
+// with Hit.
+func escapedReceiver(s *Server) {
+	s.hits = 2 // want atomiccheck
+}
+
+// freshnessDiesAtJoin: fresh on one path, shared on the other — the
+// exemption must disappear at the join.
+func freshnessDiesAtJoin(cond bool) *Server {
+	s := &Server{}
+	if cond {
+		s = lookup()
+	}
+	s.hits = 3 // want atomiccheck
+	return s
+}
+
+var shared = &Server{}
+
+// init-time plain access is exempt: nothing is concurrent yet.
+func init() {
+	shared.hits = 7
+}

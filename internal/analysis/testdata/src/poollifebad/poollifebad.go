@@ -1,0 +1,105 @@
+// Package poollifebad seeds pooled-object lifetime violations for the
+// poollife golden test: use-after-release, double release, stores and sends
+// of released values, the branch-sensitive release (release on one arm, use
+// after the join), and the re-Get pattern that legally revives a variable.
+package poollifebad
+
+import "sync"
+
+type Chunk struct {
+	Vals []int
+}
+
+var pool = sync.Pool{New: func() any { return new(Chunk) }}
+
+// ReleaseChunk returns c to the pool. The uses inside the helper precede the
+// Put and are fine.
+func ReleaseChunk(c *Chunk) {
+	c.Vals = c.Vals[:0]
+	pool.Put(c)
+}
+
+func useAfterRelease(c *Chunk) int {
+	ReleaseChunk(c)
+	return len(c.Vals) // want poollife
+}
+
+func doubleRelease(c *Chunk) {
+	ReleaseChunk(c)
+	ReleaseChunk(c) // want poollife
+}
+
+func releaseOnBranchThenUse(c *Chunk, cond bool) int {
+	if cond {
+		ReleaseChunk(c)
+	}
+	// Released on only one path: still poisoned after the join.
+	return len(c.Vals) // want poollife
+}
+
+func writeAfterRelease(c *Chunk) {
+	ReleaseChunk(c)
+	c.Vals = nil // want poollife
+}
+
+func storeAfterRelease(c *Chunk, sink map[int]*Chunk) {
+	pool.Put(c)
+	sink[0] = c // want poollife
+}
+
+func sendAfterRelease(c *Chunk, ch chan *Chunk) {
+	ReleaseChunk(c)
+	ch <- c // want poollife
+}
+
+func retainInLoop(cs []*Chunk) *Chunk {
+	var last *Chunk
+	for _, c := range cs {
+		ReleaseChunk(c)
+		last = c // want poollife
+	}
+	return last
+}
+
+func deferredDoubleRelease(c *Chunk) {
+	defer ReleaseChunk(c) // want poollife
+	ReleaseChunk(c)
+}
+
+// regetKills shows the taint dying at a reassignment: after a fresh Get the
+// variable is a different pooled object.
+func regetKills(c *Chunk) int {
+	ReleaseChunk(c)
+	c = pool.Get().(*Chunk)
+	return len(c.Vals) // ok: re-Get killed the taint
+}
+
+// releaseBothArmsThenKill: released on both arms, revived on one.
+func releaseBothArmsThenKill(c *Chunk, cond bool) int {
+	if cond {
+		ReleaseChunk(c)
+		c = pool.Get().(*Chunk)
+	} else {
+		ReleaseChunk(c)
+	}
+	return len(c.Vals) // want poollife
+}
+
+// loopRecycleOK is the streaming consumer shape: the range binding re-defines
+// the variable every iteration, so the prior iteration's release never leaks
+// into this one.
+func loopRecycleOK(ch chan *Chunk) {
+	for c := range ch {
+		c.Vals = append(c.Vals, 1)
+		ReleaseChunk(c)
+	}
+}
+
+// deferReleaseOK is the canonical borrow pattern: the deferred release runs
+// at exit, after every use.
+func deferReleaseOK() int {
+	c := pool.Get().(*Chunk)
+	defer ReleaseChunk(c)
+	c.Vals = append(c.Vals, 7)
+	return len(c.Vals)
+}

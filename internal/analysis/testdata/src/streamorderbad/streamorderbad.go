@@ -1,0 +1,101 @@
+// Package streamorderbad seeds chunk-protocol ordering violations for the
+// streamorder golden test: pair chunks after a site's SiteDone (including
+// the branch-sensitive marker — SiteDone on one arm, pair send after the
+// join), duplicate SiteDone markers, and non-residual traffic after the
+// residual phase began; in both the direct-send and the emit-helper
+// vocabularies.
+package streamorderbad
+
+type SitePair struct{ Src, Dst int }
+
+type Chunk struct {
+	Pair     SitePair
+	SiteDone bool
+	Residual bool
+}
+
+type Sink interface{ Chunk(c *Chunk) }
+
+func pairAfterDone(ch chan *Chunk, s int) {
+	ch <- &Chunk{Pair: SitePair{Src: s}}
+	ch <- &Chunk{Pair: SitePair{Src: s}, SiteDone: true}
+	ch <- &Chunk{Pair: SitePair{Src: s}} // want streamorder
+}
+
+func duplicateDone(ch chan *Chunk, s int) {
+	done := &Chunk{Pair: SitePair{Src: s}, SiteDone: true}
+	ch <- done
+	done2 := &Chunk{Pair: SitePair{Src: s}, SiteDone: true}
+	ch <- done2 // want streamorder
+}
+
+func doneOnBranch(ch chan *Chunk, s int, cond bool) {
+	if cond {
+		ch <- &Chunk{Pair: SitePair{Src: s}, SiteDone: true}
+	}
+	// SiteDone may already have been sent: the pair chunk is out of order on
+	// that path.
+	ch <- &Chunk{Pair: SitePair{Src: s}} // want streamorder
+}
+
+func residualThenPair(sink Sink, s int) {
+	sink.Chunk(&Chunk{Pair: SitePair{Src: s}, Residual: true})
+	sink.Chunk(&Chunk{Pair: SitePair{Src: s + 1}}) // want streamorder
+}
+
+func doneAfterResidual(sink Sink, s int) {
+	sink.Chunk(&Chunk{Residual: true})
+	sink.Chunk(&Chunk{Pair: SitePair{Src: s}, SiteDone: true}) // want streamorder
+}
+
+// flagsViaFields drives the automaton through field assignments instead of
+// literals: the dataflow must carry SiteDone/Pair.Src facts to the send.
+func flagsViaFields(ch chan *Chunk, s int) {
+	c := &Chunk{}
+	c.Pair.Src = s
+	c.SiteDone = true
+	ch <- c
+	c2 := &Chunk{}
+	c2.Pair.Src = s
+	ch <- c2 // want streamorder
+}
+
+type pairState struct{ n int }
+
+func emitSiteDone(sink Sink, class int, src int) {}
+
+func emitAssignChunk(sink Sink, class int, st *pairState, residual bool, flows []int) {}
+
+func helperResidualOrder(sink Sink, class int, st *pairState) {
+	emitAssignChunk(sink, class, st, true, nil)
+	emitAssignChunk(sink, class, st, false, nil) // want streamorder
+}
+
+func helperDuplicateDone(sink Sink, class int, src int) {
+	emitSiteDone(sink, class, src)
+	emitSiteDone(sink, class, src) // want streamorder
+}
+
+// okProtocol is the legal stream shape: pairs, the one marker, pairs for
+// other sites, then residual supplements (which may touch done sites).
+func okProtocol(ch chan *Chunk, s int) {
+	ch <- &Chunk{Pair: SitePair{Src: s}}
+	ch <- &Chunk{Pair: SitePair{Src: s}, SiteDone: true}
+	ch <- &Chunk{Pair: SitePair{Src: s + 1}}
+	ch <- &Chunk{Pair: SitePair{Src: s}, Residual: true}
+}
+
+// okLoop: per-iteration sites alias the same expression; the automaton must
+// not leak SiteDone facts across the back edge.
+func okLoop(ch chan *Chunk, sites []int) {
+	for _, s := range sites {
+		ch <- &Chunk{Pair: SitePair{Src: s}}
+		ch <- &Chunk{Pair: SitePair{Src: s}, SiteDone: true}
+	}
+}
+
+// okUnknown: a parameter's flags are invisible; no claims, no findings.
+func okUnknown(ch chan *Chunk, c *Chunk, s int) {
+	ch <- &Chunk{Pair: SitePair{Src: s}, SiteDone: true}
+	ch <- c
+}

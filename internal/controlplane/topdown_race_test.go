@@ -1,0 +1,87 @@
+package controlplane
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTopDownCountersUnderLoadRace is the regression companion to the
+// atomiccheck lint pass for the top-down baseline's counters: heartbeats is
+// bumped by per-connection handler goroutines and received by each
+// endpoint's consumer goroutine, while this goroutine hammers Heartbeats,
+// ConfigsReceived, and Connections mid-flight and pushes configs
+// concurrently. A plain (non-atomic) counter access reintroduced anywhere on
+// these paths fails under -race.
+func TestTopDownCountersUnderLoadRace(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTopDown(l)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var eps [4]*TopDownEndpoint
+	var wg sync.WaitGroup
+	for i := range eps {
+		eps[i] = &TopDownEndpoint{ID: string(rune('a' + i))}
+		wg.Add(1)
+		go func(ep *TopDownEndpoint) {
+			defer wg.Done()
+			_ = ep.Run(ctx, srv.Addr(), time.Millisecond)
+		}(eps[i])
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Connections() < len(eps) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Connections() != len(eps) {
+		t.Fatalf("connections = %d, want %d", srv.Connections(), len(eps))
+	}
+
+	// Concurrent pusher: every Push is interleaved with the endpoints'
+	// heartbeat writes and this goroutine's reads below.
+	pushDone := make(chan int, 1)
+	go func() {
+		total := 0
+		for i := 0; i < 50; i++ {
+			total += srv.Push([]byte(`{"v":1}`))
+			time.Sleep(time.Millisecond)
+		}
+		pushDone <- total
+	}()
+
+	var lastHB uint64
+	stop := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(stop) {
+		hb := srv.Heartbeats()
+		if hb < lastHB {
+			t.Fatalf("heartbeat counter went backwards: %d -> %d", lastHB, hb)
+		}
+		lastHB = hb
+		_ = srv.Connections()
+		for _, ep := range eps {
+			_ = ep.ConfigsReceived()
+		}
+	}
+	sent := <-pushDone
+	if sent == 0 {
+		t.Error("no config ever pushed to a connected endpoint")
+	}
+
+	cancel()
+	wg.Wait()
+	if srv.Heartbeats() == 0 {
+		t.Error("no heartbeats recorded under load")
+	}
+	received := uint64(0)
+	for _, ep := range eps {
+		received += ep.ConfigsReceived()
+	}
+	if received == 0 {
+		t.Error("no endpoint observed a pushed config")
+	}
+}

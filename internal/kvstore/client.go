@@ -109,7 +109,6 @@ func (c *Client) dial() (net.Conn, *bufio.Reader, func(), error) {
 	if c.Persistent {
 		c.mu.Lock()
 		if c.conn == nil {
-			//lint:ignore lockcheck persistent mode serializes whole operations over the one connection; dialing under the lock is that design
 			conn, err := c.dialRaw()
 			if err != nil {
 				c.mu.Unlock()

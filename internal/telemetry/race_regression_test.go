@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReadersDuringWritesRace is the regression companion to the
+// atomiccheck lint pass: every instrument field the pass certifies as
+// atomics-only is read here *while* writers are mutating it, which is the
+// schedule a plain read would lose under -race. TestConcurrentInstruments
+// covers concurrent writers; this test pins the mixed read/write case —
+// Value, Sum, Count, Buckets, Quantile, and full registry Snapshots all
+// land mid-write.
+func TestReadersDuringWritesRace(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Counter("rw_total").Inc()
+				r.Gauge("rw_gauge").Add(0.5)
+				r.Histogram("rw_seconds", TimeBuckets).Observe(0.004)
+			}
+		}()
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Counter("rw_total").Value()
+				_ = r.Gauge("rw_gauge").Value()
+				h := r.Histogram("rw_seconds", TimeBuckets)
+				// Count and Sum are two separate atomics: mid-write they may
+				// disagree, but each individually must be a value some Observe
+				// published, never a torn word.
+				_ = h.Count()
+				_ = h.Sum()
+				_, _ = h.Buckets()
+				_ = h.Quantile(0.99)
+				for _, s := range r.Snapshot() {
+					_ = s.Series()
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Counter("rw_total").Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("rw_seconds", TimeBuckets).Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Gauge("rw_gauge").Value(); got != float64(writers*perWriter)*0.5 {
+		t.Errorf("gauge = %v, want %v", got, float64(writers*perWriter)*0.5)
+	}
+}

@@ -7,12 +7,23 @@ set -eux
 test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
-go run ./cmd/megate-lint ./...
+# Full lint suite with the stale-suppression audit, under a wall-clock
+# budget: the whole-tree run (type-check included) must stay under 30s so
+# the lint gate never becomes the slow step. The binary is built first so
+# the budget measures analysis, not compilation.
+go build -o /tmp/megate-lint ./cmd/megate-lint
+lint_start=$(date +%s)
+/tmp/megate-lint -strict-ignores ./...
+lint_elapsed=$(($(date +%s) - lint_start))
+test "$lint_elapsed" -lt 30
 go test ./...
 go test -race ./internal/core/ ./internal/kvstore/ ./internal/controlplane/ ./internal/faultnet/ ./internal/telemetry/ ./internal/cluster/
-# Regression gate for the agent stats data race: accessors hammered while
-# Run's poll goroutine mutates the counters.
-go test -race -run TestAgentStatsUnderRun ./internal/controlplane/
+# Regression gates for the atomic-discipline invariants the atomiccheck
+# lint pass guards: counter accessors hammered while writer goroutines
+# mutate them (agent stats, top-down heartbeats/configs, telemetry
+# instruments).
+go test -race -run 'TestAgentStatsUnderRun|TestTopDownCountersUnderLoadRace' ./internal/controlplane/
+go test -race -run 'TestReadersDuringWritesRace' ./internal/telemetry/
 # Short-mode chaos pass under the race detector: the full control loop
 # (controller, replicated servers, agent fleet) under the fault timeline —
 # TestChaos matches the shard-loss scenario (TestChaosShardLoss) too.
