@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke megascale-short
+.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke megascale-short fleet-short
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,15 @@ megascale-short:
 	$(GO) run ./cmd/megate-bench -experiment ab-megascale -megascale-flows 20000,50000
 	$(GO) test -run TestStage2PairZeroAlloc -bench BenchmarkStage2Pair -benchmem ./internal/core/ | tee /tmp/megate-stage2-bench.out
 	grep -q ' 0 allocs/op' /tmp/megate-stage2-bench.out
+
+# Fleet robustness gate: a deterministic 10k-agent storm (cold boot,
+# version-skew rollout, partition, herd recovery) against a live sharded
+# database with per-shard admission control. The 1s poll keeps the loopback
+# dial rate honest for one machine, so the run finishes in under a minute;
+# a non-zero exit means an invariant (convergence, O(1) cold sync, no
+# wedges) was violated.
+fleet-short:
+	$(GO) run ./cmd/megate-sim -fleet -fleet-agents 10000 -fleet-poll 1s -seed 7
 
 # Bounded fuzzing for CI: each target gets a short budget on top of its
 # checked-in seed corpus. `go test` accepts one -fuzz per invocation.

@@ -179,6 +179,102 @@ func TestChaosTelemetrySnapshot(t *testing.T) {
 	}
 }
 
+// stormScenario is the canonical fleet-storm timeline: a cold boot under
+// deliberately tight per-shard admission, a two-publish version-skew
+// rollout, a partition cutting one faultnet group long enough to fire the
+// staleness TTL, and a heal whose herd recovery must converge everyone.
+func stormScenario(t *testing.T, seed int64) chaos.StormScenario {
+	t.Helper()
+	s := chaos.StormScenario{
+		Seed:   seed,
+		Agents: 200,
+		Shards: 3,
+		Groups: 4,
+	}
+	if testing.Short() {
+		s.Agents = 120
+	}
+	return s
+}
+
+// TestChaosStormFleet runs the fleet storm against live shards with
+// admission control on and holds it to the robustness acceptance gates:
+// every phase converges, cold sync stays O(1) snapshots per agent, the
+// partition fires the TTL for every cut agent, sheds happen (the admission
+// is tight enough that the storm must hit it) and yet nobody wedges.
+func TestChaosStormFleet(t *testing.T) {
+	res, err := chaos.RunStorm(stormScenario(t, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.Partitioned == 0 || res.Partitioned >= res.Agents {
+		t.Fatalf("partition cut %d/%d agents; the storm exercised nothing", res.Partitioned, res.Agents)
+	}
+	if res.Wedged != 0 {
+		t.Errorf("%d agents wedged", res.Wedged)
+	}
+	if res.Busy == 0 {
+		t.Error("no poll was ever shed: admission control never engaged under the storm")
+	}
+	if res.Shed < res.Busy {
+		t.Errorf("server shed %d < fleet busy %d; the BUSY accounting disagrees", res.Shed, res.Busy)
+	}
+	if res.TTLResyncs < uint64(res.Partitioned) {
+		t.Errorf("only %d TTL resyncs for %d cut agents", res.TTLResyncs, res.Partitioned)
+	}
+	if len(res.Phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+	heal := res.Phases[len(res.Phases)-1]
+	if heal.Name != "heal" || heal.Converged != int64(res.Agents) {
+		t.Errorf("heal phase %+v did not converge the whole fleet", heal)
+	}
+	if heal.LagP99 <= 0 {
+		t.Error("herd-recovery p99 lag was never measured")
+	}
+}
+
+// TestChaosStormDeterministic replays the same storm seed twice and demands
+// identical outcomes on every replay-deterministic field (lag percentiles
+// are wall-clock and excluded).
+func TestChaosStormDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay comparison runs the storm twice")
+	}
+	run := func() *chaos.StormResult {
+		res, err := chaos.RunStorm(stormScenario(t, 43))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Violations) != 0 || len(b.Violations) != 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.FinalVersion != b.FinalVersion || a.Agents != b.Agents || a.Partitioned != b.Partitioned {
+		t.Errorf("final/agents/partitioned %d/%d/%d vs %d/%d/%d across replays",
+			a.FinalVersion, a.Agents, a.Partitioned, b.FinalVersion, b.Agents, b.Partitioned)
+	}
+	if a.Wedged != b.Wedged || a.SnapshotsMin != b.SnapshotsMin || a.SnapshotsMax != b.SnapshotsMax {
+		t.Errorf("wedged/snapmin/snapmax %d/%d/%d vs %d/%d/%d across replays",
+			a.Wedged, a.SnapshotsMin, a.SnapshotsMax, b.Wedged, b.SnapshotsMin, b.SnapshotsMax)
+	}
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("phase counts differ: %d vs %d", len(a.Phases), len(b.Phases))
+	}
+	for i := range a.Phases {
+		pa, pb := a.Phases[i], b.Phases[i]
+		if pa.Name != pb.Name || pa.Target != pb.Target || pa.Expected != pb.Expected || pa.Converged != pb.Converged {
+			t.Errorf("phase %d diverged across replays: %s target %d %d/%d vs %s target %d %d/%d",
+				i, pa.Name, pa.Target, pa.Converged, pa.Expected, pb.Name, pb.Target, pb.Converged, pb.Expected)
+		}
+	}
+}
+
 // shardLossScenario is the canonical shard-loss timeline: the busiest
 // shard blackholes early enough for the TTL to fire, rejoins, and the
 // cluster then grows by one node post-heal so the migration also runs

@@ -40,6 +40,7 @@ func main() {
 		duration   = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-operation database deadline")
 		staleAfter = flag.Int("stale-after", 0, "uninstall pinned paths after N consecutive failed polls (0 = never)")
+		snapSync   = flag.Bool("snapshot-sync", false, "sync by snapshot+delta: one snapshot at boot, then per-poll deltas (database needs -delta-log)")
 		telemAddr  = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
@@ -121,6 +122,10 @@ func main() {
 		}
 		a.Slot, a.SlotCount = i, len(names)
 		a.StaleAfter = *staleAfter
+		if *snapSync && !megate.EnableSnapshotSync(a) {
+			fmt.Fprintln(os.Stderr, "-snapshot-sync: this reader does not serve snapshots/deltas")
+			os.Exit(2)
+		}
 		agents[i] = a
 		wg.Add(1)
 		go func() {
@@ -135,6 +140,7 @@ func main() {
 		select {
 		case <-report.C:
 			var polls, updates, acks, errs, fallbacks, recoveries uint64
+			var snaps, deltas, busy uint64
 			degraded := 0
 			maxV := uint64(0)
 			for _, a := range agents {
@@ -146,6 +152,10 @@ func main() {
 				fb, rec := a.FallbackStats()
 				fallbacks += fb
 				recoveries += rec
+				s, d := a.SyncStats()
+				snaps += s
+				deltas += d
+				busy += a.BusyPolls()
 				if a.Degraded() {
 					degraded++
 				}
@@ -153,8 +163,12 @@ func main() {
 					maxV = v
 				}
 			}
-			fmt.Printf("agents=%d version<=%d polls=%d updates=%d empty-acks=%d errors=%d degraded=%d fallbacks=%d recoveries=%d\n",
+			line := fmt.Sprintf("agents=%d version<=%d polls=%d updates=%d empty-acks=%d errors=%d degraded=%d fallbacks=%d recoveries=%d",
 				len(agents), maxV, polls, updates, acks, errs, degraded, fallbacks, recoveries)
+			if *snapSync {
+				line += fmt.Sprintf(" snapshots=%d deltas=%d busy=%d", snaps, deltas, busy)
+			}
+			fmt.Println(line)
 		case <-ctx.Done():
 			wg.Wait()
 			return

@@ -25,20 +25,27 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		msFlows    = flag.String("megascale-flows", "", "comma-separated flow counts overriding the ab-megascale sweep (e.g. 20000,50000)")
+		flSizes    = flag.String("fleet-sizes", "", "comma-separated fleet sizes overriding the ab-fleet sweep (e.g. 10000,100000)")
 	)
 	flag.Parse()
 
-	var flowCounts []int
-	if *msFlows != "" {
-		for _, part := range strings.Split(*msFlows, ",") {
+	parseCounts := func(name, val string) []int {
+		var counts []int
+		if val == "" {
+			return nil
+		}
+		for _, part := range strings.Split(val, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "bad -megascale-flows entry %q\n", part)
+				fmt.Fprintf(os.Stderr, "bad %s entry %q\n", name, part)
 				os.Exit(2)
 			}
-			flowCounts = append(flowCounts, n)
+			counts = append(counts, n)
 		}
+		return counts
 	}
+	flowCounts := parseCounts("-megascale-flows", *msFlows)
+	fleetSizes := parseCounts("-fleet-sizes", *flSizes)
 
 	if *list {
 		for _, e := range bench.Registry {
@@ -47,7 +54,7 @@ func main() {
 		return
 	}
 
-	cfg := &bench.Config{Out: os.Stdout, Scale: *scale, Seed: *seed, MegascaleFlows: flowCounts}
+	cfg := &bench.Config{Out: os.Stdout, Scale: *scale, Seed: *seed, MegascaleFlows: flowCounts, FleetSizes: fleetSizes}
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {

@@ -40,6 +40,7 @@ func main() {
 		shards    = flag.Int("shards", 2, "TE database shards (in-process store stripes)")
 		clusterN  = flag.Int("cluster", 0, "serve N sharded TE database nodes on consecutive ports after -listen and route records by consistent hashing (0 = single database)")
 		qos       = flag.Bool("qos", true, "allocate QoS classes sequentially")
+		deltaLog  = flag.Int("delta-log", 0, "retain a delta journal of N published versions so agents can sync by snapshot+delta (0 = disabled)")
 		telemAddr = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
@@ -89,6 +90,9 @@ func main() {
 				os.Exit(1)
 			}
 			db := megate.NewTEDatabase(*shards)
+			if *deltaLog > 0 {
+				db.EnableDeltaLog(*deltaLog)
+			}
 			srv := megate.ServeTEDatabase(l, db)
 			defer srv.Close()
 			addrs = append(addrs, srv.Addr())
@@ -111,6 +115,9 @@ func main() {
 		}
 	} else {
 		db := megate.NewTEDatabase(*shards)
+		if *deltaLog > 0 {
+			db.EnableDeltaLog(*deltaLog)
+		}
 		l, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

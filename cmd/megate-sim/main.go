@@ -17,6 +17,14 @@
 // shard mid-run, rejoins it, and finishes with a live resharding step:
 //
 //	megate-sim -chaos-shardloss -seed 17 -chaos-shards 3 -chaos-lose-at 2 -chaos-rejoin-at 5 -chaos-grow-at 7
+//
+// With -fleet it runs the fleet storm: an event-loop simulator drives a
+// large agent fleet (timer wheel, worker pool — no goroutine-per-agent)
+// against a live sharded database with per-shard admission control, through
+// cold boot, a version-skew rollout, a partition, and the herd recovery
+// after heal:
+//
+//	megate-sim -fleet -fleet-agents 10000 -seed 7
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"megate/internal/baselines"
 	"megate/internal/chaos"
 	"megate/internal/flowsim"
+	"megate/internal/kvstore"
 	"megate/internal/topology"
 )
 
@@ -62,7 +71,15 @@ func main() {
 		chaosFlakyTo  = flag.Int("chaos-flaky-until", 3, "controller link injects resets/partial writes in windows [1, this)")
 		chaosRestart  = flag.Int("chaos-restart-at", 0, "window before which the controller restarts and recovers (0 = never)")
 		chaosMetrics  = flag.Bool("chaos-metrics", true, "print the telemetry registry snapshot after each chaos window")
-		telemAddr     = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
+
+		fleetRun     = flag.Bool("fleet", false, "run the fleet storm scenario: cold boot, rollout, partition, herd recovery against a live sharded database")
+		fleetAgents  = flag.Int("fleet-agents", 10000, "fleet size for -fleet")
+		fleetShards  = flag.Int("fleet-shards", 8, "TE-database shard count for -fleet")
+		fleetWorkers = flag.Int("fleet-workers", 128, "fleet network worker pool size")
+		fleetPoll    = flag.Duration("fleet-poll", 500*time.Millisecond, "steady-state per-agent poll interval")
+		fleetTimeout = flag.Duration("fleet-converge", 2*time.Minute, "per-phase convergence budget; overrunning it is a violation")
+		fleetNoAdmit = flag.Bool("fleet-no-admission", false, "disable per-shard admission control (the bench control arm)")
+		telemAddr    = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -75,6 +92,31 @@ func main() {
 		}
 		defer ts.Close()
 		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
+
+	if *fleetRun {
+		os.Exit(runFleetStorm(chaos.StormScenario{
+			Seed:             *seed,
+			Agents:           *fleetAgents,
+			Shards:           *fleetShards,
+			Groups:           64,
+			PartitionGroups:  1,
+			Workers:          *fleetWorkers,
+			PollInterval:     *fleetPoll,
+			Tick:             5 * time.Millisecond,
+			Timeout:          100 * time.Millisecond,
+			MaxBackoff:       2 * *fleetPoll,
+			StaleAfter:       8,
+			RolloutPublishes: 1,
+			// An explicit one-interval hold replaces the chaos-test TTL
+			// guarantee, which is quadratic in fleet size.
+			PartitionHold:   *fleetPoll,
+			Admission:       kvstore.Admission{MaxInflight: 4, MaxQueue: 8, RetryAfter: 25 * time.Millisecond},
+			NoAdmission:     *fleetNoAdmit,
+			ServiceDelay:    500 * time.Microsecond,
+			ConvergeTimeout: *fleetTimeout,
+			Metrics:         megate.DefaultMetrics(),
+		}))
 	}
 
 	if *chaosShard {
@@ -228,6 +270,37 @@ func runShardLoss(s chaos.ShardLossScenario) int {
 	fmt.Printf("agents=%d lost-node=%s lost-homed=%d moved-keys=%d final-version=%d failed-intervals=%d fallbacks=%d recoveries=%d\n",
 		res.Agents, res.LostNode, res.LostHomedAgents, res.MovedKeys,
 		res.FinalVersion, res.FailedIntervals, res.Fallbacks, res.Recoveries)
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "%d invariant violations:\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		return 1
+	}
+	fmt.Println("all invariants held")
+	return 0
+}
+
+// runFleetStorm executes the fleet storm and prints the per-phase outcome
+// (convergence counts, lag percentiles, sync traffic); the exit code is
+// non-zero when any invariant was violated.
+func runFleetStorm(s chaos.StormScenario) int {
+	res, err := chaos.RunStorm(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%-10s %-7s %-9s %-9s %-10s %-10s %-9s %-9s %-7s %s\n",
+		"phase", "target", "expected", "converged", "lag-p50", "lag-p99", "snapshots", "deltas", "busy", "errors")
+	for _, ph := range res.Phases {
+		fmt.Printf("%-10s %-7d %-9d %-9d %-10v %-10v %-9d %-9d %-7d %d\n",
+			ph.Name, ph.Target, ph.Expected, ph.Converged,
+			ph.LagP50.Round(time.Millisecond), ph.LagP99.Round(time.Millisecond),
+			ph.Stats.Snapshots, ph.Stats.DeltaPolls, ph.Stats.Busy, ph.Stats.Errors)
+	}
+	fmt.Printf("agents=%d partitioned=%d final-version=%d snapshots-per-agent=[%d,%d] ttl-resyncs=%d busy=%d shed=%d wedged=%d\n",
+		res.Agents, res.Partitioned, res.FinalVersion, res.SnapshotsMin, res.SnapshotsMax,
+		res.TTLResyncs, res.Busy, res.Shed, res.Wedged)
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "%d invariant violations:\n", len(res.Violations))
 		for _, v := range res.Violations {

@@ -97,7 +97,7 @@ func Passes() []*Pass {
 	return []*Pass{
 		FloatCmpPass("megate/internal/lp", "megate/internal/ssp", "megate/internal/core"),
 		MapOrderPass(),
-		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane", "megate/internal/cluster"),
+		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane", "megate/internal/cluster", "megate/internal/fleetsim"),
 		GoroLeakPass(),
 		ErrDropPass(),
 		PoolLifePass("megate/internal/core", "megate/internal/controlplane",

@@ -63,7 +63,7 @@ func TestGolden(t *testing.T) {
 	}
 	for _, name := range []string{
 		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad",
-		"poollifebad", "atomiccheckbad", "streamorderbad", "directives",
+		"poollifebad", "atomiccheckbad", "streamorderbad", "timerwheelbad", "directives",
 	} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
@@ -105,7 +105,7 @@ func TestGoldenHasFailingCasePerPass(t *testing.T) {
 	seen := make(map[string]int)
 	for _, name := range []string{
 		"floatcmpbad", "maporderbad", "lockcheckbad", "goroleakbad", "errdropbad",
-		"poollifebad", "atomiccheckbad", "streamorderbad", "directives",
+		"poollifebad", "atomiccheckbad", "streamorderbad", "timerwheelbad", "directives",
 	} {
 		dir := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
 		pkg, err := loader.LoadDir(dir)

@@ -12,9 +12,13 @@ import (
 //
 //   - calls Done on a sync.WaitGroup or Done() on a context.Context,
 //   - receives from a channel declared outside the goroutine (quit/done
-//     channel), or
+//     channel),
 //   - is preceded in the same block by a WaitGroup Add call (the
-//     wg.Add(1); go ... idiom where the body belongs to another function).
+//     wg.Add(1); go ... idiom where the body belongs to another function),
+//   - calls Wait on a sync.WaitGroup (a finisher goroutine: it ends when
+//     the counted pool it waits on ends), or
+//   - closes a channel declared outside the goroutine (a done-channel
+//     broadcast the launching scope can receive or range over).
 //
 // Anything else is a goroutine the test harness, shutdown path, and race
 // detector cannot wait for.
@@ -149,11 +153,27 @@ func (p *Pkg) hasJoinEvidence(body *ast.BlockStmt, outer token.Pos) bool {
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
-				t := p.typeOf(sel.X)
-				if p.isWaitGroup(t) || p.isContext(t) {
-					found = true
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done":
+					t := p.typeOf(sel.X)
+					if p.isWaitGroup(t) || p.isContext(t) {
+						found = true
+					}
+				case "Wait":
+					// A finisher: the goroutine blocks on a counted pool and
+					// ends when it ends — the WaitGroup is its join path.
+					if p.isWaitGroup(p.typeOf(sel.X)) {
+						found = true
+					}
 				}
+			}
+			// close(done) on a launcher-owned channel: completion is
+			// broadcast to anyone receiving or ranging over it.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" &&
+				p.Info.Uses[id] == types.Universe.Lookup("close") &&
+				len(n.Args) == 1 && p.outerChannel(n.Args[0], outer) {
+				found = true
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW && p.outerChannel(n.X, outer) {

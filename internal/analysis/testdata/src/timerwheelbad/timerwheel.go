@@ -1,0 +1,117 @@
+// Package timerwheelbad is a megate-lint golden fixture for the fleet
+// simulator's timer-wheel worker shape: one event-loop goroutine owning the
+// wheel, a counted worker pool draining a jobs channel. Every line marked
+// `// want <pass>` must be flagged, and the sanctioned shapes at the bottom —
+// the ones internal/fleetsim actually uses — must stay clean.
+package timerwheelbad
+
+import "sync"
+
+type job struct{ agent, tick int }
+
+type wheel struct {
+	mu    sync.Mutex
+	slots [][]int
+	now   int
+	jobs  chan job
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// DispatchUnderLock sends due jobs into the worker channel while holding the
+// wheel lock: a full worker pool then blocks the event loop, and everything
+// scheduled behind the lock stalls with it.
+func (w *wheel) DispatchUnderLock() {
+	w.mu.Lock()
+	for _, a := range w.slots[w.now] {
+		w.jobs <- job{agent: a, tick: w.now} // want lockcheck
+	}
+	w.slots[w.now] = nil
+	w.mu.Unlock()
+}
+
+// AdvanceLeaksOnEmpty returns early with the wheel lock held: the next tick
+// wedges forever.
+func (w *wheel) AdvanceLeaksOnEmpty() int {
+	w.mu.Lock()
+	if len(w.slots) == 0 {
+		return -1 // want lockcheck
+	}
+	w.now++
+	w.mu.Unlock()
+	return w.now
+}
+
+// TickLoopUnjoined launches the wheel's tick loop with no quit channel and
+// no WaitGroup: shutdown, the test harness, and the race detector have
+// nothing to wait for.
+func (w *wheel) TickLoopUnjoined(tick func()) {
+	go func() { // want goroleak
+		for {
+			tick()
+		}
+	}()
+}
+
+// RunWorkers is the sanctioned pool shape fleetsim uses: counted workers
+// draining the jobs channel, joined by Stop.
+func (w *wheel) RunWorkers(workers int, work func(job)) {
+	for i := 0; i < workers; i++ {
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			for j := range w.jobs {
+				work(j)
+			}
+		}()
+	}
+}
+
+// Advance is the sanctioned dispatch shape: the due slot is taken under the
+// lock, the channel sends happen after release, and a shutdown cannot block
+// behind a full pool.
+func (w *wheel) Advance() {
+	w.mu.Lock()
+	due := w.slots[w.now%len(w.slots)]
+	w.slots[w.now%len(w.slots)] = nil
+	w.now++
+	w.mu.Unlock()
+	for _, a := range due {
+		select {
+		case w.jobs <- job{agent: a, tick: w.now}:
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// Stop closes the intake and joins every worker.
+func (w *wheel) Stop() {
+	close(w.done)
+	close(w.jobs)
+	w.wg.Wait()
+}
+
+// DrainResults is the sanctioned finisher shape: the goroutine's whole job
+// is to wait for the counted pool and broadcast completion by closing the
+// results channel the launcher is draining — the WaitGroup is its join path,
+// the close is the launcher's.
+func (w *wheel) DrainResults(results chan int) {
+	go func() {
+		w.wg.Wait()
+		close(results)
+	}()
+	for range results {
+	}
+}
+
+// SignalDone is the sanctioned done-channel shape: completion is broadcast
+// by closing a launcher-owned channel the caller receives on.
+func (w *wheel) SignalDone(run func()) {
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		run()
+	}()
+	<-finished
+}

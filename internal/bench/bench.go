@@ -28,6 +28,9 @@ type Config struct {
 	// MegascaleFlows overrides the flow-count sweep of ab-megascale
 	// (default 100k/300k/1M) — the short CI lane passes a truncated list.
 	MegascaleFlows []int
+	// FleetSizes overrides the fleet-size sweep of ab-fleet (default
+	// 10k/50k/100k agents) — the short CI lane passes a truncated list.
+	FleetSizes []int
 }
 
 func (c *Config) out() io.Writer {
@@ -83,6 +86,7 @@ var Registry = []Experiment{
 	{ID: "ab-incremental", Title: "Ablation: incremental interval-to-interval solving under demand churn", Run: RunIncremental},
 	{ID: "ab-shardscale", Title: "Ablation: sharded TE-database read throughput vs shard count", Run: RunShardScale},
 	{ID: "ab-megascale", Title: "Ablation: megascale streamed interval pipeline (TWAN, 100k-1M flows)", Run: RunMegascale},
+	{ID: "ab-fleet", Title: "Ablation: fleet convergence lag vs size, admission control on/off", Run: RunFleet},
 }
 
 // Get returns the experiment with the given ID.

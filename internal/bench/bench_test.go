@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "fig17",
 		"ab-fastssp", "ab-contraction", "ab-spread", "ab-qos", "ab-residual",
 		"ab-hybrid", "ab-sitelp", "ab-converge", "ab-incremental", "ab-shardscale",
-		"ab-megascale",
+		"ab-megascale", "ab-fleet",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -94,6 +94,37 @@ func TestMegascaleMeasurement(t *testing.T) {
 		if pt.Warm.AllocMB >= pt.Cold.AllocMB {
 			t.Errorf("%d flows: warm interval allocated %.1f MB, cold %.1f MB",
 				pt.Flows, pt.Warm.AllocMB, pt.Cold.AllocMB)
+		}
+	}
+}
+
+func TestFleetMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet storms")
+	}
+	rep, err := MeasureFleet(&Config{Seed: 7, FleetSizes: []int{2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (admission on/off)", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if len(p.Violations) != 0 {
+			t.Errorf("agents=%d admission=%v: %v", p.Agents, p.Admission, p.Violations)
+		}
+		if p.Wedged != 0 {
+			t.Errorf("agents=%d admission=%v: %d agents wedged", p.Agents, p.Admission, p.Wedged)
+		}
+		if p.SnapshotsMax > 2 {
+			t.Errorf("agents=%d admission=%v: max %d snapshots per agent; cold sync is not O(1)",
+				p.Agents, p.Admission, p.SnapshotsMax)
+		}
+		if p.HealP99Ms <= 0 {
+			t.Errorf("agents=%d admission=%v: herd-recovery p99 never measured", p.Agents, p.Admission)
+		}
+		if !p.Admission && (p.Busy != 0 || p.Shed != 0) {
+			t.Errorf("control arm recorded busy=%d shed=%d with admission off", p.Busy, p.Shed)
 		}
 	}
 }

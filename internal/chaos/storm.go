@@ -1,0 +1,462 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"megate/internal/cluster"
+	"megate/internal/faultnet"
+	"megate/internal/fleetsim"
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// StormScenario scripts a fleet storm against a live sharded TE database
+// with per-shard admission control: a cold boot (every agent snapshots at
+// once), a version-skew rollout (successive publishes ride the delta
+// journal while the fleet is live), a partition that blackholes a slice of
+// the fleet long enough to fire the staleness TTL, and a heal whose herd
+// recovery is the measurement the acceptance bench gates on. The fleet is
+// an internal/fleetsim event-loop simulator — one timer wheel, no
+// goroutine-per-agent — wired through internal/faultnet peer groups so the
+// partition cuts exactly the chosen groups.
+//
+// Invariants checked (violations, never harness errors): every phase
+// converges its reachable agents within ConvergeTimeout, the rollout rides
+// deltas alone (no snapshot resync), cold sync stays O(1) requests per
+// agent (min 1, max 2 snapshots: boot plus at most one TTL resync), and
+// nobody wedges after heal — a shed is a delay, never a stuck agent.
+type StormScenario struct {
+	// Seed fixes the faultnet fabric, the fleet's jitter streams, and the
+	// driver's retry jitter.
+	Seed int64
+	// Agents is the fleet size (default 200).
+	Agents int
+	// Shards is the TE-database shard count (default 3).
+	Shards int
+	// Groups is the number of faultnet peer groups the fleet is split into;
+	// agent i belongs to group i mod Groups (default 4).
+	Groups int
+	// PartitionGroups is how many groups the partition blackholes
+	// (default 1; capped at Groups-1 so survivors always exist).
+	PartitionGroups int
+	// Workers sizes the fleet's network worker pool (default 32).
+	Workers int
+	// PollInterval is the steady-state per-agent poll spacing (default 25ms).
+	PollInterval time.Duration
+	// Tick is the fleet timer-wheel granularity (default 2ms).
+	Tick time.Duration
+	// Timeout bounds each agent-side network operation; keep it short — a
+	// blackholed dial blocks a worker for the full timeout (default 60ms).
+	Timeout time.Duration
+	// MaxBackoff caps the per-agent transport-failure backoff (default 120ms).
+	MaxBackoff time.Duration
+	// StaleAfter is the staleness TTL in consecutive failed polls
+	// (default 2).
+	StaleAfter int
+	// RolloutPublishes is how many publishes the version-skew rollout phase
+	// issues before the partition (default 2; negative skips the phase).
+	RolloutPublishes int
+	// PartitionHold overrides how long the partition is held after the
+	// survivors converge. Zero derives a hold long enough that every cut
+	// agent's staleness TTL is guaranteed to fire (worst-case failure
+	// cycles times pool rotation) — correct for chaos gating but quadratic
+	// in fleet size; large-fleet bench runs set an explicit hold and give
+	// up the every-TTL-fired invariant.
+	PartitionHold time.Duration
+	// Admission is the per-shard admission control; the zero value takes
+	// DefaultStormAdmission. Set NoAdmission for the bench's control arm.
+	Admission kvstore.Admission
+	// NoAdmission disables admission control even though the zero Admission
+	// would otherwise be replaced by the tight default.
+	NoAdmission bool
+	// ServiceDelay is synthetic per-command store service time, spent while
+	// the command holds its admission slot (default 1ms). It models a shard
+	// under real load: with it, the fleet's tick-quantized dispatch bursts
+	// structurally overflow the admission queue at herd moments, instead of
+	// sheds depending on microsecond scheduling luck against an in-memory
+	// store.
+	ServiceDelay time.Duration
+	// DeltaLogCap bounds each shard's delta journal (default 8×Agents —
+	// ample, so the storm exercises BUSY and TTL paths, not GAP; the gap
+	// fallback has its own fleetsim tests).
+	DeltaLogCap int
+	// ConvergeTimeout bounds each phase's wait for convergence
+	// (default 30s); overrunning it is a violation, not a hang.
+	ConvergeTimeout time.Duration
+	// Metrics receives every component's telemetry; nil uses a fresh
+	// private registry.
+	Metrics *telemetry.Registry
+}
+
+// DefaultStormAdmission is the per-shard admission the storm runs under
+// unless overridden. Sized against the default ServiceDelay so steady-state
+// offered load sits below capacity (the driver's writes get through) while
+// every herd moment — the tick-quantized dispatch bursts of cold boot and
+// heal — overflows MaxInflight+MaxQueue and sheds: the storm must shed and
+// still converge everywhere.
+var DefaultStormAdmission = kvstore.Admission{
+	MaxInflight: 4,
+	MaxQueue:    4,
+	RetryAfter:  15 * time.Millisecond,
+}
+
+// StormPhase is one scripted phase's outcome.
+type StormPhase struct {
+	// Name is cold-boot, rollout, partition, or heal.
+	Name string
+	// Target is the version the phase published and waited on.
+	Target uint64
+	// Expected and Converged count the agents that could and did reach
+	// Target within the phase (survivors only during the partition).
+	Expected, Converged int64
+	// LagP50 and LagP99 are convergence-lag percentiles for the phase's
+	// converged agents (wall-clock; not replay-deterministic).
+	LagP50, LagP99 time.Duration
+	// Stats is the fleet's cumulative counter snapshot at phase end.
+	Stats fleetsim.Stats
+}
+
+// StormResult aggregates a storm run.
+type StormResult struct {
+	Phases     []StormPhase
+	Violations []string
+
+	Agents       int
+	Partitioned  int
+	FinalVersion uint64
+	// SnapshotsMin and SnapshotsMax bound the per-agent snapshot counts at
+	// the end of the run — the O(1)-requests-per-cold-agent evidence.
+	SnapshotsMin, SnapshotsMax uint32
+	// TTLResyncs counts snapshot resyncs beyond cold boot (agents whose
+	// staleness TTL fired during the partition).
+	TTLResyncs uint64
+	// Busy is how many polls the fleet had shed with BUSY; Shed is the
+	// server-side count (includes driver writes).
+	Busy, Shed uint64
+	// Wedged is the number of agents that never reached the final target —
+	// the zero-shed-induced-wedges acceptance gate.
+	Wedged int
+}
+
+func (s *StormScenario) defaults() {
+	if s.Agents <= 0 {
+		s.Agents = 200
+	}
+	if s.Shards <= 0 {
+		s.Shards = 3
+	}
+	if s.Groups <= 0 {
+		s.Groups = 4
+	}
+	if s.Groups > s.Agents {
+		s.Groups = s.Agents
+	}
+	if s.PartitionGroups <= 0 {
+		s.PartitionGroups = 1
+	}
+	if s.PartitionGroups >= s.Groups {
+		s.PartitionGroups = s.Groups - 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = 32
+	}
+	if s.PollInterval <= 0 {
+		s.PollInterval = 25 * time.Millisecond
+	}
+	if s.Tick <= 0 {
+		s.Tick = 2 * time.Millisecond
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 60 * time.Millisecond
+	}
+	if s.MaxBackoff <= 0 {
+		s.MaxBackoff = 120 * time.Millisecond
+	}
+	if s.StaleAfter <= 0 {
+		s.StaleAfter = 2
+	}
+	if s.RolloutPublishes == 0 {
+		s.RolloutPublishes = 2
+	}
+	if s.RolloutPublishes < 0 {
+		s.RolloutPublishes = 0
+	}
+	if s.Admission.MaxInflight < 1 && !s.NoAdmission {
+		s.Admission = DefaultStormAdmission
+	}
+	if s.NoAdmission {
+		s.Admission = kvstore.Admission{}
+	}
+	if s.ServiceDelay <= 0 {
+		s.ServiceDelay = time.Millisecond
+	}
+	if s.DeltaLogCap <= 0 {
+		s.DeltaLogCap = 8 * s.Agents
+	}
+	if s.ConvergeTimeout <= 0 {
+		s.ConvergeTimeout = 30 * time.Second
+	}
+}
+
+// groupAgents returns how many agents live in groups [0, n): fleetsim
+// assigns agent i to group i mod Groups.
+func (s *StormScenario) groupAgents(n int) int {
+	count := 0
+	for g := 0; g < n; g++ {
+		count += (s.Agents - g + s.Groups - 1) / s.Groups
+	}
+	return count
+}
+
+// RunStorm executes the scenario; err is non-nil only for harness failures,
+// never for invariant violations — those land in Violations.
+func RunStorm(s StormScenario) (*StormResult, error) {
+	s.defaults()
+	res := &StormResult{Agents: s.Agents, Partitioned: s.groupAgents(s.PartitionGroups)}
+	reg := s.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// --- fabric, shards, per-group cluster views ---
+	fab := faultnet.New(s.Seed)
+	peer := make(map[string]string)
+	dialerFor := func(from string) func(string, time.Duration) (net.Conn, error) {
+		return func(addr string, timeout time.Duration) (net.Conn, error) {
+			return fab.Dial(from, peer[addr], "tcp", addr, timeout)
+		}
+	}
+
+	var addrs []string
+	var servers []*kvstore.Server
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	opts := []kvstore.ServerOption{kvstore.WithMetrics(reg), kvstore.WithServiceDelay(s.ServiceDelay)}
+	if s.Admission.MaxInflight >= 1 {
+		opts = append(opts, kvstore.WithAdmission(s.Admission))
+	}
+	for i := 0; i < s.Shards; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		store := kvstore.NewStore(8)
+		store.EnableDeltaLog(s.DeltaLogCap)
+		srv := kvstore.Serve(l, store, opts...)
+		peer[srv.Addr()] = fmt.Sprintf("db%d", i)
+		addrs = append(addrs, srv.Addr())
+		servers = append(servers, srv)
+	}
+
+	clusterFor := func(from string, timeout time.Duration) (*cluster.Client, error) {
+		cc := cluster.New(0, s.Seed, func(c *cluster.Client) { c.Metrics = reg })
+		for i, addr := range addrs {
+			nc := &kvstore.Client{Addr: addr, Timeout: timeout, Dialer: dialerFor(from), Metrics: reg}
+			if err := cc.Join(fmt.Sprintf("db%d", i), nc); err != nil {
+				return nil, err
+			}
+		}
+		return cc, nil
+	}
+
+	groupName := func(g int) string { return fmt.Sprintf("g%d", g) }
+	sources := make([]fleetsim.Source, s.Groups)
+	var groupCCs []*cluster.Client
+	defer func() {
+		for _, cc := range groupCCs {
+			cc.Close()
+		}
+	}()
+	for g := 0; g < s.Groups; g++ {
+		cc, err := clusterFor(groupName(g), s.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		groupCCs = append(groupCCs, cc)
+		sources[g] = fleetsim.ClusterSource{Client: cc}
+	}
+
+	// The driver ("ctrl") is never partitioned, so it keeps a generous
+	// timeout — its seeding batches pipeline thousands of service-delayed
+	// commands per connection — and its writes retry through a seeded
+	// Backoff so admission sheds delay them instead of failing them.
+	ctrlCC, err := clusterFor("ctrl", 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer ctrlCC.Close()
+	retry := &kvstore.Backoff{Attempts: 12, Base: 5 * time.Millisecond, Max: 250 * time.Millisecond, Seed: s.Seed ^ 0x5f}
+
+	fleet, err := fleetsim.New(fleetsim.Config{
+		Agents:       s.Agents,
+		Workers:      s.Workers,
+		PollInterval: s.PollInterval,
+		MaxBackoff:   s.MaxBackoff,
+		Tick:         s.Tick,
+		Seed:         s.Seed,
+		Prefix:       "storm",
+		StaleAfter:   s.StaleAfter,
+		Metrics:      reg,
+	}, sources)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed every agent's record before the fleet boots: the cold snapshot
+	// must find real config. Seeding runs uncontended, so it can take the
+	// pipelined batch path — at bench fleet sizes per-key round trips
+	// through the service delay would dominate the whole run.
+	record := func(i int, rev uint64) []byte {
+		return []byte(fmt.Sprintf(`{"instance":"storm-%06d","rev":%d}`, i, rev))
+	}
+	const seedChunk = 2000
+	for lo := 0; lo < s.Agents; lo += seedChunk {
+		hi := lo + seedChunk
+		if hi > s.Agents {
+			hi = s.Agents
+		}
+		keys := make([]string, 0, hi-lo)
+		vals := make([][]byte, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			keys = append(keys, fleet.Key(i))
+			vals = append(vals, record(i, 1))
+		}
+		if err := retry.Do(func() error { _, err := ctrlCC.PutBatch(keys, vals); return err }); err != nil {
+			return nil, fmt.Errorf("seed records %d..%d: %w", lo, hi, err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fleetDone := make(chan struct{})
+	go func() { defer close(fleetDone); fleet.Run(ctx) }()
+	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			cancel()
+			<-fleetDone
+		}
+	}
+	defer stop()
+
+	version := uint64(0)
+	// publishRound arms convergence measurement, publishes the next version,
+	// waits for want agents, and appends the phase report.
+	publishRound := func(name string, want int64) {
+		version++
+		fleet.SetTarget(version)
+		if err := retry.Do(func() error { return ctrlCC.Publish(version) }); err != nil {
+			violate("%s: publish %d failed: %v", name, version, err)
+		}
+		deadline := time.Now().Add(s.ConvergeTimeout)
+		for fleet.Converged() < want && time.Now().Before(deadline) {
+			time.Sleep(s.Tick)
+		}
+		ph := StormPhase{Name: name, Target: version, Expected: want, Converged: fleet.Converged(), Stats: fleet.Stats()}
+		ph.LagP50, ph.LagP99 = fleet.LagPercentiles()
+		if ph.Converged < want {
+			violate("%s: %d/%d agents converged on version %d within %v",
+				name, ph.Converged, want, version, s.ConvergeTimeout)
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+
+	all := int64(s.Agents)
+
+	// writeStripe rewrites every stride-th record through the contended
+	// per-key retry path (pipelined batches livelock against admission —
+	// any one shed fails the whole batch). The stride widens at bench fleet
+	// sizes so live driver writes stay near a thousand keys per phase.
+	writeStripe := func(phase string, off, stride int) {
+		if s.Agents > 1000*stride {
+			stride = s.Agents / 1000
+		}
+		for i := off % stride; i < s.Agents; i += stride {
+			key, body := fleet.Key(i), record(i, version+1)
+			if err := retry.Do(func() error { return ctrlCC.Put(key, body) }); err != nil {
+				violate("%s: put %s failed: %v", phase, key, err)
+			}
+		}
+	}
+
+	// --- phase 1: cold boot — every agent snapshots once and converges ---
+	publishRound("cold-boot", all)
+	bootSnaps := fleet.Stats().Snapshots
+
+	// --- phase 2: version-skew rollout — successive publishes while the
+	// fleet is live, each rewriting a different stripe of records; a mix of
+	// agent versions is in flight at every instant and everyone catches up
+	// through the delta journal alone ---
+	for r := 0; r < s.RolloutPublishes; r++ {
+		writeStripe("rollout", r, 2)
+		publishRound("rollout", all)
+	}
+	if snaps := fleet.Stats().Snapshots; snaps != bootSnaps {
+		violate("rollout forced %d snapshot resyncs; version skew must ride deltas alone", snaps-bootSnaps)
+	}
+
+	// --- phase 3: partition — blackhole the chosen groups, publish into the
+	// split, and hold it long enough that every cut agent's TTL fires ---
+	for g := 0; g < s.PartitionGroups; g++ {
+		fab.Partition(groupName(g), "*")
+	}
+	survivors := all - int64(res.Partitioned)
+	writeStripe("partition", 0, 3)
+	publishRound("partition", survivors)
+	// Worst-case failure cycle for a cut agent: a full client timeout (a
+	// blackholed op blocks until its deadline) plus the capped backoff,
+	// times the pool rotation when every cut agent's job blocks a worker.
+	hold := s.PartitionHold
+	autoHold := hold <= 0
+	if autoHold {
+		waves := res.Partitioned/s.Workers + 2
+		hold = time.Duration(s.StaleAfter*waves) * (s.Timeout + s.MaxBackoff)
+	}
+	time.Sleep(hold)
+
+	// --- phase 4: heal — the cut groups storm back, resync via one inline
+	// snapshot each, and the whole fleet converges on a fresh publish; the
+	// recorded lag percentiles are the herd-recovery measurement ---
+	for g := 0; g < s.PartitionGroups; g++ {
+		fab.Heal(groupName(g), "*")
+	}
+	publishRound("heal", all)
+
+	res.Wedged = fleet.Wedged()
+	res.FinalVersion = version
+	st := fleet.Stats()
+	res.Busy = st.Busy
+	res.Shed = reg.Counter(kvstore.MetricServerShed).Value()
+	stop()
+
+	// --- end-state invariants (per-agent state is only readable once the
+	// loop has exited) ---
+	res.SnapshotsMin, res.SnapshotsMax = fleet.SnapshotCounts()
+	res.TTLResyncs = fleet.Stats().Snapshots - uint64(s.Agents)
+	if res.Wedged != 0 {
+		violate("%d agents wedged after heal; a shed must delay, never wedge", res.Wedged)
+	}
+	if res.SnapshotsMin != 1 {
+		violate("per-agent snapshot min %d, want exactly 1 (cold boot is one snapshot)", res.SnapshotsMin)
+	}
+	if res.SnapshotsMax > 2 {
+		violate("per-agent snapshot max %d, want ≤ 2 (boot plus at most one TTL resync): snapshot sync is not O(1)", res.SnapshotsMax)
+	}
+	if st.DeltaGaps != 0 {
+		violate("%d delta gaps; the journal capacity %d should cover the whole storm", st.DeltaGaps, s.DeltaLogCap)
+	}
+	if autoHold && s.StaleAfter <= 2 && res.TTLResyncs < uint64(res.Partitioned) {
+		violate("only %d TTL resyncs for %d cut agents; the partition hold %v never fired every TTL",
+			res.TTLResyncs, res.Partitioned, hold)
+	}
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"megate/internal/kvstore"
 	"megate/internal/telemetry"
 )
 
@@ -20,6 +21,15 @@ type NodeClient interface {
 	Delete(key string) error
 	Keys(prefix string) ([]string, error)
 	Publish(v uint64) error
+}
+
+// DeltaNodeClient is the optional snapshot+delta surface a node client may
+// offer in addition to NodeClient; *kvstore.Client and *kvstore.ReplicaClient
+// both do. The cluster routes these to the key's owning node so a cold agent
+// syncs its whole prefix in one request against exactly its home shard.
+type DeltaNodeClient interface {
+	Snapshot(prefix string) (uint64, map[string][]byte, error)
+	Delta(since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error)
 }
 
 // closer is implemented by node clients holding persistent connections.
@@ -198,6 +208,40 @@ func (c *Client) OwnerVersion(key string) (uint64, error) {
 	v, err := nc.Version()
 	c.metrics().op(name, "version", err)
 	return v, err
+}
+
+// OwnerSnapshot fetches every record under prefix from the node owning key
+// — the one-request cold-sync path, scoped to the agent's home shard like
+// OwnerVersion. The owning node must offer the snapshot+delta surface.
+func (c *Client) OwnerSnapshot(key, prefix string) (uint64, map[string][]byte, error) {
+	name, nc, err := c.owner(key)
+	if err != nil {
+		return 0, nil, err
+	}
+	dc, ok := nc.(DeltaNodeClient)
+	if !ok {
+		return 0, nil, fmt.Errorf("cluster: node %s does not support snapshot sync", name)
+	}
+	v, recs, err := dc.Snapshot(prefix)
+	c.metrics().op(name, "snap", err)
+	return v, recs, err
+}
+
+// OwnerDelta fetches the compacted changes under prefix since the given
+// version from the node owning key. kvstore.ErrDeltaGap propagates — the
+// caller resyncs with OwnerSnapshot.
+func (c *Client) OwnerDelta(key string, since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error) {
+	name, nc, err := c.owner(key)
+	if err != nil {
+		return 0, nil, err
+	}
+	dc, ok := nc.(DeltaNodeClient)
+	if !ok {
+		return 0, nil, fmt.Errorf("cluster: node %s does not support snapshot sync", name)
+	}
+	v, entries, err := dc.Delta(since, prefix)
+	c.metrics().op(name, "delta", err)
+	return v, entries, err
 }
 
 // Keys scatter-gathers the prefix enumeration across every node and merges

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"errors"
+
+	"megate/internal/kvstore"
 	"megate/internal/telemetry"
 )
 
@@ -11,6 +14,10 @@ import (
 const (
 	MetricClusterNodeOps    = "megate_cluster_node_ops_total"
 	MetricClusterNodeErrors = "megate_cluster_node_errors_total"
+	// MetricClusterNodeBusy splits admission-control sheds out of the error
+	// count per node: a shard shedding under overload is a load signal, not a
+	// failure signal, and the two must not blur in a dashboard.
+	MetricClusterNodeBusy   = "megate_cluster_node_busy_total"
 	MetricClusterMigrations = "megate_cluster_migrations_total"
 	MetricClusterMovedKeys  = "megate_cluster_rebalance_moved_keys"
 	MetricClusterNodes      = "megate_cluster_nodes"
@@ -52,11 +59,16 @@ func newClusterMetrics(r *telemetry.Registry) *clusterMetrics {
 	}
 }
 
-// op records one routed operation against node.
+// op records one routed operation against node; BUSY failures count in the
+// per-node shed series as well as the error series. A delta GAP is an
+// authoritative answer (resync via snapshot), not a node error.
 func (m *clusterMetrics) op(node, op string, err error) {
 	m.r.Counter(MetricClusterNodeOps, "node", node, "op", op).Inc()
-	if err != nil {
+	if err != nil && !errors.Is(err, kvstore.ErrDeltaGap) {
 		m.r.Counter(MetricClusterNodeErrors, "node", node, "op", op).Inc()
+		if errors.Is(err, kvstore.ErrBusy) {
+			m.r.Counter(MetricClusterNodeBusy, "node", node, "op", op).Inc()
+		}
 	}
 }
 

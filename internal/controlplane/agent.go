@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"megate/internal/hoststack"
+	"megate/internal/kvstore"
 	"megate/internal/telemetry"
 )
 
@@ -44,12 +46,55 @@ func (a ClientAdapter) ReadConfig(key string) ([]byte, bool, error) {
 	return a.Client.Get(key)
 }
 
+// DeltaSource is the agent's snapshot+delta read interface to the TE
+// database: one request brings either the full state under the agent's
+// prefix (ReadSnapshot — cold boot, TTL recovery) or just what changed since
+// the last-seen version (ReadDelta — the steady-state poll). ReadDelta
+// reports kvstore.ErrDeltaGap when the server's journal no longer reaches
+// back that far; the agent then falls back to ReadSnapshot.
+type DeltaSource interface {
+	ReadSnapshot(prefix string) (uint64, map[string][]byte, error)
+	ReadDelta(since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error)
+}
+
+// ReadSnapshot implements DeltaSource for StoreAdapter.
+func (a StoreAdapter) ReadSnapshot(prefix string) (uint64, map[string][]byte, error) {
+	v, recs := a.Store.SnapshotPrefix(prefix)
+	return v, recs, nil
+}
+
+// ReadDelta implements DeltaSource for StoreAdapter.
+func (a StoreAdapter) ReadDelta(since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error) {
+	v, entries, ok := a.Store.DeltaSince(since, prefix)
+	if !ok {
+		return v, nil, kvstore.ErrDeltaGap
+	}
+	return v, entries, nil
+}
+
+// ReadSnapshot implements DeltaSource for ClientAdapter.
+func (a ClientAdapter) ReadSnapshot(prefix string) (uint64, map[string][]byte, error) {
+	return a.Client.Snapshot(prefix)
+}
+
+// ReadDelta implements DeltaSource for ClientAdapter.
+func (a ClientAdapter) ReadDelta(since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error) {
+	return a.Client.Delta(since, prefix)
+}
+
 // Agent is the endpoint agent of §3.2 and Figure 6: it polls the TE
 // database for the configuration version and, when it moves, pulls the
 // instance's record and installs the SR paths into the host's path_map.
 type Agent struct {
 	Instance string
 	Reader   ConfigReader
+	// Sync, when set, switches Poll to the snapshot+delta protocol: a cold
+	// or recovering agent pulls its whole state in one ReadSnapshot instead
+	// of a version poll plus GET-per-record, and steady-state polls become
+	// single-round-trip ReadDelta calls keyed by the last-seen version. A
+	// kvstore.ErrDeltaGap answer (journal truncated) falls back to the
+	// snapshot within the same poll. Reader may be nil when Sync is set.
+	Sync DeltaSource
 	// Host receives InstallPath calls; nil is allowed for agents used only
 	// to measure the synchronization protocol.
 	Host *hoststack.Host
@@ -89,6 +134,9 @@ type Agent struct {
 	degraded    atomic.Bool
 	fallbacks   telemetry.Counter
 	recoveries  telemetry.Counter
+	snapshots   telemetry.Counter
+	deltaPolls  telemetry.Counter
+	busyPolls   telemetry.Counter
 	// consecFails counts consecutive polls that failed at the transport
 	// level. It is only touched by the polling goroutine and has no
 	// accessor, so it needs no synchronization.
@@ -97,6 +145,13 @@ type Agent struct {
 	// so stale entries are removed when a new configuration drops them.
 	// Only the polling goroutine touches it.
 	installed map[uint32]bool
+	// synced reports whether the snapshot+delta path has a baseline to delta
+	// from; false forces the next poll onto the snapshot path. Only the
+	// polling goroutine touches it.
+	synced bool
+	// rng seeds the de-correlated retry jitter; lazily created from Slot by
+	// the polling goroutine.
+	rng *rand.Rand
 }
 
 // metrics lazily binds the fleet-level registry series.
@@ -144,6 +199,31 @@ func (a *Agent) FallbackStats() (fallbacks, recoveries uint64) {
 	return a.fallbacks.Value(), a.recoveries.Value()
 }
 
+// SyncStats returns how many full snapshots and how many incremental delta
+// polls the snapshot+delta path issued. A healthy agent shows snapshots
+// staying O(1) — one per cold boot or journal gap — while deltas grow with
+// uptime.
+func (a *Agent) SyncStats() (snapshots, deltas uint64) {
+	return a.snapshots.Value(), a.deltaPolls.Value()
+}
+
+// BusyPolls returns how many polls the database shed with BUSY.
+func (a *Agent) BusyPolls() uint64 { return a.busyPolls.Value() }
+
+// noteFailure records a failed poll's effect on the staleness TTL. A BUSY
+// response is proof the database is alive — admission control answered — so
+// it resets the consecutive-failure count instead of advancing it: shed ≠
+// dead, and a fleet weathering overload must not rip out its pinned paths.
+func (a *Agent) noteFailure(err error) {
+	if errors.Is(err, kvstore.ErrBusy) {
+		a.consecFails = 0
+		a.busyPolls.Inc()
+		a.metrics().busy.Inc()
+		return
+	}
+	a.noteUnreachable()
+}
+
 // noteUnreachable records a transport-level poll failure and fires the
 // staleness TTL once StaleAfter consecutive failures accumulate.
 func (a *Agent) noteUnreachable() {
@@ -156,6 +236,11 @@ func (a *Agent) noteUnreachable() {
 	m := a.metrics()
 	m.fallbacks.Inc()
 	m.degraded.Add(1)
+	a.removeInstalled()
+}
+
+// removeInstalled clears every pinned path from the host.
+func (a *Agent) removeInstalled() {
 	if a.Host != nil {
 		for dst := range a.installed {
 			a.Host.RemovePath(a.Instance, dst)
@@ -166,8 +251,12 @@ func (a *Agent) noteUnreachable() {
 
 // Poll performs one version check, pulling and installing the instance's
 // configuration when the version advanced. It reports whether new
-// configuration was applied.
+// configuration was applied. With Sync set it runs the snapshot+delta
+// protocol instead of the version+GET pair.
 func (a *Agent) Poll() (bool, error) {
+	if a.Sync != nil {
+		return a.pollSync()
+	}
 	m := a.metrics()
 	a.polls.Inc()
 	m.polls.Inc()
@@ -175,7 +264,7 @@ func (a *Agent) Poll() (bool, error) {
 	if err != nil {
 		a.errs.Inc()
 		m.errs.Inc()
-		a.noteUnreachable()
+		a.noteFailure(err)
 		return false, err
 	}
 	// While degraded the agent must re-pull even at an unchanged version:
@@ -190,7 +279,7 @@ func (a *Agent) Poll() (bool, error) {
 	if err != nil {
 		a.errs.Inc()
 		m.errs.Inc()
-		a.noteUnreachable()
+		a.noteFailure(err)
 		return false, err
 	}
 	a.consecFails = 0
@@ -208,16 +297,11 @@ func (a *Agent) Poll() (bool, error) {
 		a.updates.Inc()
 		m.updates.Inc()
 	} else {
-		if a.Host != nil {
-			// No record under the new version: this instance's flows were all
-			// rejected or it has no traffic; stale pinned paths must go.
-			for dst := range a.installed {
-				a.Host.RemovePath(a.Instance, dst)
-			}
-			a.installed = nil
-		}
-		// The version advance is consumed, but nothing was installed: an
-		// empty ack, not an update.
+		// No record under the new version: this instance's flows were all
+		// rejected or it has no traffic; stale pinned paths must go. The
+		// version advance is consumed, but nothing was installed: an empty
+		// ack, not an update.
+		a.removeInstalled()
 		a.emptyAcks.Inc()
 		m.emptyAcks.Inc()
 	}
@@ -229,6 +313,116 @@ func (a *Agent) Poll() (bool, error) {
 	}
 	// Even when this instance has no record (all its flows were rejected
 	// or it has no traffic), the agent is now consistent with version v.
+	a.lastVersion.Store(v)
+	return true, nil
+}
+
+// pollSync is Poll on the snapshot+delta protocol: a synced, healthy agent
+// issues one ReadDelta keyed by its last-seen version (one round-trip doing
+// the work of the version poll plus the config pull); a cold, recovering, or
+// gap-hit agent issues one ReadSnapshot covering its whole prefix.
+func (a *Agent) pollSync() (bool, error) {
+	m := a.metrics()
+	a.polls.Inc()
+	m.polls.Inc()
+	key := ConfigKey(a.Instance)
+	recovering := a.degraded.Load()
+	if a.synced && !recovering {
+		since := a.lastVersion.Load()
+		v, entries, err := a.Sync.ReadDelta(since, key)
+		switch {
+		case err == nil:
+			a.consecFails = 0
+			a.deltaPolls.Inc()
+			m.deltaPolls.Inc()
+			if v <= since {
+				return false, nil
+			}
+			return a.applyDelta(v, entries, m)
+		case errors.Is(err, kvstore.ErrDeltaGap):
+			// The journal no longer reaches back to our cursor; resync with
+			// a snapshot below, inside the same poll.
+			m.deltaGaps.Inc()
+		default:
+			a.errs.Inc()
+			m.errs.Inc()
+			a.noteFailure(err)
+			return false, err
+		}
+	}
+	v, records, err := a.Sync.ReadSnapshot(key)
+	if err != nil {
+		a.errs.Inc()
+		m.errs.Inc()
+		a.noteFailure(err)
+		return false, err
+	}
+	a.consecFails = 0
+	a.snapshots.Inc()
+	m.snapshots.Inc()
+	if data, ok := records[key]; ok {
+		var cfg InstanceConfig
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			// Same posture as Poll's corrupt record: count it, leave the TTL
+			// and the installed paths alone, and stay unsynced so the next
+			// poll snapshots again.
+			a.errs.Inc()
+			m.errs.Inc()
+			return false, fmt.Errorf("controlplane: agent %s: %w: %v", a.Instance, ErrBadRecord, err)
+		}
+		a.apply(&cfg)
+		a.updates.Inc()
+		m.updates.Inc()
+	} else {
+		a.removeInstalled()
+		a.emptyAcks.Inc()
+		m.emptyAcks.Inc()
+	}
+	if recovering {
+		a.degraded.Store(false)
+		a.recoveries.Inc()
+		m.recoveries.Inc()
+		m.degraded.Add(-1)
+	}
+	a.synced = true
+	a.lastVersion.Store(v)
+	return true, nil
+}
+
+// applyDelta folds a delta answer covering (since, v] into the host. The
+// prefix is exactly the agent's config key, so at most one compacted entry
+// applies: a PUT carries the new record, a DEL means the instance lost its
+// record (stale paths must go), and no entry at all means the version
+// advanced without touching this instance — an empty ack that only moves the
+// cursor.
+func (a *Agent) applyDelta(v uint64, entries []kvstore.DeltaEntry, m *agentMetrics) (bool, error) {
+	key := ConfigKey(a.Instance)
+	var rec *kvstore.DeltaEntry
+	for i := range entries {
+		if entries[i].Key == key {
+			rec = &entries[i]
+			break
+		}
+	}
+	switch {
+	case rec != nil && !rec.Delete:
+		var cfg InstanceConfig
+		if err := json.Unmarshal(rec.Value, &cfg); err != nil {
+			a.errs.Inc()
+			m.errs.Inc()
+			return false, fmt.Errorf("controlplane: agent %s: %w: %v", a.Instance, ErrBadRecord, err)
+		}
+		a.apply(&cfg)
+		a.updates.Inc()
+		m.updates.Inc()
+	case rec != nil && rec.Delete:
+		a.removeInstalled()
+		a.emptyAcks.Inc()
+		m.emptyAcks.Inc()
+	default:
+		a.emptyAcks.Inc()
+		m.emptyAcks.Inc()
+	}
 	a.lastVersion.Store(v)
 	return true, nil
 }
@@ -268,6 +462,45 @@ func nextWait(wait, base, max time.Duration, err error) time.Duration {
 	return wait
 }
 
+// jitter returns a seeded random duration in [0, d]. The stream is seeded
+// from the agent's Slot so a fleet's jitter is reproducible yet distinct per
+// agent; only the polling goroutine touches the rng.
+func (a *Agent) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	if a.rng == nil {
+		// Splitmix-style seed spread so adjacent slots land far apart in the
+		// stream (the overflow wrap is deliberate).
+		a.rng = rand.New(rand.NewSource(int64(uint64(a.Slot+1) * 0x9E3779B97F4A7C15)))
+	}
+	return time.Duration(a.rng.Int63n(int64(d) + 1))
+}
+
+// jitterWait maps nextWait's deterministic schedule to the actual sleep.
+// Clean polls keep the exact interval — the Slot spread already disperses
+// the steady state. Failures de-correlate: without jitter, every agent that
+// failed in the same window (a partition, a dead shard) computes the same
+// doubled wait and the whole cohort retries in lockstep, re-creating the
+// herd each round. The sleep becomes half-jittered, [wait/2, wait], the
+// kvstore.Backoff semantics; a BUSY failure instead honors the server's
+// suggested retry-after plus up to half again of jitter, never sooner than
+// suggested.
+func (a *Agent) jitterWait(wait time.Duration, err error) time.Duration {
+	if err == nil || errors.Is(err, ErrBadRecord) {
+		return wait
+	}
+	var be *kvstore.BusyError
+	if errors.As(err, &be) {
+		r := be.RetryAfter
+		if r <= 0 {
+			r = kvstore.DefaultRetryAfter
+		}
+		return r + a.jitter(r/2)
+	}
+	return wait/2 + a.jitter(wait/2)
+}
+
 // Run polls on the interval, offset by the agent's spread slot, until the
 // context ends. Poll errors are counted but do not stop the loop (the
 // database may be briefly unreachable; eventual consistency tolerates it);
@@ -290,7 +523,7 @@ func (a *Agent) Run(ctx context.Context, interval time.Duration) error {
 		}
 		wait = nextWait(wait, interval, maxWait, err)
 		select {
-		case <-time.After(wait):
+		case <-time.After(a.jitterWait(wait, err)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"megate/internal/cluster"
+	"megate/internal/kvstore"
 )
 
 // ClusterAdapter adapts a *cluster.Client — the sharded TE database — to
@@ -70,4 +71,16 @@ func (r ClusterHomeReader) ReadVersion() (uint64, error) {
 // ReadConfig implements ConfigReader, routed to the owning shard.
 func (r ClusterHomeReader) ReadConfig(key string) ([]byte, bool, error) {
 	return r.Client.Get(key)
+}
+
+// ReadSnapshot implements DeltaSource against the home shard only: the
+// snapshot covers exactly the keys the home shard owns, which includes the
+// agent's own config key by construction.
+func (r ClusterHomeReader) ReadSnapshot(prefix string) (uint64, map[string][]byte, error) {
+	return r.Client.OwnerSnapshot(r.Key, prefix)
+}
+
+// ReadDelta implements DeltaSource against the home shard only.
+func (r ClusterHomeReader) ReadDelta(since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error) {
+	return r.Client.OwnerDelta(r.Key, since, prefix)
 }

@@ -16,6 +16,15 @@ const (
 	MetricAgentFallbacks  = "megate_agent_fallbacks_total"
 	MetricAgentRecoveries = "megate_agent_recoveries_total"
 	MetricAgentDegraded   = "megate_agent_degraded"
+	// Snapshot+delta sync counters: full-state snapshots (cold boot, TTL
+	// recovery, or a delta-log gap), incremental delta polls, and how many of
+	// the snapshots were forced by a GAP answer specifically.
+	MetricAgentSnapshots  = "megate_agent_snapshots_total"
+	MetricAgentDeltaPolls = "megate_agent_delta_polls_total"
+	MetricAgentDeltaGaps  = "megate_agent_delta_gaps_total"
+	// MetricAgentBusy counts polls shed by database admission control —
+	// back-pressure the agent absorbed without advancing its staleness TTL.
+	MetricAgentBusy = "megate_agent_busy_total"
 
 	MetricSolveStageSeconds    = "megate_controller_solve_stage_seconds"
 	MetricIntervalSeconds      = "megate_controller_interval_seconds"
@@ -61,6 +70,10 @@ type agentMetrics struct {
 	fallbacks  *telemetry.Counter
 	recoveries *telemetry.Counter
 	degraded   *telemetry.Gauge
+	snapshots  *telemetry.Counter
+	deltaPolls *telemetry.Counter
+	deltaGaps  *telemetry.Counter
+	busy       *telemetry.Counter
 }
 
 func newAgentMetrics(r *telemetry.Registry) *agentMetrics {
@@ -72,6 +85,10 @@ func newAgentMetrics(r *telemetry.Registry) *agentMetrics {
 		fallbacks:  r.Counter(MetricAgentFallbacks),
 		recoveries: r.Counter(MetricAgentRecoveries),
 		degraded:   r.Gauge(MetricAgentDegraded),
+		snapshots:  r.Counter(MetricAgentSnapshots),
+		deltaPolls: r.Counter(MetricAgentDeltaPolls),
+		deltaGaps:  r.Counter(MetricAgentDeltaGaps),
+		busy:       r.Counter(MetricAgentBusy),
 	}
 }
 

@@ -59,6 +59,17 @@ func (a ReplicaAdapter) ListConfigKeys(prefix string) ([]string, error) {
 	return a.Client.Keys(prefix)
 }
 
+// ReadSnapshot implements DeltaSource with replica failover.
+func (a ReplicaAdapter) ReadSnapshot(prefix string) (uint64, map[string][]byte, error) {
+	return a.Client.Snapshot(prefix)
+}
+
+// ReadDelta implements DeltaSource with replica failover; kvstore.ErrDeltaGap
+// from the answering replica propagates so the agent resyncs via snapshot.
+func (a ReplicaAdapter) ReadDelta(since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error) {
+	return a.Client.Delta(since, prefix)
+}
+
 // Recover rebuilds the controller's delta-publication state from the
 // database after a restart: it reads the published version (so the next
 // publish stays monotone — Store.Publish ignores regressions, so a fresh

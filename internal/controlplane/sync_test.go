@@ -1,0 +1,242 @@
+package controlplane
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"megate/internal/hoststack"
+	"megate/internal/kvstore"
+)
+
+// scriptSync is a DeltaSource whose error behavior flips per call, for
+// driving the agent's recovery paths without a wire.
+type scriptSync struct {
+	store    *kvstore.Store
+	deltaErr error
+	snapErr  error
+}
+
+func (s *scriptSync) ReadSnapshot(prefix string) (uint64, map[string][]byte, error) {
+	if s.snapErr != nil {
+		return 0, nil, s.snapErr
+	}
+	v, recs := s.store.SnapshotPrefix(prefix)
+	return v, recs, nil
+}
+
+func (s *scriptSync) ReadDelta(since uint64, prefix string) (uint64, []kvstore.DeltaEntry, error) {
+	if s.deltaErr != nil {
+		return 0, nil, s.deltaErr
+	}
+	v, entries, ok := s.store.DeltaSince(since, prefix)
+	if !ok {
+		return v, nil, kvstore.ErrDeltaGap
+	}
+	return v, entries, nil
+}
+
+func newSyncHost(t *testing.T) *hoststack.Host {
+	t.Helper()
+	host := hoststack.NewHost("h", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	t.Cleanup(host.Close)
+	return host
+}
+
+// TestAgentSyncColdSnapshotThenDeltas pins the O(1) cold-sync contract: one
+// snapshot at boot, then every steady-state poll is a single delta — across
+// updates, no-change intervals, and a record deletion.
+func TestAgentSyncColdSnapshotThenDeltas(t *testing.T) {
+	store := kvstore.NewStore(2)
+	store.EnableDeltaLog(32)
+	host := newSyncHost(t)
+	putConfig(t, store, "ins-x", 1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+
+	agent := &Agent{Instance: "ins-x", Sync: StoreAdapter{Store: store}, Host: host}
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("cold poll: applied=%v err=%v", applied, err)
+	}
+	if snaps, deltas := agent.SyncStats(); snaps != 1 || deltas != 0 {
+		t.Fatalf("after cold poll: snapshots=%d deltas=%d, want 1/0", snaps, deltas)
+	}
+	if agent.LastVersion() != 1 || host.PathMap.Len() != 1 {
+		t.Fatalf("cold poll installed version %d, %d paths", agent.LastVersion(), host.PathMap.Len())
+	}
+
+	// Unchanged interval: the delta poll advances nothing and stays a delta.
+	if applied, err := agent.Poll(); err != nil || applied {
+		t.Fatalf("idle poll: applied=%v err=%v", applied, err)
+	}
+
+	// An update rides a delta, never a second snapshot.
+	putConfig(t, store, "ins-x", 2, []PathEntry{
+		{DstSite: 3, Hops: []uint32{0, 1, 3}},
+		{DstSite: 5, Hops: []uint32{0, 5}},
+	})
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("update poll: applied=%v err=%v", applied, err)
+	}
+	if agent.LastVersion() != 2 || host.PathMap.Len() != 2 {
+		t.Fatalf("update poll: version %d, %d paths, want 2/2", agent.LastVersion(), host.PathMap.Len())
+	}
+
+	// A tombstone delta removes the pinned paths.
+	store.Delete(ConfigKey("ins-x"))
+	store.Publish(3)
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("tombstone poll: applied=%v err=%v", applied, err)
+	}
+	if host.PathMap.Len() != 0 {
+		t.Fatalf("tombstone left %d paths installed", host.PathMap.Len())
+	}
+	if snaps, deltas := agent.SyncStats(); snaps != 1 || deltas != 3 {
+		t.Errorf("end state: snapshots=%d deltas=%d, want 1/3 (cold sync is O(1))", snaps, deltas)
+	}
+}
+
+// TestAgentSyncGapFallsBackToSnapshot truncates the journal under a synced
+// agent: the next poll's delta answers GAP and the agent resyncs with a
+// snapshot inside the same poll, ending consistent.
+func TestAgentSyncGapFallsBackToSnapshot(t *testing.T) {
+	store := kvstore.NewStore(2)
+	store.EnableDeltaLog(1)
+	host := newSyncHost(t)
+	putConfig(t, store, "ins-x", 1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+
+	agent := &Agent{Instance: "ins-x", Sync: StoreAdapter{Store: store}, Host: host}
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn on other keys overflows the 1-entry journal, cutting the floor
+	// above the agent's cursor.
+	for v := uint64(2); v <= 4; v++ {
+		store.Put("te/cfg/other", []byte("x"))
+		store.Publish(v)
+	}
+	applied, err := agent.Poll()
+	if err != nil {
+		t.Fatalf("gap poll must recover in-place, got %v", err)
+	}
+	if !applied {
+		t.Fatal("gap poll applied nothing")
+	}
+	if agent.LastVersion() != 4 {
+		t.Errorf("version after gap resync = %d, want 4", agent.LastVersion())
+	}
+	if snaps, _ := agent.SyncStats(); snaps != 2 {
+		t.Errorf("snapshots = %d, want 2 (boot + gap resync)", snaps)
+	}
+	if host.PathMap.Len() != 1 {
+		t.Errorf("%d paths after resync, want 1", host.PathMap.Len())
+	}
+}
+
+// TestAgentSyncBusyResetsTTL pins shed ≠ dead at the agent: a BUSY answer is
+// proof the database is alive, so it resets the staleness TTL instead of
+// advancing it — a fleet weathering overload must not rip out pinned paths.
+func TestAgentSyncBusyResetsTTL(t *testing.T) {
+	store := kvstore.NewStore(2)
+	store.EnableDeltaLog(16)
+	host := newSyncHost(t)
+	putConfig(t, store, "ins-x", 1, []PathEntry{{DstSite: 3, Hops: []uint32{0, 3}}})
+
+	src := &scriptSync{store: store}
+	agent := &Agent{Instance: "ins-x", Sync: src, Host: host, StaleAfter: 2}
+	if _, err := agent.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	transport := errors.New("scripted transport failure")
+	busy := &kvstore.BusyError{RetryAfter: 10 * time.Millisecond}
+
+	// fail, BUSY, fail: the BUSY in the middle resets the consecutive count,
+	// so StaleAfter=2 never fires.
+	for i, e := range []error{transport, busy, transport} {
+		src.deltaErr = e
+		if _, err := agent.Poll(); err == nil {
+			t.Fatalf("poll %d should fail", i)
+		}
+	}
+	if agent.Degraded() {
+		t.Fatal("TTL fired across a BUSY answer: shed must not count as dead")
+	}
+	if host.PathMap.Len() != 1 {
+		t.Fatalf("paths removed while only shed/briefly failing")
+	}
+	if got := agent.BusyPolls(); got != 1 {
+		t.Errorf("busy polls = %d, want 1", got)
+	}
+
+	// Two consecutive transport failures with no BUSY between do degrade.
+	src.deltaErr = transport
+	if _, err := agent.Poll(); err == nil {
+		t.Fatal("poll should fail")
+	}
+	if !agent.Degraded() {
+		t.Fatal("TTL did not fire after StaleAfter consecutive transport failures")
+	}
+	if host.PathMap.Len() != 0 {
+		t.Fatalf("degraded agent left %d paths pinned", host.PathMap.Len())
+	}
+
+	// Recovery: the database answers again, the snapshot path reinstalls.
+	src.deltaErr = nil
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("recovery poll: applied=%v err=%v", applied, err)
+	}
+	if agent.Degraded() || host.PathMap.Len() != 1 {
+		t.Fatalf("recovery left degraded=%v paths=%d", agent.Degraded(), host.PathMap.Len())
+	}
+}
+
+// TestJitterWaitDispersion is the regression test for post-error poll
+// lockstep: agents that fail in the same window must not all compute the same
+// retry sleep. The de-correlated schedule keeps every sleep inside its
+// contract window while spreading a simulated fleet across it.
+func TestJitterWaitDispersion(t *testing.T) {
+	const fleet = 256
+	wait := 500 * time.Millisecond
+	transport := errors.New("partitioned")
+	busy := &kvstore.BusyError{RetryAfter: 40 * time.Millisecond}
+
+	distinct := func(err error, lo, hi time.Duration) int {
+		t.Helper()
+		seen := make(map[time.Duration]bool)
+		for slot := 0; slot < fleet; slot++ {
+			a := &Agent{Slot: slot, SlotCount: fleet}
+			d := a.jitterWait(wait, err)
+			if d < lo || d > hi {
+				t.Fatalf("slot %d: sleep %v outside [%v, %v]", slot, d, lo, hi)
+			}
+			seen[d] = true
+		}
+		return len(seen)
+	}
+
+	// Transport failures sleep half-jittered in [wait/2, wait].
+	if n := distinct(transport, wait/2, wait); n < fleet/8 {
+		t.Errorf("transport retry produced %d distinct sleeps across %d agents: lockstep herd", n, fleet)
+	}
+	// BUSY honors the server hint: never sooner, at most half again later.
+	if n := distinct(busy, 40*time.Millisecond, 60*time.Millisecond); n < fleet/8 {
+		t.Errorf("busy retry produced %d distinct sleeps across %d agents: lockstep herd", n, fleet)
+	}
+
+	// Clean polls and application-level errors keep the exact interval — the
+	// Slot spread already disperses the steady state.
+	a := &Agent{Slot: 1, SlotCount: fleet}
+	if d := a.jitterWait(wait, nil); d != wait {
+		t.Errorf("clean poll sleep = %v, want exactly %v", d, wait)
+	}
+	if d := a.jitterWait(wait, ErrBadRecord); d != wait {
+		t.Errorf("bad-record sleep = %v, want exactly %v", d, wait)
+	}
+
+	// The stream is seeded per slot: the same agent replays the same jitter.
+	x := &Agent{Slot: 7, SlotCount: fleet}
+	y := &Agent{Slot: 7, SlotCount: fleet}
+	if dx, dy := x.jitterWait(wait, transport), y.jitterWait(wait, transport); dx != dy {
+		t.Errorf("same slot replayed different jitter: %v vs %v", dx, dy)
+	}
+}

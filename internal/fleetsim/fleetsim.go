@@ -1,0 +1,547 @@
+// Package fleetsim drives very large endpoint fleets — 100k+ agent state
+// machines — against a live TE-database cluster from a single event loop.
+// MegaTE's scaling claim (§5, §7) is about what happens when *millions* of
+// agents poll, storm, and recover at once; goroutine-per-agent test fleets
+// stop being honest around a few thousand members, so this simulator keeps
+// every agent as ~100 bytes of state machine scheduled by one timer wheel,
+// with a small worker pool performing the actual short-connection network
+// I/O through internal/faultnet.
+//
+// Concurrency shape (the lint fixtures pin this): one loop goroutine owns
+// every agent's state and the wheel; workers own nothing — they receive
+// fully-described jobs on a channel, do network I/O, and send results back.
+// The only shared state is the fleet-level atomic counters and the
+// mutex-guarded convergence-lag slice, neither of which is ever held across
+// I/O.
+package fleetsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"megate/internal/cluster"
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// Fleet-level metric names: poll volume by kind, back-pressure absorbed,
+// and the convergence instrumentation the storm scenarios gate on.
+const (
+	MetricFleetAgents     = "megate_fleetsim_agents"
+	MetricFleetPolls      = "megate_fleetsim_polls_total"
+	MetricFleetSnapshots  = "megate_fleetsim_snapshots_total"
+	MetricFleetDeltaPolls = "megate_fleetsim_delta_polls_total"
+	MetricFleetBusy       = "megate_fleetsim_busy_total"
+	MetricFleetErrors     = "megate_fleetsim_errors_total"
+	MetricFleetDeltaGaps  = "megate_fleetsim_delta_gaps_total"
+	MetricFleetConverged  = "megate_fleetsim_converged"
+	MetricFleetLagSeconds = "megate_fleetsim_convergence_lag_seconds"
+)
+
+// Source is one fault-injection peer group's network surface to the TE
+// database: how the agents of that group snapshot and delta-poll their own
+// config key. Implementations are called concurrently by the worker pool.
+type Source interface {
+	Snapshot(key string) (uint64, map[string][]byte, error)
+	Delta(key string, since uint64) (uint64, []kvstore.DeltaEntry, error)
+}
+
+// ClusterSource adapts a *cluster.Client (typically constructed with a
+// faultnet group dialer) to Source: both calls route to the key's home
+// shard, the agent-side discipline that keeps poll load flat as shards are
+// added.
+type ClusterSource struct{ Client *cluster.Client }
+
+// Snapshot implements Source.
+func (s ClusterSource) Snapshot(key string) (uint64, map[string][]byte, error) {
+	return s.Client.OwnerSnapshot(key, key)
+}
+
+// Delta implements Source.
+func (s ClusterSource) Delta(key string, since uint64) (uint64, []kvstore.DeltaEntry, error) {
+	return s.Client.OwnerDelta(key, since, key)
+}
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Agents is the fleet size.
+	Agents int
+	// Workers sizes the network worker pool; default 32.
+	Workers int
+	// PollInterval is the steady-state poll spacing per agent; default
+	// 500ms. The initial schedule spreads agents uniformly across one
+	// interval, the §3.2 slot discipline.
+	PollInterval time.Duration
+	// MaxBackoff caps the per-agent retry wait growth under transport
+	// failures; default 8×PollInterval.
+	MaxBackoff time.Duration
+	// Tick is the wheel granularity; default 5ms.
+	Tick time.Duration
+	// Seed fixes every agent's jitter stream.
+	Seed int64
+	// Prefix names the fleet's instances; config keys are
+	// "te/cfg/<Prefix>-<index>". Default "fleet".
+	Prefix string
+	// StaleAfter mirrors the agent staleness TTL in consecutive failed
+	// polls; after it fires the agent resyncs via snapshot on recovery
+	// (its pinned state can no longer be trusted). Default 8.
+	StaleAfter int
+	// Metrics routes the fleet-level series; nil uses telemetry.Default.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Agents < 1 {
+		c.Agents = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 32
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 8 * c.PollInterval
+	}
+	if c.Tick <= 0 {
+		c.Tick = 5 * time.Millisecond
+	}
+	if c.Prefix == "" {
+		c.Prefix = "fleet"
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 8
+	}
+	return c
+}
+
+// agentState is one simulated endpoint agent. Only the loop goroutine
+// touches it. The whole struct stays around a hundred bytes — the budget
+// that makes 100k agents a ~10MB fleet instead of 100k goroutine stacks.
+type agentState struct {
+	key      string
+	group    int32
+	cold     bool   // next poll must snapshot (boot, TTL fired)
+	inflight bool   // a job for this agent is out with the workers
+	consec   uint16 // consecutive transport-failure polls
+	snaps    uint32
+	busy     uint32
+	version  uint64
+	rng      uint64        // splitmix64 state
+	wait     time.Duration // current transport-failure backoff
+	busyWait time.Duration // current shed backoff (0 = take the next hint)
+	lagged   bool          // not yet converged on the current target
+}
+
+// job is one network operation for the worker pool; snap selects the
+// snapshot path, otherwise a delta poll since the given version.
+type job struct {
+	idx   int32
+	group int32
+	snap  bool
+	since uint64
+	key   string
+}
+
+// result is what a worker sends back. gapped records that the delta answer
+// was a GAP and the worker fell back to a snapshot inline — the "O(1)
+// requests per cold agent" path measured by the acceptance bench.
+type result struct {
+	idx        int32
+	snap       bool
+	gapped     bool
+	version    uint64
+	err        error
+	retryAfter time.Duration // BUSY suggestion, when err is ErrBusy-flavored
+}
+
+// fleetMetrics binds the registry series.
+type fleetMetrics struct {
+	agents    *telemetry.Gauge
+	polls     *telemetry.Counter
+	snaps     *telemetry.Counter
+	deltas    *telemetry.Counter
+	busy      *telemetry.Counter
+	errs      *telemetry.Counter
+	gaps      *telemetry.Counter
+	converged *telemetry.Gauge
+	lag       *telemetry.Histogram
+}
+
+func newFleetMetrics(r *telemetry.Registry) *fleetMetrics {
+	return &fleetMetrics{
+		agents:    r.Gauge(MetricFleetAgents),
+		polls:     r.Counter(MetricFleetPolls),
+		snaps:     r.Counter(MetricFleetSnapshots),
+		deltas:    r.Counter(MetricFleetDeltaPolls),
+		busy:      r.Counter(MetricFleetBusy),
+		errs:      r.Counter(MetricFleetErrors),
+		gaps:      r.Counter(MetricFleetDeltaGaps),
+		converged: r.Gauge(MetricFleetConverged),
+		lag:       r.Histogram(MetricFleetLagSeconds, telemetry.TimeBuckets),
+	}
+}
+
+// Fleet is the simulator. Construct with New, start Run in a goroutine,
+// script the run through SetTarget/faultnet, then stop via the context.
+type Fleet struct {
+	cfg     Config
+	sources []Source
+	agents  []agentState
+	wh      *wheel
+	m       *fleetMetrics
+
+	jobs    chan job
+	results chan result
+	cmds    chan func()
+
+	start    time.Time
+	targetAt time.Time
+
+	// Cross-goroutine observation surface: totals the loop publishes and
+	// the scenario/bench side reads while the loop runs.
+	polls     atomic.Uint64
+	snapsN    atomic.Uint64
+	deltasN   atomic.Uint64
+	busyN     atomic.Uint64
+	errsN     atomic.Uint64
+	gapsN     atomic.Uint64
+	target    atomic.Uint64
+	converged atomic.Int64
+
+	lagMu sync.Mutex
+	lags  []time.Duration
+}
+
+// New builds a fleet of cfg.Agents agents over the per-group sources;
+// agent i belongs to group i mod len(sources).
+func New(cfg Config, sources []Source) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if len(sources) == 0 {
+		return nil, errors.New("fleetsim: at least one source group required")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		sources: sources,
+		agents:  make([]agentState, cfg.Agents),
+		wh:      newWheel(cfg.Tick, int(cfg.MaxBackoff/cfg.Tick)+2, cfg.Agents),
+		m:       newFleetMetrics(reg),
+		jobs:    make(chan job, 4*cfg.Workers),
+		results: make(chan result, 4*cfg.Workers),
+		cmds:    make(chan func(), 8),
+	}
+	for i := range f.agents {
+		a := &f.agents[i]
+		a.key = f.Key(i)
+		a.group = int32(i % len(sources))
+		a.cold = true
+		a.wait = cfg.PollInterval
+		a.rng = uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9
+	}
+	f.m.agents.Set(float64(cfg.Agents))
+	return f, nil
+}
+
+// Key returns agent i's TE-database config key — the driver writes records
+// under the same keys.
+func (f *Fleet) Key(i int) string {
+	return fmt.Sprintf("te/cfg/%s-%06d", f.cfg.Prefix, i)
+}
+
+// splitmix advances the per-agent RNG state one step.
+func splitmix(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// jitter draws a per-agent duration in [0, d].
+func jitter(a *agentState, d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(splitmix(&a.rng) % uint64(d+1))
+}
+
+// Stats is a point-in-time snapshot of the fleet's cumulative counters.
+type Stats struct {
+	Polls, Snapshots, DeltaPolls uint64
+	Busy, Errors, DeltaGaps      uint64
+	Converged                    int64
+}
+
+// Stats reads the fleet's counters; safe while Run is live.
+func (f *Fleet) Stats() Stats {
+	return Stats{
+		Polls:      f.polls.Load(),
+		Snapshots:  f.snapsN.Load(),
+		DeltaPolls: f.deltasN.Load(),
+		Busy:       f.busyN.Load(),
+		Errors:     f.errsN.Load(),
+		DeltaGaps:  f.gapsN.Load(),
+		Converged:  f.converged.Load(),
+	}
+}
+
+// Converged returns how many agents have reached the current target.
+func (f *Fleet) Converged() int64 { return f.converged.Load() }
+
+// Lags copies the per-agent convergence lags recorded since the last
+// SetTarget; safe while Run is live.
+func (f *Fleet) Lags() []time.Duration {
+	f.lagMu.Lock()
+	defer f.lagMu.Unlock()
+	return append([]time.Duration(nil), f.lags...)
+}
+
+// LagPercentiles returns the p50 and p99 of the recorded convergence lags
+// (zeroes when nothing has converged yet).
+func (f *Fleet) LagPercentiles() (p50, p99 time.Duration) {
+	lags := f.Lags()
+	if len(lags) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	return lags[len(lags)*50/100], lags[len(lags)*99/100]
+}
+
+// SetTarget arms convergence measurement: every agent is marked lagging and
+// the lag clock starts now. Call it immediately BEFORE publishing version v
+// to the database so no agent can have seen v already. Blocks until the loop
+// has applied it; only call while Run is live.
+func (f *Fleet) SetTarget(v uint64) {
+	done := make(chan struct{})
+	f.cmds <- func() {
+		f.target.Store(v)
+		f.targetAt = time.Now()
+		f.converged.Store(0)
+		f.m.converged.Set(0)
+		f.lagMu.Lock()
+		f.lags = f.lags[:0]
+		f.lagMu.Unlock()
+		for i := range f.agents {
+			f.agents[i].lagged = true
+		}
+		close(done)
+	}
+	<-done
+}
+
+// Run drives the fleet until ctx ends. The calling goroutine becomes the
+// event loop and owner of all agent state; Workers goroutines perform the
+// network I/O. Run returns after every worker has drained and exited.
+func (f *Fleet) Run(ctx context.Context) {
+	f.start = time.Now()
+	f.targetAt = f.start
+	var wg sync.WaitGroup
+	for w := 0; w < f.cfg.Workers; w++ {
+		wg.Add(1)
+		go f.worker(&wg)
+	}
+	// Initial schedule: agents spread uniformly across one poll interval,
+	// jittered per agent — the slot discipline of §3.2.
+	for i := range f.agents {
+		a := &f.agents[i]
+		f.wh.schedule(int32(i), time.Duration(i)*f.cfg.PollInterval/time.Duration(len(f.agents))+jitter(a, f.cfg.Tick))
+	}
+	ticker := time.NewTicker(f.cfg.Tick)
+	defer ticker.Stop()
+	var due []int32
+	var backlog []job
+	for {
+		select {
+		case <-ctx.Done():
+			close(f.jobs)
+			// Workers may be blocked sending results; drain until they are
+			// all gone, then the results channel closes and Run returns.
+			go func() { wg.Wait(); close(f.results) }()
+			for range f.results {
+			}
+			return
+		case fn := <-f.cmds:
+			fn()
+		case r := <-f.results:
+			f.onResult(r)
+		case <-ticker.C:
+			now := uint64(time.Since(f.start) / f.cfg.Tick)
+			due = f.wh.advance(now, due[:0])
+			backlog = f.dispatch(due, backlog)
+		}
+	}
+}
+
+// dispatch turns due agents into jobs, sending without ever blocking the
+// loop (a full pool pushes the remainder back one tick — natural
+// back-pressure from the worker pool to the schedule).
+func (f *Fleet) dispatch(due []int32, backlog []job) []job {
+	backlog = backlog[:0]
+	for _, idx := range due {
+		a := &f.agents[idx]
+		if a.inflight {
+			continue
+		}
+		j := job{idx: idx, group: a.group, snap: a.cold, since: a.version, key: a.key}
+		select {
+		case f.jobs <- j:
+			a.inflight = true
+		default:
+			backlog = append(backlog, j)
+		}
+	}
+	for _, j := range backlog {
+		f.wh.schedule(j.idx, f.cfg.Tick)
+	}
+	return backlog
+}
+
+// worker performs network jobs until the jobs channel closes. A delta
+// answered with GAP falls back to a snapshot inline, so a journal-truncated
+// agent still resyncs within one scheduling round.
+func (f *Fleet) worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range f.jobs {
+		src := f.sources[j.group]
+		r := result{idx: j.idx, snap: j.snap}
+		if !j.snap {
+			v, _, err := src.Delta(j.key, j.since)
+			if err == nil || !errors.Is(err, kvstore.ErrDeltaGap) {
+				r.version, r.err = v, err
+				f.finish(&r)
+				continue
+			}
+			r.gapped, r.snap = true, true
+		}
+		v, _, err := src.Snapshot(j.key)
+		r.version, r.err = v, err
+		f.finish(&r)
+	}
+}
+
+// finish annotates a result with its BUSY retry hint and hands it to the
+// loop.
+func (f *Fleet) finish(r *result) {
+	var be *kvstore.BusyError
+	if errors.As(r.err, &be) {
+		r.retryAfter = be.RetryAfter
+		if r.retryAfter <= 0 {
+			r.retryAfter = kvstore.DefaultRetryAfter
+		}
+	}
+	f.results <- *r
+}
+
+// onResult folds one poll outcome into the agent's state machine and
+// reschedules it. Runs on the loop goroutine.
+func (f *Fleet) onResult(r result) {
+	a := &f.agents[r.idx]
+	a.inflight = false
+	f.polls.Add(1)
+	f.m.polls.Inc()
+	var delay time.Duration
+	switch {
+	case r.err == nil:
+		a.consec = 0
+		a.wait = f.cfg.PollInterval
+		a.busyWait = 0
+		if r.snap {
+			a.cold = false
+			a.snaps++
+			f.snapsN.Add(1)
+			f.m.snaps.Inc()
+			if r.gapped {
+				f.gapsN.Add(1)
+				f.m.gaps.Inc()
+			}
+			a.version = r.version
+		} else {
+			f.deltasN.Add(1)
+			f.m.deltas.Inc()
+			if r.version > a.version {
+				a.version = r.version
+			}
+		}
+		if t := f.target.Load(); a.lagged && t > 0 && a.version >= t {
+			a.lagged = false
+			lag := time.Since(f.targetAt)
+			f.converged.Add(1)
+			f.m.converged.Add(1)
+			f.m.lag.Observe(lag.Seconds())
+			f.lagMu.Lock()
+			f.lags = append(f.lags, lag)
+			f.lagMu.Unlock()
+		}
+		// Steady-state cadence: the base interval with a tick of jitter so
+		// integer rounding cannot slowly re-bunch the fleet.
+		delay = f.cfg.PollInterval + jitter(a, f.cfg.Tick)
+	case r.retryAfter > 0:
+		// Shed ≠ dead: honor the server's suggestion plus de-correlating
+		// jitter, and leave the failure TTL alone. Consecutive sheds double
+		// the pause up to the poll interval — at herd scale a constant
+		// hint-rate retry keeps the shard's queue full forever (every drain
+		// slot is instantly re-claimed by the retrying herd), a metastable
+		// congestion loop where sheds beget sheds.
+		a.busy++
+		a.consec = 0
+		f.busyN.Add(1)
+		f.m.busy.Inc()
+		if a.busyWait < r.retryAfter {
+			a.busyWait = r.retryAfter
+		} else if a.busyWait *= 2; a.busyWait > f.cfg.PollInterval {
+			a.busyWait = f.cfg.PollInterval
+		}
+		delay = a.busyWait + jitter(a, a.busyWait/2)
+	default:
+		f.errsN.Add(1)
+		f.m.errs.Inc()
+		a.busyWait = 0
+		a.consec++
+		if int(a.consec) >= f.cfg.StaleAfter && !a.cold {
+			// Staleness TTL: pinned state is stale; resync from a snapshot
+			// once the database is reachable again.
+			a.cold = true
+		}
+		if a.wait *= 2; a.wait > f.cfg.MaxBackoff {
+			a.wait = f.cfg.MaxBackoff
+		}
+		delay = a.wait/2 + jitter(a, a.wait/2)
+	}
+	f.wh.schedule(r.idx, delay)
+}
+
+// SnapshotCounts returns the min and max per-agent snapshot counts — the
+// O(1)-requests-per-cold-agent acceptance evidence. Only call after Run has
+// returned (the loop owns per-agent state while live).
+func (f *Fleet) SnapshotCounts() (min, max uint32) {
+	if len(f.agents) == 0 {
+		return 0, 0
+	}
+	min, max = f.agents[0].snaps, f.agents[0].snaps
+	for i := range f.agents {
+		s := f.agents[i].snaps
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Wedged returns how many agents have not converged on the current target —
+// zero after a healthy recovery is the "no shed-induced wedges" acceptance
+// gate. Safe while Run is live.
+func (f *Fleet) Wedged() int {
+	return f.cfg.Agents - int(f.converged.Load())
+}

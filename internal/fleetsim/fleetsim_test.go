@@ -1,0 +1,260 @@
+package fleetsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// TestWheel pins the timer wheel's contract: due entries pop exactly once,
+// in tick order, and delays longer than one lap survive the wrap.
+func TestWheel(t *testing.T) {
+	w := newWheel(time.Millisecond, 8, 4) // 8 slots
+	w.schedule(0, 1*time.Millisecond)
+	w.schedule(1, 3*time.Millisecond)
+	w.schedule(2, 20*time.Millisecond) // 2.5 laps out
+	w.schedule(3, 3*time.Millisecond)
+
+	out := w.advance(1, nil)
+	if len(out) != 1 || out[0] != 0 {
+		t.Fatalf("tick 1: got %v, want [0]", out)
+	}
+	out = w.advance(5, out[:0])
+	if len(out) != 2 {
+		t.Fatalf("tick 5: got %v, want two entries", out)
+	}
+	seen := map[int32]bool{out[0]: true, out[1]: true}
+	if !seen[1] || !seen[3] {
+		t.Fatalf("tick 5: got %v, want {1,3}", out)
+	}
+	// The long entry must not fire on its first lap collision.
+	out = w.advance(12, out[:0])
+	if len(out) != 0 {
+		t.Fatalf("tick 12: got %v, want none", out)
+	}
+	out = w.advance(20, out[:0])
+	if len(out) != 1 || out[0] != 2 {
+		t.Fatalf("tick 20: got %v, want [2]", out)
+	}
+}
+
+// fakeSource is an in-memory TE database for deterministic state-machine
+// tests: a version counter, optional forced BUSY answers, a delta-gap floor,
+// and a transport-failure switch. Concurrency-safe — the worker pool calls
+// it from many goroutines.
+type fakeSource struct {
+	mu       sync.Mutex
+	version  uint64
+	busyLeft int    // next busyLeft calls answer BUSY
+	gapFloor uint64 // Delta since < gapFloor answers ErrDeltaGap
+	dead     bool   // transport failure on every call
+	snaps    int
+	deltas   int
+}
+
+func (s *fakeSource) step() (v uint64, err error) {
+	if s.dead {
+		return 0, context.DeadlineExceeded
+	}
+	if s.busyLeft > 0 {
+		s.busyLeft--
+		return 0, &kvstore.BusyError{RetryAfter: 5 * time.Millisecond}
+	}
+	return s.version, nil
+}
+
+func (s *fakeSource) Snapshot(key string) (uint64, map[string][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.step()
+	if err != nil {
+		return 0, nil, err
+	}
+	s.snaps++
+	return v, map[string][]byte{key: []byte("cfg")}, nil
+}
+
+func (s *fakeSource) Delta(key string, since uint64) (uint64, []kvstore.DeltaEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.step()
+	if err != nil {
+		return 0, nil, err
+	}
+	if since < s.gapFloor {
+		return v, nil, kvstore.ErrDeltaGap
+	}
+	s.deltas++
+	if v <= since {
+		return v, nil, nil
+	}
+	return v, []kvstore.DeltaEntry{{Key: key, Value: []byte("cfg"), Version: v}}, nil
+}
+
+func (s *fakeSource) set(fn func(*fakeSource)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s)
+}
+
+// runFleet starts f.Run and returns a stop function that cancels and waits.
+func runFleet(f *Fleet) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	return func() { cancel(); <-done }
+}
+
+func waitConverged(t *testing.T, f *Fleet, n int64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for f.Converged() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("converged %d/%d within %v", f.Converged(), n, within)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func testConfig(agents int) Config {
+	return Config{
+		Agents:       agents,
+		Workers:      8,
+		PollInterval: 20 * time.Millisecond,
+		Tick:         2 * time.Millisecond,
+		Seed:         42,
+		Metrics:      telemetry.NewRegistry(),
+	}
+}
+
+// TestFleetColdBootAndDelta drives a small fleet through a cold boot (one
+// snapshot per agent) and a subsequent version publish (picked up via delta
+// polls, no further snapshots).
+func TestFleetColdBootAndDelta(t *testing.T) {
+	src := &fakeSource{version: 1}
+	f, err := New(testConfig(300), []Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := runFleet(f)
+	f.SetTarget(1)
+	waitConverged(t, f, 300, 5*time.Second)
+
+	f.SetTarget(2)
+	src.set(func(s *fakeSource) { s.version = 2 })
+	waitConverged(t, f, 300, 5*time.Second)
+	stop()
+
+	min, max := f.SnapshotCounts()
+	if min != 1 || max != 1 {
+		t.Fatalf("per-agent snapshots min=%d max=%d, want exactly 1 (O(1) cold sync)", min, max)
+	}
+	st := f.Stats()
+	if st.DeltaPolls == 0 {
+		t.Fatalf("no delta polls recorded: %+v", st)
+	}
+	if st.Errors != 0 || st.Busy != 0 {
+		t.Fatalf("unexpected failures on a healthy run: %+v", st)
+	}
+	if f.Wedged() != 0 {
+		t.Fatalf("%d agents wedged", f.Wedged())
+	}
+}
+
+// TestFleetBusyRecovery pins shed ≠ dead: a burst of BUSY answers delays
+// convergence but every agent still converges, and no agent flips cold (a
+// shed must not advance the staleness TTL toward a snapshot resync).
+func TestFleetBusyRecovery(t *testing.T) {
+	src := &fakeSource{version: 1}
+	f, err := New(testConfig(100), []Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := runFleet(f)
+	f.SetTarget(1)
+	waitConverged(t, f, 100, 5*time.Second)
+
+	f.SetTarget(2)
+	src.set(func(s *fakeSource) { s.busyLeft = 200; s.version = 2 })
+	waitConverged(t, f, 100, 10*time.Second)
+	stop()
+
+	st := f.Stats()
+	if st.Busy == 0 {
+		t.Fatalf("expected BUSY polls, got %+v", st)
+	}
+	if _, max := f.SnapshotCounts(); max != 1 {
+		t.Fatalf("BUSY polls triggered snapshot resync (max %d snaps), shed must not look dead", max)
+	}
+}
+
+// TestFleetGapFallback pins the truncated-journal path: agents whose cursor
+// fell below the server's delta floor resync with exactly one inline
+// snapshot and converge.
+func TestFleetGapFallback(t *testing.T) {
+	src := &fakeSource{version: 1}
+	f, err := New(testConfig(100), []Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := runFleet(f)
+	f.SetTarget(1)
+	waitConverged(t, f, 100, 5*time.Second)
+
+	// The journal floor jumps past every agent's cursor: the next delta
+	// poll GAPs and falls back to a snapshot within the same job.
+	f.SetTarget(9)
+	src.set(func(s *fakeSource) { s.version = 9; s.gapFloor = 9 })
+	waitConverged(t, f, 100, 10*time.Second)
+	stop()
+
+	st := f.Stats()
+	if st.DeltaGaps == 0 {
+		t.Fatalf("expected delta gaps, got %+v", st)
+	}
+	if min, max := f.SnapshotCounts(); min != 2 || max != 2 {
+		t.Fatalf("per-agent snapshots min=%d max=%d, want exactly 2 (boot + gap resync)", min, max)
+	}
+}
+
+// TestFleetOutageBackoffAndRecovery pins the transport-failure machine: a
+// dead database drives agents into capped backoff, a long enough outage
+// fires the staleness TTL (cold resync), and recovery converges everyone
+// with one snapshot per TTL'd agent.
+func TestFleetOutageBackoffAndRecovery(t *testing.T) {
+	src := &fakeSource{version: 1}
+	cfg := testConfig(100)
+	cfg.StaleAfter = 2
+	cfg.MaxBackoff = 80 * time.Millisecond
+	f, err := New(cfg, []Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := runFleet(f)
+	f.SetTarget(1)
+	waitConverged(t, f, 100, 5*time.Second)
+
+	src.set(func(s *fakeSource) { s.dead = true })
+	// Long enough for every agent to fail StaleAfter times even from the
+	// capped backoff.
+	time.Sleep(400 * time.Millisecond)
+	f.SetTarget(3)
+	src.set(func(s *fakeSource) { s.dead = false; s.version = 3 })
+	waitConverged(t, f, 100, 10*time.Second)
+	stop()
+
+	st := f.Stats()
+	if st.Errors == 0 {
+		t.Fatalf("expected transport errors, got %+v", st)
+	}
+	if min, _ := f.SnapshotCounts(); min < 2 {
+		t.Fatalf("TTL'd agents should have resynced via snapshot, min snaps %d", min)
+	}
+	if f.Wedged() != 0 {
+		t.Fatalf("%d agents wedged after heal", f.Wedged())
+	}
+}

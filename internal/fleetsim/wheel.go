@@ -1,0 +1,76 @@
+package fleetsim
+
+import "time"
+
+// wheel is a fixed-tick circular timer wheel over int32 agent indices — the
+// scheduling core that lets one event loop own 100k+ agent poll timers
+// without a goroutine (or a runtime timer) per agent. An agent is in at most
+// one slot at a time: it is popped before the state machine reschedules it.
+//
+// Delays longer than one lap are handled by keeping the per-agent absolute
+// due tick in due[]: advance re-queues an entry whose due tick lies a lap
+// (or more) ahead back into its slot for a later pass, so arbitrary backoff
+// horizons need no hierarchy.
+type wheel struct {
+	tick  time.Duration
+	slots [][]int32
+	mask  uint64 // len(slots)-1; len is a power of two
+	nowT  uint64 // current absolute tick
+	due   []uint64
+}
+
+// newWheel sizes a wheel for nAgents indices at the given granularity with
+// at least minSlots slots (rounded up to a power of two).
+func newWheel(tick time.Duration, minSlots, nAgents int) *wheel {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	n := 1
+	for n < minSlots {
+		n <<= 1
+	}
+	return &wheel{
+		tick:  tick,
+		slots: make([][]int32, n),
+		mask:  uint64(n - 1),
+		due:   make([]uint64, nAgents),
+	}
+}
+
+// ticks converts a delay to a whole number of ticks, rounding up, minimum 1.
+func (w *wheel) ticks(d time.Duration) uint64 {
+	if d <= 0 {
+		return 1
+	}
+	return uint64((d + w.tick - 1) / w.tick)
+}
+
+// schedule arms idx to fire d after the wheel's current tick.
+func (w *wheel) schedule(idx int32, d time.Duration) {
+	t := w.nowT + w.ticks(d)
+	w.due[idx] = t
+	s := t & w.mask
+	w.slots[s] = append(w.slots[s], idx)
+}
+
+// advance moves the wheel forward to absolute tick t, appending every due
+// index to out and returning it. Entries due on a later lap stay in their
+// slot; the filter is in place, so a slot's backing array is reused lap
+// after lap instead of reallocating under churn.
+func (w *wheel) advance(t uint64, out []int32) []int32 {
+	for w.nowT < t {
+		w.nowT++
+		s := w.nowT & w.mask
+		slot := w.slots[s]
+		keep := slot[:0]
+		for _, idx := range slot {
+			if w.due[idx] <= w.nowT {
+				out = append(out, idx)
+			} else {
+				keep = append(keep, idx)
+			}
+		}
+		w.slots[s] = keep
+	}
+	return out
+}

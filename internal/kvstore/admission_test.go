@@ -1,0 +1,390 @@
+package kvstore
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"megate/internal/telemetry"
+)
+
+// newAdmissionServer starts a server with its own metrics registry and the
+// given options; the caller saturates it through WithServiceDelay.
+func newAdmissionServer(t *testing.T, opts ...ServerOption) (*Server, *Store, *telemetry.Registry) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	store := NewStore(2)
+	srv := Serve(l, store, append([]ServerOption{WithMetrics(reg)}, opts...)...)
+	t.Cleanup(srv.Close)
+	return srv, store, reg
+}
+
+// saturate occupies the server's single admission slot: the holder client
+// times out client-side almost immediately, but the server-side handler keeps
+// sleeping in the synthetic service delay with the slot held, so every later
+// request is deterministically shed until the delay elapses.
+func saturate(t *testing.T, addr string) {
+	t.Helper()
+	holder := &Client{Addr: addr, Timeout: 50 * time.Millisecond}
+	if _, err := holder.Version(); err == nil {
+		t.Fatal("holder poll should have timed out client-side while the server serves it")
+	}
+}
+
+func TestServerShedsBusyUnderSaturation(t *testing.T) {
+	srv, _, reg := newAdmissionServer(t,
+		WithAdmission(Admission{MaxInflight: 1, MaxQueue: 0, RetryAfter: 40 * time.Millisecond}),
+		WithServiceDelay(2*time.Second))
+	saturate(t, srv.Addr())
+
+	probe := &Client{Addr: srv.Addr(), Timeout: time.Second}
+	_, err := probe.Version()
+	if err == nil {
+		t.Fatal("probe succeeded against a saturated shard")
+	}
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BusyError", err)
+	}
+	// Queue depth 1 over a zero queue scales the base 40ms hint up.
+	if be.RetryAfter < 40*time.Millisecond {
+		t.Errorf("retry-after %v, want >= the configured 40ms base", be.RetryAfter)
+	}
+	if shed := reg.Counter(MetricServerShed).Value(); shed < 1 {
+		t.Errorf("shed counter = %d, want >= 1", shed)
+	}
+}
+
+// TestServerShedPutKeepsConnectionSynced pins the parse-before-gate contract:
+// a shed PUT has already consumed its value bytes, so the same connection can
+// retry the write after the suggested pause without desynchronizing.
+func TestServerShedPutKeepsConnectionSynced(t *testing.T) {
+	srv, store, _ := newAdmissionServer(t,
+		WithAdmission(Admission{MaxInflight: 1, MaxQueue: 0, RetryAfter: 10 * time.Millisecond}),
+		WithServiceDelay(300*time.Millisecond))
+	saturate(t, srv.Addr())
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	put := func() string {
+		t.Helper()
+		if _, err := fmt.Fprint(conn, "PUT te/cfg/x 5\nhello"); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(line)
+	}
+	if line := put(); !strings.HasPrefix(line, "BUSY") {
+		t.Fatalf("first PUT answered %q, want BUSY while the slot is held", line)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		line := put()
+		if line == "OK" {
+			break
+		}
+		if !strings.HasPrefix(line, "BUSY") {
+			t.Fatalf("retried PUT answered %q: shed PUT desynchronized the stream", line)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("PUT never admitted after the holder released the slot")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v, ok := store.Get("te/cfg/x"); !ok || string(v) != "hello" {
+		t.Fatalf("store has %q ok=%v after retried PUT", v, ok)
+	}
+}
+
+func TestServerMaxConnsRejectsAndCounts(t *testing.T) {
+	srv, _, reg := newAdmissionServer(t, WithMaxConns(1))
+
+	// A round trip guarantees the first connection is registered server-side
+	// before the over-cap dial arrives.
+	held, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(held)
+	if _, err := fmt.Fprint(held, "VERSION\n"); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(line, "VERSION") {
+		t.Fatalf("held conn round trip: %q, %v", line, err)
+	}
+
+	over := &Client{Addr: srv.Addr(), Timeout: time.Second}
+	if _, err := over.Version(); err == nil {
+		t.Fatal("over-cap connection served a request")
+	}
+	if got := reg.Counter(MetricConnsRejected).Value(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricConnsAccepted).Value(); got != 1 {
+		t.Errorf("accepted = %d, want 1", got)
+	}
+
+	// Releasing the held connection frees the slot: the cap bounds concurrent
+	// connections, it does not blacklist clients.
+	_ = held.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := over.Version(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection slot never freed after close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := reg.Counter(MetricConnsAccepted).Value(); got < 2 {
+		t.Errorf("accepted = %d after recovery, want >= 2", got)
+	}
+}
+
+func TestBusyCheckMalformedHintStillSheds(t *testing.T) {
+	for _, line := range []string{"BUSY\n", "BUSY nonsense\n", "BUSY -3\n"} {
+		err := busyCheck(line)
+		var be *BusyError
+		if !errors.As(err, &be) {
+			t.Fatalf("busyCheck(%q) = %v, want *BusyError", line, err)
+		}
+		if be.RetryAfter != DefaultRetryAfter {
+			t.Errorf("busyCheck(%q) retry-after = %v, want default %v", line, be.RetryAfter, DefaultRetryAfter)
+		}
+	}
+	if err := busyCheck("VERSION 3\n"); err != nil {
+		t.Errorf("busyCheck(VERSION) = %v, want nil", err)
+	}
+}
+
+// TestBackoffBusyHonorsRetryAfter asserts a BUSY failure waits at least the
+// server-suggested pause even when the exponential schedule would retry far
+// sooner.
+func TestBackoffBusyHonorsRetryAfter(t *testing.T) {
+	b := &Backoff{Attempts: 3, Base: time.Millisecond, Max: 4 * time.Millisecond, Seed: 1}
+	var stamps []time.Time
+	err := b.Do(func() error {
+		stamps = append(stamps, time.Now())
+		if len(stamps) <= 2 {
+			return &BusyError{RetryAfter: 60 * time.Millisecond}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(stamps))
+	}
+	for i := 1; i < len(stamps); i++ {
+		if gap := stamps[i].Sub(stamps[i-1]); gap < 60*time.Millisecond {
+			t.Errorf("retry %d came after %v, sooner than the suggested 60ms", i, gap)
+		}
+	}
+}
+
+func TestBackoffDoContextCanceledMidPause(t *testing.T) {
+	sentinel := errors.New("transport down")
+	b := &Backoff{Attempts: 5, Base: 400 * time.Millisecond, Max: time.Second, Seed: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+	attempts := 0
+	start := time.Now()
+	err := b.DoContext(ctx, func() error {
+		attempts++
+		return sentinel
+	})
+	elapsed := time.Since(start)
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1: cancellation must stop the schedule", attempts)
+	}
+	// The first pause alone is >= 200ms; cancellation at 50ms must cut it.
+	if elapsed >= 200*time.Millisecond {
+		t.Errorf("DoContext returned after %v, cancellation did not interrupt the pause", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the join", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the last attempt's error in the join", err)
+	}
+}
+
+func TestBackoffDoContextCanceledBetweenAttempts(t *testing.T) {
+	sentinel := errors.New("transport down")
+	b := &Backoff{Attempts: 5, Base: time.Second, Seed: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	err := b.DoContext(ctx, func() error {
+		cancel()
+		return sentinel
+	})
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want canceled joined with the attempt error", err)
+	}
+}
+
+// scriptedReplica is a minimal wire-level replica: every command line gets
+// one fixed response, switchable at runtime between BUSY (overloaded) and a
+// VERSION answer (healthy).
+type scriptedReplica struct {
+	l    net.Listener
+	busy atomic.Bool
+	// retryMs is the BUSY hint; version the healthy VERSION answer.
+	retryMs int
+	version uint64
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newScriptedReplica(t *testing.T, retryMs int, version uint64, busy bool) *scriptedReplica {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scriptedReplica{l: l, retryMs: retryMs, version: version, conns: make(map[net.Conn]struct{})}
+	s.busy.Store(busy)
+	go s.serve()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *scriptedReplica) addr() string { return s.l.Addr().String() }
+
+func (s *scriptedReplica) close() {
+	_ = s.l.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *scriptedReplica) serve() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for {
+				if _, err := r.ReadString('\n'); err != nil {
+					return
+				}
+				var resp string
+				if s.busy.Load() {
+					resp = fmt.Sprintf("BUSY %d\n", s.retryMs)
+				} else {
+					resp = fmt.Sprintf("VERSION %d\n", s.version)
+				}
+				if _, err := fmt.Fprint(conn, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestReplicaBusyFailoverNoPromotion pins shed ≠ dead at the replica layer: a
+// primary answering BUSY is failed over past for the one read, but it keeps
+// its preferred position — a moment of overload must not permanently demote
+// it — and it serves again the instant the overload clears.
+func TestReplicaBusyFailoverNoPromotion(t *testing.T) {
+	primary := newScriptedReplica(t, 25, 7, true)
+	secondary := newScriptedReplica(t, 0, 3, false)
+
+	reg := telemetry.NewRegistry()
+	d := newCountingDialer()
+	rc := NewReplicaClient([]string{primary.addr(), secondary.addr()}, func(rc *ReplicaClient) {
+		rc.Metrics = reg
+		rc.Dialer = d.dial
+		rc.Timeout = time.Second
+	})
+
+	for i := 1; i <= 2; i++ {
+		v, err := rc.Version()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if v != 3 {
+			t.Fatalf("read %d: version = %d, want 3 from the secondary", i, v)
+		}
+		// The busy primary is still dialed first every read: no promotion
+		// shuffled it out of the preference order.
+		if got := d.count(primary.addr()); got != i {
+			t.Fatalf("read %d: primary dialed %d times, want %d", i, got, i)
+		}
+	}
+	if got := rc.Failovers(); got != 2 {
+		t.Errorf("failovers = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricReplicaPromotions).Value(); got != 0 {
+		t.Errorf("promotions = %d, want 0: BUSY failover must not promote", got)
+	}
+
+	// Overload clears: the primary answers again with no promotion ceremony.
+	primary.busy.Store(false)
+	v, err := rc.Version()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Errorf("post-heal version = %d, want 7 from the primary", v)
+	}
+	if got := reg.Counter(MetricReplicaPromotions).Value(); got != 0 {
+		t.Errorf("promotions = %d after heal, want 0", got)
+	}
+}
+
+// TestReplicaAllBusyReportsBusy asserts a fully shed cycle surfaces as a
+// retryable BusyError carrying the largest server-suggested pause, so a
+// Backoff honors the fleet-wide back-pressure signal.
+func TestReplicaAllBusyReportsBusy(t *testing.T) {
+	a := newScriptedReplica(t, 25, 1, true)
+	b := newScriptedReplica(t, 70, 2, true)
+	rc := NewReplicaClient([]string{a.addr(), b.addr()}, func(rc *ReplicaClient) {
+		rc.Metrics = telemetry.NewRegistry()
+		rc.Timeout = time.Second
+	})
+
+	_, err := rc.Version()
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BusyError", err)
+	}
+	if be.RetryAfter != 70*time.Millisecond {
+		t.Errorf("retry-after = %v, want the largest suggestion 70ms", be.RetryAfter)
+	}
+}

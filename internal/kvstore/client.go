@@ -2,11 +2,13 @@ package kvstore
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -31,6 +33,45 @@ var ErrProtocol = errors.New("kvstore: protocol error")
 // the operation on a fresh connection, while a server that answered with
 // well-terminated garbage still fails fast.
 var ErrTruncated = errors.New("kvstore: truncated response")
+
+// ErrBusy matches any BUSY response via errors.Is: admission control shed
+// the request before it touched the store. Shed ≠ failed — the server is
+// alive and suggesting when to come back, so BUSY is retryable (after the
+// suggested pause) and must never be treated as a dead replica.
+var ErrBusy = errors.New("kvstore: server busy")
+
+// ErrDeltaGap reports a GAP response: the server's delta journal no longer
+// reaches back to the client's last-seen version, so the client must resync
+// with a full Snapshot. Like ErrProtocol it stops a Backoff schedule — the
+// journal will not grow backward on retry.
+var ErrDeltaGap = errors.New("kvstore: delta log gap, snapshot required")
+
+// BusyError is the concrete BUSY response carrying the server-suggested
+// retry pause. errors.Is(err, ErrBusy) matches it.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("kvstore: server busy, retry after %v", e.RetryAfter)
+}
+
+// Is makes every BusyError match the ErrBusy sentinel.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// busyCheck classifies a "BUSY <retry-ms>" response line. A malformed BUSY
+// still yields a BusyError (with the default pause) — the server's intent to
+// shed is unambiguous even when the hint is garbled.
+func busyCheck(line string) error {
+	if !strings.HasPrefix(line, "BUSY") {
+		return nil
+	}
+	var ms int64
+	if _, err := fmt.Sscanf(line, "BUSY %d", &ms); err != nil || ms < 0 {
+		return &BusyError{RetryAfter: DefaultRetryAfter}
+	}
+	return &BusyError{RetryAfter: time.Duration(ms) * time.Millisecond}
+}
 
 // readLine reads one newline-terminated response line. A partial line —
 // bytes followed by an error with no terminator — is classified as
@@ -186,6 +227,9 @@ func (c *Client) Version() (v uint64, err error) {
 		if err != nil {
 			return err
 		}
+		if err := busyCheck(line); err != nil {
+			return err
+		}
 		if _, err := fmt.Sscanf(line, "VERSION %d", &v); err != nil {
 			return fmt.Errorf("%w: %q", ErrProtocol, line)
 		}
@@ -207,6 +251,9 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 		}
 		if strings.TrimSpace(line) == "NONE" {
 			return nil
+		}
+		if err := busyCheck(line); err != nil {
+			return err
 		}
 		var n int
 		if _, err := fmt.Sscanf(line, "VALUE %d", &n); err != nil {
@@ -310,6 +357,9 @@ func (c *Client) Keys(prefix string) (keys []string, err error) {
 		if err != nil {
 			return err
 		}
+		if err := busyCheck(line); err != nil {
+			return err
+		}
 		var n int
 		if _, err := fmt.Sscanf(line, "KEYS %d", &n); err != nil {
 			return fmt.Errorf("%w: %q", ErrProtocol, line)
@@ -336,6 +386,129 @@ func (c *Client) Keys(prefix string) (keys []string, err error) {
 	return keys, err
 }
 
+// Snapshot fetches every record under prefix plus the version it was taken
+// at, in one wire round-trip — the O(1)-requests cold-sync path that
+// replaces a KEYS walk followed by GET-per-record. The empty prefix
+// snapshots the whole store (sent as the "*" sentinel, re-filtered
+// client-side like Keys).
+func (c *Client) Snapshot(prefix string) (version uint64, records map[string][]byte, err error) {
+	err = c.do("snap", func(conn net.Conn, r *bufio.Reader) error {
+		version, records = 0, nil
+		wire := prefix
+		if wire == "" {
+			wire = AllKeysPrefix
+		}
+		if _, err := fmt.Fprintf(conn, "SNAP %s\n", wire); err != nil {
+			return err
+		}
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if err := busyCheck(line); err != nil {
+			return err
+		}
+		var n int
+		if _, err := fmt.Sscanf(line, "SNAP %d %d", &version, &n); err != nil {
+			return fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+		if n < 0 || n > MaxKeys {
+			return fmt.Errorf("%w: implausible record count %d", ErrProtocol, n)
+		}
+		records = make(map[string][]byte, n)
+		for i := 0; i < n; i++ {
+			hdr, err := readLine(r)
+			if err != nil {
+				return err
+			}
+			fields := strings.Fields(strings.TrimSpace(hdr))
+			if len(fields) != 2 {
+				return fmt.Errorf("%w: snapshot record header %q", ErrProtocol, hdr)
+			}
+			vlen, err := strconv.Atoi(fields[1])
+			if err != nil || vlen < 0 || vlen > MaxValueLen {
+				return fmt.Errorf("%w: implausible value length in %q", ErrProtocol, hdr)
+			}
+			buf := make([]byte, vlen+1) // value plus trailing newline
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return err
+			}
+			if strings.HasPrefix(fields[0], prefix) {
+				records[fields[0]] = buf[:vlen]
+			}
+		}
+		return nil
+	})
+	return version, records, err
+}
+
+// Delta fetches the per-key-compacted changes under prefix published after
+// since, plus the version they bring the client up to. ErrDeltaGap means the
+// server's journal no longer reaches back that far — resync with Snapshot.
+// An empty entry list with version > since is a valid answer: nothing under
+// the prefix changed, the caller just advances its cursor.
+func (c *Client) Delta(since uint64, prefix string) (version uint64, entries []DeltaEntry, err error) {
+	err = c.do("delta", func(conn net.Conn, r *bufio.Reader) error {
+		version, entries = 0, nil
+		wire := prefix
+		if wire == "" {
+			wire = AllKeysPrefix
+		}
+		if _, err := fmt.Fprintf(conn, "DELTA %d %s\n", since, wire); err != nil {
+			return err
+		}
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if err := busyCheck(line); err != nil {
+			return err
+		}
+		if strings.HasPrefix(line, "GAP") {
+			if _, err := fmt.Sscanf(line, "GAP %d", &version); err != nil {
+				return fmt.Errorf("%w: %q", ErrProtocol, line)
+			}
+			return ErrDeltaGap
+		}
+		var n int
+		if _, err := fmt.Sscanf(line, "DELTA %d %d", &version, &n); err != nil {
+			return fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+		if n < 0 || n > MaxKeys {
+			return fmt.Errorf("%w: implausible change count %d", ErrProtocol, n)
+		}
+		for i := 0; i < n; i++ {
+			hdr, err := readLine(r)
+			if err != nil {
+				return err
+			}
+			fields := strings.Fields(strings.TrimSpace(hdr))
+			switch {
+			case len(fields) == 2 && fields[0] == "DEL":
+				if strings.HasPrefix(fields[1], prefix) {
+					entries = append(entries, DeltaEntry{Key: fields[1], Delete: true, Version: version})
+				}
+			case len(fields) == 3 && fields[0] == "PUT":
+				vlen, err := strconv.Atoi(fields[2])
+				if err != nil || vlen < 0 || vlen > MaxValueLen {
+					return fmt.Errorf("%w: implausible value length in %q", ErrProtocol, hdr)
+				}
+				buf := make([]byte, vlen+1) // value plus trailing newline
+				if _, err := io.ReadFull(r, buf); err != nil {
+					return err
+				}
+				if strings.HasPrefix(fields[1], prefix) {
+					entries = append(entries, DeltaEntry{Key: fields[1], Value: buf[:vlen], Version: version})
+				}
+			default:
+				return fmt.Errorf("%w: delta change header %q", ErrProtocol, hdr)
+			}
+		}
+		return nil
+	})
+	return version, entries, err
+}
+
 // Publish advertises a new configuration version.
 func (c *Client) Publish(v uint64) error {
 	return c.do("publish", func(conn net.Conn, r *bufio.Reader) error {
@@ -344,6 +517,9 @@ func (c *Client) Publish(v uint64) error {
 		}
 		line, err := readLine(r)
 		if err != nil {
+			return err
+		}
+		if err := busyCheck(line); err != nil {
 			return err
 		}
 		if !strings.HasPrefix(line, "OK") {
@@ -357,6 +533,9 @@ func (c *Client) Publish(v uint64) error {
 func expectOK(r *bufio.Reader) error {
 	line, err := readLine(r)
 	if err != nil {
+		return err
+	}
+	if err := busyCheck(line); err != nil {
 		return err
 	}
 	if strings.TrimSpace(line) != "OK" {
@@ -415,9 +594,50 @@ func (b *Backoff) Delay(retry int) time.Duration {
 	return d/2 + j
 }
 
-// Do runs op, retrying transport failures under the schedule. A nil result
-// or a protocol error stops the retries immediately.
+// jitter returns a seeded random duration in [0, d].
+func (b *Backoff) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.Seed))
+	}
+	j := time.Duration(b.rng.Int63n(int64(d) + 1))
+	b.mu.Unlock()
+	return j
+}
+
+// retryDelay picks the pause before retry number retry given the error that
+// forced it: a BUSY response's server-suggested retry-after wins over the
+// exponential step (never sooner than suggested, plus up to half again of
+// de-correlating jitter so a shed herd does not return as a herd), anything
+// else follows Delay's half-jittered exponential.
+func (b *Backoff) retryDelay(retry int, err error) time.Duration {
+	var be *BusyError
+	if errors.As(err, &be) {
+		r := be.RetryAfter
+		if r <= 0 {
+			r = DefaultRetryAfter
+		}
+		return r + b.jitter(r/2)
+	}
+	return b.Delay(retry)
+}
+
+// Do runs op, retrying transport failures under the schedule. A nil result,
+// a protocol error or a delta gap stops the retries immediately; a BUSY
+// failure waits the server-suggested retry-after instead of the exponential
+// step.
 func (b *Backoff) Do(op func() error) error {
+	return b.DoContext(context.Background(), op)
+}
+
+// DoContext is Do with cancellation: a context that expires mid-pause (or
+// between attempts) stops the schedule and reports the context's error
+// joined with the last attempt's, so callers see both why the op failed and
+// why the retries stopped.
+func (b *Backoff) DoContext(ctx context.Context, op func() error) error {
 	n := b.Attempts
 	if n < 1 {
 		n = 1
@@ -425,11 +645,20 @@ func (b *Backoff) Do(op func() error) error {
 	var err error
 	for i := 0; i < n; i++ {
 		if i > 0 {
-			time.Sleep(b.Delay(i))
+			t := time.NewTimer(b.retryDelay(i, err))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return errors.Join(ctx.Err(), err)
+			case <-t.C:
+			}
 		}
 		err = op()
-		if err == nil || errors.Is(err, ErrProtocol) {
+		if err == nil || errors.Is(err, ErrProtocol) || errors.Is(err, ErrDeltaGap) {
 			return err
+		}
+		if ctx.Err() != nil {
+			return errors.Join(ctx.Err(), err)
 		}
 	}
 	return err

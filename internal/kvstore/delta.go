@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DeltaEntry is one record change in a snapshot-delta synchronization
+// response: the key, its new value (nil when Delete is set — a tombstone),
+// and the published version the change became visible under.
+type DeltaEntry struct {
+	Key     string
+	Value   []byte
+	Delete  bool
+	Version uint64
+}
+
+// deltaLog is the server-side change journal behind the DELTA wire op. The
+// controller's writes accumulate as pending (coalesced per key — within one
+// interval only the final bytes matter) and are stamped with the version at
+// the moment it is published, mirroring exactly when the fleet may first
+// observe them. Retention is bounded by a stamped-entry capacity; once old
+// entries are evicted the floor version rises and a DELTA reaching below it
+// answers GAP, pushing the client to the snapshot path.
+type deltaLog struct {
+	mu      sync.Mutex
+	cap     int
+	floor   uint64 // versions <= floor are no longer fully covered
+	entries []DeltaEntry
+	pending map[string]DeltaEntry
+}
+
+func newDeltaLog(capacity int, floor uint64) *deltaLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &deltaLog{cap: capacity, floor: floor, pending: make(map[string]DeltaEntry)}
+}
+
+// record notes one store mutation awaiting the next publish.
+func (d *deltaLog) record(key string, value []byte, del bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pending[key] = DeltaEntry{Key: key, Value: value, Delete: del}
+}
+
+// publishTo stamps every pending change with version v and appends it to
+// the journal, evicting from the front past capacity. Pending keys are
+// appended in sorted order so a fixed write set journals deterministically.
+func (d *deltaLog) publishTo(v uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pending) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(d.pending))
+	for k := range d.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := d.pending[k]
+		e.Version = v
+		d.entries = append(d.entries, e)
+	}
+	d.pending = make(map[string]DeltaEntry)
+	if drop := len(d.entries) - d.cap; drop > 0 {
+		if fv := d.entries[drop-1].Version; fv > d.floor {
+			d.floor = fv
+		}
+		d.entries = append(d.entries[:0], d.entries[drop:]...)
+	}
+}
+
+// since returns the per-key-compacted changes with version in (since, cur]
+// under prefix, sorted by key, or ok=false when eviction has cut the journal
+// above since — the caller must fall back to a snapshot.
+func (d *deltaLog) since(since uint64, prefix string, cur uint64) ([]DeltaEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if since < d.floor {
+		return nil, false
+	}
+	last := make(map[string]DeltaEntry)
+	for _, e := range d.entries {
+		if e.Version <= since || e.Version > cur {
+			continue
+		}
+		if strings.HasPrefix(e.Key, prefix) {
+			last[e.Key] = e
+		}
+	}
+	if len(last) == 0 {
+		return nil, true
+	}
+	out := make([]DeltaEntry, 0, len(last))
+	keys := make([]string, 0, len(last))
+	for k := range last {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, last[k])
+	}
+	return out, true
+}
+
+// EnableDeltaLog attaches a change journal retaining up to capacity stamped
+// entries, anchored at the currently published version: deltas reaching
+// further back than the anchor (or than later evictions) answer as a gap.
+// Call before the store starts taking writes that must be journaled.
+func (s *Store) EnableDeltaLog(capacity int) {
+	s.dlog.Store(newDeltaLog(capacity, s.version.Load()))
+}
+
+// SnapshotPrefix returns the published version and a copy of every record
+// under prefix — the one-request cold-sync primitive behind the SNAP wire
+// op. The version is read first: a write published mid-scan makes the
+// snapshot carry newer bytes under an older version stamp, which the next
+// delta poll simply re-fetches (eventual consistency never goes backward).
+func (s *Store) SnapshotPrefix(prefix string) (uint64, map[string][]byte) {
+	s.queries.Add(1)
+	v := s.version.Load()
+	out := make(map[string][]byte)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, val := range sh.m {
+			if strings.HasPrefix(k, prefix) {
+				cp := make([]byte, len(val))
+				copy(cp, val)
+				out[k] = cp
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return v, out
+}
+
+// DeltaSince returns the current version and the compacted changes under
+// prefix published after since. ok is false when the journal cannot answer —
+// no journal enabled, or retention evicted entries newer than since — and
+// the caller must snapshot instead.
+func (s *Store) DeltaSince(since uint64, prefix string) (uint64, []DeltaEntry, bool) {
+	s.queries.Add(1)
+	cur := s.version.Load()
+	dl := s.dlog.Load()
+	if dl == nil {
+		return cur, nil, false
+	}
+	entries, ok := dl.since(since, prefix, cur)
+	return cur, entries, ok
+}

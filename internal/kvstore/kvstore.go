@@ -25,6 +25,9 @@ type Store struct {
 	shards  []shard
 	version atomic.Uint64
 	queries atomic.Uint64
+	// dlog, when enabled, journals every write for the snapshot+delta
+	// synchronization protocol (delta.go). Nil until EnableDeltaLog.
+	dlog atomic.Pointer[deltaLog]
 }
 
 type shard struct {
@@ -69,19 +72,25 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // only *advertised* once the controller publishes a new version.
 func (s *Store) Put(key string, value []byte) {
 	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	cp := make([]byte, len(value))
 	copy(cp, value)
+	sh.mu.Lock()
 	sh.m[key] = cp
+	sh.mu.Unlock()
+	if dl := s.dlog.Load(); dl != nil {
+		dl.record(key, cp, false)
+	}
 }
 
 // Delete removes key.
 func (s *Store) Delete(key string) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	delete(sh.m, key)
+	sh.mu.Unlock()
+	if dl := s.dlog.Load(); dl != nil {
+		dl.record(key, nil, true)
+	}
 }
 
 // Version returns the currently published configuration version. Version
@@ -100,6 +109,9 @@ func (s *Store) Publish(v uint64) uint64 {
 			return cur
 		}
 		if s.version.CompareAndSwap(cur, v) {
+			if dl := s.dlog.Load(); dl != nil {
+				dl.publishTo(v)
+			}
 			return v
 		}
 	}
@@ -107,7 +119,11 @@ func (s *Store) Publish(v uint64) uint64 {
 
 // Bump atomically increments and returns the published version.
 func (s *Store) Bump() uint64 {
-	return s.version.Add(1)
+	v := s.version.Add(1)
+	if dl := s.dlog.Load(); dl != nil {
+		dl.publishTo(v)
+	}
+	return v
 }
 
 // Queries returns the cumulative query count (gets + version polls).

@@ -22,15 +22,27 @@ const (
 
 	MetricReplicaFailovers  = "megate_kvstore_replica_failovers_total"
 	MetricReplicaPromotions = "megate_kvstore_replica_promotions_total"
+
+	// Admission-control and accept-side pressure signals (ISSUE 8): how many
+	// requests the server shed with BUSY, how deep the wait queue sits, how
+	// the delta journal is answering, and connection-level accept/reject
+	// accounting including accept-loop backoff pauses.
+	MetricServerShed          = "megate_kvstore_server_shed_total"
+	MetricServerQueueDepth    = "megate_kvstore_server_queue_depth"
+	MetricServerDeltaHits     = "megate_kvstore_server_delta_hits_total"
+	MetricServerDeltaGaps     = "megate_kvstore_server_delta_gaps_total"
+	MetricConnsAccepted       = "megate_kvstore_accepted_total"
+	MetricConnsRejected       = "megate_kvstore_rejected_total"
+	MetricServerAcceptBackoff = "megate_kvstore_accept_backoff_total"
 )
 
 // serverOps / clientOps are the op label values; "unknown" absorbs protocol
 // garbage so a fuzzer cannot mint unbounded series.
 var (
-	serverOps = []string{"version", "get", "put", "del", "keys", "publish", "unknown"}
+	serverOps = []string{"version", "get", "put", "del", "keys", "snap", "delta", "publish", "unknown"}
 	// "mput" is PutBatch: one client op covering a whole pipelined batch
 	// (the server still counts each PUT individually).
-	clientOps = []string{"version", "get", "put", "mput", "del", "keys", "publish"}
+	clientOps = []string{"version", "get", "put", "mput", "del", "keys", "snap", "delta", "publish"}
 )
 
 // RegisterMetrics pre-registers the kvstore metric inventory in r so a
@@ -47,6 +59,14 @@ type serverMetrics struct {
 	ops        map[string]*telemetry.Counter
 	lat        map[string]*telemetry.Histogram
 	valueBytes *telemetry.Histogram
+
+	shed          *telemetry.Counter
+	queueDepth    *telemetry.Gauge
+	deltaHits     *telemetry.Counter
+	deltaGaps     *telemetry.Counter
+	accepted      *telemetry.Counter
+	rejected      *telemetry.Counter
+	acceptBackoff *telemetry.Counter
 }
 
 func newServerMetrics(r *telemetry.Registry) *serverMetrics {
@@ -54,6 +74,14 @@ func newServerMetrics(r *telemetry.Registry) *serverMetrics {
 		ops:        make(map[string]*telemetry.Counter, len(serverOps)),
 		lat:        make(map[string]*telemetry.Histogram, len(serverOps)),
 		valueBytes: r.Histogram(MetricServerValueBytes, telemetry.SizeBuckets),
+
+		shed:          r.Counter(MetricServerShed),
+		queueDepth:    r.Gauge(MetricServerQueueDepth),
+		deltaHits:     r.Counter(MetricServerDeltaHits),
+		deltaGaps:     r.Counter(MetricServerDeltaGaps),
+		accepted:      r.Counter(MetricConnsAccepted),
+		rejected:      r.Counter(MetricConnsRejected),
+		acceptBackoff: r.Counter(MetricServerAcceptBackoff),
 	}
 	for _, op := range serverOps {
 		m.ops[op] = r.Counter(MetricServerOps, "op", op)

@@ -105,11 +105,28 @@ func (rc *ReplicaClient) promote(c *Client, skipped int) {
 	}
 }
 
+// noteFailover counts a skip without moving the preference — the BUSY case,
+// where the skipped replica is loaded, not dead.
+func (rc *ReplicaClient) noteFailover() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.failovers++
+	rc.m.failovers.Inc()
+}
+
 // read runs op against replicas in preference order until one succeeds. A
 // protocol error from a replica does not stop the scan — a corrupt replica
 // is exactly what failover exists for — but if every replica failed with a
 // protocol error the joined result carries ErrProtocol so Backoff.Do does
 // not retry a hopeless cycle.
+//
+// BUSY gets special treatment twice over. A replica that shed the request
+// is loaded, not dead: the op fails over past it, but if every skipped
+// replica was merely busy the success does NOT promote — a moment of
+// overload must not permanently demote the primary that the whole fleet's
+// locality assumptions hang off. And when every replica shed, the cycle
+// reports a BusyError carrying the largest suggested pause so Backoff.Do
+// honors the servers' own back-pressure signal.
 func (rc *ReplicaClient) read(op func(c *Client) error) error {
 	attempt := func() error {
 		clients := rc.snapshot()
@@ -118,18 +135,40 @@ func (rc *ReplicaClient) read(op func(c *Client) error) error {
 		}
 		var errs []error
 		allProtocol := true
+		allBusy := true
+		nonBusySkipped := false
+		var busyRetry time.Duration
 		for i, c := range clients {
 			err := op(c)
-			if err == nil {
-				rc.promote(c, i)
-				return nil
+			if err == nil || errors.Is(err, ErrDeltaGap) {
+				// A GAP is an authoritative answer (resync via snapshot), not
+				// a replica failure — it ends the scan like a success.
+				if i == 0 || nonBusySkipped {
+					rc.promote(c, i)
+				} else {
+					rc.noteFailover()
+				}
+				return err
 			}
-			if !errors.Is(err, ErrProtocol) {
+			var be *BusyError
+			if errors.As(err, &be) {
+				if be.RetryAfter > busyRetry {
+					busyRetry = be.RetryAfter
+				}
 				allProtocol = false
+			} else {
+				allBusy = false
+				nonBusySkipped = true
+				if !errors.Is(err, ErrProtocol) {
+					allProtocol = false
+				}
 			}
 			errs = append(errs, fmt.Errorf("%s: %w", c.Addr, err))
 		}
 		joined := errors.Join(errs...)
+		if allBusy {
+			return fmt.Errorf("kvstore: all replicas busy (%v): %w", joined, &BusyError{RetryAfter: busyRetry})
+		}
 		if allProtocol {
 			return fmt.Errorf("kvstore: all replicas failed: %w", joined)
 		}
@@ -205,6 +244,29 @@ func (rc *ReplicaClient) Keys(prefix string) (keys []string, err error) {
 		return e
 	})
 	return keys, err
+}
+
+// Snapshot fetches every record under prefix from the first reachable
+// replica, with the version the snapshot was taken at.
+func (rc *ReplicaClient) Snapshot(prefix string) (version uint64, records map[string][]byte, err error) {
+	err = rc.read(func(c *Client) error {
+		var e error
+		version, records, e = c.Snapshot(prefix)
+		return e
+	})
+	return version, records, err
+}
+
+// Delta fetches the compacted changes under prefix since the given version
+// from the first reachable replica. ErrDeltaGap propagates — the caller
+// resyncs with Snapshot.
+func (rc *ReplicaClient) Delta(since uint64, prefix string) (version uint64, entries []DeltaEntry, err error) {
+	err = rc.read(func(c *Client) error {
+		var e error
+		version, entries, e = c.Delta(since, prefix)
+		return e
+	})
+	return version, entries, err
 }
 
 // Put stores value under key on every replica.

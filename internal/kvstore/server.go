@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"megate/internal/telemetry"
@@ -28,23 +30,62 @@ const MaxKeys = 1 << 24
 // prefix — the space-delimited command line cannot carry an empty field.
 const AllKeysPrefix = "*"
 
+// DefaultRetryAfter is the base server-suggested retry hint carried in BUSY
+// responses when Admission.RetryAfter is zero.
+const DefaultRetryAfter = 50 * time.Millisecond
+
+// Admission bounds the server's concurrent request processing — the
+// per-shard admission control that keeps a poll storm from collapsing the
+// database. At most MaxInflight commands execute at once; up to MaxQueue
+// further commands wait their turn; anything beyond is shed with an explicit
+// BUSY response carrying a retry-after suggestion scaled by queue depth, so
+// a herd re-spreads itself instead of hammering a saturated shard.
+type Admission struct {
+	// MaxInflight is the concurrent-command limit; values < 1 disable
+	// admission control entirely.
+	MaxInflight int
+	// MaxQueue is how many commands may wait for an inflight slot before
+	// the server starts shedding; values < 0 mean 0 (shed immediately when
+	// saturated).
+	MaxQueue int
+	// RetryAfter is the base retry hint for BUSY responses; zero means
+	// DefaultRetryAfter. The actual suggestion grows with queue depth.
+	RetryAfter time.Duration
+}
+
 // Server exposes a Store over a line-oriented TCP protocol:
 //
-//	VERSION\n                 -> VERSION <n>\n
-//	GET <key>\n               -> VALUE <len>\n<bytes>\n | NONE\n
-//	PUT <key> <len>\n<bytes>  -> OK\n
-//	DEL <key>\n               -> OK\n
-//	KEYS <prefix>\n           -> KEYS <n>\n followed by n key lines
-//	                             (prefix "*" enumerates every key)
-//	PUBLISH <version>\n       -> OK <version>\n
+//	VERSION\n                  -> VERSION <n>\n
+//	GET <key>\n                -> VALUE <len>\n<bytes>\n | NONE\n
+//	PUT <key> <len>\n<bytes>   -> OK\n
+//	DEL <key>\n                -> OK\n
+//	KEYS <prefix>\n            -> KEYS <n>\n followed by n key lines
+//	                              (prefix "*" enumerates every key)
+//	SNAP <prefix>\n            -> SNAP <version> <n>\n followed by n records,
+//	                              each "<key> <len>\n<bytes>\n"
+//	DELTA <since> <prefix>\n   -> DELTA <version> <n>\n followed by n changes,
+//	                              each "PUT <key> <len>\n<bytes>\n" or
+//	                              "DEL <key>\n"; or GAP <version>\n when the
+//	                              delta journal no longer reaches back to
+//	                              <since> (client must SNAP instead)
+//	PUBLISH <version>\n        -> OK <version>\n
+//
+// Any command may instead be answered with "BUSY <retry-ms>\n" when
+// admission control sheds it; the request had no effect and should be
+// retried no sooner than the suggested delay.
 //
 // Connections may issue any number of commands; MegaTE endpoints typically
 // issue one or two and hang up (the "short connection" poll of §3.2).
 type Server struct {
-	store *Store
-	l     net.Listener
-	idle  time.Duration
-	mreg  *telemetry.Registry
+	store        *Store
+	l            net.Listener
+	idle         time.Duration
+	mreg         *telemetry.Registry
+	adm          Admission
+	sem          chan struct{} // nil when admission control is off
+	queued       atomic.Int64
+	maxConns     int
+	serviceDelay time.Duration
 
 	mOnce sync.Once
 	m     *serverMetrics
@@ -87,16 +128,118 @@ func WithMetrics(r *telemetry.Registry) ServerOption {
 	return func(s *Server) { s.mreg = r }
 }
 
+// WithAdmission enables per-shard admission control and load shedding with
+// the given bounds.
+func WithAdmission(a Admission) ServerOption {
+	return func(s *Server) { s.adm = a }
+}
+
+// WithMaxConns caps concurrently open connections; an accept beyond the cap
+// is closed immediately and counted in the rejected-connections metric.
+// Zero (the default) leaves connections unbounded.
+func WithMaxConns(n int) ServerOption {
+	return func(s *Server) { s.maxConns = n }
+}
+
+// WithServiceDelay injects d of synthetic per-command service time, spent
+// while the command holds its admission slot. An in-memory store serves in
+// microseconds, which makes admission pressure nearly impossible to create
+// reproducibly on loopback; chaos storms and benches use this to model the
+// store service time of a database that is actually under load, so sheds
+// become a structural property of offered load versus MaxInflight/d
+// capacity instead of a scheduling accident.
+func WithServiceDelay(d time.Duration) ServerOption {
+	return func(s *Server) { s.serviceDelay = d }
+}
+
 // Serve starts serving the store on l until Close.
 func Serve(l net.Listener, store *Store, opts ...ServerOption) *Server {
 	s := &Server{store: store, l: l, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.adm.MaxInflight > 0 {
+		s.sem = make(chan struct{}, s.adm.MaxInflight)
+		if s.adm.MaxQueue < 0 {
+			s.adm.MaxQueue = 0
+		}
+	}
 	s.metrics()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// retryAfterMs computes the BUSY retry suggestion at queue depth q: the base
+// hint scaled up linearly as the wait queue fills, so the deeper the
+// overload the wider the herd re-spreads.
+func (s *Server) retryAfterMs(q int64) int64 {
+	base := s.adm.RetryAfter
+	if base <= 0 {
+		base = DefaultRetryAfter
+	}
+	den := int64(s.adm.MaxQueue)
+	if den < 1 {
+		den = 1
+	}
+	ms := (base + base*time.Duration(q)/time.Duration(den)).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// admitOrBusy gates one fully parsed command through the admission
+// semaphore. A shed request gets its BUSY response written here and ok =
+// false back; an admitted request must call release after the store op.
+// Gating happens after request parsing (a shed PUT still consumed its value
+// bytes) so the connection never desynchronizes.
+func (s *Server) admitOrBusy(w *bufio.Writer, m *serverMetrics) (release func(), ok bool) {
+	if s.sem == nil {
+		s.serviceSleep()
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.serviceSleep()
+		return func() { <-s.sem }, true
+	default:
+	}
+	q := s.queued.Add(1)
+	m.queueDepth.Set(float64(q))
+	if q > int64(s.adm.MaxQueue) {
+		m.queueDepth.Set(float64(s.queued.Add(-1)))
+		m.shed.Inc()
+		fmt.Fprintf(w, "BUSY %d\n", s.retryAfterMs(q))
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+		m.queueDepth.Set(float64(s.queued.Add(-1)))
+		s.serviceSleep()
+		return func() { <-s.sem }, true
+	case <-s.done:
+		// Shutting down: shed instead of executing so Close never waits on
+		// a queued backlog.
+		m.queueDepth.Set(float64(s.queued.Add(-1)))
+		m.shed.Inc()
+		fmt.Fprintf(w, "BUSY %d\n", s.retryAfterMs(q))
+		return nil, false
+	}
+}
+
+// serviceSleep spends the configured synthetic service time, cut short by
+// shutdown so Close never waits out a sleeping backlog.
+func (s *Server) serviceSleep() {
+	if s.serviceDelay <= 0 {
+		return
+	}
+	t := time.NewTimer(s.serviceDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.done:
+	}
 }
 
 // Addr returns the listener address.
@@ -125,8 +268,11 @@ func (s *Server) Close() {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	m := s.metrics()
 	// Transient accept errors (EMFILE, ECONNABORTED) back off exponentially
-	// instead of hot-spinning; a successful accept resets the pause.
+	// instead of hot-spinning; a successful accept resets the pause. Every
+	// pause is counted so an operator sees accept pressure instead of the
+	// loop silently sleeping through it.
 	backoff := 5 * time.Millisecond
 	const maxBackoff = 250 * time.Millisecond
 	for {
@@ -137,6 +283,7 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
+			m.acceptBackoff.Inc()
 			select {
 			case <-s.done:
 				return
@@ -149,8 +296,15 @@ func (s *Server) acceptLoop() {
 		}
 		backoff = 5 * time.Millisecond
 		s.mu.Lock()
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			m.rejected.Inc()
+			_ = conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		m.accepted.Inc()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -183,13 +337,24 @@ func (s *Server) handle(conn net.Conn) {
 		start := time.Now()
 		switch strings.ToUpper(fields[0]) {
 		case "VERSION":
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
 			fmt.Fprintf(w, "VERSION %d\n", s.store.Version())
+			release()
 		case "GET":
 			if len(fields) != 2 {
 				fmt.Fprint(w, "ERR usage: GET <key>\n")
 				break
 			}
-			if v, ok := s.store.Get(fields[1]); ok {
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
+			v, found := s.store.Get(fields[1])
+			release()
+			if found {
 				m.valueBytes.Observe(float64(len(v)))
 				fmt.Fprintf(w, "VALUE %d\n", len(v))
 				w.Write(v)
@@ -211,15 +376,25 @@ func (s *Server) handle(conn net.Conn) {
 			if _, err := io.ReadFull(r, buf); err != nil {
 				return
 			}
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
 			m.valueBytes.Observe(float64(n))
 			s.store.Put(fields[1], buf)
+			release()
 			fmt.Fprint(w, "OK\n")
 		case "DEL":
 			if len(fields) != 2 {
 				fmt.Fprint(w, "ERR usage: DEL <key>\n")
 				break
 			}
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
 			s.store.Delete(fields[1])
+			release()
 			fmt.Fprint(w, "OK\n")
 		case "KEYS":
 			if len(fields) != 2 {
@@ -230,10 +405,79 @@ func (s *Server) handle(conn net.Conn) {
 			if prefix == AllKeysPrefix {
 				prefix = ""
 			}
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
 			keys := s.store.Keys(prefix) // already sorted by the store
+			release()
 			fmt.Fprintf(w, "KEYS %d\n", len(keys))
 			for _, k := range keys {
 				fmt.Fprintln(w, k)
+			}
+		case "SNAP":
+			if len(fields) != 2 {
+				fmt.Fprint(w, "ERR usage: SNAP <prefix>\n")
+				break
+			}
+			prefix := fields[1]
+			if prefix == AllKeysPrefix {
+				prefix = ""
+			}
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
+			v, recs := s.store.SnapshotPrefix(prefix)
+			release()
+			keys := make([]string, 0, len(recs))
+			for k := range recs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(w, "SNAP %d %d\n", v, len(keys))
+			for _, k := range keys {
+				m.valueBytes.Observe(float64(len(recs[k])))
+				fmt.Fprintf(w, "%s %d\n", k, len(recs[k]))
+				w.Write(recs[k])
+				w.WriteByte('\n')
+			}
+		case "DELTA":
+			if len(fields) != 3 {
+				fmt.Fprint(w, "ERR usage: DELTA <since> <prefix>\n")
+				break
+			}
+			since, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprint(w, "ERR bad version\n")
+				break
+			}
+			prefix := fields[2]
+			if prefix == AllKeysPrefix {
+				prefix = ""
+			}
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
+			v, entries, covered := s.store.DeltaSince(since, prefix)
+			release()
+			if !covered {
+				m.deltaGaps.Inc()
+				fmt.Fprintf(w, "GAP %d\n", v)
+				break
+			}
+			m.deltaHits.Inc()
+			fmt.Fprintf(w, "DELTA %d %d\n", v, len(entries))
+			for _, e := range entries {
+				if e.Delete {
+					fmt.Fprintf(w, "DEL %s\n", e.Key)
+					continue
+				}
+				m.valueBytes.Observe(float64(len(e.Value)))
+				fmt.Fprintf(w, "PUT %s %d\n", e.Key, len(e.Value))
+				w.Write(e.Value)
+				w.WriteByte('\n')
 			}
 		case "PUBLISH":
 			if len(fields) != 2 {
@@ -245,7 +489,12 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprint(w, "ERR bad version\n")
 				break
 			}
+			release, ok := s.admitOrBusy(w, m)
+			if !ok {
+				break
+			}
 			fmt.Fprintf(w, "OK %d\n", s.store.Publish(v))
+			release()
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 		}

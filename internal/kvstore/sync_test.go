@@ -1,0 +1,125 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestClientSnapshotDeltaWire walks the snapshot+delta protocol end to end
+// over real TCP: one SNAP brings the whole prefix, subsequent DELTAs carry
+// only the compacted changes (tombstones included), and a cursor past the
+// current version just advances.
+func TestClientSnapshotDeltaWire(t *testing.T) {
+	srv, store := newTestServer(t, 2)
+	store.EnableDeltaLog(32)
+	c := &Client{Addr: srv.Addr()}
+
+	store.Put("te/cfg/a1", []byte("one"))
+	store.Put("te/cfg/a2", []byte("two"))
+	store.Put("other/b", []byte("noise"))
+	store.Publish(1)
+
+	v, recs, err := c.Snapshot("te/cfg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("snapshot version = %d, want 1", v)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs["te/cfg/a1"], []byte("one")) || !bytes.Equal(recs["te/cfg/a2"], []byte("two")) {
+		t.Fatalf("snapshot records = %v", recs)
+	}
+
+	store.Put("te/cfg/a1", []byte("one-v2"))
+	store.Delete("te/cfg/a2")
+	store.Put("other/b", []byte("more-noise"))
+	store.Publish(2)
+
+	v, entries, err := c.Delta(1, "te/cfg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("delta version = %d, want 2", v)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("delta entries = %+v, want PUT a1 + DEL a2", entries)
+	}
+	if entries[0].Key != "te/cfg/a1" || entries[0].Delete || !bytes.Equal(entries[0].Value, []byte("one-v2")) {
+		t.Errorf("entry 0 = %+v, want PUT te/cfg/a1 one-v2", entries[0])
+	}
+	if entries[1].Key != "te/cfg/a2" || !entries[1].Delete {
+		t.Errorf("entry 1 = %+v, want DEL te/cfg/a2", entries[1])
+	}
+
+	// A caught-up cursor is a valid answer: nothing to apply, cursor stays.
+	v, entries, err = c.Delta(2, "te/cfg/")
+	if err != nil || v != 2 || len(entries) != 0 {
+		t.Fatalf("caught-up delta = v%d %d entries, %v", v, len(entries), err)
+	}
+}
+
+// TestClientDeltaGapAfterTruncation drives the journal past its retention so
+// a stale cursor answers GAP on the wire, which the client surfaces as the
+// schedule-stopping ErrDeltaGap.
+func TestClientDeltaGapAfterTruncation(t *testing.T) {
+	srv, store := newTestServer(t, 2)
+	store.EnableDeltaLog(4)
+	c := &Client{Addr: srv.Addr()}
+
+	store.Put("te/cfg/a", []byte("v1"))
+	store.Publish(1)
+	for i := 2; i <= 10; i++ {
+		store.Put(fmt.Sprintf("te/cfg/churn-%d", i), []byte("x"))
+		store.Publish(uint64(i))
+	}
+
+	_, _, err := c.Delta(1, "te/cfg/")
+	if !errors.Is(err, ErrDeltaGap) {
+		t.Fatalf("stale-cursor delta err = %v, want ErrDeltaGap", err)
+	}
+	// ErrDeltaGap stops a retry schedule: the journal will not grow backward.
+	b := &Backoff{Attempts: 5, Base: 1}
+	calls := 0
+	err = b.Do(func() error {
+		calls++
+		_, _, err := c.Delta(1, "te/cfg/")
+		return err
+	})
+	if !errors.Is(err, ErrDeltaGap) || calls != 1 {
+		t.Fatalf("backoff retried a delta gap %d times (err %v); must stop at 1", calls, err)
+	}
+
+	// The snapshot fallback recovers the full state in one request.
+	v, recs, err := c.Snapshot("te/cfg/")
+	if err != nil || v != 10 {
+		t.Fatalf("fallback snapshot = v%d, %v", v, err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("fallback snapshot carries %d records, want 10", len(recs))
+	}
+}
+
+// TestReplicaDeltaGapPropagates pins the replica scan's GAP handling: a GAP
+// is an authoritative answer, not a replica failure, so the scan stops at the
+// first replica instead of hunting for one with a longer journal.
+func TestReplicaDeltaGapPropagates(t *testing.T) {
+	srv, store := newTestServer(t, 2)
+	store.EnableDeltaLog(2)
+	store.Put("te/cfg/a", []byte("v1"))
+	store.Publish(1)
+	for i := 2; i <= 6; i++ {
+		store.Put(fmt.Sprintf("te/cfg/churn-%d", i), []byte("x"))
+		store.Publish(uint64(i))
+	}
+	srv2, store2 := newTestServer(t, 2)
+	store2.EnableDeltaLog(64)
+
+	rc := NewReplicaClient([]string{srv.Addr(), srv2.Addr()})
+	_, _, err := rc.Delta(1, "te/cfg/")
+	if !errors.Is(err, ErrDeltaGap) {
+		t.Fatalf("replica delta err = %v, want ErrDeltaGap from the primary", err)
+	}
+}

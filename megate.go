@@ -314,6 +314,21 @@ func NewClusterAgent(instance string, client *TEDatabaseCluster, host *Host) *Ag
 	}
 }
 
+// EnableSnapshotSync switches an agent from full-config polling to the
+// snapshot+delta protocol: one snapshot at boot, then each poll carries only
+// the records published since the agent's cursor (falling back to a snapshot
+// on a journal gap). It works with every reader this package constructs —
+// in-process, remote, replicated, and sharded — and reports whether the
+// agent's reader supports the protocol. The database side must have a delta
+// journal enabled (EnableDeltaLog) for steady-state polls to stay O(changes).
+func EnableSnapshotSync(a *Agent) bool {
+	if src, ok := a.Reader.(controlplane.DeltaSource); ok {
+		a.Sync = src
+		return true
+	}
+	return false
+}
+
 // Host is the eBPF-based end-host networking stack (§5): instance
 // identification, instance-level flow collection, and SR header insertion
 // at the TC layer.

@@ -1,8 +1,11 @@
 package megate
 
 import (
+	"encoding/json"
 	"net"
 	"testing"
+
+	"megate/internal/controlplane"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -120,5 +123,62 @@ func TestRunFailureFacade(t *testing.T) {
 	}
 	if out.EffectiveSatisfied <= 0 {
 		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestEnableSnapshotSyncFacade(t *testing.T) {
+	// Snapshot+delta sync through the facade: boot costs one snapshot, an
+	// update rides one delta, and both the in-process and remote readers
+	// support the protocol.
+	db := NewTEDatabase(2)
+	db.EnableDeltaLog(8)
+	put := func(version uint64, hops []uint32) {
+		cfg, err := json.Marshal(InstanceConfig{
+			Instance: "ins-x", Version: version,
+			Paths: []controlplane.PathEntry{{DstSite: 3, Hops: hops}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Put("te/cfg/ins-x", cfg)
+		db.Publish(version)
+	}
+	put(1, []uint32{0, 3})
+
+	host := NewHost("h-snap", 1500, func([4]byte) (uint32, bool) { return 0, false })
+	defer host.Close()
+	agent := NewAgent("ins-x", db, host)
+	if !EnableSnapshotSync(agent) {
+		t.Fatal("in-process reader must support snapshot sync")
+	}
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("cold poll: applied=%v err=%v", applied, err)
+	}
+	put(2, []uint32{0, 1, 3})
+	if applied, err := agent.Poll(); err != nil || !applied {
+		t.Fatalf("update poll: applied=%v err=%v", applied, err)
+	}
+	if snaps, deltas := agent.SyncStats(); snaps != 1 || deltas != 1 {
+		t.Fatalf("snapshots=%d deltas=%d, want 1/1 (boot snapshot, update delta)", snaps, deltas)
+	}
+	if host.PathMap.Len() == 0 {
+		t.Fatal("no paths installed via snapshot sync")
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTEDatabase(l, db)
+	defer srv.Close()
+	remote := NewRemoteAgent("ins-x", &TEDatabaseClient{Addr: srv.Addr()}, nil)
+	if !EnableSnapshotSync(remote) {
+		t.Fatal("remote reader must support snapshot sync")
+	}
+	if applied, err := remote.Poll(); err != nil || !applied {
+		t.Fatalf("remote cold poll: applied=%v err=%v", applied, err)
+	}
+	if snaps, _ := remote.SyncStats(); snaps != 1 {
+		t.Fatalf("remote snapshots=%d, want 1", snaps)
 	}
 }

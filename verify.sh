@@ -33,3 +33,6 @@ go test -run TestMetricsSmoke .
 # Megascale pipeline gate: truncated flow sweep through the streamed
 # interval plus the stage-2 zero-alloc benchmark assertion.
 make megascale-short
+# Fleet robustness gate: deterministic 10k-agent storm with per-shard
+# admission control; exits non-zero on any invariant violation.
+make fleet-short
