@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke megascale-short fleet-short
+.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke megascale-short fleet-short fastpath
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,12 @@ fuzz-short:
 	$(GO) test -run FuzzFastSSP -fuzz FuzzFastSSP -fuzztime 10s ./internal/ssp/
 	$(GO) test -run FuzzRingOwnership -fuzz FuzzRingOwnership -fuzztime 10s ./internal/cluster/
 	$(GO) test -run FuzzCFGBuild -fuzz FuzzCFGBuild -fuzztime 10s ./internal/analysis/
+
+# Certificate-gated fast-path gate: the duality-certificate, drift and
+# warm-ADMM property tests plus the solver routing tests (cold/churn/reject
+# fallbacks, hit accounting), deterministic seeds, under the race detector.
+fastpath:
+	$(GO) test -race -run 'TestFastPath|TestCertificate|TestDualBound|TestReallocateDrift|TestTopUpShortest|TestZeroValueSolver|TestTunnelFingerprint' ./internal/lp/ ./internal/core/
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

@@ -26,6 +26,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		msFlows    = flag.String("megascale-flows", "", "comma-separated flow counts overriding the ab-megascale sweep (e.g. 20000,50000)")
 		flSizes    = flag.String("fleet-sizes", "", "comma-separated fleet sizes overriding the ab-fleet sweep (e.g. 10000,100000)")
+		fpTol      = flag.Float64("fastpath-tol", 0, "certificate acceptance gap for the ab-incremental fast path (0 = solver default, 1%)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		return
 	}
 
-	cfg := &bench.Config{Out: os.Stdout, Scale: *scale, Seed: *seed, MegascaleFlows: flowCounts, FleetSizes: fleetSizes}
+	cfg := &bench.Config{Out: os.Stdout, Scale: *scale, Seed: *seed, MegascaleFlows: flowCounts, FleetSizes: fleetSizes, FastPathTol: *fpTol}
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {

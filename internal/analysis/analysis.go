@@ -91,8 +91,9 @@ func (p *Pass) applies(path string) bool {
 // Passes returns the full megate-lint pass set with this repository's
 // scoping: floatcmp on the numeric kernels, lockcheck on the store and
 // control plane, poollife on the packages that borrow pooled chunks and
-// scratch buffers, streamorder on the two ends of the chunk stream, the rest
-// tree-wide.
+// scratch buffers (including lp, whose warm-start and drift paths recycle
+// allocation rows and price vectors across intervals), streamorder on the
+// two ends of the chunk stream, the rest tree-wide.
 func Passes() []*Pass {
 	return []*Pass{
 		FloatCmpPass("megate/internal/lp", "megate/internal/ssp", "megate/internal/core"),
@@ -101,7 +102,7 @@ func Passes() []*Pass {
 		GoroLeakPass(),
 		ErrDropPass(),
 		PoolLifePass("megate/internal/core", "megate/internal/controlplane",
-			"megate/internal/ssp", "megate/internal/cluster"),
+			"megate/internal/ssp", "megate/internal/cluster", "megate/internal/lp"),
 		AtomicCheckPass(),
 		StreamOrderPass("megate/internal/core", "megate/internal/controlplane"),
 	}

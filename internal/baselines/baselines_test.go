@@ -232,3 +232,38 @@ func TestSolutionSatisfiedFractionEmpty(t *testing.T) {
 		t.Error("zero-demand fraction should be 1")
 	}
 }
+
+func TestTEALClampsAndCachesTunnels(t *testing.T) {
+	topo, m := benchTopo(t, 2)
+	// Negative options must behave like the documented defaults instead of
+	// skipping every ADMM sweep or refusing every problem.
+	s := &TEAL{TunnelsPerPair: -1, Iterations: -3, MaxFlows: -1}
+	sol1, err := s.Solve(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol1.SatisfiedFraction() <= 0 {
+		t.Error("negative-option TEAL satisfied nothing")
+	}
+	ts1 := s.tunSet
+	if ts1 == nil {
+		t.Fatal("no tunnel set cached after Solve")
+	}
+
+	// Same topology: the cached tunnel set is reused.
+	if _, err := s.Solve(topo, m); err != nil {
+		t.Fatal(err)
+	}
+	if s.tunSet != ts1 {
+		t.Error("unchanged topology rebuilt the tunnel set")
+	}
+
+	// A failed link moves the topology fingerprint: the cache must rebuild.
+	topo.Links[0].Down = true
+	if _, err := s.Solve(topo, m); err != nil {
+		t.Fatal(err)
+	}
+	if s.tunSet == ts1 {
+		t.Error("link failure did not invalidate the cached tunnel set")
+	}
+}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"sync"
 	"time"
 
 	"megate/internal/lp"
@@ -15,13 +16,22 @@ import (
 // fixed number of sweeps over the flows — fast, but it gives up a few
 // percent of satisfied demand and splits instance flows across tunnels.
 type TEAL struct {
-	// TunnelsPerPair defaults to 4.
+	// TunnelsPerPair defaults to 4; zero and negative values use the default.
 	TunnelsPerPair int
-	// Iterations is the ADMM sweep budget; default 40.
+	// Iterations is the ADMM sweep budget; default 40 (<= 0 uses it).
 	Iterations int
-	// MaxFlows bounds the problem size (default 500000); the paper reports
-	// TEAL needs "tens of thousands of GPUs" at million-endpoint scale.
+	// MaxFlows bounds the problem size (default 500000, <= 0 uses it); the
+	// paper reports TEAL needs "tens of thousands of GPUs" at
+	// million-endpoint scale.
 	MaxFlows int
+
+	// Tunnel-set cache, keyed by topology fingerprint: repeated Solve calls
+	// over an unchanged topology (the common case across TE intervals) reuse
+	// the established tunnels instead of re-running Yen's per pair.
+	mu     sync.Mutex
+	tunSet *topology.TunnelSet
+	tunFP  uint64
+	tunK   int
 }
 
 // Name implements Scheme.
@@ -30,23 +40,23 @@ func (t *TEAL) Name() string { return "TEAL" }
 // Solve implements Scheme.
 func (t *TEAL) Solve(topo *topology.Topology, m *traffic.Matrix) (*Solution, error) {
 	maxFlows := t.MaxFlows
-	if maxFlows == 0 {
+	if maxFlows <= 0 {
 		maxFlows = 500000
 	}
 	if err := checkSize(t.Name(), m.NumFlows(), maxFlows); err != nil {
 		return nil, err
 	}
 	tpp := t.TunnelsPerPair
-	if tpp == 0 {
+	if tpp <= 0 {
 		tpp = 4
 	}
 	iters := t.Iterations
-	if iters == 0 {
+	if iters <= 0 {
 		iters = 40
 	}
 
 	start := time.Now()
-	ts := topology.NewTunnelSet(topo, tpp)
+	ts := t.tunnels(topo, tpp)
 	mcf, flowTunnels := endpointMCF(topo, m, ts, residualCaps(topo))
 	alloc, err := (&lp.ADMM{Iterations: iters}).SolveMCF(mcf)
 	if err != nil {
@@ -57,4 +67,20 @@ func (t *TEAL) Solve(topo *topology.Topology, m *traffic.Matrix) (*Solution, err
 	fillFromAllocation(sol, m, alloc, flowTunnels)
 	sol.Runtime = time.Since(start)
 	return sol, nil
+}
+
+// tunnels returns the cached tunnel set for topo, rebuilding it only when
+// the topology fingerprint or the per-pair tunnel budget changed since the
+// last Solve. The returned set is still lazily populated per pair; reuse
+// means pairs established in earlier intervals skip Yen's entirely.
+func (t *TEAL) tunnels(topo *topology.Topology, tpp int) *topology.TunnelSet {
+	fp := topo.Fingerprint()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tunSet == nil || t.tunFP != fp || t.tunK != tpp {
+		t.tunSet = topology.NewTunnelSet(topo, tpp)
+		t.tunFP = fp
+		t.tunK = tpp
+	}
+	return t.tunSet
 }

@@ -31,6 +31,9 @@ type Config struct {
 	// FleetSizes overrides the fleet-size sweep of ab-fleet (default
 	// 10k/50k/100k agents) — the short CI lane passes a truncated list.
 	FleetSizes []int
+	// FastPathTol overrides the certificate acceptance gap of the
+	// ab-incremental warm loop (default core.Options.FastPathTolerance, 1%).
+	FastPathTol float64
 }
 
 func (c *Config) out() io.Writer {

@@ -23,6 +23,14 @@ type IncrementalInterval struct {
 	WarmConfigs    int     `json:"warm_configs_written"`
 	Stage2Hits     int     `json:"stage2_cache_hits"`
 	PerturbedFlows int     `json:"perturbed_flows"`
+	// FastPathHitRate is the fraction of the warm loop's per-class stage-1
+	// solves this interval that the certificate-gated fast path served
+	// (interval 0 is always 0: the fast path has no state yet).
+	FastPathHitRate float64 `json:"fast_path_hit_rate"`
+	// OptimalityGap is the warm loop's certified relative duality gap for
+	// the interval — an upper bound on the distance of the published stage-1
+	// allocation from the exact-simplex optimum.
+	OptimalityGap float64 `json:"optimality_gap"`
 }
 
 // IncrementalReport is the churn experiment's output, serialized to
@@ -38,6 +46,12 @@ type IncrementalReport struct {
 	ColdConfigs   int                   `json:"total_cold_configs_written"`
 	WarmConfigs   int                   `json:"total_warm_configs_written"`
 	ChurnFraction float64               `json:"churn_fraction"`
+	// FastPathHitRate is the steady-state (intervals 1+) mean of the warm
+	// loop's per-interval hit rates; MaxOptimalityGap bounds the certified
+	// gap across all intervals, fast-path and exact alike.
+	FastPathHitRate   float64 `json:"fast_path_hit_rate"`
+	MeanOptimalityGap float64 `json:"mean_optimality_gap"`
+	MaxOptimalityGap  float64 `json:"max_optimality_gap"`
 }
 
 // MeasureIncremental runs the churn experiment: a cold control loop (full
@@ -55,7 +69,11 @@ func MeasureIncremental(cfg *Config) (*IncrementalReport, error) {
 	buildLoop := func(incremental bool) (*controlplane.Controller, *topology.Topology) {
 		topo := topology.Build(topoName)
 		topology.AttachEndpointsExact(topo, perSite)
-		solver := core.NewSolver(topo, core.Options{Incremental: incremental})
+		solver := core.NewSolver(topo, core.Options{
+			Incremental:       incremental,
+			FastPath:          incremental,
+			FastPathTolerance: cfg.FastPathTol,
+		})
 		store := kvstore.NewStore(2)
 		return controlplane.NewController(solver, controlplane.StoreAdapter{Store: store}), topo
 	}
@@ -97,25 +115,38 @@ func MeasureIncremental(cfg *Config) (*IncrementalReport, error) {
 		coldStats := coldCtrl.LastStats()
 		coldN = coldStats.Written + coldStats.Unchanged
 
+		hitRate := 0.0
+		if n := warmRes.FastPathHits + warmRes.FastPathFallbacks; n > 0 {
+			hitRate = float64(warmRes.FastPathHits) / float64(n)
+		}
 		rep.Intervals = append(rep.Intervals, IncrementalInterval{
-			Interval:       it,
-			ColdMs:         coldMs,
-			WarmMs:         warmMs,
-			ColdConfigs:    coldN,
-			WarmConfigs:    warmN,
-			Stage2Hits:     warmRes.Stage2CacheHits,
-			PerturbedFlows: perturbed,
+			Interval:        it,
+			ColdMs:          coldMs,
+			WarmMs:          warmMs,
+			ColdConfigs:     coldN,
+			WarmConfigs:     warmN,
+			Stage2Hits:      warmRes.Stage2CacheHits,
+			PerturbedFlows:  perturbed,
+			FastPathHitRate: hitRate,
+			OptimalityGap:   warmRes.OptimalityGap,
 		})
 		rep.ColdConfigs += coldN
 		rep.WarmConfigs += warmN
+		rep.MeanOptimalityGap += warmRes.OptimalityGap
+		if warmRes.OptimalityGap > rep.MaxOptimalityGap {
+			rep.MaxOptimalityGap = warmRes.OptimalityGap
+		}
 		if it > 0 {
 			rep.MeanColdMs += coldMs
 			rep.MeanWarmMs += warmMs
+			rep.FastPathHitRate += hitRate
 		}
 	}
+	rep.MeanOptimalityGap /= float64(intervals)
 	if intervals > 1 {
 		rep.MeanColdMs /= float64(intervals - 1)
 		rep.MeanWarmMs /= float64(intervals - 1)
+		rep.FastPathHitRate /= float64(intervals - 1)
 	}
 	if rep.MeanWarmMs > 0 {
 		rep.Speedup = rep.MeanColdMs / rep.MeanWarmMs
@@ -133,13 +164,16 @@ func RunIncremental(cfg *Config) error {
 	w := cfg.out()
 	title(w, "Ablation: incremental solving under 5% demand churn ("+rep.Topology+")")
 	tb := newTable(w)
-	tb.header("interval", "perturbed", "cold ms", "warm ms", "cold cfgs", "warm cfgs", "s2 hits")
+	tb.header("interval", "perturbed", "cold ms", "warm ms", "cold cfgs", "warm cfgs", "s2 hits", "fp hit", "gap")
 	for _, iv := range rep.Intervals {
-		tb.row(iv.Interval, iv.PerturbedFlows, iv.ColdMs, iv.WarmMs, iv.ColdConfigs, iv.WarmConfigs, iv.Stage2Hits)
+		tb.row(iv.Interval, iv.PerturbedFlows, iv.ColdMs, iv.WarmMs, iv.ColdConfigs, iv.WarmConfigs, iv.Stage2Hits,
+			fmt.Sprintf("%.2f", iv.FastPathHitRate), fmt.Sprintf("%.2e", iv.OptimalityGap))
 	}
 	tb.flush()
 	fmt.Fprintf(w, "mean (intervals 1+): cold %.2f ms, warm %.2f ms, speedup %.2fx; configs written %d vs %d\n",
 		rep.MeanColdMs, rep.MeanWarmMs, rep.Speedup, rep.ColdConfigs, rep.WarmConfigs)
+	fmt.Fprintf(w, "fast path: steady-state hit rate %.2f, certified gap mean %.2e max %.2e\n",
+		rep.FastPathHitRate, rep.MeanOptimalityGap, rep.MaxOptimalityGap)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

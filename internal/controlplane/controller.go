@@ -185,6 +185,13 @@ type IntervalStats struct {
 	// WriteErrors counts store operations that failed but were tolerated
 	// (always zero unless Controller.TolerateWriteErrors is set).
 	WriteErrors int
+	// FastPathHits and FastPathFallbacks mirror the solver's stage-1
+	// fast-path routing for the interval (core.Options.FastPath), and
+	// OptimalityGap its largest certified relative duality gap. All zero
+	// when the fast path is disabled.
+	FastPathHits      int
+	FastPathFallbacks int
+	OptimalityGap     float64
 }
 
 // NewController wires a solver to a config store.
@@ -279,6 +286,7 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 		st.WriteErrors++
 	}
 	c.version.Store(next)
+	st.noteFastPath(res, cm)
 	c.stats = st
 	cm.stage["publish"].Observe(time.Since(publishStart).Seconds())
 	cm.interval.Observe(time.Since(intervalStart).Seconds())
@@ -288,6 +296,21 @@ func (c *Controller) RunInterval(m *traffic.Matrix) (*core.Result, int, error) {
 	cm.skipped.Add(uint64(st.Unchanged))
 	cm.writeErrs.Add(uint64(st.WriteErrors))
 	return res, st.Written, nil
+}
+
+// noteFastPath copies the solver's fast-path routing outcome into the
+// interval stats and telemetry; a no-op interval (fast path disabled) leaves
+// the counters untouched so the series only move when the feature is on.
+func (st *IntervalStats) noteFastPath(res *core.Result, cm *controllerMetrics) {
+	st.FastPathHits = res.FastPathHits
+	st.FastPathFallbacks = res.FastPathFallbacks
+	st.OptimalityGap = res.OptimalityGap
+	if res.FastPathHits == 0 && res.FastPathFallbacks == 0 {
+		return
+	}
+	cm.fastHits.Add(uint64(res.FastPathHits))
+	cm.fastFallbacks.Add(uint64(res.FastPathFallbacks))
+	cm.optimalityGap.Observe(res.OptimalityGap)
 }
 
 // OnLinkFailure invalidates cached tunnels and recomputes immediately — the

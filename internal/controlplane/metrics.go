@@ -35,6 +35,14 @@ const (
 	MetricConfigWriteErrors    = "megate_controller_config_write_errors_total"
 	MetricControllerSolveFails = "megate_controller_solve_failures_total"
 
+	// Fast-path routing metrics (core.Options.FastPath): per-class stage-1
+	// solves served by the certificate-gated fast path vs fallbacks to the
+	// exact simplex, and the certified relative optimality gap of each
+	// interval's published allocation.
+	MetricFastPathHits      = "megate_controller_fastpath_hits_total"
+	MetricFastPathFallbacks = "megate_controller_fastpath_fallbacks_total"
+	MetricOptimalityGap     = "megate_controller_optimality_gap"
+
 	// Streaming-pipeline metrics (RunIntervalStreaming): the depth of the
 	// solver→publisher chunk queue, the per-stage cost of the streaming
 	// publisher, and the fraction of record writes that overlapped the solve
@@ -104,7 +112,16 @@ type controllerMetrics struct {
 	streamDepth *telemetry.Gauge
 	streamStage map[string]*telemetry.Histogram
 	overlapFrac *telemetry.Gauge
+
+	fastHits      *telemetry.Counter
+	fastFallbacks *telemetry.Counter
+	optimalityGap *telemetry.Histogram
 }
+
+// GapBuckets are the MetricOptimalityGap bounds: certified relative gaps
+// from "numerically optimal" through the 1% fast-path default up to the
+// loose bounds an approximate fallback can report.
+var GapBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.003, 0.01, 0.03, 0.1}
 
 func newControllerMetrics(r *telemetry.Registry) *controllerMetrics {
 	m := &controllerMetrics{
@@ -119,6 +136,10 @@ func newControllerMetrics(r *telemetry.Registry) *controllerMetrics {
 		streamDepth: r.Gauge(MetricStreamDepth),
 		streamStage: make(map[string]*telemetry.Histogram, len(StreamStages)),
 		overlapFrac: r.Gauge(MetricPublishOverlapFrac),
+
+		fastHits:      r.Counter(MetricFastPathHits),
+		fastFallbacks: r.Counter(MetricFastPathFallbacks),
+		optimalityGap: r.Histogram(MetricOptimalityGap, GapBuckets),
 	}
 	for _, s := range SolveStages {
 		m.stage[s] = r.Histogram(MetricSolveStageSeconds, telemetry.TimeBuckets, "stage", s)

@@ -424,6 +424,7 @@ func (c *Controller) RunIntervalStreaming(m *traffic.Matrix) (*core.Result, int,
 		return nil, 0, err
 	}
 	c.version.Store(next)
+	st.noteFastPath(res, cm)
 	c.stats = st
 	cm.stage["publish"].Observe(time.Since(publishStart).Seconds())
 	cm.interval.Observe(time.Since(intervalStart).Seconds())

@@ -72,6 +72,22 @@ type Options struct {
 	// — only repeated-solve latency drops. Invalidate drops the carried
 	// state; call it after topology changes.
 	Incremental bool
+	// FastPath enables the certificate-gated stage-1 fast path: each
+	// interval is first served by drift reallocation from the previous
+	// accepted allocation (then a warm fixed-budget ADMM sweep), and the
+	// exact simplex runs only on topology churn or when the weak-duality
+	// certificate rejects the candidate. Result.FastPathHits/Fallbacks and
+	// OptimalityGap report the routing. Combine with Incremental: unchanged
+	// commodities keep bit-identical allocations, so the stage-2 pair cache
+	// keeps hitting across fast intervals.
+	FastPath bool
+	// FastPathTolerance is the certified relative optimality gap the fast
+	// path may accept; default 0.01 (1%).
+	FastPathTolerance float64
+	// FastPathDriftThreshold is the relative per-commodity demand change
+	// beyond which the drift handler rebuilds the commodity's allocation
+	// instead of topping it up in place; default 0.05.
+	FastPathDriftThreshold float64
 	// ClassPolicy, when set, supplies the tunnel weight w_t used for a QoS
 	// class instead of the tunnel's latency — e.g. penalizing low
 	// availability for class 1 or weighting by carriage cost for class 3,
@@ -93,6 +109,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.FastPathTolerance <= 0 {
+		o.FastPathTolerance = 0.01
+	}
+	if o.FastPathDriftThreshold <= 0 {
+		o.FastPathDriftThreshold = 0.05
 	}
 	return o
 }
@@ -120,6 +142,23 @@ type Result struct {
 	// Stage2CacheHits counts site pairs whose stage-two assignment was
 	// reused from the previous interval (Options.Incremental); 0 otherwise.
 	Stage2CacheHits int
+	// FastPathHits and FastPathFallbacks count the per-class stage-1 solves
+	// served by the certificate-gated fast path vs those that fell back to
+	// the exact simplex (cold start, topology churn, or certificate
+	// rejection). Both zero unless Options.FastPath is set.
+	FastPathHits      int
+	FastPathFallbacks int
+	// OptimalityGap is the largest certified relative duality gap across the
+	// interval's class solves — an upper bound on how far the published
+	// stage-1 allocations are from optimal (~0 on exact intervals, at most
+	// Options.FastPathTolerance on accepted fast-path intervals).
+	OptimalityGap float64
+}
+
+// FastPathHit reports that every class solve of the interval was served by
+// the fast path.
+func (r *Result) FastPathHit() bool {
+	return r.FastPathHits > 0 && r.FastPathFallbacks == 0
 }
 
 // SatisfiedFraction returns satisfied/total demand, 1 when there is no
@@ -363,7 +402,7 @@ func (s *Solver) solveClass(fidx flowIndex, sub *traffic.Matrix, class traffic.C
 	}
 	res.SiteMergeTime += time.Since(mergeStart)
 	start := time.Now()
-	siteAlloc, err := s.solveSite(class, mcf)
+	siteAlloc, err := s.solveSite(class, mcf, res)
 	if err != nil {
 		return fmt.Errorf("MaxSiteFlow: %w", err)
 	}

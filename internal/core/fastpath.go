@@ -1,0 +1,157 @@
+// Fast-path/slow-path stage-1 routing (Options.FastPath): every interval
+// first tries to serve MaxSiteFlow from the previous interval's accepted
+// allocation — drift reallocation of only the commodities whose demand
+// moved, escalating to a warm-started fixed-budget ADMM sweep — and accepts
+// the result only when the weak-duality certificate (internal/lp) certifies
+// it within tolerance. Topology churn (a changed tunnel-set fingerprint) or
+// certificate failure falls back to the exact GUB simplex, which refreshes
+// the stored allocation and link prices. The p99 interval then pays the
+// exact LP only when the network actually changed shape.
+
+package core
+
+import (
+	"math"
+
+	"megate/internal/lp"
+	"megate/internal/traffic"
+)
+
+// DualSolver is an optional extension of WarmStartSolver for exact solvers
+// that export their optimal link duals. lp.GUBSimplex and lp.AutoMCF
+// implement it; the fast path stores the prices to keep its certificate
+// bound tight across the drift intervals that follow an exact solve.
+type DualSolver interface {
+	SolveMCFBasisDual(p *lp.MCF, warm *lp.Basis) (lp.Allocation, *lp.Basis, []float64, error)
+}
+
+// fastPathState is the per-class carryover the fast path drifts from: the
+// last accepted allocation and its demands, the tunnel-set fingerprint they
+// were solved under, and the link prices of the last *exact* solve.
+type fastPathState struct {
+	alloc   lp.Allocation
+	demands []float64
+	// pi is the exact path's link duals; nil after an approximate fallback
+	// (the certificate then relies on ADMM prices and the zero vector).
+	pi []float64
+	// fp fingerprints the commodity/tunnel structure; any mismatch is
+	// topology churn and forces the slow path.
+	fp uint64
+}
+
+// fastPathOutcome labels how one class solve was served, for Result
+// accounting and telemetry.
+type fastPathOutcome int
+
+const (
+	fastPathDrift  fastPathOutcome = iota // drift reallocation accepted
+	fastPathADMM                          // warm ADMM sweep accepted
+	fastPathCold                          // no previous state (first interval)
+	fastPathChurn                         // tunnel-set fingerprint changed
+	fastPathReject                        // certificate refused both candidates
+)
+
+// tunnelFingerprint hashes the structural inputs of a stage-1 MCF — the
+// commodity count, each commodity's tunnel link sequences and weights, the
+// link count, and epsilon — with FNV-1a. Demands and capacities are
+// deliberately excluded: those drift every interval and are the fast path's
+// job; a changed fingerprint means the tunnel set itself moved (link
+// failure, pair churn, policy change) and only the exact path may run.
+func tunnelFingerprint(p *lp.MCF) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(p.LinkCap)))
+	mix(math.Float64bits(p.Epsilon))
+	mix(uint64(len(p.Commodities)))
+	for k := range p.Commodities {
+		c := &p.Commodities[k]
+		mix(uint64(len(c.Tunnels)))
+		for t := range c.Tunnels {
+			mix(math.Float64bits(c.Weights[t]))
+			mix(uint64(len(c.Tunnels[t])))
+			for _, e := range c.Tunnels[t] {
+				mix(uint64(e))
+			}
+		}
+	}
+	return h
+}
+
+// tryFastPath attempts to serve the class solve without the exact simplex.
+// It returns the accepted allocation and its certificate on success; on
+// failure the outcome says why and the caller runs the slow path.
+func (s *Solver) tryFastPath(class traffic.Class, mcf *lp.MCF) (lp.Allocation, lp.Certificate, fastPathOutcome) {
+	st := s.inc.fast[class]
+	if st == nil {
+		return nil, lp.Certificate{}, fastPathCold
+	}
+	fp := tunnelFingerprint(mcf)
+	if fp != st.fp {
+		return nil, lp.Certificate{}, fastPathChurn
+	}
+	tol := s.opts.FastPathTolerance
+
+	// Candidate 1: drift reallocation. Touches only commodities whose
+	// demand moved, so unchanged pairs keep bit-identical F_{k,t} and the
+	// stage-2 pair cache keeps hitting.
+	cand := lp.CloneAllocation(st.alloc)
+	lp.ReallocateDrift(mcf, cand, st.demands, s.opts.FastPathDriftThreshold)
+	cert := lp.EvaluateCertificate(mcf, cand, tol, st.pi)
+	if cert.Accepted {
+		s.storeFastPath(class, cand, mcf, st.pi, fp)
+		return cand, cert, fastPathDrift
+	}
+
+	// Candidate 2: fixed-budget ADMM refinement warm-started from the drift
+	// candidate. Perturbs every row (fewer stage-2 hits) but still avoids
+	// the exact LP.
+	refined, admmPi, err := (&lp.ADMM{}).SolveMCFWarm(mcf, cand)
+	if err == nil {
+		cert2 := lp.EvaluateCertificate(mcf, refined, tol, st.pi, admmPi)
+		if cert2.Accepted {
+			s.storeFastPath(class, refined, mcf, st.pi, fp)
+			return refined, cert2, fastPathADMM
+		}
+		cert = cert2
+	}
+	return nil, cert, fastPathReject
+}
+
+// storeFastPath snapshots an accepted (or exact) allocation as the next
+// interval's drift base. pi is the last exact solve's prices — carried
+// through fast intervals, refreshed by slow ones.
+func (s *Solver) storeFastPath(class traffic.Class, alloc lp.Allocation, mcf *lp.MCF, pi []float64, fp uint64) {
+	demands := make([]float64, len(mcf.Commodities))
+	for k := range mcf.Commodities {
+		demands[k] = mcf.Commodities[k].Demand
+	}
+	s.inc.fast[class] = &fastPathState{
+		alloc:   lp.CloneAllocation(alloc),
+		demands: demands,
+		pi:      pi,
+		fp:      fp,
+	}
+}
+
+// recordFastPath folds one class solve's outcome into the Result.
+func recordFastPath(res *Result, cert lp.Certificate, outcome fastPathOutcome) {
+	switch outcome {
+	case fastPathDrift, fastPathADMM:
+		res.FastPathHits++
+	default:
+		res.FastPathFallbacks++
+	}
+	if cert.Gap > res.OptimalityGap {
+		res.OptimalityGap = cert.Gap
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"megate/internal/lp"
+	"megate/internal/stats"
+	"megate/internal/traffic"
+)
+
+func TestFastPathHitsAfterColdInterval(t *testing.T) {
+	topo := smallWorld(t)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 3, MeanDemandMbps: 80})
+	s := NewSolver(topo, Options{Incremental: true, FastPath: true})
+
+	r1, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FastPathHits != 0 {
+		t.Errorf("cold interval reported %d fast-path hits", r1.FastPathHits)
+	}
+	if r1.FastPathFallbacks == 0 {
+		t.Error("cold interval reported no fallbacks")
+	}
+	if r1.FastPathHit() {
+		t.Error("FastPathHit() true on the cold interval")
+	}
+
+	// Unchanged matrix: every class solve must ride the fast path, the
+	// certified gap must stay within the 1% default, and the bit-stable
+	// allocation must keep the stage-2 pair cache hot.
+	r2, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.FastPathHit() {
+		t.Errorf("warm interval: hits=%d fallbacks=%d, want all hits",
+			r2.FastPathHits, r2.FastPathFallbacks)
+	}
+	if r2.OptimalityGap > 0.01 {
+		t.Errorf("certified gap %v > 1%% on an accepted interval", r2.OptimalityGap)
+	}
+	if r2.Stage2CacheHits == 0 {
+		t.Error("fast-path interval produced no stage-2 cache hits")
+	}
+	checkLinkLoads(t, topo, m, r2)
+
+	// Invalidate drops fast-path state: the next solve is cold again.
+	s.Invalidate()
+	r3, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.FastPathHits != 0 {
+		t.Errorf("post-Invalidate solve reported %d hits", r3.FastPathHits)
+	}
+}
+
+func TestFastPathChurnFallsBack(t *testing.T) {
+	// Changing the pair population changes the stage-1 commodity set, so the
+	// tunnel-set fingerprint moves and the fast path must yield to the exact
+	// solver instead of drifting from a stale allocation.
+	topo := smallWorld(t)
+	f1 := flowsBetween(topo, 0, 2, []float64{50, 60}, traffic.Class2)
+	s := NewSolver(topo, Options{Incremental: true, FastPath: true})
+	if _, err := s.Solve(traffic.NewMatrix(f1)); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := flowsBetween(topo, 1, 3, []float64{70, 80}, traffic.Class2)
+	for i := range f2 {
+		f2[i].ID = 100 + i
+	}
+	m2 := traffic.NewMatrix(append(f1, f2...))
+	r2, err := s.Solve(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.FastPathHits != 0 || r2.FastPathFallbacks == 0 {
+		t.Errorf("churned interval: hits=%d fallbacks=%d, want pure fallback",
+			r2.FastPathHits, r2.FastPathFallbacks)
+	}
+	checkLinkLoads(t, topo, m2, r2)
+
+	// The fallback refreshed the stored state; a repeat of the same matrix
+	// rides the fast path again.
+	r3, err := s.Solve(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.FastPathHit() {
+		t.Errorf("post-churn interval: hits=%d fallbacks=%d, want all hits",
+			r3.FastPathHits, r3.FastPathFallbacks)
+	}
+}
+
+func TestFastPathPerturbedStaysNearCold(t *testing.T) {
+	// Across drifting intervals the fast path must stay feasible, keep its
+	// certified gap under the acceptance tolerance whenever it hits, and
+	// track a cold exact solve of the same matrix.
+	topo := smallWorld(t)
+	m := traffic.Generate(topo, traffic.GenOptions{Seed: 5, MeanDemandMbps: 60})
+	s := NewSolver(topo, Options{Incremental: true, FastPath: true})
+	r := stats.NewRand(17)
+	hits := 0
+	for step := 0; step < 6; step++ {
+		if step > 0 {
+			for i := range m.Flows {
+				if r.Float64() < 0.05 {
+					m.Flows[i].DemandMbps *= 0.9 + 0.2*r.Float64()
+				}
+			}
+		}
+		res, err := s.Solve(m)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkLinkLoads(t, topo, m, res)
+		if res.FastPathHit() {
+			hits++
+			if res.OptimalityGap > 0.01 {
+				t.Errorf("step %d: accepted gap %v > tolerance", step, res.OptimalityGap)
+			}
+		}
+		cold, err := NewSolver(topo, Options{}).Solve(m)
+		if err != nil {
+			t.Fatalf("step %d cold: %v", step, err)
+		}
+		if math.Abs(res.SatisfiedMbps-cold.SatisfiedMbps) > 0.05*cold.TotalMbps+1e-6 {
+			t.Errorf("step %d: fast-path satisfied %v far from cold %v (total %v)",
+				step, res.SatisfiedMbps, cold.SatisfiedMbps, cold.TotalMbps)
+		}
+	}
+	if hits == 0 {
+		t.Error("no interval rode the fast path under steady-state churn")
+	}
+}
+
+func TestTunnelFingerprintSensitivity(t *testing.T) {
+	mcf := &lp.MCF{
+		LinkCap: []float64{100, 100, 50},
+		Epsilon: 0.001,
+		Commodities: []lp.Commodity{
+			{Demand: 30, Tunnels: [][]int{{0, 1}, {2}}, Weights: []float64{2, 5}},
+			{Demand: 40, Tunnels: [][]int{{1}}, Weights: []float64{1}},
+		},
+	}
+	fp := tunnelFingerprint(mcf)
+
+	// Demand and capacity drift must NOT move the fingerprint: those are the
+	// fast path's job.
+	mcf.Commodities[0].Demand *= 1.5
+	mcf.LinkCap[2] = 80
+	if tunnelFingerprint(mcf) != fp {
+		t.Error("demand/capacity change moved the tunnel fingerprint")
+	}
+	// Structural changes must: a reweighted tunnel, a rerouted tunnel, a
+	// changed commodity set.
+	reweighted := tunnelFingerprint(mcf)
+	mcf.Commodities[0].Weights[0] += 1
+	if tunnelFingerprint(mcf) == reweighted {
+		t.Error("weight change did not move the tunnel fingerprint")
+	}
+	rerouted := tunnelFingerprint(mcf)
+	mcf.Commodities[1].Tunnels[0] = []int{0}
+	if tunnelFingerprint(mcf) == rerouted {
+		t.Error("link change did not move the tunnel fingerprint")
+	}
+	grown := tunnelFingerprint(mcf)
+	mcf.Commodities = mcf.Commodities[:1]
+	if tunnelFingerprint(mcf) == grown {
+		t.Error("commodity removal did not move the tunnel fingerprint")
+	}
+}

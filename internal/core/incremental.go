@@ -35,44 +35,107 @@ type pairCacheEntry struct {
 }
 
 // incrementalState is the solver state carried across consecutive Solve
-// calls when Options.Incremental is set.
+// calls when Options.Incremental or Options.FastPath is set.
 type incrementalState struct {
 	basis map[traffic.Class]*lp.Basis
 	pairs map[pairKey]*pairCacheEntry
+	fast  map[traffic.Class]*fastPathState
 }
 
 func newIncrementalState() *incrementalState {
 	return &incrementalState{
 		basis: make(map[traffic.Class]*lp.Basis),
 		pairs: make(map[pairKey]*pairCacheEntry),
+		fast:  make(map[traffic.Class]*fastPathState),
 	}
 }
 
 func (st *incrementalState) reset() {
 	st.basis = make(map[traffic.Class]*lp.Basis)
 	st.pairs = make(map[pairKey]*pairCacheEntry)
+	st.fast = make(map[traffic.Class]*fastPathState)
 }
 
-// solveSite runs stage one, threading the previous interval's basis through
-// the solver when incremental mode is on and the solver supports it. A solve
-// that comes back without a basis (e.g. AutoMCF's approximate fallback)
-// clears the stored one so a stale basis is never offered later.
-func (s *Solver) solveSite(class traffic.Class, mcf *lp.MCF) (lp.Allocation, error) {
+// solveSite runs stage one. With Options.FastPath set it first tries the
+// certificate-gated fast path (drift reallocation, then a warm ADMM sweep);
+// a cold start, topology churn, or certificate failure falls through to the
+// slow path below, whose result — and, from a DualSolver, link duals — reseed
+// the fast path for the next interval.
+//
+// The slow path threads the previous interval's basis through the solver
+// when incremental mode is on and the solver supports it. A solve that comes
+// back without a basis (e.g. AutoMCF's approximate fallback) clears the
+// stored one so a stale basis is never offered later.
+func (s *Solver) solveSite(class traffic.Class, mcf *lp.MCF, res *Result) (lp.Allocation, error) {
+	if s.opts.FastPath {
+		if alloc, cert, outcome := s.tryFastPath(class, mcf); outcome == fastPathDrift || outcome == fastPathADMM {
+			recordFastPath(res, cert, outcome)
+			return alloc, nil
+		} else {
+			// A miss (cold start, churn, or certificate rejection) counts as
+			// a fallback; its gap is reported by the slow path's own
+			// certificate below, not by the rejected candidate's.
+			recordFastPath(res, lp.Certificate{}, outcome)
+		}
+	}
+
+	var warm *lp.Basis
+	if s.opts.Incremental {
+		warm = s.inc.basis[class]
+	}
+	useWarm := func(basis *lp.Basis) {
+		if !s.opts.Incremental {
+			return
+		}
+		if basis != nil {
+			s.inc.basis[class] = basis
+		} else {
+			delete(s.inc.basis, class)
+		}
+	}
+
+	if ds, ok := s.opts.SiteSolver.(DualSolver); ok && (s.opts.Incremental || s.opts.FastPath) {
+		alloc, basis, pi, err := ds.SolveMCFBasisDual(mcf, warm)
+		if err != nil {
+			return nil, err
+		}
+		useWarm(basis)
+		if s.opts.FastPath {
+			// The exact path emits the same certificate shape as the fast
+			// path; its gap is ~0 with exact duals, looser after an
+			// approximate fallback (pi == nil).
+			cert := lp.EvaluateCertificate(mcf, alloc, s.opts.FastPathTolerance, pi)
+			if cert.Gap > res.OptimalityGap {
+				res.OptimalityGap = cert.Gap
+			}
+			s.storeFastPath(class, alloc, mcf, pi, tunnelFingerprint(mcf))
+		}
+		return alloc, nil
+	}
 	if s.opts.Incremental {
 		if ws, ok := s.opts.SiteSolver.(WarmStartSolver); ok {
-			alloc, basis, err := ws.SolveMCFBasis(mcf, s.inc.basis[class])
+			alloc, basis, err := ws.SolveMCFBasis(mcf, warm)
 			if err != nil {
 				return nil, err
 			}
-			if basis != nil {
-				s.inc.basis[class] = basis
-			} else {
-				delete(s.inc.basis, class)
-			}
+			useWarm(basis)
 			return alloc, nil
 		}
 	}
-	return s.opts.SiteSolver.SolveMCF(mcf)
+	alloc, err := s.opts.SiteSolver.SolveMCF(mcf)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.FastPath {
+		// Custom solver without duals: certificate from the zero-price
+		// bound only, but the allocation still seeds the next drift step.
+		cert := lp.EvaluateCertificate(mcf, alloc, s.opts.FastPathTolerance)
+		if cert.Gap > res.OptimalityGap {
+			res.OptimalityGap = cert.Gap
+		}
+		s.storeFastPath(class, alloc, mcf, nil, tunnelFingerprint(mcf))
+	}
+	return alloc, nil
 }
 
 // fingerprint hashes everything stage two reads for one pair — the demand

@@ -18,22 +18,47 @@ type ADMM struct {
 	Rho float64
 }
 
-// SolveMCF returns a feasible allocation.
-func (a *ADMM) SolveMCF(p *MCF) (Allocation, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	iters := a.Iterations
-	if iters == 0 {
+// options returns the iteration and penalty settings with zero and negative
+// values clamped to the defaults: a negative Iterations would silently skip
+// every sweep and a negative Rho would ascend the penalty instead of
+// descending it.
+func (a *ADMM) options() (iters int, rho float64) {
+	iters = a.Iterations
+	if iters <= 0 {
 		iters = 50
 	}
-	rho := a.Rho
-	if rho == 0 {
+	rho = a.Rho
+	if rho <= 0 {
 		rho = 1
 	}
+	return iters, rho
+}
+
+// SolveMCF returns a feasible allocation.
+func (a *ADMM) SolveMCF(p *MCF) (Allocation, error) {
+	alloc, _, err := a.SolveMCFWarm(p, nil)
+	return alloc, err
+}
+
+// SolveMCFWarm is SolveMCF seeded from a previous interval's allocation
+// instead of the inverse-weight split: the fast-path entry point. prev must
+// be shaped like the problem (same commodity count, same tunnel count per
+// commodity) — anything else, including nil, falls back to the cold seed. The
+// seed is clamped to the new demands and the ADMM sweeps then only have to
+// absorb the inter-interval drift, so a fixed budget recovers near-optimal
+// quality that a cold start would need many more sweeps for.
+//
+// The second return value is the final consensus duals rescaled into
+// objective-unit link prices (see RescaleADMMDuals), ready to feed
+// EvaluateCertificate.
+func (a *ADMM) SolveMCFWarm(p *MCF, prev Allocation) (Allocation, []float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	iters, rho := a.options()
 
 	nLinks := len(p.LinkCap)
-	x := a.warmStart(p)
+	x := a.seed(p, prev)
 
 	// Normalize working in units of link capacity to keep rho meaningful
 	// across problems: work with utilization u_e = load_e / cap_e.
@@ -88,22 +113,27 @@ func (a *ADMM) SolveMCF(p *MCF) (Allocation, error) {
 	}
 
 	a.repair(p, x)
-	// Limited work-conserving pass: refill each commodity's shortest tunnel
+	// Work-conserving pass: refill each commodity's tunnels, cheapest first,
 	// from capacity the blunt repair stranded. Unlike the exhaustive greedy
-	// of FleischerMCF, only one tunnel per commodity is considered — the
-	// truncated-ADMM solution quality the TEAL baseline is meant to model.
+	// of FleischerMCF this is one local pass per commodity, but it does fall
+	// through to more expensive tunnels when the cheapest has no headroom.
 	a.topUpShortest(p, x)
-	return x, nil
+	return x, RescaleADMMDuals(p, u, rho), nil
 }
 
-// topUpShortest pushes residual demand onto each commodity's minimum-weight
-// tunnel only, subject to residual link capacity.
+// topUpShortest pushes residual demand onto each commodity's tunnels in
+// ascending weight order, subject to residual link capacity. Tunnels with no
+// headroom are skipped rather than terminating the commodity: when the
+// minimum-weight tunnel is saturated, the push falls through to the
+// next-cheapest tunnel with slack, so repair-stranded capacity on alternate
+// paths is actually refilled.
 func (a *ADMM) topUpShortest(p *MCF, x Allocation) {
 	loads := p.LinkLoads(x)
 	resCap := make([]float64, len(p.LinkCap))
 	for e := range resCap {
 		resCap[e] = p.LinkCap[e] - loads[e]
 	}
+	var order []int
 	for k := range p.Commodities {
 		c := &p.Commodities[k]
 		if len(c.Tunnels) == 0 {
@@ -117,26 +147,49 @@ func (a *ADMM) topUpShortest(p *MCF, x Allocation) {
 		if rd <= 0 {
 			continue
 		}
-		best := 0
-		for t := 1; t < len(c.Tunnels); t++ {
-			if c.Weights[t] < c.Weights[best] {
-				best = t
+		order = sizedInts(order, len(c.Tunnels))
+		for t := range order {
+			order[t] = t
+		}
+		sort.Slice(order, func(i, j int) bool {
+			ta, tb := order[i], order[j]
+			if c.Weights[ta] < c.Weights[tb] {
+				return true
 			}
-		}
-		push := rd
-		for _, e := range c.Tunnels[best] {
-			if resCap[e] < push {
-				push = resCap[e]
+			if c.Weights[tb] < c.Weights[ta] {
+				return false
 			}
-		}
-		if push <= 0 {
-			continue
-		}
-		x[k][best] += push
-		for _, e := range c.Tunnels[best] {
-			resCap[e] -= push
+			return ta < tb
+		})
+		for _, t := range order {
+			push := rd
+			for _, e := range c.Tunnels[t] {
+				if resCap[e] < push {
+					push = resCap[e]
+				}
+			}
+			if push <= 0 {
+				continue
+			}
+			x[k][t] += push
+			for _, e := range c.Tunnels[t] {
+				resCap[e] -= push
+			}
+			rd -= push
+			if rd <= 0 {
+				break
+			}
 		}
 	}
+}
+
+// sizedInts returns b with length exactly n, reallocating only when the
+// capacity falls short.
+func sizedInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
 }
 
 // meanCap returns the mean positive link capacity, used to keep the ADMM
@@ -155,9 +208,14 @@ func meanCap(p *MCF) float64 {
 	return sum / float64(n)
 }
 
-// warmStart splits each demand across tunnels proportionally to inverse
-// weight — the stand-in for TEAL's learned direct allocation.
-func (a *ADMM) warmStart(p *MCF) Allocation {
+// seed builds the starting allocation: a shape-compatible previous
+// allocation clamped onto the new demand simplexes (the fast-path warm
+// start), or the inverse-weight proportional split — the stand-in for TEAL's
+// learned direct allocation — when prev is nil or shaped differently.
+func (a *ADMM) seed(p *MCF, prev Allocation) Allocation {
+	if warm := a.seedFrom(p, prev); warm != nil {
+		return warm
+	}
 	x := p.NewAllocation()
 	for k := range p.Commodities {
 		c := &p.Commodities[k]
@@ -171,6 +229,32 @@ func (a *ADMM) warmStart(p *MCF) Allocation {
 		for t := range c.Tunnels {
 			x[k][t] = c.Demand * (1 / (1 + c.Weights[t])) / total
 		}
+	}
+	return x
+}
+
+// seedFrom copies prev into a fresh allocation for p, projecting each
+// commodity onto its (possibly changed) demand simplex. Returns nil when
+// prev cannot seed this problem — wrong commodity count, wrong tunnel count
+// anywhere, or non-finite entries.
+func (a *ADMM) seedFrom(p *MCF, prev Allocation) Allocation {
+	if prev == nil || len(prev) != len(p.Commodities) {
+		return nil
+	}
+	for k := range prev {
+		if len(prev[k]) != len(p.Commodities[k].Tunnels) {
+			return nil
+		}
+		for _, f := range prev[k] {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil
+			}
+		}
+	}
+	x := make(Allocation, len(prev))
+	for k := range prev {
+		x[k] = append([]float64(nil), prev[k]...)
+		projectSimplexCap(x[k], p.Commodities[k].Demand)
 	}
 	return x
 }

@@ -1,0 +1,160 @@
+package lp
+
+import "math"
+
+// This file implements the acceptance certificate of the fast-path/slow-path
+// solver split: a cheap, *sound* test that a candidate allocation — produced
+// by drift reallocation or a fixed-budget ADMM sweep rather than the exact
+// GUB simplex — is close enough to optimal to publish.
+//
+// The certificate is Lagrangian weak duality on the path MCF
+//
+//	max  Σ c_kt x_kt   s.t.  Σ_t x_kt <= D_k,  Σ L(t,e) x_kt <= cap_e,  x >= 0
+//
+// For ANY nonnegative link prices pi, setting the per-commodity price
+//
+//	mu_k(pi) = max(0, max_t (c_kt − Σ_{e∈t} pi_e))
+//
+// makes (pi, mu) dual feasible by construction, so
+//
+//	DualBound(pi) = Σ_k mu_k(pi) D_k + Σ_e pi_e cap_e >= OPT >= Objective(x)
+//
+// holds for every feasible x. The bound is valid for arbitrary pi — only its
+// *tightness* depends on price quality — so the certificate can mix price
+// vectors from different sources (the exact simplex's pi from the last slow
+// solve, the ADMM scaled duals u rescaled out of utilization units, and the
+// all-zero vector) and keep the smallest bound. A certificate can therefore
+// reject a near-optimal allocation when every available price vector is
+// stale, but it can never accept one whose true gap exceeds the measured
+// gap: fallback is the only failure mode.
+
+// Certificate is the optimality evidence attached to one stage-1 solve. Both
+// the fast path (ADMM/drift) and the slow path (GUB simplex) emit the same
+// shape, so consumers compare intervals without caring which solver ran.
+type Certificate struct {
+	// Primal is Objective(x) of the candidate allocation.
+	Primal float64
+	// Dual is the smallest Lagrangian dual bound over the supplied price
+	// vectors (always >= the true optimum).
+	Dual float64
+	// Gap is the certified relative optimality gap,
+	// (Dual − Primal) / max(Dual, 1): an upper bound on how far the
+	// candidate is from optimal. Clamped at 0 against float debris.
+	Gap float64
+	// Feasible reports that x satisfies demand, capacity and nonnegativity
+	// within certTol.
+	Feasible bool
+	// Accepted is Feasible && Gap <= the tolerance the check ran with.
+	Accepted bool
+}
+
+// certTol is the feasibility slack the certificate check allows, matching
+// the rounding debris the simplex and ADMM repair passes may leave.
+const certTol = 1e-6
+
+// DualBound returns the Lagrangian dual bound for the given nonnegative link
+// prices (nil or short slices read as zero price; negative entries are
+// treated as zero, keeping the bound valid for any input). With all-zero
+// prices the bound degenerates to Σ_k D_k max_t c_kt — exact whenever
+// capacity is slack and every commodity rides its best tunnel.
+func DualBound(p *MCF, pi []float64) float64 {
+	price := func(e int) float64 {
+		if e < len(pi) && pi[e] > 0 {
+			return pi[e]
+		}
+		return 0
+	}
+	bound := 0.0
+	for e := range p.LinkCap {
+		bound += price(e) * p.LinkCap[e]
+	}
+	for k := range p.Commodities {
+		c := &p.Commodities[k]
+		best := 0.0
+		for t := range c.Tunnels {
+			rc := 1 - p.Epsilon*c.Weights[t]
+			for _, e := range c.Tunnels[t] {
+				rc -= price(e)
+			}
+			if rc > best {
+				best = rc
+			}
+		}
+		bound += best * c.Demand
+	}
+	return bound
+}
+
+// EvaluateCertificate checks a candidate allocation against the tolerance:
+// feasibility within certTol, and certified relative gap — computed with the
+// tightest of the supplied price vectors (the zero vector is always
+// included) — at most tol. A tol <= 0 defaults to 0.01 (1%).
+func EvaluateCertificate(p *MCF, x Allocation, tol float64, prices ...[]float64) Certificate {
+	if tol <= 0 {
+		tol = 0.01
+	}
+	cert := Certificate{Primal: p.Objective(x)}
+	cert.Dual = DualBound(p, nil)
+	for _, pi := range prices {
+		if pi == nil {
+			continue
+		}
+		if b := DualBound(p, pi); b < cert.Dual {
+			cert.Dual = b
+		}
+	}
+	den := cert.Dual
+	if den < 1 {
+		den = 1
+	}
+	cert.Gap = (cert.Dual - cert.Primal) / den
+	if cert.Gap < 0 {
+		cert.Gap = 0 // primal past the bound: float debris, truly optimal
+	}
+	cert.Feasible = p.CheckFeasible(x, certTol) == nil
+	cert.Accepted = cert.Feasible && cert.Gap <= tol
+	return cert
+}
+
+// RescaleADMMDuals converts the ADMM consensus duals u — accumulated in link
+// *utilization* units against the penalty rho and the mean-capacity
+// normalization mc — into objective-unit link prices comparable to the GUB
+// simplex's pi: pi_e = rho · mc · max(0, u_e) / cap_e. Links with zero
+// capacity get a zero price (no tunnel may carry flow across them anyway —
+// the feasibility check owns that invariant).
+func RescaleADMMDuals(p *MCF, u []float64, rho float64) []float64 {
+	mc := meanCap(p)
+	pi := make([]float64, len(p.LinkCap))
+	for e := range pi {
+		if e < len(u) && u[e] > 0 && p.LinkCap[e] > 0 {
+			pi[e] = rho * mc * u[e] / p.LinkCap[e]
+		}
+	}
+	return pi
+}
+
+// CloneAllocation deep-copies an allocation; the fast path mutates its
+// candidate in place while the previous interval's accepted allocation must
+// survive for the next drift step.
+func CloneAllocation(a Allocation) Allocation {
+	if a == nil {
+		return nil
+	}
+	c := make(Allocation, len(a))
+	for k := range a {
+		c[k] = append([]float64(nil), a[k]...)
+	}
+	return c
+}
+
+// ValidPrices reports whether a stored price vector is still usable for this
+// problem: the right length is not required (DualBound zero-extends), but
+// NaN/Inf entries would poison the bound.
+func ValidPrices(pi []float64) bool {
+	for _, v := range pi {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the between-full-solves drift handler of the
+// fast-path solver: when demands move a little between TE intervals,
+// incremental reallocation of only the drifted commodities — per
+// "Near-optimal Online Traffic Engineering" — replaces a re-solve. The
+// crucial property is bit-stability: a commodity whose demand did not move
+// keeps its allocation row *bit-identical*, so downstream fingerprints (the
+// stage-2 pair cache) keep hitting and publication deltas stay small.
+
+// DriftResult summarizes one ReallocateDrift call.
+type DriftResult struct {
+	// Reallocated counts commodities whose row was rebuilt from scratch
+	// because their demand moved beyond the threshold.
+	Reallocated int
+	// Trimmed counts commodities scaled down because their demand shrank
+	// below the carried flow (any threshold — feasibility is not optional).
+	Trimmed int
+	// ToppedUp counts commodities that received extra flow for sub-threshold
+	// demand growth.
+	ToppedUp int
+}
+
+// ReallocateDrift adapts prev — a feasible allocation for the previous
+// interval's problem — into a feasible allocation for p in place, touching
+// only the commodities whose inputs moved:
+//
+//  1. rows whose carried flow exceeds the new demand are scaled down
+//     (feasibility first, threshold or not);
+//  2. rows whose relative demand change exceeds threshold are zeroed and
+//     rebuilt greedily, cheapest tunnel first, against residual capacity;
+//  3. capacity overloads (caps can shrink between intervals, e.g. the
+//     residual capacity a lower QoS class sees) are repaired by scaling the
+//     crossing tunnels;
+//  4. a final top-up pushes any still-unserved demand — including
+//     sub-threshold growth — onto tunnels with headroom, cheapest first,
+//     without disturbing fully-served rows.
+//
+// prevDemand[k] is the demand commodity k had when prev was computed; a nil
+// or short prevDemand treats every commodity with unserved demand as
+// drifted. threshold <= 0 defaults to 0.05. The caller owns prev (pass a
+// clone when the original must survive) and should certificate-check the
+// result: ReallocateDrift promises feasibility, not optimality.
+func ReallocateDrift(p *MCF, prev Allocation, prevDemand []float64, threshold float64) DriftResult {
+	if threshold <= 0 {
+		threshold = 0.05
+	}
+	res := DriftResult{}
+
+	// Pass 1+2: demand-side adaptation, marking drifted rows.
+	drifted := make([]bool, len(p.Commodities))
+	for k := range p.Commodities {
+		d := p.Commodities[k].Demand
+		carried := 0.0
+		for _, f := range prev[k] {
+			carried += f
+		}
+		var prevD float64
+		known := k < len(prevDemand)
+		if known {
+			prevD = prevDemand[k]
+		}
+		switch {
+		case known && relChange(prevD, d) <= threshold:
+			// Sub-threshold drift: keep the row, trimming only if the new
+			// demand fell below what it carries.
+			if carried > d {
+				scaleRow(prev[k], d/carried)
+				res.Trimmed++
+			}
+		default:
+			drifted[k] = true
+			for t := range prev[k] {
+				prev[k][t] = 0
+			}
+			res.Reallocated++
+		}
+	}
+
+	// Pass 3: capacity repair. Caps may have shrunk (lower QoS classes see
+	// the residual of the classes above); scale every tunnel crossing an
+	// overloaded link by the worst overload it traverses. Rows that cross no
+	// overloaded link multiply by exactly 1 and are skipped, keeping them
+	// bit-identical.
+	loads := p.LinkLoads(prev)
+	overloaded := false
+	for e := range loads {
+		if loads[e] > p.LinkCap[e]+certTol {
+			overloaded = true
+			break
+		}
+	}
+	if overloaded {
+		ratio := make([]float64, len(loads))
+		for e := range loads {
+			ratio[e] = 1
+			if p.LinkCap[e] > 0 && loads[e] > p.LinkCap[e] {
+				ratio[e] = p.LinkCap[e] / loads[e]
+			} else if p.LinkCap[e] == 0 && loads[e] > 0 {
+				ratio[e] = 0
+			}
+		}
+		for k := range prev {
+			worst := 1.0
+			for t := range prev[k] {
+				if prev[k][t] == 0 {
+					continue
+				}
+				for _, e := range p.Commodities[k].Tunnels[t] {
+					if ratio[e] < worst {
+						worst = ratio[e]
+					}
+				}
+			}
+			if worst < 1 {
+				scaleRow(prev[k], worst)
+			}
+		}
+	}
+
+	// Pass 4: refill. Drifted rows rebuild from zero; sub-threshold growth
+	// tops up. Either way only rows with unserved demand are touched, in
+	// deterministic (commodity, ascending tunnel weight) order.
+	resCap := make([]float64, len(p.LinkCap))
+	loads = p.LinkLoads(prev)
+	for e := range resCap {
+		resCap[e] = p.LinkCap[e] - loads[e]
+	}
+	var order []int
+	for k := range p.Commodities {
+		c := &p.Commodities[k]
+		if len(c.Tunnels) == 0 {
+			continue
+		}
+		carried := 0.0
+		for _, f := range prev[k] {
+			carried += f
+		}
+		rd := c.Demand - carried
+		if rd <= certTol {
+			continue
+		}
+		if !drifted[k] {
+			res.ToppedUp++
+		}
+		order = sizedInts(order, len(c.Tunnels))
+		for t := range order {
+			order[t] = t
+		}
+		sort.Slice(order, func(i, j int) bool {
+			ta, tb := order[i], order[j]
+			if c.Weights[ta] < c.Weights[tb] {
+				return true
+			}
+			if c.Weights[tb] < c.Weights[ta] {
+				return false
+			}
+			return ta < tb
+		})
+		for _, t := range order {
+			push := rd
+			for _, e := range c.Tunnels[t] {
+				if resCap[e] < push {
+					push = resCap[e]
+				}
+			}
+			if push <= 0 {
+				continue
+			}
+			prev[k][t] += push
+			for _, e := range c.Tunnels[t] {
+				resCap[e] -= push
+			}
+			rd -= push
+			if rd <= 0 {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// relChange returns |new−old| relative to the larger magnitude (0 when both
+// are zero), symmetric so growth and shrinkage trip the threshold alike.
+func relChange(old, new_ float64) float64 {
+	den := math.Max(math.Abs(old), math.Abs(new_))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(new_-old) / den
+}
+
+// scaleRow multiplies every entry of the row by f.
+func scaleRow(row []float64, f float64) {
+	for t := range row {
+		row[t] *= f
+	}
+}

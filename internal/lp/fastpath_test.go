@@ -1,0 +1,228 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"megate/internal/stats"
+)
+
+// Zero-value and negative option structs must behave like the documented
+// defaults instead of silently degenerating (0 ADMM iterations would skip
+// every sweep; a negative Fleischer epsilon would invert the length
+// function).
+func TestZeroValueSolverDefaults(t *testing.T) {
+	if iters, rho := (&ADMM{}).options(); iters != 50 || rho != 1 {
+		t.Errorf("zero-value ADMM options = (%d, %v), want (50, 1)", iters, rho)
+	}
+	if iters, rho := (&ADMM{Iterations: -3, Rho: -2}).options(); iters != 50 || rho != 1 {
+		t.Errorf("negative ADMM options = (%d, %v), want (50, 1)", iters, rho)
+	}
+
+	p := randomMCF(7, 12, 10, 3)
+	for _, tc := range []struct {
+		name   string
+		solver interface {
+			SolveMCF(*MCF) (Allocation, error)
+		}
+	}{
+		{"ADMM zero", &ADMM{}},
+		{"ADMM negative", &ADMM{Iterations: -5, Rho: -1}},
+		{"Fleischer negative epsilon", &FleischerMCF{Epsilon: -0.5}},
+	} {
+		alloc, err := tc.solver.SolveMCF(p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := p.CheckFeasible(alloc, 1e-6); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if alloc.TotalFlow() <= 0 {
+			t.Errorf("%s: zero flow on a feasible problem", tc.name)
+		}
+	}
+}
+
+// Regression: topUpShortest must fall through to the next-cheapest tunnel
+// when the shortest one lacks headroom, instead of stranding residual demand.
+func TestTopUpShortestFallsThrough(t *testing.T) {
+	// Tunnel 0 (weight 1) rides link 0 with capacity 2; tunnel 1 (weight 2)
+	// rides link 1 with plenty. Demand 10 must split 2 / 8.
+	p := &MCF{
+		LinkCap: []float64{2, 100},
+		Commodities: []Commodity{{
+			Demand:  10,
+			Tunnels: [][]int{{0}, {1}},
+			Weights: []float64{1, 2},
+		}},
+	}
+	x := p.NewAllocation()
+	(&ADMM{}).topUpShortest(p, x)
+	if math.Abs(x[0][0]-2) > 1e-9 || math.Abs(x[0][1]-8) > 1e-9 {
+		t.Errorf("partial headroom: got %v, want [2 8]", x[0])
+	}
+
+	// Shortest tunnel has NO headroom at all: everything must land on the
+	// second-shortest.
+	p.LinkCap[0] = 0
+	x = p.NewAllocation()
+	(&ADMM{}).topUpShortest(p, x)
+	if math.Abs(x[0][0]) > 1e-9 || math.Abs(x[0][1]-10) > 1e-9 {
+		t.Errorf("saturated shortest: got %v, want [0 10]", x[0])
+	}
+}
+
+// Property: DualBound is a sound upper bound on the optimum for arbitrary
+// nonnegative prices, and the GUB simplex's exported duals make it tight.
+func TestDualBoundUpperBound(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p := randomMCF(seed, 12, 10, 3)
+		exact, _, pi, err := (&GUBSimplex{}).SolveMCFBasisDual(p, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt := p.Objective(exact)
+		slack := 1e-6 * math.Max(opt, 1)
+		if b := DualBound(p, nil); b < opt-slack {
+			t.Errorf("seed %d: zero-price bound %v < optimum %v", seed, b, opt)
+		}
+		b := DualBound(p, pi)
+		if b < opt-slack {
+			t.Errorf("seed %d: GUB-price bound %v < optimum %v", seed, b, opt)
+		}
+		// Strong duality: the optimal duals close the gap.
+		if gap := (b - opt) / math.Max(b, 1); gap > 1e-6 {
+			t.Errorf("seed %d: GUB duals leave gap %v, want ~0", seed, gap)
+		}
+		cert := EvaluateCertificate(p, exact, 0.01, pi)
+		if !cert.Accepted {
+			t.Errorf("seed %d: exact solution not certificate-accepted: %+v", seed, cert)
+		}
+		// Garbage prices may loosen the bound but never break it.
+		junk := make([]float64, len(p.LinkCap))
+		r := stats.NewRand(seed)
+		for e := range junk {
+			junk[e] = r.Float64() * 2
+		}
+		if b := DualBound(p, junk); b < opt-slack {
+			t.Errorf("seed %d: random-price bound %v < optimum %v", seed, b, opt)
+		}
+	}
+}
+
+// Property: a certificate-accepted fast-path allocation (drift reallocation,
+// escalating to warm ADMM) is within the certified tolerance of the exact
+// simplex objective on the perturbed problem.
+func TestCertificateFastPathNearExact(t *testing.T) {
+	const tol = 0.01
+	accepted := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		p := randomMCF(seed, 12, 10, 3)
+		base, _, pi, err := (&GUBSimplex{}).SolveMCFBasisDual(p, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prevDemand := make([]float64, len(p.Commodities))
+		for k := range p.Commodities {
+			prevDemand[k] = p.Commodities[k].Demand
+		}
+		// Drift a few demands by up to ±3% — the steady-state churn regime.
+		r := stats.NewRand(seed + 100)
+		for k := range p.Commodities {
+			if r.Float64() < 0.3 {
+				p.Commodities[k].Demand *= 0.97 + 0.06*r.Float64()
+			}
+		}
+
+		cand := CloneAllocation(base)
+		ReallocateDrift(p, cand, prevDemand, 0.05)
+		cert := EvaluateCertificate(p, cand, tol, pi)
+		if !cert.Accepted {
+			refined, admmPi, err := (&ADMM{}).SolveMCFWarm(p, cand)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			cand = refined
+			cert = EvaluateCertificate(p, cand, tol, pi, admmPi)
+		}
+		if !cert.Accepted {
+			continue // fallback: the slow path would run — soundness intact
+		}
+		accepted++
+		if err := p.CheckFeasible(cand, 1e-6); err != nil {
+			t.Errorf("seed %d: accepted allocation infeasible: %v", seed, err)
+		}
+		exact, err := (&Simplex{}).SolveMCF(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt := p.Objective(exact)
+		if got := p.Objective(cand); got < opt-tol*math.Max(opt, 1)-1e-6 {
+			t.Errorf("seed %d: accepted objective %v more than %v%% below optimum %v",
+				seed, got, tol*100, opt)
+		}
+	}
+	if accepted == 0 {
+		t.Error("no seed accepted the fast path; certificate is uselessly loose")
+	}
+}
+
+// Drift reallocation must leave sub-threshold rows bit-identical (the
+// stage-2 pair cache depends on it) while rebuilding drifted ones.
+func TestReallocateDriftBitStable(t *testing.T) {
+	p := &MCF{
+		LinkCap: []float64{100, 100},
+		Commodities: []Commodity{
+			{Demand: 30, Tunnels: [][]int{{0}}, Weights: []float64{1}},
+			{Demand: 40, Tunnels: [][]int{{1}}, Weights: []float64{1}},
+		},
+	}
+	prev := Allocation{{30}, {40}}
+	prevDemand := []float64{30, 40}
+
+	// Commodity 1 doubles (drifted); commodity 0 is untouched.
+	p.Commodities[1].Demand = 80
+	res := ReallocateDrift(p, prev, prevDemand, 0.05)
+	if res.Reallocated != 1 {
+		t.Errorf("Reallocated = %d, want 1", res.Reallocated)
+	}
+	if prev[0][0] != 30 {
+		t.Errorf("undrifted row changed: %v", prev[0])
+	}
+	if math.Abs(prev[1][0]-80) > 1e-9 {
+		t.Errorf("drifted row = %v, want [80]", prev[1])
+	}
+	if err := p.CheckFeasible(prev, 1e-9); err != nil {
+		t.Error(err)
+	}
+
+	// A sub-threshold shrink below the carried flow must trim the row, not
+	// rebuild it.
+	p.Commodities[0].Demand = 29.5
+	prevDemand = []float64{30, 80}
+	res = ReallocateDrift(p, prev, prevDemand, 0.05)
+	if res.Trimmed != 1 || res.Reallocated != 0 {
+		t.Errorf("trim pass: %+v, want Trimmed=1 Reallocated=0", res)
+	}
+	if math.Abs(prev[0][0]-29.5) > 1e-9 {
+		t.Errorf("trimmed row = %v, want [29.5]", prev[0])
+	}
+}
+
+func TestValidPricesAndClone(t *testing.T) {
+	if !ValidPrices(nil) || !ValidPrices([]float64{0, 1, 2}) {
+		t.Error("valid prices rejected")
+	}
+	if ValidPrices([]float64{math.NaN()}) || ValidPrices([]float64{math.Inf(1)}) {
+		t.Error("poisoned prices accepted")
+	}
+	a := Allocation{{1, 2}, {3}}
+	c := CloneAllocation(a)
+	c[0][0] = 99
+	if a[0][0] != 1 {
+		t.Error("CloneAllocation aliases the original")
+	}
+	if CloneAllocation(nil) != nil {
+		t.Error("CloneAllocation(nil) != nil")
+	}
+}

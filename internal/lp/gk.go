@@ -34,7 +34,9 @@ func (f *FleischerMCF) SolveMCF(p *MCF) (Allocation, error) {
 		return nil, err
 	}
 	eps := f.Epsilon
-	if eps == 0 {
+	if eps <= 0 {
+		// Zero means "default"; a negative epsilon would invert the
+		// multiplicative-weight lengths, so clamp it to the default too.
 		eps = 0.1
 	}
 	if eps < 0.02 {

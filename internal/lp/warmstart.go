@@ -58,8 +58,19 @@ func (b *Basis) Clone() *Basis {
 // is never worse than SolveMCF. The returned basis snapshots the final
 // state for the next interval.
 func (g *GUBSimplex) SolveMCFBasis(p *MCF, warm *Basis) (Allocation, *Basis, error) {
+	alloc, basis, _, err := g.SolveMCFBasisDual(p, warm)
+	return alloc, basis, err
+}
+
+// SolveMCFBasisDual is SolveMCFBasis that additionally exports the optimal
+// link duals pi — the per-link prices of the coupling rows at the final
+// basis, clamped to >= 0 (tiny negatives are simplex rounding debris). They
+// feed EvaluateCertificate, so the exact slow path emits the same
+// certificate shape as the ADMM fast path, and the fast path can reuse the
+// last exact solve's prices for a tight dual bound under drift.
+func (g *GUBSimplex) SolveMCFBasisDual(p *MCF, warm *Basis) (Allocation, *Basis, []float64, error) {
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	st, colOf := buildGUB(p)
 	maxIter := g.maxIterFor(st)
@@ -75,17 +86,29 @@ func (g *GUBSimplex) SolveMCFBasis(p *MCF, warm *Basis) (Allocation, *Basis, err
 	}
 	if err := st.iterate(maxIter); err != nil {
 		if !warmed {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		// The inherited basis led the pivot sequence astray (singular
 		// working basis, iteration limit): redo the interval cold.
 		st, colOf = buildGUB(p)
 		st.initCold()
 		if err := st.iterate(maxIter); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return st.extractAllocation(p, colOf), st.exportBasis(), nil
+	return st.extractAllocation(p, colOf), st.exportBasis(), st.exportLinkDuals(), nil
+}
+
+// exportLinkDuals snapshots pi with negative entries (numerically zero at
+// optimality) clamped so the vector is valid certificate input.
+func (st *gubState) exportLinkDuals() []float64 {
+	pi := make([]float64, len(st.pi))
+	for e, v := range st.pi {
+		if v > 0 {
+			pi[e] = v
+		}
+	}
+	return pi
 }
 
 // exportBasis snapshots the current basis with deep copies.
@@ -276,6 +299,14 @@ func (st *gubState) replaceColumnWithLinkSlack(i int) bool {
 // threads the basis through the GUB simplex, the Fleischer fallback ignores
 // it and returns a nil basis (approximate solves are stateless).
 func (a *AutoMCF) SolveMCFBasis(p *MCF, warm *Basis) (Allocation, *Basis, error) {
+	alloc, basis, _, err := a.SolveMCFBasisDual(p, warm)
+	return alloc, basis, err
+}
+
+// SolveMCFBasisDual is SolveMCFBasis that also exports the exact path's link
+// duals; the Fleischer fallback has none and returns nil prices (a
+// certificate evaluated without prices still holds, it is just looser).
+func (a *AutoMCF) SolveMCFBasisDual(p *MCF, warm *Basis) (Allocation, *Basis, []float64, error) {
 	limit := a.ExactLimit
 	if limit == 0 {
 		limit = 6000
@@ -283,17 +314,17 @@ func (a *AutoMCF) SolveMCFBasis(p *MCF, warm *Basis) (Allocation, *Basis, error)
 	k := float64(len(p.Commodities))
 	e := float64(len(p.LinkCap))
 	if len(p.Commodities) <= limit && k*e*e <= autoMCFCostBudget {
-		alloc, basis, err := (&GUBSimplex{}).SolveMCFBasis(p, warm)
+		alloc, basis, pi, err := (&GUBSimplex{}).SolveMCFBasisDual(p, warm)
 		if err == nil {
-			return alloc, basis, nil
+			return alloc, basis, pi, nil
 		}
 		// Numerical trouble in the exact path: fall through to the robust
 		// approximation rather than failing the TE interval.
 	}
 	eps := a.Epsilon
-	if eps == 0 {
+	if eps <= 0 {
 		eps = 0.05
 	}
 	alloc, err := (&FleischerMCF{Epsilon: eps}).SolveMCF(p)
-	return alloc, nil, err
+	return alloc, nil, nil, err
 }

@@ -1,0 +1,41 @@
+package topology
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint hashes the topology structure that tunnel establishment
+// depends on: the site count and every link's endpoints, latency, capacity,
+// and Down flag. Two topologies with equal fingerprints yield identical
+// KShortestPaths/KDiversePaths results, so callers can key tunnel-set caches
+// on it and rebuild only when the fingerprint moves (link failure, latency
+// reweighting, capacity change). Endpoints are excluded — attaching
+// endpoints never changes site-level tunnels.
+func (t *Topology) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+
+	w64(uint64(len(t.Sites)))
+	w64(uint64(len(t.Links)))
+	for i := range t.Links {
+		l := &t.Links[i]
+		w64(uint64(l.From))
+		w64(uint64(l.To))
+		wf(l.LatencyMs)
+		wf(l.CapacityMbps)
+		if l.Down {
+			w64(1)
+		} else {
+			w64(0)
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,36 @@
+package topology
+
+import "testing"
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	topo := triangle(t)
+	fp := topo.Fingerprint()
+	if topo.Fingerprint() != fp {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// An identically-built topology hashes identically.
+	if triangle(t).Fingerprint() != fp {
+		t.Error("identical topology hashes differently")
+	}
+	// Attaching endpoints never changes site-level tunnels, so it must not
+	// move the fingerprint.
+	AttachEndpointsExact(topo, 3)
+	if topo.Fingerprint() != fp {
+		t.Error("endpoint attachment moved the fingerprint")
+	}
+	// A failed link must.
+	topo.Links[0].Down = true
+	down := topo.Fingerprint()
+	if down == fp {
+		t.Error("link failure did not move the fingerprint")
+	}
+	topo.Links[0].Down = false
+	if topo.Fingerprint() != fp {
+		t.Error("recovery did not restore the fingerprint")
+	}
+	// Latency reweighting changes tunnel selection, so it must move it too.
+	topo.Links[1].LatencyMs += 5
+	if topo.Fingerprint() == fp {
+		t.Error("latency change did not move the fingerprint")
+	}
+}

@@ -30,6 +30,10 @@ go test -race -run 'TestReadersDuringWritesRace' ./internal/telemetry/
 go test -race -short -run TestChaos .
 # Exporter smoke: controller with -telemetry-addr scraped over real HTTP.
 go test -run TestMetricsSmoke .
+# Certificate-gated fast-path gate: duality-certificate soundness, drift
+# bit-stability and the solver's hit/fallback routing, race-checked with
+# deterministic seeds.
+make fastpath
 # Megascale pipeline gate: truncated flow sweep through the streamed
 # interval plus the stage-2 zero-alloc benchmark assertion.
 make megascale-short
