@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke megascale-short fleet-short fastpath
+.PHONY: build test race verify bench lint fuzz-short chaos cluster metrics-smoke megascale-short fleet-short fastpath federation
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ cluster:
 # scripted fault timeline.
 chaos:
 	$(GO) test -race -run TestChaos -v .
+
+# Multi-domain federation gate: the gateway wire protocol, exchange and
+# tier-policy tests under the race detector, plus the inter-domain partition
+# chaos scenario (gateway TTL fallback + heal reimport, fixed seed).
+federation:
+	$(GO) test -race ./internal/federation/
+	$(GO) test -race -run 'TestChaosFederation' -v .
+	$(GO) test -race -run 'TestTier|TestNoPolicyBitIdentical' ./internal/core/ ./internal/traffic/
 
 verify:
 	./verify.sh
@@ -62,6 +70,7 @@ fuzz-short:
 	$(GO) test -run FuzzFastSSP -fuzz FuzzFastSSP -fuzztime 10s ./internal/ssp/
 	$(GO) test -run FuzzRingOwnership -fuzz FuzzRingOwnership -fuzztime 10s ./internal/cluster/
 	$(GO) test -run FuzzCFGBuild -fuzz FuzzCFGBuild -fuzztime 10s ./internal/analysis/
+	$(GO) test -run FuzzFederationWire -fuzz FuzzFederationWire -fuzztime 10s ./internal/federation/
 
 # Certificate-gated fast-path gate: the duality-certificate, drift and
 # warm-ADMM property tests plus the solver routing tests (cold/churn/reject

@@ -179,6 +179,103 @@ func TestChaosTelemetrySnapshot(t *testing.T) {
 	}
 }
 
+// federationScenario is the canonical inter-domain partition timeline: two
+// full domains exchange summaries for a few clean windows, the
+// gateway-to-gateway links are cut long enough to fire the gateway TTL,
+// then heal.
+func federationScenario(t *testing.T, seed int64) chaos.FederationScenario {
+	t.Helper()
+	s := chaos.FederationScenario{
+		Seed:        seed,
+		Domains:     2,
+		PerSite:     1,
+		Windows:     9,
+		StaleAfter:  2,
+		Timeout:     150 * time.Millisecond,
+		PartitionAt: 3,
+		HealAt:      6,
+	}
+	if testing.Short() {
+		s.Windows = 7
+		s.PartitionAt, s.HealAt = 2, 5
+		s.Timeout = 100 * time.Millisecond
+	}
+	return s
+}
+
+// TestChaosFederationPartition cuts the inter-domain gateway links mid-run
+// and holds the federation to its §6.3 degradation contract: intra-domain
+// TE keeps converging every window of the cut, the gateway TTL drops
+// imported summaries and fed/ records so cross-domain flows fall back to
+// conventional routing, and the heal reimports everything byte-identically.
+func TestChaosFederationPartition(t *testing.T) {
+	res, err := chaos.RunFederation(federationScenario(t, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	// Exactly one TTL firing per directed domain pair, or the partition
+	// exercised nothing (0) or flapped (more).
+	wantStale := uint64(res.Domains * (res.Domains - 1))
+	if res.StaleFired != wantStale {
+		t.Errorf("stale fallbacks = %d, want %d (one per directed pair)", res.StaleFired, wantStale)
+	}
+	if res.Imports == 0 {
+		t.Error("no summary was ever imported; the federation exercised nothing")
+	}
+	boundary := 0
+	for _, w := range res.Windows {
+		boundary += w.BoundaryFlows
+	}
+	if boundary == 0 {
+		t.Error("no boundary flow was ever folded into a solve")
+	}
+	for i, v := range res.FinalVersions {
+		if v == 0 {
+			t.Errorf("domain %d never published an interval", i)
+		}
+	}
+}
+
+// TestChaosFederationDeterministic replays the same federation seed twice
+// and demands identical window-level outcomes.
+func TestChaosFederationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay comparison runs the scenario twice")
+	}
+	run := func() *chaos.FederationResult {
+		res, err := chaos.RunFederation(federationScenario(t, 53))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Violations) != 0 || len(b.Violations) != 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.StaleFired != b.StaleFired || a.Imports != b.Imports {
+		t.Errorf("stale/imports %d/%d vs %d/%d across replays", a.StaleFired, a.Imports, b.StaleFired, b.Imports)
+	}
+	if len(a.Windows) != len(b.Windows) {
+		t.Fatalf("window counts differ: %d vs %d", len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Windows {
+		wa, wb := a.Windows[i], b.Windows[i]
+		if wa.ExchangeErrors != wb.ExchangeErrors || wa.StalePeers != wb.StalePeers ||
+			wa.BoundaryFlows != wb.BoundaryFlows || wa.Converged != wb.Converged {
+			t.Errorf("window %d diverged across replays: %+v vs %+v", i, wa, wb)
+		}
+	}
+	for i := range a.FinalVersions {
+		if a.FinalVersions[i] != b.FinalVersions[i] {
+			t.Errorf("domain %d final version %d vs %d across replays", i, a.FinalVersions[i], b.FinalVersions[i])
+		}
+	}
+}
+
 // stormScenario is the canonical fleet-storm timeline: a cold boot under
 // deliberately tight per-shard admission, a two-publish version-skew
 // rollout, a partition cutting one faultnet group long enough to fire the

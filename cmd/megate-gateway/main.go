@@ -1,0 +1,159 @@
+// Command megate-gateway runs one domain's federation gateway: it serves
+// PULL requests from peer gateways with this domain's exported demand
+// summary, and periodically pulls each peer in turn, publishing imported
+// config records under fed/<peer>/ in the local TE database. After
+// -stale-after consecutive failed exchanges with a peer, everything
+// imported from it is dropped (cross-domain fallback to conventional
+// routing, §6.3); the next successful exchange reimports in full.
+//
+// Example — two gateways federating two controller deployments:
+//
+//	megate-gateway -domain east -listen 127.0.0.1:7800 -peers west=127.0.0.1:7801 \
+//	    -db 127.0.0.1:7700 -demand west:2:1:50;west:4:2:12.5
+//	megate-gateway -domain west -listen 127.0.0.1:7801 -peers east=127.0.0.1:7800 \
+//	    -db 127.0.0.1:7701 -demand east:1:1:30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"megate"
+	"megate/internal/controlplane"
+	"megate/internal/federation"
+	"megate/internal/kvstore"
+	"megate/internal/traffic"
+)
+
+func main() {
+	var (
+		domain     = flag.String("domain", "", "local domain name (required)")
+		listen     = flag.String("listen", "127.0.0.1:7800", "gateway listen address")
+		peerList   = flag.String("peers", "", "comma-separated peer gateways as name=addr")
+		dbAddr     = flag.String("db", "", "local TE database address for publishing imported fed/ records (empty = summaries only)")
+		demandSpec = flag.String("demand", "", "static exported demand as ;-separated peer:dstsite:class:mbps tuples")
+		interval   = flag.Duration("interval", 10*time.Second, "exchange period")
+		staleAfter = flag.Int("stale-after", 3, "staleness TTL in consecutive failed exchanges")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-exchange dial + I/O deadline")
+		telemAddr  = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty = disabled)")
+	)
+	flag.Parse()
+	if *domain == "" {
+		fmt.Fprintln(os.Stderr, "-domain is required")
+		os.Exit(2)
+	}
+
+	if *telemAddr != "" {
+		megate.RegisterCoreMetrics(nil)
+		ts, err := megate.ServeMetrics(*telemAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
+
+	gw := &federation.Gateway{
+		Domain:     *domain,
+		StaleAfter: *staleAfter,
+		Timeout:    *timeout,
+		Metrics:    megate.DefaultMetrics(),
+	}
+	if *dbAddr != "" {
+		gw.Store = controlplane.ClientAdapter{Client: &kvstore.Client{Addr: *dbAddr, Timeout: *timeout}}
+	}
+
+	var peers []string
+	if *peerList != "" {
+		for _, part := range strings.Split(*peerList, ",") {
+			name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok || name == "" || addr == "" {
+				fmt.Fprintf(os.Stderr, "bad peer %q (want name=addr)\n", part)
+				os.Exit(2)
+			}
+			gw.AddPeer(name, addr)
+			peers = append(peers, name)
+		}
+	}
+	demand, err := parseDemand(*demandSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for peer, entries := range demand {
+		gw.SetLocalDemand(peer, entries)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer gw.Close()
+	gw.Start(l)
+	fmt.Printf("federation gateway %q serving on %s (%d peers, epoch %d)\n",
+		*domain, l.Addr(), len(peers), gw.Epoch())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		for _, peer := range peers {
+			if err := gw.Exchange(peer); err != nil {
+				status := "unreachable"
+				if gw.PeerStale(peer) {
+					status = "STALE (imports dropped)"
+				}
+				fmt.Printf("exchange %s: %s: %v\n", peer, status, err)
+				continue
+			}
+			fmt.Printf("exchange %s: ok, imported epoch %d, %d summary entries\n",
+				peer, gw.ImportedEpoch(peer), len(gw.ImportedSummaries()[peer]))
+		}
+		select {
+		case <-tick.C:
+		case <-stop:
+			fmt.Println("interrupted")
+			return
+		}
+	}
+}
+
+// parseDemand parses ;-separated peer:dstsite:class:mbps tuples into
+// per-peer summary entries, preserving tuple order per peer.
+func parseDemand(spec string) (map[string][]federation.SummaryEntry, error) {
+	out := make(map[string][]federation.SummaryEntry)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("bad demand tuple %q (want peer:dstsite:class:mbps)", part)
+		}
+		site, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad dstsite in %q: %v", part, err)
+		}
+		class, err := strconv.Atoi(fields[2])
+		if err != nil || class < int(traffic.Class1) || class > int(traffic.Class3) {
+			return nil, fmt.Errorf("bad class in %q (want 1..3)", part)
+		}
+		mbps, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil || mbps < 0 {
+			return nil, fmt.Errorf("bad mbps in %q", part)
+		}
+		out[fields[0]] = append(out[fields[0]], federation.SummaryEntry{
+			DstSite: uint32(site), Class: uint8(class), Mbps: mbps,
+		})
+	}
+	return out, nil
+}

@@ -72,6 +72,10 @@ func main() {
 		chaosRestart  = flag.Int("chaos-restart-at", 0, "window before which the controller restarts and recovers (0 = never)")
 		chaosMetrics  = flag.Bool("chaos-metrics", true, "print the telemetry registry snapshot after each chaos window")
 
+		domains   = flag.Int("domains", 1, "federated TE domains; >1 runs the multi-domain federation scenario (gateways, summary exchange, partition + heal) instead of the flow simulation")
+		fedPartAt = flag.Int("fed-partition-at", 3, "window cutting every gateway-to-gateway link (-domains)")
+		fedHealAt = flag.Int("fed-heal-at", 6, "window healing the inter-domain partition (-domains)")
+
 		fleetRun     = flag.Bool("fleet", false, "run the fleet storm scenario: cold boot, rollout, partition, herd recovery against a live sharded database")
 		fleetAgents  = flag.Int("fleet-agents", 10000, "fleet size for -fleet")
 		fleetShards  = flag.Int("fleet-shards", 8, "TE-database shard count for -fleet")
@@ -116,6 +120,20 @@ func main() {
 			ServiceDelay:    500 * time.Microsecond,
 			ConvergeTimeout: *fleetTimeout,
 			Metrics:         megate.DefaultMetrics(),
+		}))
+	}
+
+	if *domains > 1 {
+		os.Exit(runFederation(chaos.FederationScenario{
+			Domains:     *domains,
+			Seed:        *seed,
+			PerSite:     1,
+			Windows:     *chaosWindows,
+			StaleAfter:  *chaosStale,
+			Timeout:     *chaosTimeout,
+			PartitionAt: *fedPartAt,
+			HealAt:      *fedHealAt,
+			Metrics:     megate.DefaultMetrics(),
 		}))
 	}
 
@@ -270,6 +288,34 @@ func runShardLoss(s chaos.ShardLossScenario) int {
 	fmt.Printf("agents=%d lost-node=%s lost-homed=%d moved-keys=%d final-version=%d failed-intervals=%d fallbacks=%d recoveries=%d\n",
 		res.Agents, res.LostNode, res.LostHomedAgents, res.MovedKeys,
 		res.FinalVersion, res.FailedIntervals, res.Fallbacks, res.Recoveries)
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "%d invariant violations:\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		return 1
+	}
+	fmt.Println("all invariants held")
+	return 0
+}
+
+// runFederation executes the multi-domain federation scenario and prints
+// the per-window outcome; the exit code is non-zero when any invariant was
+// violated.
+func runFederation(s chaos.FederationScenario) int {
+	res, err := chaos.RunFederation(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%-7s %-10s %-12s %-15s %s\n",
+		"window", "exch-errs", "stale-peers", "boundary-flows", "converged")
+	for _, w := range res.Windows {
+		fmt.Printf("%-7d %-10d %-12d %-15d %d/%d\n",
+			w.Window, w.ExchangeErrors, w.StalePeers, w.BoundaryFlows, w.Converged, res.Agents)
+	}
+	fmt.Printf("domains=%d agents=%d stale-fallbacks=%d imports=%d final-versions=%v\n",
+		res.Domains, res.Agents, res.StaleFired, res.Imports, res.FinalVersions)
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "%d invariant violations:\n", len(res.Violations))
 		for _, v := range res.Violations {

@@ -98,7 +98,7 @@ func Passes() []*Pass {
 	return []*Pass{
 		FloatCmpPass("megate/internal/lp", "megate/internal/ssp", "megate/internal/core"),
 		MapOrderPass(),
-		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane", "megate/internal/cluster", "megate/internal/fleetsim"),
+		LockCheckPass("megate/internal/kvstore", "megate/internal/controlplane", "megate/internal/cluster", "megate/internal/fleetsim", "megate/internal/federation"),
 		GoroLeakPass(),
 		ErrDropPass(),
 		PoolLifePass("megate/internal/core", "megate/internal/controlplane",

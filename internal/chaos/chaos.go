@@ -534,12 +534,12 @@ func matchesPaths(host *hoststack.Host, instance string, paths []controlplane.Pa
 		return false
 	}
 	for _, p := range paths {
-		hops, ok := host.PathMap.Lookup(hoststack.PathKey{Instance: instance, DstSite: p.DstSite})
-		if !ok || len(hops) != len(p.Hops) {
+		path, ok := host.PathMap.Lookup(hoststack.PathKey{Instance: instance, DstSite: p.DstSite})
+		if !ok || len(path.Hops) != len(p.Hops) || path.Tier != p.Tier {
 			return false
 		}
-		for i := range hops {
-			if hops[i] != p.Hops[i] {
+		for i := range path.Hops {
+			if path.Hops[i] != p.Hops[i] {
 				return false
 			}
 		}

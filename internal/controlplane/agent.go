@@ -435,7 +435,7 @@ func (a *Agent) apply(cfg *InstanceConfig) {
 	}
 	next := make(map[uint32]bool, len(cfg.Paths))
 	for _, p := range cfg.Paths {
-		a.Host.InstallPath(a.Instance, p.DstSite, p.Hops)
+		a.Host.InstallPathTier(a.Instance, p.DstSite, p.Hops, p.Tier)
 		next[p.DstSite] = true
 	}
 	for dst := range a.installed {

@@ -34,10 +34,14 @@ import (
 )
 
 // PathEntry is one SR path decision: traffic of the instance toward
-// DstSite follows Hops.
+// DstSite follows Hops. Tier is the tunnel-tier rank the solver selected
+// under a service policy (stamped only for flows whose app carries a tier
+// bound; zero — and omitted from the JSON — otherwise, so unannotated
+// records serialize exactly as before the policy layer existed).
 type PathEntry struct {
 	DstSite uint32   `json:"dst_site"`
 	Hops    []uint32 `json:"hops"`
+	Tier    uint8    `json:"tier,omitempty"`
 }
 
 // InstanceConfig is the TE configuration record for one virtual instance,
@@ -330,6 +334,13 @@ func BuildConfigs(topo *topology.Topology, m *traffic.Matrix, res *core.Result, 
 	// pathIdx[ins][dst] is the position of dst's entry in configs[ins].Paths,
 	// replacing a linear scan over Paths per flow.
 	pathIdx := make(map[string]map[uint32]int)
+	// Tier ranks are computed lazily per pair and only when the matrix
+	// carries tier bounds — the default path never touches them.
+	tiered := m.Policies.HasTierBounds()
+	var tierCache map[traffic.SitePair][]int
+	if tiered {
+		tierCache = make(map[traffic.SitePair][]int)
+	}
 	for i, tn := range res.FlowTunnel {
 		if tn == nil {
 			continue
@@ -346,13 +357,20 @@ func BuildConfigs(topo *topology.Topology, m *traffic.Matrix, res *core.Result, 
 		for j, s := range tn.Sites {
 			hops[j] = uint32(s)
 		}
+		var tier uint8
+		if tiered {
+			if _, bound := m.Policies.TierBound(f.App); bound {
+				tier = pairTier(tierCache, topo, res, f.Pair, tn)
+			}
+		}
 		dst := uint32(f.Pair.Dst)
 		idx := pathIdx[ins]
 		if pos, ok := idx[dst]; ok {
 			cfg.Paths[pos].Hops = hops
+			cfg.Paths[pos].Tier = tier
 		} else {
 			idx[dst] = len(cfg.Paths)
-			cfg.Paths = append(cfg.Paths, PathEntry{DstSite: dst, Hops: hops})
+			cfg.Paths = append(cfg.Paths, PathEntry{DstSite: dst, Hops: hops, Tier: tier})
 		}
 	}
 	for _, cfg := range configs {
@@ -378,10 +396,31 @@ func configHash(cfg *InstanceConfig) uint64 {
 	u32(uint32(len(cfg.Paths)))
 	for _, p := range cfg.Paths {
 		u32(p.DstSite)
+		u32(uint32(p.Tier))
 		u32(uint32(len(p.Hops)))
 		for _, hop := range p.Hops {
 			u32(hop)
 		}
 	}
 	return h.Sum64()
+}
+
+// pairTier resolves the tier rank of the tunnel within its pair's tunnel
+// set, caching the per-pair ranking across the flows of one interval.
+func pairTier(cache map[traffic.SitePair][]int, topo *topology.Topology, res *core.Result, pair traffic.SitePair, tn *topology.Tunnel) uint8 {
+	tns := res.Tunnels[pair]
+	tiers, ok := cache[pair]
+	if !ok {
+		tiers = core.TunnelTiers(tns, topo)
+		cache[pair] = tiers
+	}
+	for i, t := range tns {
+		if t == tn {
+			if tiers[i] > 255 {
+				return 255
+			}
+			return uint8(tiers[i])
+		}
+	}
+	return 0
 }

@@ -437,8 +437,8 @@ func TestAgentRemovesStalePaths(t *testing.T) {
 	if _, ok := host.PathMap.Lookup(hoststack.PathKey{Instance: "ins-x", DstSite: 5}); ok {
 		t.Fatal("stale path for site 5 survived")
 	}
-	if hops, ok := host.PathMap.Lookup(hoststack.PathKey{Instance: "ins-x", DstSite: 3}); !ok || len(hops) != 3 {
-		t.Fatalf("site-3 path = %v, %v", hops, ok)
+	if path, ok := host.PathMap.Lookup(hoststack.PathKey{Instance: "ins-x", DstSite: 3}); !ok || len(path.Hops) != 3 {
+		t.Fatalf("site-3 path = %v, %v", path, ok)
 	}
 
 	// The record disappears entirely (all flows rejected): everything goes.

@@ -335,6 +335,12 @@ type pairState struct {
 	alloc []float64
 	// assign is the stage-two output: per flow, tunnel index or -1.
 	assign []int
+	// tiers is the per-flow tunnel-tier bound (-1 = unrestricted) and ttier
+	// the per-tunnel tier rank, both nil unless the matrix carries service
+	// policies and this pair has at least one annotated flow — the nil case
+	// keeps the default stage-two path bit-identical to a policy-free solve.
+	tiers []int
+	ttier []int
 	// gen marks the last solve that used this state (pool retirement).
 	gen uint64
 }
@@ -351,6 +357,7 @@ func sized[T any](b []T, n int) []T {
 func (s *Solver) solveClass(fidx flowIndex, sub *traffic.Matrix, class traffic.Class, residual []float64, res *Result, sink StreamSink) error {
 	mergeStart := time.Now()
 	pairs := sub.Pairs()
+	tiered := sub.Policies.HasTierBounds()
 	states := make([]*pairState, 0, len(pairs))
 	for _, p := range pairs {
 		tns := s.ts.For(p.Src, p.Dst)
@@ -380,6 +387,13 @@ func (s *Solver) solveClass(fidx flowIndex, sub *traffic.Matrix, class traffic.C
 			st.demands[i] = f.DemandMbps
 		}
 		st.assign = sized(st.assign, len(idxs))
+		if tiered {
+			s.applyTierBounds(st, sub, idxs)
+		} else {
+			// Pooled states may carry tier data from a previous policied
+			// interval; reset explicitly.
+			st.tiers, st.ttier = nil, nil
+		}
 		states = append(states, st)
 	}
 
@@ -490,6 +504,9 @@ func (s *Solver) residualPass(class traffic.Class, states []*pairState, residual
 		bestT := -1
 		bestW := 0.0
 		for t, tn := range st.tunnels {
+			if !st.allows(c.fi, t) {
+				continue
+			}
 			fits := true
 			for _, l := range tn.Links {
 				if residual[l] < c.demand {
@@ -537,6 +554,8 @@ type workerScratch struct {
 	unassigned []int
 	values     []float64
 	selected   []bool
+	// eligible is used only by the tier-filtered stage-two variant.
+	eligible []int
 }
 
 func (s *Solver) newWorkerScratch() *workerScratch {
@@ -565,6 +584,10 @@ func sortIdxByWeightAsc(order []int, w []float64) {
 // against budget F_{k,t}. All working state lives in ws; with warm buffers
 // the call is allocation-free.
 func (s *Solver) maxEndpointFlow(st *pairState, ws *workerScratch) {
+	if st.tiers != nil {
+		s.maxEndpointFlowTiered(st, ws)
+		return
+	}
 	assign := st.assign
 	for i := range assign {
 		assign[i] = -1

@@ -174,6 +174,19 @@ func (st *pairState) fingerprint() uint64 {
 			mix(uint64(l))
 		}
 	}
+	// Tier bounds participate only when present: a policy-free pair hashes
+	// exactly as before, so incremental behavior on the default path is
+	// untouched, while annotating (or de-annotating) a pair forces a
+	// recompute.
+	if st.tiers != nil {
+		mix(uint64(len(st.tiers)) | 1<<63)
+		for _, b := range st.tiers {
+			mix(uint64(int64(b)))
+		}
+		for _, r := range st.ttier {
+			mix(uint64(r))
+		}
+	}
 	return h
 }
 

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// Tunnel tiers: within one site pair, tunnels are ranked by end-to-end
+// availability (the product of link availabilities, §7's reliability signal)
+// — tier 0 is the pair's most reliable tunnel, tier 1 the next, and so on.
+// Service policies pin flows to a maximum tier: a `payment.secure → tier-0`
+// annotation restricts the flow's stage-two candidate set to the pair's
+// tier-0 tunnel only, no matter how the stage-one LP split F_{k,t}. The
+// ranking is recomputed per interval from the live tunnel set, so after a
+// link failure re-establishes tunnels the new most-reliable path is tier 0
+// and a tier-0 flow always has a candidate.
+
+// tunnelTiers ranks tns by availability descending, ties broken by ascending
+// weight then index so the ranking is deterministic. out[i] is the tier of
+// tns[i]; out is reused when it has capacity.
+func tunnelTiers(out []int, tns []*topology.Tunnel, topo *topology.Topology) []int {
+	out = sized(out, len(tns))
+	avail := make([]float64, len(tns))
+	for i, tn := range tns {
+		avail[i] = tn.Availability(topo)
+	}
+	ord := make([]int, len(tns))
+	for i := range ord {
+		ord[i] = i
+	}
+	// Insertion sort — tunnel counts are single-digit.
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ord[j-1], ord[j]
+			if tierLess(a, b, avail, tns) {
+				break
+			}
+			ord[j-1], ord[j] = b, a
+		}
+	}
+	for rank, i := range ord {
+		out[i] = rank
+	}
+	return out
+}
+
+// tierLess orders tunnel a before tunnel b in the tier ranking: higher
+// availability first, then lighter weight, then lower index.
+func tierLess(a, b int, avail []float64, tns []*topology.Tunnel) bool {
+	if avail[a] > avail[b] {
+		return true
+	}
+	if avail[a] < avail[b] {
+		return false
+	}
+	if tns[a].Weight < tns[b].Weight {
+		return true
+	}
+	if tns[b].Weight < tns[a].Weight {
+		return false
+	}
+	return a < b
+}
+
+// applyTierBounds attaches per-flow tier bounds and per-tunnel tier ranks to
+// a pair state. Pairs where no flow is annotated keep nil tier data and take
+// the default stage-two path bit-identically; idxs are the pair's indices
+// into sub.Flows, aligned with st.demands.
+func (s *Solver) applyTierBounds(st *pairState, sub *traffic.Matrix, idxs []int) {
+	any := false
+	for _, idx := range idxs {
+		if _, ok := sub.Policies.TierBound(sub.Flows[idx].App); ok {
+			any = true
+			break
+		}
+	}
+	if !any {
+		st.tiers, st.ttier = nil, nil
+		return
+	}
+	st.tiers = sized(st.tiers, len(idxs))
+	for i, idx := range idxs {
+		if b, ok := sub.Policies.TierBound(sub.Flows[idx].App); ok {
+			st.tiers[i] = b
+		} else {
+			st.tiers[i] = -1
+		}
+	}
+	st.ttier = tunnelTiers(st.ttier, st.tunnels, s.topo)
+}
+
+// allows reports whether the pair-local flow fi may ride tunnel t under the
+// pair's tier bounds; always true when the pair carries no tier data.
+func (st *pairState) allows(fi, t int) bool {
+	if st.tiers == nil {
+		return true
+	}
+	b := st.tiers[fi]
+	return b < 0 || st.ttier[t] <= b
+}
+
+// TunnelTiers returns the tier rank of each tunnel in tns (tier 0 = most
+// reliable), the ranking BuildConfigs stamps into published path entries.
+func TunnelTiers(tns []*topology.Tunnel, topo *topology.Topology) []int {
+	return tunnelTiers(nil, tns, topo)
+}
+
+// FlowTier returns the tier of the tunnel a flow was assigned within its
+// pair's tunnel list, for publication into host path maps: 0 when the list
+// or tunnel is unknown.
+func FlowTier(tns []*topology.Tunnel, tn *topology.Tunnel, topo *topology.Topology) int {
+	tiers := tunnelTiers(nil, tns, topo)
+	for i, t := range tns {
+		if t == tn {
+			return tiers[i]
+		}
+	}
+	return 0
+}
+
+// maxEndpointFlowTiered is maxEndpointFlow for pairs with tier bounds: per
+// tunnel, the eligible subset of still-unassigned flows is compacted before
+// FastSSP so a bounded flow is never offered a tunnel above its tier.
+func (s *Solver) maxEndpointFlowTiered(st *pairState, ws *workerScratch) {
+	assign := st.assign
+	for i := range assign {
+		assign[i] = -1
+	}
+	if len(st.tunnels) == 0 {
+		return
+	}
+	ws.order = sized(ws.order, len(st.tunnels))
+	order := ws.order
+	for i := range order {
+		order[i] = i
+	}
+	sortIdxByWeightAsc(order, st.weights)
+
+	ws.unassigned = sized(ws.unassigned, len(st.demands))
+	unassigned := ws.unassigned
+	for i := range unassigned {
+		unassigned[i] = i
+	}
+	n := len(unassigned)
+	ws.values = sized(ws.values, len(st.demands))
+	ws.selected = sized(ws.selected, len(st.demands))
+	ws.eligible = sized(ws.eligible, len(st.demands))
+	for _, t := range order {
+		if n == 0 {
+			break
+		}
+		budget := st.alloc[t]
+		if budget <= 0 {
+			continue
+		}
+		// Compact the flows this tunnel's tier admits.
+		elig := ws.eligible[:n]
+		values := ws.values[:n]
+		ne := 0
+		for j := 0; j < n; j++ {
+			if !st.allows(unassigned[j], t) {
+				continue
+			}
+			elig[ne] = j
+			values[ne] = st.demands[unassigned[j]]
+			ne++
+		}
+		if ne == 0 {
+			continue
+		}
+		selected := ws.selected[:ne]
+		ws.solver.SolveInto(values[:ne], budget, &ws.ssp, selected)
+		// Commit selections and compact survivors in place; e walks the
+		// eligible positions in lockstep with j.
+		keep, e := 0, 0
+		for j := 0; j < n; j++ {
+			fi := unassigned[j]
+			if e < ne && elig[e] == j {
+				if selected[e] {
+					assign[fi] = t
+				} else {
+					unassigned[keep] = fi
+					keep++
+				}
+				e++
+			} else {
+				unassigned[keep] = fi
+				keep++
+			}
+		}
+		n = keep
+	}
+}

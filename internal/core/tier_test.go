@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// tierWorld builds a→b with three paths whose availability ordering is the
+// opposite of their latency ordering: the direct link is lightest but least
+// reliable, the via-c detour is the most reliable (tier 0), via-d sits in
+// between (tier 1). An unconstrained solver prefers the direct tunnel; only
+// the tier bound moves a flow onto the reliable detour.
+func tierWorld(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo := topology.New("tiers")
+	a := topo.AddSite("a", 0, 0)
+	b := topo.AddSite("b", 100, 0)
+	c := topo.AddSite("c", 50, 100)
+	d := topo.AddSite("d", 50, -100)
+	topo.AddBidiLink(a, b, 500, 1, 0.97, 1)    // links 0,1: light, unreliable
+	topo.AddBidiLink(a, c, 1000, 5, 0.9999, 1) // links 2,3
+	topo.AddBidiLink(c, b, 1000, 5, 0.9999, 1) // links 4,5: via-c ≈ 0.9998
+	topo.AddBidiLink(a, d, 1000, 4, 0.999, 1)  // links 6,7
+	topo.AddBidiLink(d, b, 1000, 4, 0.999, 1)  // links 8,9: via-d ≈ 0.998
+	topology.AttachEndpointsExact(topo, 5)
+	return topo
+}
+
+// assignedTier returns the tier of the tunnel a flow landed on within its
+// pair's tunnel set, or -1 when the flow was rejected.
+func assignedTier(topo *topology.Topology, res *Result, pair traffic.SitePair, flow int) int {
+	tn := res.FlowTunnel[flow]
+	if tn == nil {
+		return -1
+	}
+	return FlowTier(res.Tunnels[pair], tn, topo)
+}
+
+func TestTierFilteredSelection(t *testing.T) {
+	topo := tierWorld(t)
+	pair := traffic.SitePair{Src: 0, Dst: 1}
+	srcEps := topo.EndpointsAt(0)
+	dstEps := topo.EndpointsAt(1)
+	flows := []traffic.Flow{
+		{ID: 0, Src: srcEps[0], Dst: dstEps[0], Pair: pair, DemandMbps: 50, Class: traffic.Class1, App: "financial-payment"},
+		{ID: 1, Src: srcEps[1], Dst: dstEps[1], Pair: pair, DemandMbps: 50, Class: traffic.Class1, App: "online-gaming"},
+	}
+	pt := traffic.NewPolicyTable()
+	pt.Set("financial-payment", traffic.ServicePolicy{Class: traffic.Class1, Tier: 0})
+	m := pt.Apply(traffic.NewMatrix(flows))
+
+	s := NewSolver(topo, Options{SplitQoS: true})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowTunnel[0] == nil {
+		t.Fatal("tier-0 payment flow rejected despite ample tier-0 capacity")
+	}
+	if tier := assignedTier(topo, res, pair, 0); tier != 0 {
+		t.Errorf("payment flow on tier-%d tunnel %v, want tier 0", tier, res.FlowTunnel[0].Sites)
+	}
+	// The unannotated flow keeps the unconstrained preference: the light
+	// direct tunnel (a→b, two sites on the path).
+	if res.FlowTunnel[1] == nil || len(res.FlowTunnel[1].Sites) != 2 {
+		t.Errorf("unannotated flow moved off the direct tunnel: %+v", res.FlowTunnel[1])
+	}
+
+	// Fail the a→c link: via-c disappears from the re-established tunnel
+	// set and via-d becomes the new tier 0. The bound must follow the
+	// re-ranking — the payment flow lands on via-d, never on the direct
+	// (now lowest-tier) tunnel.
+	topo.FailLink(2)
+	s.Invalidate()
+	res2, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FlowTunnel[0] == nil {
+		t.Fatal("tier-0 payment flow rejected after link failure")
+	}
+	if tier := assignedTier(topo, res2, pair, 0); tier != 0 {
+		t.Errorf("post-failure payment flow on tier-%d tunnel %v, want the re-ranked tier 0", tier, res2.FlowTunnel[0].Sites)
+	}
+	for _, l := range res2.FlowTunnel[0].Links {
+		if topo.Links[l].Down {
+			t.Errorf("payment flow routed over failed link %d", l)
+		}
+	}
+	if len(res2.FlowTunnel[0].Sites) == 2 {
+		t.Errorf("payment flow fell back to the unreliable direct tunnel")
+	}
+}
+
+// TestTierBoundNeverViolated hammers the invariant over generated traffic:
+// an annotated flow either lands on a tunnel within its tier bound or is
+// rejected — it is never silently placed above the bound, including by the
+// residual pass.
+func TestTierBoundNeverViolated(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 20)
+	m0 := traffic.Generate(topo, traffic.GenOptions{Seed: 7, MeanDemandMbps: 50, Apps: traffic.ProductionApps})
+	pt := traffic.NewPolicyTable()
+	pt.Set("financial-payment", traffic.ServicePolicy{Tier: 0})
+	pt.Set("realtime-message", traffic.ServicePolicy{Tier: 1})
+	m := pt.Apply(m0)
+
+	s := NewSolver(topo, Options{SplitQoS: true})
+	res, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Flows {
+		bound, ok := pt.TierBound(m.Flows[i].App)
+		if !ok || res.FlowTunnel[i] == nil {
+			continue
+		}
+		if tier := assignedTier(topo, res, m.Flows[i].Pair, i); tier > bound {
+			t.Errorf("flow %d (%s) on tier-%d tunnel, bound %d", i, m.Flows[i].App, tier, bound)
+		}
+	}
+}
+
+// TestNoPolicyBitIdentical is the strictly-additive guarantee: with no tier
+// bounds in play the solver's output is bit-identical to a policy-free
+// solve — whether the matrix carries no table, a table with only
+// unrestricted annotations, or bounds on apps absent from the matrix.
+func TestNoPolicyBitIdentical(t *testing.T) {
+	topo := topology.BuildB4()
+	topology.AttachEndpointsExact(topo, 20)
+	base := traffic.Generate(topo, traffic.GenOptions{Seed: 11, MeanDemandMbps: 40, Apps: traffic.ProductionApps})
+
+	solve := func(m *traffic.Matrix) *Result {
+		s := NewSolver(topo, Options{SplitQoS: true})
+		res, err := s.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := solve(base)
+
+	unrestricted := traffic.NewPolicyTable()
+	unrestricted.Set("bulk-transfer", traffic.ServicePolicy{Tier: -1, MinPrio: 0})
+	absent := traffic.NewPolicyTable()
+	absent.Set("no-such-app", traffic.ServicePolicy{Tier: 0})
+
+	for name, m := range map[string]*traffic.Matrix{
+		"unrestricted-table": unrestricted.Apply(base),
+		"absent-app-bounds":  absent.Apply(base),
+	} {
+		got := solve(m)
+		if got.SatisfiedMbps != ref.SatisfiedMbps {
+			t.Errorf("%s: SatisfiedMbps %v != %v", name, got.SatisfiedMbps, ref.SatisfiedMbps)
+		}
+		for i := range ref.FlowTunnel {
+			a, b := ref.FlowTunnel[i], got.FlowTunnel[i]
+			if (a == nil) != (b == nil) {
+				t.Fatalf("%s: flow %d assignment differs (nil mismatch)", name, i)
+			}
+			if a == nil {
+				continue
+			}
+			if len(a.Sites) != len(b.Sites) {
+				t.Fatalf("%s: flow %d path length differs", name, i)
+			}
+			for j := range a.Sites {
+				if a.Sites[j] != b.Sites[j] {
+					t.Fatalf("%s: flow %d path differs at hop %d", name, i, j)
+				}
+			}
+		}
+	}
+}

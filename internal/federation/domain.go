@@ -1,0 +1,158 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"megate/internal/controlplane"
+	"megate/internal/core"
+	"megate/internal/topology"
+	"megate/internal/traffic"
+)
+
+// Domain wires one TE domain into the federation: its controller and
+// topology, its gateway, and the border site where inter-domain traffic
+// enters and leaves. Each peer gets one ingress stand-in endpoint
+// (`fedgw:<peer>`) attached at the border site; imported demand summaries
+// become flows originating there, so the local stage-1 LP carries the
+// cross-domain traffic from the border to its destination sites without
+// ever seeing the remote endpoints behind it.
+type Domain struct {
+	Name       string
+	Topo       *topology.Topology
+	Ctrl       *controlplane.Controller
+	GW         *Gateway
+	BorderSite topology.SiteID
+	// Remote is the domain's cross-domain demand for the current interval:
+	// what its endpoints want to send into other domains. The scenario layer
+	// sets it; RunInterval aggregates it into the exported summaries.
+	Remote []RemoteFlow
+
+	gwEndpoints map[string]topology.EndpointID
+}
+
+// NewDomain builds a federated domain around an existing controller and
+// gateway.
+func NewDomain(name string, topo *topology.Topology, ctrl *controlplane.Controller, gw *Gateway, border topology.SiteID) *Domain {
+	return &Domain{
+		Name:        name,
+		Topo:        topo,
+		Ctrl:        ctrl,
+		GW:          gw,
+		BorderSite:  border,
+		gwEndpoints: make(map[string]topology.EndpointID),
+	}
+}
+
+// gatewayEndpoint returns (creating on first use) the ingress stand-in
+// endpoint for a peer's traffic, attached at the border site.
+func (d *Domain) gatewayEndpoint(peer string) topology.EndpointID {
+	if ep, ok := d.gwEndpoints[peer]; ok {
+		return ep
+	}
+	ep := d.Topo.AddEndpoint(d.BorderSite, GatewayInstance(peer))
+	d.gwEndpoints[peer] = ep
+	return ep
+}
+
+// BoundaryFlows converts the gateway's live imported summaries into flows
+// entering at the border site, with IDs starting at nextID. Peers iterate
+// in sorted order and each summary is already deterministically sorted, so
+// the same imports always produce the same flow list.
+func (d *Domain) BoundaryFlows(nextID int) []traffic.Flow {
+	imports := d.GW.ImportedSummaries()
+	peers := make([]string, 0, len(imports))
+	for name := range imports {
+		peers = append(peers, name)
+	}
+	sort.Strings(peers)
+	var flows []traffic.Flow
+	for _, peer := range peers {
+		src := d.gatewayEndpoint(peer)
+		for _, e := range imports[peer] {
+			dstSite := topology.SiteID(e.DstSite)
+			if int(dstSite) >= d.Topo.NumSites() || dstSite == d.BorderSite {
+				continue // summary names a site we don't have; drop the row
+			}
+			dsts := d.Topo.EndpointsAt(dstSite)
+			if len(dsts) == 0 {
+				continue
+			}
+			flows = append(flows, traffic.Flow{
+				ID:         nextID,
+				Src:        src,
+				Dst:        dsts[0],
+				Pair:       traffic.SitePair{Src: d.BorderSite, Dst: dstSite},
+				DemandMbps: e.Mbps,
+				Class:      traffic.Class(e.Class),
+				App:        GatewayInstance(peer),
+			})
+			nextID++
+		}
+	}
+	return flows
+}
+
+// RunInterval executes one federated TE interval: fold the imported
+// boundary demand into the local matrix, run the controller's solve +
+// publish, then refresh the gateway's exports — the demand summaries
+// aggregated from Remote and the egress config records the solve produced
+// for each peer's inbound traffic. Returns the solve result.
+func (d *Domain) RunInterval(local *traffic.Matrix) (*core.Result, error) {
+	nextID := 0
+	for i := range local.Flows {
+		if local.Flows[i].ID >= nextID {
+			nextID = local.Flows[i].ID + 1
+		}
+	}
+	boundary := d.BoundaryFlows(nextID)
+	combined := local
+	if len(boundary) > 0 {
+		flows := make([]traffic.Flow, 0, len(local.Flows)+len(boundary))
+		flows = append(flows, local.Flows...)
+		flows = append(flows, boundary...)
+		combined = traffic.NewMatrix(flows)
+		combined.Policies = local.Policies
+	}
+
+	res, _, err := d.Ctrl.RunInterval(combined)
+	if err != nil {
+		return nil, fmt.Errorf("federation: domain %s: %w", d.Name, err)
+	}
+
+	// Refresh exports from this interval's solve. Configs are rebuilt from
+	// the result (RunInterval's own write path already published the
+	// intra-domain records; here we only need the gateway instances).
+	configs := controlplane.BuildConfigs(d.Topo, combined, res, d.Ctrl.Version())
+	peers := make([]string, 0, len(d.gwEndpoints))
+	for name := range d.gwEndpoints {
+		peers = append(peers, name)
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		var recs []ExportRecord
+		if cfg := configs[GatewayInstance(peer)]; cfg != nil {
+			recs = append(recs, ExportRecord{Instance: cfg.Instance, Paths: cfg.Paths})
+		}
+		d.GW.SetExports(peer, recs)
+	}
+	d.exportSummaries()
+	return res, nil
+}
+
+// exportSummaries aggregates Remote into one summary per destination
+// domain and hands them to the gateway.
+func (d *Domain) exportSummaries() {
+	domains := make(map[string]bool)
+	for _, f := range d.Remote {
+		domains[f.DstDomain] = true
+	}
+	names := make([]string, 0, len(domains))
+	for name := range domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.GW.SetLocalDemand(name, AggregateSummary(d.Remote, name))
+	}
+}

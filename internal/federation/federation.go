@@ -1,0 +1,119 @@
+// Package federation extends MegaTE's single-WAN control loop to multiple
+// independent TE domains (regions/clouds), each running its own controller,
+// sharded TE database, and agent fleet. Domains exchange state east-west
+// through gateway nodes instead of sharing a solver:
+//
+//   - Each domain periodically exports a *demand summary* per remote domain:
+//     site→remote-site totals aggregated per QoS class, never per-instance
+//     rows. The importing domain folds them into its stage-1 LP as boundary
+//     commodities entering at its border site, so inter-domain traffic shapes
+//     the local solve without the solver ever seeing foreign endpoints.
+//
+//   - Each domain exports the config records it computed for its *ingress
+//     gateway instance* (`fedgw:<peer>` — the local stand-in for traffic
+//     arriving from that peer). The peer publishes them into its own cluster
+//     under the `fed/` prefix with a separate epoch, so intra-domain delta
+//     publication (te/cfg/* + the monotone version) is untouched.
+//
+//   - When a peer becomes unreachable for StaleAfter consecutive exchange
+//     rounds — the gateway mirror of the agent's StaleAfter TTL — its
+//     imported state is dropped: the fed/ records are deleted and the
+//     boundary commodities vanish from the next solve, so cross-domain flows
+//     fall back to conventional routing (§6.3 semantics) while intra-domain
+//     TE keeps converging. A successful exchange reimports and republishes.
+//
+// The wire protocol is a line protocol in the style of the kvstore TE
+// database (PULL/SUMMARY/CURRENT), carried over any net.Conn so the
+// faultnet fabric can inject partitions between gateways deterministically.
+package federation
+
+import (
+	"sort"
+
+	"megate/internal/controlplane"
+	"megate/internal/traffic"
+)
+
+// FedPrefix is the database key prefix for imported federation records —
+// separate from te/cfg/ so intra-domain delta publication never touches it.
+const FedPrefix = "fed/"
+
+// FedKey returns the database key under which a peer's exported record for
+// an instance is published locally.
+func FedKey(peer, instance string) string { return FedPrefix + peer + "/" + instance }
+
+// FedEpochKey returns the database key holding the last imported epoch of a
+// peer — the fed/ analogue of the kvstore publish version.
+func FedEpochKey(peer string) string { return FedPrefix + "epoch/" + peer }
+
+// SummaryEntry is one row of a demand summary: the total demand of one QoS
+// class from the exporting domain toward one site of the importing domain.
+// Aggregation rule: sum of per-flow demands grouped by (DstSite, Class) —
+// per-instance granularity never crosses the domain boundary.
+type SummaryEntry struct {
+	DstSite uint32
+	Class   uint8
+	Mbps    float64
+}
+
+// ExportRecord is one egress-gateway configuration record a domain exports
+// to a peer: the SR paths (in the exporter's site-ID space, opaque to the
+// importer) computed for the peer's traffic entering the exporting domain.
+type ExportRecord struct {
+	Instance string
+	Paths    []controlplane.PathEntry
+}
+
+// Exchange is one full gateway exchange payload: the exporter's demand
+// summary toward the requesting domain plus the egress config records it
+// computed for that domain's traffic, stamped with the exporter's epoch.
+type Exchange struct {
+	Domain  string
+	Epoch   uint64
+	Summary []SummaryEntry
+	Configs []ExportRecord
+}
+
+// GatewayInstance names the local ingress stand-in endpoint for traffic
+// arriving from a peer domain.
+func GatewayInstance(peer string) string { return "fedgw:" + peer }
+
+// AggregateSummary folds remote flows destined to one domain into sorted
+// summary entries: totals per (DstSite, Class), ascending DstSite then
+// Class, so the same demand always serializes identically.
+func AggregateSummary(flows []RemoteFlow, dstDomain string) []SummaryEntry {
+	type key struct {
+		site  uint32
+		class uint8
+	}
+	totals := make(map[key]float64)
+	for _, f := range flows {
+		if f.DstDomain != dstDomain || f.Mbps <= 0 {
+			continue
+		}
+		totals[key{uint32(f.DstSite), uint8(f.Class)}] += f.Mbps
+	}
+	out := make([]SummaryEntry, 0, len(totals))
+	for k, mbps := range totals {
+		out = append(out, SummaryEntry{DstSite: k.site, Class: k.class, Mbps: mbps})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].DstSite != out[b].DstSite {
+			return out[a].DstSite < out[b].DstSite
+		}
+		return out[a].Class < out[b].Class
+	})
+	return out
+}
+
+// RemoteFlow is one cross-domain demand as the scenario layer describes it:
+// traffic originating at a local site, destined to a site of another domain.
+// The gateway aggregates these into the summaries it exports; the remote
+// site ID lives in the destination domain's ID space.
+type RemoteFlow struct {
+	SrcSite   int
+	DstDomain string
+	DstSite   int
+	Class     traffic.Class
+	Mbps      float64
+}

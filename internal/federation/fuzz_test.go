@@ -1,0 +1,90 @@
+package federation
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"megate/internal/telemetry"
+)
+
+// FuzzFederationWire throws arbitrary byte streams at both sides of the
+// federation wire protocol: the response parser (readExchange) and the
+// gateway's PULL handler over an in-memory connection. The properties under
+// test: neither side panics, counts are bounded before allocation (the
+// kvstore "bad length" discipline), the handler terminates once the client
+// closes, and a gateway that survived a hostile session still answers a
+// well-formed PULL.
+func FuzzFederationWire(f *testing.F) {
+	// Valid payloads first so the fuzzer starts from the grammar.
+	f.Add([]byte("SUMMARY east 7 2 1\nD 2 1 50\nD 4 2 12.5\nC fedgw:west 2\nP 2 1 0,1,2\nP 5 0 -\n"))
+	f.Add([]byte("SUMMARY east 1 0 0\n"))
+	f.Add([]byte("CURRENT 42\n"))
+	f.Add([]byte("NONE\n"))
+	f.Add([]byte("ERR boom\n"))
+	// Hostile shapes: oversized counts, bad tags, truncations, control bytes.
+	f.Add([]byte("SUMMARY east 1 99999999999 0\n"))
+	f.Add([]byte("SUMMARY east 1 1 0\nD 1 9 NaN\n"))
+	f.Add([]byte("SUMMARY east 1 0 1\nC ins 1\nP 1 2 x,y\n"))
+	f.Add([]byte("PULL west 0\nPULL west notanumber\nPULL\n"))
+	f.Add([]byte("pull west 0\nPULL " + strings.Repeat("a", MaxNameLen+1) + " 0\n"))
+	f.Add([]byte("\x00\xff\n\n\nSUMMARY\nWHAT 1\nCURRENT x\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Client side: parse the bytes as a PULL response. Must never panic;
+		// errors are the expected outcome for almost every input.
+		ex, _, err := readExchange(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil && ex != nil {
+			// A parsed exchange must respect the declared bounds.
+			if len(ex.Summary) > MaxSummaryEntries || len(ex.Configs) > MaxConfigs {
+				t.Fatalf("parsed exchange over bounds: %d summaries, %d configs", len(ex.Summary), len(ex.Configs))
+			}
+			for _, rec := range ex.Configs {
+				if len(rec.Paths) > MaxPathsPerConfig {
+					t.Fatalf("parsed config over path bound: %d", len(rec.Paths))
+				}
+			}
+		}
+
+		// Server side: the same bytes as a request stream into the handler.
+		gw := &Gateway{Domain: "east", Metrics: telemetry.NewRegistry()}
+		gw.AddPeer("west", "")
+		gw.SetLocalDemand("west", []SummaryEntry{{DstSite: 2, Class: 1, Mbps: 50}})
+		cli, srv := net.Pipe()
+		gw.conns = map[net.Conn]struct{}{srv: {}}
+		gw.wg.Add(1)
+		go gw.handle(srv)
+
+		// Drain responses so the unbuffered pipe never backpressures the
+		// handler; joined before the post-session check.
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			_, _ = io.Copy(io.Discard, cli)
+		}()
+		_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+		_, _ = cli.Write(data)
+		_ = cli.Close()
+		gw.wg.Wait()
+		<-drained
+
+		// The gateway must remain usable: a clean PULL still gets a SUMMARY.
+		cli2, srv2 := net.Pipe()
+		gw.conns[srv2] = struct{}{}
+		gw.wg.Add(1)
+		go gw.handle(srv2)
+		_ = cli2.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.WriteString(cli2, "PULL west 0\n"); err != nil {
+			t.Fatalf("post-session write: %v", err)
+		}
+		got, _, err := readExchange(bufio.NewReader(cli2))
+		if err != nil || got == nil || got.Domain != "east" {
+			t.Fatalf("gateway unusable after fuzzed session: %+v %v", got, err)
+		}
+		_ = cli2.Close()
+		gw.wg.Wait()
+	})
+}

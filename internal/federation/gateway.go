@@ -1,0 +1,483 @@
+package federation
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"megate/internal/controlplane"
+	"megate/internal/telemetry"
+)
+
+// FedStore is the gateway's write interface to the local TE database for
+// imported fed/ records. controlplane.StoreAdapter and ClientAdapter both
+// satisfy it; crucially it has no PublishVersion — imported state never
+// advances the intra-domain config version.
+type FedStore interface {
+	PutConfig(key string, value []byte) error
+	DeleteConfig(key string) error
+}
+
+// Gateway is one domain's east-west federation endpoint: it serves PULL
+// requests from peer gateways with the local domain's exported state, and
+// pulls each peer's state in turn, importing summaries as boundary demand
+// and publishing exported config records under fed/ in the local database.
+//
+// Staleness mirrors the agent's StaleAfter TTL (§6.3): after StaleAfter
+// consecutive failed exchanges with a peer, everything imported from it is
+// dropped — fed/ records deleted, boundary demand removed — so cross-domain
+// flows fall back to conventional routing while intra-domain TE continues.
+// The next successful exchange reimports and republishes in full.
+type Gateway struct {
+	// Domain is the local domain name, sent in PULL requests so the peer
+	// knows which export set to answer with.
+	Domain string
+	// StaleAfter is the consecutive-failure TTL; default 3.
+	StaleAfter int
+	// Timeout bounds one exchange's dial + I/O; default 2s.
+	Timeout time.Duration
+	// Dialer opens the transport to a peer address; nil uses net.DialTimeout
+	// over TCP. The chaos scenarios inject a faultnet dialer here.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Store receives imported fed/ records; nil disables publication (the
+	// summaries are still imported for the local solve).
+	Store FedStore
+	// Metrics routes the gateway's counters; nil uses telemetry.Default.
+	Metrics *telemetry.Registry
+
+	mOnce sync.Once
+	m     *fedMetrics
+
+	mu         sync.Mutex
+	epoch      uint64
+	outSummary map[string][]SummaryEntry
+	outConfigs map[string][]ExportRecord
+	peers      map[string]*peerState
+
+	srvMu     sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// peerState tracks one peer's imported state and its staleness TTL.
+type peerState struct {
+	addr      string
+	fails     int
+	stale     bool
+	epoch     uint64
+	summary   []SummaryEntry
+	published map[string]bool
+}
+
+func (g *Gateway) metrics() *fedMetrics {
+	g.mOnce.Do(func() {
+		reg := g.Metrics
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		g.m = newFedMetrics(reg)
+	})
+	return g.m
+}
+
+func (g *Gateway) staleAfter() int {
+	if g.StaleAfter <= 0 {
+		return 3
+	}
+	return g.StaleAfter
+}
+
+func (g *Gateway) timeout() time.Duration {
+	if g.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return g.Timeout
+}
+
+func (g *Gateway) dial(addr string) (net.Conn, error) {
+	if g.Dialer != nil {
+		return g.Dialer(addr, g.timeout())
+	}
+	return net.DialTimeout("tcp", addr, g.timeout())
+}
+
+// AddPeer registers a peer domain and the address of its gateway. Only
+// registered peers are answered on the serving side and pulled by
+// ExchangeAll.
+func (g *Gateway) AddPeer(name, addr string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.peers == nil {
+		g.peers = make(map[string]*peerState)
+	}
+	if p, ok := g.peers[name]; ok {
+		p.addr = addr
+		return
+	}
+	g.peers[name] = &peerState{addr: addr}
+}
+
+// SetLocalDemand replaces the demand summary this gateway exports toward a
+// peer and bumps the export epoch.
+func (g *Gateway) SetLocalDemand(peer string, entries []SummaryEntry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.outSummary == nil {
+		g.outSummary = make(map[string][]SummaryEntry)
+	}
+	g.outSummary[peer] = append([]SummaryEntry(nil), entries...)
+	g.epoch++
+}
+
+// SetExports replaces the egress config records this gateway exports toward
+// a peer (the local solve's paths for the peer's inbound traffic) and bumps
+// the export epoch.
+func (g *Gateway) SetExports(peer string, recs []ExportRecord) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.outConfigs == nil {
+		g.outConfigs = make(map[string][]ExportRecord)
+	}
+	g.outConfigs[peer] = append([]ExportRecord(nil), recs...)
+	g.epoch++
+}
+
+// Epoch returns the current export epoch.
+func (g *Gateway) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// Start serves PULL requests on l in a background goroutine joined by
+// Close.
+func (g *Gateway) Start(l net.Listener) {
+	g.srvMu.Lock()
+	if g.closed {
+		g.srvMu.Unlock()
+		_ = l.Close()
+		return
+	}
+	if g.listeners == nil {
+		g.listeners = make(map[net.Listener]struct{})
+		g.conns = make(map[net.Conn]struct{})
+	}
+	g.listeners[l] = struct{}{}
+	g.wg.Add(1)
+	g.srvMu.Unlock()
+	go func() {
+		defer g.wg.Done()
+		_ = g.serve(l)
+	}()
+}
+
+// serve answers PULL requests on l until Close; it returns the accept error
+// after Close.
+func (g *Gateway) serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		g.srvMu.Lock()
+		if g.closed {
+			g.srvMu.Unlock()
+			_ = conn.Close()
+			return errors.New("federation: gateway closed")
+		}
+		g.conns[conn] = struct{}{}
+		g.wg.Add(1)
+		g.srvMu.Unlock()
+		go g.handle(conn)
+	}
+}
+
+// Close stops serving: listeners and in-flight connections are closed and
+// their handlers joined. The sockets are collected under srvMu but closed
+// after it is released, so a blocked peer cannot stall other holders.
+func (g *Gateway) Close() {
+	g.srvMu.Lock()
+	g.closed = true
+	listeners := make([]net.Listener, 0, len(g.listeners))
+	for l := range g.listeners {
+		listeners = append(listeners, l)
+	}
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.srvMu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	g.wg.Wait()
+}
+
+// handle serves one peer connection: any number of PULL requests, one
+// response each.
+func (g *Gateway) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		g.srvMu.Lock()
+		delete(g.conns, conn)
+		g.srvMu.Unlock()
+		g.wg.Done()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.ToUpper(fields[0]) != "PULL" || len(fields) != 3 {
+			fmt.Fprintf(w, "ERR usage: PULL <domain> <since>\n")
+		} else if err := checkName(fields[1]); err != nil {
+			fmt.Fprintf(w, "ERR bad domain\n")
+		} else if since, err := strconv.ParseUint(fields[2], 10, 64); err != nil {
+			fmt.Fprintf(w, "ERR bad since\n")
+		} else {
+			g.answer(w, fields[1], since)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// answer writes the response for one PULL from domain with last-seen epoch
+// since.
+func (g *Gateway) answer(w *bufio.Writer, domain string, since uint64) {
+	g.mu.Lock()
+	_, known := g.peers[domain]
+	epoch := g.epoch
+	var ex *Exchange
+	if known && epoch > since {
+		ex = &Exchange{
+			Domain:  g.Domain,
+			Epoch:   epoch,
+			Summary: append([]SummaryEntry(nil), g.outSummary[domain]...),
+			Configs: append([]ExportRecord(nil), g.outConfigs[domain]...),
+		}
+	}
+	g.mu.Unlock()
+	switch {
+	case !known:
+		fmt.Fprintf(w, "NONE\n")
+	case ex == nil:
+		fmt.Fprintf(w, "CURRENT %d\n", epoch)
+	default:
+		if writeExchange(w, ex) == nil {
+			g.metrics().exports.Inc()
+		}
+	}
+}
+
+// Exchange pulls one peer's state: its summary toward this domain and the
+// egress config records it computed for our traffic. Success resets the
+// peer's failure TTL and (re)publishes; failure advances the TTL and, at
+// StaleAfter, drops everything imported from the peer.
+func (g *Gateway) Exchange(peer string) error {
+	g.mu.Lock()
+	p, ok := g.peers[peer]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("federation: peer %q not registered", peer)
+	}
+	addr, since := p.addr, p.epoch
+	g.mu.Unlock()
+
+	start := time.Now()
+	err := g.exchangeOnce(peer, addr, since)
+	if err != nil {
+		g.noteFail(peer)
+		return err
+	}
+	g.metrics().imports.Inc()
+	g.metrics().exchange.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// exchangeOnce performs the wire round trip and imports the answer.
+func (g *Gateway) exchangeOnce(peer, addr string, since uint64) error {
+	conn, err := g.dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(g.timeout()))
+	w := bufio.NewWriter(conn)
+	if _, err := fmt.Fprintf(w, "PULL %s %d\n", g.Domain, since); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	ex, _, err := readExchange(bufio.NewReader(conn))
+	if err != nil {
+		return err
+	}
+	if ex == nil {
+		// CURRENT: the peer is reachable and nothing moved since our last
+		// import; the TTL resets but there is nothing to republish.
+		g.mu.Lock()
+		g.peers[peer].fails = 0
+		g.mu.Unlock()
+		return nil
+	}
+	return g.importExchange(peer, ex)
+}
+
+// importExchange installs a pulled payload: boundary summary in memory,
+// config records under fed/<peer>/ in the local store, epoch marker last.
+func (g *Gateway) importExchange(peer string, ex *Exchange) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := g.peers[peer]
+	p.fails = 0
+	p.stale = false
+	p.epoch = ex.Epoch
+	p.summary = append(p.summary[:0], ex.Summary...)
+
+	if g.Store == nil {
+		return nil
+	}
+	next := make(map[string]bool, len(ex.Configs))
+	for _, rec := range ex.Configs {
+		cfg := controlplane.InstanceConfig{Instance: rec.Instance, Version: ex.Epoch, Paths: rec.Paths}
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			return fmt.Errorf("federation: marshal %s: %w", rec.Instance, err)
+		}
+		if err := g.Store.PutConfig(FedKey(peer, rec.Instance), data); err != nil {
+			return fmt.Errorf("federation: publish %s: %w", rec.Instance, err)
+		}
+		next[rec.Instance] = true
+	}
+	retired := make([]string, 0, len(p.published))
+	for ins := range p.published {
+		if !next[ins] {
+			retired = append(retired, ins)
+		}
+	}
+	sort.Strings(retired)
+	for _, ins := range retired {
+		if err := g.Store.DeleteConfig(FedKey(peer, ins)); err != nil {
+			return fmt.Errorf("federation: retire %s: %w", ins, err)
+		}
+	}
+	p.published = next
+	if err := g.Store.PutConfig(FedEpochKey(peer), []byte(strconv.FormatUint(ex.Epoch, 10))); err != nil {
+		return fmt.Errorf("federation: publish epoch: %w", err)
+	}
+	return nil
+}
+
+// noteFail advances a peer's failure TTL; crossing StaleAfter drops its
+// imported state (the cross-domain fallback of §6.3).
+func (g *Gateway) noteFail(peer string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := g.peers[peer]
+	p.fails++
+	if p.fails < g.staleAfter() || p.stale {
+		return
+	}
+	p.stale = true
+	p.epoch = 0
+	p.summary = nil
+	if g.Store != nil {
+		dropped := make([]string, 0, len(p.published))
+		for ins := range p.published {
+			dropped = append(dropped, ins)
+		}
+		sort.Strings(dropped)
+		for _, ins := range dropped {
+			_ = g.Store.DeleteConfig(FedKey(peer, ins))
+		}
+		_ = g.Store.DeleteConfig(FedEpochKey(peer))
+	}
+	p.published = nil
+	g.metrics().staleFallbacks.Inc()
+}
+
+// ExchangeAll pulls every registered peer in sorted name order (so fault
+// timelines replay deterministically) and joins the per-peer errors.
+func (g *Gateway) ExchangeAll() error {
+	g.mu.Lock()
+	names := make([]string, 0, len(g.peers))
+	for name := range g.peers {
+		names = append(names, name)
+	}
+	g.mu.Unlock()
+	sort.Strings(names)
+	var errs []error
+	for _, name := range names {
+		if err := g.Exchange(name); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Exports returns a copy of the config records currently exported toward a
+// peer — what the peer's next PULL will receive. Scenario checks compare
+// these against the bytes the peer actually published under fed/.
+func (g *Gateway) Exports(peer string) []ExportRecord {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]ExportRecord(nil), g.outConfigs[peer]...)
+}
+
+// ImportedSummaries returns a deep copy of every live (non-stale) peer's
+// imported demand summary, keyed by peer name — the boundary commodities
+// the domain folds into its next solve.
+func (g *Gateway) ImportedSummaries() map[string][]SummaryEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string][]SummaryEntry, len(g.peers))
+	for name, p := range g.peers {
+		if p.stale || len(p.summary) == 0 {
+			continue
+		}
+		out[name] = append([]SummaryEntry(nil), p.summary...)
+	}
+	return out
+}
+
+// PeerStale reports whether a peer's TTL has fired and its imported state
+// has been dropped.
+func (g *Gateway) PeerStale(peer string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.peers[peer]
+	return ok && p.stale
+}
+
+// ImportedEpoch returns the last imported epoch of a peer (0 when never
+// imported or dropped).
+func (g *Gateway) ImportedEpoch(peer string) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.peers[peer]
+	if !ok {
+		return 0
+	}
+	return p.epoch
+}

@@ -1,0 +1,181 @@
+package federation
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"megate/internal/controlplane"
+	"megate/internal/kvstore"
+	"megate/internal/telemetry"
+)
+
+// startGateway serves gw on a fresh loopback listener and returns its
+// address. The listener is closed by gw.Close (registered as cleanup).
+func startGateway(t *testing.T, gw *Gateway) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start(l)
+	t.Cleanup(gw.Close)
+	return l.Addr().String()
+}
+
+func TestGatewayExchange(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	store := kvstore.NewStore(2)
+	east := &Gateway{Domain: "east", Metrics: reg}
+	west := &Gateway{Domain: "west", Metrics: reg, Store: controlplane.StoreAdapter{Store: store}}
+	eastAddr := startGateway(t, east)
+
+	east.AddPeer("west", "") // east must know west to answer its PULLs
+	west.AddPeer("east", eastAddr)
+
+	summary := []SummaryEntry{{DstSite: 2, Class: 1, Mbps: 50}, {DstSite: 4, Class: 2, Mbps: 12.5}}
+	recs := []ExportRecord{{
+		Instance: GatewayInstance("west"),
+		Paths:    []controlplane.PathEntry{{DstSite: 2, Hops: []uint32{0, 1, 2}, Tier: 1}},
+	}}
+	east.SetLocalDemand("west", summary)
+	east.SetExports("west", recs)
+
+	if err := west.Exchange("east"); err != nil {
+		t.Fatal(err)
+	}
+	got := west.ImportedSummaries()["east"]
+	if !reflect.DeepEqual(got, summary) {
+		t.Fatalf("imported summary = %+v, want %+v", got, summary)
+	}
+	if west.ImportedEpoch("east") != east.Epoch() {
+		t.Fatalf("imported epoch %d != export epoch %d", west.ImportedEpoch("east"), east.Epoch())
+	}
+	// The config record landed under fed/east/ in west's database, as a
+	// regular InstanceConfig JSON payload an agent could decode.
+	data, ok := store.Get(FedKey("east", GatewayInstance("west")))
+	if !ok {
+		t.Fatal("fed/ record not published")
+	}
+	if !strings.Contains(string(data), `"hops":[0,1,2]`) || !strings.Contains(string(data), `"tier":1`) {
+		t.Fatalf("fed/ record payload: %s", data)
+	}
+	if _, ok := store.Get(FedEpochKey("east")); !ok {
+		t.Fatal("fed/epoch marker not published")
+	}
+
+	// Nothing changed: the second exchange takes the CURRENT path, still
+	// counts as a reachable import, and leaves the epoch alone.
+	before := west.ImportedEpoch("east")
+	if err := west.Exchange("east"); err != nil {
+		t.Fatal(err)
+	}
+	if west.ImportedEpoch("east") != before {
+		t.Fatal("CURRENT answer must not move the imported epoch")
+	}
+
+	snap := metricValue(t, reg, MetricSummaryImports)
+	if snap != 2 {
+		t.Fatalf("imports counter = %v, want 2", snap)
+	}
+	if exp := metricValue(t, reg, MetricSummaryExports); exp != 1 {
+		t.Fatalf("exports counter = %v, want 1", exp)
+	}
+}
+
+func TestGatewayUnknownPeer(t *testing.T) {
+	east := &Gateway{Domain: "east"}
+	addr := startGateway(t, east)
+	west := &Gateway{Domain: "west"}
+	west.AddPeer("east", addr)
+	// east has not registered west: the PULL is answered with NONE.
+	if err := west.Exchange("east"); err == nil {
+		t.Fatal("exchange with unregistered requester must fail")
+	}
+}
+
+func TestGatewayStaleTTLAndRecovery(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	store := kvstore.NewStore(2)
+	east := &Gateway{Domain: "east", Metrics: reg}
+	west := &Gateway{Domain: "west", Metrics: reg, StaleAfter: 2, Store: controlplane.StoreAdapter{Store: store}}
+	eastAddr := startGateway(t, east)
+	east.AddPeer("west", "")
+	west.AddPeer("east", eastAddr)
+	east.SetLocalDemand("west", []SummaryEntry{{DstSite: 1, Class: 2, Mbps: 30}})
+	east.SetExports("west", []ExportRecord{{Instance: GatewayInstance("west"), Paths: []controlplane.PathEntry{{DstSite: 1, Hops: []uint32{0, 1}}}}})
+	if err := west.Exchange("east"); err != nil {
+		t.Fatal(err)
+	}
+	if len(west.ImportedSummaries()["east"]) == 0 {
+		t.Fatal("initial import missing")
+	}
+
+	// Cut east off: point west at a dead address. One failure is under the
+	// TTL — imported state must survive (the agent semantics: ride out a
+	// blip on the last good config).
+	east.Close()
+	if err := west.Exchange("east"); err == nil {
+		t.Fatal("exchange against dead gateway should fail")
+	}
+	if west.PeerStale("east") {
+		t.Fatal("one failure must not fire a StaleAfter=2 TTL")
+	}
+	if len(west.ImportedSummaries()["east"]) == 0 {
+		t.Fatal("imported state dropped before the TTL fired")
+	}
+
+	// Second consecutive failure fires the TTL: summaries dropped, fed/
+	// records deleted, fallback counted.
+	if err := west.Exchange("east"); err == nil {
+		t.Fatal("exchange against dead gateway should fail")
+	}
+	if !west.PeerStale("east") {
+		t.Fatal("TTL did not fire after StaleAfter failures")
+	}
+	if len(west.ImportedSummaries()) != 0 {
+		t.Fatal("stale peer's summary still reported")
+	}
+	if _, ok := store.Get(FedKey("east", GatewayInstance("west"))); ok {
+		t.Fatal("stale fed/ record not deleted")
+	}
+	if _, ok := store.Get(FedEpochKey("east")); ok {
+		t.Fatal("stale fed/epoch marker not deleted")
+	}
+	if v := metricValue(t, reg, MetricStaleFallbacks); v != 1 {
+		t.Fatalf("stale fallback counter = %v, want 1", v)
+	}
+
+	// Heal: restart east's gateway and re-point west. The next exchange
+	// must reimport in full (the since-epoch was reset with the drop).
+	east2 := &Gateway{Domain: "east", Metrics: reg}
+	addr2 := startGateway(t, east2)
+	east2.AddPeer("west", "")
+	east2.SetLocalDemand("west", []SummaryEntry{{DstSite: 1, Class: 2, Mbps: 30}})
+	east2.SetExports("west", []ExportRecord{{Instance: GatewayInstance("west"), Paths: []controlplane.PathEntry{{DstSite: 1, Hops: []uint32{0, 1}}}}})
+	west.AddPeer("east", addr2)
+	if err := west.Exchange("east"); err != nil {
+		t.Fatal(err)
+	}
+	if west.PeerStale("east") {
+		t.Fatal("peer still stale after successful exchange")
+	}
+	if len(west.ImportedSummaries()["east"]) == 0 {
+		t.Fatal("summary not reimported after heal")
+	}
+	if _, ok := store.Get(FedKey("east", GatewayInstance("west"))); !ok {
+		t.Fatal("fed/ record not republished after heal")
+	}
+}
+
+// metricValue reads one counter from a registry snapshot.
+func metricValue(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+package federation
+
+import "megate/internal/telemetry"
+
+// Metric names exported by the federation gateway. Counters are per-gateway
+// aggregates across all peers; the latency histogram times one full summary
+// exchange (dial, PULL, parse, import).
+const (
+	// MetricSummaryExports counts PULL requests this gateway answered with a
+	// SUMMARY payload (the server side of an exchange).
+	MetricSummaryExports = "megate_federation_summary_exports_total"
+	// MetricSummaryImports counts successful imports of a peer's summary
+	// (the client side; CURRENT answers count too — the peer was reachable).
+	MetricSummaryImports = "megate_federation_summary_imports_total"
+	// MetricStaleFallbacks counts peers whose imported state was dropped
+	// after StaleAfter consecutive failed exchanges — each increment is one
+	// cross-domain fallback to conventional routing (§6.3).
+	MetricStaleFallbacks = "megate_federation_stale_fallbacks_total"
+	// MetricExchangeSeconds is the summary-exchange latency histogram.
+	MetricExchangeSeconds = "megate_federation_exchange_seconds"
+)
+
+// RegisterMetrics pre-registers the federation metric inventory in r so
+// scrapes see the full name set before the first exchange.
+func RegisterMetrics(r *telemetry.Registry) {
+	newFedMetrics(r)
+}
+
+type fedMetrics struct {
+	exports        *telemetry.Counter
+	imports        *telemetry.Counter
+	staleFallbacks *telemetry.Counter
+	exchange       *telemetry.Histogram
+}
+
+func newFedMetrics(r *telemetry.Registry) *fedMetrics {
+	return &fedMetrics{
+		exports:        r.Counter(MetricSummaryExports),
+		imports:        r.Counter(MetricSummaryImports),
+		staleFallbacks: r.Counter(MetricStaleFallbacks),
+		exchange:       r.Histogram(MetricExchangeSeconds, telemetry.TimeBuckets),
+	}
+}

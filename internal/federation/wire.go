@@ -1,0 +1,265 @@
+package federation
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"megate/internal/controlplane"
+)
+
+// Gateway wire protocol, one exchange per request:
+//
+//	client: PULL <domain> <since>
+//	server: SUMMARY <domain> <epoch> <nsum> <ncfg>
+//	        nsum  × D <dstSite> <class> <mbps>
+//	        ncfg  × C <instance> <npaths>
+//	                  npaths × P <dstSite> <tier> <h0,h1,...>
+//	   or:  CURRENT <epoch>         (since >= epoch: nothing new)
+//	   or:  NONE                    (unknown peer)
+//	   or:  ERR <message>
+//
+// <domain> in PULL names the *requesting* domain: the server answers with
+// its state toward that domain. Every count and token is bounds-checked on
+// decode (the kvstore Get discipline) so a corrupt or hostile peer cannot
+// drive allocations.
+
+// Decode bounds. A domain summary is per-(site,class) and a config set is
+// per-gateway-instance, so these are generous for any real topology while
+// keeping a malicious length field harmless.
+const (
+	MaxSummaryEntries = 1 << 20
+	MaxConfigs        = 1 << 20
+	MaxPathsPerConfig = 1 << 16
+	MaxHopsPerPath    = 256
+	MaxNameLen        = 256
+)
+
+// ErrUnknownPeer is returned by an exchange when the server does not know
+// the requesting domain.
+var ErrUnknownPeer = errors.New("federation: unknown peer")
+
+// writeExchange emits a full SUMMARY response. The caller flushes.
+func writeExchange(w *bufio.Writer, ex *Exchange) error {
+	if _, err := fmt.Fprintf(w, "SUMMARY %s %d %d %d\n", ex.Domain, ex.Epoch, len(ex.Summary), len(ex.Configs)); err != nil {
+		return err
+	}
+	for _, e := range ex.Summary {
+		if _, err := fmt.Fprintf(w, "D %d %d %s\n", e.DstSite, e.Class, strconv.FormatFloat(e.Mbps, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	for _, c := range ex.Configs {
+		if _, err := fmt.Fprintf(w, "C %s %d\n", c.Instance, len(c.Paths)); err != nil {
+			return err
+		}
+		for _, p := range c.Paths {
+			if _, err := fmt.Fprintf(w, "P %d %d %s\n", p.DstSite, p.Tier, joinHops(p.Hops)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func joinHops(hops []uint32) string {
+	if len(hops) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, h := range hops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(h), 10))
+	}
+	return b.String()
+}
+
+func splitHops(s string) ([]uint32, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxHopsPerPath {
+		return nil, fmt.Errorf("federation: %d hops exceeds bound", len(parts))
+	}
+	hops := make([]uint32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("federation: bad hop %q", p)
+		}
+		hops[i] = uint32(v)
+	}
+	return hops, nil
+}
+
+// readExchange parses a server response. It returns (ex, 0, nil) on
+// SUMMARY, (nil, epoch, nil) on CURRENT, (nil, 0, ErrUnknownPeer) on NONE
+// and an error otherwise.
+func readExchange(r *bufio.Reader) (*Exchange, uint64, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, 0, err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return nil, 0, errors.New("federation: empty response")
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "CURRENT":
+		if len(fields) != 2 {
+			return nil, 0, errors.New("federation: bad CURRENT")
+		}
+		epoch, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, errors.New("federation: bad CURRENT epoch")
+		}
+		return nil, epoch, nil
+	case "NONE":
+		return nil, 0, ErrUnknownPeer
+	case "ERR":
+		return nil, 0, fmt.Errorf("federation: server error: %s", strings.TrimSpace(strings.TrimPrefix(line, fields[0])))
+	case "SUMMARY":
+		// fall through below
+	default:
+		return nil, 0, fmt.Errorf("federation: unexpected response %q", fields[0])
+	}
+	if len(fields) != 5 {
+		return nil, 0, errors.New("federation: bad SUMMARY header")
+	}
+	ex := &Exchange{Domain: fields[1]}
+	if err := checkName(ex.Domain); err != nil {
+		return nil, 0, err
+	}
+	epoch, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return nil, 0, errors.New("federation: bad epoch")
+	}
+	ex.Epoch = epoch
+	nsum, err := parseCount(fields[3], MaxSummaryEntries)
+	if err != nil {
+		return nil, 0, fmt.Errorf("federation: summary count: %w", err)
+	}
+	ncfg, err := parseCount(fields[4], MaxConfigs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("federation: config count: %w", err)
+	}
+	for i := 0; i < nsum; i++ {
+		e, err := readSummaryLine(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		ex.Summary = append(ex.Summary, e)
+	}
+	for i := 0; i < ncfg; i++ {
+		c, err := readConfigBlock(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		ex.Configs = append(ex.Configs, c)
+	}
+	return ex, 0, nil
+}
+
+func readSummaryLine(r *bufio.Reader) (SummaryEntry, error) {
+	var e SummaryEntry
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return e, err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 || strings.ToUpper(fields[0]) != "D" {
+		return e, errors.New("federation: bad summary line")
+	}
+	site, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return e, errors.New("federation: bad summary site")
+	}
+	class, err := strconv.ParseUint(fields[2], 10, 8)
+	if err != nil || class < 1 || class > 3 {
+		return e, errors.New("federation: bad summary class")
+	}
+	mbps, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil || math.IsNaN(mbps) || math.IsInf(mbps, 0) || mbps < 0 {
+		return e, errors.New("federation: bad summary demand")
+	}
+	e.DstSite = uint32(site)
+	e.Class = uint8(class)
+	e.Mbps = mbps
+	return e, nil
+}
+
+func readConfigBlock(r *bufio.Reader) (ExportRecord, error) {
+	var c ExportRecord
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return c, err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 || strings.ToUpper(fields[0]) != "C" {
+		return c, errors.New("federation: bad config header")
+	}
+	if err := checkName(fields[1]); err != nil {
+		return c, err
+	}
+	c.Instance = fields[1]
+	npaths, err := parseCount(fields[2], MaxPathsPerConfig)
+	if err != nil {
+		return c, fmt.Errorf("federation: path count: %w", err)
+	}
+	for i := 0; i < npaths; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return c, err
+		}
+		pf := strings.Fields(strings.TrimSpace(line))
+		if len(pf) != 4 || strings.ToUpper(pf[0]) != "P" {
+			return c, errors.New("federation: bad path line")
+		}
+		site, err := strconv.ParseUint(pf[1], 10, 32)
+		if err != nil {
+			return c, errors.New("federation: bad path site")
+		}
+		tier, err := strconv.ParseUint(pf[2], 10, 8)
+		if err != nil {
+			return c, errors.New("federation: bad path tier")
+		}
+		hops, err := splitHops(pf[3])
+		if err != nil {
+			return c, err
+		}
+		c.Paths = append(c.Paths, controlplane.PathEntry{DstSite: uint32(site), Tier: uint8(tier), Hops: hops})
+	}
+	return c, nil
+}
+
+// parseCount parses a nonnegative count with an upper bound, the kvstore
+// "bad length" discipline: a hostile count is rejected before any
+// allocation sized by it.
+func parseCount(s string, max int) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > max {
+		return 0, fmt.Errorf("bad count %q", s)
+	}
+	return n, nil
+}
+
+// checkName validates a domain or instance token: non-empty, bounded, and
+// free of whitespace/control bytes (it travels inside a space-separated
+// line).
+func checkName(s string) error {
+	if s == "" || len(s) > MaxNameLen {
+		return errors.New("federation: bad name length")
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] == 0x7f {
+			return errors.New("federation: bad name byte")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package federation
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"megate/internal/controlplane"
+)
+
+func sampleExchange() *Exchange {
+	return &Exchange{
+		Domain: "east",
+		Epoch:  42,
+		Summary: []SummaryEntry{
+			{DstSite: 0, Class: 1, Mbps: 120.5},
+			{DstSite: 3, Class: 2, Mbps: 0.0625},
+			{DstSite: 3, Class: 3, Mbps: 900},
+		},
+		Configs: []ExportRecord{
+			{
+				Instance: "fedgw:west",
+				Paths: []controlplane.PathEntry{
+					{DstSite: 3, Hops: []uint32{0, 2, 3}, Tier: 1},
+					{DstSite: 5, Hops: []uint32{0, 5}},
+				},
+			},
+		},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	ex := sampleExchange()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeExchange(w, ex); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, _, err := readExchange(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ex) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ex)
+	}
+}
+
+func TestWireEmptyExchange(t *testing.T) {
+	ex := &Exchange{Domain: "d0", Epoch: 1}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeExchange(w, ex); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, _, err := readExchange(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain != "d0" || got.Epoch != 1 || len(got.Summary) != 0 || len(got.Configs) != 0 {
+		t.Fatalf("empty exchange mismatch: %+v", got)
+	}
+}
+
+func TestWireCurrentAndNone(t *testing.T) {
+	ex, epoch, err := readExchange(bufio.NewReader(strings.NewReader("CURRENT 17\n")))
+	if err != nil || ex != nil || epoch != 17 {
+		t.Fatalf("CURRENT = %v, %d, %v", ex, epoch, err)
+	}
+	_, _, err = readExchange(bufio.NewReader(strings.NewReader("NONE\n")))
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("NONE err = %v, want ErrUnknownPeer", err)
+	}
+	_, _, err = readExchange(bufio.NewReader(strings.NewReader("ERR boom\n")))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("ERR err = %v", err)
+	}
+}
+
+// TestWireBounds feeds hostile headers and rows: every oversized count, bad
+// token, or malformed number must fail cleanly instead of driving an
+// allocation or a panic.
+func TestWireBounds(t *testing.T) {
+	cases := []string{
+		"",
+		"\n",
+		"SUMMARY\n",
+		"SUMMARY east notanumber 0 0\n",
+		"SUMMARY east 1 -1 0\n",
+		"SUMMARY east 1 99999999999 0\n",          // summary count over bound
+		"SUMMARY east 1 0 99999999999\n",          // config count over bound
+		"SUMMARY east 1 1 0\nX 1 2 3\n",           // bad row tag
+		"SUMMARY east 1 1 0\nD 1 9 3\n",           // class out of range
+		"SUMMARY east 1 1 0\nD 1 2 NaN\n",         // non-finite demand
+		"SUMMARY east 1 1 0\nD 1 2 -5\n",          // negative demand
+		"SUMMARY east 1 1 0\nD 99999999999 2 3\n", // site over uint32
+		"SUMMARY east 1 0 1\nC ins 99999999999\n", // path count over bound
+		"SUMMARY east 1 0 1\nC ins 1\nP 1 2\n",    // short path line
+		"SUMMARY east 1 0 1\nC ins 1\nP 1 2 x,y\n",
+		"SUMMARY east 1 0 1\nC 1\n",
+		"SUMMARY " + strings.Repeat("a", MaxNameLen+1) + " 1 0 0\n",
+		"CURRENT\n",
+		"CURRENT x\n",
+		"WHAT 1\n",
+		"SUMMARY east 1 2 0\nD 1 2 3\n", // truncated body
+	}
+	for _, in := range cases {
+		if ex, _, err := readExchange(bufio.NewReader(strings.NewReader(in))); err == nil && ex != nil && in != "" {
+			// Only a complete well-formed SUMMARY may parse.
+			t.Errorf("input %q parsed unexpectedly: %+v", in, ex)
+		}
+	}
+	// Hop-count bound: one path line with MaxHopsPerPath+1 hops.
+	hops := strings.TrimSuffix(strings.Repeat("1,", MaxHopsPerPath+1), ",")
+	in := "SUMMARY east 1 0 1\nC ins 1\nP 1 0 " + hops + "\n"
+	if _, _, err := readExchange(bufio.NewReader(strings.NewReader(in))); err == nil {
+		t.Error("over-bound hop list parsed unexpectedly")
+	}
+}
+
+func TestAggregateSummary(t *testing.T) {
+	flows := []RemoteFlow{
+		{SrcSite: 0, DstDomain: "west", DstSite: 2, Class: 1, Mbps: 10},
+		{SrcSite: 1, DstDomain: "west", DstSite: 2, Class: 1, Mbps: 5},
+		{SrcSite: 0, DstDomain: "west", DstSite: 2, Class: 3, Mbps: 7},
+		{SrcSite: 0, DstDomain: "west", DstSite: 1, Class: 2, Mbps: 3},
+		{SrcSite: 0, DstDomain: "north", DstSite: 2, Class: 1, Mbps: 99}, // other domain
+		{SrcSite: 0, DstDomain: "west", DstSite: 4, Class: 1, Mbps: 0},   // zero demand dropped
+	}
+	got := AggregateSummary(flows, "west")
+	want := []SummaryEntry{
+		{DstSite: 1, Class: 2, Mbps: 3},
+		{DstSite: 2, Class: 1, Mbps: 15},
+		{DstSite: 2, Class: 3, Mbps: 7},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("aggregate = %+v, want %+v", got, want)
+	}
+}

@@ -32,6 +32,15 @@ type PathKey struct {
 	DstSite  uint32
 }
 
+// Path is one path_map entry: the SR hop list plus the tunnel tier the
+// control plane selected under service policy (0 for unannotated traffic —
+// the tier is carried for observability and policy audit, SR insertion uses
+// only the hops).
+type Path struct {
+	Hops []uint32
+	Tier uint8
+}
+
 // FlowRecord is one instance-level flow statistic, the tuple of ins_id and
 // volume the endpoint agent ships to the backend per TE period (§5.1).
 type FlowRecord struct {
@@ -53,7 +62,7 @@ type Host struct {
 	InfMap     *ebpf.Map[packet.FiveTuple, string] // 5tuple -> ins_id
 	TrafficMap *ebpf.Map[packet.FiveTuple, uint64] // 5tuple -> bytes
 	FragMap    *ebpf.Map[uint16, packet.FiveTuple] // ipid -> 5tuple
-	PathMap    *ebpf.Map[PathKey, []uint32]        // (ins, dst site) -> hops
+	PathMap    *ebpf.Map[PathKey, Path]            // (ins, dst site) -> hops+tier
 
 	// ipToSite resolves an endpoint IP to its site identifier; the host
 	// learns it from the control plane (the VPC mapping service).
@@ -76,7 +85,7 @@ func NewHost(id string, mtu int, ipToSite func([4]byte) (uint32, bool)) *Host {
 		InfMap:     ebpf.NewMap[packet.FiveTuple, string]("inf_map", 1<<20),
 		TrafficMap: ebpf.NewMap[packet.FiveTuple, uint64]("traffic_map", 1<<20),
 		FragMap:    ebpf.NewMap[uint16, packet.FiveTuple]("frag_map", 1<<16),
-		PathMap:    ebpf.NewMap[PathKey, []uint32]("path_map", 1<<20),
+		PathMap:    ebpf.NewMap[PathKey, Path]("path_map", 1<<20),
 		ipToSite:   ipToSite,
 	}
 	h.links = append(h.links,
@@ -159,11 +168,11 @@ func (h *Host) tcEgressProg(frame []byte) ([]byte, ebpf.TCVerdict) {
 	if !ok {
 		return frame, ebpf.TCPass
 	}
-	hops, ok := h.PathMap.Lookup(PathKey{Instance: ins, DstSite: site})
-	if !ok || len(hops) == 0 {
+	path, ok := h.PathMap.Lookup(PathKey{Instance: ins, DstSite: site})
+	if !ok || len(path.Hops) == 0 {
 		return frame, ebpf.TCPass
 	}
-	rewritten, err := insertSR(&eth, &ip, payload, hops)
+	rewritten, err := insertSR(&eth, &ip, payload, path.Hops)
 	if err != nil {
 		return frame, ebpf.TCPass // leave the packet alone on any parse error
 	}
@@ -261,9 +270,16 @@ func (h *Host) OpenConnection(pid int, tuple packet.FiveTuple) {
 
 // InstallPath installs the TE-decided hop list for an instance's traffic
 // toward a destination site — the endpoint agent's action after pulling new
-// TE configurations (§5.2).
+// TE configurations (§5.2). The path carries tier 0; policied paths use
+// InstallPathTier.
 func (h *Host) InstallPath(instance string, dstSite uint32, hops []uint32) {
-	_ = h.PathMap.Update(PathKey{Instance: instance, DstSite: dstSite}, hops)
+	h.InstallPathTier(instance, dstSite, hops, 0)
+}
+
+// InstallPathTier is InstallPath with the service-policy tunnel tier the
+// control plane selected for the path.
+func (h *Host) InstallPathTier(instance string, dstSite uint32, hops []uint32, tier uint8) {
+	_ = h.PathMap.Update(PathKey{Instance: instance, DstSite: dstSite}, Path{Hops: hops, Tier: tier})
 }
 
 // RemovePath removes one installed path, e.g. when a new TE configuration

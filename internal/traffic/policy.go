@@ -1,0 +1,112 @@
+package traffic
+
+// ServicePolicy annotates one application's flows with path requirements —
+// the per-service policy layer of the federation work: mc-wan-style
+// interconnects map services to traffic classes, and production MegaTE pins
+// critical services (payment.secure, realtime control) to the most reliable
+// tunnel tier of every site pair.
+type ServicePolicy struct {
+	// Class, when non-zero, overrides the QoS class of the app's flows: a
+	// payment service stays Class1 no matter what mix the demand estimator
+	// drew for it.
+	Class Class
+	// Tier is the lowest-availability tunnel tier the app's flows may ride.
+	// Tunnel tiers rank each site pair's tunnel set by availability (tier 0
+	// is the most reliable tunnel); a policy with Tier = 0 pins the app to
+	// each pair's tier-0 tunnel, Tier = k admits tiers 0..k. Negative means
+	// unrestricted (class/priority annotation only).
+	Tier int
+	// MinPrio is a priority floor: flows whose class is numerically above it
+	// (lower priority) are raised to MinPrio. Zero leaves the class alone.
+	// Class and MinPrio compose — Class rewrites first, then the floor
+	// applies.
+	MinPrio Class
+}
+
+// Restricted reports whether the policy constrains tunnel tiers.
+func (p ServicePolicy) Restricted() bool { return p.Tier >= 0 }
+
+// PolicyTable maps application names to their service policies. The zero
+// value is unusable; use NewPolicyTable. A nil *PolicyTable behaves as "no
+// policies" everywhere.
+type PolicyTable struct {
+	byApp map[string]ServicePolicy
+}
+
+// NewPolicyTable builds an empty policy table.
+func NewPolicyTable() *PolicyTable {
+	return &PolicyTable{byApp: make(map[string]ServicePolicy)}
+}
+
+// Set installs (or replaces) the policy for an application.
+func (pt *PolicyTable) Set(app string, p ServicePolicy) { pt.byApp[app] = p }
+
+// Get returns the policy for an application. Nil-safe.
+func (pt *PolicyTable) Get(app string) (ServicePolicy, bool) {
+	if pt == nil || app == "" {
+		return ServicePolicy{}, false
+	}
+	p, ok := pt.byApp[app]
+	return p, ok
+}
+
+// TierBound returns the tunnel-tier bound for an application, or ok=false
+// when the app is unannotated or its policy leaves tiers unrestricted.
+// Nil-safe.
+func (pt *PolicyTable) TierBound(app string) (int, bool) {
+	p, ok := pt.Get(app)
+	if !ok || !p.Restricted() {
+		return 0, false
+	}
+	return p.Tier, true
+}
+
+// HasTierBounds reports whether any policy in the table restricts tunnel
+// tiers — the solver's cue to compute tier-filtered candidate sets at all.
+// Nil-safe.
+func (pt *PolicyTable) HasTierBounds() bool {
+	if pt == nil {
+		return false
+	}
+	for _, p := range pt.byApp {
+		if p.Restricted() {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of annotated applications. Nil-safe.
+func (pt *PolicyTable) Len() int {
+	if pt == nil {
+		return 0
+	}
+	return len(pt.byApp)
+}
+
+// Apply returns a copy of the matrix with the table's class annotations
+// folded in (Class rewrites, then the MinPrio floor) and the table attached
+// as m.Policies so the solver and config builder see the tier bounds. The
+// original matrix is untouched; an empty or nil table returns a copy with
+// classes unchanged.
+func (pt *PolicyTable) Apply(m *Matrix) *Matrix {
+	flows := make([]Flow, len(m.Flows))
+	copy(flows, m.Flows)
+	if pt != nil {
+		for i := range flows {
+			p, ok := pt.byApp[flows[i].App]
+			if !ok {
+				continue
+			}
+			if p.Class != 0 {
+				flows[i].Class = p.Class
+			}
+			if p.MinPrio != 0 && flows[i].Class > p.MinPrio {
+				flows[i].Class = p.MinPrio
+			}
+		}
+	}
+	out := NewMatrix(flows)
+	out.Policies = pt
+	return out
+}

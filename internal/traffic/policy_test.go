@@ -1,0 +1,84 @@
+package traffic
+
+import "testing"
+
+func testFlows() []Flow {
+	return []Flow{
+		{ID: 0, Pair: SitePair{Src: 0, Dst: 1}, DemandMbps: 10, Class: Class2, App: "financial-payment"},
+		{ID: 1, Pair: SitePair{Src: 0, Dst: 1}, DemandMbps: 20, Class: Class3, App: "bulk-transfer"},
+		{ID: 2, Pair: SitePair{Src: 1, Dst: 0}, DemandMbps: 5, Class: Class2, App: ""},
+		{ID: 3, Pair: SitePair{Src: 1, Dst: 0}, DemandMbps: 7, Class: Class3, App: "log-shipping"},
+	}
+}
+
+func TestPolicyApplyClassAndFloor(t *testing.T) {
+	m := NewMatrix(testFlows())
+	pt := NewPolicyTable()
+	pt.Set("financial-payment", ServicePolicy{Class: Class1, Tier: 0})
+	pt.Set("log-shipping", ServicePolicy{MinPrio: Class2, Tier: -1})
+
+	out := pt.Apply(m)
+	if out.Policies != pt {
+		t.Fatalf("Apply must attach the table")
+	}
+	if got := out.Flows[0].Class; got != Class1 {
+		t.Errorf("payment class = %v, want Class1", got)
+	}
+	if got := out.Flows[1].Class; got != Class3 {
+		t.Errorf("unannotated bulk-transfer class changed to %v", got)
+	}
+	if got := out.Flows[3].Class; got != Class2 {
+		t.Errorf("MinPrio floor: log-shipping class = %v, want Class2", got)
+	}
+	// Original untouched.
+	if m.Flows[0].Class != Class2 || m.Policies != nil {
+		t.Errorf("Apply mutated the source matrix")
+	}
+}
+
+func TestPolicyTierBound(t *testing.T) {
+	pt := NewPolicyTable()
+	pt.Set("financial-payment", ServicePolicy{Class: Class1, Tier: 0})
+	pt.Set("realtime-message", ServicePolicy{Tier: 1})
+	pt.Set("bulk-transfer", ServicePolicy{Tier: -1, MinPrio: Class3})
+
+	if k, ok := pt.TierBound("financial-payment"); !ok || k != 0 {
+		t.Errorf("TierBound(payment) = %d,%v, want 0,true", k, ok)
+	}
+	if k, ok := pt.TierBound("realtime-message"); !ok || k != 1 {
+		t.Errorf("TierBound(realtime) = %d,%v, want 1,true", k, ok)
+	}
+	if _, ok := pt.TierBound("bulk-transfer"); ok {
+		t.Errorf("unrestricted policy must not report a tier bound")
+	}
+	if _, ok := pt.TierBound("unknown"); ok {
+		t.Errorf("unannotated app must not report a tier bound")
+	}
+	if !pt.HasTierBounds() {
+		t.Errorf("table with restrictions must report HasTierBounds")
+	}
+
+	var nilPT *PolicyTable
+	if nilPT.HasTierBounds() || nilPT.Len() != 0 {
+		t.Errorf("nil table must behave as empty")
+	}
+	if _, ok := nilPT.TierBound("x"); ok {
+		t.Errorf("nil table must not report bounds")
+	}
+}
+
+func TestPolicyPropagation(t *testing.T) {
+	pt := NewPolicyTable()
+	pt.Set("financial-payment", ServicePolicy{Tier: 0})
+	m := pt.Apply(NewMatrix(testFlows()))
+
+	if sub := m.ClassSubset(Class2); sub.Policies != pt {
+		t.Errorf("ClassSubset dropped Policies")
+	}
+	if s := m.Scale(2); s.Policies != pt {
+		t.Errorf("Scale dropped Policies")
+	}
+	if s := m.Subsample(0.5); s.Policies != pt {
+		t.Errorf("Subsample dropped Policies")
+	}
+}

@@ -58,6 +58,10 @@ type Flow struct {
 type Matrix struct {
 	Flows  []Flow
 	byPair map[SitePair][]int
+	// Policies, when non-nil, carries the service-policy table whose tier
+	// bounds the solver and config builder enforce. Nil means no policies —
+	// the default path is untouched.
+	Policies *PolicyTable
 }
 
 // NewMatrix builds a Matrix from flows, indexing them by site pair.
@@ -115,7 +119,9 @@ func (m *Matrix) ClassSubset(c Class) *Matrix {
 			flows = append(flows, m.Flows[i])
 		}
 	}
-	return NewMatrix(flows)
+	sub := NewMatrix(flows)
+	sub.Policies = m.Policies
+	return sub
 }
 
 // NumFlows returns the number of endpoint-pair demands.
@@ -362,7 +368,9 @@ func (m *Matrix) Scale(factor float64) *Matrix {
 	for i := range flows {
 		flows[i].DemandMbps *= factor
 	}
-	return NewMatrix(flows)
+	out := NewMatrix(flows)
+	out.Policies = m.Policies
+	return out
 }
 
 // Subsample returns a matrix keeping approximately frac of the flows
@@ -383,5 +391,7 @@ func (m *Matrix) Subsample(frac float64) *Matrix {
 			flows = append(flows, m.Flows[i])
 		}
 	}
-	return NewMatrix(flows)
+	out := NewMatrix(flows)
+	out.Policies = m.Policies
+	return out
 }

@@ -37,6 +37,7 @@ import (
 	"megate/internal/cluster"
 	"megate/internal/controlplane"
 	"megate/internal/core"
+	"megate/internal/federation"
 	"megate/internal/flowsim"
 	"megate/internal/hoststack"
 	"megate/internal/kvstore"
@@ -451,6 +452,7 @@ func RegisterCoreMetrics(r *MetricsRegistry) {
 	kvstore.RegisterMetrics(r)
 	controlplane.RegisterMetrics(r)
 	cluster.RegisterMetrics(r)
+	federation.RegisterMetrics(r)
 }
 
 // ServeMetrics starts the telemetry exporter on addr serving r (nil means

@@ -40,3 +40,6 @@ make megascale-short
 # Fleet robustness gate: deterministic 10k-agent storm with per-shard
 # admission control; exits non-zero on any invariant violation.
 make fleet-short
+# Multi-domain federation gate: gateway protocol + tier-policy tests and the
+# inter-domain partition chaos scenario, race-checked with fixed seeds.
+make federation
